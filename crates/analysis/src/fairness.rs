@@ -1,0 +1,142 @@
+//! Fairness analysis of the victim population.
+//!
+//! The model's `Σ 1/RTT_i²` weighting (Lemma 2) already says the attack's
+//! leftover throughput concentrates quadratically on the short-RTT flows
+//! — much more skewed than TCP's usual `1/RTT` bias. These helpers
+//! quantify that: Jain's fairness index over per-flow goodputs, and the
+//! model's predicted per-flow shares with and without the attack.
+
+use crate::params::VictimSet;
+
+/// Jain's fairness index `(Σx)² / (n·Σx²)` over non-negative allocations:
+/// 1 for perfectly equal shares, `1/n` when one flow takes everything.
+///
+/// Returns 1.0 for an empty or all-zero input (vacuously fair).
+///
+/// # Examples
+///
+/// ```
+/// use pdos_analysis::fairness::jain_index;
+///
+/// assert_eq!(jain_index(&[5.0, 5.0, 5.0, 5.0]), 1.0);
+/// assert_eq!(jain_index(&[1.0, 0.0, 0.0, 0.0]), 0.25);
+/// ```
+pub fn jain_index(allocations: &[f64]) -> f64 {
+    let n = allocations.len();
+    if n == 0 {
+        return 1.0;
+    }
+    let sum: f64 = allocations.iter().sum();
+    let sum_sq: f64 = allocations.iter().map(|x| x * x).sum();
+    if sum_sq == 0.0 {
+        return 1.0;
+    }
+    sum * sum / (n as f64 * sum_sq)
+}
+
+/// The model's per-flow throughput shares **under attack**: Lemma 2 gives
+/// each flow weight `1/RTT_i²`, so flow `i`'s share is
+/// `(1/RTT_i²) / Σ 1/RTT_j²`.
+pub fn attack_shares(victims: &VictimSet) -> Vec<f64> {
+    let total = victims.inv_rtt_sq_sum();
+    victims
+        .rtts()
+        .iter()
+        .map(|r| (1.0 / (r * r)) / total)
+        .collect()
+}
+
+/// The conventional no-attack TCP share model (`1/RTT` bias, Padhye-style
+/// first order): flow `i`'s share is `(1/RTT_i) / Σ 1/RTT_j`.
+pub fn baseline_shares(victims: &VictimSet) -> Vec<f64> {
+    let total: f64 = victims.rtts().iter().map(|r| 1.0 / r).sum();
+    victims.rtts().iter().map(|r| (1.0 / r) / total).collect()
+}
+
+/// The model's headline fairness claim, bundled: the attack moves the
+/// share bias from `1/RTT` to `1/RTT²`, so Jain's index can only fall (or
+/// stay equal for homogeneous RTTs).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FairnessPrediction {
+    /// Jain's index of the no-attack (`1/RTT`) shares.
+    pub baseline: f64,
+    /// Jain's index of the under-attack (`1/RTT²`) shares.
+    pub under_attack: f64,
+}
+
+/// Computes both predicted indices for a population.
+pub fn predicted_fairness(victims: &VictimSet) -> FairnessPrediction {
+    FairnessPrediction {
+        baseline: jain_index(&baseline_shares(victims)),
+        under_attack: jain_index(&attack_shares(victims)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::VictimSet;
+
+    #[test]
+    fn jain_basics() {
+        assert_eq!(jain_index(&[]), 1.0);
+        assert_eq!(jain_index(&[0.0, 0.0]), 1.0);
+        assert_eq!(jain_index(&[3.0, 3.0]), 1.0);
+        assert!((jain_index(&[1.0, 0.0]) - 0.5).abs() < 1e-12);
+        // Order invariance.
+        assert_eq!(jain_index(&[1.0, 2.0, 3.0]), jain_index(&[3.0, 1.0, 2.0]));
+    }
+
+    #[test]
+    fn shares_sum_to_one() {
+        let v = VictimSet::paper_ns2(15);
+        let a: f64 = attack_shares(&v).iter().sum();
+        let b: f64 = baseline_shares(&v).iter().sum();
+        assert!((a - 1.0).abs() < 1e-9);
+        assert!((b - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn attack_concentrates_on_short_rtts() {
+        let v = VictimSet::paper_ns2(15);
+        let attack = attack_shares(&v);
+        let base = baseline_shares(&v);
+        // The shortest-RTT flow gains share under attack; the longest
+        // loses.
+        assert!(attack[0] > base[0]);
+        assert!(attack[14] < base[14]);
+    }
+
+    #[test]
+    fn attack_lowers_predicted_fairness_for_heterogeneous_rtts() {
+        let v = VictimSet::paper_ns2(25);
+        let p = predicted_fairness(&v);
+        assert!(
+            p.under_attack < p.baseline,
+            "1/RTT² skew must be less fair than 1/RTT: {p:?}"
+        );
+        // Homogeneous RTTs: both perfectly fair.
+        let homo = VictimSet::new(1.0, 0.5, 2.0, 1000.0, 15e6, vec![0.2; 10]).unwrap();
+        let ph = predicted_fairness(&homo);
+        assert!((ph.baseline - 1.0).abs() < 1e-12);
+        assert!((ph.under_attack - 1.0).abs() < 1e-12);
+    }
+
+    proptest::proptest! {
+        /// Jain's index always lies in [1/n, 1].
+        #[test]
+        fn prop_jain_bounded(xs in proptest::collection::vec(0.0f64..1e6, 1..50)) {
+            let j = jain_index(&xs);
+            proptest::prop_assert!(j <= 1.0 + 1e-12);
+            proptest::prop_assert!(j >= 1.0 / xs.len() as f64 - 1e-12);
+        }
+
+        /// Scaling all allocations leaves the index unchanged.
+        #[test]
+        fn prop_jain_scale_invariant(xs in proptest::collection::vec(0.1f64..100.0, 2..30),
+                                     k in 0.1f64..50.0) {
+            let scaled: Vec<f64> = xs.iter().map(|x| x * k).collect();
+            proptest::prop_assert!((jain_index(&xs) - jain_index(&scaled)).abs() < 1e-9);
+        }
+    }
+}

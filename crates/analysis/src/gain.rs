@@ -1,0 +1,216 @@
+//! The attack-gain objective family of §3 (Eq. 5):
+//! `G_attack(γ) = Γ(γ) · (1 − γ)^κ = (1 − C_Ψ/γ)(1 − γ)^κ`.
+
+use crate::model::degradation;
+use std::fmt;
+
+/// How an attacker weighs damage against exposure — the exponent κ of the
+/// risk factor `(1 − γ)^κ` (Fig. 4).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RiskPreference {
+    kappa: f64,
+}
+
+/// The qualitative class of a risk preference.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RiskClass {
+    /// `κ > 1`: increasingly reluctant to raise the attack rate.
+    Averse,
+    /// `κ = 1`.
+    Neutral,
+    /// `0 <= κ < 1`: damage matters more than concealment.
+    Loving,
+}
+
+impl RiskPreference {
+    /// The risk-neutral preference (κ = 1).
+    pub const NEUTRAL: RiskPreference = RiskPreference { kappa: 1.0 };
+
+    /// Creates a preference with the given exponent.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when `kappa` is negative or not finite.
+    pub fn new(kappa: f64) -> Result<Self, String> {
+        if !(kappa >= 0.0 && kappa.is_finite()) {
+            return Err(format!("kappa must be finite and >= 0, got {kappa}"));
+        }
+        Ok(RiskPreference { kappa })
+    }
+
+    /// The exponent κ.
+    pub fn kappa(self) -> f64 {
+        self.kappa
+    }
+
+    /// Qualitative class.
+    pub fn class(self) -> RiskClass {
+        if self.kappa > 1.0 {
+            RiskClass::Averse
+        } else if self.kappa == 1.0 {
+            RiskClass::Neutral
+        } else {
+            RiskClass::Loving
+        }
+    }
+
+    /// The risk factor `(1 − γ)^κ` for `γ ∈ [0, 1]` (Fig. 4's curves).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gamma` is outside `[0, 1]`.
+    pub fn factor(self, gamma: f64) -> f64 {
+        assert!(
+            (0.0..=1.0).contains(&gamma),
+            "gamma must be in [0,1], got {gamma}"
+        );
+        (1.0 - gamma).powf(self.kappa)
+    }
+}
+
+impl fmt::Display for RiskPreference {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let label = match self.class() {
+            RiskClass::Averse => "risk-averse",
+            RiskClass::Neutral => "risk-neutral",
+            RiskClass::Loving => "risk-loving",
+        };
+        write!(f, "{label}(κ={})", self.kappa)
+    }
+}
+
+/// Eq. (5): the attack gain `G = (1 − C_Ψ/γ)(1 − γ)^κ`, with Γ clamped to
+/// `[0, 1]` like [`degradation`].
+pub fn attack_gain(gamma: f64, c_psi: f64, risk: RiskPreference) -> f64 {
+    if gamma <= 0.0 {
+        return 0.0;
+    }
+    let gamma_c = gamma.min(1.0);
+    degradation(gamma_c, c_psi) * risk.factor(gamma_c)
+}
+
+/// The gain computed from a *measured* degradation (how the experiments
+/// plot simulation points onto the analytical axes):
+/// `G = Γ_measured · (1 − γ)^κ`.
+pub fn attack_gain_measured(gamma: f64, measured_degradation: f64, risk: RiskPreference) -> f64 {
+    measured_degradation.clamp(0.0, 1.0) * risk.factor(gamma.clamp(0.0, 1.0))
+}
+
+/// Samples the analytical gain curve at `n` evenly spaced γ values in
+/// `(0, 1)` — one row per point, as the figures plot them.
+pub fn gain_curve(c_psi: f64, risk: RiskPreference, n: usize) -> Vec<(f64, f64)> {
+    (1..=n)
+        .map(|i| {
+            let gamma = i as f64 / (n + 1) as f64;
+            (gamma, attack_gain(gamma, c_psi, risk))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classes_partition_kappa() {
+        assert_eq!(RiskPreference::new(2.0).unwrap().class(), RiskClass::Averse);
+        assert_eq!(RiskPreference::new(1.0).unwrap().class(), RiskClass::Neutral);
+        assert_eq!(RiskPreference::new(0.5).unwrap().class(), RiskClass::Loving);
+        assert_eq!(RiskPreference::new(0.0).unwrap().class(), RiskClass::Loving);
+        assert_eq!(RiskPreference::NEUTRAL.kappa(), 1.0);
+    }
+
+    #[test]
+    fn invalid_kappa_rejected() {
+        assert!(RiskPreference::new(-1.0).is_err());
+        assert!(RiskPreference::new(f64::NAN).is_err());
+        assert!(RiskPreference::new(f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn factor_limits_match_fig4() {
+        // κ -> 0: attacker ignores risk entirely; factor -> 1 everywhere.
+        let flood = RiskPreference::new(0.0).unwrap();
+        assert_eq!(flood.factor(0.9), 1.0);
+        // Large κ: factor collapses quickly.
+        let paranoid = RiskPreference::new(50.0).unwrap();
+        assert!(paranoid.factor(0.2) < 1e-4);
+        // Risk-averse curve lies below risk-loving for interior γ.
+        let averse = RiskPreference::new(3.0).unwrap();
+        let loving = RiskPreference::new(0.3).unwrap();
+        for g in [0.1, 0.5, 0.9] {
+            assert!(averse.factor(g) < RiskPreference::NEUTRAL.factor(g));
+            assert!(RiskPreference::NEUTRAL.factor(g) < loving.factor(g));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "gamma must be in [0,1]")]
+    fn factor_rejects_out_of_range() {
+        RiskPreference::NEUTRAL.factor(1.5);
+    }
+
+    #[test]
+    fn gain_is_zero_at_both_extremes() {
+        let risk = RiskPreference::NEUTRAL;
+        assert_eq!(attack_gain(0.0, 0.1, risk), 0.0);
+        // γ = C_Ψ: Γ = 0.
+        assert_eq!(attack_gain(0.1, 0.1, risk), 0.0);
+        // γ = 1: risk factor 0 for κ > 0.
+        assert_eq!(attack_gain(1.0, 0.1, risk), 0.0);
+    }
+
+    #[test]
+    fn gain_positive_in_interior() {
+        let risk = RiskPreference::NEUTRAL;
+        let g = attack_gain(0.4, 0.1, risk);
+        assert!(g > 0.0 && g < 1.0);
+        // Hand check: (1 - 0.25)(0.6) = 0.45.
+        assert!((g - 0.45).abs() < 1e-12);
+    }
+
+    #[test]
+    fn measured_gain_uses_simulated_degradation() {
+        let risk = RiskPreference::NEUTRAL;
+        assert!((attack_gain_measured(0.5, 0.8, risk) - 0.4).abs() < 1e-12);
+        // Clamps wild inputs.
+        assert_eq!(attack_gain_measured(0.5, 1.5, risk), 0.5);
+        assert_eq!(attack_gain_measured(0.5, -0.2, risk), 0.0);
+    }
+
+    #[test]
+    fn curve_has_requested_resolution() {
+        let curve = gain_curve(0.1, RiskPreference::NEUTRAL, 9);
+        assert_eq!(curve.len(), 9);
+        assert!((curve[0].0 - 0.1).abs() < 1e-12);
+        assert!((curve[8].0 - 0.9).abs() < 1e-12);
+        assert!(curve.iter().all(|&(_, g)| (0.0..=1.0).contains(&g)));
+    }
+
+    #[test]
+    fn display_names_class() {
+        assert!(RiskPreference::new(2.0).unwrap().to_string().contains("risk-averse"));
+        assert!(RiskPreference::NEUTRAL.to_string().contains("risk-neutral"));
+        assert!(RiskPreference::new(0.1).unwrap().to_string().contains("risk-loving"));
+    }
+
+    proptest::proptest! {
+        /// Gain is bounded in [0, 1] over the whole domain.
+        #[test]
+        fn prop_gain_bounded(gamma in 0.0f64..1.0, c in 0.0f64..1.0, kappa in 0.0f64..10.0) {
+            let risk = RiskPreference::new(kappa).unwrap();
+            let g = attack_gain(gamma, c, risk);
+            proptest::prop_assert!((0.0..=1.0).contains(&g));
+        }
+
+        /// For κ = 0 the gain is monotone non-decreasing in γ (pure damage
+        /// maximizer, Corollary 2's limit).
+        #[test]
+        fn prop_kappa_zero_monotone(c in 0.01f64..0.9, i in 1usize..50) {
+            let risk = RiskPreference::new(0.0).unwrap();
+            let g1 = i as f64 / 51.0;
+            let g2 = (i + 1) as f64 / 51.0;
+            proptest::prop_assert!(attack_gain(g2, c, risk) >= attack_gain(g1, c, risk) - 1e-12);
+        }
+    }
+}

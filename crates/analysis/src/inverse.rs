@@ -1,0 +1,201 @@
+//! Inverse (defender-side) inference: read the attacker's dial settings
+//! back out of observed traffic.
+//!
+//! The forward model maps `(C_Ψ, κ) → γ*`. A defender observing an attack
+//! can measure `γ` (the normalized average attack rate) and `Γ` (the
+//! throughput degradation). Assuming the attacker plays the paper's
+//! optimum, those observations invert to the damage constant and the risk
+//! exponent — i.e. *how risk-averse this attacker is* — which in turn
+//! predicts how they will respond to a defense that changes `C_Ψ`.
+
+use crate::optimize::gamma_star;
+use crate::gain::RiskPreference;
+
+/// Recovers the resilience constant from one measured operating point using
+/// Prop. 2: `Γ = 1 − C_Ψ/γ  ⇒  C_Ψ = γ·(1 − Γ)`.
+///
+/// # Panics
+///
+/// Panics unless `0 < gamma <= 1` and `0 <= degradation <= 1`.
+///
+/// # Examples
+///
+/// ```
+/// use pdos_analysis::inverse::c_psi_from_observation;
+///
+/// // γ = 0.4 with 75% degradation implies C_Ψ = 0.1.
+/// assert!((c_psi_from_observation(0.4, 0.75) - 0.1).abs() < 1e-12);
+/// ```
+pub fn c_psi_from_observation(gamma: f64, degradation: f64) -> f64 {
+    assert!(gamma > 0.0 && gamma <= 1.0, "gamma must be in (0,1]");
+    assert!(
+        (0.0..=1.0).contains(&degradation),
+        "degradation must be in [0,1]"
+    );
+    gamma * (1.0 - degradation)
+}
+
+/// Infers the risk exponent κ of an attacker assumed to operate at the
+/// Prop. 3 optimum `γ* = γ`.
+///
+/// From the stationarity condition `κγ² + C_Ψ(1−κ)γ − C_Ψ = 0`:
+///
+/// ```text
+/// κ = C_Ψ·(1 − γ) / (γ·(γ − C_Ψ))
+/// ```
+///
+/// Returns `None` when the observation is inconsistent with an optimizing
+/// attacker (`γ <= C_Ψ` — the operating point causes no modelled damage —
+/// or `γ >= 1`).
+///
+/// # Examples
+///
+/// ```
+/// use pdos_analysis::inverse::infer_kappa;
+/// use pdos_analysis::optimize::gamma_star;
+/// use pdos_analysis::gain::RiskPreference;
+///
+/// // Forward: a κ = 2 attacker picks γ*. Inverse: recover κ = 2.
+/// let risk = RiskPreference::new(2.0).unwrap();
+/// let gamma = gamma_star(0.15, risk);
+/// let kappa = infer_kappa(gamma, 0.15).unwrap();
+/// assert!((kappa - 2.0).abs() < 1e-9);
+/// ```
+pub fn infer_kappa(gamma: f64, c_psi: f64) -> Option<f64> {
+    if !(gamma > c_psi && gamma < 1.0 && c_psi > 0.0) {
+        return None;
+    }
+    Some(c_psi * (1.0 - gamma) / (gamma * (gamma - c_psi)))
+}
+
+/// A defender-side profile of an observed (assumed-optimal) attacker.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AttackerProfile {
+    /// The resilience constant implied by the observation.
+    pub c_psi: f64,
+    /// The inferred risk exponent.
+    pub kappa: f64,
+    /// Where the attacker would move if a defense multiplied `C_Ψ` by
+    /// `defense_factor` (> 1 = the defense made the victims more
+    /// resilient): the new γ*. A good defense pushes this up, toward
+    /// detectability.
+    pub gamma_after_defense: f64,
+}
+
+/// Profiles an attacker from one measured operating point and predicts
+/// its response to a defense scaling `C_Ψ` by `defense_factor`.
+///
+/// Returns `None` when the observation is inconsistent with an optimizing
+/// attacker, or the post-defense `C_Ψ` leaves the model's domain.
+pub fn profile_attacker(
+    gamma: f64,
+    degradation: f64,
+    defense_factor: f64,
+) -> Option<AttackerProfile> {
+    if !(defense_factor > 0.0 && defense_factor.is_finite()) {
+        return None;
+    }
+    let c_psi = c_psi_from_observation(gamma, degradation);
+    let kappa = infer_kappa(gamma, c_psi)?;
+    let c_after = c_psi * defense_factor;
+    if !(0.0 < c_after && c_after < 1.0) {
+        return None;
+    }
+    let risk = RiskPreference::new(kappa).ok()?;
+    Some(AttackerProfile {
+        c_psi,
+        kappa,
+        gamma_after_defense: gamma_star(c_after, risk),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gain::RiskPreference;
+    use crate::model::degradation;
+
+    #[test]
+    fn c_psi_inversion_is_exact() {
+        for c in [0.05, 0.2, 0.6] {
+            for gamma in [0.3, 0.5, 0.9] {
+                if gamma <= c {
+                    continue;
+                }
+                let d = degradation(gamma, c);
+                assert!((c_psi_from_observation(gamma, d) - c).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn kappa_roundtrips_through_the_optimum() {
+        for c in [0.04, 0.15, 0.5] {
+            for kappa in [0.3, 1.0, 2.5, 7.0] {
+                let risk = RiskPreference::new(kappa).unwrap();
+                let g = gamma_star(c, risk);
+                let back = infer_kappa(g, c).expect("optimal point is invertible");
+                assert!(
+                    (back - kappa).abs() < 1e-6,
+                    "C={c} kappa={kappa}: inferred {back}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn neutral_attacker_detected_from_sqrt_point() {
+        // γ = sqrt(C): Corollary 3's signature.
+        let c = 0.09f64;
+        let k = infer_kappa(c.sqrt(), c).unwrap();
+        assert!((k - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn inconsistent_observations_rejected() {
+        assert_eq!(infer_kappa(0.1, 0.2), None); // gamma below C_Ψ
+        assert_eq!(infer_kappa(1.0, 0.2), None); // flooding: not interior
+        assert_eq!(infer_kappa(0.5, 0.0), None); // no damage constant
+    }
+
+    #[test]
+    fn defense_prediction_moves_gamma_up() {
+        // A defense that raises the victims' resilience constant (e.g.
+        // admitting fast-recovering short-RTT flows, or raising `a`)
+        // forces the optimizing attacker to be louder: for κ = 1,
+        // γ* = sqrt(C_Ψ), so scaling C_Ψ by 4 doubles γ* — pushing the
+        // attack toward the rate detector's alarm region.
+        let c = 0.09f64;
+        let gamma = c.sqrt(); // neutral optimum: 0.3
+        let d = degradation(gamma, c);
+        let profile = profile_attacker(gamma, d, 4.0).unwrap();
+        assert!((profile.kappa - 1.0).abs() < 1e-9);
+        assert!((profile.gamma_after_defense - 0.6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn degenerate_defense_factors_rejected() {
+        let c = 0.09f64;
+        let gamma = c.sqrt();
+        let d = degradation(gamma, c);
+        assert!(profile_attacker(gamma, d, 0.0).is_none());
+        assert!(profile_attacker(gamma, d, f64::INFINITY).is_none());
+        // Factor pushing C_Ψ past 1 leaves the model.
+        assert!(profile_attacker(gamma, d, 20.0).is_none());
+    }
+
+    proptest::proptest! {
+        /// Inference is the exact inverse of optimization across the
+        /// domain.
+        #[test]
+        fn prop_inverse_of_forward(c in 0.01f64..0.9, kappa in 0.05f64..10.0) {
+            let risk = RiskPreference::new(kappa).unwrap();
+            let g = gamma_star(c, risk);
+            if let Some(back) = infer_kappa(g, c) {
+                proptest::prop_assert!((back - kappa).abs() / kappa < 1e-6);
+            } else {
+                proptest::prop_assert!(false, "optimal point must be invertible");
+            }
+        }
+    }
+}

@@ -1,0 +1,78 @@
+//! # pdos-analysis — the analytical core of the DSN 2005 PDoS paper
+//!
+//! Dependency-free implementations of every equation in Luo & Chang,
+//! *"Optimizing the Pulsing Denial-of-Service Attacks"* (DSN 2005):
+//!
+//! | Paper | Here |
+//! |---|---|
+//! | Eq. (1) converged window | [`model::converged_window`] |
+//! | Prop. 1 (Eq. 2) throughput under attack | [`model::throughput_under_attack_per_flow`] |
+//! | Eq. (4)/(7) normalized rate γ | [`model::gamma_from_mu`] |
+//! | Eq. (5) attack gain | [`gain::attack_gain`] |
+//! | Lemma 1 (Eq. 8) | [`model::psi_normal`] |
+//! | Lemma 2 (Eq. 9) | [`model::psi_attack`] |
+//! | Prop. 2 (Eq. 10–11) | [`model::degradation`], [`model::c_psi`] |
+//! | Prop. 3 (Eq. 13) + Cor. 1–3 | [`optimize::gamma_star`] |
+//! | Prop. 4 (Eq. 16), Cor. 4 (Eq. 17–18) | [`optimize::mu_optimal`], [`optimize::mu_optimal_neutral`], [`model::c_victim`] |
+//! | §2.3 PAA / synchronization | [`timeseries`], [`period`] |
+//! | §5 timeout extension (future work) | [`timeout_ext`] |
+//! | shrew baseline (Kuzmanovic & Knightly) | [`shrew_model`] |
+//! | defender-side inference (extension) | [`inverse`] |
+//! | defense sensitivity analysis (extension) | [`sensitivity`] |
+//!
+//! The intended consumer is a **defender**: given a population of TCP
+//! flows, these formulas say how much damage a pulsing attacker can do at
+//! a given average-rate budget — i.e. what a rate-based detector must be
+//! able to see — and where the attacker's optimal operating point lies.
+//!
+//! ## Example: solve the paper's running optimization
+//!
+//! ```
+//! use pdos_analysis::prelude::*;
+//!
+//! // 25 victim flows from the ns-2 setup; 75 ms pulses at 30 Mbps.
+//! let victims = VictimSet::paper_ns2(25);
+//! let sol = solve(&victims, 0.075, 30e6, RiskPreference::NEUTRAL)?;
+//! // Corollary 3: γ* = sqrt(C_Ψ).
+//! let c = c_psi(&victims, 0.075, 30e6)?;
+//! assert!((sol.gamma_star - c.sqrt()).abs() < 1e-12);
+//! # Ok::<(), pdos_analysis::params::ParamError>(())
+//! ```
+
+#![deny(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod fairness;
+pub mod gain;
+pub mod model;
+pub mod optimize;
+pub mod params;
+pub mod inverse;
+pub mod period;
+pub mod sensitivity;
+pub mod shrew_model;
+pub mod timeout_ext;
+pub mod timeseries;
+
+/// Convenient re-exports.
+pub mod prelude {
+    pub use crate::fairness::{
+        attack_shares, baseline_shares, jain_index, predicted_fairness, FairnessPrediction,
+    };
+    pub use crate::gain::{attack_gain, attack_gain_measured, gain_curve, RiskClass, RiskPreference};
+    pub use crate::model::{
+        c_psi, c_victim, converged_window, degradation, gamma_from_mu, mu_from_gamma, psi_attack,
+        psi_attack_exact, psi_normal, transient_error,
+    };
+    pub use crate::optimize::{
+        gamma_star, gamma_star_numeric, mu_optimal, mu_optimal_neutral, plan_for_degradation,
+        solve, DamagePlan, OptimalAttack,
+    };
+    pub use crate::params::{spread_rtts, ParamError, VictimSet};
+    pub use crate::inverse::{c_psi_from_observation, infer_kappa, profile_attacker, AttackerProfile};
+    pub use crate::period::{autocorrelation, count_peaks, dominant_lag, period_from_peak_count};
+    pub use crate::sensitivity::{c_psi_elasticities, parameter_what_if, gamma_star_elasticity, CpsiElasticities, WhatIfRow};
+    pub use crate::shrew_model::{shrew_curve, shrew_degradation, shrew_throughput};
+    pub use crate::timeout_ext::{FlowRegime, TimeoutModel};
+    pub use crate::timeseries::{mean, paa, standardize, std_dev, zero_mean};
+}

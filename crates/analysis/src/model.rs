@@ -1,0 +1,444 @@
+//! The throughput model of §2: converged window (Eq. 1), per-flow
+//! throughput under attack (Proposition 1), aggregate throughput
+//! (Lemmas 1–2), and normalized degradation (Proposition 2).
+
+use crate::params::{ParamError, VictimSet};
+
+/// Eq. (1): the congestion window a victim converges to under a
+/// fixed-period attack,
+/// `W̄ = a · T_AIMD / ((1 − b) · d · RTT)` (in segments).
+///
+/// # Examples
+///
+/// ```
+/// // TCP (a=1, b=0.5, d=2), 2 s period, 100 ms RTT: W̄ = 20 segments.
+/// let w = pdos_analysis::model::converged_window(1.0, 0.5, 2.0, 2.0, 0.1);
+/// assert!((w - 20.0).abs() < 1e-12);
+/// ```
+pub fn converged_window(a: f64, b: f64, d: f64, t_aimd: f64, rtt: f64) -> f64 {
+    a * t_aimd / ((1.0 - b) * d * rtt)
+}
+
+/// The window trajectory across attack epochs: starting from `w1`, each
+/// epoch multiplies by `b` and then additive increase restores
+/// `(a/d)·(T_AIMD/RTT)` segments before the next epoch:
+/// `W_{n+1} = b·W_n + (a/d)·(T_AIMD/RTT)`.
+///
+/// Returns the first `n` window values `W_1..W_n` (values *just before*
+/// each attack epoch).
+pub fn window_trajectory(a: f64, b: f64, d: f64, t_aimd: f64, rtt: f64, w1: f64, n: usize) -> Vec<f64> {
+    let gain_per_period = (a / d) * (t_aimd / rtt);
+    let mut w = Vec::with_capacity(n);
+    let mut cur = w1;
+    for _ in 0..n {
+        w.push(cur);
+        cur = b * cur + gain_per_period;
+    }
+    w
+}
+
+/// The minimum number of attack pulses needed to bring the window from
+/// `w1` to within `tol` (relative) of the converged value `W̄` (used as
+/// `N_attack` in Proposition 1). The paper notes fewer than 10 pulses
+/// suffice for standard TCP.
+pub fn pulses_to_converge(a: f64, b: f64, d: f64, t_aimd: f64, rtt: f64, w1: f64, tol: f64) -> usize {
+    let w_bar = converged_window(a, b, d, t_aimd, rtt);
+    let mut cur = w1;
+    let gain_per_period = (a / d) * (t_aimd / rtt);
+    for n in 1..=1000 {
+        if (cur - w_bar).abs() <= tol * w_bar.max(f64::MIN_POSITIVE) {
+            return n;
+        }
+        cur = b * cur + gain_per_period;
+    }
+    1000
+}
+
+/// Proposition 1 (Eq. 2): bytes a single victim flow delivers during an
+/// `N`-pulse attack, split into the transient phase (windows `w[0..]`
+/// still converging) and the steady sawtooth phase.
+///
+/// * `w1` — window just before the first pulse (segments).
+/// * `n_pulses` — total pulses `N`.
+/// * `tol` — relative tolerance defining convergence for `N_attack`.
+///
+/// # Panics
+///
+/// Panics if `n_pulses` is zero.
+#[allow(clippy::too_many_arguments)] // the paper's Prop. 1 parameter list
+pub fn throughput_under_attack_per_flow(
+    a: f64,
+    b: f64,
+    d: f64,
+    t_aimd: f64,
+    rtt: f64,
+    s_packet: f64,
+    w1: f64,
+    n_pulses: usize,
+    tol: f64,
+) -> f64 {
+    assert!(n_pulses > 0, "need at least one pulse");
+    let n_attack = pulses_to_converge(a, b, d, t_aimd, rtt, w1, tol).min(n_pulses);
+    let ratio = t_aimd / rtt;
+    let w = window_trajectory(a, b, d, t_aimd, rtt, w1, n_attack);
+
+    // Transient: N_attack - 1 free-of-attack intervals; during the i-th the
+    // flow sends (b·W_i + (a/2d)·ratio)·ratio packets.
+    let transient_packets: f64 = w
+        .iter()
+        .take(n_attack.saturating_sub(1))
+        .map(|wi| (b * wi + (a / (2.0 * d)) * ratio) * ratio)
+        .sum();
+
+    // Steady: each of the remaining N - N_attack periods delivers
+    // a(1+b)/(2d(1-b)) · ratio² packets.
+    let steady_per_period = a * (1.0 + b) / (2.0 * d * (1.0 - b)) * ratio * ratio;
+    let steady_packets = steady_per_period * (n_pulses - n_attack) as f64;
+
+    (transient_packets + steady_packets) * s_packet
+}
+
+/// Lemma 1 (Eq. 8): aggregate bytes the victims deliver with **no** attack
+/// over the same span — the flows saturate the bottleneck:
+/// `Ψ_normal = R_bottle · (N−1) · T_AIMD / 8`.
+pub fn psi_normal(r_bottle: f64, n_pulses: usize, t_aimd: f64) -> f64 {
+    r_bottle * (n_pulses.saturating_sub(1)) as f64 * t_aimd / 8.0
+}
+
+/// Lemma 2 (Eq. 9): aggregate bytes the victim population delivers under
+/// the attack, approximating every window by its converged value:
+/// `Ψ_attack = a(1+b)·T_AIMD²·S_packet / (2d(1−b)) · (N−1) · Σ 1/RTT_i²`.
+pub fn psi_attack(victims: &VictimSet, n_pulses: usize, t_aimd: f64) -> f64 {
+    let (a, b, d) = (victims.a(), victims.b(), victims.d());
+    a * (1.0 + b) * t_aimd * t_aimd * victims.s_packet() / (2.0 * d * (1.0 - b))
+        * (n_pulses.saturating_sub(1)) as f64
+        * victims.inv_rtt_sq_sum()
+}
+
+/// The exact aggregate of Proposition 1 across a victim population: the
+/// transient-aware counterpart of Lemma 2's Eq. (9). `w1s[i]` is flow
+/// `i`'s window just before the first pulse.
+///
+/// # Errors
+///
+/// Returns [`ParamError`] when `w1s` does not match the population size.
+///
+/// # Panics
+///
+/// Panics if `n_pulses` is zero (per Proposition 1).
+pub fn psi_attack_exact(
+    victims: &VictimSet,
+    n_pulses: usize,
+    t_aimd: f64,
+    w1s: &[f64],
+    tol: f64,
+) -> Result<f64, ParamError> {
+    if w1s.len() != victims.n_flows() {
+        return Err(ParamError::new(format!(
+            "need one initial window per flow: {} windows for {} flows",
+            w1s.len(),
+            victims.n_flows()
+        )));
+    }
+    Ok(victims
+        .rtts()
+        .iter()
+        .zip(w1s)
+        .map(|(&rtt, &w1)| {
+            throughput_under_attack_per_flow(
+                victims.a(),
+                victims.b(),
+                victims.d(),
+                t_aimd,
+                rtt,
+                victims.s_packet(),
+                w1,
+                n_pulses,
+                tol,
+            )
+        })
+        .sum())
+}
+
+/// The relative error of Lemma 2's steady-state approximation against the
+/// exact Proposition 1 aggregate: `(Ψ_exact − Ψ_approx)/Ψ_exact`.
+///
+/// Positive values mean the approximation *under*-counts the victims'
+/// throughput (it ignores the extra bytes sent while large initial
+/// windows decay) and therefore *over*-states the degradation — the
+/// paper justifies neglecting this because convergence takes under 10
+/// pulses.
+///
+/// # Errors
+///
+/// Returns [`ParamError`] when `w1s` does not match the population size.
+pub fn transient_error(
+    victims: &VictimSet,
+    n_pulses: usize,
+    t_aimd: f64,
+    w1s: &[f64],
+) -> Result<f64, ParamError> {
+    let exact = psi_attack_exact(victims, n_pulses, t_aimd, w1s, 0.02)?;
+    let approx = psi_attack(victims, n_pulses, t_aimd);
+    if exact <= 0.0 {
+        return Ok(0.0);
+    }
+    Ok((exact - approx) / exact)
+}
+
+/// Eq. (11): the retained-throughput (resilience) constant
+/// `C_Ψ = 4a(1+b)·T_extent·S_packet·C_attack / ((1−b)·d·R_bottle) · Σ 1/RTT_i²`,
+/// where `C_attack = R_attack / R_bottle`.
+///
+/// The normalized degradation then reads `Γ = 1 − C_Ψ/γ` (Prop. 2):
+/// `C_Ψ` is the share of their normal throughput the victims *retain*
+/// per unit of normalized attack rate — larger `C_Ψ` means a more
+/// resilient population.
+///
+/// # Errors
+///
+/// Returns [`ParamError`] when `t_extent` or `r_attack` is non-positive.
+pub fn c_psi(victims: &VictimSet, t_extent: f64, r_attack: f64) -> Result<f64, ParamError> {
+    if !(t_extent > 0.0 && t_extent.is_finite()) {
+        return Err(ParamError::new("T_extent must be positive"));
+    }
+    if !(r_attack > 0.0 && r_attack.is_finite()) {
+        return Err(ParamError::new("R_attack must be positive"));
+    }
+    let c_attack = r_attack / victims.r_bottle();
+    Ok(c_victim(victims) * t_extent * c_attack)
+}
+
+/// Eq. (18): the victim-population constant
+/// `C_victim = 4a(1+b)·S_packet / ((1−b)·d·R_bottle) · Σ 1/RTT_i²`
+/// (so that `C_Ψ = C_victim · T_extent · C_attack`).
+pub fn c_victim(victims: &VictimSet) -> f64 {
+    4.0 * victims.a() * (1.0 + victims.b()) * victims.s_packet()
+        / ((1.0 - victims.b()) * victims.d() * victims.r_bottle())
+        * victims.inv_rtt_sq_sum()
+}
+
+/// Proposition 2 (Eq. 10): normalized throughput degradation
+/// `Γ = 1 − C_Ψ/γ`, clamped into `[0, 1]` outside the model's domain.
+pub fn degradation(gamma: f64, c_psi: f64) -> f64 {
+    if gamma <= 0.0 {
+        return 0.0;
+    }
+    (1.0 - c_psi / gamma).clamp(0.0, 1.0)
+}
+
+/// Eq. (7): `γ = C_attack / (1 + μ)` with `μ = T_space / T_extent`.
+pub fn gamma_from_mu(c_attack: f64, mu: f64) -> f64 {
+    c_attack / (1.0 + mu)
+}
+
+/// Inverts Eq. (7): the `μ` achieving a target `γ`.
+///
+/// # Panics
+///
+/// Panics if `gamma` is non-positive.
+pub fn mu_from_gamma(c_attack: f64, gamma: f64) -> f64 {
+    assert!(gamma > 0.0, "gamma must be positive");
+    c_attack / gamma - 1.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn victims() -> VictimSet {
+        VictimSet::paper_ns2(15)
+    }
+
+    #[test]
+    fn eq1_matches_hand_computation() {
+        // a=1, b=0.5, d=2: W̄ = T/(1·RTT) = T_AIMD/RTT.
+        assert!((converged_window(1.0, 0.5, 2.0, 2.0, 0.2) - 10.0).abs() < 1e-12);
+        // Larger b (gentler decrease) -> larger converged window.
+        assert!(
+            converged_window(1.0, 0.875, 2.0, 2.0, 0.2)
+                > converged_window(1.0, 0.5, 2.0, 2.0, 0.2)
+        );
+    }
+
+    #[test]
+    fn trajectory_converges_to_eq1_fixed_point() {
+        let (a, b, d, t, rtt) = (1.0, 0.5, 2.0, 2.0, 0.1);
+        let w_bar = converged_window(a, b, d, t, rtt);
+        let w = window_trajectory(a, b, d, t, rtt, 100.0, 50);
+        assert!((w[49] - w_bar).abs() < 1e-6, "W_50 = {} vs W̄ = {}", w[49], w_bar);
+        // Fixed point is invariant.
+        let w2 = window_trajectory(a, b, d, t, rtt, w_bar, 5);
+        assert!(w2.iter().all(|wi| (wi - w_bar).abs() < 1e-9));
+    }
+
+    #[test]
+    fn convergence_takes_few_pulses_for_tcp() {
+        // The paper: fewer than 10 pulses for typical TCP.
+        let n = pulses_to_converge(1.0, 0.5, 2.0, 2.0, 0.1, 100.0, 0.05);
+        assert!(n <= 10, "took {n} pulses");
+    }
+
+    #[test]
+    fn prop1_reduces_to_steady_formula_when_started_converged() {
+        let (a, b, d, t, rtt, s) = (1.0, 0.5, 2.0, 2.0, 0.1, 1000.0);
+        let w_bar = converged_window(a, b, d, t, rtt);
+        let n = 101;
+        let psi = throughput_under_attack_per_flow(a, b, d, t, rtt, s, w_bar, n, 0.01);
+        let steady = a * (1.0 + b) / (2.0 * d * (1.0 - b)) * (t / rtt).powi(2)
+            * (n - 1) as f64
+            * s;
+        let rel = (psi - steady).abs() / steady;
+        assert!(rel < 0.02, "psi {psi} vs steady {steady}");
+    }
+
+    #[test]
+    fn prop1_transient_adds_throughput_for_large_initial_window() {
+        let (a, b, d, t, rtt, s) = (1.0, 0.5, 2.0, 2.0, 0.1, 1000.0);
+        let w_bar = converged_window(a, b, d, t, rtt);
+        let from_converged =
+            throughput_under_attack_per_flow(a, b, d, t, rtt, s, w_bar, 100, 0.01);
+        let from_large =
+            throughput_under_attack_per_flow(a, b, d, t, rtt, s, 10.0 * w_bar, 100, 0.01);
+        assert!(from_large > from_converged);
+    }
+
+    #[test]
+    fn lemma1_linear_in_pulses_and_rate() {
+        assert_eq!(psi_normal(15e6, 31, 2.0), 15e6 * 30.0 * 2.0 / 8.0);
+        assert_eq!(psi_normal(15e6, 1, 2.0), 0.0);
+    }
+
+    #[test]
+    fn lemma2_scales_with_period_squared() {
+        let v = victims();
+        let one = psi_attack(&v, 31, 1.0);
+        let two = psi_attack(&v, 31, 2.0);
+        assert!((two / one - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn prop2_consistency_gamma_formulation() {
+        // Γ computed from Eq. (10) must equal 1 - Ψ_attack/Ψ_normal when
+        // T_AIMD is chosen from γ.
+        let v = victims();
+        let (t_extent, r_attack) = (0.075, 30e6);
+        let c = c_psi(&v, t_extent, r_attack).unwrap();
+        for gamma in [0.2, 0.4, 0.6, 0.8] {
+            let t_aimd = r_attack * t_extent / (v.r_bottle() * gamma);
+            let direct = 1.0 - psi_attack(&v, 101, t_aimd) / psi_normal(v.r_bottle(), 101, t_aimd);
+            let via_c = degradation(gamma, c);
+            assert!(
+                (direct - via_c).abs() < 1e-9,
+                "gamma={gamma}: direct {direct} vs via_c {via_c}"
+            );
+        }
+    }
+
+    #[test]
+    fn c_psi_composition_matches_eq18() {
+        let v = victims();
+        let c = c_psi(&v, 0.05, 25e6).unwrap();
+        let composed = c_victim(&v) * 0.05 * (25e6 / 15e6);
+        assert!((c - composed).abs() < 1e-12);
+    }
+
+    #[test]
+    fn c_psi_rejects_bad_inputs() {
+        let v = victims();
+        assert!(c_psi(&v, 0.0, 25e6).is_err());
+        assert!(c_psi(&v, 0.05, 0.0).is_err());
+        assert!(c_psi(&v, -0.05, 25e6).is_err());
+    }
+
+    #[test]
+    fn degradation_clamps() {
+        assert_eq!(degradation(0.5, 0.1), 0.8);
+        assert_eq!(degradation(0.05, 0.1), 0.0); // C_Ψ > γ: model says no damage
+        assert_eq!(degradation(0.0, 0.1), 0.0);
+        assert_eq!(degradation(1.0, 0.0), 1.0);
+    }
+
+    #[test]
+    fn gamma_mu_roundtrip() {
+        let c_attack = 30e6 / 15e6;
+        for mu in [0.5, 1.0, 10.0, 39.0] {
+            let g = gamma_from_mu(c_attack, mu);
+            assert!((mu_from_gamma(c_attack, g) - mu).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn more_flows_increase_c_psi() {
+        let few = c_psi(&VictimSet::paper_ns2(15), 0.05, 25e6).unwrap();
+        let many = c_psi(&VictimSet::paper_ns2(45), 0.05, 25e6).unwrap();
+        assert!(many > few);
+    }
+
+    #[test]
+    fn exact_aggregate_matches_lemma2_when_started_converged() {
+        let v = victims();
+        let t_aimd = 1.5;
+        let w1s: Vec<f64> = v
+            .rtts()
+            .iter()
+            .map(|&rtt| converged_window(v.a(), v.b(), v.d(), t_aimd, rtt))
+            .collect();
+        let err = transient_error(&v, 101, t_aimd, &w1s).unwrap();
+        assert!(
+            err.abs() < 0.03,
+            "starting converged, the approximation is near-exact: {err}"
+        );
+    }
+
+    #[test]
+    fn transient_error_decays_with_pulse_count() {
+        // Starting from big pre-attack windows, the steady-state
+        // approximation under-counts the transient extra bytes; the error
+        // washes out as 1/N.
+        let v = victims();
+        let t_aimd = 1.0;
+        let w1s = vec![60.0; v.n_flows()];
+        let short = transient_error(&v, 10, t_aimd, &w1s).unwrap();
+        let long = transient_error(&v, 200, t_aimd, &w1s).unwrap();
+        assert!(short > 0.0, "short attacks under-count: {short}");
+        assert!(
+            long < short / 3.0,
+            "error must wash out with N: {short} -> {long}"
+        );
+    }
+
+    #[test]
+    fn exact_aggregate_validates_window_count() {
+        let v = victims();
+        assert!(psi_attack_exact(&v, 10, 1.0, &[10.0], 0.02).is_err());
+    }
+
+    proptest::proptest! {
+        /// Γ is non-increasing in C_Ψ and non-decreasing in γ.
+        #[test]
+        fn prop_degradation_monotone(gamma in 0.01f64..1.0, c1 in 0.0f64..1.0, c2 in 0.0f64..1.0) {
+            let (lo, hi) = if c1 <= c2 { (c1, c2) } else { (c2, c1) };
+            proptest::prop_assert!(degradation(gamma, lo) >= degradation(gamma, hi));
+            let g2 = (gamma + 0.1).min(1.0);
+            proptest::prop_assert!(degradation(g2, c1) >= degradation(gamma, c1));
+        }
+
+        /// The window trajectory is monotone toward the fixed point from
+        /// either side.
+        #[test]
+        fn prop_trajectory_monotone(w1 in 0.1f64..200.0) {
+            let (a, b, d, t, rtt) = (1.0, 0.5, 2.0, 1.0, 0.1);
+            let w_bar = converged_window(a, b, d, t, rtt);
+            let w = window_trajectory(a, b, d, t, rtt, w1, 30);
+            for pair in w.windows(2) {
+                let (x, y) = (pair[0], pair[1]);
+                if x < w_bar {
+                    proptest::prop_assert!(y >= x - 1e-12 && y <= w_bar + 1e-9);
+                } else {
+                    proptest::prop_assert!(y <= x + 1e-12 && y >= w_bar - 1e-9);
+                }
+            }
+        }
+    }
+}

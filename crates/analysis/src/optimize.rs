@@ -1,0 +1,393 @@
+//! The optimization results of §3.2: the optimal normalized rate γ*
+//! (Proposition 3, Corollaries 1–3) and the optimal duty-cycle reciprocal
+//! μ* (Proposition 4, Corollary 4).
+
+use crate::gain::{attack_gain, RiskPreference};
+use crate::model::{c_victim, mu_from_gamma};
+use crate::params::{ParamError, VictimSet};
+
+/// Proposition 3 (Eq. 13): the gain-maximizing normalized rate
+///
+/// ```text
+///        C_Ψ(1−κ) − sqrt(C_Ψ²(1−κ)² + 4κC_Ψ)
+/// γ*  =  ------------------------------------
+///                        −2κ
+/// ```
+///
+/// evaluated in the numerically stable rationalized form
+/// `γ* = 2C_Ψ / (sqrt(C_Ψ²(1−κ)² + 4κC_Ψ) + C_Ψ(1−κ))`, which also gives
+/// the right limits: κ → 0 yields 1 (Corollary 2) and κ → ∞ yields C_Ψ
+/// (Corollary 1). κ = 1 reduces to `sqrt(C_Ψ)` (Corollary 3).
+///
+/// # Panics
+///
+/// Panics if `c_psi` is outside `(0, 1)` — Proposition 2 requires it.
+///
+/// # Examples
+///
+/// ```
+/// use pdos_analysis::optimize::gamma_star;
+/// use pdos_analysis::gain::RiskPreference;
+///
+/// let g = gamma_star(0.09, RiskPreference::NEUTRAL);
+/// assert!((g - 0.3).abs() < 1e-12); // sqrt(0.09)
+/// ```
+pub fn gamma_star(c_psi: f64, risk: RiskPreference) -> f64 {
+    assert!(
+        c_psi > 0.0 && c_psi < 1.0,
+        "C_Ψ must be in (0,1), got {c_psi}"
+    );
+    let kappa = risk.kappa();
+    if kappa == 0.0 {
+        // Corollary 2's limit: the pure damage maximizer floods.
+        return 1.0;
+    }
+    let t = c_psi * (1.0 - kappa);
+    let disc = (t * t + 4.0 * kappa * c_psi).sqrt();
+    2.0 * c_psi / (disc + t)
+}
+
+/// Brute-force verification of Proposition 3: grid search of the gain over
+/// `(C_Ψ, 1)` with `n` points. Used by tests and as an independent check
+/// for exotic κ.
+pub fn gamma_star_numeric(c_psi: f64, risk: RiskPreference, n: usize) -> f64 {
+    assert!(n >= 3, "need at least 3 grid points");
+    let lo = c_psi.max(1e-9);
+    let hi = 1.0;
+    let mut best = (lo, f64::MIN);
+    for i in 0..=n {
+        let gamma = lo + (hi - lo) * i as f64 / n as f64;
+        let g = attack_gain(gamma, c_psi, risk);
+        if g > best.1 {
+            best = (gamma, g);
+        }
+    }
+    best.0
+}
+
+/// Proposition 4 (Eq. 16): the optimal `μ* = T_space/T_extent` given the
+/// pulse height ratio `C_attack = R_attack/R_bottle`:
+/// `μ* = C_attack/γ* − 1`.
+///
+/// # Panics
+///
+/// Panics if `c_psi` is outside `(0, 1)` or `c_attack` is non-positive.
+pub fn mu_optimal(c_attack: f64, c_psi: f64, risk: RiskPreference) -> f64 {
+    assert!(c_attack > 0.0, "C_attack must be positive");
+    mu_from_gamma(c_attack, gamma_star(c_psi, risk))
+}
+
+/// Corollary 4 (Eq. 17): for a risk-neutral attacker,
+/// `μ* = sqrt(C_attack / (T_extent · C_victim)) − 1`.
+///
+/// # Errors
+///
+/// Returns [`ParamError`] when `t_extent` or `r_attack` is non-positive.
+pub fn mu_optimal_neutral(
+    victims: &VictimSet,
+    t_extent: f64,
+    r_attack: f64,
+) -> Result<f64, ParamError> {
+    if !(t_extent > 0.0 && t_extent.is_finite()) {
+        return Err(ParamError::new("T_extent must be positive"));
+    }
+    if !(r_attack > 0.0 && r_attack.is_finite()) {
+        return Err(ParamError::new("R_attack must be positive"));
+    }
+    let c_attack = r_attack / victims.r_bottle();
+    Ok((c_attack / (t_extent * c_victim(victims))).sqrt() - 1.0)
+}
+
+/// A fully solved optimal attack: the γ*, the μ*, the implied period and
+/// the predicted gain, bundled for reporting.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OptimalAttack {
+    /// The optimal normalized average rate.
+    pub gamma_star: f64,
+    /// The optimal `T_space/T_extent`.
+    pub mu_star: f64,
+    /// The implied attack period `T_AIMD = (1 + μ*)·T_extent`, seconds.
+    pub period: f64,
+    /// The analytical gain at the optimum.
+    pub gain: f64,
+    /// The analytical degradation Γ at the optimum.
+    pub degradation: f64,
+}
+
+/// Solves the full §3.2 problem for a concrete victim set, pulse width and
+/// pulse rate.
+///
+/// # Errors
+///
+/// Returns [`ParamError`] when the parameters leave the model's domain
+/// (including `C_Ψ >= 1`, where no damaging-yet-stealthy attack exists).
+pub fn solve(
+    victims: &VictimSet,
+    t_extent: f64,
+    r_attack: f64,
+    risk: RiskPreference,
+) -> Result<OptimalAttack, ParamError> {
+    let c_psi = crate::model::c_psi(victims, t_extent, r_attack)?;
+    if c_psi >= 1.0 {
+        return Err(ParamError::new(format!(
+            "C_Ψ = {c_psi:.4} >= 1: the model predicts no feasible gain for these parameters"
+        )));
+    }
+    let c_attack = r_attack / victims.r_bottle();
+    let gs = gamma_star(c_psi, risk);
+    let mu = mu_from_gamma(c_attack, gs);
+    Ok(OptimalAttack {
+        gamma_star: gs,
+        mu_star: mu,
+        period: (1.0 + mu) * t_extent,
+        gain: attack_gain(gs, c_psi, risk),
+        degradation: crate::model::degradation(gs, c_psi),
+    })
+}
+
+/// The damage dial of the paper's introduction: PDoS "can cause
+/// different levels of damage, ranging from degradation-of-service to
+/// absolute denial-of-service". Given a *target* degradation, this
+/// returns the quietest attack achieving it and the exposure it costs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DamagePlan {
+    /// The minimal normalized average rate achieving the target
+    /// (`γ = C_Ψ/(1 − Γ_target)`, from inverting Prop. 2).
+    pub gamma: f64,
+    /// The pulse spacing `μ = T_space/T_extent` realizing that γ.
+    pub mu: f64,
+    /// The implied attack period, seconds.
+    pub period: f64,
+    /// The risk factor `(1 − γ)^κ` the attacker pays at this point — the
+    /// exposure cost of the chosen damage level.
+    pub exposure_factor: f64,
+}
+
+/// Solves the minimum-rate attack reaching `target_degradation` against
+/// `victims` with pulses of `(t_extent, r_attack)` shape, reporting the
+/// exposure a κ-attacker perceives there.
+///
+/// # Errors
+///
+/// Returns [`ParamError`] when the parameters leave the model's domain or
+/// the target is infeasible for this pulse height
+/// (`γ` would exceed `C_attack` — the attacker cannot pulse hard enough).
+pub fn plan_for_degradation(
+    victims: &VictimSet,
+    t_extent: f64,
+    r_attack: f64,
+    target_degradation: f64,
+    risk: RiskPreference,
+) -> Result<DamagePlan, ParamError> {
+    if !(0.0 < target_degradation && target_degradation < 1.0) {
+        return Err(ParamError::new(format!(
+            "target degradation must be in (0,1), got {target_degradation}"
+        )));
+    }
+    let c = crate::model::c_psi(victims, t_extent, r_attack)?;
+    let gamma = c / (1.0 - target_degradation);
+    if gamma >= 1.0 {
+        return Err(ParamError::new(format!(
+            "target degradation {target_degradation} needs gamma = {gamma:.3} >= 1:              only a flood reaches it with these victims"
+        )));
+    }
+    let c_attack = r_attack / victims.r_bottle();
+    if gamma > c_attack {
+        return Err(ParamError::new(format!(
+            "gamma = {gamma:.3} exceeds C_attack = {c_attack:.3}: raise R_attack"
+        )));
+    }
+    let mu = mu_from_gamma(c_attack, gamma);
+    Ok(DamagePlan {
+        gamma,
+        mu,
+        period: (1.0 + mu) * t_extent,
+        exposure_factor: risk.factor(gamma),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn risk(kappa: f64) -> RiskPreference {
+        RiskPreference::new(kappa).unwrap()
+    }
+
+    #[test]
+    fn corollary3_neutral_is_sqrt() {
+        for c in [0.01, 0.09, 0.25, 0.5, 0.81] {
+            assert!((gamma_star(c, RiskPreference::NEUTRAL) - c.sqrt()).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn corollary1_averse_limit_is_c_psi() {
+        let c = 0.2;
+        let g = gamma_star(c, risk(1e6));
+        assert!((g - c).abs() < 1e-3, "κ→∞ limit: got {g}, want {c}");
+        // Monotone: more averse -> closer to C_Ψ.
+        assert!(gamma_star(c, risk(10.0)) < gamma_star(c, risk(2.0)));
+    }
+
+    #[test]
+    fn corollary2_loving_limit_is_one() {
+        let c = 0.2;
+        assert_eq!(gamma_star(c, risk(0.0)), 1.0);
+        let g = gamma_star(c, risk(1e-9));
+        assert!((g - 1.0).abs() < 1e-6, "κ→0 limit: got {g}");
+        // Monotone: more loving -> closer to 1.
+        assert!(gamma_star(c, risk(0.1)) > gamma_star(c, risk(0.5)));
+    }
+
+    #[test]
+    fn gamma_star_strictly_inside_feasible_interval() {
+        for c in [0.05, 0.2, 0.5, 0.9] {
+            for k in [0.25, 0.5, 1.0, 2.0, 8.0] {
+                let g = gamma_star(c, risk(k));
+                assert!(g > c && g < 1.0, "C_Ψ={c} κ={k}: γ*={g} outside ({c},1)");
+            }
+        }
+    }
+
+    #[test]
+    fn closed_form_matches_grid_search() {
+        for c in [0.05, 0.15, 0.4] {
+            for k in [0.3, 1.0, 3.0] {
+                let exact = gamma_star(c, risk(k));
+                let grid = gamma_star_numeric(c, risk(k), 100_000);
+                assert!(
+                    (exact - grid).abs() < 1e-4,
+                    "C_Ψ={c} κ={k}: closed {exact} vs grid {grid}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "C_Ψ must be in (0,1)")]
+    fn gamma_star_rejects_large_c_psi() {
+        gamma_star(1.2, RiskPreference::NEUTRAL);
+    }
+
+    #[test]
+    fn mu_optimal_matches_corollary4_when_neutral() {
+        let v = VictimSet::paper_ns2(25);
+        let (t_extent, r_attack) = (0.075, 30e6);
+        let c_psi = crate::model::c_psi(&v, t_extent, r_attack).unwrap();
+        let via_eq16 = mu_optimal(r_attack / v.r_bottle(), c_psi, RiskPreference::NEUTRAL);
+        let via_eq17 = mu_optimal_neutral(&v, t_extent, r_attack).unwrap();
+        assert!(
+            (via_eq16 - via_eq17).abs() < 1e-9,
+            "Eq16 {via_eq16} vs Eq17 {via_eq17}"
+        );
+    }
+
+    #[test]
+    fn mu_optimal_neutral_validates() {
+        let v = VictimSet::paper_ns2(25);
+        assert!(mu_optimal_neutral(&v, 0.0, 30e6).is_err());
+        assert!(mu_optimal_neutral(&v, 0.075, -1.0).is_err());
+    }
+
+    #[test]
+    fn solve_bundles_consistent_results() {
+        let v = VictimSet::paper_ns2(25);
+        let sol = solve(&v, 0.075, 30e6, RiskPreference::NEUTRAL).unwrap();
+        // Period consistency: γ* from the period must round-trip.
+        let c_attack = 30e6 / v.r_bottle();
+        let gamma_from_period = c_attack * 0.075 / sol.period;
+        assert!((gamma_from_period - sol.gamma_star).abs() < 1e-9);
+        assert!(sol.gain > 0.0 && sol.gain < 1.0);
+        assert!(sol.degradation > 0.0 && sol.degradation <= 1.0);
+        assert!(sol.mu_star > 0.0);
+    }
+
+    #[test]
+    fn solve_rejects_hopeless_parameters() {
+        // A single-flow 1 Mbps "bottleneck" with a tiny RTT makes C_Ψ huge.
+        let v = VictimSet::new(1.0, 0.5, 2.0, 1500.0, 1e6, vec![0.001]).unwrap();
+        assert!(solve(&v, 0.5, 10e6, RiskPreference::NEUTRAL).is_err());
+    }
+
+    #[test]
+    fn risk_aversion_lowers_gamma_and_lengthens_period() {
+        let v = VictimSet::paper_ns2(25);
+        let neutral = solve(&v, 0.075, 30e6, RiskPreference::NEUTRAL).unwrap();
+        let averse = solve(&v, 0.075, 30e6, risk(4.0)).unwrap();
+        assert!(averse.gamma_star < neutral.gamma_star);
+        assert!(averse.period > neutral.period);
+    }
+
+    #[test]
+    fn damage_plan_inverts_prop2() {
+        let v = VictimSet::paper_ns2(25);
+        let (t_extent, r_attack) = (0.075, 30e6);
+        // C_Ψ = 0.252 here, so Γ = 0.5 needs γ ≈ 0.5 — comfortably feasible.
+        let plan =
+            plan_for_degradation(&v, t_extent, r_attack, 0.5, RiskPreference::NEUTRAL).unwrap();
+        // Plugging the plan's γ back into Prop. 2 returns the target.
+        let c = crate::model::c_psi(&v, t_extent, r_attack).unwrap();
+        let gamma_check = crate::model::degradation(plan.gamma, c);
+        assert!((gamma_check - 0.5).abs() < 1e-9);
+        // Period consistency with Eq. (7).
+        let gamma_from_period = (r_attack / v.r_bottle()) * t_extent / plan.period;
+        assert!((gamma_from_period - plan.gamma).abs() < 1e-9);
+        assert!(plan.exposure_factor > 0.0 && plan.exposure_factor < 1.0);
+    }
+
+    #[test]
+    fn more_damage_costs_more_exposure() {
+        let v = VictimSet::paper_ns2(25);
+        let plan = |target: f64| {
+            plan_for_degradation(&v, 0.075, 30e6, target, RiskPreference::NEUTRAL).unwrap()
+        };
+        let mild = plan(0.3);
+        let severe = plan(0.6);
+        assert!(severe.gamma > mild.gamma);
+        assert!(severe.exposure_factor < mild.exposure_factor);
+        assert!(severe.period < mild.period, "more damage = tighter pulses");
+    }
+
+    #[test]
+    fn infeasible_damage_targets_rejected() {
+        let v = VictimSet::paper_ns2(25);
+        // Γ -> 1 requires flooding (here already Γ = 0.8 needs γ > 1).
+        assert!(
+            plan_for_degradation(&v, 0.075, 30e6, 0.8, RiskPreference::NEUTRAL).is_err()
+        );
+        // Degenerate targets rejected outright.
+        assert!(plan_for_degradation(&v, 0.075, 30e6, 0.0, RiskPreference::NEUTRAL).is_err());
+        assert!(plan_for_degradation(&v, 0.075, 30e6, 1.0, RiskPreference::NEUTRAL).is_err());
+        // A sub-capacity pulse (R_attack < R_bottle, C_attack = 2/3) hits
+        // the duty-cycle ceiling before γ reaches 1.
+        let weak = plan_for_degradation(&v, 0.030, 10e6, 0.96, RiskPreference::NEUTRAL);
+        let msg = weak.unwrap_err().to_string();
+        assert!(msg.contains("C_attack"), "{msg}");
+    }
+
+    proptest::proptest! {
+        /// γ* is a stationary point: gain at γ* beats gain at nearby points.
+        #[test]
+        fn prop_gamma_star_is_local_max(c in 0.02f64..0.9, k in 0.05f64..6.0) {
+            let r = risk(k);
+            let gs = gamma_star(c, r);
+            let g0 = attack_gain(gs, c, r);
+            for eps in [1e-3, 5e-3] {
+                let left = (gs - eps).max(c + 1e-9);
+                let right = (gs + eps).min(1.0);
+                proptest::prop_assert!(attack_gain(left, c, r) <= g0 + 1e-12);
+                proptest::prop_assert!(attack_gain(right, c, r) <= g0 + 1e-12);
+            }
+        }
+
+        /// μ* inverts back to γ* through Eq. (7).
+        #[test]
+        fn prop_mu_gamma_consistency(c in 0.02f64..0.9, k in 0.1f64..5.0, c_attack in 1.0f64..10.0) {
+            let r = risk(k);
+            let mu = mu_optimal(c_attack, c, r);
+            let gamma = crate::model::gamma_from_mu(c_attack, mu);
+            proptest::prop_assert!((gamma - gamma_star(c, r)).abs() < 1e-9);
+        }
+    }
+}

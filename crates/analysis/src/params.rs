@@ -1,0 +1,236 @@
+//! Input parameters of the analytical model.
+//!
+//! The analysis crate is deliberately dependency-free pure math: rates are
+//! plain `f64` bits-per-second, times are `f64` seconds, sizes are `f64`
+//! bytes — exactly the units the paper's equations use. The `scenarios`
+//! crate bridges these to the typed simulator quantities.
+
+use std::error::Error;
+use std::fmt;
+
+/// A violation of the model's parameter domain.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParamError(String);
+
+impl fmt::Display for ParamError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid model parameter: {}", self.0)
+    }
+}
+
+impl Error for ParamError {}
+
+impl ParamError {
+    pub(crate) fn new(msg: impl Into<String>) -> Self {
+        ParamError(msg.into())
+    }
+}
+
+/// The victim population and protocol constants entering Eq. (9)–(11):
+/// `AIMD(a, b)` senders with delayed-ACK factor `d`, packet size
+/// `S_packet`, sharing a bottleneck of capacity `R_bottle`, one RTT per
+/// victim flow.
+///
+/// # Examples
+///
+/// ```
+/// use pdos_analysis::params::VictimSet;
+///
+/// // The paper's ns-2 setting: 15 NewReno flows, RTTs spread over
+/// // 20..460 ms, 1000-byte packets, 15 Mbps bottleneck.
+/// let victims = VictimSet::paper_ns2(15);
+/// assert_eq!(victims.n_flows(), 15);
+/// assert!((victims.rtts()[0] - 0.020).abs() < 1e-12);
+/// assert!((victims.rtts()[14] - 0.460).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct VictimSet {
+    a: f64,
+    b: f64,
+    d: f64,
+    s_packet: f64,
+    r_bottle: f64,
+    rtts: Vec<f64>,
+}
+
+impl VictimSet {
+    /// Creates a validated victim set.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParamError`] when `a <= 0`, `b` is outside `(0,1)`,
+    /// `d < 1`, sizes/rates are non-positive, or any RTT is non-positive.
+    pub fn new(
+        a: f64,
+        b: f64,
+        d: f64,
+        s_packet: f64,
+        r_bottle: f64,
+        rtts: Vec<f64>,
+    ) -> Result<Self, ParamError> {
+        if !(a > 0.0 && a.is_finite()) {
+            return Err(ParamError::new(format!("AIMD a must be positive, got {a}")));
+        }
+        if !(b > 0.0 && b < 1.0) {
+            return Err(ParamError::new(format!("AIMD b must be in (0,1), got {b}")));
+        }
+        if !(d >= 1.0 && d.is_finite()) {
+            return Err(ParamError::new(format!(
+                "delayed-ACK factor d must be >= 1, got {d}"
+            )));
+        }
+        if !(s_packet > 0.0 && s_packet.is_finite()) {
+            return Err(ParamError::new("packet size must be positive"));
+        }
+        if !(r_bottle > 0.0 && r_bottle.is_finite()) {
+            return Err(ParamError::new("bottleneck rate must be positive"));
+        }
+        if rtts.is_empty() {
+            return Err(ParamError::new("at least one victim flow required"));
+        }
+        if rtts.iter().any(|&r| !(r > 0.0 && r.is_finite())) {
+            return Err(ParamError::new("all RTTs must be positive"));
+        }
+        Ok(VictimSet {
+            a,
+            b,
+            d,
+            s_packet,
+            r_bottle,
+            rtts,
+        })
+    }
+
+    /// The paper's ns-2 population (§4.1): `n` TCP NewReno flows
+    /// (`AIMD(1, 0.5)`, `d = 2`), 1000-byte packets, 15 Mbps bottleneck,
+    /// RTTs evenly spread over 20–460 ms.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn paper_ns2(n: usize) -> Self {
+        assert!(n > 0, "need at least one victim flow");
+        let rtts = spread_rtts(n, 0.020, 0.460);
+        VictimSet::new(1.0, 0.5, 2.0, 1000.0, 15e6, rtts)
+            .expect("paper parameters are valid by construction")
+    }
+
+    /// The paper's test-bed population (§4.2): 10 flows through a 10 Mbps
+    /// Dummynet bottleneck with 150 ms one-way delay (RTT ≈ 300 ms).
+    pub fn paper_testbed() -> Self {
+        VictimSet::new(1.0, 0.5, 2.0, 1000.0, 10e6, vec![0.300; 10])
+            .expect("paper parameters are valid by construction")
+    }
+
+    /// AIMD additive increase `a` (segments per RTT).
+    pub fn a(&self) -> f64 {
+        self.a
+    }
+
+    /// AIMD multiplicative decrease `b`.
+    pub fn b(&self) -> f64 {
+        self.b
+    }
+
+    /// Delayed-ACK factor `d`.
+    pub fn d(&self) -> f64 {
+        self.d
+    }
+
+    /// Packet size in bytes.
+    pub fn s_packet(&self) -> f64 {
+        self.s_packet
+    }
+
+    /// Bottleneck capacity in bits per second.
+    pub fn r_bottle(&self) -> f64 {
+        self.r_bottle
+    }
+
+    /// Per-flow round-trip times, in seconds.
+    pub fn rtts(&self) -> &[f64] {
+        &self.rtts
+    }
+
+    /// Number of victim flows.
+    pub fn n_flows(&self) -> usize {
+        self.rtts.len()
+    }
+
+    /// `Σ 1/RTT_i²`, the victim-population weight in Eq. (9)/(11)/(18).
+    pub fn inv_rtt_sq_sum(&self) -> f64 {
+        self.rtts.iter().map(|r| 1.0 / (r * r)).sum()
+    }
+}
+
+/// Evenly spreads `n` RTTs over `[lo, hi]` seconds (inclusive endpoints;
+/// a single flow gets `lo`).
+///
+/// # Panics
+///
+/// Panics if `n` is zero or `lo > hi`.
+pub fn spread_rtts(n: usize, lo: f64, hi: f64) -> Vec<f64> {
+    assert!(n > 0, "need at least one RTT");
+    assert!(lo <= hi, "RTT range inverted");
+    if n == 1 {
+        return vec![lo];
+    }
+    (0..n)
+        .map(|i| lo + (hi - lo) * i as f64 / (n - 1) as f64)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_presets_valid() {
+        let v = VictimSet::paper_ns2(25);
+        assert_eq!(v.n_flows(), 25);
+        assert_eq!(v.a(), 1.0);
+        assert_eq!(v.b(), 0.5);
+        assert_eq!(v.d(), 2.0);
+        assert_eq!(v.s_packet(), 1000.0);
+        assert_eq!(v.r_bottle(), 15e6);
+        let tb = VictimSet::paper_testbed();
+        assert_eq!(tb.n_flows(), 10);
+        assert_eq!(tb.r_bottle(), 10e6);
+    }
+
+    #[test]
+    fn rtt_spread_endpoints() {
+        let r = spread_rtts(15, 0.020, 0.460);
+        assert_eq!(r.len(), 15);
+        assert!((r[0] - 0.020).abs() < 1e-12);
+        assert!((r[14] - 0.460).abs() < 1e-12);
+        assert!(r.windows(2).all(|w| w[1] > w[0]));
+        assert_eq!(spread_rtts(1, 0.1, 0.2), vec![0.1]);
+    }
+
+    #[test]
+    fn inv_rtt_sq_sum_matches_manual() {
+        let v = VictimSet::new(1.0, 0.5, 2.0, 1000.0, 15e6, vec![0.1, 0.2]).unwrap();
+        let expected = 1.0 / 0.01 + 1.0 / 0.04;
+        assert!((v.inv_rtt_sq_sum() - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn validation_rejects_bad_domains() {
+        let ok = |a, b, d, s, r, rt: Vec<f64>| VictimSet::new(a, b, d, s, r, rt);
+        assert!(ok(0.0, 0.5, 2.0, 1e3, 1e6, vec![0.1]).is_err());
+        assert!(ok(1.0, 1.0, 2.0, 1e3, 1e6, vec![0.1]).is_err());
+        assert!(ok(1.0, 0.5, 0.5, 1e3, 1e6, vec![0.1]).is_err());
+        assert!(ok(1.0, 0.5, 2.0, 0.0, 1e6, vec![0.1]).is_err());
+        assert!(ok(1.0, 0.5, 2.0, 1e3, 0.0, vec![0.1]).is_err());
+        assert!(ok(1.0, 0.5, 2.0, 1e3, 1e6, vec![]).is_err());
+        assert!(ok(1.0, 0.5, 2.0, 1e3, 1e6, vec![-0.1]).is_err());
+        assert!(ok(1.0, 0.5, 2.0, 1e3, 1e6, vec![0.1]).is_ok());
+    }
+
+    #[test]
+    fn error_display() {
+        let e = VictimSet::new(0.0, 0.5, 2.0, 1e3, 1e6, vec![0.1]).unwrap_err();
+        assert!(e.to_string().contains("invalid model parameter"));
+    }
+}

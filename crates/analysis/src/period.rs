@@ -1,0 +1,168 @@
+//! Periodicity detection for the quasi-global synchronization analysis
+//! (§2.3): the paper counts "pinnacles" in the incoming-traffic series and
+//! divides the observation window by their number; we additionally confirm
+//! the period with the autocorrelation function.
+
+use crate::timeseries::{mean, std_dev};
+
+/// The (biased, normalized) autocorrelation of `series` at integer `lag`.
+///
+/// Returns 0 for degenerate inputs (lag out of range, constant series).
+pub fn autocorrelation(series: &[f64], lag: usize) -> f64 {
+    let n = series.len();
+    if lag >= n {
+        return 0.0;
+    }
+    let m = mean(series);
+    let denom: f64 = series.iter().map(|x| (x - m) * (x - m)).sum();
+    if denom == 0.0 {
+        return 0.0;
+    }
+    let num: f64 = (0..n - lag)
+        .map(|i| (series[i] - m) * (series[i + lag] - m))
+        .sum();
+    num / denom
+}
+
+/// Finds the dominant period of `series` by locating the lag with the
+/// highest autocorrelation in `[min_lag, max_lag]`.
+///
+/// Returns `None` for degenerate inputs (empty/constant series, empty lag
+/// range) or when no lag shows positive correlation.
+///
+/// # Examples
+///
+/// ```
+/// // A clean square wave with period 10.
+/// let s: Vec<f64> = (0..200).map(|i| if i % 10 == 0 { 1.0 } else { 0.0 }).collect();
+/// assert_eq!(pdos_analysis::period::dominant_lag(&s, 2, 50), Some(10));
+/// ```
+pub fn dominant_lag(series: &[f64], min_lag: usize, max_lag: usize) -> Option<usize> {
+    if series.is_empty() || min_lag > max_lag || min_lag == 0 {
+        return None;
+    }
+    let max_lag = max_lag.min(series.len().saturating_sub(1));
+    let mut best: Option<(usize, f64)> = None;
+    for lag in min_lag..=max_lag {
+        let r = autocorrelation(series, lag);
+        if r > best.map_or(0.0, |(_, b)| b) {
+            best = Some((lag, r));
+        }
+    }
+    best.map(|(lag, _)| lag)
+}
+
+/// Counts the "pinnacles" of §2.3: local maxima exceeding
+/// `mean + threshold_sigmas · stddev`, separated by at least `min_gap`
+/// samples (so one pulse doesn't count twice).
+pub fn count_peaks(series: &[f64], threshold_sigmas: f64, min_gap: usize) -> usize {
+    if series.len() < 3 {
+        return 0;
+    }
+    let cut = mean(series) + threshold_sigmas * std_dev(series);
+    let mut peaks = 0usize;
+    let mut last_peak: Option<usize> = None;
+    for i in 1..series.len() - 1 {
+        let is_peak = series[i] > cut && series[i] >= series[i - 1] && series[i] >= series[i + 1];
+        if is_peak {
+            let far_enough = last_peak.is_none_or(|p| i - p >= min_gap.max(1));
+            if far_enough {
+                peaks += 1;
+                last_peak = Some(i);
+            }
+        }
+    }
+    peaks
+}
+
+/// The paper's Fig. 3 measurement: given the observation window length in
+/// seconds and the peak count, the inferred period (`60 s / 30 peaks = 2 s`
+/// in Fig. 3(a)). Returns `None` when no peaks were found.
+pub fn period_from_peak_count(window_secs: f64, peaks: usize) -> Option<f64> {
+    if peaks == 0 {
+        None
+    } else {
+        Some(window_secs / peaks as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pulse_train(period: usize, width: usize, cycles: usize) -> Vec<f64> {
+        let mut s = vec![0.0; period * cycles];
+        for c in 0..cycles {
+            for w in 0..width {
+                s[c * period + w] = 10.0;
+            }
+        }
+        s
+    }
+
+    #[test]
+    fn autocorrelation_basics() {
+        let s = pulse_train(8, 1, 10);
+        assert!((autocorrelation(&s, 0) - 1.0).abs() < 1e-12);
+        assert!(autocorrelation(&s, 8) > autocorrelation(&s, 3));
+        assert_eq!(autocorrelation(&s, 1000), 0.0);
+        assert_eq!(autocorrelation(&[1.0, 1.0, 1.0], 1), 0.0);
+    }
+
+    #[test]
+    fn dominant_lag_finds_pulse_period() {
+        let s = pulse_train(40, 3, 12);
+        assert_eq!(dominant_lag(&s, 5, 100), Some(40));
+    }
+
+    #[test]
+    fn dominant_lag_degenerate_inputs() {
+        assert_eq!(dominant_lag(&[], 1, 10), None);
+        assert_eq!(dominant_lag(&[1.0; 50], 1, 10), None);
+        assert_eq!(dominant_lag(&[1.0, 2.0], 0, 10), None);
+        assert_eq!(dominant_lag(&[1.0, 2.0], 5, 2), None);
+    }
+
+    #[test]
+    fn peak_count_matches_cycles() {
+        let s = pulse_train(50, 2, 24);
+        assert_eq!(count_peaks(&s, 1.0, 10), 24);
+    }
+
+    #[test]
+    fn min_gap_merges_ringing() {
+        // Twin spikes 2 samples apart should count once with min_gap 5.
+        let mut s = vec![0.0; 100];
+        for base in [10, 40, 70] {
+            s[base] = 10.0;
+            s[base + 2] = 10.0;
+        }
+        assert_eq!(count_peaks(&s, 1.0, 5), 3);
+        assert_eq!(count_peaks(&s, 1.0, 1), 6);
+    }
+
+    #[test]
+    fn fig3_period_arithmetic() {
+        // Fig. 3(a): 30 pinnacles in 60 s -> 2 s.
+        assert_eq!(period_from_peak_count(60.0, 30), Some(2.0));
+        // Fig. 3(b): 24 pinnacles in 60 s -> 2.5 s.
+        assert_eq!(period_from_peak_count(60.0, 24), Some(2.5));
+        assert_eq!(period_from_peak_count(60.0, 0), None);
+    }
+
+    #[test]
+    fn short_series_has_no_peaks() {
+        assert_eq!(count_peaks(&[1.0, 2.0], 0.5, 1), 0);
+    }
+
+    proptest::proptest! {
+        /// The dominant lag of a synthetic pulse train equals its period
+        /// whenever the search range contains it.
+        #[test]
+        fn prop_dominant_lag_recovers_period(period in 5usize..60, width in 1usize..4) {
+            let s = pulse_train(period, width.min(period - 1), 10);
+            let got = dominant_lag(&s, 2, period * 2);
+            proptest::prop_assert_eq!(got, Some(period));
+        }
+    }
+}

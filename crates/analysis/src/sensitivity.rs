@@ -1,0 +1,238 @@
+//! Sensitivity analysis of the gain model: how the attacker's optimum
+//! moves when the victims' parameters change.
+//!
+//! Orientation: Prop. 2 reads `Ψ_attack/Ψ_normal = C_Ψ/γ`, so `C_Ψ` is
+//! the victims' **retained-throughput (resilience) constant** — the share
+//! of their normal throughput they keep per unit of normalized attack
+//! rate. Consequences for the optimizing attacker:
+//!
+//! * `γ* = sqrt(C_Ψ)` (neutral): resilient victims force a **louder**
+//!   attack — good for a defender relying on rate-based detection;
+//! * the best achievable gain `G* = (1 − sqrt(C_Ψ))²` **falls** as `C_Ψ`
+//!   grows.
+//!
+//! So a defender wants `C_Ψ` large. The elasticities below say which
+//! parameter moves it how much — including the counter-intuitive entries
+//! (e.g. doubling bottleneck capacity *lowers* `C_Ψ`, diluting the
+//! attacker's footprint and raising their normalized gain, even though
+//! the victims' absolute throughput under attack is unchanged).
+
+use crate::gain::RiskPreference;
+use crate::model::c_psi;
+use crate::optimize::gamma_star;
+use crate::params::{ParamError, VictimSet};
+
+/// The elasticity `d ln γ* / d ln C_Ψ` at `(c_psi, κ)`, computed by a
+/// central difference in log space.
+///
+/// For κ = 1 this is exactly `1/2` (Corollary 3); it approaches 1 for a
+/// very risk-averse attacker (γ* tracks C_Ψ, Corollary 1) and 0 for a
+/// risk-loving one (γ* pinned near 1, Corollary 2).
+///
+/// # Panics
+///
+/// Panics if `c_psi` is outside `(0, 1)`.
+pub fn gamma_star_elasticity(c_psi: f64, risk: RiskPreference) -> f64 {
+    assert!(c_psi > 0.0 && c_psi < 1.0, "C_Ψ must be in (0,1)");
+    let h = 1e-4;
+    let up = (c_psi * (1.0 + h)).min(1.0 - 1e-12);
+    let down = c_psi * (1.0 - h);
+    let g_up = gamma_star(up, risk).ln();
+    let g_down = gamma_star(down, risk).ln();
+    (g_up - g_down) / (up.ln() - down.ln())
+}
+
+/// Exact per-parameter elasticities of `C_Ψ` (from Eq. 11's algebraic
+/// form `C_Ψ ∝ a·(1+b)/((1−b)·d) · S·T_extent·R_attack/R_bottle² · Σ1/RTT²`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CpsiElasticities {
+    /// `d ln C_Ψ / d ln a` = 1: faster additive increase means faster
+    /// recovery between pulses — more resilience.
+    pub a: f64,
+    /// `d ln C_Ψ / d ln d` = −1: delayed ACKs slow recovery.
+    pub d: f64,
+    /// `d ln C_Ψ / d ln R_bottle` = −2 (once directly, once through
+    /// `C_attack`).
+    pub r_bottle: f64,
+    /// `d ln C_Ψ / d ln b` at the operating point (through `(1+b)/(1−b)`).
+    pub b: f64,
+}
+
+/// Exact elasticities of Eq. (11) at the victim set's parameters.
+pub fn c_psi_elasticities(victims: &VictimSet) -> CpsiElasticities {
+    let b = victims.b();
+    CpsiElasticities {
+        a: 1.0,
+        d: -1.0,
+        r_bottle: -2.0,
+        // d/db ln[(1+b)/(1-b)] = 1/(1+b) + 1/(1-b), times b for elasticity.
+        b: b * (1.0 / (1.0 + b) + 1.0 / (1.0 - b)),
+    }
+}
+
+/// A row of the parameter what-if table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WhatIfRow {
+    /// Human-readable label of the change.
+    pub change: String,
+    /// The resilience constant after the change.
+    pub c_psi: f64,
+    /// The risk-neutral attacker's optimal normalized rate, `sqrt(C_Ψ)`.
+    pub gamma_star: f64,
+    /// The attacker's best achievable gain, `(1 − sqrt(C_Ψ))²`
+    /// (`NaN` when `C_Ψ` leaves `(0, 1)`).
+    pub g_star: f64,
+}
+
+/// Builds a what-if table for a victim population facing a
+/// `(T_extent, R_attack)` attacker. Rows are descriptive, not
+/// prescriptions — note that "double the capacity" *helps* the
+/// normalized attack even though it doubles the victims' no-attack
+/// throughput, while adding short-RTT flows (whose `1/RTT²` dominates
+/// `Σ`) *hurts* it.
+///
+/// # Errors
+///
+/// Returns [`ParamError`] when the base parameters leave the model
+/// domain.
+pub fn parameter_what_if(
+    victims: &VictimSet,
+    t_extent: f64,
+    r_attack: f64,
+) -> Result<Vec<WhatIfRow>, ParamError> {
+    let base_c = c_psi(victims, t_extent, r_attack)?;
+    let row = |label: &str, c: f64| {
+        let (gs, g_star) = if c > 0.0 && c < 1.0 {
+            let gs = gamma_star(c, RiskPreference::NEUTRAL);
+            (gs, (1.0 - gs) * (1.0 - gs))
+        } else {
+            (f64::NAN, f64::NAN)
+        };
+        WhatIfRow {
+            change: label.to_string(),
+            c_psi: c,
+            gamma_star: gs,
+            g_star,
+        }
+    };
+
+    // Doubling R_bottle scales C_Ψ by 1/4 (elasticity −2).
+    let double_capacity = base_c / 4.0;
+    // Doubling the flow count by cloning the population doubles Σ1/RTT².
+    let double_flows = base_c * 2.0;
+    // Doubling d halves C_Ψ.
+    let double_delack = base_c / 2.0;
+    // Removing the shortest-RTT half of the flows: recompute the sum.
+    let mut rtts = victims.rtts().to_vec();
+    rtts.sort_by(|x, y| x.partial_cmp(y).expect("finite RTTs"));
+    let survivors = rtts.split_off(rtts.len() / 2);
+    let pruned = VictimSet::new(
+        victims.a(),
+        victims.b(),
+        victims.d(),
+        victims.s_packet(),
+        victims.r_bottle(),
+        survivors,
+    )?;
+    let shed_short_rtt = c_psi(&pruned, t_extent, r_attack)?;
+
+    Ok(vec![
+        row("baseline", base_c),
+        row("double bottleneck capacity", double_capacity),
+        row("double the victim flow count", double_flows),
+        row("move short-RTT flows off the bottleneck", shed_short_rtt),
+        row("delayed-ACK factor 2 -> 4", double_delack),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn neutral_elasticity_is_one_half() {
+        for c in [0.05, 0.2, 0.7] {
+            let e = gamma_star_elasticity(c, RiskPreference::NEUTRAL);
+            assert!((e - 0.5).abs() < 1e-6, "C={c}: {e}");
+        }
+    }
+
+    #[test]
+    fn elasticity_orders_with_risk_appetite() {
+        let c = 0.2;
+        let averse = gamma_star_elasticity(c, RiskPreference::new(20.0).unwrap());
+        let neutral = gamma_star_elasticity(c, RiskPreference::NEUTRAL);
+        let loving = gamma_star_elasticity(c, RiskPreference::new(0.05).unwrap());
+        assert!(
+            loving < neutral && neutral < averse,
+            "loving {loving} < neutral {neutral} < averse {averse}"
+        );
+        assert!(averse <= 1.0 + 1e-6);
+        assert!(loving >= -1e-6);
+    }
+
+    #[test]
+    fn exact_cpsi_elasticities() {
+        let v = VictimSet::paper_ns2(15);
+        let e = c_psi_elasticities(&v);
+        assert_eq!(e.a, 1.0);
+        assert_eq!(e.d, -1.0);
+        assert_eq!(e.r_bottle, -2.0);
+        // b = 0.5: 0.5·(1/1.5 + 1/0.5) = 4/3.
+        assert!((e.b - 4.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn what_if_directions_are_correct() {
+        let v = VictimSet::paper_ns2(25);
+        let rows = parameter_what_if(&v, 0.075, 30e6).unwrap();
+        assert_eq!(rows.len(), 5);
+        let base = &rows[0];
+
+        // Doubling capacity quarters C_Ψ — the attacker's normalized
+        // optimum gets *quieter* and its best gain *rises*.
+        assert!((rows[1].c_psi - base.c_psi / 4.0).abs() < 1e-12);
+        assert!((rows[1].gamma_star - base.gamma_star / 2.0).abs() < 1e-9);
+        assert!(rows[1].g_star > base.g_star);
+
+        // More victim flows raise C_Ψ: the attack must get louder and its
+        // gain ceiling falls (the Figs. 6–9 panel progression).
+        assert!(rows[2].c_psi > base.c_psi);
+        assert!(rows[2].gamma_star > base.gamma_star);
+        assert!(rows[2].g_star < base.g_star);
+
+        // Shedding the short-RTT flows removes most of Σ1/RTT²: the
+        // remaining population is less resilient.
+        assert!(rows[3].c_psi < base.c_psi / 2.0);
+
+        // Slower delayed-ACK recovery also lowers resilience.
+        assert!((rows[4].c_psi - base.c_psi / 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "(0,1)")]
+    fn elasticity_rejects_out_of_domain() {
+        gamma_star_elasticity(1.5, RiskPreference::NEUTRAL);
+    }
+
+    proptest::proptest! {
+        /// The elasticity lies in [0, 1]: γ* never moves faster than C_Ψ,
+        /// never backwards.
+        #[test]
+        fn prop_elasticity_bounded(c in 0.02f64..0.9, kappa in 0.05f64..15.0) {
+            let e = gamma_star_elasticity(c, RiskPreference::new(kappa).unwrap());
+            proptest::prop_assert!((-1e-6..=1.0 + 1e-6).contains(&e), "e = {e}");
+        }
+
+        /// G* is monotone decreasing in C_Ψ for the neutral attacker.
+        #[test]
+        fn prop_gain_ceiling_monotone(c1 in 0.01f64..0.9, c2 in 0.01f64..0.9) {
+            let (lo, hi) = if c1 <= c2 { (c1, c2) } else { (c2, c1) };
+            let g = |c: f64| {
+                let gs = gamma_star(c, RiskPreference::NEUTRAL);
+                (1.0 - gs) * (1.0 - gs)
+            };
+            proptest::prop_assert!(g(lo) >= g(hi) - 1e-12);
+        }
+    }
+}

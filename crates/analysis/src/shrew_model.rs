@@ -1,0 +1,135 @@
+//! The timeout-based (shrew) attack throughput model of Kuzmanovic &
+//! Knightly (SIGCOMM 2003) — the baseline the paper's §1.1/§4.1.3 compare
+//! the AIMD-based attack against.
+//!
+//! For a victim whose losses always force a retransmission timeout, the
+//! normalized throughput under a pulse train of period `T` is governed by
+//! when the post-timeout retransmission lands relative to the next pulse:
+//!
+//! ```text
+//! ρ(T) = ( ⌈min_rto/T⌉·T − min_rto ) / ( ⌈min_rto/T⌉·T )
+//! ```
+//!
+//! with deep nulls at `T = min_rto/n` — the "shrew frequencies". The
+//! AIMD-based model (Prop. 2) has no such nulls, which is exactly the
+//! structural difference Fig. 10 exhibits.
+
+/// Kuzmanovic & Knightly's normalized throughput `ρ(T)` for a
+/// timeout-bound victim under pulse period `t_aimd`, minimum RTO
+/// `min_rto` (both seconds).
+///
+/// Returns a value in `[0, 1]`: the fraction of the (shrew-relevant)
+/// capacity the victim retains.
+///
+/// # Panics
+///
+/// Panics when either argument is non-positive.
+///
+/// # Examples
+///
+/// ```
+/// use pdos_analysis::shrew_model::shrew_throughput;
+///
+/// // Period = min RTO: total denial.
+/// assert_eq!(shrew_throughput(1.0, 1.0), 0.0);
+/// // Period 1.5 s: the flow transmits for the (1.5 - 1.0) s left over.
+/// assert!((shrew_throughput(1.5, 1.0) - 1.0/3.0).abs() < 1e-12);
+/// ```
+pub fn shrew_throughput(t_aimd: f64, min_rto: f64) -> f64 {
+    assert!(t_aimd > 0.0, "attack period must be positive");
+    assert!(min_rto > 0.0, "min RTO must be positive");
+    let k = (min_rto / t_aimd).ceil();
+    ((k * t_aimd - min_rto) / (k * t_aimd)).clamp(0.0, 1.0)
+}
+
+/// The degradation `1 − ρ(T)` implied by the shrew model, comparable to
+/// the AIMD model's Γ.
+pub fn shrew_degradation(t_aimd: f64, min_rto: f64) -> f64 {
+    1.0 - shrew_throughput(t_aimd, min_rto)
+}
+
+/// Samples `ρ(T)` over a period range — the double-dip curve the original
+/// shrew paper plots.
+///
+/// # Panics
+///
+/// Panics when the range is empty or inverted, or `n < 2`.
+pub fn shrew_curve(t_lo: f64, t_hi: f64, min_rto: f64, n: usize) -> Vec<(f64, f64)> {
+    assert!(n >= 2, "need at least two samples");
+    assert!(0.0 < t_lo && t_lo < t_hi, "need 0 < t_lo < t_hi");
+    (0..n)
+        .map(|i| {
+            let t = t_lo + (t_hi - t_lo) * i as f64 / (n - 1) as f64;
+            (t, shrew_throughput(t, min_rto))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nulls_at_all_subharmonics() {
+        for n in 1..=6u32 {
+            let t = 1.0 / f64::from(n);
+            assert_eq!(shrew_throughput(t, 1.0), 0.0, "null expected at 1/{n}");
+            assert_eq!(shrew_degradation(t, 1.0), 1.0);
+        }
+    }
+
+    #[test]
+    fn recovery_between_nulls() {
+        // Between 1/2 and 1: local maximum as T grows toward 1 (just
+        // below 1 the retransmission at 2T-1 leaves the biggest gap).
+        let rho_06 = shrew_throughput(0.6, 1.0);
+        let rho_09 = shrew_throughput(0.9, 1.0);
+        assert!(rho_06 > 0.0 && rho_09 > 0.0);
+        // (2·0.6−1)/1.2 = 1/6; (2·0.9−1)/1.8 = 4/9.
+        assert!((rho_06 - 1.0 / 6.0).abs() < 1e-12);
+        assert!((rho_09 - 4.0 / 9.0).abs() < 1e-12);
+        assert!(rho_09 > rho_06);
+    }
+
+    #[test]
+    fn long_periods_approach_full_throughput() {
+        assert!(shrew_throughput(10.0, 1.0) > 0.89);
+        assert!(shrew_throughput(100.0, 1.0) > 0.98);
+    }
+
+    #[test]
+    fn curve_sampling() {
+        let c = shrew_curve(0.4, 3.0, 1.0, 27);
+        assert_eq!(c.len(), 27);
+        assert!(c.iter().all(|&(_, r)| (0.0..=1.0).contains(&r)));
+        // Contains a point near the T=1 null with tiny throughput.
+        let near_null = c
+            .iter()
+            .filter(|(t, _)| (t - 1.0).abs() < 0.06)
+            .map(|&(_, r)| r)
+            .fold(f64::MAX, f64::min);
+        assert!(near_null < 0.1, "near-null throughput {near_null}");
+    }
+
+    #[test]
+    fn min_rto_scales_the_structure() {
+        // The Linux test-bed's 200 ms RTO moves the null to T = 0.2 s.
+        assert_eq!(shrew_throughput(0.2, 0.2), 0.0);
+        assert!(shrew_throughput(1.0, 0.2) > 0.7);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_nonpositive_period() {
+        shrew_throughput(0.0, 1.0);
+    }
+
+    proptest::proptest! {
+        /// ρ is always in [0, 1] and exactly 0 on the subharmonics.
+        #[test]
+        fn prop_rho_bounded(t in 0.01f64..10.0, rto in 0.05f64..5.0) {
+            let r = shrew_throughput(t, rto);
+            proptest::prop_assert!((0.0..=1.0).contains(&r));
+        }
+    }
+}

@@ -1,0 +1,218 @@
+//! Timeout-aware extension of the throughput model (the paper's §5 future
+//! work).
+//!
+//! The DSN 2005 model assumes every victim reacts to each pulse with fast
+//! retransmit / fast recovery. That assumption breaks in two regimes the
+//! paper itself observes:
+//!
+//! * **over-gain** (§4.1.1): when the converged window `W̄` of Eq. (1)
+//!   falls below `dupack_threshold + 1` segments, a victim cannot gather
+//!   enough duplicate ACKs and takes retransmission timeouts instead —
+//!   real damage exceeds the FR-only prediction;
+//! * **shrew points** (§4.1.3): when `T_AIMD ≈ min_rto/n`, the
+//!   retransmission after the timeout collides with the next pulse and the
+//!   flow starves almost completely.
+//!
+//! This module models both effects per flow, keeping the FR expression for
+//! flows with comfortable windows.
+
+use crate::model::{converged_window, psi_normal};
+use crate::params::VictimSet;
+
+/// Per-flow regime classification under the extended model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlowRegime {
+    /// The window stays above the duplicate-ACK threshold: the FR-based
+    /// Lemma-2 term applies.
+    FastRecovery,
+    /// The window is pinned low: the flow times out on (most) pulses.
+    TimeoutBound,
+    /// Timeout-bound *and* the pulse period collides with the timeout
+    /// subharmonics: near-complete starvation.
+    ShrewLocked,
+}
+
+/// Extended-model knobs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimeoutModel {
+    /// Segments of window below which fast retransmit fails
+    /// (`dupack_threshold + 1`; 4 for standard TCP).
+    pub fr_window_floor: f64,
+    /// The victims' minimum RTO, seconds.
+    pub min_rto: f64,
+    /// Relative tolerance for shrew-point matching.
+    pub shrew_tolerance: f64,
+    /// Largest subharmonic index checked for shrew locking.
+    pub max_subharmonic: u32,
+}
+
+impl Default for TimeoutModel {
+    fn default() -> Self {
+        TimeoutModel {
+            fr_window_floor: 4.0,
+            min_rto: 1.0, // ns-2 default
+            shrew_tolerance: 0.08,
+            max_subharmonic: 5,
+        }
+    }
+}
+
+impl TimeoutModel {
+    /// Classifies one flow with round-trip time `rtt` under a pulse period
+    /// `t_aimd`.
+    pub fn regime(&self, victims: &VictimSet, t_aimd: f64, rtt: f64) -> FlowRegime {
+        let w_bar = converged_window(victims.a(), victims.b(), victims.d(), t_aimd, rtt);
+        if w_bar >= self.fr_window_floor {
+            return FlowRegime::FastRecovery;
+        }
+        let is_shrew = (1..=self.max_subharmonic).any(|n| {
+            let target = self.min_rto / f64::from(n);
+            (t_aimd - target).abs() / target <= self.shrew_tolerance
+        });
+        if is_shrew {
+            FlowRegime::ShrewLocked
+        } else {
+            FlowRegime::TimeoutBound
+        }
+    }
+
+    /// Per-flow bytes delivered per attack period under the extended model.
+    fn bytes_per_period(&self, victims: &VictimSet, t_aimd: f64, rtt: f64) -> f64 {
+        let (a, b, d, s) = (victims.a(), victims.b(), victims.d(), victims.s_packet());
+        let fr_term = a * (1.0 + b) / (2.0 * d * (1.0 - b)) * (t_aimd / rtt).powi(2) * s;
+        match self.regime(victims, t_aimd, rtt) {
+            FlowRegime::FastRecovery => fr_term,
+            FlowRegime::ShrewLocked => {
+                // Retransmissions collide with pulses: at most one segment
+                // per period survives (and never more than the FR-mode
+                // delivery — at very short periods even FR predicts less
+                // than a segment per period).
+                s.min(fr_term)
+            }
+            FlowRegime::TimeoutBound => {
+                // The flow idles for min_rto, then slow-starts for the rest
+                // of the period: ~2^(t/(d·RTT)) segments delivered, capped
+                // by what FR mode would have delivered.
+                let active = (t_aimd - self.min_rto).max(0.0);
+                let doublings = active / (d * rtt);
+                let segments = (2f64.powf(doublings.min(30.0)) - 1.0).max(1.0);
+                (segments * s).min(fr_term)
+            }
+        }
+    }
+
+    /// Aggregate bytes under attack (the timeout-aware replacement of
+    /// Lemma 2's Eq. 9).
+    pub fn psi_attack_ext(&self, victims: &VictimSet, n_pulses: usize, t_aimd: f64) -> f64 {
+        let periods = n_pulses.saturating_sub(1) as f64;
+        victims
+            .rtts()
+            .iter()
+            .map(|&rtt| self.bytes_per_period(victims, t_aimd, rtt))
+            .sum::<f64>()
+            * periods
+    }
+
+    /// The timeout-aware degradation `Γ_ext = 1 − Ψ_ext/Ψ_normal`, clamped
+    /// to `[0, 1]`.
+    pub fn degradation_ext(&self, victims: &VictimSet, t_aimd: f64) -> f64 {
+        let n = 101; // (N−1) cancels; any n > 1 works
+        let psi_a = self.psi_attack_ext(victims, n, t_aimd);
+        let psi_n = psi_normal(victims.r_bottle(), n, t_aimd);
+        (1.0 - psi_a / psi_n).clamp(0.0, 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{degradation, c_psi};
+
+    fn victims() -> VictimSet {
+        VictimSet::paper_ns2(15)
+    }
+
+    #[test]
+    fn comfortable_windows_stay_in_fr() {
+        let m = TimeoutModel::default();
+        // Long period, short RTT: W̄ large.
+        assert_eq!(
+            m.regime(&victims(), 2.0, 0.020),
+            FlowRegime::FastRecovery
+        );
+    }
+
+    #[test]
+    fn short_periods_push_long_rtt_flows_into_timeout() {
+        let m = TimeoutModel::default();
+        // T_AIMD = 0.3 s, RTT = 460 ms: W̄ = 0.3/0.46 < 1.
+        assert_eq!(
+            m.regime(&victims(), 0.3, 0.460),
+            FlowRegime::TimeoutBound
+        );
+    }
+
+    #[test]
+    fn shrew_period_locks() {
+        let m = TimeoutModel::default();
+        // T_AIMD = min_rto = 1 s with a long-RTT flow (W̄ = 1/0.46 < 4).
+        assert_eq!(m.regime(&victims(), 1.0, 0.460), FlowRegime::ShrewLocked);
+        assert_eq!(m.regime(&victims(), 0.5, 0.460), FlowRegime::ShrewLocked);
+        // Off-harmonic period with the same small window: plain timeout.
+        assert_eq!(m.regime(&victims(), 0.7, 0.460), FlowRegime::TimeoutBound);
+    }
+
+    #[test]
+    fn extended_degradation_never_below_fr_model_at_shrew_points() {
+        let v = victims();
+        let m = TimeoutModel::default();
+        let (t_extent, r_attack) = (0.1, 30e6);
+        let c = c_psi(&v, t_extent, r_attack).unwrap();
+        // At the shrew period T_AIMD = 1 s:
+        let t_aimd = 1.0;
+        let gamma = r_attack * t_extent / (v.r_bottle() * t_aimd);
+        let fr = degradation(gamma, c);
+        let ext = m.degradation_ext(&v, t_aimd);
+        assert!(
+            ext >= fr - 1e-9,
+            "extended model must predict at least FR damage: ext {ext} vs fr {fr}"
+        );
+    }
+
+    #[test]
+    fn extended_model_agrees_with_fr_when_windows_large() {
+        let v = VictimSet::new(1.0, 0.5, 2.0, 1000.0, 15e6, vec![0.05; 10]).unwrap();
+        let m = TimeoutModel::default();
+        let t_aimd = 3.0; // W̄ = 3/0.05 = 60 segments: comfortably FR
+        let psi_fr = crate::model::psi_attack(&v, 51, t_aimd);
+        let psi_ext = m.psi_attack_ext(&v, 51, t_aimd);
+        assert!((psi_fr - psi_ext).abs() / psi_fr < 1e-9);
+    }
+
+    #[test]
+    fn starvation_orders_regimes() {
+        // For the same (long-RTT) flow, shrew-locked delivers less than
+        // timeout-bound, which delivers no more than FR.
+        let v = victims();
+        let m = TimeoutModel::default();
+        let rtt = 0.460;
+        let shrew = m.bytes_per_period(&v, 1.0, rtt);
+        let timeout = m.bytes_per_period(&v, 1.4, rtt);
+        assert!(shrew <= timeout, "shrew {shrew} vs timeout {timeout}");
+    }
+
+    proptest::proptest! {
+        /// Extended degradation is always within [0, 1] and at least the
+        /// FR-only model's value (timeouts only ever hurt the victims).
+        #[test]
+        fn prop_ext_dominates_fr(t_aimd in 0.2f64..4.0) {
+            let v = victims();
+            let m = TimeoutModel::default();
+            let ext = m.degradation_ext(&v, t_aimd);
+            proptest::prop_assert!((0.0..=1.0).contains(&ext));
+            let psi_fr = crate::model::psi_attack(&v, 101, t_aimd);
+            let psi_ext = m.psi_attack_ext(&v, 101, t_aimd);
+            proptest::prop_assert!(psi_ext <= psi_fr * (1.0 + 1e-9));
+        }
+    }
+}

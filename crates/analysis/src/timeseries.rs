@@ -1,0 +1,165 @@
+//! Time-series tooling used to exhibit the quasi-global synchronization
+//! phenomenon (§2.3): normalization and the piecewise aggregate
+//! approximation (PAA) of Keogh et al. that the paper applies to the
+//! incoming-traffic series before plotting Fig. 3.
+
+/// Shifts a series to zero mean (the paper's first normalization step).
+///
+/// Returns an empty vector for empty input.
+pub fn zero_mean(series: &[f64]) -> Vec<f64> {
+    if series.is_empty() {
+        return Vec::new();
+    }
+    let mean = series.iter().sum::<f64>() / series.len() as f64;
+    series.iter().map(|x| x - mean).collect()
+}
+
+/// Standardizes a series to zero mean and unit variance. A constant series
+/// maps to all zeros.
+pub fn standardize(series: &[f64]) -> Vec<f64> {
+    let centered = zero_mean(series);
+    if centered.is_empty() {
+        return centered;
+    }
+    let var = centered.iter().map(|x| x * x).sum::<f64>() / centered.len() as f64;
+    let sd = var.sqrt();
+    if sd == 0.0 {
+        return centered;
+    }
+    centered.iter().map(|x| x / sd).collect()
+}
+
+/// Piecewise aggregate approximation: reduces `series` to `segments`
+/// values, each the mean of one (approximately equal) frame.
+///
+/// When the length does not divide evenly, boundary samples contribute
+/// fractionally to both adjacent frames, following the original
+/// formulation's continuous framing.
+///
+/// # Panics
+///
+/// Panics if `segments` is zero or exceeds the series length.
+///
+/// # Examples
+///
+/// ```
+/// let series = [1.0, 1.0, 5.0, 5.0];
+/// assert_eq!(pdos_analysis::timeseries::paa(&series, 2), vec![1.0, 5.0]);
+/// ```
+pub fn paa(series: &[f64], segments: usize) -> Vec<f64> {
+    assert!(segments > 0, "PAA needs at least one segment");
+    assert!(
+        segments <= series.len(),
+        "PAA segments ({segments}) exceed series length ({})",
+        series.len()
+    );
+    let n = series.len() as f64;
+    let w = n / segments as f64; // frame width in samples (possibly fractional)
+    (0..segments)
+        .map(|k| {
+            let start = k as f64 * w;
+            let end = start + w;
+            let mut acc = 0.0;
+            let mut i = start.floor() as usize;
+            while (i as f64) < end && i < series.len() {
+                let lo = (i as f64).max(start);
+                let hi = ((i + 1) as f64).min(end);
+                acc += series[i] * (hi - lo);
+                i += 1;
+            }
+            acc / w
+        })
+        .collect()
+}
+
+/// Mean of a series (0 for empty input).
+pub fn mean(series: &[f64]) -> f64 {
+    if series.is_empty() {
+        0.0
+    } else {
+        series.iter().sum::<f64>() / series.len() as f64
+    }
+}
+
+/// Population standard deviation (0 for empty input).
+pub fn std_dev(series: &[f64]) -> f64 {
+    if series.is_empty() {
+        return 0.0;
+    }
+    let m = mean(series);
+    (series.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / series.len() as f64).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_mean_centers() {
+        let out = zero_mean(&[1.0, 2.0, 3.0]);
+        assert!((mean(&out)).abs() < 1e-12);
+        assert_eq!(out, vec![-1.0, 0.0, 1.0]);
+        assert!(zero_mean(&[]).is_empty());
+    }
+
+    #[test]
+    fn standardize_gives_unit_variance() {
+        let out = standardize(&[2.0, 4.0, 6.0, 8.0]);
+        assert!(mean(&out).abs() < 1e-12);
+        assert!((std_dev(&out) - 1.0).abs() < 1e-12);
+        // Constant series degrades gracefully.
+        assert_eq!(standardize(&[5.0, 5.0]), vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn paa_even_division_takes_frame_means() {
+        let s = [1.0, 3.0, 5.0, 7.0, 9.0, 11.0];
+        assert_eq!(paa(&s, 3), vec![2.0, 6.0, 10.0]);
+        assert_eq!(paa(&s, 6), s.to_vec());
+        assert_eq!(paa(&s, 1), vec![6.0]);
+    }
+
+    #[test]
+    fn paa_fractional_frames_weight_boundaries() {
+        // 3 samples into 2 segments: frames [0,1.5) and [1.5,3).
+        let s = [0.0, 6.0, 12.0];
+        let out = paa(&s, 2);
+        // Frame 1: 1·0 + 0.5·6 = 3 over width 1.5 -> 2.
+        // Frame 2: 0.5·6 + 1·12 = 15 over width 1.5 -> 10.
+        assert!((out[0] - 2.0).abs() < 1e-12);
+        assert!((out[1] - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one segment")]
+    fn paa_zero_segments_panics() {
+        paa(&[1.0], 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceed series length")]
+    fn paa_too_many_segments_panics() {
+        paa(&[1.0], 2);
+    }
+
+    proptest::proptest! {
+        /// PAA preserves the overall mean.
+        #[test]
+        fn prop_paa_preserves_mean(s in proptest::collection::vec(-100.0f64..100.0, 4..200),
+                                   frac in 0.1f64..1.0) {
+            let segments = ((s.len() as f64 * frac) as usize).max(1);
+            let out = paa(&s, segments);
+            proptest::prop_assert!((mean(&out) - mean(&s)).abs() < 1e-6);
+        }
+
+        /// Standardization is idempotent up to floating error.
+        #[test]
+        fn prop_standardize_idempotent(s in proptest::collection::vec(-100.0f64..100.0, 2..100)) {
+            let once = standardize(&s);
+            let twice = standardize(&once);
+            for (a, b) in once.iter().zip(&twice) {
+                proptest::prop_assert!((a - b).abs() < 1e-9);
+            }
+        }
+    }
+}

@@ -1,0 +1,40 @@
+//! # pdos-attack — pulsing-DoS workload generators for `pdos-sim`
+//!
+//! Simulation-only traffic sources reproducing the attack model of Luo &
+//! Chang (DSN 2005) §2.1: the pulse train `A(T_extent, R_attack, T_space,
+//! N)`, the flooding baseline it degenerates to, and helpers for the shrew
+//! (timeout-synchronized) special case of §4.1.3. These agents exist to
+//! drive the defensive evaluation (detector benchmarks, gain-model
+//! validation); they emit packets only inside the discrete-event
+//! simulator.
+//!
+//! ## Example
+//!
+//! ```
+//! use pdos_attack::prelude::*;
+//! use pdos_sim::time::SimDuration;
+//! use pdos_sim::units::BitsPerSec;
+//!
+//! // The Fig. 3(b) test-bed attack: 100 ms pulses at 50 Mbps every 2.5 s.
+//! let train = PulseTrain::new(
+//!     SimDuration::from_millis(100),
+//!     BitsPerSec::from_mbps(50.0),
+//!     SimDuration::from_millis(2400),
+//! )?;
+//! assert_eq!(train.period(), SimDuration::from_millis(2500));
+//! # Ok::<(), pdos_attack::pulse::PulseError>(())
+//! ```
+
+#![deny(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod pulse;
+pub mod shrew;
+pub mod source;
+
+/// Convenient re-exports.
+pub mod prelude {
+    pub use crate::pulse::{PulseError, PulseSchedule, PulseTrain};
+    pub use crate::shrew::{classify_shrew, shrew_period, ShrewSpec};
+    pub use crate::source::{CbrSource, PulseSource, SchedulePulseSource, SourceStats};
+}

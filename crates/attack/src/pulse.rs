@@ -1,0 +1,480 @@
+//! The pulse-train model `A(T_extent, R_attack, T_space, N)` of §2.1.
+
+use pdos_sim::time::SimDuration;
+use pdos_sim::units::{BitsPerSec, Bytes};
+use std::error::Error;
+use std::fmt;
+
+/// A problem with pulse-train parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PulseError {
+    /// `T_extent` must be positive.
+    ZeroExtent,
+    /// `R_attack` must be positive.
+    ZeroRate,
+    /// The requested normalized rate γ is infeasible: it must satisfy
+    /// `0 < γ <= R_attack / R_bottle` (duty cycle at most 1).
+    InfeasibleGamma {
+        /// The requested γ.
+        gamma: f64,
+        /// The maximum feasible γ (= `C_attack = R_attack / R_bottle`).
+        max: f64,
+    },
+}
+
+impl fmt::Display for PulseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PulseError::ZeroExtent => write!(f, "pulse width T_extent must be positive"),
+            PulseError::ZeroRate => write!(f, "pulse rate R_attack must be positive"),
+            PulseError::InfeasibleGamma { gamma, max } => write!(
+                f,
+                "normalized attack rate {gamma} is infeasible; must be in (0, {max:.4}]"
+            ),
+        }
+    }
+}
+
+impl Error for PulseError {}
+
+/// A fixed-period pulse train: `N` pulses of width `T_extent` at rate
+/// `R_attack`, separated by `T_space` of silence. The attack period is
+/// `T_AIMD = T_extent + T_space`.
+///
+/// # Examples
+///
+/// The Fig. 3(a) attack (50 ms pulses at 100 Mbps every 2 s):
+///
+/// ```
+/// use pdos_attack::pulse::PulseTrain;
+/// use pdos_sim::time::SimDuration;
+/// use pdos_sim::units::BitsPerSec;
+///
+/// let train = PulseTrain::new(
+///     SimDuration::from_millis(50),
+///     BitsPerSec::from_mbps(100.0),
+///     SimDuration::from_millis(1950),
+/// )?;
+/// assert_eq!(train.period(), SimDuration::from_secs(2));
+/// // Average rate: 100 Mbps x 50/2000 = 2.5 Mbps.
+/// assert!((train.mean_rate().as_mbps() - 2.5).abs() < 1e-9);
+/// // Normalized against a 15 Mbps bottleneck: gamma = 1/6.
+/// assert!((train.gamma(BitsPerSec::from_mbps(15.0)) - 1.0/6.0).abs() < 1e-9);
+/// # Ok::<(), pdos_attack::pulse::PulseError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct PulseTrain {
+    extent: SimDuration,
+    rate: BitsPerSec,
+    space: SimDuration,
+}
+
+impl PulseTrain {
+    /// Creates a pulse train from the paper's three shape parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PulseError`] when `T_extent` or `R_attack` is zero.
+    /// (`T_space = 0` is legal: it degenerates to flooding, as §2.1 notes.)
+    pub fn new(
+        extent: SimDuration,
+        rate: BitsPerSec,
+        space: SimDuration,
+    ) -> Result<Self, PulseError> {
+        if extent.is_zero() {
+            return Err(PulseError::ZeroExtent);
+        }
+        if rate.is_zero() {
+            return Err(PulseError::ZeroRate);
+        }
+        Ok(PulseTrain {
+            extent,
+            rate,
+            space,
+        })
+    }
+
+    /// Builds the train that achieves normalized average rate `gamma`
+    /// against `bottleneck` (Eq. 4): the period becomes
+    /// `T_AIMD = R_attack·T_extent / (R_bottle·γ)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PulseError::InfeasibleGamma`] unless
+    /// `0 < γ <= R_attack/R_bottle`.
+    pub fn from_gamma(
+        extent: SimDuration,
+        rate: BitsPerSec,
+        bottleneck: BitsPerSec,
+        gamma: f64,
+    ) -> Result<Self, PulseError> {
+        if extent.is_zero() {
+            return Err(PulseError::ZeroExtent);
+        }
+        if rate.is_zero() || bottleneck.is_zero() {
+            return Err(PulseError::ZeroRate);
+        }
+        let c_attack = rate.as_bps() / bottleneck.as_bps();
+        if !(gamma > 0.0 && gamma <= c_attack) {
+            return Err(PulseError::InfeasibleGamma {
+                gamma,
+                max: c_attack,
+            });
+        }
+        let period_s = rate.as_bps() * extent.as_secs_f64() / (bottleneck.as_bps() * gamma);
+        let space_s = (period_s - extent.as_secs_f64()).max(0.0);
+        Ok(PulseTrain {
+            extent,
+            rate,
+            space: SimDuration::from_secs_f64(space_s),
+        })
+    }
+
+    /// Pulse width `T_extent`.
+    pub fn extent(&self) -> SimDuration {
+        self.extent
+    }
+
+    /// In-pulse sending rate `R_attack`.
+    pub fn rate(&self) -> BitsPerSec {
+        self.rate
+    }
+
+    /// Inter-pulse silence `T_space`.
+    pub fn space(&self) -> SimDuration {
+        self.space
+    }
+
+    /// Attack period `T_AIMD = T_extent + T_space`.
+    pub fn period(&self) -> SimDuration {
+        self.extent + self.space
+    }
+
+    /// Duty cycle `T_extent / T_AIMD` in `(0, 1]`.
+    pub fn duty_cycle(&self) -> f64 {
+        self.extent / self.period()
+    }
+
+    /// `μ = T_space / T_extent`, the reciprocal of the duty cycle minus one
+    /// (the paper's optimization variable).
+    pub fn mu(&self) -> f64 {
+        self.space / self.extent
+    }
+
+    /// Average attack rate `R_attack · T_extent / T_AIMD`.
+    pub fn mean_rate(&self) -> BitsPerSec {
+        BitsPerSec::from_bps(self.rate.as_bps() * self.duty_cycle())
+    }
+
+    /// Normalized average rate `γ` against `bottleneck` (Eq. 4).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bottleneck` is zero.
+    pub fn gamma(&self, bottleneck: BitsPerSec) -> f64 {
+        assert!(!bottleneck.is_zero(), "bottleneck rate must be positive");
+        self.mean_rate().as_bps() / bottleneck.as_bps()
+    }
+
+    /// Bytes sent per pulse.
+    pub fn bytes_per_pulse(&self) -> Bytes {
+        self.rate.bytes_in(self.extent)
+    }
+
+    /// Number of `packet_size` packets per pulse (at least 1).
+    pub fn packets_per_pulse(&self, packet_size: Bytes) -> u64 {
+        (self.bytes_per_pulse().as_u64() / packet_size.as_u64().max(1)).max(1)
+    }
+
+    /// Whether this train degenerates to a flood (`T_space = 0`).
+    pub fn is_flood(&self) -> bool {
+        self.space.is_zero()
+    }
+}
+
+/// The fully general attack of §2.1: a finite schedule of possibly
+/// different pulses `A(T_extent(n), R_attack(n), T_space(n), N)`. The
+/// fixed-period [`PulseTrain`] is the `N`-fold repetition special case
+/// the paper analyzes; the general form expresses ramps, alternating
+/// intensities, and other adaptive shapes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PulseSchedule {
+    pulses: Vec<PulseTrain>,
+}
+
+impl PulseSchedule {
+    /// Creates a schedule from individual pulse shapes. Each entry's
+    /// `space()` is the gap *after* that pulse (the last entry's space is
+    /// unused).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PulseError::ZeroExtent`] for an empty schedule.
+    pub fn new(pulses: Vec<PulseTrain>) -> Result<Self, PulseError> {
+        if pulses.is_empty() {
+            return Err(PulseError::ZeroExtent);
+        }
+        Ok(PulseSchedule { pulses })
+    }
+
+    /// A ramp: `n` pulses of the same shape whose rates climb linearly
+    /// from `start_rate` to `end_rate` — the adaptive attacker probing how
+    /// loud it can get.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PulseError`] for degenerate shapes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn ramp(
+        extent: SimDuration,
+        space: SimDuration,
+        start_rate: BitsPerSec,
+        end_rate: BitsPerSec,
+        n: usize,
+    ) -> Result<Self, PulseError> {
+        assert!(n > 0, "need at least one pulse");
+        let pulses = (0..n)
+            .map(|i| {
+                let f = if n == 1 { 0.0 } else { i as f64 / (n - 1) as f64 };
+                let rate = BitsPerSec::from_bps(
+                    start_rate.as_bps() + (end_rate.as_bps() - start_rate.as_bps()) * f,
+                );
+                PulseTrain::new(extent, rate, space)
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(PulseSchedule { pulses })
+    }
+
+    /// The individual pulses.
+    pub fn pulses(&self) -> &[PulseTrain] {
+        &self.pulses
+    }
+
+    /// Number of pulses `N`.
+    pub fn len(&self) -> usize {
+        self.pulses.len()
+    }
+
+    /// Whether the schedule is empty (never true for a constructed one).
+    pub fn is_empty(&self) -> bool {
+        self.pulses.is_empty()
+    }
+
+    /// Total duration from the first pulse's start to the last pulse's
+    /// end (the trailing space is not counted).
+    pub fn duration(&self) -> SimDuration {
+        let mut total = SimDuration::ZERO;
+        for (i, p) in self.pulses.iter().enumerate() {
+            total += p.extent();
+            if i + 1 < self.pulses.len() {
+                total += p.space();
+            }
+        }
+        total
+    }
+
+    /// Total attack bytes over the schedule.
+    pub fn total_bytes(&self) -> Bytes {
+        self.pulses
+            .iter()
+            .map(PulseTrain::bytes_per_pulse)
+            .fold(Bytes::ZERO, Bytes::saturating_add)
+    }
+
+    /// Average rate over the schedule's duration.
+    pub fn mean_rate(&self) -> BitsPerSec {
+        let d = self.duration().as_secs_f64();
+        if d == 0.0 {
+            return BitsPerSec::ZERO;
+        }
+        BitsPerSec::from_bps(self.total_bytes().as_bits() as f64 / d)
+    }
+}
+
+impl fmt::Display for PulseTrain {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "pulse(extent={}, rate={}, space={}, period={})",
+            self.extent,
+            self.rate,
+            self.space,
+            self.period()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fig3a() -> PulseTrain {
+        PulseTrain::new(
+            SimDuration::from_millis(50),
+            BitsPerSec::from_mbps(100.0),
+            SimDuration::from_millis(1950),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn period_and_duty_cycle() {
+        let t = fig3a();
+        assert_eq!(t.period(), SimDuration::from_secs(2));
+        assert!((t.duty_cycle() - 0.025).abs() < 1e-12);
+        assert!((t.mu() - 39.0).abs() < 1e-12);
+        assert!(!t.is_flood());
+    }
+
+    #[test]
+    fn pulse_volume() {
+        let t = fig3a();
+        assert_eq!(t.bytes_per_pulse().as_u64(), 625_000);
+        assert_eq!(t.packets_per_pulse(Bytes::from_u64(1000)), 625);
+    }
+
+    #[test]
+    fn from_gamma_inverts_gamma() {
+        let bottle = BitsPerSec::from_mbps(15.0);
+        for gamma in [0.05, 0.1, 0.3, 0.5, 0.9] {
+            let t = PulseTrain::from_gamma(
+                SimDuration::from_millis(75),
+                BitsPerSec::from_mbps(30.0),
+                bottle,
+                gamma,
+            )
+            .unwrap();
+            assert!(
+                (t.gamma(bottle) - gamma).abs() < 1e-6,
+                "gamma {gamma} roundtrip gave {}",
+                t.gamma(bottle)
+            );
+        }
+    }
+
+    #[test]
+    fn from_gamma_rejects_infeasible() {
+        let bottle = BitsPerSec::from_mbps(15.0);
+        // C_attack = 2: gamma up to 2 feasible (flooding at 2x).
+        let err = PulseTrain::from_gamma(
+            SimDuration::from_millis(50),
+            BitsPerSec::from_mbps(30.0),
+            bottle,
+            2.5,
+        )
+        .unwrap_err();
+        assert!(matches!(err, PulseError::InfeasibleGamma { .. }));
+        assert!(err.to_string().contains("infeasible"));
+        assert!(PulseTrain::from_gamma(
+            SimDuration::from_millis(50),
+            BitsPerSec::from_mbps(30.0),
+            bottle,
+            0.0
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn gamma_equals_cattack_means_flood() {
+        let bottle = BitsPerSec::from_mbps(15.0);
+        let t = PulseTrain::from_gamma(
+            SimDuration::from_millis(50),
+            BitsPerSec::from_mbps(30.0),
+            bottle,
+            2.0,
+        )
+        .unwrap();
+        assert!(t.is_flood());
+        assert_eq!(t.period(), t.extent());
+    }
+
+    #[test]
+    fn constructor_rejects_degenerate_shapes() {
+        assert_eq!(
+            PulseTrain::new(
+                SimDuration::ZERO,
+                BitsPerSec::from_mbps(1.0),
+                SimDuration::ZERO
+            )
+            .unwrap_err(),
+            PulseError::ZeroExtent
+        );
+        assert_eq!(
+            PulseTrain::new(
+                SimDuration::from_millis(1),
+                BitsPerSec::ZERO,
+                SimDuration::ZERO
+            )
+            .unwrap_err(),
+            PulseError::ZeroRate
+        );
+    }
+
+    #[test]
+    fn display_shows_shape() {
+        assert!(fig3a().to_string().contains("period=2.000s"));
+    }
+
+    #[test]
+    fn schedule_accounts_duration_and_volume() {
+        let a = PulseTrain::new(
+            SimDuration::from_millis(50),
+            BitsPerSec::from_mbps(40.0),
+            SimDuration::from_millis(950),
+        )
+        .unwrap();
+        let b = PulseTrain::new(
+            SimDuration::from_millis(100),
+            BitsPerSec::from_mbps(20.0),
+            SimDuration::from_millis(400),
+        )
+        .unwrap();
+        let sched = PulseSchedule::new(vec![a, b.clone(), b]).unwrap();
+        assert_eq!(sched.len(), 3);
+        assert!(!sched.is_empty());
+        // 50 + 950 + 100 + 400 + 100 ms (no trailing space).
+        assert_eq!(sched.duration(), SimDuration::from_millis(1600));
+        // 250 kB + 250 kB + 250 kB.
+        assert_eq!(sched.total_bytes().as_u64(), 750_000);
+        assert!((sched.mean_rate().as_mbps() - 3.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ramp_interpolates_rates() {
+        let sched = PulseSchedule::ramp(
+            SimDuration::from_millis(50),
+            SimDuration::from_millis(450),
+            BitsPerSec::from_mbps(10.0),
+            BitsPerSec::from_mbps(50.0),
+            5,
+        )
+        .unwrap();
+        let rates: Vec<f64> = sched.pulses().iter().map(|p| p.rate().as_mbps()).collect();
+        assert_eq!(rates, vec![10.0, 20.0, 30.0, 40.0, 50.0]);
+    }
+
+    #[test]
+    fn empty_schedule_rejected() {
+        assert!(PulseSchedule::new(vec![]).is_err());
+    }
+
+    proptest::proptest! {
+        /// `from_gamma` always produces a train whose measured gamma matches
+        /// the request, across the feasible region.
+        #[test]
+        fn prop_gamma_roundtrip(gamma in 0.01f64..1.0, extent_ms in 10u64..500, rate_mbps in 16f64..200.0) {
+            let bottle = BitsPerSec::from_mbps(15.0);
+            let t = PulseTrain::from_gamma(
+                SimDuration::from_millis(extent_ms),
+                BitsPerSec::from_mbps(rate_mbps),
+                bottle,
+                gamma,
+            ).unwrap();
+            proptest::prop_assert!((t.gamma(bottle) - gamma).abs() < 1e-6);
+            proptest::prop_assert!(t.duty_cycle() > 0.0 && t.duty_cycle() <= 1.0);
+        }
+    }
+}

@@ -1,0 +1,194 @@
+//! Shrew (timeout-based) attack helpers.
+//!
+//! §4.1.3: when the pulsing period `T_AIMD` is close to `min_rto / n` for
+//! an integer `n >= 1`, each retransmission after a timeout collides with
+//! the next pulse, pinning senders in the timeout state — the shrew attack
+//! of Kuzmanovic & Knightly. The paper's analytical model assumes fast
+//! recovery instead, so these points show up as gain spikes above the
+//! analytical curve.
+
+use crate::pulse::{PulseError, PulseTrain};
+use pdos_sim::time::SimDuration;
+use pdos_sim::units::BitsPerSec;
+
+/// The pulse period that synchronizes with the `n`-th subharmonic of the
+/// minimum retransmission timeout: `T_AIMD = min_rto / n`.
+///
+/// # Panics
+///
+/// Panics if `n` is zero.
+///
+/// # Examples
+///
+/// ```
+/// use pdos_attack::shrew::shrew_period;
+/// use pdos_sim::time::SimDuration;
+///
+/// // ns-2's 1 s minimum RTO: the fundamental shrew period is 1 s.
+/// assert_eq!(shrew_period(SimDuration::from_secs(1), 1), SimDuration::from_secs(1));
+/// assert_eq!(shrew_period(SimDuration::from_secs(1), 3).as_nanos(), 333_333_333);
+/// ```
+pub fn shrew_period(min_rto: SimDuration, n: u32) -> SimDuration {
+    assert!(n > 0, "subharmonic index n must be at least 1");
+    min_rto / u64::from(n)
+}
+
+/// Classifies a pulse period against the shrew subharmonics of `min_rto`.
+///
+/// Returns `Some(n)` when `period` is within `tolerance` (relative) of
+/// `min_rto / n` for some `n` in `1..=max_n`.
+///
+/// # Examples
+///
+/// ```
+/// use pdos_attack::shrew::classify_shrew;
+/// use pdos_sim::time::SimDuration;
+///
+/// let min_rto = SimDuration::from_secs(1);
+/// assert_eq!(classify_shrew(SimDuration::from_millis(500), min_rto, 5, 0.1), Some(2));
+/// assert_eq!(classify_shrew(SimDuration::from_millis(710), min_rto, 5, 0.1), None);
+/// ```
+pub fn classify_shrew(
+    period: SimDuration,
+    min_rto: SimDuration,
+    max_n: u32,
+    tolerance: f64,
+) -> Option<u32> {
+    if period.is_zero() {
+        return None;
+    }
+    (1..=max_n).find(|&n| {
+        let target = shrew_period(min_rto, n).as_secs_f64();
+        let rel = (period.as_secs_f64() - target).abs() / target;
+        rel <= tolerance
+    })
+}
+
+/// The shrew-attack parameter set of Kuzmanovic & Knightly, phrased in the
+/// paper's pulse-train terms: period locked to `min_rto`, pulse width of
+/// roughly the victims' RTT scale so every flow sees losses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShrewSpec {
+    /// The victims' minimum retransmission timeout.
+    pub min_rto: SimDuration,
+    /// Which subharmonic to lock onto (1 = the classic `T_AIMD = min_rto`).
+    pub subharmonic: u32,
+    /// Pulse width.
+    pub extent: SimDuration,
+}
+
+impl ShrewSpec {
+    /// The attack period this spec locks to.
+    pub fn period(&self) -> SimDuration {
+        shrew_period(self.min_rto, self.subharmonic)
+    }
+
+    /// The inter-pulse space (`period - extent`), saturating at zero when
+    /// the extent exceeds the period.
+    pub fn space(&self) -> SimDuration {
+        let p = self.period();
+        if self.extent >= p {
+            SimDuration::ZERO
+        } else {
+            p - self.extent
+        }
+    }
+
+    /// Builds the concrete pulse train locked to this spec's period.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PulseError`] when `rate` is zero or the extent is zero.
+    pub fn train(&self, rate: BitsPerSec) -> Result<PulseTrain, PulseError> {
+        PulseTrain::new(self.extent, rate, self.space())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn subharmonics_divide_min_rto() {
+        let rto = SimDuration::from_secs(1);
+        assert_eq!(shrew_period(rto, 1), SimDuration::from_secs(1));
+        assert_eq!(shrew_period(rto, 2), SimDuration::from_millis(500));
+        assert_eq!(shrew_period(rto, 4), SimDuration::from_millis(250));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn zero_subharmonic_panics() {
+        shrew_period(SimDuration::from_secs(1), 0);
+    }
+
+    #[test]
+    fn classification_finds_fig10_points() {
+        // Fig. 10 normal-gain case: T_AIMD = 500 ms and 1000 ms are shrew
+        // points for ns-2's 1 s min RTO.
+        let rto = SimDuration::from_secs(1);
+        assert_eq!(
+            classify_shrew(SimDuration::from_millis(1000), rto, 5, 0.05),
+            Some(1)
+        );
+        assert_eq!(
+            classify_shrew(SimDuration::from_millis(500), rto, 5, 0.05),
+            Some(2)
+        );
+        // And the under-gain case: 1000/3 ms.
+        assert_eq!(
+            classify_shrew(SimDuration::from_nanos(333_333_333), rto, 5, 0.05),
+            Some(3)
+        );
+    }
+
+    #[test]
+    fn classification_rejects_off_harmonics() {
+        let rto = SimDuration::from_secs(1);
+        assert_eq!(classify_shrew(SimDuration::from_millis(700), rto, 5, 0.05), None);
+        assert_eq!(classify_shrew(SimDuration::from_millis(1500), rto, 5, 0.05), None);
+        assert_eq!(classify_shrew(SimDuration::ZERO, rto, 5, 0.05), None);
+    }
+
+    #[test]
+    fn spec_derives_space() {
+        let spec = ShrewSpec {
+            min_rto: SimDuration::from_secs(1),
+            subharmonic: 2,
+            extent: SimDuration::from_millis(100),
+        };
+        assert_eq!(spec.period(), SimDuration::from_millis(500));
+        assert_eq!(spec.space(), SimDuration::from_millis(400));
+
+        let wide = ShrewSpec {
+            extent: SimDuration::from_millis(600),
+            ..spec
+        };
+        assert_eq!(wide.space(), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn spec_builds_a_locked_train() {
+        let spec = ShrewSpec {
+            min_rto: SimDuration::from_secs(1),
+            subharmonic: 1,
+            extent: SimDuration::from_millis(50),
+        };
+        let train = spec.train(BitsPerSec::from_mbps(50.0)).unwrap();
+        assert_eq!(train.period(), SimDuration::from_secs(1));
+        assert_eq!(
+            classify_shrew(train.period(), spec.min_rto, 5, 0.01),
+            Some(1)
+        );
+    }
+
+    proptest::proptest! {
+        /// Every exact subharmonic within range classifies as itself.
+        #[test]
+        fn prop_exact_subharmonics_classify(n in 1u32..10) {
+            let rto = SimDuration::from_secs(1);
+            let period = shrew_period(rto, n);
+            proptest::prop_assert_eq!(classify_shrew(period, rto, 10, 0.01), Some(n));
+        }
+    }
+}

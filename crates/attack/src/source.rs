@@ -1,0 +1,571 @@
+//! Simulation agents that emit attack traffic.
+
+use crate::pulse::{PulseSchedule, PulseTrain};
+use pdos_sim::agent::{Agent, AgentCtx};
+use pdos_sim::node::NodeId;
+use pdos_sim::packet::{FlowId, Packet, PacketKind};
+use pdos_sim::time::{SimDuration, SimTime};
+use pdos_sim::units::{BitsPerSec, Bytes};
+use std::any::Any;
+
+/// A pulsing source: replays a [`PulseTrain`] toward a target node.
+///
+/// Within each pulse, packets of `packet_size` are emitted back-to-back at
+/// the pulse rate (`i`-th packet at `pulse_start + i · size·8/R_attack`).
+/// The train stops after `max_pulses` pulses, or runs for the whole
+/// simulation when unlimited.
+#[derive(Debug)]
+pub struct PulseSource {
+    train: PulseTrain,
+    flow: FlowId,
+    target: NodeId,
+    packet_size: Bytes,
+    max_pulses: Option<u64>,
+    gap: SimDuration,
+    packets_per_pulse: u64,
+
+    pulse_idx: u64,
+    in_pulse_idx: u64,
+    pulse_start: SimTime,
+    started: bool,
+    stats: SourceStats,
+}
+
+/// Counters kept by attack sources.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SourceStats {
+    /// Attack packets emitted.
+    pub packets_sent: u64,
+    /// Attack bytes emitted.
+    pub bytes_sent: u64,
+    /// Pulses completed.
+    pub pulses_completed: u64,
+}
+
+impl PulseSource {
+    /// Creates a pulsing source for `flow`, aimed at `target`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `packet_size` is zero.
+    pub fn new(
+        train: PulseTrain,
+        flow: FlowId,
+        target: NodeId,
+        packet_size: Bytes,
+        max_pulses: Option<u64>,
+    ) -> Self {
+        assert!(packet_size != Bytes::ZERO, "attack packet size must be positive");
+        let gap = train.rate().tx_time(packet_size);
+        let packets_per_pulse = train.packets_per_pulse(packet_size);
+        PulseSource {
+            train,
+            flow,
+            target,
+            packet_size,
+            max_pulses,
+            gap,
+            packets_per_pulse,
+            pulse_idx: 0,
+            in_pulse_idx: 0,
+            pulse_start: SimTime::ZERO,
+            started: false,
+            stats: SourceStats::default(),
+        }
+    }
+
+    /// The pulse shape this source replays.
+    pub fn train(&self) -> &PulseTrain {
+        &self.train
+    }
+
+    /// Counters.
+    pub fn stats(&self) -> SourceStats {
+        self.stats
+    }
+
+    fn emit(&mut self, ctx: &mut AgentCtx<'_>) {
+        self.stats.packets_sent += 1;
+        self.stats.bytes_sent += self.packet_size.as_u64();
+        ctx.send(Packet::new(
+            self.flow,
+            ctx.node(),
+            self.target,
+            self.packet_size,
+            PacketKind::Attack,
+        ));
+    }
+
+    /// Sends the current packet and schedules the next tick.
+    fn tick(&mut self, ctx: &mut AgentCtx<'_>) {
+        if let Some(max) = self.max_pulses {
+            if self.pulse_idx >= max {
+                return;
+            }
+        }
+        self.emit(ctx);
+        self.in_pulse_idx += 1;
+        if self.in_pulse_idx < self.packets_per_pulse {
+            ctx.timer_at(self.pulse_start + self.gap.saturating_mul(self.in_pulse_idx), 0);
+        } else {
+            // Pulse complete; line up the next one.
+            self.stats.pulses_completed += 1;
+            self.pulse_idx += 1;
+            self.in_pulse_idx = 0;
+            self.pulse_start += self.train.period();
+            let more = self.max_pulses.is_none_or(|max| self.pulse_idx < max);
+            if more {
+                ctx.timer_at(self.pulse_start, 0);
+            }
+        }
+    }
+}
+
+impl Agent for PulseSource {
+    fn start(&mut self, ctx: &mut AgentCtx<'_>) {
+        if self.started {
+            return;
+        }
+        self.started = true;
+        self.pulse_start = ctx.now();
+        self.tick(ctx);
+    }
+
+    fn on_packet(&mut self, _packet: Packet, _ctx: &mut AgentCtx<'_>) {}
+
+    fn on_timer(&mut self, _token: u64, ctx: &mut AgentCtx<'_>) {
+        self.tick(ctx);
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+}
+
+/// Replays a general [`PulseSchedule`] (§2.1's varying-pulse attack):
+/// each scheduled pulse is emitted with its own width, rate and trailing
+/// gap, then the source stops.
+#[derive(Debug)]
+pub struct SchedulePulseSource {
+    schedule: PulseSchedule,
+    flow: FlowId,
+    target: NodeId,
+    packet_size: Bytes,
+
+    pulse_idx: usize,
+    in_pulse_idx: u64,
+    pulse_start: SimTime,
+    started: bool,
+    stats: SourceStats,
+}
+
+impl SchedulePulseSource {
+    /// Creates a source replaying `schedule` toward `target`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `packet_size` is zero.
+    pub fn new(
+        schedule: PulseSchedule,
+        flow: FlowId,
+        target: NodeId,
+        packet_size: Bytes,
+    ) -> Self {
+        assert!(packet_size != Bytes::ZERO, "attack packet size must be positive");
+        SchedulePulseSource {
+            schedule,
+            flow,
+            target,
+            packet_size,
+            pulse_idx: 0,
+            in_pulse_idx: 0,
+            pulse_start: SimTime::ZERO,
+            started: false,
+            stats: SourceStats::default(),
+        }
+    }
+
+    /// Counters.
+    pub fn stats(&self) -> SourceStats {
+        self.stats
+    }
+
+    fn tick(&mut self, ctx: &mut AgentCtx<'_>) {
+        let Some(pulse) = self.schedule.pulses().get(self.pulse_idx) else {
+            return;
+        };
+        let gap = pulse.rate().tx_time(self.packet_size);
+        let per_pulse = pulse.packets_per_pulse(self.packet_size);
+
+        self.stats.packets_sent += 1;
+        self.stats.bytes_sent += self.packet_size.as_u64();
+        ctx.send(Packet::new(
+            self.flow,
+            ctx.node(),
+            self.target,
+            self.packet_size,
+            PacketKind::Attack,
+        ));
+        self.in_pulse_idx += 1;
+        if self.in_pulse_idx < per_pulse {
+            ctx.timer_at(self.pulse_start + gap.saturating_mul(self.in_pulse_idx), 0);
+        } else {
+            self.stats.pulses_completed += 1;
+            let period = pulse.period();
+            self.pulse_idx += 1;
+            self.in_pulse_idx = 0;
+            self.pulse_start += period;
+            if self.pulse_idx < self.schedule.len() {
+                ctx.timer_at(self.pulse_start, 0);
+            }
+        }
+    }
+}
+
+impl Agent for SchedulePulseSource {
+    fn start(&mut self, ctx: &mut AgentCtx<'_>) {
+        if self.started {
+            return;
+        }
+        self.started = true;
+        self.pulse_start = ctx.now();
+        self.tick(ctx);
+    }
+
+    fn on_packet(&mut self, _packet: Packet, _ctx: &mut AgentCtx<'_>) {}
+
+    fn on_timer(&mut self, _token: u64, ctx: &mut AgentCtx<'_>) {
+        self.tick(ctx);
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+}
+
+/// A constant-bit-rate source: the flooding baseline (and, with
+/// `PacketKind::Background`, plain UDP cross-traffic).
+#[derive(Debug)]
+pub struct CbrSource {
+    rate: BitsPerSec,
+    flow: FlowId,
+    target: NodeId,
+    packet_size: Bytes,
+    kind: PacketKind,
+    gap: SimDuration,
+    stop_at: Option<SimTime>,
+    stats: SourceStats,
+}
+
+impl CbrSource {
+    /// Creates a CBR source sending `kind` packets at `rate` until
+    /// `stop_at` (or forever).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` or `packet_size` is zero, or if `kind` is a TCP
+    /// kind (CBR traffic cannot impersonate the TCP agents).
+    pub fn new(
+        rate: BitsPerSec,
+        flow: FlowId,
+        target: NodeId,
+        packet_size: Bytes,
+        kind: PacketKind,
+        stop_at: Option<SimTime>,
+    ) -> Self {
+        assert!(!rate.is_zero(), "CBR rate must be positive");
+        assert!(packet_size != Bytes::ZERO, "CBR packet size must be positive");
+        assert!(
+            matches!(kind, PacketKind::Attack | PacketKind::Background),
+            "CBR sources emit Attack or Background packets only"
+        );
+        let gap = rate.tx_time(packet_size);
+        CbrSource {
+            rate,
+            flow,
+            target,
+            packet_size,
+            kind,
+            gap,
+            stop_at,
+            stats: SourceStats::default(),
+        }
+    }
+
+    /// The constant sending rate.
+    pub fn rate(&self) -> BitsPerSec {
+        self.rate
+    }
+
+    /// Counters.
+    pub fn stats(&self) -> SourceStats {
+        self.stats
+    }
+
+    fn tick(&mut self, ctx: &mut AgentCtx<'_>) {
+        if let Some(stop) = self.stop_at {
+            if ctx.now() >= stop {
+                return;
+            }
+        }
+        self.stats.packets_sent += 1;
+        self.stats.bytes_sent += self.packet_size.as_u64();
+        ctx.send(Packet::new(
+            self.flow,
+            ctx.node(),
+            self.target,
+            self.packet_size,
+            self.kind,
+        ));
+        ctx.timer_after(self.gap, 0);
+    }
+}
+
+impl Agent for CbrSource {
+    fn start(&mut self, ctx: &mut AgentCtx<'_>) {
+        self.tick(ctx);
+    }
+
+    fn on_packet(&mut self, _packet: Packet, _ctx: &mut AgentCtx<'_>) {}
+
+    fn on_timer(&mut self, _token: u64, ctx: &mut AgentCtx<'_>) {
+        self.tick(ctx);
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdos_sim::agent::Effect;
+
+    fn train() -> PulseTrain {
+        // 10 ms pulses at 8 Mbps -> 10 kB per pulse -> 10 packets of 1 kB.
+        PulseTrain::new(
+            SimDuration::from_millis(10),
+            BitsPerSec::from_mbps(8.0),
+            SimDuration::from_millis(90),
+        )
+        .unwrap()
+    }
+
+    fn drive_timers(agent: &mut dyn Agent, until: SimTime) -> Vec<(SimTime, Packet)> {
+        // A miniature scheduler for a single agent: applies its timer
+        // effects in order.
+        let mut out = Vec::new();
+        let mut pending: Vec<(SimTime, u64)> = Vec::new();
+        let mut fx = Vec::new();
+        {
+            let mut ctx = AgentCtx::new(SimTime::ZERO, NodeId::from_u32(0), &mut fx);
+            agent.start(&mut ctx);
+        }
+        loop {
+            for e in fx.drain(..) {
+                match e {
+                    Effect::Send(p) => out.push((out.last().map(|(t, _)| *t).unwrap_or(SimTime::ZERO), p)),
+                    Effect::TimerAt { at, token } => pending.push((at, token)),
+                }
+            }
+            pending.sort_by_key(|(at, _)| *at);
+            let Some((at, token)) = (if pending.is_empty() {
+                None
+            } else {
+                Some(pending.remove(0))
+            }) else {
+                break;
+            };
+            if at > until {
+                break;
+            }
+            let mut ctx = AgentCtx::new(at, NodeId::from_u32(0), &mut fx);
+            agent.on_timer(token, &mut ctx);
+            // tag sends with the firing time
+            for e in &fx {
+                if let Effect::Send(p) = e {
+                    out.push((at, *p));
+                }
+            }
+            fx.retain(|e| !matches!(e, Effect::Send(_)));
+        }
+        out
+    }
+
+    #[test]
+    fn pulse_source_emits_expected_volume() {
+        let mut src = PulseSource::new(
+            train(),
+            FlowId::from_u32(100),
+            NodeId::from_u32(5),
+            Bytes::from_u64(1000),
+            Some(3),
+        );
+        let sent = drive_timers(&mut src, SimTime::from_secs(10));
+        // 3 pulses x 10 packets.
+        assert_eq!(sent.len(), 30);
+        assert_eq!(src.stats().packets_sent, 30);
+        assert_eq!(src.stats().pulses_completed, 3);
+        assert_eq!(src.stats().bytes_sent, 30_000);
+        assert!(sent.iter().all(|(_, p)| p.kind == PacketKind::Attack));
+    }
+
+    #[test]
+    fn pulse_timing_respects_period() {
+        let mut src = PulseSource::new(
+            train(),
+            FlowId::from_u32(100),
+            NodeId::from_u32(5),
+            Bytes::from_u64(1000),
+            Some(2),
+        );
+        let sent = drive_timers(&mut src, SimTime::from_secs(10));
+        // First packet of second pulse fires exactly one period (100 ms) in.
+        let second_pulse_first = sent[10].0;
+        assert_eq!(second_pulse_first, SimTime::from_millis(100));
+        // Packets within a pulse are gap-spaced: 1 kB at 8 Mbps = 1 ms.
+        assert_eq!(sent[1].0, SimTime::from_millis(1));
+        assert_eq!(sent[9].0, SimTime::from_millis(9));
+    }
+
+    #[test]
+    fn unlimited_train_keeps_pulsing() {
+        let mut src = PulseSource::new(
+            train(),
+            FlowId::from_u32(100),
+            NodeId::from_u32(5),
+            Bytes::from_u64(1000),
+            None,
+        );
+        let sent = drive_timers(&mut src, SimTime::from_millis(450));
+        // Pulses at 0, 100, 200, 300, 400 ms: 5 pulses under way, the last
+        // truncated by the horizon at 450 ms (all 10 packets fit in 10 ms).
+        assert_eq!(sent.len(), 50);
+    }
+
+    #[test]
+    fn cbr_source_is_constant_rate() {
+        let mut src = CbrSource::new(
+            BitsPerSec::from_mbps(8.0),
+            FlowId::from_u32(100),
+            NodeId::from_u32(5),
+            Bytes::from_u64(1000),
+            PacketKind::Background,
+            Some(SimTime::from_millis(10)),
+        );
+        let sent = drive_timers(&mut src, SimTime::from_secs(1));
+        // One packet per ms for 10 ms (the stop time cuts the stream).
+        assert_eq!(sent.len(), 10);
+        assert!(sent.iter().all(|(_, p)| p.kind == PacketKind::Background));
+    }
+
+    #[test]
+    fn schedule_source_replays_varying_pulses() {
+        // Two pulses: 10 pkts at 8 Mbps, then 5 pkts at 4 Mbps, 100 ms
+        // period each.
+        let p1 = PulseTrain::new(
+            SimDuration::from_millis(10),
+            BitsPerSec::from_mbps(8.0),
+            SimDuration::from_millis(90),
+        )
+        .unwrap();
+        let p2 = PulseTrain::new(
+            SimDuration::from_millis(10),
+            BitsPerSec::from_mbps(4.0),
+            SimDuration::from_millis(90),
+        )
+        .unwrap();
+        let sched = PulseSchedule::new(vec![p1, p2]).unwrap();
+        let mut src = SchedulePulseSource::new(
+            sched,
+            FlowId::from_u32(1),
+            NodeId::from_u32(5),
+            Bytes::from_u64(1000),
+        );
+        let sent = drive_timers(&mut src, SimTime::from_secs(5));
+        // Pulse 1: 10 kB = 10 pkts; pulse 2: 5 kB = 5 pkts; then stops.
+        assert_eq!(sent.len(), 15);
+        assert_eq!(src.stats().pulses_completed, 2);
+        // Second pulse starts exactly one period (100 ms) in.
+        assert_eq!(sent[10].0, SimTime::from_millis(100));
+        // Its packets are spaced at the *second* pulse's rate: 2 ms.
+        assert_eq!(sent[11].0, SimTime::from_millis(102));
+    }
+
+    #[test]
+    fn flood_degenerate_train_matches_cbr_volume() {
+        // A pulse train with T_space = 0 is a flood (§2.1): over the same
+        // horizon it must emit the same volume as a CBR source at the
+        // pulse rate.
+        let flood_train = PulseTrain::new(
+            SimDuration::from_millis(10),
+            BitsPerSec::from_mbps(8.0),
+            SimDuration::ZERO,
+        )
+        .unwrap();
+        assert!(flood_train.is_flood());
+        let mut pulsed = PulseSource::new(
+            flood_train,
+            FlowId::from_u32(1),
+            NodeId::from_u32(5),
+            Bytes::from_u64(1000),
+            None,
+        );
+        let mut cbr = CbrSource::new(
+            BitsPerSec::from_mbps(8.0),
+            FlowId::from_u32(1),
+            NodeId::from_u32(5),
+            Bytes::from_u64(1000),
+            PacketKind::Attack,
+            Some(SimTime::from_millis(100)),
+        );
+        let a = drive_timers(&mut pulsed, SimTime::from_millis(100)).len();
+        let b = drive_timers(&mut cbr, SimTime::from_millis(100)).len();
+        assert!(
+            a.abs_diff(b) <= 1,
+            "flood-degenerate pulse train ({a} pkts) must match CBR ({b} pkts)"
+        );
+    }
+
+    #[test]
+    fn source_stats_track_bytes_and_pulses() {
+        let mut src = CbrSource::new(
+            BitsPerSec::from_mbps(8.0),
+            FlowId::from_u32(1),
+            NodeId::from_u32(5),
+            Bytes::from_u64(500),
+            PacketKind::Attack,
+            Some(SimTime::from_millis(5)),
+        );
+        let sent = drive_timers(&mut src, SimTime::from_secs(1));
+        assert_eq!(src.stats().packets_sent as usize, sent.len());
+        assert_eq!(src.stats().bytes_sent, 500 * sent.len() as u64);
+        assert_eq!(src.rate().as_mbps(), 8.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "Attack or Background")]
+    fn cbr_rejects_tcp_kinds() {
+        CbrSource::new(
+            BitsPerSec::from_mbps(1.0),
+            FlowId::from_u32(1),
+            NodeId::from_u32(0),
+            Bytes::from_u64(100),
+            PacketKind::Ack { cum_seq: 0 },
+            None,
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "packet size")]
+    fn pulse_source_rejects_zero_packet() {
+        PulseSource::new(
+            train(),
+            FlowId::from_u32(1),
+            NodeId::from_u32(0),
+            Bytes::ZERO,
+            None,
+        );
+    }
+}

@@ -1,0 +1,67 @@
+//! Ablation: the modelled risk factor (1-γ)^κ vs measured detectability.
+//! Sweeps γ and runs the flooding (rate) detector and the DTW waveform
+//! detector against the bottleneck's incoming traffic.
+
+use pdos_attack::pulse::PulseTrain;
+use pdos_bench::fast_mode;
+use pdos_detect::prelude::*;
+use pdos_analysis::gain::RiskPreference;
+use pdos_scenarios::prelude::*;
+use pdos_sim::time::{SimDuration, SimTime};
+use pdos_sim::units::BitsPerSec;
+use pdos_sim::trace::TraceFilter;
+
+fn main() {
+    println!("=== Ablation: modelled risk factor vs measured detectability ===\n");
+    let flows = if fast_mode() { 6 } else { 10 };
+    let spec = ScenarioSpec::ns2_dumbbell(flows);
+    let bin = SimDuration::from_millis(100);
+    let warm = SimDuration::from_secs(5);
+    let win = SimDuration::from_secs(if fast_mode() { 15 } else { 40 });
+    let (t_extent, r_attack) = (0.075, 30e6);
+
+    println!(
+        "{:>6} {:>10} {:>12} {:>12} {:>10}",
+        "gamma", "(1-g)^1", "rate-alarm", "dtw-match", "ewma-util"
+    );
+    for gamma in [0.1, 0.2, 0.35, 0.5, 0.7, 0.9] {
+        let train = PulseTrain::from_gamma(
+            SimDuration::from_secs_f64(t_extent),
+            BitsPerSec::from_bps(r_attack),
+            spec.bottleneck,
+            gamma,
+        )
+        .expect("feasible gamma");
+        let period_bins =
+            ((train.period().as_nanos() as f64) / (bin.as_nanos() as f64)).round() as usize;
+
+        let mut bench = spec.build().expect("builds");
+        let trace = bench.trace_bottleneck(TraceFilter::All, bin);
+        bench.attach_pulse_attack(train, SimTime::ZERO + warm, None);
+        bench.run_until(SimTime::ZERO + warm + win);
+        let first = (warm.as_nanos() / bin.as_nanos()) as usize;
+        let bytes: Vec<u64> = bench.sim.trace(trace).bytes_per_bin()[first..].to_vec();
+
+        let rate = RateDetector::conventional(spec.bottleneck.as_bps(), bin.as_secs_f64())
+            .run(&bytes);
+        let dtw = if (4..=bytes.len()).contains(&period_bins) {
+            let on = ((t_extent / bin.as_secs_f64()).round() as usize).clamp(1, period_bins - 1);
+            let series: Vec<f64> = bytes.iter().map(|&b| b as f64).collect();
+            DtwPulseDetector::new(period_bins, on, 0.75, Some(period_bins / 2))
+                .sweep(&series)
+                .detected
+        } else {
+            false
+        };
+        println!(
+            "{:>6.2} {:>10.3} {:>12} {:>12} {:>10.3}",
+            gamma,
+            RiskPreference::NEUTRAL.factor(gamma),
+            if rate.detected { "ALARM" } else { "quiet" },
+            if dtw { "MATCH" } else { "miss" },
+            rate.final_utilization,
+        );
+    }
+    println!("\nThe volume detector's alarm boundary tracks the (1-gamma) risk model;");
+    println!("DTW sees the waveform even at low gamma - the evasion costs the paper cites.");
+}

@@ -1,0 +1,77 @@
+//! Ablation: distributed pulsing. Synchronized bots reproduce the
+//! single-attacker damage; staggered bots (same aggregate volume) lose
+//! the pulse concentration the PDoS effect depends on — and become easier
+//! prey for the volume detector because the traffic looks smoother.
+
+use pdos_attack::pulse::PulseTrain;
+use pdos_bench::fast_mode;
+use pdos_detect::prelude::*;
+use pdos_scenarios::prelude::*;
+use pdos_sim::time::{SimDuration, SimTime};
+use pdos_sim::trace::TraceFilter;
+use pdos_sim::units::BitsPerSec;
+
+fn main() {
+    println!("=== Ablation: distributed pulsing (aggregate 30 Mbps, 75 ms pulses, gamma=0.4) ===\n");
+    let flows = if fast_mode() { 6 } else { 12 };
+    let spec = ScenarioSpec::ns2_dumbbell(flows);
+    let warm = SimTime::from_secs(8);
+    let secs = if fast_mode() { 15 } else { 40 };
+    let end = warm + SimDuration::from_secs(secs);
+    let bin = SimDuration::from_millis(100);
+
+    // Baseline.
+    let mut base = spec.build().expect("builds");
+    base.run_until(warm);
+    let b0 = base.goodput_bytes();
+    base.run_until(end);
+    let baseline = base.goodput_bytes() - b0;
+
+    println!(
+        "{:>10} {:>12} {:>14} {:>12} {:>14}",
+        "sources", "phasing", "degradation", "rate-alarm", "spectral"
+    );
+    for (n, phasing) in [
+        (1, AttackPhasing::Synchronized),
+        (4, AttackPhasing::Synchronized),
+        (8, AttackPhasing::Synchronized),
+        (4, AttackPhasing::Staggered),
+        (8, AttackPhasing::Staggered),
+    ] {
+        let train = PulseTrain::new(
+            SimDuration::from_millis(75),
+            BitsPerSec::from_mbps(30.0),
+            SimDuration::from_millis(300),
+        )
+        .expect("valid train");
+        let mut bench = spec.build().expect("builds");
+        let trace = bench.trace_bottleneck(TraceFilter::All, bin);
+        bench
+            .attach_distributed_pulse_attack(train, warm, n, phasing)
+            .expect("feasible");
+        bench.run_until(warm);
+        let g0 = bench.goodput_bytes();
+        bench.run_until(end);
+        let degradation = 1.0 - (bench.goodput_bytes() - g0) as f64 / baseline as f64;
+
+        let first = (warm.as_nanos() / bin.as_nanos()) as usize;
+        let bytes: Vec<u64> = bench.sim.trace(trace).bytes_per_bin()[first..].to_vec();
+        let rate = RateDetector::conventional(15e6, bin.as_secs_f64()).run(&bytes);
+        let series: Vec<f64> = bytes.iter().map(|&b| b as f64).collect();
+        let spectral = SpectralDetector::new(2, 40, 15.0).sweep(&series);
+
+        println!(
+            "{:>10} {:>12} {:>14.3} {:>12} {:>14}",
+            n,
+            format!("{phasing:?}"),
+            degradation,
+            if rate.detected { "ALARM" } else { "quiet" },
+            spectral
+                .dominant_period
+                .map(|p| format!("T~{:.1}s", p as f64 * bin.as_secs_f64()))
+                .unwrap_or_else(|| "none".into()),
+        );
+    }
+    println!("\nSynchronization is load-bearing: staggered bots deliver the same bytes");
+    println!("but much less damage (pulse amplitude falls below the buffer).");
+}

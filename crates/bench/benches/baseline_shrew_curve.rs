@@ -1,0 +1,73 @@
+//! Baseline: the shrew attack's double-dip throughput curve (Kuzmanovic &
+//! Knightly, SIGCOMM 2003 — the paper's reference [10]). Sweeps the pulse
+//! period `T` across the shrew nulls of the 1 s minimum RTO and compares
+//! the measured normalized victim throughput with the analytic ρ(T).
+//!
+//! This validates the workspace's shrew-model module against the
+//! simulator, and exhibits the structural contrast with the AIMD gain
+//! model: ρ(T) has nulls at min_rto/n, Γ(γ) does not.
+
+use pdos_analysis::shrew_model::shrew_throughput;
+use pdos_attack::pulse::PulseTrain;
+use pdos_bench::fast_mode;
+use pdos_scenarios::spec::ScenarioSpec;
+use pdos_sim::time::{SimDuration, SimTime};
+use pdos_sim::units::BitsPerSec;
+
+fn main() {
+    println!("=== Baseline: shrew double-dip curve (min RTO = 1 s) ===\n");
+    // Homogeneous short-RTT victims: each pulse wipes a whole window
+    // (timeout), and RTT << T lets the flow recover to full rate inside
+    // the inter-pulse gap — the regime where K&K's fluid model ρ(T) =
+    // (⌈RTO/T⌉·T − RTO)/(⌈RTO/T⌉·T) applies.
+    let mut spec = ScenarioSpec::ns2_dumbbell(if fast_mode() { 4 } else { 6 });
+    spec.rtt_lo = 0.080;
+    spec.rtt_hi = 0.100;
+
+    let warm = SimTime::from_secs(6);
+    let secs: u64 = if fast_mode() { 20 } else { 50 };
+    let end = warm + SimDuration::from_secs(secs);
+
+    // Baseline without attack.
+    let mut base = spec.build().expect("builds");
+    base.run_until(warm);
+    let b0 = base.goodput_bytes();
+    base.run_until(end);
+    let baseline = (base.goodput_bytes() - b0) as f64;
+
+    println!(
+        "{:>8} {:>12} {:>12} {:>8}",
+        "T (s)", "rho_model", "rho_sim", "null?"
+    );
+    let periods_ms: &[u64] = &[
+        330, 400, 500, 600, 700, 800, 900, 1000, 1100, 1300, 1500, 1800, 2200, 2600, 3000,
+    ];
+    for &t_ms in periods_ms {
+        let train = PulseTrain::new(
+            SimDuration::from_millis(50),
+            BitsPerSec::from_mbps(50.0),
+            SimDuration::from_millis(t_ms - 50),
+        )
+        .expect("valid train");
+        let mut bench = spec.build().expect("builds");
+        bench.attach_pulse_attack(train, warm, None);
+        bench.run_until(warm);
+        let g0 = bench.goodput_bytes();
+        bench.run_until(end);
+        let rho_sim = (bench.goodput_bytes() - g0) as f64 / baseline;
+        let t = t_ms as f64 / 1000.0;
+        let rho_model = shrew_throughput(t, 1.0);
+        let is_null = [1.0f64, 0.5, 1.0 / 3.0]
+            .iter()
+            .any(|n| (t - n).abs() / n < 0.02);
+        println!(
+            "{:>8.2} {:>12.3} {:>12.3} {:>8}",
+            t,
+            rho_model,
+            rho_sim,
+            if is_null { "<- null" } else { "" }
+        );
+    }
+    println!("\nExpect rho_sim dips near T = 1.0 s and 0.5 s (and 1/3 s), recovering");
+    println!("between and beyond them — the Kuzmanovic & Knightly signature.");
+}

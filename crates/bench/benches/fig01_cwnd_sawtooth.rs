@@ -1,0 +1,64 @@
+//! Figure 1: the cwnd trajectory under a fixed-period AIMD attack —
+//! transient convergence, then a steady sawtooth whose pre-epoch peaks
+//! follow Eq. (1)'s fixed point and the W_{n+1} = b·W_n + (a/d)(T/RTT)
+//! recursion.
+
+use pdos_analysis::model::{converged_window, window_trajectory};
+use pdos_attack::pulse::PulseTrain;
+use pdos_scenarios::spec::ScenarioSpec;
+use pdos_sim::time::{SimDuration, SimTime};
+use pdos_sim::units::BitsPerSec;
+use pdos_tcp::sender::TcpSender;
+use pdos_tcp::stats::CwndSample;
+
+fn main() {
+    println!("=== Fig. 1: cwnd under an AIMD-based attack with fixed period ===");
+    let mut spec = ScenarioSpec::ns2_dumbbell(1);
+    spec.rtt_lo = 0.200;
+    spec.rtt_hi = 0.200;
+    spec.tcp.record_cwnd = true;
+
+    let t_aimd = 2.0;
+    let train = PulseTrain::new(
+        SimDuration::from_millis(100),
+        BitsPerSec::from_mbps(40.0),
+        SimDuration::from_millis(1900),
+    )
+    .expect("valid train");
+    let attack_start = SimTime::from_secs(10);
+
+    let mut bench = spec.build().expect("builds");
+    bench.attach_pulse_attack(train, attack_start, None);
+    bench.run_until(SimTime::from_secs(50));
+
+    let sender = bench
+        .sim
+        .agent_as::<TcpSender>(bench.flows[0].sender)
+        .expect("sender");
+    let trace: Vec<&CwndSample> = sender.cwnd_trace().iter().collect();
+
+    // Windows just before each attack epoch (sampled at epoch - 10 ms).
+    let mut pre_epoch = Vec::new();
+    for k in 0..20u64 {
+        let epoch = attack_start + SimDuration::from_secs_f64(t_aimd * k as f64);
+        let probe = epoch - SimDuration::from_millis(10);
+        if let Some(s) = trace.iter().rev().find(|s| s.at <= probe) {
+            pre_epoch.push(s.cwnd);
+        }
+    }
+
+    let w1 = pre_epoch.first().copied().unwrap_or(0.0);
+    let predicted = window_trajectory(1.0, 0.5, 2.0, t_aimd, 0.200, w1, pre_epoch.len());
+    let w_bar = converged_window(1.0, 0.5, 2.0, t_aimd, 0.200);
+
+    println!("Eq. (1) converged window W_bar = {w_bar:.1} segments\n");
+    println!("{:>6} {:>12} {:>12}", "epoch", "W_sim", "W_model");
+    for (i, (sim, model)) in pre_epoch.iter().zip(&predicted).enumerate() {
+        println!("{i:>6} {sim:>12.1} {model:>12.1}");
+    }
+    let steady: Vec<f64> = pre_epoch.iter().skip(10).copied().collect();
+    if !steady.is_empty() {
+        let mean = steady.iter().sum::<f64>() / steady.len() as f64;
+        println!("\nsteady-phase mean pre-epoch window: {mean:.1} (model {w_bar:.1})");
+    }
+}

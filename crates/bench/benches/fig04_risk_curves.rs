@@ -1,0 +1,33 @@
+//! Figure 4: the risk factor (1-γ)^κ for risk-loving (κ<1), risk-neutral
+//! (κ=1) and risk-averse (κ>1) attackers, plus the Corollary 1–3 limits.
+
+use pdos_analysis::gain::RiskPreference;
+use pdos_analysis::optimize::gamma_star;
+
+fn main() {
+    println!("=== Fig. 4: attacker risk preference (1-gamma)^kappa ===\n");
+    let kappas = [0.25, 0.5, 1.0, 2.0, 4.0];
+    print!("{:>6}", "gamma");
+    for k in kappas {
+        print!(" {:>9}", format!("k={k}"));
+    }
+    println!();
+    for i in 0..=10 {
+        let gamma = i as f64 / 10.0;
+        print!("{gamma:>6.1}");
+        for k in kappas {
+            let risk = RiskPreference::new(k).expect("valid kappa");
+            print!(" {:>9.4}", risk.factor(gamma));
+        }
+        println!();
+    }
+
+    println!("\nOptimal gamma* for C_psi = 0.15 (Prop. 3 and corollaries):");
+    for k in [0.01, 0.25, 1.0, 4.0, 100.0] {
+        let risk = RiskPreference::new(k).expect("valid kappa");
+        println!("  kappa = {k:>6}: gamma* = {:.4}", gamma_star(0.15, risk));
+    }
+    println!("  kappa -> 0   : gamma* -> 1        (Corollary 2, risk-loving limit)");
+    println!("  kappa  = 1   : gamma* = sqrt(C)   (Corollary 3) = {:.4}", 0.15f64.sqrt());
+    println!("  kappa -> inf : gamma* -> C_psi    (Corollary 1, risk-averse limit)");
+}

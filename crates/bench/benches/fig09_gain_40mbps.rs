@@ -1,0 +1,12 @@
+//! Figure 9: attack gain vs normalized attack rate at
+//! R_attack = 40 Mbps, four panels (15/25/35/45 TCP flows), three pulse
+//! widths (50/75/100 ms). Analytic curve (Eq. 5 + Prop. 2) vs simulation.
+
+use pdos_bench::{print_gain_panel, PANEL_FLOWS};
+
+fn main() {
+    println!("=== Fig. 9: gain vs gamma, R_attack = 40 Mbps ===");
+    for &flows in &PANEL_FLOWS {
+        print_gain_panel(flows, 40.0);
+    }
+}

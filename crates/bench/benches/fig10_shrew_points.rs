@@ -1,0 +1,55 @@
+//! Figure 10: the PDoS / shrew-attack interaction. Three parameter cases;
+//! γ values whose implied period lands on min_rto/n (n = 1, 2, 3) show
+//! simulated gains far above the FR-only analytical curve.
+
+use pdos_bench::{experiment, fast_mode};
+
+fn main() {
+    println!("=== Fig. 10: PDoS vs shrew points (ns-2 min RTO = 1 s) ===");
+    let flows = if fast_mode() { 8 } else { 15 };
+    let exp = experiment(flows);
+    let baseline = exp.baseline_bytes().expect("baseline runs");
+
+    // The paper's three cases: (R_attack Mbps, T_extent ms).
+    for (r_mbps, t_ms) in [(30.0, 100.0), (40.0, 75.0), (50.0, 50.0)] {
+        let r_attack = r_mbps * 1e6;
+        let t_extent = t_ms / 1000.0;
+        // γ grid: regular samples plus the exact shrew harmonics
+        // T_AIMD = 1, 1/2, 1/3 s  =>  γ = R·T_extent / (15e6 · T_AIMD).
+        let mut gammas: Vec<f64> = (1..=9).map(|i| i as f64 / 10.0).collect();
+        for n in 1..=3u32 {
+            let g = r_attack * t_extent / (15e6 / f64::from(n));
+            if g < 1.0 {
+                gammas.push(g);
+            }
+        }
+        gammas.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        gammas.dedup_by(|a, b| (*a - *b).abs() < 1e-6);
+
+        let sweep = exp
+            .sweep_with_baseline(t_extent, r_attack, &gammas, baseline)
+            .expect("sweep runs");
+        println!(
+            "\n--- R_attack = {r_mbps} Mbps, T_extent = {t_ms} ms (C_psi = {:.3}) ---",
+            sweep.c_psi
+        );
+        println!(
+            "{:>6} {:>8} {:>8} {:>8} {:>7} {:>6}",
+            "gamma", "T_AIMD", "G_curve", "G_sim", "shrew", "TOs"
+        );
+        for p in &sweep.points {
+            println!(
+                "{:>6.3} {:>7.2}s {:>8.3} {:>8.3} {:>7} {:>6}",
+                p.gamma,
+                p.t_aimd,
+                p.g_analytic,
+                p.g_sim,
+                p.shrew
+                    .map(|n| format!("O(n={n})"))
+                    .unwrap_or_else(|| "-".into()),
+                p.timeouts,
+            );
+        }
+    }
+    println!("\n'O' rows mark shrew points: expect G_sim >> G_curve there (Sec. 4.1.3).");
+}

@@ -1,0 +1,117 @@
+//! Criterion micro-benchmarks of the workspace's hot kernels: the event
+//! loop, RED enqueue path, the closed-form optimizer, DTW, and PAA.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use pdos_analysis::gain::RiskPreference;
+use pdos_analysis::optimize::gamma_star;
+use pdos_analysis::timeseries::paa;
+use pdos_attack::pulse::PulseTrain;
+use pdos_detect::dtw::dtw_distance;
+use pdos_scenarios::spec::ScenarioSpec;
+use pdos_sim::packet::{FlowId, Packet, PacketKind};
+use pdos_sim::node::NodeId;
+use pdos_sim::queue::{EnqueueOutcome, QueueDiscipline, RedConfig, RedQueue};
+use pdos_sim::time::{SimDuration, SimTime};
+use pdos_sim::units::{BitsPerSec, Bytes};
+use std::hint::black_box;
+
+fn bench_event_loop(c: &mut Criterion) {
+    c.bench_function("sim/dumbbell_1s_8flows", |b| {
+        b.iter_batched(
+            || ScenarioSpec::ns2_dumbbell(8).build().expect("builds"),
+            |mut bench| {
+                bench.run_until(SimTime::from_secs(1));
+                black_box(bench.sim.stats().events)
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_attacked_second(c: &mut Criterion) {
+    c.bench_function("sim/dumbbell_1s_8flows_attacked", |b| {
+        b.iter_batched(
+            || {
+                let mut bench = ScenarioSpec::ns2_dumbbell(8).build().expect("builds");
+                let train = PulseTrain::new(
+                    SimDuration::from_millis(50),
+                    BitsPerSec::from_mbps(50.0),
+                    SimDuration::from_millis(450),
+                )
+                .expect("valid");
+                bench.attach_pulse_attack(train, SimTime::ZERO, None);
+                bench
+            },
+            |mut bench| {
+                bench.run_until(SimTime::from_secs(1));
+                black_box(bench.sim.stats().events)
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_red_enqueue(c: &mut Criterion) {
+    c.bench_function("queue/red_enqueue_dequeue", |b| {
+        let pkt = Packet::new(
+            FlowId::from_u32(0),
+            NodeId::from_u32(0),
+            NodeId::from_u32(1),
+            Bytes::from_u64(1000),
+            PacketKind::Background,
+        );
+        b.iter_batched(
+            || RedQueue::new(RedConfig::ns2_default(64), BitsPerSec::from_mbps(15.0), 7),
+            |mut q| {
+                let mut kept = 0u32;
+                for i in 0..1000u64 {
+                    if q.enqueue(pkt, SimTime::from_nanos(i * 100)) == EnqueueOutcome::Enqueued {
+                        kept += 1;
+                    }
+                    if i % 2 == 0 {
+                        let _ = q.dequeue(SimTime::from_nanos(i * 100 + 50));
+                    }
+                }
+                black_box(kept)
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_gamma_star(c: &mut Criterion) {
+    c.bench_function("analysis/gamma_star", |b| {
+        let risk = RiskPreference::new(2.5).expect("valid");
+        b.iter(|| black_box(gamma_star(black_box(0.17), risk)))
+    });
+}
+
+fn bench_dtw(c: &mut Criterion) {
+    let a: Vec<f64> = (0..200).map(|i| ((i % 20) as f64 / 20.0).sin()).collect();
+    let b2: Vec<f64> = (0..200).map(|i| (((i + 3) % 20) as f64 / 20.0).sin()).collect();
+    c.bench_function("detect/dtw_200x200_banded", |b| {
+        b.iter(|| black_box(dtw_distance(black_box(&a), black_box(&b2), Some(10))))
+    });
+}
+
+fn bench_paa(c: &mut Criterion) {
+    let series: Vec<f64> = (0..1200).map(|i| (i as f64 * 0.1).sin()).collect();
+    c.bench_function("analysis/paa_1200_to_240", |b| {
+        b.iter(|| black_box(paa(black_box(&series), 240)))
+    });
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_event_loop, bench_attacked_second, bench_red_enqueue,
+              bench_gamma_star, bench_dtw, bench_paa
+}
+criterion_main!(benches);

@@ -1,0 +1,114 @@
+//! Shared helpers for the figure-regeneration benchmarks.
+//!
+//! Each bench target in `benches/` regenerates one figure of Luo & Chang
+//! (DSN 2005): it prints the analytical curve and the simulated points in
+//! aligned rows, the way the paper plots lines and symbols. Absolute
+//! numbers differ from the paper's testbeds; the *shape* (who wins, where
+//! the maxima sit, where shrew spikes appear) is the reproduction target.
+//!
+//! Set `PDOS_BENCH_FAST=1` to shrink measurement windows for smoke runs.
+
+use pdos_scenarios::prelude::*;
+use pdos_sim::time::SimDuration;
+
+/// The pulse widths the figure panels sweep (§4.1): 50, 75, 100 ms.
+pub const TEXTENTS: [f64; 3] = [0.050, 0.075, 0.100];
+
+/// The flow counts of the four panels of each of Figs. 6–9.
+pub const PANEL_FLOWS: [usize; 4] = [15, 25, 35, 45];
+
+/// Standard γ sampling for the gain figures.
+pub fn standard_gammas() -> Vec<f64> {
+    gamma_grid(0.08, 0.92, 8)
+}
+
+/// Measurement window, honoring `PDOS_BENCH_FAST`.
+pub fn window() -> SimDuration {
+    if fast_mode() {
+        SimDuration::from_secs(12)
+    } else {
+        SimDuration::from_secs(40)
+    }
+}
+
+/// Warm-up length, honoring `PDOS_BENCH_FAST`.
+pub fn warmup() -> SimDuration {
+    if fast_mode() {
+        SimDuration::from_secs(4)
+    } else {
+        SimDuration::from_secs(10)
+    }
+}
+
+/// Whether the fast (smoke-test) mode is requested.
+pub fn fast_mode() -> bool {
+    std::env::var_os("PDOS_BENCH_FAST").is_some()
+}
+
+/// Builds the standard experiment driver for a flow count.
+pub fn experiment(n_flows: usize) -> GainExperiment {
+    GainExperiment::new(ScenarioSpec::ns2_dumbbell(n_flows))
+        .warmup(warmup())
+        .window(window())
+}
+
+/// Prints one figure panel: for each pulse width, the analytic and
+/// simulated gain at each γ, plus the §4.1.1 classification.
+pub fn print_gain_panel(n_flows: usize, r_attack_mbps: f64) {
+    let exp = experiment(n_flows);
+    let r_attack = r_attack_mbps * 1e6;
+    let gammas = standard_gammas();
+    let baseline = exp
+        .baseline_bytes()
+        .expect("baseline simulation must run");
+    println!(
+        "\n--- {n_flows} TCP flows, R_attack = {r_attack_mbps} Mbps (baseline {:.2} Mbps) ---",
+        baseline as f64 * 8.0 / window().as_secs_f64() / 1e6
+    );
+    println!(
+        "{:>9} {:>6} | {:>8} {:>8} {:>8} | {:>6} {:>6}",
+        "T_extent", "gamma", "T_AIMD", "G_curve", "G_sim", "shrew", "class"
+    );
+    for &t_extent in &TEXTENTS {
+        let sweep = exp
+            .sweep_with_baseline(t_extent, r_attack, &gammas, baseline)
+            .expect("sweep must run");
+        for p in &sweep.points {
+            println!(
+                "{:>7}ms {:>6.2} | {:>7.2}s {:>8.3} {:>8.3} | {:>6} {:>6}",
+                (t_extent * 1000.0) as u64,
+                p.gamma,
+                p.t_aimd,
+                p.g_analytic,
+                p.g_sim,
+                p.shrew.map(|n| n.to_string()).unwrap_or_else(|| "-".into()),
+                p.class,
+            );
+        }
+        println!(
+            "  -> sweep class ({}ms, C_psi={:.3}): {}",
+            (t_extent * 1000.0) as u64,
+            sweep.c_psi,
+            sweep.class
+        );
+    }
+}
+
+/// Renders a normalized series as an ASCII strip (for the Fig. 3 benches).
+pub fn render_strip(series: &[f64]) {
+    const GLYPHS: &[u8] = b" .:-=+*#%@";
+    let (lo, hi) = series
+        .iter()
+        .fold((f64::MAX, f64::MIN), |(lo, hi), &x| (lo.min(x), hi.max(x)));
+    let span = (hi - lo).max(1e-9);
+    let line: String = series
+        .iter()
+        .map(|&x| {
+            let idx = (((x - lo) / span) * (GLYPHS.len() - 1) as f64).round() as usize;
+            GLYPHS[idx.min(GLYPHS.len() - 1)] as char
+        })
+        .collect();
+    for chunk in line.as_bytes().chunks(100) {
+        println!("  {}", std::str::from_utf8(chunk).expect("ascii"));
+    }
+}

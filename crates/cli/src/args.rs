@@ -1,0 +1,171 @@
+//! Minimal dependency-free argument parsing: `--key value` pairs and
+//! boolean `--flag`s after a subcommand.
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+/// A user error in the command line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArgError(pub String);
+
+impl fmt::Display for ArgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl Error for ArgError {}
+
+/// Parsed command line: a subcommand plus `--key value` options and
+/// `--flag` booleans.
+#[derive(Debug, Clone, Default)]
+pub struct Args {
+    /// The subcommand (first positional argument).
+    pub command: String,
+    options: HashMap<String, String>,
+    flags: Vec<String>,
+}
+
+/// Option keys every subcommand accepts, used for typo detection.
+const KNOWN_KEYS: &[&str] = &[
+    "flows", "textent-ms", "rattack-mbps", "gamma", "kappa", "points", "period-s", "window-s",
+    "seed", "queue", "csv", "capacity-mbps", "bin-ms", "min-rto-ms", "trace-out", "target-degradation",
+];
+const KNOWN_FLAGS: &[&str] = &["ecn", "droptail", "help", "testbed"];
+
+impl Args {
+    /// Parses `argv[1..]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArgError`] on missing values, unknown keys, or a missing
+    /// subcommand.
+    pub fn parse<I: IntoIterator<Item = String>>(argv: I) -> Result<Args, ArgError> {
+        let mut it = argv.into_iter().peekable();
+        let command = it
+            .next()
+            .ok_or_else(|| ArgError("missing subcommand; try `pdos help`".into()))?;
+        let mut args = Args {
+            command,
+            ..Args::default()
+        };
+        while let Some(tok) = it.next() {
+            let Some(key) = tok.strip_prefix("--") else {
+                return Err(ArgError(format!(
+                    "unexpected positional argument '{tok}' (options are --key value)"
+                )));
+            };
+            if KNOWN_FLAGS.contains(&key) {
+                args.flags.push(key.to_string());
+            } else if KNOWN_KEYS.contains(&key) {
+                let value = it
+                    .next()
+                    .ok_or_else(|| ArgError(format!("option --{key} needs a value")))?;
+                args.options.insert(key.to_string(), value);
+            } else {
+                return Err(ArgError(format!("unknown option --{key}")));
+            }
+        }
+        Ok(args)
+    }
+
+    /// Whether `--flag` was given.
+    pub fn flag(&self, name: &str) -> bool {
+        self.flags.iter().any(|f| f == name)
+    }
+
+    /// A string option.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.options.get(key).map(String::as_str)
+    }
+
+    /// A parsed numeric option with a default.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArgError`] when the value does not parse.
+    pub fn num<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, ArgError> {
+        match self.options.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| ArgError(format!("--{key}: cannot parse '{v}'"))),
+        }
+    }
+
+    /// A required numeric option.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArgError`] when missing or unparsable.
+    pub fn require_num<T: std::str::FromStr>(&self, key: &str) -> Result<T, ArgError> {
+        let v = self
+            .options
+            .get(key)
+            .ok_or_else(|| ArgError(format!("missing required option --{key}")))?;
+        v.parse()
+            .map_err(|_| ArgError(format!("--{key}: cannot parse '{v}'")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &str) -> Result<Args, ArgError> {
+        Args::parse(s.split_whitespace().map(String::from))
+    }
+
+    #[test]
+    fn parses_command_options_and_flags() {
+        let a = parse("simulate --flows 15 --gamma 0.3 --ecn").unwrap();
+        assert_eq!(a.command, "simulate");
+        assert_eq!(a.num::<usize>("flows", 0).unwrap(), 15);
+        assert_eq!(a.num::<f64>("gamma", 0.0).unwrap(), 0.3);
+        assert!(a.flag("ecn"));
+        assert!(!a.flag("droptail"));
+    }
+
+    #[test]
+    fn defaults_apply_when_absent() {
+        let a = parse("solve").unwrap();
+        assert_eq!(a.num::<usize>("flows", 25).unwrap(), 25);
+        assert_eq!(a.get("queue"), None);
+    }
+
+    #[test]
+    fn missing_subcommand_rejected() {
+        assert!(Args::parse(Vec::new()).is_err());
+    }
+
+    #[test]
+    fn unknown_option_rejected() {
+        let e = parse("solve --bogus 3").unwrap_err();
+        assert!(e.to_string().contains("--bogus"));
+    }
+
+    #[test]
+    fn missing_value_rejected() {
+        let e = parse("solve --flows").unwrap_err();
+        assert!(e.to_string().contains("needs a value"));
+    }
+
+    #[test]
+    fn unparsable_value_rejected() {
+        let a = parse("solve --flows abc").unwrap();
+        assert!(a.num::<usize>("flows", 1).is_err());
+        assert!(a.require_num::<usize>("flows").is_err());
+    }
+
+    #[test]
+    fn positional_after_command_rejected() {
+        assert!(parse("solve stray").is_err());
+    }
+
+    #[test]
+    fn required_option_enforced() {
+        let a = parse("detect").unwrap();
+        assert!(a.require_num::<f64>("capacity-mbps").is_err());
+    }
+}

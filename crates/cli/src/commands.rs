@@ -1,0 +1,526 @@
+//! Subcommand implementations. Each returns the report text it would
+//! print, so the logic is directly unit-testable.
+
+use crate::args::{ArgError, Args};
+use pdos_analysis::gain::RiskPreference;
+use pdos_analysis::optimize::{plan_for_degradation, solve};
+use pdos_analysis::sensitivity::parameter_what_if;
+use pdos_attack::pulse::PulseTrain;
+use pdos_detect::cusum::CusumDetector;
+use pdos_detect::rate::RateDetector;
+use pdos_detect::spectral::SpectralDetector;
+use pdos_scenarios::experiment::{gamma_grid, GainExperiment};
+use pdos_scenarios::spec::{BottleneckQueue, ScenarioSpec};
+use pdos_scenarios::sync::SyncExperiment;
+use pdos_sim::time::SimDuration;
+use pdos_sim::units::BitsPerSec;
+use std::fmt::Write as _;
+
+/// The top-level help text.
+pub const HELP: &str = "\
+pdos — a simulation laboratory for pulsing denial-of-service research
+(reproduction of Luo & Chang, DSN 2005; simulation only, no real traffic)
+
+USAGE: pdos <command> [--key value] [--flag]
+
+COMMANDS
+  solve      solve the gain model: optimal gamma*, mu*, period, what-if table
+             --flows N (25)  --textent-ms T (75)  --rattack-mbps R (30)
+             --kappa K (1.0)  --target-degradation D (also plan the
+             quietest attack reaching damage level D)
+  simulate   run one attacked scenario and report measured vs modelled damage
+             --flows N (15)  --textent-ms T (75)  --rattack-mbps R (30)
+             --gamma G (0.3)  --window-s W (30)  --seed S (1)
+             --queue red|droptail|acc (red)  --ecn  --testbed (use the
+             Fig. 11 test-bed scenario: 10 Mbps, 150 ms, 200 ms min RTO)
+             --trace-out FILE (write the bottleneck's binned byte trace,
+             --bin-ms B (100) wide bins, consumable by `pdos detect`)
+  sweep      gamma sweep printing CSV rows (gamma,t_aimd,g_curve,g_sim,class)
+             same options as simulate, plus --points N (8)
+  sync       the Fig. 3 synchronization experiment
+             --flows N (12)  --textent-ms T (50)  --rattack-mbps R (100)
+             --period-s P (2)  --window-s W (30)
+  detect     run the volume + spectral detectors over a binned byte trace
+             --csv FILE (one integer per line: bytes per bin)
+             --capacity-mbps C  --bin-ms B (100)
+  help       this text
+";
+
+fn queue_of(args: &Args) -> Result<BottleneckQueue, ArgError> {
+    match args.get("queue").unwrap_or("red") {
+        "red" => Ok(BottleneckQueue::Red),
+        "droptail" => Ok(BottleneckQueue::DropTail),
+        "acc" => Ok(BottleneckQueue::AccRed),
+        other => Err(ArgError(format!(
+            "--queue must be red, droptail or acc; got '{other}'"
+        ))),
+    }
+}
+
+fn spec_of(args: &Args, default_flows: usize) -> Result<ScenarioSpec, ArgError> {
+    let mut spec = if args.flag("testbed") {
+        let mut s = ScenarioSpec::testbed();
+        s.n_flows = args.num("flows", s.n_flows)?;
+        s
+    } else {
+        ScenarioSpec::ns2_dumbbell(args.num("flows", default_flows)?)
+    };
+    spec.queue = queue_of(args)?;
+    spec.seed = args.num("seed", 1u64)?;
+    spec.tcp.ecn = args.flag("ecn");
+    if let Some(ms) = args.get("min-rto-ms") {
+        let ms: u64 = ms
+            .parse()
+            .map_err(|_| ArgError(format!("--min-rto-ms: cannot parse '{ms}'")))?;
+        spec.tcp.min_rto = SimDuration::from_millis(ms);
+    }
+    Ok(spec)
+}
+
+/// `pdos solve`.
+pub fn cmd_solve(args: &Args) -> Result<String, ArgError> {
+    let flows: usize = args.num("flows", 25)?;
+    let t_extent = args.num("textent-ms", 75.0)? / 1000.0;
+    let r_attack = args.num("rattack-mbps", 30.0)? * 1e6;
+    let kappa: f64 = args.num("kappa", 1.0)?;
+    let risk = RiskPreference::new(kappa).map_err(ArgError)?;
+    let victims = ScenarioSpec::ns2_dumbbell(flows).victims();
+
+    let sol = solve(&victims, t_extent, r_attack, risk).map_err(|e| ArgError(e.to_string()))?;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "victims: {flows} flows, 15 Mbps bottleneck; pulses {} ms at {} Mbps; kappa = {kappa}",
+        t_extent * 1000.0,
+        r_attack / 1e6
+    );
+    let _ = writeln!(out, "  gamma*          = {:.4}", sol.gamma_star);
+    let _ = writeln!(out, "  mu*             = {:.3}", sol.mu_star);
+    let _ = writeln!(out, "  period T_AIMD   = {:.3} s", sol.period);
+    let _ = writeln!(out, "  degradation     = {:.3}", sol.degradation);
+    let _ = writeln!(out, "  gain at optimum = {:.3}", sol.gain);
+    if let Some(target) = args.get("target-degradation") {
+        let target: f64 = target
+            .parse()
+            .map_err(|_| ArgError(format!("--target-degradation: cannot parse '{target}'")))?;
+        let plan = plan_for_degradation(&victims, t_extent, r_attack, target, risk)
+            .map_err(|e| ArgError(e.to_string()))?;
+        let _ = writeln!(
+            out,
+            "\nquietest attack reaching {:.0}% degradation:",
+            target * 100.0
+        );
+        let _ = writeln!(out, "  gamma           = {:.4}", plan.gamma);
+        let _ = writeln!(out, "  mu              = {:.3}", plan.mu);
+        let _ = writeln!(out, "  period T_AIMD   = {:.3} s", plan.period);
+        let _ = writeln!(out, "  exposure factor = {:.3}", plan.exposure_factor);
+    }
+    let _ = writeln!(out, "\nwhat-if (risk-neutral attacker):");
+    let _ = writeln!(
+        out,
+        "  {:<42} {:>8} {:>8} {:>8}",
+        "change", "C_psi", "gamma*", "G*"
+    );
+    for row in parameter_what_if(&victims, t_extent, r_attack).map_err(|e| ArgError(e.to_string()))? {
+        let _ = writeln!(
+            out,
+            "  {:<42} {:>8.3} {:>8.3} {:>8.3}",
+            row.change, row.c_psi, row.gamma_star, row.g_star
+        );
+    }
+    Ok(out)
+}
+
+/// `pdos simulate`.
+pub fn cmd_simulate(args: &Args) -> Result<String, ArgError> {
+    let spec = spec_of(args, 15)?;
+    let t_extent = args.num("textent-ms", 75.0)? / 1000.0;
+    let r_attack = args.num("rattack-mbps", 30.0)? * 1e6;
+    let gamma: f64 = args.num("gamma", 0.3)?;
+    let window: u64 = args.num("window-s", 30)?;
+
+    let exp = GainExperiment::new(spec)
+        .warmup(SimDuration::from_secs(8))
+        .window(SimDuration::from_secs(window));
+    let baseline = exp
+        .baseline_bytes()
+        .map_err(|e| ArgError(e.to_string()))?;
+    let trace_bin = args
+        .get("trace-out")
+        .map(|_| -> Result<SimDuration, ArgError> {
+            Ok(SimDuration::from_secs_f64(args.num("bin-ms", 100.0)? / 1000.0))
+        })
+        .transpose()?;
+    let (p, bins) = exp
+        .run_point_traced(t_extent, r_attack, gamma, baseline, trace_bin)
+        .map_err(|e| ArgError(e.to_string()))?;
+
+    let mut out = String::new();
+    if let Some(path) = args.get("trace-out") {
+        let body: String = bins.iter().map(|b| format!("{b}\n")).collect();
+        std::fs::write(path, body)
+            .map_err(|e| ArgError(format!("cannot write {path}: {e}")))?;
+        let _ = writeln!(out, "wrote {} bins to {path}", bins.len());
+    }
+    let _ = writeln!(
+        out,
+        "attack: {} ms pulses at {} Mbps, gamma = {gamma} (T_AIMD = {:.3} s)",
+        t_extent * 1000.0,
+        r_attack / 1e6,
+        p.t_aimd
+    );
+    let _ = writeln!(
+        out,
+        "baseline goodput          : {:.2} Mbps",
+        baseline as f64 * 8.0 / window as f64 / 1e6
+    );
+    let _ = writeln!(out, "degradation (model / sim) : {:.3} / {:.3}", p.degradation_analytic, p.degradation_sim);
+    let _ = writeln!(out, "gain        (model / sim) : {:.3} / {:.3}", p.g_analytic, p.g_sim);
+    let _ = writeln!(out, "victim timeouts / FRs     : {} / {}", p.timeouts, p.fast_recoveries);
+    if let Some(n) = p.shrew {
+        let _ = writeln!(out, "NOTE: period sits on the shrew subharmonic min_rto/{n}");
+    }
+    let _ = writeln!(out, "classification            : {}", p.class);
+    Ok(out)
+}
+
+/// `pdos sweep`.
+pub fn cmd_sweep(args: &Args) -> Result<String, ArgError> {
+    let spec = spec_of(args, 15)?;
+    let t_extent = args.num("textent-ms", 75.0)? / 1000.0;
+    let r_attack = args.num("rattack-mbps", 30.0)? * 1e6;
+    let points: usize = args.num("points", 8)?;
+    let window: u64 = args.num("window-s", 30)?;
+    if points < 2 {
+        return Err(ArgError("--points must be at least 2".into()));
+    }
+
+    let exp = GainExperiment::new(spec)
+        .warmup(SimDuration::from_secs(8))
+        .window(SimDuration::from_secs(window));
+    let baseline = exp
+        .baseline_bytes()
+        .map_err(|e| ArgError(e.to_string()))?;
+    let sweep = exp
+        .sweep_parallel(t_extent, r_attack, &gamma_grid(0.08, 0.92, points), baseline)
+        .map_err(|e| ArgError(e.to_string()))?;
+
+    let mut out = String::from("gamma,t_aimd_s,g_curve,g_sim,degradation_sim,timeouts,class\n");
+    for p in &sweep.points {
+        let _ = writeln!(
+            out,
+            "{:.3},{:.3},{:.4},{:.4},{:.4},{},{}",
+            p.gamma, p.t_aimd, p.g_analytic, p.g_sim, p.degradation_sim, p.timeouts, p.class
+        );
+    }
+    let _ = writeln!(out, "# C_psi = {:.4}, sweep class = {}", sweep.c_psi, sweep.class);
+    Ok(out)
+}
+
+/// `pdos sync`.
+pub fn cmd_sync(args: &Args) -> Result<String, ArgError> {
+    let spec = spec_of(args, 12)?;
+    let t_extent_ms: u64 = args.num("textent-ms", 50)?;
+    let r_attack = args.num("rattack-mbps", 100.0)?;
+    let period_s: f64 = args.num("period-s", 2.0)?;
+    let window: u64 = args.num("window-s", 30)?;
+    let period = SimDuration::from_secs_f64(period_s);
+    let extent = SimDuration::from_millis(t_extent_ms);
+    if period <= extent {
+        return Err(ArgError("--period-s must exceed --textent-ms".into()));
+    }
+    let train = PulseTrain::new(
+        extent,
+        BitsPerSec::from_mbps(r_attack),
+        period - extent,
+    )
+    .map_err(|e| ArgError(e.to_string()))?;
+    let result = SyncExperiment::new(spec)
+        .warmup(SimDuration::from_secs(8))
+        .window(SimDuration::from_secs(window))
+        .run(train)
+        .map_err(|e| ArgError(e.to_string()))?;
+
+    let mut out = String::new();
+    let _ = writeln!(out, "attack period              : {:.2} s", result.expected_period);
+    let _ = writeln!(out, "pinnacles in {window} s           : {}", result.peaks);
+    if let Some(p) = result.period_from_peaks {
+        let _ = writeln!(out, "period from peak count     : {p:.2} s");
+    }
+    if let Some(p) = result.period_from_autocorr {
+        let _ = writeln!(out, "period from autocorrelation: {p:.2} s");
+    }
+    Ok(out)
+}
+
+/// `pdos detect` — over an externally supplied binned byte trace.
+pub fn cmd_detect(args: &Args) -> Result<String, ArgError> {
+    let path = args
+        .get("csv")
+        .ok_or_else(|| ArgError("missing required option --csv".into()))?;
+    let capacity = args.require_num::<f64>("capacity-mbps")? * 1e6;
+    let bin_ms: f64 = args.num("bin-ms", 100.0)?;
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| ArgError(format!("cannot read {path}: {e}")))?;
+    let bytes = parse_trace(&text)?;
+    if bytes.is_empty() {
+        return Err(ArgError(format!("{path} contains no samples")));
+    }
+    Ok(detect_report(&bytes, capacity, bin_ms / 1000.0))
+}
+
+/// Parses a one-integer-per-line trace (blank lines and `#` comments
+/// ignored).
+///
+/// # Errors
+///
+/// Returns [`ArgError`] naming the first bad line.
+pub fn parse_trace(text: &str) -> Result<Vec<u64>, ArgError> {
+    text.lines()
+        .enumerate()
+        .map(|(i, l)| (i, l.trim()))
+        .filter(|(_, l)| !l.is_empty() && !l.starts_with('#'))
+        .map(|(i, l)| {
+            l.parse::<u64>()
+                .map_err(|_| ArgError(format!("line {}: '{l}' is not a byte count", i + 1)))
+        })
+        .collect()
+}
+
+/// Runs both detectors over a binned trace and formats the report.
+pub fn detect_report(bytes: &[u64], capacity_bps: f64, bin_secs: f64) -> String {
+    let volume = RateDetector::conventional(capacity_bps, bin_secs).run(bytes);
+    let series: Vec<f64> = bytes.iter().map(|&b| b as f64).collect();
+    let max_period = (bytes.len() / 3).max(3);
+    let spectral = SpectralDetector::new(2, max_period, 12.0).sweep(&series);
+
+    let mut out = String::new();
+    let _ = writeln!(out, "samples: {} bins of {:.0} ms", bytes.len(), bin_secs * 1000.0);
+    let _ = writeln!(
+        out,
+        "volume detector   : {} (final EWMA utilization {:.3})",
+        if volume.detected { "ALARM" } else { "quiet" },
+        volume.final_utilization
+    );
+    match spectral.dominant_period {
+        Some(p) => {
+            let _ = writeln!(
+                out,
+                "spectral detector : PERIODIC, dominant period ~ {:.2} s (power ratio {:.1})",
+                p as f64 * bin_secs,
+                spectral.peak_power / spectral.median_power.max(1e-12)
+            );
+        }
+        None => {
+            let _ = writeln!(out, "spectral detector : no dominant period");
+        }
+    }
+    // CUSUM runs on both the raw volume (mean shifts: floods) and the
+    // successive-difference dispersion (spikiness: pulsing attacks).
+    let calib = (bytes.len() / 4).clamp(2, 100);
+    let on_mean = CusumDetector::new(calib, 0.5, 8.0).scan(bytes);
+    let dispersion: Vec<u64> = bytes.windows(2).map(|w| w[0].abs_diff(w[1])).collect();
+    let on_dispersion = CusumDetector::new(calib.min(dispersion.len().saturating_sub(1).max(2)), 0.5, 8.0)
+        .scan(&dispersion);
+    let describe = |rep: &pdos_detect::cusum::CusumReport| match (rep.detected, rep.onset_bin) {
+        (true, Some(onset)) => format!("CHANGE at ~{:.1} s into the trace", onset as f64 * bin_secs),
+        _ => "no shift".to_string(),
+    };
+    let _ = writeln!(out, "cusum (volume)    : {}", describe(&on_mean));
+    let _ = writeln!(out, "cusum (dispersion): {}", describe(&on_dispersion));
+    out
+}
+
+/// Dispatches a parsed command line.
+///
+/// # Errors
+///
+/// Returns [`ArgError`] for unknown commands or command failures.
+pub fn run(args: &Args) -> Result<String, ArgError> {
+    if args.flag("help") {
+        return Ok(HELP.to_string());
+    }
+    match args.command.as_str() {
+        "solve" => cmd_solve(args),
+        "simulate" => cmd_simulate(args),
+        "sweep" => cmd_sweep(args),
+        "sync" => cmd_sync(args),
+        "detect" => cmd_detect(args),
+        "help" | "--help" | "-h" => Ok(HELP.to_string()),
+        other => Err(ArgError(format!(
+            "unknown command '{other}'; try `pdos help`"
+        ))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &str) -> Args {
+        Args::parse(s.split_whitespace().map(String::from)).expect("parses")
+    }
+
+    #[test]
+    fn help_is_reachable_every_way() {
+        assert!(run(&parse("help")).unwrap().contains("USAGE"));
+        assert!(run(&parse("solve --help")).unwrap().contains("USAGE"));
+    }
+
+    #[test]
+    fn unknown_command_rejected() {
+        let e = run(&parse("frobnicate")).unwrap_err();
+        assert!(e.to_string().contains("unknown command"));
+    }
+
+    #[test]
+    fn solve_prints_the_optimum_and_what_if() {
+        let out = run(&parse("solve --flows 25 --textent-ms 75 --rattack-mbps 30")).unwrap();
+        assert!(out.contains("gamma*"));
+        assert!(out.contains("what-if"));
+        assert!(out.contains("double bottleneck capacity"));
+        // Corollary 3: neutral gamma* = sqrt(C_psi); both printed.
+        assert!(out.contains("period T_AIMD"));
+    }
+
+    #[test]
+    fn solve_respects_kappa() {
+        let neutral = run(&parse("solve --kappa 1.0")).unwrap();
+        let averse = run(&parse("solve --kappa 8.0")).unwrap();
+        let g = |s: &str| -> f64 {
+            s.lines()
+                .find(|l| l.contains("gamma*"))
+                .and_then(|l| l.split('=').nth(1))
+                .and_then(|v| v.trim().parse().ok())
+                .expect("gamma* line")
+        };
+        assert!(g(&averse) < g(&neutral));
+    }
+
+    #[test]
+    fn solve_plans_for_a_damage_target() {
+        let out = run(&parse("solve --flows 25 --target-degradation 0.5")).unwrap();
+        assert!(out.contains("quietest attack reaching 50%"), "{out}");
+        assert!(out.contains("exposure factor"), "{out}");
+        // Infeasible targets surface the model's explanation.
+        let err = run(&parse("solve --flows 25 --target-degradation 0.95")).unwrap_err();
+        assert!(err.to_string().contains("flood"), "{err}");
+    }
+
+    #[test]
+    fn solve_rejects_bad_kappa() {
+        assert!(run(&parse("solve --kappa -1")).is_err());
+    }
+
+    #[test]
+    fn queue_parsing() {
+        assert!(run(&parse("sweep --queue nonsense --points 2")).is_err());
+    }
+
+    #[test]
+    fn trace_parsing_accepts_comments_and_rejects_garbage() {
+        let ok = parse_trace("# header\n100\n\n200\n").unwrap();
+        assert_eq!(ok, vec![100, 200]);
+        let err = parse_trace("100\nxyz\n").unwrap_err();
+        assert!(err.to_string().contains("line 2"));
+    }
+
+    #[test]
+    fn detect_report_flags_flooding_and_periodicity() {
+        // Flooding: full-capacity bins (15 Mbps, 100 ms bins = 187.5 kB).
+        let flood = vec![187_500u64; 120];
+        let rep = detect_report(&flood, 15e6, 0.1);
+        assert!(rep.contains("ALARM"), "{rep}");
+
+        // Pulsing: one big bin every 20.
+        let pulses: Vec<u64> = (0..240)
+            .map(|i| if i % 20 == 0 { 400_000 } else { 30_000 })
+            .collect();
+        let rep = detect_report(&pulses, 15e6, 0.1);
+        assert!(rep.contains("quiet"), "{rep}");
+        assert!(rep.contains("PERIODIC"), "{rep}");
+        assert!(rep.contains("2.00 s"), "{rep}");
+    }
+
+    #[test]
+    fn detect_requires_capacity() {
+        let e = run(&parse("detect --csv nowhere.csv")).unwrap_err();
+        assert!(e.to_string().contains("capacity-mbps"));
+    }
+
+    #[test]
+    fn detect_reports_missing_file() {
+        let e = run(&parse("detect --csv /nonexistent.csv --capacity-mbps 15")).unwrap_err();
+        assert!(e.to_string().contains("cannot read"));
+    }
+
+    // The simulate/sweep/sync paths run real (short) simulations; keep one
+    // fast smoke test each.
+    #[test]
+    fn simulate_smoke() {
+        let out = run(&parse(
+            "simulate --flows 4 --gamma 0.4 --window-s 6 --textent-ms 75 --rattack-mbps 30",
+        ))
+        .unwrap();
+        assert!(out.contains("degradation (model / sim)"), "{out}");
+    }
+
+    #[test]
+    fn simulate_trace_out_roundtrips_into_detect() {
+        let path = std::env::temp_dir().join("pdos_cli_trace_test.txt");
+        let path_s = path.to_str().expect("utf8 temp path");
+        let cmd = format!(
+            "simulate --flows 4 --gamma 0.4 --window-s 8 --trace-out {path_s}"
+        );
+        let out = run(&parse(&cmd)).unwrap();
+        assert!(out.contains("wrote"), "{out}");
+        let detect_cmd = format!("detect --csv {path_s} --capacity-mbps 15 --bin-ms 100");
+        let rep = run(&parse(&detect_cmd)).unwrap();
+        assert!(rep.contains("volume detector"), "{rep}");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn testbed_flag_switches_the_scenario() {
+        let out = run(&parse(
+            "simulate --testbed --flows 3 --gamma 0.3 --window-s 6 --rattack-mbps 20",
+        ))
+        .unwrap();
+        // The test-bed bottleneck is 10 Mbps, so the baseline must be
+        // below 10 Mbps (the dumbbell would show ~13).
+        let line = out
+            .lines()
+            .find(|l| l.contains("baseline goodput"))
+            .expect("baseline line");
+        let mbps: f64 = line
+            .split(':')
+            .nth(1)
+            .and_then(|v| v.trim().trim_end_matches(" Mbps").parse().ok())
+            .expect("parse baseline");
+        assert!(mbps < 10.5, "{line}");
+    }
+
+    #[test]
+    fn sweep_smoke_emits_csv() {
+        let out = run(&parse(
+            "sweep --flows 3 --points 2 --window-s 5 --textent-ms 75 --rattack-mbps 30",
+        ))
+        .unwrap();
+        assert!(out.starts_with("gamma,"), "{out}");
+        assert!(out.lines().count() >= 3, "{out}");
+    }
+
+    #[test]
+    fn sync_smoke_reports_period() {
+        let out = run(&parse(
+            "sync --flows 4 --window-s 8 --period-s 2 --textent-ms 50 --rattack-mbps 100",
+        ))
+        .unwrap();
+        assert!(out.contains("attack period"), "{out}");
+    }
+
+    #[test]
+    fn sync_rejects_degenerate_period() {
+        assert!(run(&parse("sync --period-s 0.01 --textent-ms 50")).is_err());
+    }
+}

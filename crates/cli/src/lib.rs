@@ -1,0 +1,19 @@
+//! # pdos-cli — the command-line front end of the PDoS laboratory
+//!
+//! A small, dependency-free CLI over the workspace: solve the DSN 2005
+//! gain model, run simulated attack experiments, sweep parameters, and
+//! run the bundled detectors over externally captured (binned) traffic
+//! traces. Everything simulation-side is deterministic given `--seed`.
+//!
+//! ```text
+//! pdos solve --flows 25 --textent-ms 75 --rattack-mbps 30
+//! pdos simulate --gamma 0.3 --queue acc
+//! pdos sweep --points 8 > sweep.csv
+//! pdos detect --csv bins.txt --capacity-mbps 15
+//! ```
+
+#![deny(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod args;
+pub mod commands;

@@ -1,0 +1,19 @@
+//! The `pdos` binary: parse, dispatch, print.
+
+use pdos_cli::args::Args;
+use pdos_cli::commands::{run, HELP};
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.is_empty() {
+        print!("{HELP}");
+        std::process::exit(2);
+    }
+    match Args::parse(argv).and_then(|args| run(&args)) {
+        Ok(report) => print!("{report}"),
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}

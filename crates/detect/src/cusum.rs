@@ -1,0 +1,181 @@
+//! CUSUM change-point detection: when did the attack *start*?
+//!
+//! The rate and spectral detectors answer "is something wrong"; incident
+//! response also needs "since when". The one-sided CUSUM statistic
+//! `S_t = max(0, S_{t-1} + (x_t − μ₀ − k))` accumulates evidence that the
+//! mean of a series has shifted upward from its baseline `μ₀` and crosses
+//! a threshold `h` shortly after a sustained change — here applied to the
+//! bottleneck's binned byte counts, whose mean rises when attack traffic
+//! (or its retransmission fallout) joins the mix.
+
+use pdos_analysis::timeseries::{mean, std_dev};
+
+/// One-sided (upward) CUSUM detector with self-calibrated baseline.
+#[derive(Debug, Clone)]
+pub struct CusumDetector {
+    /// Bins used to estimate the baseline mean and deviation.
+    calibration_bins: usize,
+    /// Slack in baseline standard deviations (the classic `k`).
+    slack_sigmas: f64,
+    /// Alarm threshold in baseline standard deviations (the classic `h`).
+    threshold_sigmas: f64,
+}
+
+/// Result of a CUSUM scan.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CusumReport {
+    /// Whether the statistic ever crossed the threshold.
+    pub detected: bool,
+    /// Bin index where the alarm fired.
+    pub alarm_bin: Option<usize>,
+    /// Estimated change-point: the last bin before the alarm where the
+    /// statistic was zero (the standard CUSUM onset estimate).
+    pub onset_bin: Option<usize>,
+    /// Peak value of the statistic, in baseline standard deviations.
+    pub peak_sigmas: f64,
+}
+
+impl CusumDetector {
+    /// Creates a detector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `calibration_bins < 2`, or if the slack/threshold are
+    /// non-positive.
+    pub fn new(calibration_bins: usize, slack_sigmas: f64, threshold_sigmas: f64) -> Self {
+        assert!(calibration_bins >= 2, "need at least 2 calibration bins");
+        assert!(slack_sigmas > 0.0, "slack must be positive");
+        assert!(threshold_sigmas > 0.0, "threshold must be positive");
+        CusumDetector {
+            calibration_bins,
+            slack_sigmas,
+            threshold_sigmas,
+        }
+    }
+
+    /// A conventional setting: calibrate on the first 50 bins, `k = 0.5σ`,
+    /// `h = 8σ`.
+    pub fn conventional() -> Self {
+        Self::new(50, 0.5, 8.0)
+    }
+
+    /// Scans a binned byte series. The first `calibration_bins` samples
+    /// define the baseline; scanning starts after them.
+    pub fn scan(&self, series: &[u64]) -> CusumReport {
+        if series.len() <= self.calibration_bins {
+            return CusumReport {
+                detected: false,
+                alarm_bin: None,
+                onset_bin: None,
+                peak_sigmas: 0.0,
+            };
+        }
+        let calib: Vec<f64> = series[..self.calibration_bins]
+            .iter()
+            .map(|&b| b as f64)
+            .collect();
+        let mu = mean(&calib);
+        let sigma = std_dev(&calib).max(mu.abs() * 1e-3).max(1.0);
+        let k = self.slack_sigmas * sigma;
+        let h = self.threshold_sigmas * sigma;
+
+        let mut s = 0.0f64;
+        let mut peak = 0.0f64;
+        let mut last_zero = self.calibration_bins;
+        for (i, &b) in series.iter().enumerate().skip(self.calibration_bins) {
+            s = (s + (b as f64 - mu - k)).max(0.0);
+            if s == 0.0 {
+                last_zero = i;
+            }
+            if s > peak {
+                peak = s;
+            }
+            if s > h {
+                return CusumReport {
+                    detected: true,
+                    alarm_bin: Some(i),
+                    onset_bin: Some(last_zero + 1),
+                    peak_sigmas: peak / sigma,
+                };
+            }
+        }
+        CusumReport {
+            detected: false,
+            alarm_bin: None,
+            onset_bin: None,
+            peak_sigmas: peak / sigma,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn series_with_step(n: usize, step_at: usize, base: u64, jump: u64) -> Vec<u64> {
+        (0..n)
+            .map(|i| {
+                let noise = ((i * 2654435761) % 7) as u64;
+                if i >= step_at { base + jump + noise } else { base + noise }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn detects_step_and_localizes_onset() {
+        let s = series_with_step(300, 120, 1000, 200);
+        let rep = CusumDetector::conventional().scan(&s);
+        assert!(rep.detected, "{rep:?}");
+        let onset = rep.onset_bin.unwrap();
+        assert!(
+            (118..=125).contains(&onset),
+            "onset {onset} should be near 120"
+        );
+        assert!(rep.alarm_bin.unwrap() >= onset);
+    }
+
+    #[test]
+    fn stays_quiet_without_change() {
+        let s = series_with_step(300, usize::MAX, 1000, 0);
+        let rep = CusumDetector::conventional().scan(&s);
+        assert!(!rep.detected, "{rep:?}");
+        assert_eq!(rep.onset_bin, None);
+    }
+
+    #[test]
+    fn short_series_yields_empty_report() {
+        let rep = CusumDetector::conventional().scan(&[5; 10]);
+        assert!(!rep.detected);
+        assert_eq!(rep.peak_sigmas, 0.0);
+    }
+
+    #[test]
+    fn small_drift_below_slack_is_ignored() {
+        // A +0.3 sigma drift stays under the k = 0.5 sigma slack.
+        let s: Vec<u64> = (0..400)
+            .map(|i| {
+                let noise = ((i * 48271) % 100) as u64; // sd ~ 29
+                if i >= 200 { 1008 + noise } else { 1000 + noise }
+            })
+            .collect();
+        let rep = CusumDetector::conventional().scan(&s);
+        assert!(!rep.detected, "{rep:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "calibration")]
+    fn rejects_tiny_calibration() {
+        CusumDetector::new(1, 0.5, 8.0);
+    }
+
+    proptest::proptest! {
+        /// Peak statistic is non-negative and zero for constant series.
+        #[test]
+        fn prop_peak_nonnegative(base in 1u64..10_000, n in 60usize..300) {
+            let s = vec![base; n];
+            let rep = CusumDetector::conventional().scan(&s);
+            proptest::prop_assert!(rep.peak_sigmas >= 0.0);
+            proptest::prop_assert!(!rep.detected);
+        }
+    }
+}

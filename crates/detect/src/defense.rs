@@ -1,0 +1,198 @@
+//! Randomized-RTO defense analysis.
+//!
+//! §1.1 cites the randomized-timeout defense of Yang/Gerla/Sanadidi
+//! (ISCC 2004) against timeout-based (shrew) attacks — and notes it cannot
+//! protect against the AIMD-based attack, whose timing does not depend on
+//! the RTO at all. This module provides the policy and a closed-form
+//! effectiveness analysis, so the workspace can demonstrate both halves of
+//! that claim.
+
+/// A uniformly randomized minimum-RTO policy: each timeout draws
+/// `min_rto ∈ [base, base + spread]`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RandomizedRtoPolicy {
+    base: f64,
+    spread: f64,
+}
+
+impl RandomizedRtoPolicy {
+    /// Creates a policy.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when `base` is non-positive or `spread` negative.
+    pub fn new(base: f64, spread: f64) -> Result<Self, String> {
+        if !(base > 0.0 && base.is_finite()) {
+            return Err(format!("base RTO must be positive, got {base}"));
+        }
+        if !(spread >= 0.0 && spread.is_finite()) {
+            return Err(format!("spread must be non-negative, got {spread}"));
+        }
+        Ok(RandomizedRtoPolicy { base, spread })
+    }
+
+    /// The deterministic policy (`spread = 0`) — what standard TCP does,
+    /// and what the shrew attack exploits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `base` is non-positive.
+    pub fn fixed(base: f64) -> Self {
+        Self::new(base, 0.0).expect("fixed policy requires positive base")
+    }
+
+    /// Lower bound of the randomization interval.
+    pub fn base(&self) -> f64 {
+        self.base
+    }
+
+    /// Width of the randomization interval.
+    pub fn spread(&self) -> f64 {
+        self.spread
+    }
+
+    /// Maps a uniform draw `u ∈ [0, 1)` to a concrete minimum RTO.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is outside `[0, 1)`.
+    pub fn sample(&self, u: f64) -> f64 {
+        assert!((0.0..1.0).contains(&u), "u must be in [0,1), got {u}");
+        self.base + self.spread * u
+    }
+
+    /// The probability that a retransmission scheduled after a randomized
+    /// timeout still lands inside an attack pulse, for a pulsing attack of
+    /// period `t_aimd` and pulse width `t_extent`.
+    ///
+    /// With a fixed RTO synchronized to the attack (`t_aimd = base/n`),
+    /// this is 1 (every retransmission is clobbered). Randomizing over
+    /// `spread` smears the retransmission instant over
+    /// `spread/t_aimd` attack periods, so the hit probability falls toward
+    /// the duty cycle `t_extent/t_aimd` — the defense's whole point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t_aimd` or `t_extent` is non-positive, or
+    /// `t_extent > t_aimd`.
+    pub fn shrew_hit_probability(&self, t_aimd: f64, t_extent: f64) -> f64 {
+        assert!(t_aimd > 0.0, "t_aimd must be positive");
+        assert!(
+            t_extent > 0.0 && t_extent <= t_aimd,
+            "need 0 < t_extent <= t_aimd"
+        );
+        let duty = t_extent / t_aimd;
+        if self.spread == 0.0 {
+            // Deterministic: hit iff the timeout is phase-locked. We take
+            // the worst case (locked), the shrew premise.
+            let phase_locked = {
+                let k = self.base / t_aimd;
+                (k - k.round()).abs() < 1e-9
+            };
+            return if phase_locked { 1.0 } else { duty };
+        }
+        // The retransmission instant is uniform over an interval of width
+        // `spread`. The fraction of that interval covered by pulses
+        // approaches the duty cycle as spread grows; for spread below one
+        // period, interpolate between locked (1.0) and smeared (duty).
+        let periods_covered = self.spread / t_aimd;
+        if periods_covered >= 1.0 {
+            duty
+        } else {
+            // Worst-case phase: the pulse-overlap fraction of the interval.
+            let overlap = (t_extent + (1.0 - periods_covered) * (t_aimd - t_extent)).min(t_aimd);
+            (overlap / t_aimd).clamp(duty, 1.0)
+        }
+    }
+
+    /// Whether this policy defends the **AIMD-based** attack. Always
+    /// `false`: the AIMD attack's pulse timing does not reference the RTO
+    /// (§1.1), which is exactly why the paper moves past the shrew attack.
+    pub fn defends_aimd_attack(&self) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_validates() {
+        assert!(RandomizedRtoPolicy::new(0.0, 0.5).is_err());
+        assert!(RandomizedRtoPolicy::new(1.0, -0.5).is_err());
+        let p = RandomizedRtoPolicy::new(1.0, 0.5).unwrap();
+        assert_eq!(p.base(), 1.0);
+        assert_eq!(p.spread(), 0.5);
+    }
+
+    #[test]
+    fn sample_spans_interval() {
+        let p = RandomizedRtoPolicy::new(1.0, 0.5).unwrap();
+        assert_eq!(p.sample(0.0), 1.0);
+        assert!((p.sample(0.999) - 1.4995).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "u must be in [0,1)")]
+    fn sample_rejects_out_of_range() {
+        RandomizedRtoPolicy::fixed(1.0).sample(1.0);
+    }
+
+    #[test]
+    fn fixed_policy_is_fully_exploitable_at_shrew_period() {
+        let p = RandomizedRtoPolicy::fixed(1.0);
+        // T_AIMD = 1 s (locked) with 100 ms pulses: every retransmission
+        // lands in a pulse.
+        assert_eq!(p.shrew_hit_probability(1.0, 0.1), 1.0);
+        // Subharmonic lock (T = 0.5 s): also fully exploitable.
+        assert_eq!(p.shrew_hit_probability(0.5, 0.1), 1.0);
+        // Off-harmonic: only the duty cycle.
+        assert!((p.shrew_hit_probability(0.7, 0.1) - 1.0 / 7.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn randomization_reduces_hit_probability_to_duty_cycle() {
+        let locked = RandomizedRtoPolicy::fixed(1.0).shrew_hit_probability(1.0, 0.1);
+        let smeared = RandomizedRtoPolicy::new(1.0, 2.0)
+            .unwrap()
+            .shrew_hit_probability(1.0, 0.1);
+        assert_eq!(locked, 1.0);
+        assert!((smeared - 0.1).abs() < 1e-9);
+        // Partial randomization sits strictly in between.
+        let partial = RandomizedRtoPolicy::new(1.0, 0.5)
+            .unwrap()
+            .shrew_hit_probability(1.0, 0.1);
+        assert!(partial > smeared && partial < locked);
+    }
+
+    #[test]
+    fn policy_admits_it_cannot_stop_aimd_attacks() {
+        assert!(!RandomizedRtoPolicy::fixed(1.0).defends_aimd_attack());
+        assert!(!RandomizedRtoPolicy::new(1.0, 3.0).unwrap().defends_aimd_attack());
+    }
+
+    proptest::proptest! {
+        /// Hit probability is always within [duty, 1].
+        #[test]
+        fn prop_hit_probability_bounded(spread in 0.0f64..5.0,
+                                        t_aimd in 0.1f64..3.0,
+                                        duty in 0.01f64..1.0) {
+            let t_extent = t_aimd * duty;
+            let p = RandomizedRtoPolicy::new(1.0, spread).unwrap();
+            let hit = p.shrew_hit_probability(t_aimd, t_extent);
+            proptest::prop_assert!(hit <= 1.0 + 1e-12);
+            proptest::prop_assert!(hit >= t_extent / t_aimd - 1e-12);
+        }
+
+        /// More randomization never increases the worst-case hit
+        /// probability.
+        #[test]
+        fn prop_monotone_in_spread(s1 in 0.0f64..3.0, s2 in 0.0f64..3.0) {
+            let (lo, hi) = if s1 <= s2 { (s1, s2) } else { (s2, s1) };
+            let a = RandomizedRtoPolicy::new(1.0, lo).unwrap().shrew_hit_probability(1.0, 0.1);
+            let b = RandomizedRtoPolicy::new(1.0, hi).unwrap().shrew_hit_probability(1.0, 0.1);
+            proptest::prop_assert!(b <= a + 1e-12);
+        }
+    }
+}

@@ -1,0 +1,152 @@
+//! ROC analysis: quantify a detector's operating curve over labeled
+//! traces.
+//!
+//! The paper models the attacker's exposure as the smooth `(1 − γ)^κ`;
+//! a real detector has a threshold and a true/false-positive trade-off.
+//! These helpers sweep any thresholded detector over benign and attacked
+//! trace sets and summarize the separation as an ROC curve and its AUC —
+//! the defender-side ground truth the risk factor abstracts.
+
+/// One operating point of a detector.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RocPoint {
+    /// The threshold used.
+    pub threshold: f64,
+    /// True-positive rate: fraction of attacked traces flagged.
+    pub tpr: f64,
+    /// False-positive rate: fraction of benign traces flagged.
+    pub fpr: f64,
+}
+
+/// Sweeps `detect(threshold, trace)` over the labeled traces at each
+/// threshold.
+///
+/// # Panics
+///
+/// Panics when either trace set or the threshold list is empty.
+pub fn roc_curve<F>(
+    benign: &[Vec<u64>],
+    attacked: &[Vec<u64>],
+    thresholds: &[f64],
+    mut detect: F,
+) -> Vec<RocPoint>
+where
+    F: FnMut(f64, &[u64]) -> bool,
+{
+    assert!(!benign.is_empty(), "need at least one benign trace");
+    assert!(!attacked.is_empty(), "need at least one attacked trace");
+    assert!(!thresholds.is_empty(), "need at least one threshold");
+    thresholds
+        .iter()
+        .map(|&th| {
+            let tp = attacked.iter().filter(|t| detect(th, t)).count();
+            let fp = benign.iter().filter(|t| detect(th, t)).count();
+            RocPoint {
+                threshold: th,
+                tpr: tp as f64 / attacked.len() as f64,
+                fpr: fp as f64 / benign.len() as f64,
+            }
+        })
+        .collect()
+}
+
+/// Area under the ROC curve by trapezoid rule, with the implicit (0,0)
+/// and (1,1) endpoints added. 1.0 = perfect separation, 0.5 = chance.
+pub fn auc(points: &[RocPoint]) -> f64 {
+    let mut pts: Vec<(f64, f64)> = points.iter().map(|p| (p.fpr, p.tpr)).collect();
+    pts.push((0.0, 0.0));
+    pts.push((1.0, 1.0));
+    pts.sort_by(|a, b| a.partial_cmp(b).expect("finite rates"));
+    pts.dedup();
+    pts.windows(2)
+        .map(|w| (w[1].0 - w[0].0) * (w[0].1 + w[1].1) / 2.0)
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spectral::SpectralDetector;
+
+    fn mix(i: u64, salt: u64) -> u64 {
+        let mut z = i.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(salt);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z ^ (z >> 31)
+    }
+
+    fn benign_trace(salt: u64) -> Vec<u64> {
+        (0..400u64).map(|i| 10_000 + mix(i, salt) % 2_000).collect()
+    }
+
+    fn attacked_trace(salt: u64, period: u64) -> Vec<u64> {
+        (0..400u64)
+            .map(|i| {
+                let base = 10_000 + mix(i, salt) % 2_000;
+                if i % period == 0 { base + 40_000 } else { base }
+            })
+            .collect()
+    }
+
+    fn traces() -> (Vec<Vec<u64>>, Vec<Vec<u64>>) {
+        let benign: Vec<Vec<u64>> = (0..8).map(benign_trace).collect();
+        let attacked: Vec<Vec<u64>> = (0..8).map(|s| attacked_trace(s, 20 + s % 3)).collect();
+        (benign, attacked)
+    }
+
+    fn spectral_at(threshold: f64, trace: &[u64]) -> bool {
+        let series: Vec<f64> = trace.iter().map(|&b| b as f64).collect();
+        SpectralDetector::new(5, 80, threshold).sweep(&series).detected
+    }
+
+    #[test]
+    fn spectral_detector_separates_cleanly() {
+        let (benign, attacked) = traces();
+        let points = roc_curve(&benign, &attacked, &[5.0, 10.0, 20.0, 40.0, 80.0], spectral_at);
+        let a = auc(&points);
+        assert!(a > 0.9, "clean pulse trains should separate: AUC {a:.2}");
+        // At some threshold the detector is simultaneously sensitive and
+        // specific.
+        assert!(points.iter().any(|p| p.tpr > 0.9 && p.fpr < 0.2), "{points:?}");
+    }
+
+    #[test]
+    fn identical_distributions_give_chance_auc() {
+        let benign: Vec<Vec<u64>> = (0..6).map(benign_trace).collect();
+        let also_benign: Vec<Vec<u64>> = (100..106).map(benign_trace).collect();
+        let points = roc_curve(&benign, &also_benign, &[5.0, 10.0, 20.0, 40.0], spectral_at);
+        let a = auc(&points);
+        assert!(
+            (0.3..=0.7).contains(&a),
+            "indistinguishable classes should sit near chance: AUC {a:.2}"
+        );
+    }
+
+    #[test]
+    fn tpr_and_fpr_move_monotonically_with_threshold() {
+        let (benign, attacked) = traces();
+        let points = roc_curve(&benign, &attacked, &[5.0, 20.0, 80.0], spectral_at);
+        // Raising the threshold can only lower both rates.
+        for w in points.windows(2) {
+            assert!(w[1].tpr <= w[0].tpr + 1e-12);
+            assert!(w[1].fpr <= w[0].fpr + 1e-12);
+        }
+    }
+
+    #[test]
+    fn auc_endpoints_are_implicit() {
+        // A single mid point (0.2 fpr, 0.9 tpr) with trapezoids to the
+        // corners: 0.2·0.45 + 0.8·0.95 = 0.85.
+        let pts = vec![RocPoint {
+            threshold: 1.0,
+            tpr: 0.9,
+            fpr: 0.2,
+        }];
+        assert!((auc(&pts) - 0.85).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "benign")]
+    fn empty_sets_rejected() {
+        roc_curve(&[], &[vec![1]], &[1.0], |_, _| true);
+    }
+}

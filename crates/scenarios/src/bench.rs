@@ -1,0 +1,263 @@
+//! The built test bench: a simulator wired with victim TCP flows, an
+//! attacker host, and measurement hooks.
+
+use pdos_analysis::params::VictimSet;
+use pdos_attack::pulse::{PulseError, PulseTrain};
+use pdos_attack::pulse::PulseSchedule;
+use pdos_attack::source::{CbrSource, PulseSource, SchedulePulseSource};
+use pdos_sim::agent::AgentId;
+use pdos_sim::engine::Simulator;
+use pdos_sim::link::LinkId;
+use pdos_sim::node::NodeId;
+use pdos_sim::packet::{FlowId, PacketKind};
+use pdos_sim::time::{SimDuration, SimTime};
+use pdos_sim::trace::{TraceFilter, TraceId};
+use pdos_sim::units::{BitsPerSec, Bytes};
+use pdos_tcp::config::TcpConfig;
+use pdos_tcp::sender::TcpSender;
+use pdos_tcp::sink::TcpSink;
+
+/// The flow id space reserved for attack streams (victim flows use
+/// `0..n_flows`; distributed sources use consecutive ids from here).
+pub const ATTACK_FLOW: FlowId = FlowId::from_u32(1_000_000);
+
+/// Pulse alignment across the sources of a distributed attack.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AttackPhasing {
+    /// All sources pulse at the same instants; the aggregate equals the
+    /// single-attacker pulse train.
+    Synchronized,
+    /// Source `i` is offset by `i·T_AIMD/n`: same average rate, but the
+    /// instantaneous amplitude drops by `n` while the pulse frequency
+    /// rises by `n`.
+    Staggered,
+}
+
+/// One victim TCP connection's handles.
+#[derive(Debug, Clone, Copy)]
+pub struct FlowHandle {
+    /// The flow id.
+    pub flow: FlowId,
+    /// Sender agent.
+    pub sender: AgentId,
+    /// Receiver agent.
+    pub sink: AgentId,
+    /// The configured two-way propagation RTT, seconds.
+    pub base_rtt: f64,
+}
+
+/// A wired-up experiment: simulator + victim flows + attacker attachment
+/// points + the analytical victim description that corresponds to it.
+pub struct Testbench {
+    /// The simulator (topology built, agents attached).
+    pub sim: Simulator,
+    /// Victim flow handles, in RTT order.
+    pub flows: Vec<FlowHandle>,
+    /// The host the attacker sends from.
+    pub attacker_node: NodeId,
+    /// The host attack packets are addressed to (behind the bottleneck).
+    pub attack_target: NodeId,
+    /// The forward bottleneck link (the paper's S→R).
+    pub bottleneck: LinkId,
+    /// Bottleneck capacity.
+    pub r_bottle: BitsPerSec,
+    /// The analytical victim population matching this bench.
+    pub victims: VictimSet,
+    /// The TCP configuration in force.
+    pub tcp: TcpConfig,
+    /// Attack packet size on the wire.
+    pub attack_packet: Bytes,
+}
+
+impl std::fmt::Debug for Testbench {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Testbench")
+            .field("flows", &self.flows.len())
+            .field("r_bottle", &self.r_bottle)
+            .field("bottleneck", &self.bottleneck)
+            .finish()
+    }
+}
+
+impl Testbench {
+    /// Attaches a pulsing attack that starts at `start` and runs for at
+    /// most `max_pulses` pulses (`None` = until the end of the run).
+    pub fn attach_pulse_attack(
+        &mut self,
+        train: PulseTrain,
+        start: SimTime,
+        max_pulses: Option<u64>,
+    ) -> AgentId {
+        let src = Box::new(PulseSource::new(
+            train,
+            ATTACK_FLOW,
+            self.attack_target,
+            self.attack_packet,
+            max_pulses,
+        ));
+        self.sim.attach_agent_at(self.attacker_node, src, start)
+    }
+
+    /// Attaches a general varying-pulse attack schedule (§2.1's full
+    /// `A(T_extent(n), R_attack(n), T_space(n), N)`), starting at `start`.
+    pub fn attach_pulse_schedule(&mut self, schedule: PulseSchedule, start: SimTime) -> AgentId {
+        let src = Box::new(SchedulePulseSource::new(
+            schedule,
+            ATTACK_FLOW,
+            self.attack_target,
+            self.attack_packet,
+        ));
+        self.sim.attach_agent_at(self.attacker_node, src, start)
+    }
+
+    /// Attaches a **distributed** pulsing attack: `n_sources` simulated
+    /// bots, each sending the same pulse shape at `1/n` of the rate, so
+    /// the aggregate average rate matches the single-source `train`.
+    ///
+    /// With [`AttackPhasing::Synchronized`], pulses pile up into the same
+    /// instants (the aggregate looks like the original attack). With
+    /// [`AttackPhasing::Staggered`], source `i` starts `i·T_AIMD/n` later,
+    /// spreading the volume into `n` smaller pulses per period.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PulseError`] when the per-source rate degenerates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_sources` is zero.
+    pub fn attach_distributed_pulse_attack(
+        &mut self,
+        train: PulseTrain,
+        start: SimTime,
+        n_sources: u32,
+        phasing: AttackPhasing,
+    ) -> Result<Vec<AgentId>, PulseError> {
+        assert!(n_sources > 0, "need at least one source");
+        let per_source = PulseTrain::new(
+            train.extent(),
+            BitsPerSec::from_bps(train.rate().as_bps() / f64::from(n_sources)),
+            train.space(),
+        )?;
+        let period = train.period();
+        let mut ids = Vec::with_capacity(n_sources as usize);
+        for i in 0..n_sources {
+            let offset = match phasing {
+                AttackPhasing::Synchronized => SimDuration::ZERO,
+                AttackPhasing::Staggered => {
+                    SimDuration::from_nanos(period.as_nanos() * u64::from(i) / u64::from(n_sources))
+                }
+            };
+            let flow = FlowId::from_u32(ATTACK_FLOW.as_u32() + i);
+            let src = Box::new(PulseSource::new(
+                per_source.clone(),
+                flow,
+                self.attack_target,
+                self.attack_packet,
+                None,
+            ));
+            ids.push(self.sim.attach_agent_at(self.attacker_node, src, start + offset));
+        }
+        Ok(ids)
+    }
+
+    /// Attaches a constant-rate flooding attack of `rate`, starting at
+    /// `start` and stopping at `stop` (`None` = never).
+    pub fn attach_flood_attack(
+        &mut self,
+        rate: BitsPerSec,
+        start: SimTime,
+        stop: Option<SimTime>,
+    ) -> AgentId {
+        let src = Box::new(CbrSource::new(
+            rate,
+            ATTACK_FLOW,
+            self.attack_target,
+            self.attack_packet,
+            PacketKind::Attack,
+            stop,
+        ));
+        self.sim.attach_agent_at(self.attacker_node, src, start)
+    }
+
+    /// Registers an ingress trace on the bottleneck (the paper's
+    /// "incoming traffic" instrument).
+    pub fn trace_bottleneck(&mut self, filter: TraceFilter, bin: SimDuration) -> TraceId {
+        self.sim.trace_link_ingress(self.bottleneck, filter, bin)
+    }
+
+    /// Total in-order payload bytes delivered across all victim flows so
+    /// far (the experiment's goodput snapshot).
+    pub fn goodput_bytes(&self) -> u64 {
+        self.flows
+            .iter()
+            .map(|h| {
+                self.sim
+                    .agent_as::<TcpSink>(h.sink)
+                    .expect("sink agent type")
+                    .goodput_bytes()
+            })
+            .sum()
+    }
+
+    /// Per-flow goodput bytes, in the same order as [`Testbench::flows`].
+    pub fn goodput_per_flow(&self) -> Vec<u64> {
+        self.flows
+            .iter()
+            .map(|h| {
+                self.sim
+                    .agent_as::<TcpSink>(h.sink)
+                    .expect("sink agent type")
+                    .goodput_bytes()
+            })
+            .collect()
+    }
+
+    /// Total retransmission timeouts taken across all victim senders.
+    pub fn total_timeouts(&self) -> u64 {
+        self.flows
+            .iter()
+            .map(|h| {
+                self.sim
+                    .agent_as::<TcpSender>(h.sender)
+                    .expect("sender agent type")
+                    .stats()
+                    .timeouts
+            })
+            .sum()
+    }
+
+    /// Total fast-recovery episodes across all victim senders.
+    pub fn total_fast_recoveries(&self) -> u64 {
+        self.flows
+            .iter()
+            .map(|h| {
+                self.sim
+                    .agent_as::<TcpSender>(h.sender)
+                    .expect("sender agent type")
+                    .stats()
+                    .fast_recoveries
+            })
+            .sum()
+    }
+
+    /// Advances the simulation to `until`.
+    pub fn run_until(&mut self, until: SimTime) {
+        self.sim.run_until(until);
+    }
+
+    /// Advances to `until` while sampling the bottleneck backlog (in
+    /// packets) every `bin` — the queue-dynamics view of the attack
+    /// (pulses fill the buffer, TCP drains it).
+    pub fn run_sampling_depth(&mut self, until: SimTime, bin: SimDuration) -> Vec<usize> {
+        assert!(!bin.is_zero(), "sampling bin must be positive");
+        let mut samples = Vec::new();
+        let mut t = self.sim.now();
+        while t < until {
+            t = std::cmp::min(t + bin, until);
+            self.sim.run_until(t);
+            samples.push(self.sim.link(self.bottleneck).backlog_packets());
+        }
+        samples
+    }
+}

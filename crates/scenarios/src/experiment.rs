@@ -1,0 +1,626 @@
+//! The gain-measurement protocol behind Figs. 6–10 and 12.
+//!
+//! For each parameter point `(T_extent, R_attack, γ)`:
+//!
+//! 1. run the scenario with **no attack** for the measurement window and
+//!    record the aggregate goodput `Ψ_normal` (done once per sweep);
+//! 2. run a fresh, identically seeded copy with the pulse train
+//!    `T_AIMD = R_attack·T_extent/(R_bottle·γ)` starting after warm-up and
+//!    record `Ψ_attack`;
+//! 3. report `Γ_sim = 1 − Ψ_attack/Ψ_normal`, the measured gain
+//!    `G_sim = Γ_sim·(1−γ)^κ`, and the analytical curve value at the same
+//!    γ.
+
+use crate::classify::GainClass;
+use crate::spec::ScenarioSpec;
+use pdos_analysis::gain::{attack_gain, attack_gain_measured, RiskPreference};
+use pdos_analysis::model::{c_psi, degradation};
+use pdos_analysis::params::ParamError;
+use pdos_attack::pulse::{PulseError, PulseTrain};
+use pdos_attack::shrew::classify_shrew;
+use pdos_sim::time::{SimDuration, SimTime};
+use pdos_sim::units::BitsPerSec;
+use std::error::Error;
+use std::fmt;
+
+/// A failure while running a gain experiment.
+#[derive(Debug)]
+pub enum ExperimentError {
+    /// The requested pulse train is infeasible.
+    Pulse(PulseError),
+    /// The analytical model rejected the parameters.
+    Model(ParamError),
+    /// The scenario topology failed to build.
+    Build(pdos_sim::topology::BuildError),
+}
+
+impl fmt::Display for ExperimentError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExperimentError::Pulse(e) => write!(f, "pulse parameters: {e}"),
+            ExperimentError::Model(e) => write!(f, "model parameters: {e}"),
+            ExperimentError::Build(e) => write!(f, "topology: {e}"),
+        }
+    }
+}
+
+impl Error for ExperimentError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ExperimentError::Pulse(e) => Some(e),
+            ExperimentError::Model(e) => Some(e),
+            ExperimentError::Build(e) => Some(e),
+        }
+    }
+}
+
+impl From<PulseError> for ExperimentError {
+    fn from(e: PulseError) -> Self {
+        ExperimentError::Pulse(e)
+    }
+}
+impl From<ParamError> for ExperimentError {
+    fn from(e: ParamError) -> Self {
+        ExperimentError::Model(e)
+    }
+}
+impl From<pdos_sim::topology::BuildError> for ExperimentError {
+    fn from(e: pdos_sim::topology::BuildError) -> Self {
+        ExperimentError::Build(e)
+    }
+}
+
+/// One measured point of a gain figure.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GainPoint {
+    /// The normalized average attack rate.
+    pub gamma: f64,
+    /// The attack period implied by γ, seconds.
+    pub t_aimd: f64,
+    /// The analytical gain (Eq. 5 with Eq. 10).
+    pub g_analytic: f64,
+    /// The measured gain `Γ_sim·(1−γ)^κ`.
+    pub g_sim: f64,
+    /// The analytical degradation Γ.
+    pub degradation_analytic: f64,
+    /// The measured degradation.
+    pub degradation_sim: f64,
+    /// Victim timeouts during the measurement window.
+    pub timeouts: u64,
+    /// Victim fast-recovery episodes during the measurement window.
+    pub fast_recoveries: u64,
+    /// `Some(n)` when the period sits on the `n`-th shrew subharmonic of
+    /// the victims' minimum RTO.
+    pub shrew: Option<u32>,
+    /// Point-wise classification against the analytical value.
+    pub class: GainClass,
+}
+
+/// A full sweep (one curve of one figure panel).
+#[derive(Debug, Clone)]
+pub struct GainSweep {
+    /// Pulse width used, seconds.
+    pub t_extent: f64,
+    /// Pulse rate used, bps.
+    pub r_attack: f64,
+    /// The damage constant C_Ψ of Eq. (11) for this setting.
+    pub c_psi: f64,
+    /// Baseline (no-attack) goodput over the window, bytes.
+    pub baseline_bytes: u64,
+    /// The measured points.
+    pub points: Vec<GainPoint>,
+    /// Sweep-level classification (§4.1.1).
+    pub class: GainClass,
+}
+
+/// The experiment driver: a scenario plus measurement windows.
+#[derive(Debug, Clone)]
+pub struct GainExperiment {
+    spec: ScenarioSpec,
+    warmup: SimDuration,
+    window: SimDuration,
+    risk: RiskPreference,
+    class_margin: f64,
+}
+
+impl GainExperiment {
+    /// Creates a driver with the paper's defaults: 10 s warm-up, 60 s
+    /// measurement window, risk-neutral gain (the figures' κ = 1).
+    pub fn new(spec: ScenarioSpec) -> Self {
+        GainExperiment {
+            spec,
+            warmup: SimDuration::from_secs(10),
+            window: SimDuration::from_secs(60),
+            risk: RiskPreference::NEUTRAL,
+            class_margin: 0.12,
+        }
+    }
+
+    /// Overrides the warm-up length.
+    pub fn warmup(mut self, warmup: SimDuration) -> Self {
+        self.warmup = warmup;
+        self
+    }
+
+    /// Overrides the measurement window.
+    pub fn window(mut self, window: SimDuration) -> Self {
+        self.window = window;
+        self
+    }
+
+    /// Overrides the risk preference used to fold degradation into gain.
+    pub fn risk(mut self, risk: RiskPreference) -> Self {
+        self.risk = risk;
+        self
+    }
+
+    /// Overrides the normal/under/over classification margin.
+    pub fn class_margin(mut self, margin: f64) -> Self {
+        self.class_margin = margin;
+        self
+    }
+
+    /// The scenario under test.
+    pub fn spec(&self) -> &ScenarioSpec {
+        &self.spec
+    }
+
+    fn end(&self) -> SimTime {
+        SimTime::ZERO + self.warmup + self.window
+    }
+
+    /// Measures the no-attack aggregate goodput over the window.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExperimentError::Build`] when the topology fails to build.
+    pub fn baseline_bytes(&self) -> Result<u64, ExperimentError> {
+        let mut bench = self.spec.build()?;
+        bench.run_until(SimTime::ZERO + self.warmup);
+        let before = bench.goodput_bytes();
+        bench.run_until(self.end());
+        Ok(bench.goodput_bytes() - before)
+    }
+
+    /// Runs one attacked point given a precomputed baseline.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExperimentError`] for infeasible pulse/model parameters or
+    /// build failures.
+    pub fn run_point(
+        &self,
+        t_extent: f64,
+        r_attack: f64,
+        gamma: f64,
+        baseline_bytes: u64,
+    ) -> Result<GainPoint, ExperimentError> {
+        Ok(self
+            .run_point_traced(t_extent, r_attack, gamma, baseline_bytes, None)?
+            .0)
+    }
+
+    /// Like [`GainExperiment::run_point`], but optionally records the
+    /// bottleneck's incoming-traffic bins (width `trace_bin`) over the
+    /// measurement window and returns them alongside the point — the raw
+    /// series detector tooling consumes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExperimentError`] for infeasible pulse/model parameters
+    /// or build failures.
+    pub fn run_point_traced(
+        &self,
+        t_extent: f64,
+        r_attack: f64,
+        gamma: f64,
+        baseline_bytes: u64,
+        trace_bin: Option<SimDuration>,
+    ) -> Result<(GainPoint, Vec<u64>), ExperimentError> {
+        let train = PulseTrain::from_gamma(
+            SimDuration::from_secs_f64(t_extent),
+            BitsPerSec::from_bps(r_attack),
+            self.spec.bottleneck,
+            gamma,
+        )?;
+        let t_aimd = train.period().as_secs_f64();
+        let c = c_psi(&self.spec.victims(), t_extent, r_attack)?;
+
+        let mut bench = self.spec.build()?;
+        let trace = trace_bin.map(|bin| (bench.trace_bottleneck(pdos_sim::trace::TraceFilter::All, bin), bin));
+        bench.attach_pulse_attack(train, SimTime::ZERO + self.warmup, None);
+        bench.run_until(SimTime::ZERO + self.warmup);
+        let before = bench.goodput_bytes();
+        let fr_before = bench.total_fast_recoveries();
+        let to_before = bench.total_timeouts();
+        bench.run_until(self.end());
+        let attacked = bench.goodput_bytes() - before;
+
+        let degradation_sim = if baseline_bytes == 0 {
+            0.0
+        } else {
+            (1.0 - attacked as f64 / baseline_bytes as f64).clamp(0.0, 1.0)
+        };
+        let g_analytic = attack_gain(gamma, c, self.risk);
+        let g_sim = attack_gain_measured(gamma, degradation_sim, self.risk);
+        let bins = trace
+            .map(|(id, bin)| {
+                let first = (self.warmup.as_nanos() / bin.as_nanos()) as usize;
+                bench.sim.trace(id).bytes_per_bin()[first.min(bench.sim.trace(id).n_bins())..]
+                    .to_vec()
+            })
+            .unwrap_or_default();
+        let point = GainPoint {
+            gamma,
+            t_aimd,
+            g_analytic,
+            g_sim,
+            degradation_analytic: degradation(gamma, c),
+            degradation_sim,
+            timeouts: bench.total_timeouts() - to_before,
+            fast_recoveries: bench.total_fast_recoveries() - fr_before,
+            shrew: classify_shrew(
+                SimDuration::from_secs_f64(t_aimd),
+                self.spec.tcp.min_rto,
+                5,
+                0.05,
+            ),
+            class: GainClass::classify(g_analytic, g_sim, self.class_margin),
+        };
+        Ok((point, bins))
+    }
+
+    /// Runs a full γ sweep (one figure curve): baseline once, then one
+    /// attacked run per γ. Infeasible γ values (beyond `C_attack`) are
+    /// skipped.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first hard error (build/model); pulse-infeasibility is
+    /// tolerated per point.
+    pub fn sweep(
+        &self,
+        t_extent: f64,
+        r_attack: f64,
+        gammas: &[f64],
+    ) -> Result<GainSweep, ExperimentError> {
+        let baseline = self.baseline_bytes()?;
+        self.sweep_with_baseline(t_extent, r_attack, gammas, baseline)
+    }
+
+    /// Like [`GainExperiment::sweep`] but reuses a baseline measured
+    /// earlier — the baseline depends only on the scenario, so one figure
+    /// panel's curves (different `T_extent` at the same topology) can
+    /// share it.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first hard error (build/model); pulse-infeasibility is
+    /// tolerated per point.
+    pub fn sweep_with_baseline(
+        &self,
+        t_extent: f64,
+        r_attack: f64,
+        gammas: &[f64],
+        baseline: u64,
+    ) -> Result<GainSweep, ExperimentError> {
+        let c = c_psi(&self.spec.victims(), t_extent, r_attack)?;
+        let mut points = Vec::with_capacity(gammas.len());
+        for &gamma in gammas {
+            match self.run_point(t_extent, r_attack, gamma, baseline) {
+                Ok(p) => points.push(p),
+                Err(ExperimentError::Pulse(_)) => continue,
+                Err(e) => return Err(e),
+            }
+        }
+        let pairs: Vec<(f64, f64)> = points.iter().map(|p| (p.g_analytic, p.g_sim)).collect();
+        Ok(GainSweep {
+            t_extent,
+            r_attack,
+            c_psi: c,
+            baseline_bytes: baseline,
+            class: GainClass::classify_sweep(&pairs, self.class_margin),
+            points,
+        })
+    }
+}
+
+/// Mean and sample standard deviation of a measured quantity across
+/// seeds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SeedStats {
+    /// Mean across seeds.
+    pub mean: f64,
+    /// Sample standard deviation (0 for a single seed).
+    pub sd: f64,
+    /// Number of seeds.
+    pub n: usize,
+}
+
+impl SeedStats {
+    fn from_samples(xs: &[f64]) -> SeedStats {
+        let n = xs.len();
+        let mean = xs.iter().sum::<f64>() / n.max(1) as f64;
+        let sd = if n > 1 {
+            (xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (n - 1) as f64).sqrt()
+        } else {
+            0.0
+        };
+        SeedStats { mean, sd, n }
+    }
+}
+
+impl GainExperiment {
+    /// Runs one parameter point across several RNG seeds (each with its
+    /// own baseline) and reports the mean ± sd of the measured gain and
+    /// degradation — the error bars missing from single-seed sweeps.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first hard error from any seed's run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seeds` is empty.
+    pub fn run_point_seeds(
+        &self,
+        t_extent: f64,
+        r_attack: f64,
+        gamma: f64,
+        seeds: &[u64],
+    ) -> Result<(SeedStats, SeedStats), ExperimentError> {
+        assert!(!seeds.is_empty(), "need at least one seed");
+        let results: Vec<Result<GainPoint, ExperimentError>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = seeds
+                .iter()
+                .map(|&seed| {
+                    scope.spawn(move || {
+                        let mut spec = self.spec.clone();
+                        spec.seed = seed;
+                        let exp = GainExperiment {
+                            spec,
+                            ..self.clone()
+                        };
+                        let baseline = exp.baseline_bytes()?;
+                        exp.run_point(t_extent, r_attack, gamma, baseline)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("seed worker panicked"))
+                .collect()
+        });
+        let mut gains = Vec::with_capacity(seeds.len());
+        let mut degs = Vec::with_capacity(seeds.len());
+        for r in results {
+            let p = r?;
+            gains.push(p.g_sim);
+            degs.push(p.degradation_sim);
+        }
+        Ok((SeedStats::from_samples(&gains), SeedStats::from_samples(&degs)))
+    }
+
+    /// Like [`GainExperiment::sweep_with_baseline`] but runs the attacked
+    /// points on worker threads (one fresh simulator per point, so the
+    /// runs stay deterministic and independent).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first hard error; pulse-infeasible γ values are
+    /// skipped, like the serial version.
+    pub fn sweep_parallel(
+        &self,
+        t_extent: f64,
+        r_attack: f64,
+        gammas: &[f64],
+        baseline: u64,
+    ) -> Result<GainSweep, ExperimentError> {
+        let c = c_psi(&self.spec.victims(), t_extent, r_attack)?;
+        let results: Vec<Result<GainPoint, ExperimentError>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = gammas
+                .iter()
+                .map(|&gamma| {
+                    scope.spawn(move || self.run_point(t_extent, r_attack, gamma, baseline))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("sweep worker panicked"))
+                .collect()
+        });
+        let mut points = Vec::with_capacity(gammas.len());
+        for r in results {
+            match r {
+                Ok(p) => points.push(p),
+                Err(ExperimentError::Pulse(_)) => continue,
+                Err(e) => return Err(e),
+            }
+        }
+        let pairs: Vec<(f64, f64)> = points.iter().map(|p| (p.g_analytic, p.g_sim)).collect();
+        Ok(GainSweep {
+            t_extent,
+            r_attack,
+            c_psi: c,
+            baseline_bytes: baseline,
+            class: GainClass::classify_sweep(&pairs, self.class_margin),
+            points,
+        })
+    }
+}
+
+/// Builds the pulse train an *optimizing* attacker would use against
+/// `spec` (Props. 3–4): solves for γ*, then shapes the train with
+/// `T_AIMD = (1 + μ*)·T_extent`.
+///
+/// # Errors
+///
+/// Returns [`ExperimentError`] when the model rejects the parameters or
+/// the optimum is infeasible for this pulse height.
+pub fn optimal_pulse_train(
+    spec: &ScenarioSpec,
+    t_extent: f64,
+    r_attack: f64,
+    risk: RiskPreference,
+) -> Result<PulseTrain, ExperimentError> {
+    let sol = pdos_analysis::optimize::solve(&spec.victims(), t_extent, r_attack, risk)?;
+    Ok(PulseTrain::from_gamma(
+        SimDuration::from_secs_f64(t_extent),
+        BitsPerSec::from_bps(r_attack),
+        spec.bottleneck,
+        sol.gamma_star,
+    )?)
+}
+
+/// Evenly spaced γ values in `(lo, hi)` inclusive, the sampling the
+/// figures use along their x axes.
+pub fn gamma_grid(lo: f64, hi: f64, n: usize) -> Vec<f64> {
+    assert!(n >= 2, "need at least two grid points");
+    assert!(0.0 < lo && lo < hi && hi <= 1.0, "need 0 < lo < hi <= 1");
+    (0..n)
+        .map(|i| lo + (hi - lo) * i as f64 / (n - 1) as f64)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_experiment(n_flows: usize) -> GainExperiment {
+        GainExperiment::new(ScenarioSpec::ns2_dumbbell(n_flows))
+            .warmup(SimDuration::from_secs(5))
+            .window(SimDuration::from_secs(15))
+    }
+
+    #[test]
+    fn gamma_grid_shape() {
+        let g = gamma_grid(0.1, 0.9, 5);
+        assert_eq!(g.len(), 5);
+        assert!((g[0] - 0.1).abs() < 1e-12);
+        assert!((g[4] - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "0 < lo < hi")]
+    fn gamma_grid_validates() {
+        gamma_grid(0.5, 0.2, 3);
+    }
+
+    #[test]
+    fn baseline_is_reproducible() {
+        let exp = quick_experiment(5);
+        let a = exp.baseline_bytes().unwrap();
+        let b = exp.baseline_bytes().unwrap();
+        assert_eq!(a, b, "identical seeds must give identical baselines");
+        assert!(a > 0);
+    }
+
+    #[test]
+    fn attack_degrades_goodput() {
+        let exp = quick_experiment(5);
+        let baseline = exp.baseline_bytes().unwrap();
+        // A strong attack: 30 Mbps pulses of 100 ms at γ = 0.4.
+        let p = exp.run_point(0.1, 30e6, 0.4, baseline).unwrap();
+        assert!(
+            p.degradation_sim > 0.2,
+            "a γ=0.4 pulsing attack must visibly degrade TCP: {p:?}"
+        );
+        assert!(p.g_sim > 0.0);
+        assert!(p.fast_recoveries + p.timeouts > 0, "losses must occur");
+    }
+
+    #[test]
+    fn stronger_gamma_degrades_more() {
+        let exp = quick_experiment(5);
+        let baseline = exp.baseline_bytes().unwrap();
+        let weak = exp.run_point(0.1, 30e6, 0.15, baseline).unwrap();
+        let strong = exp.run_point(0.1, 30e6, 0.7, baseline).unwrap();
+        assert!(
+            strong.degradation_sim > weak.degradation_sim,
+            "weak {weak:?} vs strong {strong:?}"
+        );
+    }
+
+    #[test]
+    fn sweep_skips_infeasible_gammas() {
+        let exp = quick_experiment(3).window(SimDuration::from_secs(8));
+        // C_attack = 20/15: γ = 0.9 feasible, γ = 1.5 not (not in grid
+        // anyway); include a γ above C_attack to check skipping: use
+        // R_attack = 10 Mbps -> C_attack = 2/3, so γ = 0.8 is infeasible.
+        let sweep = exp.sweep(0.1, 10e6, &[0.3, 0.8]).unwrap();
+        assert_eq!(sweep.points.len(), 1);
+        assert!((sweep.points[0].gamma - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn traced_point_returns_window_bins() {
+        let exp = quick_experiment(3).window(SimDuration::from_secs(8));
+        let baseline = exp.baseline_bytes().unwrap();
+        let (point, bins) = exp
+            .run_point_traced(0.1, 30e6, 0.4, baseline, Some(SimDuration::from_millis(100)))
+            .unwrap();
+        assert!(point.degradation_sim > 0.0);
+        // 8 s window at 100 ms bins = ~80 bins of the measurement window.
+        assert!((70..=85).contains(&bins.len()), "got {} bins", bins.len());
+        assert!(bins.iter().sum::<u64>() > 0);
+        // The untraced variant returns the same point.
+        let plain = exp.run_point(0.1, 30e6, 0.4, baseline).unwrap();
+        assert_eq!(plain, point);
+    }
+
+    #[test]
+    fn optimal_train_matches_the_solved_period() {
+        let spec = ScenarioSpec::ns2_dumbbell(25);
+        let train =
+            optimal_pulse_train(&spec, 0.075, 30e6, RiskPreference::NEUTRAL).unwrap();
+        let sol = pdos_analysis::optimize::solve(
+            &spec.victims(),
+            0.075,
+            30e6,
+            RiskPreference::NEUTRAL,
+        )
+        .unwrap();
+        assert!((train.period().as_secs_f64() - sol.period).abs() < 1e-6);
+        assert!((train.gamma(spec.bottleneck) - sol.gamma_star).abs() < 1e-6);
+    }
+
+    #[test]
+    fn multi_seed_point_reports_spread() {
+        let exp = quick_experiment(3).window(SimDuration::from_secs(8));
+        let (gain, deg) = exp
+            .run_point_seeds(0.1, 30e6, 0.4, &[1, 2, 3])
+            .unwrap();
+        assert_eq!(gain.n, 3);
+        assert!(gain.mean > 0.0 && gain.mean <= 1.0);
+        assert!(gain.sd >= 0.0);
+        assert!(deg.mean > 0.1, "attack must bite on every seed: {deg:?}");
+        // Single seed: sd is zero by definition.
+        let (single, _) = exp.run_point_seeds(0.1, 30e6, 0.4, &[1]).unwrap();
+        assert_eq!(single.sd, 0.0);
+    }
+
+    #[test]
+    fn parallel_sweep_matches_serial() {
+        let exp = quick_experiment(3).window(SimDuration::from_secs(8));
+        let baseline = exp.baseline_bytes().unwrap();
+        let gammas = [0.3, 0.6];
+        let serial = exp
+            .sweep_with_baseline(0.1, 30e6, &gammas, baseline)
+            .unwrap();
+        let parallel = exp.sweep_parallel(0.1, 30e6, &gammas, baseline).unwrap();
+        assert_eq!(serial.points.len(), parallel.points.len());
+        for (a, b) in serial.points.iter().zip(&parallel.points) {
+            assert_eq!(a, b, "parallel execution must not change results");
+        }
+    }
+
+    #[test]
+    fn shrew_points_flagged() {
+        let exp = quick_experiment(3);
+        let baseline = 1; // dummy; we only check the flag
+        // γ chosen so T_AIMD = 1 s: γ = R·T/(B·1) = 30e6·0.1/15e6 = 0.2.
+        let p = exp.run_point(0.1, 30e6, 0.2, baseline).unwrap();
+        assert_eq!(p.t_aimd, 1.0);
+        assert_eq!(p.shrew, Some(1));
+    }
+}

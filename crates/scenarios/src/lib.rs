@@ -1,0 +1,49 @@
+//! # pdos-scenarios — the DSN 2005 evaluation, reproducible
+//!
+//! Prebuilt experiment scenarios matching the paper's two environments —
+//! the ns-2 dumbbell of Fig. 5 (§4.1) and the Dummynet test-bed of Fig. 11
+//! (§4.2) — plus the measurement protocols behind every results figure:
+//!
+//! * [`spec::ScenarioSpec`] — topology/parameter presets as plain data;
+//! * [`bench::Testbench`] — a wired simulator with victim flows, attacker
+//!   host and goodput/loss instrumentation;
+//! * [`experiment::GainExperiment`] — the Γ and gain measurement driving
+//!   Figs. 6–10 and 12;
+//! * [`classify::GainClass`] — the normal/under/over-gain taxonomy of
+//!   §4.1.1;
+//! * [`sync::SyncExperiment`] — the quasi-global synchronization
+//!   measurement of Fig. 3.
+//!
+//! ## Example: measure one attacked point
+//!
+//! ```no_run
+//! use pdos_scenarios::prelude::*;
+//!
+//! let exp = GainExperiment::new(ScenarioSpec::ns2_dumbbell(15));
+//! let baseline = exp.baseline_bytes()?;
+//! let point = exp.run_point(0.075, 30e6, 0.3, baseline)?;
+//! println!("Γ = {:.2}, gain = {:.2} ({})",
+//!          point.degradation_sim, point.g_sim, point.class);
+//! # Ok::<(), pdos_scenarios::experiment::ExperimentError>(())
+//! ```
+
+#![deny(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod bench;
+pub mod classify;
+pub mod experiment;
+pub mod spec;
+pub mod sync;
+
+/// Convenient re-exports.
+pub mod prelude {
+    pub use crate::bench::{AttackPhasing, FlowHandle, Testbench, ATTACK_FLOW};
+    pub use crate::classify::GainClass;
+    pub use crate::experiment::{
+        gamma_grid, optimal_pulse_train, ExperimentError, GainExperiment, GainPoint, GainSweep,
+        SeedStats,
+    };
+    pub use crate::spec::{BottleneckQueue, ScenarioSpec};
+    pub use crate::sync::{SyncExperiment, SyncResult};
+}

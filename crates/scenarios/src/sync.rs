@@ -1,0 +1,199 @@
+//! The quasi-global synchronization experiment of §2.3 / Fig. 3.
+//!
+//! Runs a scenario under a pulse train, records the bottleneck's incoming
+//! traffic in fixed bins, normalizes it, reduces it with the piecewise
+//! aggregate approximation (like the paper's plots), and measures the
+//! fluctuation period two ways: peak counting (the paper's
+//! `60 s / #pinnacles`) and autocorrelation.
+
+use crate::spec::ScenarioSpec;
+use pdos_analysis::period::{count_peaks, dominant_lag, period_from_peak_count};
+use pdos_analysis::timeseries::{paa, standardize};
+use pdos_attack::pulse::PulseTrain;
+use pdos_sim::time::{SimDuration, SimTime};
+use pdos_sim::trace::TraceFilter;
+
+use crate::experiment::ExperimentError;
+
+/// The result of a synchronization run.
+#[derive(Debug, Clone)]
+pub struct SyncResult {
+    /// The standardized, PAA-reduced incoming-traffic series (what Fig. 3
+    /// plots).
+    pub paa_series: Vec<f64>,
+    /// Number of pinnacles counted in the observation window.
+    pub peaks: usize,
+    /// Period inferred from the peak count, seconds.
+    pub period_from_peaks: Option<f64>,
+    /// Period inferred from the autocorrelation of the raw binned series,
+    /// seconds.
+    pub period_from_autocorr: Option<f64>,
+    /// The attack period that was actually applied, seconds.
+    pub expected_period: f64,
+    /// Observation window length, seconds.
+    pub window_secs: f64,
+}
+
+/// Driver for the Fig. 3 measurement.
+#[derive(Debug, Clone)]
+pub struct SyncExperiment {
+    spec: ScenarioSpec,
+    warmup: SimDuration,
+    window: SimDuration,
+    bin: SimDuration,
+    paa_segments: usize,
+}
+
+impl SyncExperiment {
+    /// Creates a driver with the paper's framing: 60 s observation window
+    /// after a 10 s warm-up, 50 ms bins, 240 PAA segments.
+    pub fn new(spec: ScenarioSpec) -> Self {
+        SyncExperiment {
+            spec,
+            warmup: SimDuration::from_secs(10),
+            window: SimDuration::from_secs(60),
+            bin: SimDuration::from_millis(50),
+            paa_segments: 240,
+        }
+    }
+
+    /// Overrides the warm-up length.
+    pub fn warmup(mut self, warmup: SimDuration) -> Self {
+        self.warmup = warmup;
+        self
+    }
+
+    /// Overrides the observation window.
+    pub fn window(mut self, window: SimDuration) -> Self {
+        self.window = window;
+        self
+    }
+
+    /// Overrides the trace bin width.
+    pub fn bin(mut self, bin: SimDuration) -> Self {
+        self.bin = bin;
+        self
+    }
+
+    /// Overrides the PAA resolution.
+    pub fn paa_segments(mut self, segments: usize) -> Self {
+        self.paa_segments = segments;
+        self
+    }
+
+    /// Runs the experiment under `train`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExperimentError::Build`] when the topology fails to
+    /// build.
+    pub fn run(&self, train: PulseTrain) -> Result<SyncResult, ExperimentError> {
+        let expected_period = train.period().as_secs_f64();
+        let mut bench = self.spec.build()?;
+        let trace = bench.trace_bottleneck(TraceFilter::All, self.bin);
+        bench.attach_pulse_attack(train, SimTime::ZERO + self.warmup, None);
+        let end = SimTime::ZERO + self.warmup + self.window;
+        bench.run_until(end);
+
+        // Slice the observation window out of the trace.
+        let all_bins = bench.sim.trace(trace).bytes_per_bin();
+        let first = (self.warmup.as_nanos() / self.bin.as_nanos()) as usize;
+        let n_window = (self.window.as_nanos() / self.bin.as_nanos()) as usize;
+        let window: Vec<f64> = all_bins
+            .iter()
+            .skip(first)
+            .take(n_window)
+            .map(|&b| b as f64)
+            .collect();
+
+        let normalized = standardize(&window);
+        let segments = self.paa_segments.min(normalized.len().max(1));
+        let paa_series = if normalized.is_empty() {
+            Vec::new()
+        } else {
+            paa(&normalized, segments)
+        };
+
+        // Peaks: threshold one sigma above mean, peaks at least half an
+        // expected period apart would leak the answer — use a quarter of
+        // the *smallest plausible* period (4 bins) instead.
+        let peaks = count_peaks(&normalized, 1.0, 4);
+        let window_secs = self.window.as_secs_f64();
+        let bin_secs = self.bin.as_secs_f64();
+        let lag = dominant_lag(&normalized, 4, normalized.len() / 2);
+
+        Ok(SyncResult {
+            paa_series,
+            peaks,
+            period_from_peaks: period_from_peak_count(window_secs, peaks),
+            period_from_autocorr: lag.map(|l| l as f64 * bin_secs),
+            expected_period,
+            window_secs,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdos_sim::units::BitsPerSec;
+
+    /// A scaled-down Fig. 3(a): shorter window so the test stays fast, but
+    /// the same 2 s attack period.
+    #[test]
+    fn sync_period_matches_attack_period() {
+        let spec = ScenarioSpec::ns2_dumbbell(8);
+        let train = PulseTrain::new(
+            SimDuration::from_millis(50),
+            BitsPerSec::from_mbps(100.0),
+            SimDuration::from_millis(1950),
+        )
+        .unwrap();
+        let result = SyncExperiment::new(spec)
+            .warmup(SimDuration::from_secs(5))
+            .window(SimDuration::from_secs(20))
+            .run(train)
+            .unwrap();
+
+        assert_eq!(result.expected_period, 2.0);
+        // 20 s window / 2 s period = 10 pinnacles.
+        assert!(
+            (8..=12).contains(&result.peaks),
+            "expected ~10 pinnacles, got {}",
+            result.peaks
+        );
+        let measured = result.period_from_peaks.unwrap();
+        assert!(
+            (measured - 2.0).abs() < 0.5,
+            "peak-count period {measured} should be ~2 s"
+        );
+        let ac = result.period_from_autocorr.unwrap();
+        assert!(
+            (ac - 2.0).abs() < 0.3,
+            "autocorrelation period {ac} should be ~2 s"
+        );
+        assert!(!result.paa_series.is_empty());
+    }
+
+    #[test]
+    fn no_attack_has_no_clean_period() {
+        // Without an attack the incoming traffic is comparatively smooth;
+        // peak counting finds far fewer pinnacles.
+        let spec = ScenarioSpec::ns2_dumbbell(8);
+        let mut bench = spec.build().unwrap();
+        let trace = bench.trace_bottleneck(TraceFilter::All, SimDuration::from_millis(50));
+        bench.run_until(SimTime::from_secs(25));
+        let bins: Vec<f64> = bench.sim.trace(trace).bytes_per_bin()[100..]
+            .iter()
+            .map(|&b| b as f64)
+            .collect();
+        let normalized = standardize(&bins);
+        let peaks = count_peaks(&normalized, 1.0, 4);
+        // 20 s of steady TCP: fluctuations exist but nothing like one
+        // pinnacle per 2 s attack period with sharp amplitude.
+        assert!(
+            peaks < 60,
+            "steady traffic produced implausibly many peaks: {peaks}"
+        );
+    }
+}

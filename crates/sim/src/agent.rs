@@ -1,0 +1,177 @@
+//! Traffic agents: the pluggable endpoints of the simulator.
+//!
+//! An [`Agent`] is a state machine attached to a host node. The engine calls
+//! it back on packet arrival and timer expiry; the agent responds by pushing
+//! [`Effect`]s (send a packet, arm a timer) into its [`AgentCtx`]. Keeping
+//! side effects out of the callbacks makes agents plain, synchronously
+//! testable state machines with no `Rc<RefCell>` plumbing.
+
+use crate::node::NodeId;
+use crate::packet::Packet;
+use crate::time::{SimDuration, SimTime};
+use std::any::Any;
+use std::fmt;
+
+/// Identifies an agent registered with the engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct AgentId(u32);
+
+impl AgentId {
+    /// Creates an agent id from a raw index.
+    pub const fn from_u32(v: u32) -> Self {
+        AgentId(v)
+    }
+
+    /// The raw index.
+    pub const fn as_u32(self) -> u32 {
+        self.0
+    }
+
+    /// The raw index as `usize`, for table lookups.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for AgentId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "agent{}", self.0)
+    }
+}
+
+/// A deferred action produced by an agent callback, applied by the engine
+/// after the callback returns.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Effect {
+    /// Inject `packet` into the network at the agent's node.
+    Send(Packet),
+    /// Fire [`Agent::on_timer`] with `token` at absolute time `at`.
+    TimerAt {
+        /// Absolute expiry instant.
+        at: SimTime,
+        /// Agent-private discriminator passed back on expiry.
+        token: u64,
+    },
+}
+
+/// The callback context handed to every agent hook.
+///
+/// # Examples
+///
+/// A trivial agent that sends one packet at start-up:
+///
+/// ```
+/// use pdos_sim::agent::{Agent, AgentCtx};
+/// use pdos_sim::packet::{FlowId, Packet, PacketKind};
+/// use pdos_sim::units::Bytes;
+/// use pdos_sim::node::NodeId;
+///
+/// struct OneShot { dst: NodeId }
+///
+/// impl Agent for OneShot {
+///     fn start(&mut self, ctx: &mut AgentCtx<'_>) {
+///         let pkt = Packet::new(
+///             FlowId::from_u32(0), ctx.node(), self.dst,
+///             Bytes::from_u64(1500), PacketKind::Background,
+///         );
+///         ctx.send(pkt);
+///     }
+///     fn on_packet(&mut self, _: Packet, _: &mut AgentCtx<'_>) {}
+///     fn on_timer(&mut self, _: u64, _: &mut AgentCtx<'_>) {}
+///     fn as_any(&self) -> &dyn std::any::Any { self }
+/// }
+/// ```
+#[derive(Debug)]
+pub struct AgentCtx<'a> {
+    now: SimTime,
+    node: NodeId,
+    effects: &'a mut Vec<Effect>,
+}
+
+impl<'a> AgentCtx<'a> {
+    /// Creates a context. Used by the engine and by unit tests that drive
+    /// agents directly.
+    pub fn new(now: SimTime, node: NodeId, effects: &'a mut Vec<Effect>) -> Self {
+        AgentCtx { now, node, effects }
+    }
+
+    /// The current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The node this agent lives on.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// Injects `packet` into the network at this agent's node. The engine
+    /// stamps `uid` and `sent_at` and routes it toward `packet.dst`.
+    pub fn send(&mut self, packet: Packet) {
+        self.effects.push(Effect::Send(packet));
+    }
+
+    /// Arms a timer that fires at absolute time `at` with `token`.
+    ///
+    /// There is no cancel operation: agents version their timers with the
+    /// token and ignore stale expirations (lazy cancellation), which keeps
+    /// the event queue append-only and cheap.
+    pub fn timer_at(&mut self, at: SimTime, token: u64) {
+        self.effects.push(Effect::TimerAt { at, token });
+    }
+
+    /// Arms a timer `after` from now.
+    pub fn timer_after(&mut self, after: SimDuration, token: u64) {
+        let at = self.now + after;
+        self.timer_at(at, token);
+    }
+}
+
+/// A traffic endpoint state machine.
+///
+/// Implementations must be deterministic given their construction-time seed;
+/// all randomness must come from an internally held, explicitly seeded RNG.
+pub trait Agent {
+    /// Called once when the engine starts the agent (at its scheduled start
+    /// time, or at `t=0` by default).
+    fn start(&mut self, ctx: &mut AgentCtx<'_>);
+
+    /// Called when a packet addressed to this agent's `(node, flow)` binding
+    /// arrives.
+    fn on_packet(&mut self, packet: Packet, ctx: &mut AgentCtx<'_>);
+
+    /// Called when a timer armed via [`AgentCtx::timer_at`] expires.
+    fn on_timer(&mut self, token: u64, ctx: &mut AgentCtx<'_>);
+
+    /// Upcast for post-run inspection (reading flow statistics out of the
+    /// engine once the run completes).
+    fn as_any(&self) -> &dyn Any;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ctx_accumulates_effects_in_order() {
+        let mut fx = Vec::new();
+        let mut ctx = AgentCtx::new(SimTime::from_millis(10), NodeId::from_u32(1), &mut fx);
+        assert_eq!(ctx.now(), SimTime::from_millis(10));
+        assert_eq!(ctx.node(), NodeId::from_u32(1));
+        ctx.timer_after(SimDuration::from_millis(5), 42);
+        ctx.timer_at(SimTime::from_millis(100), 43);
+        assert_eq!(
+            fx,
+            vec![
+                Effect::TimerAt {
+                    at: SimTime::from_millis(15),
+                    token: 42
+                },
+                Effect::TimerAt {
+                    at: SimTime::from_millis(100),
+                    token: 43
+                },
+            ]
+        );
+    }
+}

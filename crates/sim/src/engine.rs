@@ -1,0 +1,714 @@
+//! The discrete-event engine: owns nodes, links, agents and the event
+//! queue, and advances simulated time.
+
+use crate::agent::{Agent, AgentCtx, AgentId, Effect};
+use crate::event::{Event, EventQueue};
+use crate::link::{Link, LinkAccept, LinkId};
+use crate::node::{Node, NodeId};
+use crate::packet::{FlowId, Packet};
+use crate::routing::RoutingTable;
+use crate::time::{SimDuration, SimTime};
+use crate::trace::{RateTrace, TraceFilter, TraceId};
+use std::collections::HashMap;
+
+/// Aggregate counters kept by the engine.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SimStats {
+    /// Events processed.
+    pub events: u64,
+    /// Packets delivered to a bound agent.
+    pub delivered: u64,
+    /// Packets that reached their destination node but had no agent bound
+    /// to their `(node, flow)` — attack sinks typically land here.
+    pub unclaimed: u64,
+    /// Packets dropped by queue disciplines.
+    pub queue_drops: u64,
+    /// ECN congestion-experienced marks applied by queue disciplines.
+    pub ecn_marks: u64,
+    /// Packets discarded because no route existed to their destination.
+    pub routeless: u64,
+}
+
+struct AgentSlot {
+    node: NodeId,
+    agent: Option<Box<dyn Agent>>,
+}
+
+/// The simulator: a deterministic single-threaded event loop.
+///
+/// Build one with [`crate::topology::TopologyBuilder`], attach agents, then
+/// call [`Simulator::run_until`].
+///
+/// # Examples
+///
+/// ```
+/// use pdos_sim::topology::TopologyBuilder;
+/// use pdos_sim::queue::QueueSpec;
+/// use pdos_sim::units::BitsPerSec;
+/// use pdos_sim::time::{SimDuration, SimTime};
+///
+/// let mut t = TopologyBuilder::new();
+/// let a = t.add_host("a");
+/// let b = t.add_host("b");
+/// t.add_duplex_link(a, b, BitsPerSec::from_mbps(10.0),
+///                   SimDuration::from_millis(5),
+///                   QueueSpec::DropTail { capacity: 100 });
+/// let mut sim = t.build()?;
+/// sim.run_until(SimTime::from_secs(1));
+/// assert_eq!(sim.now(), SimTime::from_secs(1));
+/// # Ok::<(), pdos_sim::topology::BuildError>(())
+/// ```
+pub struct Simulator {
+    clock: SimTime,
+    events: EventQueue,
+    nodes: Vec<Node>,
+    links: Vec<Link>,
+    routing: RoutingTable,
+    agents: Vec<AgentSlot>,
+    bindings: HashMap<(NodeId, FlowId), AgentId>,
+    traces: Vec<RateTrace>,
+    link_traces: Vec<Vec<TraceId>>,
+    drops_by_flow: HashMap<FlowId, u64>,
+    next_uid: u64,
+    stats: SimStats,
+    effects_scratch: Vec<Effect>,
+}
+
+impl std::fmt::Debug for Simulator {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Simulator")
+            .field("now", &self.clock)
+            .field("nodes", &self.nodes.len())
+            .field("links", &self.links.len())
+            .field("agents", &self.agents.len())
+            .field("pending_events", &self.events.len())
+            .finish()
+    }
+}
+
+impl Simulator {
+    pub(crate) fn from_parts(nodes: Vec<Node>, links: Vec<Link>, routing: RoutingTable) -> Self {
+        let n_links = links.len();
+        Simulator {
+            clock: SimTime::ZERO,
+            events: EventQueue::new(),
+            nodes,
+            links,
+            routing,
+            agents: Vec::new(),
+            bindings: HashMap::new(),
+            traces: Vec::new(),
+            link_traces: vec![Vec::new(); n_links],
+            drops_by_flow: HashMap::new(),
+            next_uid: 1,
+            stats: SimStats::default(),
+            effects_scratch: Vec::new(),
+        }
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.clock
+    }
+
+    /// Engine counters.
+    pub fn stats(&self) -> SimStats {
+        self.stats
+    }
+
+    /// The nodes of the topology.
+    pub fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+
+    /// The links of the topology.
+    pub fn links(&self) -> &[Link] {
+        &self.links
+    }
+
+    /// One link by id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not a link of this topology.
+    pub fn link(&self, id: LinkId) -> &Link {
+        &self.links[id.index()]
+    }
+
+    /// The routing table in force.
+    pub fn routing(&self) -> &RoutingTable {
+        &self.routing
+    }
+
+    /// Packets dropped so far that belonged to `flow`.
+    pub fn drops_for_flow(&self, flow: FlowId) -> u64 {
+        self.drops_by_flow.get(&flow).copied().unwrap_or(0)
+    }
+
+    /// Attaches `agent` to `node` and schedules its [`Agent::start`] at
+    /// `start_at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` does not exist.
+    pub fn attach_agent_at(
+        &mut self,
+        node: NodeId,
+        agent: Box<dyn Agent>,
+        start_at: SimTime,
+    ) -> AgentId {
+        assert!(
+            node.index() < self.nodes.len(),
+            "cannot attach agent to unknown {node}"
+        );
+        let id = AgentId::from_u32(self.agents.len() as u32);
+        self.agents.push(AgentSlot {
+            node,
+            agent: Some(agent),
+        });
+        self.events.schedule(start_at, Event::AgentStart { agent: id });
+        id
+    }
+
+    /// Attaches `agent` to `node`, starting at time zero.
+    pub fn attach_agent(&mut self, node: NodeId, agent: Box<dyn Agent>) -> AgentId {
+        self.attach_agent_at(node, agent, SimTime::ZERO)
+    }
+
+    /// Routes packets of `flow` arriving at `node` to `agent`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the binding is already taken or the agent is unknown.
+    pub fn bind_flow(&mut self, node: NodeId, flow: FlowId, agent: AgentId) {
+        assert!(
+            agent.index() < self.agents.len(),
+            "cannot bind unknown {agent}"
+        );
+        let prev = self.bindings.insert((node, flow), agent);
+        assert!(
+            prev.is_none(),
+            "binding ({node}, {flow}) registered twice"
+        );
+    }
+
+    /// Registers a rate trace on the ingress of `link`.
+    pub fn trace_link_ingress(
+        &mut self,
+        link: LinkId,
+        filter: TraceFilter,
+        bin: SimDuration,
+    ) -> TraceId {
+        let id = TraceId::from_u32(self.traces.len() as u32);
+        self.traces.push(RateTrace::new(link, filter, bin));
+        self.link_traces[link.index()].push(id);
+        id
+    }
+
+    /// Reads a trace back.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not returned by this simulator.
+    pub fn trace(&self, id: TraceId) -> &RateTrace {
+        &self.traces[id.index()]
+    }
+
+    /// Downcasts an agent for post-run inspection.
+    ///
+    /// Returns `None` when the agent is of a different concrete type.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is unknown.
+    pub fn agent_as<T: 'static>(&self, id: AgentId) -> Option<&T> {
+        self.agents[id.index()]
+            .agent
+            .as_deref()
+            .expect("agent slot temporarily empty during dispatch")
+            .as_any()
+            .downcast_ref::<T>()
+    }
+
+    /// Runs until the event queue is exhausted or `horizon` is reached,
+    /// leaving the clock at `horizon` (or at the last event when the queue
+    /// drains first — then advances to `horizon`).
+    pub fn run_until(&mut self, horizon: SimTime) {
+        while let Some(at) = self.events.peek_time() {
+            if at > horizon {
+                break;
+            }
+            self.step();
+        }
+        if self.clock < horizon {
+            self.clock = horizon;
+        }
+    }
+
+    /// Processes exactly one event, if any is pending. Returns whether an
+    /// event was processed.
+    pub fn step(&mut self) -> bool {
+        let Some((at, event)) = self.events.pop() else {
+            return false;
+        };
+        debug_assert!(at >= self.clock, "event in the past: {at} < {}", self.clock);
+        self.clock = at;
+        self.stats.events += 1;
+        match event {
+            Event::Deliver { node, packet } => self.handle_arrival(node, packet),
+            Event::LinkTxDone { link } => self.handle_tx_done(link),
+            Event::Timer { agent, token } => self.dispatch_timer(agent, token),
+            Event::AgentStart { agent } => self.dispatch_start(agent),
+        }
+        true
+    }
+
+    /// Number of events still pending.
+    pub fn pending_events(&self) -> usize {
+        self.events.len()
+    }
+
+    fn handle_arrival(&mut self, node: NodeId, packet: Packet) {
+        if packet.dst == node {
+            match self.bindings.get(&(node, packet.flow)).copied() {
+                Some(agent) => {
+                    self.stats.delivered += 1;
+                    self.dispatch_packet(agent, packet);
+                }
+                None => self.stats.unclaimed += 1,
+            }
+        } else {
+            self.forward(node, packet);
+        }
+    }
+
+    fn forward(&mut self, node: NodeId, packet: Packet) {
+        let Some(link_id) = self.routing.next_link(node, packet.dst) else {
+            self.stats.routeless += 1;
+            return;
+        };
+        for &tid in &self.link_traces[link_id.index()] {
+            self.traces[tid.index()].record(self.clock, &packet);
+        }
+        let link = &mut self.links[link_id.index()];
+        match link.accept(packet, self.clock) {
+            LinkAccept::Accepted { tx_done, marked } => {
+                if let Some(done_at) = tx_done {
+                    self.events
+                        .schedule(done_at, Event::LinkTxDone { link: link_id });
+                }
+                if marked {
+                    self.stats.ecn_marks += 1;
+                }
+            }
+            LinkAccept::Dropped => {
+                self.stats.queue_drops += 1;
+                *self.drops_by_flow.entry(packet.flow).or_insert(0) += 1;
+            }
+        }
+    }
+
+    fn handle_tx_done(&mut self, link_id: LinkId) {
+        let link = &mut self.links[link_id.index()];
+        let delay = link.sample_delay();
+        let dst = link.dst();
+        let (packet, next_done) = link.tx_complete(self.clock);
+        if let Some(at) = next_done {
+            self.events.schedule(at, Event::LinkTxDone { link: link_id });
+        }
+        self.events.schedule(
+            self.clock + delay,
+            Event::Deliver { node: dst, packet },
+        );
+    }
+
+    fn with_agent<F>(&mut self, id: AgentId, f: F)
+    where
+        F: FnOnce(&mut dyn Agent, &mut AgentCtx<'_>),
+    {
+        let node = self.agents[id.index()].node;
+        let mut agent = self.agents[id.index()]
+            .agent
+            .take()
+            .expect("re-entrant agent dispatch");
+        let mut effects = std::mem::take(&mut self.effects_scratch);
+        {
+            let mut ctx = AgentCtx::new(self.clock, node, &mut effects);
+            f(agent.as_mut(), &mut ctx);
+        }
+        self.agents[id.index()].agent = Some(agent);
+        for effect in effects.drain(..) {
+            match effect {
+                Effect::Send(mut packet) => {
+                    packet.uid = self.next_uid;
+                    self.next_uid += 1;
+                    packet.sent_at = self.clock;
+                    // Route from the agent's own node; scheduled through the
+                    // queue (same instant) to keep dispatch non-reentrant.
+                    self.events.schedule(
+                        self.clock,
+                        Event::Deliver { node, packet },
+                    );
+                }
+                Effect::TimerAt { at, token } => {
+                    self.events.schedule(at, Event::Timer { agent: id, token });
+                }
+            }
+        }
+        self.effects_scratch = effects;
+    }
+
+    fn dispatch_packet(&mut self, id: AgentId, packet: Packet) {
+        self.with_agent(id, |agent, ctx| agent.on_packet(packet, ctx));
+    }
+
+    fn dispatch_timer(&mut self, id: AgentId, token: u64) {
+        self.with_agent(id, |agent, ctx| agent.on_timer(token, ctx));
+    }
+
+    fn dispatch_start(&mut self, id: AgentId) {
+        self.with_agent(id, |agent, ctx| agent.start(ctx));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::PacketKind;
+    use crate::queue::QueueSpec;
+    use crate::topology::TopologyBuilder;
+    use crate::units::{BitsPerSec, Bytes};
+    use std::any::Any;
+
+    /// Sends `count` packets of `size` to `dst`, one every `gap`.
+    struct Blaster {
+        dst: NodeId,
+        flow: FlowId,
+        count: u64,
+        gap: SimDuration,
+        sent: u64,
+    }
+
+    impl Agent for Blaster {
+        fn start(&mut self, ctx: &mut AgentCtx<'_>) {
+            ctx.timer_after(SimDuration::ZERO, 0);
+        }
+        fn on_packet(&mut self, _: Packet, _: &mut AgentCtx<'_>) {}
+        fn on_timer(&mut self, _: u64, ctx: &mut AgentCtx<'_>) {
+            if self.sent < self.count {
+                self.sent += 1;
+                ctx.send(Packet::new(
+                    self.flow,
+                    ctx.node(),
+                    self.dst,
+                    Bytes::from_u64(1000),
+                    PacketKind::Background,
+                ));
+                ctx.timer_after(self.gap, 0);
+            }
+        }
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+    }
+
+    /// Counts received packets.
+    #[derive(Default)]
+    struct Counter {
+        received: u64,
+        bytes: u64,
+        last_at: Option<SimTime>,
+    }
+
+    impl Agent for Counter {
+        fn start(&mut self, _: &mut AgentCtx<'_>) {}
+        fn on_packet(&mut self, p: Packet, ctx: &mut AgentCtx<'_>) {
+            self.received += 1;
+            self.bytes += p.size.as_u64();
+            self.last_at = Some(ctx.now());
+        }
+        fn on_timer(&mut self, _: u64, _: &mut AgentCtx<'_>) {}
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+    }
+
+    fn two_hosts() -> (Simulator, NodeId, NodeId) {
+        let mut t = TopologyBuilder::new();
+        let a = t.add_host("a");
+        let b = t.add_host("b");
+        t.add_duplex_link(
+            a,
+            b,
+            BitsPerSec::from_mbps(8.0),
+            SimDuration::from_millis(10),
+            QueueSpec::DropTail { capacity: 100 },
+        );
+        (t.build().unwrap(), a, b)
+    }
+
+    #[test]
+    fn end_to_end_delivery_with_latency() {
+        let (mut sim, a, b) = two_hosts();
+        let flow = FlowId::from_u32(1);
+        let blaster = sim.attach_agent(
+            a,
+            Box::new(Blaster {
+                dst: b,
+                flow,
+                count: 1,
+                gap: SimDuration::ZERO,
+                sent: 0,
+            }),
+        );
+        let counter = sim.attach_agent(b, Box::new(Counter::default()));
+        sim.bind_flow(b, flow, counter);
+        sim.run_until(SimTime::from_secs(1));
+
+        let c = sim.agent_as::<Counter>(counter).unwrap();
+        assert_eq!(c.received, 1);
+        assert_eq!(c.bytes, 1000);
+        // 1000 B at 8 Mbps = 1 ms serialization + 10 ms propagation.
+        assert_eq!(c.last_at, Some(SimTime::from_millis(11)));
+        assert_eq!(sim.stats().delivered, 1);
+        let _ = sim.agent_as::<Blaster>(blaster).unwrap();
+    }
+
+    #[test]
+    fn unbound_flow_counts_unclaimed() {
+        let (mut sim, a, b) = two_hosts();
+        sim.attach_agent(
+            a,
+            Box::new(Blaster {
+                dst: b,
+                flow: FlowId::from_u32(9),
+                count: 3,
+                gap: SimDuration::from_millis(1),
+                sent: 0,
+            }),
+        );
+        sim.run_until(SimTime::from_secs(1));
+        assert_eq!(sim.stats().unclaimed, 3);
+        assert_eq!(sim.stats().delivered, 0);
+    }
+
+    #[test]
+    fn bottleneck_serializes_back_to_back() {
+        let (mut sim, a, b) = two_hosts();
+        let flow = FlowId::from_u32(1);
+        sim.attach_agent(
+            a,
+            Box::new(Blaster {
+                dst: b,
+                flow,
+                count: 10,
+                gap: SimDuration::ZERO, // all at once: 9 of them queue
+                sent: 0,
+            }),
+        );
+        let counter = sim.attach_agent(b, Box::new(Counter::default()));
+        sim.bind_flow(b, flow, counter);
+        sim.run_until(SimTime::from_secs(1));
+        let c = sim.agent_as::<Counter>(counter).unwrap();
+        assert_eq!(c.received, 10);
+        // Last packet: 10 x 1 ms serialization + 10 ms propagation.
+        assert_eq!(c.last_at, Some(SimTime::from_millis(20)));
+    }
+
+    #[test]
+    fn queue_overflow_drops_and_attributes_flow() {
+        let mut t = TopologyBuilder::new();
+        let a = t.add_host("a");
+        let b = t.add_host("b");
+        t.add_duplex_link(
+            a,
+            b,
+            BitsPerSec::from_mbps(8.0),
+            SimDuration::from_millis(1),
+            QueueSpec::DropTail { capacity: 2 },
+        );
+        let mut sim = t.build().unwrap();
+        let flow = FlowId::from_u32(1);
+        sim.attach_agent(
+            a,
+            Box::new(Blaster {
+                dst: b,
+                flow,
+                count: 10,
+                gap: SimDuration::ZERO,
+                sent: 0,
+            }),
+        );
+        let counter = sim.attach_agent(b, Box::new(Counter::default()));
+        sim.bind_flow(b, flow, counter);
+        sim.run_until(SimTime::from_secs(1));
+        // 1 in flight + 2 queued survive the burst; 7 dropped.
+        assert_eq!(sim.stats().queue_drops, 7);
+        assert_eq!(sim.drops_for_flow(flow), 7);
+        assert_eq!(sim.agent_as::<Counter>(counter).unwrap().received, 3);
+    }
+
+    #[test]
+    fn trace_observes_ingress() {
+        let (mut sim, a, b) = two_hosts();
+        let flow = FlowId::from_u32(1);
+        sim.attach_agent(
+            a,
+            Box::new(Blaster {
+                dst: b,
+                flow,
+                count: 5,
+                gap: SimDuration::from_millis(2),
+                sent: 0,
+            }),
+        );
+        // Find the a->b link (first one built).
+        let link = sim.links()[0].id();
+        let trace = sim.trace_link_ingress(link, TraceFilter::All, SimDuration::from_millis(50));
+        sim.run_until(SimTime::from_secs(1));
+        assert_eq!(sim.trace(trace).total_bytes(), 5000);
+    }
+
+    #[test]
+    fn run_until_advances_clock_even_when_idle() {
+        let (mut sim, _, _) = two_hosts();
+        sim.run_until(SimTime::from_secs(3));
+        assert_eq!(sim.now(), SimTime::from_secs(3));
+        assert!(!sim.step());
+    }
+
+    #[test]
+    #[should_panic(expected = "registered twice")]
+    fn double_binding_panics() {
+        let (mut sim, _, b) = two_hosts();
+        let c1 = sim.attach_agent(b, Box::new(Counter::default()));
+        let c2 = sim.attach_agent(b, Box::new(Counter::default()));
+        sim.bind_flow(b, FlowId::from_u32(1), c1);
+        sim.bind_flow(b, FlowId::from_u32(1), c2);
+    }
+
+    #[test]
+    fn agent_as_returns_none_for_wrong_type() {
+        let (mut sim, _, b) = two_hosts();
+        let counter = sim.attach_agent(b, Box::new(Counter::default()));
+        assert!(sim.agent_as::<Counter>(counter).is_some());
+        assert!(sim.agent_as::<Blaster>(counter).is_none());
+    }
+
+    #[test]
+    fn multi_hop_chain_delivers_with_summed_latency() {
+        // a - r1 - r2 - b, 1 ms per hop, 8 Mbps everywhere.
+        let mut t = TopologyBuilder::new();
+        let a = t.add_host("a");
+        let r1 = t.add_router("r1");
+        let r2 = t.add_router("r2");
+        let b = t.add_host("b");
+        let q = QueueSpec::DropTail { capacity: 50 };
+        for (x, y) in [(a, r1), (r1, r2), (r2, b)] {
+            t.add_duplex_link(
+                x,
+                y,
+                BitsPerSec::from_mbps(8.0),
+                SimDuration::from_millis(1),
+                q.clone(),
+            );
+        }
+        let mut sim = t.build().unwrap();
+        let flow = FlowId::from_u32(1);
+        sim.attach_agent(
+            a,
+            Box::new(Blaster {
+                dst: b,
+                flow,
+                count: 1,
+                gap: SimDuration::ZERO,
+                sent: 0,
+            }),
+        );
+        let counter = sim.attach_agent(b, Box::new(Counter::default()));
+        sim.bind_flow(b, flow, counter);
+        sim.run_until(SimTime::from_secs(1));
+        // 3 hops x (1 ms serialization of 1000 B at 8 Mbps + 1 ms prop).
+        assert_eq!(
+            sim.agent_as::<Counter>(counter).unwrap().last_at,
+            Some(SimTime::from_millis(6))
+        );
+    }
+
+    #[test]
+    fn trace_filters_split_traffic_classes_at_engine_level() {
+        let (mut sim, a, b) = two_hosts();
+        let flow = FlowId::from_u32(1);
+        sim.attach_agent(
+            a,
+            Box::new(Blaster {
+                dst: b,
+                flow,
+                count: 4,
+                gap: SimDuration::from_millis(1),
+                sent: 0,
+            }),
+        );
+        let link = sim.links()[0].id();
+        let all = sim.trace_link_ingress(link, TraceFilter::All, SimDuration::from_millis(10));
+        let tcp_only =
+            sim.trace_link_ingress(link, TraceFilter::TcpOnly, SimDuration::from_millis(10));
+        let attack_only =
+            sim.trace_link_ingress(link, TraceFilter::AttackOnly, SimDuration::from_millis(10));
+        sim.run_until(SimTime::from_secs(1));
+        // Blaster sends Background packets: counted by All only.
+        assert_eq!(sim.trace(all).total_bytes(), 4000);
+        assert_eq!(sim.trace(tcp_only).total_bytes(), 0);
+        assert_eq!(sim.trace(attack_only).total_bytes(), 0);
+    }
+
+    #[test]
+    fn pending_events_drain_to_zero() {
+        let (mut sim, a, b) = two_hosts();
+        let flow = FlowId::from_u32(1);
+        sim.attach_agent(
+            a,
+            Box::new(Blaster {
+                dst: b,
+                flow,
+                count: 5,
+                gap: SimDuration::from_millis(1),
+                sent: 0,
+            }),
+        );
+        assert!(sim.pending_events() > 0);
+        sim.run_until(SimTime::from_secs(2));
+        assert_eq!(sim.pending_events(), 0);
+        assert!(sim.stats().events > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown")]
+    fn attach_to_unknown_node_panics() {
+        let (mut sim, _, _) = two_hosts();
+        sim.attach_agent(NodeId::from_u32(99), Box::new(Counter::default()));
+    }
+
+    #[test]
+    fn delayed_agent_start() {
+        let (mut sim, a, b) = two_hosts();
+        let flow = FlowId::from_u32(1);
+        sim.attach_agent_at(
+            a,
+            Box::new(Blaster {
+                dst: b,
+                flow,
+                count: 1,
+                gap: SimDuration::ZERO,
+                sent: 0,
+            }),
+            SimTime::from_secs(2),
+        );
+        let counter = sim.attach_agent(b, Box::new(Counter::default()));
+        sim.bind_flow(b, flow, counter);
+        sim.run_until(SimTime::from_secs(1));
+        assert_eq!(sim.agent_as::<Counter>(counter).unwrap().received, 0);
+        sim.run_until(SimTime::from_secs(3));
+        assert_eq!(sim.agent_as::<Counter>(counter).unwrap().received, 1);
+    }
+}

@@ -1,0 +1,192 @@
+//! The event queue: a deterministic priority queue of future happenings.
+//!
+//! Determinism matters: two events at the same instant are delivered in the
+//! order they were scheduled (FIFO tie-break via a monotone sequence
+//! number), so a run is a pure function of topology + seeds.
+
+use crate::agent::AgentId;
+use crate::link::LinkId;
+use crate::node::NodeId;
+use crate::packet::Packet;
+use crate::time::SimTime;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A future happening inside the simulator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Event {
+    /// `packet` arrives at `node` (propagation across a link finished, or a
+    /// local agent handed it to its own node).
+    Deliver {
+        /// The node the packet arrives at.
+        node: NodeId,
+        /// The arriving packet.
+        packet: Packet,
+    },
+    /// The transmitter of `link` finished serializing its current packet.
+    LinkTxDone {
+        /// The link whose head-of-line packet completed serialization.
+        link: LinkId,
+    },
+    /// A timer set by `agent` fired. `token` is agent-private state used to
+    /// recognize (and lazily cancel) stale timers.
+    Timer {
+        /// The agent that owns the timer.
+        agent: AgentId,
+        /// Agent-private discriminator.
+        token: u64,
+    },
+    /// An agent's `start` hook should run.
+    AgentStart {
+        /// The agent to start.
+        agent: AgentId,
+    },
+}
+
+#[derive(Debug)]
+struct Scheduled {
+    at: SimTime,
+    seq: u64,
+    event: Event,
+}
+
+impl PartialEq for Scheduled {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for Scheduled {}
+
+impl PartialOrd for Scheduled {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Scheduled {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest (and on ties the
+        // first-scheduled) event pops first.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// Priority queue of scheduled events with FIFO tie-breaking.
+#[derive(Debug, Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<Scheduled>,
+    next_seq: u64,
+}
+
+impl EventQueue {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedules `event` to fire at `at`.
+    pub fn schedule(&mut self, at: SimTime, event: Event) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Scheduled { at, seq, event });
+    }
+
+    /// Removes and returns the earliest event, if any.
+    pub fn pop(&mut self) -> Option<(SimTime, Event)> {
+        self.heap.pop().map(|s| (s.at, s.event))
+    }
+
+    /// The timestamp of the earliest pending event.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|s| s.at)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn timer(token: u64) -> Event {
+        Event::Timer {
+            agent: AgentId::from_u32(0),
+            token,
+        }
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_millis(30), timer(3));
+        q.schedule(SimTime::from_millis(10), timer(1));
+        q.schedule(SimTime::from_millis(20), timer(2));
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop())
+            .map(|(_, e)| match e {
+                Event::Timer { token, .. } => token,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn simultaneous_events_fire_fifo() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_millis(5);
+        for token in 0..100 {
+            q.schedule(t, timer(token));
+        }
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop())
+            .map(|(_, e)| match e {
+                Event::Timer { token, .. } => token,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn peek_time_reports_earliest() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.peek_time(), None);
+        q.schedule(SimTime::from_millis(9), timer(0));
+        q.schedule(SimTime::from_millis(4), timer(1));
+        assert_eq!(q.peek_time(), Some(SimTime::from_millis(4)));
+        assert_eq!(q.len(), 2);
+        assert!(!q.is_empty());
+    }
+
+    proptest::proptest! {
+        /// Property: regardless of insertion order, events pop sorted by
+        /// (time, insertion sequence).
+        #[test]
+        fn prop_pop_order_is_stable_sort(times in proptest::collection::vec(0u64..1_000, 1..200)) {
+            let mut q = EventQueue::new();
+            for (i, &t) in times.iter().enumerate() {
+                q.schedule(SimTime::from_nanos(t), timer(i as u64));
+            }
+            let mut expected: Vec<(u64, u64)> =
+                times.iter().enumerate().map(|(i, &t)| (t, i as u64)).collect();
+            expected.sort();
+            let got: Vec<(u64, u64)> = std::iter::from_fn(|| q.pop())
+                .map(|(at, e)| match e {
+                    Event::Timer { token, .. } => (at.as_nanos(), token),
+                    _ => unreachable!(),
+                })
+                .collect();
+            proptest::prop_assert_eq!(got, expected);
+        }
+    }
+}

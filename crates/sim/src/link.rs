@@ -1,0 +1,411 @@
+//! Simplex links: a serializing transmitter, a propagation delay, and an
+//! ingress queue discipline.
+
+use crate::node::NodeId;
+use crate::packet::Packet;
+use crate::queue::QueueDiscipline;
+use crate::time::{SimDuration, SimTime};
+use crate::units::{BitsPerSec, Bytes};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::fmt;
+
+/// Identifies a simplex link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct LinkId(u32);
+
+impl LinkId {
+    /// Creates a link id from a raw index.
+    pub const fn from_u32(v: u32) -> Self {
+        LinkId(v)
+    }
+
+    /// The raw index.
+    pub const fn as_u32(self) -> u32 {
+        self.0
+    }
+
+    /// The raw index as `usize`, for table lookups.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for LinkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "link{}", self.0)
+    }
+}
+
+/// Counters kept per link.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LinkStats {
+    /// Packets offered to the link (before any queue drop).
+    pub offered_packets: u64,
+    /// Bytes offered to the link.
+    pub offered_bytes: Bytes,
+    /// Packets fully serialized onto the wire.
+    pub tx_packets: u64,
+    /// Bytes fully serialized onto the wire.
+    pub tx_bytes: Bytes,
+    /// Packets destroyed by the random-loss impairment.
+    pub impairment_drops: u64,
+}
+
+/// Link impairments in the style of Dummynet's `plr`/`jitter` options —
+/// the knobs the paper's test-bed tool exposes beyond bandwidth+delay.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Impairments {
+    /// Independent per-packet loss probability in `[0, 1)`.
+    pub loss_prob: f64,
+    /// Uniform extra propagation delay in `[0, jitter]` per packet.
+    pub jitter: SimDuration,
+}
+
+impl Impairments {
+    /// A clean link (no loss, no jitter).
+    pub const NONE: Impairments = Impairments {
+        loss_prob: 0.0,
+        jitter: SimDuration::ZERO,
+    };
+
+    /// Validates the parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when `loss_prob` is outside `[0, 1)`.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(0.0..1.0).contains(&self.loss_prob) {
+            return Err(format!(
+                "loss probability must be in [0,1), got {}",
+                self.loss_prob
+            ));
+        }
+        Ok(())
+    }
+
+    /// Whether the link is clean.
+    pub fn is_none(&self) -> bool {
+        self.loss_prob == 0.0 && self.jitter.is_zero()
+    }
+}
+
+/// What happened when a packet was offered to a link.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LinkAccept {
+    /// The queue discipline accepted the packet. When the transmitter was
+    /// idle, `tx_done` carries the serialization-complete instant (the
+    /// engine schedules `LinkTxDone` there); `marked` reports a fresh ECN
+    /// congestion-experienced mark.
+    Accepted {
+        /// Completion time of the transmission this arrival started, when
+        /// the transmitter was idle.
+        tx_done: Option<SimTime>,
+        /// Whether the discipline applied an ECN mark.
+        marked: bool,
+    },
+    /// The queue discipline dropped the packet.
+    Dropped,
+}
+
+/// A simplex link with a store-and-forward transmitter.
+///
+/// At most one packet serializes at a time; arrivals during transmission go
+/// through the queue discipline. When serialization finishes the packet
+/// propagates for `delay` and the next queued packet (if any) begins
+/// serializing.
+pub struct Link {
+    id: LinkId,
+    src: NodeId,
+    dst: NodeId,
+    bandwidth: BitsPerSec,
+    delay: SimDuration,
+    queue: Box<dyn QueueDiscipline>,
+    impairments: Impairments,
+    rng: SmallRng,
+    in_flight: Option<Packet>,
+    stats: LinkStats,
+}
+
+impl fmt::Debug for Link {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Link")
+            .field("id", &self.id)
+            .field("src", &self.src)
+            .field("dst", &self.dst)
+            .field("bandwidth", &self.bandwidth)
+            .field("delay", &self.delay)
+            .field("queue", &self.queue.name())
+            .field("backlog", &self.queue.len_packets())
+            .finish()
+    }
+}
+
+impl Link {
+    /// Creates a link. The engine is the only caller; scenarios go through
+    /// the topology builder.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bandwidth` is zero.
+    pub fn new(
+        id: LinkId,
+        src: NodeId,
+        dst: NodeId,
+        bandwidth: BitsPerSec,
+        delay: SimDuration,
+        queue: Box<dyn QueueDiscipline>,
+    ) -> Self {
+        assert!(!bandwidth.is_zero(), "link bandwidth must be positive");
+        Link {
+            id,
+            src,
+            dst,
+            bandwidth,
+            delay,
+            queue,
+            impairments: Impairments::NONE,
+            rng: SmallRng::seed_from_u64(id.as_u32() as u64 + 0x5EED),
+            in_flight: None,
+            stats: LinkStats::default(),
+        }
+    }
+
+    /// Installs Dummynet-style impairments (random loss and delay
+    /// jitter), with randomness seeded by `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the impairments fail [`Impairments::validate`].
+    pub fn set_impairments(&mut self, impairments: Impairments, seed: u64) {
+        if let Err(e) = impairments.validate() {
+            panic!("invalid link impairments: {e}");
+        }
+        self.impairments = impairments;
+        self.rng = SmallRng::seed_from_u64(seed);
+    }
+
+    /// The impairments in force.
+    pub fn impairments(&self) -> Impairments {
+        self.impairments
+    }
+
+    /// The propagation delay for the next delivery, including jitter.
+    pub(crate) fn sample_delay(&mut self) -> SimDuration {
+        if self.impairments.jitter.is_zero() {
+            self.delay
+        } else {
+            let extra = self.impairments.jitter.as_nanos();
+            self.delay + SimDuration::from_nanos(self.rng.random_range(0..=extra))
+        }
+    }
+
+    /// This link's id.
+    pub fn id(&self) -> LinkId {
+        self.id
+    }
+
+    /// Upstream node.
+    pub fn src(&self) -> NodeId {
+        self.src
+    }
+
+    /// Downstream node.
+    pub fn dst(&self) -> NodeId {
+        self.dst
+    }
+
+    /// Serialization rate.
+    pub fn bandwidth(&self) -> BitsPerSec {
+        self.bandwidth
+    }
+
+    /// Propagation delay.
+    pub fn delay(&self) -> SimDuration {
+        self.delay
+    }
+
+    /// Counters.
+    pub fn stats(&self) -> LinkStats {
+        self.stats
+    }
+
+    /// Packets dropped by the queue discipline.
+    pub fn drops(&self) -> u64 {
+        self.queue.drops()
+    }
+
+    /// Current backlog in packets (not counting the in-flight packet).
+    pub fn backlog_packets(&self) -> usize {
+        self.queue.len_packets()
+    }
+
+    /// Read-only access to the queue discipline (for discipline-specific
+    /// inspection in tests and traces).
+    pub fn queue(&self) -> &dyn QueueDiscipline {
+        self.queue.as_ref()
+    }
+
+    /// Offers `packet` to the link at time `now`.
+    ///
+    /// Every arrival goes through the queue discipline — even when the
+    /// transmitter is idle — so RED's average-queue estimator and ECN
+    /// marking observe the full arrival process.
+    pub fn accept(&mut self, packet: Packet, now: SimTime) -> LinkAccept {
+        self.stats.offered_packets += 1;
+        self.stats.offered_bytes = self.stats.offered_bytes.saturating_add(packet.size);
+        if self.impairments.loss_prob > 0.0
+            && self.rng.random::<f64>() < self.impairments.loss_prob
+        {
+            self.stats.impairment_drops += 1;
+            return LinkAccept::Dropped;
+        }
+        let outcome = self.queue.enqueue(packet, now);
+        if outcome.is_drop() {
+            return LinkAccept::Dropped;
+        }
+        let marked = outcome == crate::queue::EnqueueOutcome::EnqueuedMarked;
+        let tx_done = if self.in_flight.is_none() {
+            let next = self
+                .queue
+                .dequeue(now)
+                .expect("discipline accepted a packet but has none to serve");
+            let done_at = now + self.bandwidth.tx_time(next.size);
+            self.in_flight = Some(next);
+            Some(done_at)
+        } else {
+            None
+        };
+        LinkAccept::Accepted { tx_done, marked }
+    }
+
+    /// Completes the current transmission at `now`.
+    ///
+    /// Returns the packet to deliver (after [`Link::delay`]) and, when the
+    /// queue was non-empty, the completion time of the next transmission.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no transmission was in flight — the engine only calls this
+    /// in response to a `LinkTxDone` it scheduled.
+    pub fn tx_complete(&mut self, now: SimTime) -> (Packet, Option<SimTime>) {
+        let done = self
+            .in_flight
+            .take()
+            .expect("tx_complete without an in-flight packet");
+        self.stats.tx_packets += 1;
+        self.stats.tx_bytes = self.stats.tx_bytes.saturating_add(done.size);
+        let next_done_at = self.queue.dequeue(now).map(|next| {
+            let at = now + self.bandwidth.tx_time(next.size);
+            self.in_flight = Some(next);
+            at
+        });
+        (done, next_done_at)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::{FlowId, PacketKind};
+    use crate::queue::DropTailQueue;
+
+    fn link(capacity: usize) -> Link {
+        Link::new(
+            LinkId::from_u32(0),
+            NodeId::from_u32(0),
+            NodeId::from_u32(1),
+            BitsPerSec::from_mbps(15.0),
+            SimDuration::from_millis(10),
+            Box::new(DropTailQueue::new(capacity)),
+        )
+    }
+
+    fn pkt(size: u64) -> Packet {
+        Packet::new(
+            FlowId::from_u32(0),
+            NodeId::from_u32(0),
+            NodeId::from_u32(1),
+            Bytes::from_u64(size),
+            PacketKind::Background,
+        )
+    }
+
+    #[test]
+    fn idle_link_starts_transmitting_immediately() {
+        let mut l = link(4);
+        // 1500 B at 15 Mbps = 0.8 ms.
+        match l.accept(pkt(1500), SimTime::ZERO) {
+            LinkAccept::Accepted {
+                tx_done: Some(at),
+                marked: false,
+            } => assert_eq!(at, SimTime::from_nanos(800_000)),
+            other => panic!("expected an immediate transmission, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn busy_link_queues_then_chains_transmissions() {
+        let mut l = link(4);
+        assert!(matches!(
+            l.accept(pkt(1500), SimTime::ZERO),
+            LinkAccept::Accepted { tx_done: Some(_), .. }
+        ));
+        assert_eq!(
+            l.accept(pkt(1500), SimTime::ZERO),
+            LinkAccept::Accepted {
+                tx_done: None,
+                marked: false
+            }
+        );
+        assert_eq!(l.backlog_packets(), 1);
+
+        let t1 = SimTime::from_nanos(800_000);
+        let (sent, next) = l.tx_complete(t1);
+        assert_eq!(sent.size.as_u64(), 1500);
+        // Second packet starts serializing back-to-back.
+        assert_eq!(next, Some(SimTime::from_nanos(1_600_000)));
+        assert_eq!(l.backlog_packets(), 0);
+
+        let (sent2, next2) = l.tx_complete(SimTime::from_nanos(1_600_000));
+        assert_eq!(sent2.size.as_u64(), 1500);
+        assert_eq!(next2, None);
+    }
+
+    #[test]
+    fn full_queue_drops_and_stats_track_offered_vs_tx() {
+        let mut l = link(1);
+        assert!(matches!(
+            l.accept(pkt(100), SimTime::ZERO),
+            LinkAccept::Accepted { tx_done: Some(_), .. }
+        ));
+        assert!(matches!(
+            l.accept(pkt(100), SimTime::ZERO),
+            LinkAccept::Accepted { tx_done: None, .. }
+        ));
+        assert_eq!(l.accept(pkt(100), SimTime::ZERO), LinkAccept::Dropped);
+        assert_eq!(l.drops(), 1);
+        let s = l.stats();
+        assert_eq!(s.offered_packets, 3);
+        assert_eq!(s.offered_bytes.as_u64(), 300);
+        assert_eq!(s.tx_packets, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "without an in-flight packet")]
+    fn tx_complete_on_idle_link_panics() {
+        link(1).tx_complete(SimTime::ZERO);
+    }
+
+    #[test]
+    fn accessors() {
+        let l = link(2);
+        assert_eq!(l.id(), LinkId::from_u32(0));
+        assert_eq!(l.src(), NodeId::from_u32(0));
+        assert_eq!(l.dst(), NodeId::from_u32(1));
+        assert_eq!(l.bandwidth().as_mbps(), 15.0);
+        assert_eq!(l.delay(), SimDuration::from_millis(10));
+        assert_eq!(l.queue().name(), "droptail");
+        assert!(format!("{l:?}").contains("droptail"));
+    }
+}

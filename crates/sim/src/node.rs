@@ -1,0 +1,100 @@
+//! Nodes: hosts (traffic endpoints) and routers (forwarders).
+
+use std::fmt;
+
+/// Identifies a node in the topology.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(u32);
+
+impl NodeId {
+    /// Creates a node id from a raw index.
+    pub const fn from_u32(v: u32) -> Self {
+        NodeId(v)
+    }
+
+    /// The raw index (also the node's position in the engine's node table).
+    pub const fn as_u32(self) -> u32 {
+        self.0
+    }
+
+    /// The raw index as `usize`, for table lookups.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// The role a node plays in the topology.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeKind {
+    /// An endpoint that can host traffic agents (TCP senders/sinks,
+    /// attack sources). Hosts also forward, so a host with two links is
+    /// legal, but typical topologies give each host exactly one access link.
+    Host,
+    /// A pure forwarder.
+    Router,
+}
+
+/// A node record held by the engine.
+#[derive(Debug, Clone)]
+pub struct Node {
+    id: NodeId,
+    kind: NodeKind,
+    label: String,
+}
+
+impl Node {
+    pub(crate) fn new(id: NodeId, kind: NodeKind, label: impl Into<String>) -> Self {
+        Node {
+            id,
+            kind,
+            label: label.into(),
+        }
+    }
+
+    /// This node's id.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// This node's role.
+    pub fn kind(&self) -> NodeKind {
+        self.kind
+    }
+
+    /// Human-readable label given at topology-build time.
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+}
+
+impl fmt::Display for Node {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}({})", self.label, self.id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_accessors() {
+        let n = Node::new(NodeId::from_u32(4), NodeKind::Router, "S");
+        assert_eq!(n.id().as_u32(), 4);
+        assert_eq!(n.kind(), NodeKind::Router);
+        assert_eq!(n.label(), "S");
+        assert_eq!(n.to_string(), "S(n4)");
+    }
+
+    #[test]
+    fn node_id_index() {
+        assert_eq!(NodeId::from_u32(7).index(), 7);
+        assert_eq!(NodeId::from_u32(7).to_string(), "n7");
+    }
+}

@@ -1,0 +1,305 @@
+//! Packets and flow identifiers.
+//!
+//! Packets are small `Copy` values: the simulator moves millions of them per
+//! run and keeping them inline (no heap payload) keeps queues cache-friendly.
+
+use crate::node::NodeId;
+use crate::time::SimTime;
+use crate::units::Bytes;
+use std::fmt;
+
+/// Identifies one end-to-end flow (a TCP connection, or one attack stream).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FlowId(u32);
+
+impl FlowId {
+    /// Creates a flow id from a raw index.
+    pub const fn from_u32(v: u32) -> Self {
+        FlowId(v)
+    }
+
+    /// The raw index.
+    pub const fn as_u32(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for FlowId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "flow{}", self.0)
+    }
+}
+
+/// What a packet carries. Sequence numbers count whole segments, matching
+/// the segment-granularity TCP agents of ns-2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PacketKind {
+    /// A TCP data segment carrying segment number `seq` (0-based).
+    Data {
+        /// Segment sequence number.
+        seq: u64,
+        /// True when this transmission is a retransmission.
+        retx: bool,
+    },
+    /// A (possibly delayed) cumulative TCP acknowledgment.
+    Ack {
+        /// The next segment expected by the receiver; all segments below
+        /// this number have been received in order.
+        cum_seq: u64,
+    },
+    /// Attack traffic (the simulated pulse payload). Carries no protocol
+    /// state; its only effect is to occupy queue and link capacity.
+    Attack,
+    /// Constant-bit-rate background traffic (non-attack UDP cross-traffic).
+    Background,
+}
+
+impl PacketKind {
+    /// Whether this packet is TCP data (of any kind).
+    pub const fn is_data(self) -> bool {
+        matches!(self, PacketKind::Data { .. })
+    }
+
+    /// Whether this packet is a TCP acknowledgment.
+    pub const fn is_ack(self) -> bool {
+        matches!(self, PacketKind::Ack { .. })
+    }
+
+    /// Whether this packet belongs to the attack stream.
+    pub const fn is_attack(self) -> bool {
+        matches!(self, PacketKind::Attack)
+    }
+}
+
+/// Explicit-congestion-notification state carried by a packet (RFC 3168,
+/// simplified to what the simulation needs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Ecn {
+    /// The flow did not negotiate ECN; congested queues drop this packet.
+    #[default]
+    NotCapable,
+    /// ECN-capable transport: an ECN-enabled RED queue may mark instead of
+    /// dropping.
+    Capable,
+    /// Congestion experienced: an ECN queue marked this packet.
+    CongestionExperienced,
+}
+
+impl Ecn {
+    /// Whether a queue is allowed to mark this packet instead of dropping.
+    pub const fn is_markable(self) -> bool {
+        matches!(self, Ecn::Capable)
+    }
+
+    /// Whether the congestion-experienced mark is set.
+    pub const fn is_marked(self) -> bool {
+        matches!(self, Ecn::CongestionExperienced)
+    }
+}
+
+/// Up to two selective-acknowledgment ranges carried on an ACK
+/// (RFC 2018, compacted to keep [`Packet`] `Copy` and small). Each block
+/// `[start, end)` reports segments received above the cumulative point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SackBlocks {
+    blocks: [(u64, u64); 2],
+    len: u8,
+}
+
+impl SackBlocks {
+    /// No SACK information.
+    pub const EMPTY: SackBlocks = SackBlocks {
+        blocks: [(0, 0); 2],
+        len: 0,
+    };
+
+    /// Builds from up to two `[start, end)` ranges (extra ranges are
+    /// dropped; empty ranges are skipped).
+    pub fn from_ranges(ranges: &[(u64, u64)]) -> Self {
+        let mut out = SackBlocks::EMPTY;
+        for &(s, e) in ranges {
+            if e > s && (out.len as usize) < out.blocks.len() {
+                out.blocks[out.len as usize] = (s, e);
+                out.len += 1;
+            }
+        }
+        out
+    }
+
+    /// The carried ranges.
+    pub fn ranges(&self) -> &[(u64, u64)] {
+        &self.blocks[..self.len as usize]
+    }
+
+    /// Whether no ranges are carried.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+/// One simulated packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Packet {
+    /// Globally unique packet id (assigned by the engine on first send).
+    pub uid: u64,
+    /// The flow this packet belongs to.
+    pub flow: FlowId,
+    /// Originating node.
+    pub src: NodeId,
+    /// Destination node.
+    pub dst: NodeId,
+    /// On-wire size, including headers.
+    pub size: Bytes,
+    /// Payload classification.
+    pub kind: PacketKind,
+    /// ECN state.
+    pub ecn: Ecn,
+    /// Set on ACKs when the receiver echoes a congestion mark back to the
+    /// sender (the ECE flag).
+    pub ecn_echo: bool,
+    /// Selective-acknowledgment ranges (meaningful on ACKs when the flow
+    /// negotiated SACK; empty otherwise).
+    pub sack: SackBlocks,
+    /// Time the packet was handed to the network by its source agent.
+    pub sent_at: SimTime,
+}
+
+impl Packet {
+    /// Builds a packet with `uid = 0` (the engine assigns the real uid when
+    /// the source agent emits it) and ECN disabled.
+    pub fn new(flow: FlowId, src: NodeId, dst: NodeId, size: Bytes, kind: PacketKind) -> Self {
+        Packet {
+            uid: 0,
+            flow,
+            src,
+            dst,
+            size,
+            kind,
+            ecn: Ecn::NotCapable,
+            ecn_echo: false,
+            sack: SackBlocks::EMPTY,
+            sent_at: SimTime::ZERO,
+        }
+    }
+
+    /// Returns the packet with the given ECN state (builder-style).
+    pub fn with_ecn(mut self, ecn: Ecn) -> Self {
+        self.ecn = ecn;
+        self
+    }
+
+    /// Returns the packet with the ECE echo flag set (builder-style).
+    pub fn with_ecn_echo(mut self, echo: bool) -> Self {
+        self.ecn_echo = echo;
+        self
+    }
+
+    /// Returns the packet carrying the given SACK ranges (builder-style).
+    pub fn with_sack(mut self, sack: SackBlocks) -> Self {
+        self.sack = sack;
+        self
+    }
+}
+
+impl fmt::Display for Packet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.kind {
+            PacketKind::Data { seq, retx } => write!(
+                f,
+                "[{} data seq={}{} {} {}->{}]",
+                self.flow,
+                seq,
+                if retx { " retx" } else { "" },
+                self.size,
+                self.src,
+                self.dst
+            ),
+            PacketKind::Ack { cum_seq } => write!(
+                f,
+                "[{} ack cum={} {}->{}]",
+                self.flow, cum_seq, self.src, self.dst
+            ),
+            PacketKind::Attack => write!(
+                f,
+                "[{} attack {} {}->{}]",
+                self.flow, self.size, self.src, self.dst
+            ),
+            PacketKind::Background => write!(
+                f,
+                "[{} background {} {}->{}]",
+                self.flow, self.size, self.src, self.dst
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Packet {
+        Packet::new(
+            FlowId::from_u32(3),
+            NodeId::from_u32(1),
+            NodeId::from_u32(2),
+            Bytes::from_u64(1500),
+            PacketKind::Data { seq: 7, retx: false },
+        )
+    }
+
+    #[test]
+    fn kind_predicates() {
+        assert!(PacketKind::Data { seq: 0, retx: false }.is_data());
+        assert!(PacketKind::Ack { cum_seq: 0 }.is_ack());
+        assert!(PacketKind::Attack.is_attack());
+        assert!(!PacketKind::Attack.is_data());
+        assert!(!PacketKind::Background.is_ack());
+    }
+
+    #[test]
+    fn packet_is_copy_and_small() {
+        let p = sample();
+        let q = p; // Copy
+        assert_eq!(p, q);
+        // Keep the hot type lean; queues hold tens of thousands of these.
+        assert!(std::mem::size_of::<Packet>() <= 104);
+    }
+
+    #[test]
+    fn ecn_defaults_off_and_builders_set_it() {
+        let p = sample();
+        assert_eq!(p.ecn, Ecn::NotCapable);
+        assert!(!p.ecn_echo);
+        let q = p.with_ecn(Ecn::Capable).with_ecn_echo(true);
+        assert!(q.ecn.is_markable());
+        assert!(q.ecn_echo);
+        assert!(Ecn::CongestionExperienced.is_marked());
+        assert!(!Ecn::Capable.is_marked());
+        assert!(!Ecn::NotCapable.is_markable());
+    }
+
+    #[test]
+    fn sack_blocks_construction() {
+        assert!(SackBlocks::EMPTY.is_empty());
+        let b = SackBlocks::from_ranges(&[(3, 5), (9, 9), (10, 12), (20, 30)]);
+        // Empty range skipped, third valid range dropped (capacity 2).
+        assert_eq!(b.ranges(), &[(3, 5), (10, 12)]);
+        assert!(!b.is_empty());
+        let p = Packet::new(
+            FlowId::from_u32(0),
+            NodeId::from_u32(0),
+            NodeId::from_u32(1),
+            Bytes::from_u64(40),
+            PacketKind::Ack { cum_seq: 3 },
+        )
+        .with_sack(b);
+        assert_eq!(p.sack.ranges().len(), 2);
+    }
+
+    #[test]
+    fn display_mentions_flow_and_kind() {
+        let s = sample().to_string();
+        assert!(s.contains("flow3"));
+        assert!(s.contains("seq=7"));
+    }
+}

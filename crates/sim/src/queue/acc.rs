@@ -1,0 +1,504 @@
+//! Aggregate-based congestion control (ACC), after Mahajan, Bellovin,
+//! Floyd et al., *"Controlling high bandwidth aggregates in the network"*
+//! — reference [19] of the DSN 2005 paper.
+//!
+//! The discipline wraps RED with a local ACC loop:
+//!
+//! 1. arrivals are accounted per flow in short sub-bins inside fixed
+//!    epochs;
+//! 2. when an epoch ends with sustained congestion (drop count above a
+//!    threshold), flows whose **peak sub-bin arrival rate exceeded the
+//!    line rate** become suspects — an ACK-clocked TCP flow whose
+//!    acknowledgements return through this very bottleneck cannot offer
+//!    more than (about) the line rate over a sub-bin, while an attack
+//!    pulse exceeds it by construction (that is how it floods the
+//!    queue). A suspect persisting across `suspicion_epochs` congested
+//!    epochs is penalized;
+//! 3. a penalized flow passes through a token-bucket rate limiter (drops
+//!    beyond its allowance) until it stays quiet for `release_epochs`
+//!    consecutive epochs.
+//!
+//! A pulsing attack concentrates line-rate-busting bursts inside each
+//! congested epoch, so ACC catches exactly the traffic that slips under
+//! long-horizon volume detectors.
+
+use super::red::{RedConfig, RedQueue};
+use super::{EnqueueOutcome, QueueDiscipline};
+use crate::packet::{FlowId, Packet};
+use crate::time::{SimDuration, SimTime};
+use crate::units::{BitsPerSec, Bytes};
+use std::collections::HashMap;
+
+/// ACC parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AccConfig {
+    /// The inner RED discipline.
+    pub red: RedConfig,
+    /// Accounting epoch length.
+    pub epoch: SimDuration,
+    /// Drops within one epoch that count as "sustained congestion".
+    pub congestion_drops: u64,
+    /// Sub-bin width for per-flow burst-rate accounting.
+    pub subbin: SimDuration,
+    /// A flow is suspect when its peak sub-bin arrival volume exceeds
+    /// `burst_factor x capacity x subbin` during a congested epoch.
+    pub burst_factor: f64,
+    /// The rate a penalized aggregate is limited to, as a fraction of the
+    /// link capacity.
+    pub limit_fraction: f64,
+    /// Congestion-free epochs before a penalized flow is released.
+    pub release_epochs: u32,
+    /// Consecutive congested epochs a dominant, non-backing-off flow must
+    /// persist before it is penalized (the responsiveness test).
+    pub suspicion_epochs: u32,
+}
+
+impl AccConfig {
+    /// A practical default: 1 s epochs, 50 drops to trigger, 50 ms burst
+    /// sub-bins with a 1.2x line-rate threshold, limit offenders to 5% of
+    /// capacity, release after 5 quiet epochs, penalize after 2
+    /// suspicious epochs.
+    pub fn default_for(red: RedConfig) -> Self {
+        AccConfig {
+            red,
+            epoch: SimDuration::from_secs(1),
+            congestion_drops: 50,
+            subbin: SimDuration::from_millis(50),
+            burst_factor: 1.2,
+            limit_fraction: 0.05,
+            release_epochs: 5,
+            suspicion_epochs: 2,
+        }
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the first inconsistent field.
+    pub fn validate(&self) -> Result<(), String> {
+        self.red.validate()?;
+        if self.epoch.is_zero() {
+            return Err("epoch must be positive".into());
+        }
+        if self.subbin.is_zero() || self.subbin > self.epoch {
+            return Err("subbin must be positive and no longer than the epoch".into());
+        }
+        if !(self.burst_factor >= 1.0 && self.burst_factor.is_finite()) {
+            return Err(format!(
+                "burst_factor must be >= 1, got {}",
+                self.burst_factor
+            ));
+        }
+        if !(self.limit_fraction > 0.0 && self.limit_fraction <= 1.0) {
+            return Err(format!(
+                "limit_fraction must be in (0,1], got {}",
+                self.limit_fraction
+            ));
+        }
+        if self.suspicion_epochs == 0 {
+            return Err("suspicion_epochs must be at least 1".into());
+        }
+        Ok(())
+    }
+}
+
+#[derive(Debug)]
+struct PenaltyBox {
+    /// Token bucket level, in bytes.
+    tokens: f64,
+    /// Maximum bucket depth, in bytes.
+    burst: f64,
+    last_refill: SimTime,
+    quiet_epochs: u32,
+}
+
+/// RED wrapped with the ACC penalty-box loop.
+pub struct AccQueue {
+    cfg: AccConfig,
+    inner: RedQueue,
+    bandwidth: BitsPerSec,
+    epoch_start: SimTime,
+    epoch_bytes: HashMap<FlowId, u64>,
+    /// Highest sub-bin byte count seen per flow this epoch.
+    epoch_peak: HashMap<FlowId, u64>,
+    /// Current sub-bin accumulation.
+    subbin_bytes: HashMap<FlowId, u64>,
+    subbin_start: SimTime,
+    suspects: HashMap<FlowId, u32>,
+    drops_at_epoch_start: u64,
+    penalized: HashMap<FlowId, PenaltyBox>,
+    limiter_drops: u64,
+    penalties_applied: u64,
+}
+
+impl std::fmt::Debug for AccQueue {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AccQueue")
+            .field("penalized", &self.penalized.len())
+            .field("limiter_drops", &self.limiter_drops)
+            .field("backlog", &self.inner.len_packets())
+            .finish()
+    }
+}
+
+impl AccQueue {
+    /// Creates an ACC queue draining at `bandwidth`; `seed` feeds the
+    /// inner RED.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg` fails [`AccConfig::validate`] or `bandwidth` is
+    /// zero.
+    pub fn new(cfg: AccConfig, bandwidth: BitsPerSec, seed: u64) -> Self {
+        if let Err(e) = cfg.validate() {
+            panic!("invalid ACC configuration: {e}");
+        }
+        assert!(!bandwidth.is_zero(), "ACC needs a positive drain rate");
+        let inner = RedQueue::new(cfg.red.clone(), bandwidth, seed);
+        AccQueue {
+            inner,
+            bandwidth,
+            epoch_start: SimTime::ZERO,
+            epoch_bytes: HashMap::new(),
+            epoch_peak: HashMap::new(),
+            subbin_bytes: HashMap::new(),
+            subbin_start: SimTime::ZERO,
+            suspects: HashMap::new(),
+            drops_at_epoch_start: 0,
+            penalized: HashMap::new(),
+            limiter_drops: 0,
+            penalties_applied: 0,
+            cfg,
+        }
+    }
+
+    /// Flows currently in the penalty box.
+    pub fn penalized_flows(&self) -> Vec<FlowId> {
+        let mut v: Vec<FlowId> = self.penalized.keys().copied().collect();
+        v.sort();
+        v
+    }
+
+    /// Packets dropped by the rate limiter (in addition to RED's drops).
+    pub fn limiter_drops(&self) -> u64 {
+        self.limiter_drops
+    }
+
+    /// Times a flow has been placed in the penalty box.
+    pub fn penalties_applied(&self) -> u64 {
+        self.penalties_applied
+    }
+
+    fn close_subbin(&mut self) {
+        for (&flow, &bytes) in &self.subbin_bytes {
+            let peak = self.epoch_peak.entry(flow).or_insert(0);
+            if bytes > *peak {
+                *peak = bytes;
+            }
+        }
+        self.subbin_bytes.clear();
+    }
+
+    fn close_epoch(&mut self, now: SimTime) {
+        self.close_subbin();
+        let drops_this_epoch = self.inner.drops() + self.limiter_drops - self.drops_at_epoch_start;
+        let congested = drops_this_epoch >= self.cfg.congestion_drops;
+        let epoch_capacity_bytes = self.bandwidth.as_bps() * self.cfg.epoch.as_secs_f64() / 8.0;
+        let burst_threshold = self.cfg.burst_factor
+            * self.bandwidth.as_bps()
+            * self.cfg.subbin.as_secs_f64()
+            / 8.0;
+
+        if congested {
+            // Suspects: flows that burst above the line rate into a
+            // congested queue. ACK-clocked traffic through this bottleneck
+            // cannot do that; pulse trains do it by construction.
+            let bursting: Vec<FlowId> = self
+                .epoch_peak
+                .iter()
+                .filter(|(flow, &peak)| {
+                    peak as f64 > burst_threshold && !self.penalized.contains_key(flow)
+                })
+                .map(|(&f, _)| f)
+                .collect();
+            let mut next_suspects: HashMap<FlowId, u32> = HashMap::new();
+            for flow in bursting {
+                let count = self.suspects.get(&flow).copied().unwrap_or(0) + 1;
+                if count >= self.cfg.suspicion_epochs {
+                    let burst = epoch_capacity_bytes * self.cfg.limit_fraction;
+                    self.penalized.insert(
+                        flow,
+                        PenaltyBox {
+                            tokens: burst,
+                            burst,
+                            last_refill: now,
+                            quiet_epochs: 0,
+                        },
+                    );
+                    self.penalties_applied += 1;
+                } else {
+                    next_suspects.insert(flow, count);
+                }
+            }
+            self.suspects = next_suspects;
+            for pb in self.penalized.values_mut() {
+                pb.quiet_epochs = 0;
+            }
+        } else {
+            self.suspects.clear();
+            // A quiet epoch; age the penalty boxes and release veterans.
+            let release = self.cfg.release_epochs;
+            self.penalized.retain(|_, pb| {
+                pb.quiet_epochs += 1;
+                pb.quiet_epochs < release
+            });
+        }
+
+        self.epoch_bytes.clear();
+        self.epoch_peak.clear();
+        self.drops_at_epoch_start = self.inner.drops() + self.limiter_drops;
+        self.epoch_start = now;
+        self.subbin_start = now;
+    }
+
+    fn maybe_roll_epoch(&mut self, now: SimTime) {
+        while now.saturating_since(self.epoch_start) >= self.cfg.epoch {
+            let boundary = self.epoch_start + self.cfg.epoch;
+            self.close_epoch(boundary);
+        }
+        while now.saturating_since(self.subbin_start) >= self.cfg.subbin {
+            self.close_subbin();
+            self.subbin_start += self.cfg.subbin;
+        }
+    }
+
+    /// Token-bucket admission for a penalized flow. Returns false when the
+    /// packet exceeds the allowance.
+    fn admit_penalized(&mut self, flow: FlowId, size: Bytes, now: SimTime) -> bool {
+        let rate = self.bandwidth.as_bps() * self.cfg.limit_fraction / 8.0; // bytes/s
+        let Some(pb) = self.penalized.get_mut(&flow) else {
+            return true;
+        };
+        let dt = now.saturating_since(pb.last_refill).as_secs_f64();
+        pb.tokens = (pb.tokens + rate * dt).min(pb.burst);
+        pb.last_refill = now;
+        if pb.tokens >= size.as_f64() {
+            pb.tokens -= size.as_f64();
+            true
+        } else {
+            false
+        }
+    }
+}
+
+impl QueueDiscipline for AccQueue {
+    fn enqueue(&mut self, packet: Packet, now: SimTime) -> EnqueueOutcome {
+        self.maybe_roll_epoch(now);
+        *self.epoch_bytes.entry(packet.flow).or_insert(0) += packet.size.as_u64();
+        *self.subbin_bytes.entry(packet.flow).or_insert(0) += packet.size.as_u64();
+        if !self.admit_penalized(packet.flow, packet.size, now) {
+            self.limiter_drops += 1;
+            return EnqueueOutcome::Dropped;
+        }
+        self.inner.enqueue(packet, now)
+    }
+
+    fn dequeue(&mut self, now: SimTime) -> Option<Packet> {
+        self.inner.dequeue(now)
+    }
+
+    fn len_packets(&self) -> usize {
+        self.inner.len_packets()
+    }
+
+    fn len_bytes(&self) -> Bytes {
+        self.inner.len_bytes()
+    }
+
+    fn capacity_packets(&self) -> usize {
+        self.inner.capacity_packets()
+    }
+
+    fn drops(&self) -> u64 {
+        self.inner.drops() + self.limiter_drops
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn name(&self) -> &'static str {
+        "acc-red"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::NodeId;
+    use crate::packet::PacketKind;
+
+    fn pkt(flow: u32, size: u64) -> Packet {
+        Packet::new(
+            FlowId::from_u32(flow),
+            NodeId::from_u32(0),
+            NodeId::from_u32(1),
+            Bytes::from_u64(size),
+            PacketKind::Attack,
+        )
+    }
+
+    fn acc(capacity: usize) -> AccQueue {
+        AccQueue::new(
+            AccConfig::default_for(RedConfig::paper_testbed(capacity)),
+            BitsPerSec::from_mbps(15.0),
+            7,
+        )
+    }
+
+    /// Drives a pulse of `n` packets of flow `flow` at time `t`, draining
+    /// `drain` packets afterwards.
+    fn pulse(q: &mut AccQueue, flow: u32, n: usize, t: SimTime, drain: usize) {
+        for i in 0..n {
+            let _ = q.enqueue(pkt(flow, 1000), t + SimDuration::from_micros(i as u64));
+        }
+        for i in 0..drain {
+            let _ = q.dequeue(t + SimDuration::from_millis(1 + i as u64));
+        }
+    }
+
+    #[test]
+    fn persistent_attack_aggregate_lands_in_penalty_box() {
+        let mut q = acc(60);
+        // Two consecutive congested epochs dominated by flow 9: suspect in
+        // the first, penalized after the second (it did not back off).
+        pulse(&mut q, 9, 500, SimTime::from_millis(100), 500);
+        let _ = q.enqueue(pkt(1, 100), SimTime::from_millis(1100));
+        assert!(q.penalized_flows().is_empty(), "one epoch only makes a suspect");
+        pulse(&mut q, 9, 500, SimTime::from_millis(1200), 500);
+        let _ = q.enqueue(pkt(1, 100), SimTime::from_millis(2100));
+        assert_eq!(q.penalized_flows(), vec![FlowId::from_u32(9)]);
+        assert_eq!(q.penalties_applied(), 1);
+    }
+
+    #[test]
+    fn paced_heavy_flow_is_spared() {
+        let mut q = acc(60);
+        // Flow 7 carries a lot of volume but paced below the line rate
+        // (one 1 kB packet per millisecond = 8 Mbps < 15 Mbps), while
+        // flow 9's bursts cause the congestion across two epochs.
+        for epoch in 0..2u64 {
+            let base = SimTime::from_millis(epoch * 1000);
+            for i in 0..900u64 {
+                let _ = q.enqueue(pkt(7, 1000), base + SimDuration::from_millis(i));
+                if i % 2 == 0 {
+                    let _ = q.dequeue(base + SimDuration::from_millis(i));
+                }
+            }
+            pulse(&mut q, 9, 500, base + SimDuration::from_millis(950), 500);
+        }
+        let _ = q.enqueue(pkt(1, 100), SimTime::from_millis(2100));
+        assert!(
+            !q.penalized_flows().contains(&FlowId::from_u32(7)),
+            "a paced aggregate must not be penalized: {:?}",
+            q.penalized_flows()
+        );
+        assert!(q.penalized_flows().contains(&FlowId::from_u32(9)));
+    }
+
+    #[test]
+    fn penalized_flow_is_rate_limited() {
+        let mut q = acc(60);
+        pulse(&mut q, 9, 500, SimTime::from_millis(100), 500);
+        let _ = q.enqueue(pkt(1, 100), SimTime::from_millis(1100));
+        pulse(&mut q, 9, 500, SimTime::from_millis(1200), 500);
+        let _ = q.enqueue(pkt(1, 100), SimTime::from_millis(2100));
+        assert!(!q.penalized_flows().is_empty());
+        // The next pulse from flow 9 is mostly clipped by the limiter:
+        // the 5% bucket holds ~94 kB per second; a 500 kB pulse loses most
+        // of its packets before RED even sees them.
+        let before = q.limiter_drops();
+        pulse(&mut q, 9, 500, SimTime::from_millis(2200), 500);
+        assert!(
+            q.limiter_drops() > before + 300,
+            "limiter must clip the pulse: {} drops",
+            q.limiter_drops() - before
+        );
+    }
+
+    #[test]
+    fn small_flows_stay_unpenalized_during_congestion() {
+        let mut q = acc(60);
+        // Congestion caused by flow 9 across two epochs; flow 1 sends a
+        // little in both.
+        for epoch in 0..2u64 {
+            let base = SimTime::from_millis(50 + epoch * 1000);
+            for i in 0..20 {
+                let _ = q.enqueue(pkt(1, 1000), base + SimDuration::from_millis(i));
+            }
+            pulse(&mut q, 9, 500, base + SimDuration::from_millis(60), 520);
+        }
+        let _ = q.enqueue(pkt(1, 100), SimTime::from_millis(2100));
+        assert_eq!(q.penalized_flows(), vec![FlowId::from_u32(9)]);
+    }
+
+    #[test]
+    fn no_congestion_no_penalty() {
+        let mut q = acc(600);
+        // Heavy but uncongested: big buffer absorbs it (few drops).
+        pulse(&mut q, 9, 300, SimTime::from_millis(100), 300);
+        let _ = q.enqueue(pkt(1, 100), SimTime::from_millis(1100));
+        assert!(q.penalized_flows().is_empty());
+    }
+
+    #[test]
+    fn quiet_epochs_release_the_penalty() {
+        let mut q = acc(60);
+        pulse(&mut q, 9, 500, SimTime::from_millis(100), 500);
+        let _ = q.enqueue(pkt(1, 100), SimTime::from_millis(1100));
+        pulse(&mut q, 9, 500, SimTime::from_millis(1200), 500);
+        let _ = q.enqueue(pkt(1, 100), SimTime::from_millis(2100));
+        assert!(!q.penalized_flows().is_empty());
+        // Several quiet epochs: only tiny traffic from flow 1.
+        for e in 3..12u64 {
+            let _ = q.enqueue(pkt(1, 100), SimTime::from_millis(e * 1000 + 100));
+            let _ = q.dequeue(SimTime::from_millis(e * 1000 + 200));
+        }
+        assert!(
+            q.penalized_flows().is_empty(),
+            "release after quiet epochs, still penalized: {:?}",
+            q.penalized_flows()
+        );
+    }
+
+    #[test]
+    fn config_validation() {
+        let mut c = AccConfig::default_for(RedConfig::paper_testbed(60));
+        c.burst_factor = 0.5;
+        assert!(c.validate().is_err());
+        let mut c = AccConfig::default_for(RedConfig::paper_testbed(60));
+        c.subbin = SimDuration::from_secs(10); // longer than the epoch
+        assert!(c.validate().is_err());
+        let mut c = AccConfig::default_for(RedConfig::paper_testbed(60));
+        c.limit_fraction = 2.0;
+        assert!(c.validate().is_err());
+        let mut c = AccConfig::default_for(RedConfig::paper_testbed(60));
+        c.epoch = SimDuration::ZERO;
+        assert!(c.validate().is_err());
+        let mut c = AccConfig::default_for(RedConfig::paper_testbed(60));
+        c.suspicion_epochs = 0;
+        assert!(c.validate().is_err());
+        assert!(AccConfig::default_for(RedConfig::paper_testbed(60))
+            .validate()
+            .is_ok());
+    }
+
+    #[test]
+    fn name_and_counters() {
+        let q = acc(60);
+        assert_eq!(q.name(), "acc-red");
+        assert_eq!(q.drops(), 0);
+        assert_eq!(q.limiter_drops(), 0);
+    }
+}

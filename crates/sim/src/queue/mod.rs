@@ -1,0 +1,153 @@
+//! Queue disciplines for link ingress buffers.
+//!
+//! The paper's experiments run the bottleneck under RED (ns-2 defaults plus
+//! the §4.2 parameters) and its future-work section compares against
+//! drop-tail; both disciplines live here behind one trait.
+
+mod acc;
+mod droptail;
+mod red;
+
+pub use acc::{AccConfig, AccQueue};
+pub use droptail::DropTailQueue;
+pub use red::{RedConfig, RedQueue};
+
+use crate::packet::Packet;
+use crate::time::SimTime;
+use crate::units::{Bytes, BitsPerSec};
+
+/// Result of offering a packet to a queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EnqueueOutcome {
+    /// The packet was accepted and buffered.
+    Enqueued,
+    /// The packet was accepted but carries a fresh ECN
+    /// congestion-experienced mark (an ECN-enabled RED chose to mark where
+    /// it would otherwise have early-dropped).
+    EnqueuedMarked,
+    /// The packet was dropped by the discipline (tail drop or early drop).
+    Dropped,
+}
+
+impl EnqueueOutcome {
+    /// Whether the packet was dropped.
+    pub const fn is_drop(self) -> bool {
+        matches!(self, EnqueueOutcome::Dropped)
+    }
+
+    /// Whether the packet was accepted (marked or not).
+    pub const fn is_accepted(self) -> bool {
+        !self.is_drop()
+    }
+}
+
+/// A FIFO buffering discipline with a drop policy.
+///
+/// Implementations must be deterministic: any randomness (RED's early-drop
+/// coin) comes from an internal, explicitly seeded generator.
+pub trait QueueDiscipline: Send {
+    /// Offers `packet` to the queue at time `now`.
+    fn enqueue(&mut self, packet: Packet, now: SimTime) -> EnqueueOutcome;
+
+    /// Removes the head-of-line packet. `now` lets disciplines that track
+    /// idle time (RED) observe when the buffer drains.
+    fn dequeue(&mut self, now: SimTime) -> Option<Packet>;
+
+    /// Current backlog in packets.
+    fn len_packets(&self) -> usize;
+
+    /// Current backlog in bytes.
+    fn len_bytes(&self) -> Bytes;
+
+    /// Configured capacity in packets.
+    fn capacity_packets(&self) -> usize;
+
+    /// Total packets dropped by the discipline so far.
+    fn drops(&self) -> u64;
+
+    /// Human-readable discipline name, for traces.
+    fn name(&self) -> &'static str;
+
+    /// Upcast for discipline-specific inspection (e.g. reading RED's
+    /// average queue or ACC's penalty box out of a built link).
+    fn as_any(&self) -> &dyn std::any::Any;
+}
+
+/// Declarative queue configuration, used by topology builders so that a
+/// scenario can be described as plain data.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueueSpec {
+    /// Tail-drop FIFO with the given packet capacity.
+    DropTail {
+        /// Buffer capacity in packets.
+        capacity: usize,
+    },
+    /// Random Early Detection.
+    Red(RedConfig),
+    /// RED wrapped with aggregate-based congestion control (penalty-box
+    /// rate limiting of dominant aggregates during congestion).
+    Acc(AccConfig),
+}
+
+impl QueueSpec {
+    /// Instantiates the discipline. `bandwidth` is the drain rate of the
+    /// owning link (RED uses it to decay its average during idle periods);
+    /// `seed` feeds RED's early-drop generator.
+    pub fn build(&self, bandwidth: BitsPerSec, seed: u64) -> Box<dyn QueueDiscipline> {
+        match self {
+            QueueSpec::DropTail { capacity } => Box::new(DropTailQueue::new(*capacity)),
+            QueueSpec::Red(cfg) => Box::new(RedQueue::new(cfg.clone(), bandwidth, seed)),
+            QueueSpec::Acc(cfg) => Box::new(AccQueue::new(cfg.clone(), bandwidth, seed)),
+        }
+    }
+
+    /// Buffer capacity in packets.
+    pub fn capacity_packets(&self) -> usize {
+        match self {
+            QueueSpec::DropTail { capacity } => *capacity,
+            QueueSpec::Red(cfg) => cfg.capacity,
+            QueueSpec::Acc(cfg) => cfg.red.capacity,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::NodeId;
+    use crate::packet::{FlowId, PacketKind};
+
+    pub(crate) fn pkt(size: u64) -> Packet {
+        Packet::new(
+            FlowId::from_u32(0),
+            NodeId::from_u32(0),
+            NodeId::from_u32(1),
+            Bytes::from_u64(size),
+            PacketKind::Background,
+        )
+    }
+
+    #[test]
+    fn spec_builds_matching_discipline() {
+        let bw = BitsPerSec::from_mbps(15.0);
+        let dt = QueueSpec::DropTail { capacity: 10 }.build(bw, 1);
+        assert_eq!(dt.name(), "droptail");
+        assert_eq!(dt.capacity_packets(), 10);
+        let red = QueueSpec::Red(RedConfig::ns2_default(50)).build(bw, 1);
+        assert_eq!(red.name(), "red");
+        assert_eq!(red.capacity_packets(), 50);
+        assert_eq!(
+            QueueSpec::Red(RedConfig::ns2_default(50)).capacity_packets(),
+            50
+        );
+    }
+
+    #[test]
+    fn outcome_predicate() {
+        assert!(EnqueueOutcome::Dropped.is_drop());
+        assert!(!EnqueueOutcome::Enqueued.is_drop());
+        assert!(!EnqueueOutcome::EnqueuedMarked.is_drop());
+        assert!(EnqueueOutcome::EnqueuedMarked.is_accepted());
+        assert!(!EnqueueOutcome::Dropped.is_accepted());
+    }
+}

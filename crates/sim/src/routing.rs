@@ -1,0 +1,172 @@
+//! Static shortest-path routing.
+//!
+//! Routes are computed once at build time with a per-destination BFS over
+//! the link graph (minimum hop count; ties broken by lowest link id, which
+//! keeps routing deterministic). This matches the static routing ns-2 uses
+//! for the paper's dumbbell topologies.
+
+use crate::link::LinkId;
+use crate::node::NodeId;
+use std::collections::VecDeque;
+
+/// A precomputed next-hop table: `next_link(src, dst)` is the outgoing link
+/// a packet at `src` takes toward `dst`.
+#[derive(Debug, Clone)]
+pub struct RoutingTable {
+    n_nodes: usize,
+    /// `table[src][dst]` = outgoing link, or `None` when unreachable (or
+    /// `src == dst`).
+    table: Vec<Vec<Option<LinkId>>>,
+}
+
+impl RoutingTable {
+    /// Computes the table from the directed link list `(id, src, dst)`.
+    pub fn compute(n_nodes: usize, links: &[(LinkId, NodeId, NodeId)]) -> Self {
+        // adjacency: for each node, outgoing (link, dst), sorted by link id
+        // for determinism.
+        let mut adj: Vec<Vec<(LinkId, NodeId)>> = vec![Vec::new(); n_nodes];
+        for &(id, src, dst) in links {
+            adj[src.index()].push((id, dst));
+        }
+        for out in &mut adj {
+            out.sort_by_key(|(id, _)| *id);
+        }
+
+        // reverse adjacency for BFS from each destination.
+        let mut radj: Vec<Vec<(LinkId, NodeId)>> = vec![Vec::new(); n_nodes];
+        for &(id, src, dst) in links {
+            radj[dst.index()].push((id, src));
+        }
+        for rin in &mut radj {
+            rin.sort_by_key(|(id, _)| *id);
+        }
+
+        let mut table = vec![vec![None; n_nodes]; n_nodes];
+        for dst in 0..n_nodes {
+            // BFS on reversed edges from dst; when we relax edge (link,
+            // src -> dst-side node u), `link` is src's next hop toward dst
+            // if src was previously unvisited.
+            let mut dist = vec![usize::MAX; n_nodes];
+            dist[dst] = 0;
+            let mut q = VecDeque::new();
+            q.push_back(dst);
+            while let Some(u) = q.pop_front() {
+                for &(link, src) in &radj[u] {
+                    if dist[src.index()] == usize::MAX {
+                        dist[src.index()] = dist[u] + 1;
+                        table[src.index()][dst] = Some(link);
+                        q.push_back(src.index());
+                    }
+                }
+            }
+        }
+        RoutingTable { n_nodes, table }
+    }
+
+    /// The outgoing link from `src` toward `dst`, or `None` when `dst` is
+    /// unreachable or equal to `src`.
+    pub fn next_link(&self, src: NodeId, dst: NodeId) -> Option<LinkId> {
+        self.table[src.index()][dst.index()]
+    }
+
+    /// Number of nodes the table covers.
+    pub fn n_nodes(&self) -> usize {
+        self.n_nodes
+    }
+
+    /// Whether `dst` is reachable from `src`.
+    pub fn reachable(&self, src: NodeId, dst: NodeId) -> bool {
+        src == dst || self.next_link(src, dst).is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(v: u32) -> NodeId {
+        NodeId::from_u32(v)
+    }
+    fn l(v: u32) -> LinkId {
+        LinkId::from_u32(v)
+    }
+
+    /// A 4-node chain 0 -1- 2 -3 with duplex links.
+    fn chain() -> RoutingTable {
+        let links = vec![
+            (l(0), n(0), n(1)),
+            (l(1), n(1), n(0)),
+            (l(2), n(1), n(2)),
+            (l(3), n(2), n(1)),
+            (l(4), n(2), n(3)),
+            (l(5), n(3), n(2)),
+        ];
+        RoutingTable::compute(4, &links)
+    }
+
+    #[test]
+    fn chain_routes_hop_by_hop() {
+        let rt = chain();
+        assert_eq!(rt.next_link(n(0), n(3)), Some(l(0)));
+        assert_eq!(rt.next_link(n(1), n(3)), Some(l(2)));
+        assert_eq!(rt.next_link(n(2), n(3)), Some(l(4)));
+        assert_eq!(rt.next_link(n(3), n(0)), Some(l(5)));
+        assert_eq!(rt.next_link(n(2), n(0)), Some(l(3)));
+    }
+
+    #[test]
+    fn self_route_is_none_but_reachable() {
+        let rt = chain();
+        assert_eq!(rt.next_link(n(2), n(2)), None);
+        assert!(rt.reachable(n(2), n(2)));
+    }
+
+    #[test]
+    fn unreachable_destination() {
+        // Two disconnected nodes.
+        let rt = RoutingTable::compute(2, &[]);
+        assert_eq!(rt.next_link(n(0), n(1)), None);
+        assert!(!rt.reachable(n(0), n(1)));
+        assert_eq!(rt.n_nodes(), 2);
+    }
+
+    #[test]
+    fn shortest_path_preferred_over_detour() {
+        // 0 -> 1 -> 3 (two hops) and 0 -> 2 -> ... no, give 0->3 direct too.
+        let links = vec![
+            (l(0), n(0), n(1)),
+            (l(1), n(1), n(3)),
+            (l(2), n(0), n(3)), // direct, one hop
+        ];
+        let rt = RoutingTable::compute(4, &links);
+        assert_eq!(rt.next_link(n(0), n(3)), Some(l(2)));
+    }
+
+    #[test]
+    fn dumbbell_routes_through_bottleneck() {
+        // hosts 0,1 -> router 2 -> router 3 -> hosts 4,5 (duplex).
+        let mut links = Vec::new();
+        let mut id = 0;
+        let mut duplex = |a: u32, b: u32, links: &mut Vec<(LinkId, NodeId, NodeId)>| {
+            links.push((l(id), n(a), n(b)));
+            id += 1;
+            links.push((l(id), n(b), n(a)));
+            id += 1;
+        };
+        duplex(0, 2, &mut links);
+        duplex(1, 2, &mut links);
+        duplex(2, 3, &mut links);
+        duplex(3, 4, &mut links);
+        duplex(3, 5, &mut links);
+        let rt = RoutingTable::compute(6, &links);
+        // host 0 to host 4 goes via its access link then the bottleneck.
+        let first = rt.next_link(n(0), n(4)).unwrap();
+        assert_eq!(first, l(0));
+        let second = rt.next_link(n(2), n(4)).unwrap();
+        assert_eq!(second, l(4)); // 2->3 bottleneck link
+        assert_eq!(rt.next_link(n(3), n(4)), Some(l(6)));
+        // reverse path for ACKs
+        assert_eq!(rt.next_link(n(4), n(0)), Some(l(7)));
+        assert_eq!(rt.next_link(n(3), n(0)), Some(l(5)));
+    }
+}

@@ -1,0 +1,209 @@
+//! Measurement instruments: binned rate traces on link ingress.
+//!
+//! The paper's Fig. 2/3 observe the *incoming traffic at the bottleneck
+//! router*; [`RateTrace`] reproduces that instrument — every packet offered
+//! to a traced link adds its bytes to a fixed-width time bin.
+
+use crate::link::LinkId;
+use crate::packet::{Packet, PacketKind};
+use crate::time::{SimDuration, SimTime};
+use std::fmt;
+
+/// Identifies a trace registered with the engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TraceId(u32);
+
+impl TraceId {
+    /// Creates a trace id from a raw index.
+    pub const fn from_u32(v: u32) -> Self {
+        TraceId(v)
+    }
+
+    /// The raw index as `usize`.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Which packets a trace counts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceFilter {
+    /// Count every packet (the paper's "incoming traffic": legitimate TCP
+    /// plus attack pulses).
+    All,
+    /// Count only TCP data and ACK packets.
+    TcpOnly,
+    /// Count only attack packets.
+    AttackOnly,
+}
+
+impl TraceFilter {
+    /// Whether the filter admits `kind`.
+    pub fn admits(self, kind: PacketKind) -> bool {
+        match self {
+            TraceFilter::All => true,
+            TraceFilter::TcpOnly => kind.is_data() || kind.is_ack(),
+            TraceFilter::AttackOnly => kind.is_attack(),
+        }
+    }
+}
+
+/// A fixed-bin byte counter over simulation time.
+#[derive(Debug, Clone)]
+pub struct RateTrace {
+    link: LinkId,
+    filter: TraceFilter,
+    bin: SimDuration,
+    bytes: Vec<u64>,
+}
+
+impl RateTrace {
+    /// Creates a trace for `link` with bin width `bin`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bin` is zero.
+    pub fn new(link: LinkId, filter: TraceFilter, bin: SimDuration) -> Self {
+        assert!(!bin.is_zero(), "trace bin width must be positive");
+        RateTrace {
+            link,
+            filter,
+            bin,
+            bytes: Vec::new(),
+        }
+    }
+
+    /// The traced link.
+    pub fn link(&self) -> LinkId {
+        self.link
+    }
+
+    /// The trace's filter.
+    pub fn filter(&self) -> TraceFilter {
+        self.filter
+    }
+
+    /// Bin width.
+    pub fn bin_width(&self) -> SimDuration {
+        self.bin
+    }
+
+    /// Records `packet` arriving at `now` (engine hook).
+    pub fn record(&mut self, now: SimTime, packet: &Packet) {
+        if !self.filter.admits(packet.kind) {
+            return;
+        }
+        let idx = (now.as_nanos() / self.bin.as_nanos()) as usize;
+        if idx >= self.bytes.len() {
+            self.bytes.resize(idx + 1, 0);
+        }
+        self.bytes[idx] += packet.size.as_u64();
+    }
+
+    /// Bytes per bin, in time order.
+    pub fn bytes_per_bin(&self) -> &[u64] {
+        &self.bytes
+    }
+
+    /// The observed series as rates in bits per second (one value per bin).
+    pub fn series_bps(&self) -> Vec<f64> {
+        let secs = self.bin.as_secs_f64();
+        self.bytes
+            .iter()
+            .map(|&b| b as f64 * 8.0 / secs)
+            .collect()
+    }
+
+    /// Total bytes recorded.
+    pub fn total_bytes(&self) -> u64 {
+        self.bytes.iter().sum()
+    }
+
+    /// Number of bins written so far (trailing empty bins are not
+    /// materialized until a later packet forces them).
+    pub fn n_bins(&self) -> usize {
+        self.bytes.len()
+    }
+}
+
+impl fmt::Display for RateTrace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "trace({}, {:?}, bin={}, bins={})",
+            self.link,
+            self.filter,
+            self.bin,
+            self.bytes.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::NodeId;
+    use crate::packet::FlowId;
+    use crate::units::Bytes;
+
+    fn pkt(kind: PacketKind, size: u64) -> Packet {
+        Packet::new(
+            FlowId::from_u32(0),
+            NodeId::from_u32(0),
+            NodeId::from_u32(1),
+            Bytes::from_u64(size),
+            kind,
+        )
+    }
+
+    #[test]
+    fn bins_accumulate_bytes() {
+        let mut t = RateTrace::new(LinkId::from_u32(0), TraceFilter::All, SimDuration::from_millis(50));
+        t.record(SimTime::from_millis(10), &pkt(PacketKind::Attack, 1000));
+        t.record(SimTime::from_millis(40), &pkt(PacketKind::Attack, 500));
+        t.record(SimTime::from_millis(60), &pkt(PacketKind::Attack, 200));
+        assert_eq!(t.bytes_per_bin(), &[1500, 200]);
+        assert_eq!(t.total_bytes(), 1700);
+        assert_eq!(t.n_bins(), 2);
+    }
+
+    #[test]
+    fn series_converts_to_bps() {
+        let mut t = RateTrace::new(LinkId::from_u32(0), TraceFilter::All, SimDuration::from_millis(100));
+        t.record(SimTime::ZERO, &pkt(PacketKind::Background, 12_500)); // 100 kbit in 0.1 s = 1 Mbps
+        assert_eq!(t.series_bps(), vec![1e6]);
+    }
+
+    #[test]
+    fn filters_select_traffic_classes() {
+        assert!(TraceFilter::All.admits(PacketKind::Attack));
+        assert!(TraceFilter::TcpOnly.admits(PacketKind::Data { seq: 0, retx: false }));
+        assert!(TraceFilter::TcpOnly.admits(PacketKind::Ack { cum_seq: 0 }));
+        assert!(!TraceFilter::TcpOnly.admits(PacketKind::Attack));
+        assert!(!TraceFilter::TcpOnly.admits(PacketKind::Background));
+        assert!(TraceFilter::AttackOnly.admits(PacketKind::Attack));
+        assert!(!TraceFilter::AttackOnly.admits(PacketKind::Ack { cum_seq: 0 }));
+
+        let mut t = RateTrace::new(
+            LinkId::from_u32(0),
+            TraceFilter::AttackOnly,
+            SimDuration::from_millis(10),
+        );
+        t.record(SimTime::ZERO, &pkt(PacketKind::Ack { cum_seq: 1 }, 40));
+        assert_eq!(t.total_bytes(), 0);
+        t.record(SimTime::ZERO, &pkt(PacketKind::Attack, 40));
+        assert_eq!(t.total_bytes(), 40);
+    }
+
+    #[test]
+    fn display_mentions_link() {
+        let t = RateTrace::new(LinkId::from_u32(3), TraceFilter::All, SimDuration::from_millis(50));
+        assert!(t.to_string().contains("link3"));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_bin_rejected() {
+        RateTrace::new(LinkId::from_u32(0), TraceFilter::All, SimDuration::ZERO);
+    }
+}

@@ -1,0 +1,225 @@
+//! Physical units used throughout the simulator: data sizes and bit rates.
+
+use crate::time::SimDuration;
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A data size in bytes.
+///
+/// # Examples
+///
+/// ```
+/// use pdos_sim::units::Bytes;
+///
+/// let mss = Bytes::from_u64(1460);
+/// assert_eq!(mss.as_bits(), 11_680);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Bytes(u64);
+
+/// A transmission or sending rate in bits per second.
+///
+/// # Examples
+///
+/// ```
+/// use pdos_sim::units::{Bytes, BitsPerSec};
+///
+/// let bottleneck = BitsPerSec::from_mbps(15.0);
+/// let pkt = Bytes::from_u64(1500);
+/// // 1500 B at 15 Mbps serializes in 0.8 ms.
+/// assert_eq!(bottleneck.tx_time(pkt).as_nanos(), 800_000);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct BitsPerSec(f64);
+
+impl Bytes {
+    /// The zero size.
+    pub const ZERO: Bytes = Bytes(0);
+
+    /// Creates a size from a byte count.
+    pub const fn from_u64(b: u64) -> Self {
+        Bytes(b)
+    }
+
+    /// Byte count.
+    pub const fn as_u64(self) -> u64 {
+        self.0
+    }
+
+    /// Bit count (`8 x` bytes).
+    pub const fn as_bits(self) -> u64 {
+        self.0 * 8
+    }
+
+    /// Byte count as a float, for rate arithmetic.
+    pub fn as_f64(self) -> f64 {
+        self.0 as f64
+    }
+
+    /// Saturating addition.
+    pub const fn saturating_add(self, rhs: Bytes) -> Bytes {
+        Bytes(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl BitsPerSec {
+    /// The zero rate (a disabled source).
+    pub const ZERO: BitsPerSec = BitsPerSec(0.0);
+
+    /// Creates a rate from bits per second.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bps` is negative or not finite.
+    pub fn from_bps(bps: f64) -> Self {
+        assert!(
+            bps.is_finite() && bps >= 0.0,
+            "rate must be finite and non-negative, got {bps}"
+        );
+        BitsPerSec(bps)
+    }
+
+    /// Creates a rate from megabits per second (the unit the paper uses).
+    pub fn from_mbps(mbps: f64) -> Self {
+        Self::from_bps(mbps * 1e6)
+    }
+
+    /// Creates a rate from kilobits per second.
+    pub fn from_kbps(kbps: f64) -> Self {
+        Self::from_bps(kbps * 1e3)
+    }
+
+    /// Bits per second.
+    pub const fn as_bps(self) -> f64 {
+        self.0
+    }
+
+    /// Megabits per second.
+    pub fn as_mbps(self) -> f64 {
+        self.0 / 1e6
+    }
+
+    /// Whether the rate is exactly zero.
+    pub fn is_zero(self) -> bool {
+        self.0 == 0.0
+    }
+
+    /// The time needed to serialize `size` at this rate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rate is zero.
+    pub fn tx_time(self, size: Bytes) -> SimDuration {
+        assert!(self.0 > 0.0, "cannot serialize over a zero-rate link");
+        SimDuration::from_secs_f64(size.as_bits() as f64 / self.0)
+    }
+
+    /// The number of whole bytes transferred in `dur` at this rate.
+    pub fn bytes_in(self, dur: SimDuration) -> Bytes {
+        Bytes((self.0 * dur.as_secs_f64() / 8.0).floor() as u64)
+    }
+}
+
+impl Add for Bytes {
+    type Output = Bytes;
+    fn add(self, rhs: Bytes) -> Bytes {
+        Bytes(self.0.checked_add(rhs.0).expect("Bytes addition overflow"))
+    }
+}
+
+impl AddAssign for Bytes {
+    fn add_assign(&mut self, rhs: Bytes) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for Bytes {
+    type Output = Bytes;
+    fn sub(self, rhs: Bytes) -> Bytes {
+        Bytes(
+            self.0
+                .checked_sub(rhs.0)
+                .expect("Bytes subtraction underflow"),
+        )
+    }
+}
+
+impl Sum for Bytes {
+    fn sum<I: Iterator<Item = Bytes>>(iter: I) -> Bytes {
+        iter.fold(Bytes::ZERO, |acc, b| acc + b)
+    }
+}
+
+impl fmt::Display for Bytes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1_000_000 {
+            write!(f, "{:.2}MB", self.0 as f64 / 1e6)
+        } else if self.0 >= 1_000 {
+            write!(f, "{:.2}kB", self.0 as f64 / 1e3)
+        } else {
+            write!(f, "{}B", self.0)
+        }
+    }
+}
+
+impl fmt::Display for BitsPerSec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1e6 {
+            write!(f, "{:.2}Mbps", self.0 / 1e6)
+        } else if self.0 >= 1e3 {
+            write!(f, "{:.2}kbps", self.0 / 1e3)
+        } else {
+            write!(f, "{:.0}bps", self.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tx_time_of_mtu_at_bottleneck() {
+        // The paper's bottleneck: 15 Mbps. One 1500 B packet = 0.8 ms.
+        let r = BitsPerSec::from_mbps(15.0);
+        assert_eq!(r.tx_time(Bytes::from_u64(1500)).as_nanos(), 800_000);
+    }
+
+    #[test]
+    fn bytes_in_duration() {
+        let r = BitsPerSec::from_mbps(100.0);
+        // 100 Mbps for 50 ms = 625 000 bytes, the Fig. 3(a) pulse volume.
+        let got = r.bytes_in(SimDuration::from_millis(50));
+        assert_eq!(got.as_u64(), 625_000);
+    }
+
+    #[test]
+    fn byte_arithmetic() {
+        let a = Bytes::from_u64(1000);
+        let b = Bytes::from_u64(500);
+        assert_eq!((a + b).as_u64(), 1500);
+        assert_eq!((a - b).as_u64(), 500);
+        let total: Bytes = [a, b, b].into_iter().sum();
+        assert_eq!(total.as_u64(), 2000);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero-rate")]
+    fn zero_rate_tx_panics() {
+        BitsPerSec::ZERO.tx_time(Bytes::from_u64(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_rate_rejected() {
+        let _ = BitsPerSec::from_bps(-1.0);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Bytes::from_u64(1500).to_string(), "1.50kB");
+        assert_eq!(BitsPerSec::from_mbps(15.0).to_string(), "15.00Mbps");
+        assert_eq!(BitsPerSec::from_kbps(64.0).to_string(), "64.00kbps");
+    }
+}

@@ -1,0 +1,308 @@
+//! TCP agent configuration.
+
+use pdos_sim::time::SimDuration;
+use pdos_sim::units::Bytes;
+
+/// The general additive-increase / multiplicative-decrease parameters of
+/// §2.1: on a congestion signal the window drops from `W` to `b·W`; each
+/// RTT it grows by `a` segments (divided by the delayed-ACK factor `d`).
+///
+/// TCP Tahoe/Reno/NewReno use `AIMD(1, 0.5)`.
+///
+/// # Examples
+///
+/// ```
+/// use pdos_tcp::config::AimdParams;
+///
+/// let std = AimdParams::TCP_STANDARD;
+/// assert_eq!((std.a, std.b), (1.0, 0.5));
+/// assert!(AimdParams::new(0.31, 0.875).is_ok()); // a TCP-friendly pair
+/// assert!(AimdParams::new(1.0, 1.5).is_err());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AimdParams {
+    /// Additive increase, in segments per round-trip time.
+    pub a: f64,
+    /// Multiplicative decrease factor in `(0, 1)`.
+    pub b: f64,
+}
+
+impl AimdParams {
+    /// Standard TCP: `AIMD(1, 0.5)`.
+    pub const TCP_STANDARD: AimdParams = AimdParams { a: 1.0, b: 0.5 };
+
+    /// Creates a validated parameter pair.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when `a <= 0` or `b` is outside `(0, 1)`.
+    pub fn new(a: f64, b: f64) -> Result<Self, String> {
+        if !(a > 0.0 && a.is_finite()) {
+            return Err(format!("AIMD increase a must be positive, got {a}"));
+        }
+        if !(b > 0.0 && b < 1.0) {
+            return Err(format!("AIMD decrease b must be in (0,1), got {b}"));
+        }
+        Ok(AimdParams { a, b })
+    }
+}
+
+impl Default for AimdParams {
+    fn default() -> Self {
+        Self::TCP_STANDARD
+    }
+}
+
+/// Which loss-recovery behaviour the sender uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CcVariant {
+    /// NewReno: fast retransmit, fast recovery with partial-ACK
+    /// retransmissions (RFC 3782). The paper's simulations use this.
+    #[default]
+    NewReno,
+    /// Reno: fast retransmit, fast recovery; partial ACKs end recovery.
+    Reno,
+    /// Tahoe: fast retransmit but no fast recovery — every loss signal
+    /// collapses the window to one segment.
+    Tahoe,
+}
+
+/// Full sender/receiver configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TcpConfig {
+    /// Maximum segment size (payload bytes per segment).
+    pub mss: Bytes,
+    /// Header overhead added to each data segment on the wire.
+    pub header: Bytes,
+    /// Size of a pure ACK on the wire.
+    pub ack_size: Bytes,
+    /// AIMD parameters.
+    pub aimd: AimdParams,
+    /// Delayed-ACK factor `d`: the receiver ACKs every `d` in-order
+    /// segments (RFC 2581 uses 2).
+    pub delayed_ack: u32,
+    /// Upper bound on how long the receiver holds a delayed ACK.
+    pub ack_delay: SimDuration,
+    /// Initial congestion window in segments.
+    pub initial_cwnd: f64,
+    /// Initial slow-start threshold in segments.
+    pub initial_ssthresh: f64,
+    /// Hard cap on the congestion window in segments (the receiver's
+    /// advertised window).
+    pub max_cwnd: f64,
+    /// Duplicate-ACK threshold for fast retransmit.
+    pub dupack_threshold: u32,
+    /// Selective acknowledgments (RFC 2018, compact two-block form): the
+    /// receiver reports out-of-order ranges and the sender retransmits
+    /// exactly the holes — recovering multi-loss windows without
+    /// timeouts.
+    pub sack: bool,
+    /// Limited Transmit (RFC 3042): send one new segment on each of the
+    /// first two duplicate ACKs, keeping the ACK clock alive so small
+    /// windows can still reach the fast-retransmit threshold instead of
+    /// stalling into timeout — the exact failure mode that turns the
+    /// paper's normal-gain attacks into over-gain ones.
+    pub limited_transmit: bool,
+    /// Lower bound of the retransmission timeout. ns-2's default TCP uses
+    /// 1 s; the paper's Linux test-bed had 200 ms.
+    pub min_rto: SimDuration,
+    /// Upper bound of the retransmission timeout.
+    pub max_rto: SimDuration,
+    /// Loss-recovery variant.
+    pub variant: CcVariant,
+    /// Negotiate ECN: data segments are sent ECN-capable, the receiver
+    /// echoes congestion-experienced marks, and the sender halves its
+    /// window on an echo instead of waiting for a loss.
+    pub ecn: bool,
+    /// Randomized-RTO defense (Yang/Gerla/Sanadidi, §1.1 of the paper):
+    /// each armed retransmission timer is stretched by a uniform factor in
+    /// `[1, 1 + rto_rand_spread]`. `0.0` disables (standard TCP).
+    pub rto_rand_spread: f64,
+    /// Seed for the RTO-randomization draw (combined with the flow id so
+    /// each sender gets its own deterministic stream).
+    pub rto_rand_seed: u64,
+    /// Stop after successfully delivering this many segments
+    /// (`None` = greedy FTP source).
+    pub limit_segments: Option<u64>,
+    /// Mice mode: send in request-sized bursts of this many segments over
+    /// one persistent connection, idling [`TcpConfig::think_time`] between
+    /// bursts and re-entering slow start after each idle period (RFC 2861
+    /// congestion-window validation). `None` = continuous (elephant).
+    pub burst_segments: Option<u64>,
+    /// Idle time between bursts in mice mode.
+    pub think_time: SimDuration,
+    /// Record a `(time, cwnd)` sample at every window change (costs memory;
+    /// enable only when the experiment reads the trajectory).
+    pub record_cwnd: bool,
+}
+
+impl TcpConfig {
+    /// The configuration used for the paper's ns-2 simulations: NewReno,
+    /// `AIMD(1, 0.5)`, 1000-byte segments, delayed ACK `d = 2`, 1 s minimum
+    /// RTO (the ns-2 default).
+    pub fn ns2_newreno() -> Self {
+        TcpConfig {
+            mss: Bytes::from_u64(1000),
+            header: Bytes::from_u64(40),
+            ack_size: Bytes::from_u64(40),
+            aimd: AimdParams::TCP_STANDARD,
+            delayed_ack: 2,
+            ack_delay: SimDuration::from_millis(100),
+            initial_cwnd: 2.0,
+            initial_ssthresh: 64.0,
+            max_cwnd: 1_000.0,
+            dupack_threshold: 3,
+            sack: false,
+            limited_transmit: false,
+            min_rto: SimDuration::from_secs(1),
+            max_rto: SimDuration::from_secs(64),
+            variant: CcVariant::NewReno,
+            ecn: false,
+            rto_rand_spread: 0.0,
+            rto_rand_seed: 0,
+            limit_segments: None,
+            burst_segments: None,
+            think_time: SimDuration::from_millis(500),
+            record_cwnd: false,
+        }
+    }
+
+    /// The configuration matching the paper's test-bed endpoints: Linux
+    /// Fedora kernel 2.6.5 with `RTO_min = 200 ms` (§4.2).
+    pub fn linux_testbed() -> Self {
+        TcpConfig {
+            min_rto: SimDuration::from_millis(200),
+            ..Self::ns2_newreno()
+        }
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the first inconsistent field.
+    // `!(x >= y)` is deliberate in the checks below: unlike `x < y`, it
+    // also rejects NaN inputs.
+    #[allow(clippy::neg_cmp_op_on_partial_ord)]
+    pub fn validate(&self) -> Result<(), String> {
+        if self.mss == Bytes::ZERO {
+            return Err("mss must be positive".into());
+        }
+        if self.delayed_ack == 0 {
+            return Err("delayed_ack factor must be at least 1".into());
+        }
+        if !(self.initial_cwnd >= 1.0) {
+            return Err(format!(
+                "initial_cwnd must be at least 1 segment, got {}",
+                self.initial_cwnd
+            ));
+        }
+        if !(self.max_cwnd >= self.initial_cwnd) {
+            return Err("max_cwnd must be >= initial_cwnd".into());
+        }
+        if self.dupack_threshold == 0 {
+            return Err("dupack_threshold must be at least 1".into());
+        }
+        if self.min_rto > self.max_rto {
+            return Err("min_rto must not exceed max_rto".into());
+        }
+        if self.burst_segments == Some(0) {
+            return Err("burst_segments must be positive when set".into());
+        }
+        if !(self.rto_rand_spread >= 0.0 && self.rto_rand_spread.is_finite()) {
+            return Err(format!(
+                "rto_rand_spread must be finite and >= 0, got {}",
+                self.rto_rand_spread
+            ));
+        }
+        AimdParams::new(self.aimd.a, self.aimd.b).map(|_| ())
+    }
+
+    /// The on-wire size of one full data segment.
+    pub fn segment_wire_size(&self) -> Bytes {
+        self.mss + self.header
+    }
+}
+
+impl Default for TcpConfig {
+    fn default() -> Self {
+        Self::ns2_newreno()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_are_valid() {
+        assert!(TcpConfig::ns2_newreno().validate().is_ok());
+        assert!(TcpConfig::linux_testbed().validate().is_ok());
+        assert_eq!(
+            TcpConfig::linux_testbed().min_rto,
+            SimDuration::from_millis(200)
+        );
+        assert_eq!(TcpConfig::default(), TcpConfig::ns2_newreno());
+    }
+
+    #[test]
+    fn aimd_validation() {
+        assert!(AimdParams::new(0.0, 0.5).is_err());
+        assert!(AimdParams::new(-1.0, 0.5).is_err());
+        assert!(AimdParams::new(1.0, 0.0).is_err());
+        assert!(AimdParams::new(1.0, 1.0).is_err());
+        assert_eq!(AimdParams::default(), AimdParams::TCP_STANDARD);
+    }
+
+    #[test]
+    fn config_validation_names_bad_fields() {
+        let mut c = TcpConfig::ns2_newreno();
+        c.mss = Bytes::ZERO;
+        assert!(c.validate().unwrap_err().contains("mss"));
+
+        let mut c = TcpConfig::ns2_newreno();
+        c.delayed_ack = 0;
+        assert!(c.validate().unwrap_err().contains("delayed_ack"));
+
+        let mut c = TcpConfig::ns2_newreno();
+        c.initial_cwnd = 0.5;
+        assert!(c.validate().unwrap_err().contains("initial_cwnd"));
+
+        let mut c = TcpConfig::ns2_newreno();
+        c.max_cwnd = 1.0;
+        assert!(c.validate().unwrap_err().contains("max_cwnd"));
+
+        let mut c = TcpConfig::ns2_newreno();
+        c.dupack_threshold = 0;
+        assert!(c.validate().unwrap_err().contains("dupack"));
+
+        let mut c = TcpConfig::ns2_newreno();
+        c.min_rto = SimDuration::from_secs(100);
+        assert!(c.validate().unwrap_err().contains("min_rto"));
+    }
+
+    #[test]
+    fn mice_mode_validation() {
+        let mut c = TcpConfig::ns2_newreno();
+        c.burst_segments = Some(0);
+        assert!(c.validate().unwrap_err().contains("burst_segments"));
+        c.burst_segments = Some(20);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn ecn_and_randomization_default_off() {
+        let c = TcpConfig::ns2_newreno();
+        assert!(!c.ecn);
+        assert_eq!(c.rto_rand_spread, 0.0);
+        let mut bad = TcpConfig::ns2_newreno();
+        bad.rto_rand_spread = -1.0;
+        assert!(bad.validate().unwrap_err().contains("rto_rand_spread"));
+    }
+
+    #[test]
+    fn wire_size_includes_header() {
+        let c = TcpConfig::ns2_newreno();
+        assert_eq!(c.segment_wire_size().as_u64(), 1040);
+    }
+}

@@ -1,0 +1,62 @@
+//! # pdos-tcp — general AIMD(a, b) TCP agents for `pdos-sim`
+//!
+//! Segment-granularity TCP endpoints in the style of ns-2's agents, built
+//! for the PDoS-lab reproduction of Luo & Chang (DSN 2005):
+//!
+//! * [`sender::TcpSender`] — greedy source with slow start, congestion
+//!   avoidance under a general additive-increase/multiplicative-decrease
+//!   rule [`config::AimdParams`], fast retransmit, NewReno/Reno/Tahoe loss
+//!   recovery, and an RFC 6298-style retransmission timeout with a
+//!   configurable floor (`min_rto`) — the knob the shrew attack exploits.
+//! * [`sink::TcpSink`] — cumulative ACKs with the delayed-ACK factor `d`
+//!   that appears throughout the paper's throughput model.
+//!
+//! The paper's Eq. (1) predicts that under a pulsing attack of period
+//! `T_AIMD`, the window converges to `W̄ = a·T_AIMD / ((1-b)·d·RTT)`; the
+//! integration tests of the workspace check this against these agents.
+//!
+//! ## Example
+//!
+//! ```
+//! use pdos_sim::prelude::*;
+//! use pdos_tcp::prelude::*;
+//!
+//! // Two hosts, one duplex link; a single greedy TCP flow between them.
+//! let mut t = TopologyBuilder::with_seed(1);
+//! let a = t.add_host("sender");
+//! let b = t.add_host("receiver");
+//! t.add_duplex_link(a, b, BitsPerSec::from_mbps(10.0),
+//!                   SimDuration::from_millis(20),
+//!                   QueueSpec::DropTail { capacity: 100 });
+//! let mut sim = t.build()?;
+//!
+//! let flow = FlowId::from_u32(1);
+//! let cfg = TcpConfig::ns2_newreno();
+//! let tx = sim.attach_agent(a, Box::new(TcpSender::new(cfg.clone(), flow, b)));
+//! let rx = sim.attach_agent(b, Box::new(TcpSink::new(cfg, flow, a)));
+//! sim.bind_flow(a, flow, tx);
+//! sim.bind_flow(b, flow, rx);
+//!
+//! sim.run_until(SimTime::from_secs(5));
+//! let sink = sim.agent_as::<TcpSink>(rx).unwrap();
+//! assert!(sink.goodput_bytes() > 0);
+//! # Ok::<(), pdos_sim::topology::BuildError>(())
+//! ```
+
+#![deny(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod config;
+pub mod rto;
+pub mod sender;
+pub mod sink;
+pub mod stats;
+
+/// Convenient re-exports.
+pub mod prelude {
+    pub use crate::config::{AimdParams, CcVariant, TcpConfig};
+    pub use crate::rto::RttEstimator;
+    pub use crate::sender::TcpSender;
+    pub use crate::sink::TcpSink;
+    pub use crate::stats::{CwndSample, SenderStats, SinkStats};
+}

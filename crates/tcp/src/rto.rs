@@ -1,0 +1,196 @@
+//! Retransmission-timeout estimation (RFC 6298 style).
+
+use pdos_sim::time::SimDuration;
+
+/// Smoothed RTT / RTT-variance estimator with exponential backoff.
+///
+/// `RTO = SRTT + max(G, 4·RTTVAR)` clamped to `[min_rto, max_rto]`, where
+/// the clock granularity `G` is taken as 1 ms. Until the first sample the
+/// RTO is the conservative 3 s initial value (clamped the same way).
+///
+/// # Examples
+///
+/// ```
+/// use pdos_tcp::rto::RttEstimator;
+/// use pdos_sim::time::SimDuration;
+///
+/// let mut est = RttEstimator::new(SimDuration::from_millis(200),
+///                                 SimDuration::from_secs(64));
+/// est.on_sample(SimDuration::from_millis(100));
+/// // srtt = 100ms, rttvar = 50ms -> rto = 300ms
+/// assert_eq!(est.rto(), SimDuration::from_millis(300));
+/// ```
+#[derive(Debug, Clone)]
+pub struct RttEstimator {
+    srtt: Option<f64>,
+    rttvar: f64,
+    min_rto: SimDuration,
+    max_rto: SimDuration,
+    backoff: u32,
+}
+
+const ALPHA: f64 = 1.0 / 8.0;
+const BETA: f64 = 1.0 / 4.0;
+const GRANULARITY_S: f64 = 0.001;
+const INITIAL_RTO_S: f64 = 3.0;
+
+impl RttEstimator {
+    /// Creates an estimator with the given RTO clamp.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `min_rto > max_rto`.
+    pub fn new(min_rto: SimDuration, max_rto: SimDuration) -> Self {
+        assert!(min_rto <= max_rto, "min_rto must not exceed max_rto");
+        RttEstimator {
+            srtt: None,
+            rttvar: 0.0,
+            min_rto,
+            max_rto,
+            backoff: 0,
+        }
+    }
+
+    /// Feeds one RTT measurement (never from a retransmitted segment —
+    /// Karn's rule is the caller's responsibility). Clears any backoff.
+    pub fn on_sample(&mut self, rtt: SimDuration) {
+        let r = rtt.as_secs_f64();
+        match self.srtt {
+            None => {
+                self.srtt = Some(r);
+                self.rttvar = r / 2.0;
+            }
+            Some(srtt) => {
+                self.rttvar = (1.0 - BETA) * self.rttvar + BETA * (srtt - r).abs();
+                self.srtt = Some((1.0 - ALPHA) * srtt + ALPHA * r);
+            }
+        }
+        self.backoff = 0;
+    }
+
+    /// Doubles the timeout after a retransmission timeout (capped so the
+    /// effective RTO never exceeds `max_rto`).
+    pub fn on_timeout(&mut self) {
+        self.backoff = (self.backoff + 1).min(16);
+    }
+
+    /// The smoothed RTT, if at least one sample has been taken.
+    pub fn srtt(&self) -> Option<SimDuration> {
+        self.srtt.map(SimDuration::from_secs_f64)
+    }
+
+    /// The current retransmission timeout, including backoff.
+    pub fn rto(&self) -> SimDuration {
+        let base_s = match self.srtt {
+            None => INITIAL_RTO_S,
+            Some(srtt) => srtt + (4.0 * self.rttvar).max(GRANULARITY_S),
+        };
+        let clamped = base_s
+            .max(self.min_rto.as_secs_f64())
+            .min(self.max_rto.as_secs_f64());
+        let backed_off = clamped * f64::from(1u32 << self.backoff.min(16));
+        SimDuration::from_secs_f64(backed_off.min(self.max_rto.as_secs_f64()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn est() -> RttEstimator {
+        RttEstimator::new(SimDuration::from_millis(200), SimDuration::from_secs(64))
+    }
+
+    #[test]
+    fn initial_rto_is_three_seconds() {
+        assert_eq!(est().rto(), SimDuration::from_secs(3));
+        assert_eq!(est().srtt(), None);
+    }
+
+    #[test]
+    fn first_sample_sets_srtt_and_var() {
+        let mut e = est();
+        e.on_sample(SimDuration::from_millis(100));
+        assert_eq!(e.srtt(), Some(SimDuration::from_millis(100)));
+        assert_eq!(e.rto(), SimDuration::from_millis(300));
+    }
+
+    #[test]
+    fn min_rto_floor_applies() {
+        let mut e = RttEstimator::new(SimDuration::from_secs(1), SimDuration::from_secs(64));
+        // Tiny, stable RTT: raw RTO would be ~ 12ms but the ns-2 floor is 1s.
+        for _ in 0..50 {
+            e.on_sample(SimDuration::from_millis(10));
+        }
+        assert_eq!(e.rto(), SimDuration::from_secs(1));
+    }
+
+    #[test]
+    fn stable_samples_shrink_variance() {
+        let mut e = est();
+        for _ in 0..100 {
+            e.on_sample(SimDuration::from_millis(100));
+        }
+        // Variance decays toward zero; RTO approaches srtt + G floor,
+        // clamped below by min_rto = 200ms.
+        assert_eq!(e.rto(), SimDuration::from_millis(200));
+    }
+
+    #[test]
+    fn backoff_doubles_and_sample_resets() {
+        let mut e = est();
+        e.on_sample(SimDuration::from_millis(100)); // rto 300ms
+        e.on_timeout();
+        assert_eq!(e.rto(), SimDuration::from_millis(600));
+        e.on_timeout();
+        assert_eq!(e.rto(), SimDuration::from_millis(1200));
+        e.on_sample(SimDuration::from_millis(100));
+        // Backoff cleared; rttvar decayed 50 -> 37.5 ms, so 100 + 150 = 250.
+        assert_eq!(e.rto(), SimDuration::from_millis(250));
+    }
+
+    #[test]
+    fn backoff_saturates_at_max_rto() {
+        let mut e = est();
+        e.on_sample(SimDuration::from_millis(100));
+        for _ in 0..40 {
+            e.on_timeout();
+        }
+        assert_eq!(e.rto(), SimDuration::from_secs(64));
+    }
+
+    #[test]
+    fn jittery_samples_keep_rto_above_srtt() {
+        let mut e = est();
+        for i in 0..100 {
+            let ms = if i % 2 == 0 { 80 } else { 120 };
+            e.on_sample(SimDuration::from_millis(ms));
+        }
+        let srtt = e.srtt().unwrap();
+        assert!(e.rto() > srtt);
+    }
+
+    #[test]
+    #[should_panic(expected = "min_rto")]
+    fn inverted_clamp_panics() {
+        RttEstimator::new(SimDuration::from_secs(2), SimDuration::from_secs(1));
+    }
+
+    proptest::proptest! {
+        /// RTO always stays within the configured clamp.
+        #[test]
+        fn prop_rto_clamped(samples in proptest::collection::vec(1u64..2_000, 0..100),
+                            timeouts in 0u32..8) {
+            let mut e = est();
+            for ms in samples {
+                e.on_sample(SimDuration::from_millis(ms));
+            }
+            for _ in 0..timeouts {
+                e.on_timeout();
+            }
+            let rto = e.rto();
+            proptest::prop_assert!(rto >= SimDuration::from_millis(200));
+            proptest::prop_assert!(rto <= SimDuration::from_secs(64));
+        }
+    }
+}

@@ -1,0 +1,463 @@
+//! The TCP receiver: cumulative ACKs with a delayed-ACK policy.
+
+use crate::config::TcpConfig;
+use crate::stats::SinkStats;
+use pdos_sim::agent::{Agent, AgentCtx};
+use pdos_sim::node::NodeId;
+use pdos_sim::packet::{FlowId, Packet, PacketKind, SackBlocks};
+use std::any::Any;
+use std::collections::BTreeSet;
+
+/// A TCP sink that acknowledges every `d`-th in-order segment (RFC 2581
+/// delayed ACKs), ACKs out-of-order arrivals immediately (producing the
+/// duplicate ACKs fast retransmit relies on), and ACKs immediately when a
+/// retransmission fills a gap.
+#[derive(Debug)]
+pub struct TcpSink {
+    cfg: TcpConfig,
+    flow: FlowId,
+    /// The sender's node (where ACKs go).
+    peer: NodeId,
+    next_expected: u64,
+    /// Out-of-order segments above `next_expected`.
+    ooo: BTreeSet<u64>,
+    /// In-order segments received since the last ACK.
+    pending: u32,
+    /// Delayed-ACK timer generation, for lazy cancellation.
+    delack_gen: u64,
+    /// A congestion-experienced mark was seen and not yet echoed.
+    ece_pending: bool,
+    /// Previous in-order arrival instant and gap, for jitter tracking.
+    last_arrival: Option<pdos_sim::time::SimTime>,
+    last_gap_nanos: Option<u64>,
+    jitter_nanos: f64,
+    stats: SinkStats,
+}
+
+impl TcpSink {
+    /// Creates a sink for `flow`, acknowledging toward `peer`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg` fails [`TcpConfig::validate`].
+    pub fn new(cfg: TcpConfig, flow: FlowId, peer: NodeId) -> Self {
+        if let Err(e) = cfg.validate() {
+            panic!("invalid TCP configuration: {e}");
+        }
+        TcpSink {
+            flow,
+            peer,
+            next_expected: 0,
+            ooo: BTreeSet::new(),
+            pending: 0,
+            delack_gen: 0,
+            ece_pending: false,
+            last_arrival: None,
+            last_gap_nanos: None,
+            jitter_nanos: 0.0,
+            stats: SinkStats::default(),
+            cfg,
+        }
+    }
+
+    /// Receiver-side counters.
+    pub fn stats(&self) -> &SinkStats {
+        &self.stats
+    }
+
+    /// In-order payload bytes delivered so far.
+    pub fn goodput_bytes(&self) -> u64 {
+        self.next_expected * self.cfg.mss.as_u64()
+    }
+
+    /// The next segment the receiver expects.
+    pub fn next_expected(&self) -> u64 {
+        self.next_expected
+    }
+
+    /// The smoothed inter-arrival jitter of in-order data (RFC 3550
+    /// estimator), as a duration.
+    pub fn jitter(&self) -> pdos_sim::time::SimDuration {
+        pdos_sim::time::SimDuration::from_nanos(self.jitter_nanos as u64)
+    }
+
+    fn track_jitter(&mut self, now: pdos_sim::time::SimTime) {
+        if let Some(prev) = self.last_arrival {
+            let gap = now.saturating_since(prev).as_nanos();
+            if let Some(last_gap) = self.last_gap_nanos {
+                let d = gap.abs_diff(last_gap) as f64;
+                self.jitter_nanos += (d - self.jitter_nanos) / 16.0;
+                self.stats.jitter_nanos = self.jitter_nanos as u64;
+            }
+            self.last_gap_nanos = Some(gap);
+        }
+        self.last_arrival = Some(now);
+    }
+
+    /// The out-of-order buffer as `[start, end)` ranges, lowest first.
+    fn ooo_ranges(&self) -> Vec<(u64, u64)> {
+        let mut ranges: Vec<(u64, u64)> = Vec::new();
+        for &seq in &self.ooo {
+            match ranges.last_mut() {
+                Some((_, end)) if *end == seq => *end += 1,
+                _ => ranges.push((seq, seq + 1)),
+            }
+        }
+        ranges
+    }
+
+    fn send_ack(&mut self, ctx: &mut AgentCtx<'_>) {
+        self.pending = 0;
+        self.delack_gen += 1; // cancel any delayed-ACK timer
+        self.stats.acks_sent += 1;
+        let echo = std::mem::take(&mut self.ece_pending);
+        let sack = if self.cfg.sack {
+            SackBlocks::from_ranges(&self.ooo_ranges())
+        } else {
+            SackBlocks::EMPTY
+        };
+        ctx.send(
+            Packet::new(
+                self.flow,
+                ctx.node(),
+                self.peer,
+                self.cfg.ack_size,
+                PacketKind::Ack {
+                    cum_seq: self.next_expected,
+                },
+            )
+            .with_ecn_echo(echo)
+            .with_sack(sack),
+        );
+    }
+
+    fn refresh_stats(&mut self) {
+        self.stats.next_expected = self.next_expected;
+        self.stats.goodput =
+            pdos_sim::units::Bytes::from_u64(self.next_expected * self.cfg.mss.as_u64());
+    }
+}
+
+impl Agent for TcpSink {
+    fn start(&mut self, _ctx: &mut AgentCtx<'_>) {}
+
+    fn on_packet(&mut self, packet: Packet, ctx: &mut AgentCtx<'_>) {
+        let PacketKind::Data { seq, .. } = packet.kind else {
+            return;
+        };
+        self.stats.segments_received += 1;
+        if packet.ecn.is_marked() {
+            // RFC 3168 (one-shot simplification): echo the congestion mark
+            // on the next ACK, and send that ACK promptly.
+            self.ece_pending = true;
+        }
+
+        if seq == self.next_expected {
+            // In-order arrival; may also drain the out-of-order buffer.
+            self.track_jitter(ctx.now());
+            self.next_expected += 1;
+            let filled_gap = !self.ooo.is_empty();
+            while self.ooo.remove(&self.next_expected) {
+                self.next_expected += 1;
+            }
+            self.refresh_stats();
+            if filled_gap {
+                // A retransmission completed a hole: ACK immediately so the
+                // sender sees the jump without waiting for the delack timer.
+                self.send_ack(ctx);
+            } else {
+                self.pending += 1;
+                if self.pending >= self.cfg.delayed_ack {
+                    self.send_ack(ctx);
+                } else {
+                    self.delack_gen += 1;
+                    ctx.timer_after(self.cfg.ack_delay, self.delack_gen);
+                }
+            }
+        } else if seq > self.next_expected {
+            // Out of order: buffer it and emit an immediate duplicate ACK.
+            self.ooo.insert(seq);
+            self.refresh_stats();
+            self.send_ack(ctx);
+        } else {
+            // Below the window: a spurious retransmission. ACK immediately
+            // so the sender resynchronizes.
+            self.send_ack(ctx);
+        }
+        if self.ece_pending {
+            // Congestion news must not sit behind the delayed-ACK timer.
+            self.send_ack(ctx);
+        }
+    }
+
+    fn on_timer(&mut self, token: u64, ctx: &mut AgentCtx<'_>) {
+        if token == self.delack_gen && self.pending > 0 {
+            self.send_ack(ctx);
+        }
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdos_sim::agent::Effect;
+    use pdos_sim::time::SimTime;
+    use pdos_sim::units::Bytes;
+
+    fn sink() -> TcpSink {
+        TcpSink::new(
+            TcpConfig::ns2_newreno(),
+            FlowId::from_u32(1),
+            NodeId::from_u32(0),
+        )
+    }
+
+    fn data(seq: u64) -> Packet {
+        Packet::new(
+            FlowId::from_u32(1),
+            NodeId::from_u32(0),
+            NodeId::from_u32(9),
+            Bytes::from_u64(1040),
+            PacketKind::Data { seq, retx: false },
+        )
+    }
+
+    fn drive<F: FnOnce(&mut TcpSink, &mut AgentCtx<'_>)>(
+        s: &mut TcpSink,
+        now: SimTime,
+        f: F,
+    ) -> Vec<Effect> {
+        let mut fx = Vec::new();
+        let mut ctx = AgentCtx::new(now, NodeId::from_u32(9), &mut fx);
+        f(s, &mut ctx);
+        fx
+    }
+
+    fn acks(fx: &[Effect]) -> Vec<u64> {
+        fx.iter()
+            .filter_map(|e| match e {
+                Effect::Send(p) => match p.kind {
+                    PacketKind::Ack { cum_seq } => Some(cum_seq),
+                    _ => None,
+                },
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn delayed_ack_every_second_segment() {
+        let mut s = sink();
+        let fx = drive(&mut s, SimTime::ZERO, |s, ctx| s.on_packet(data(0), ctx));
+        assert!(acks(&fx).is_empty(), "first in-order segment is delayed");
+        let fx = drive(&mut s, SimTime::from_millis(1), |s, ctx| {
+            s.on_packet(data(1), ctx)
+        });
+        assert_eq!(acks(&fx), vec![2], "second segment flushes the ACK");
+        assert_eq!(s.stats().acks_sent, 1);
+    }
+
+    #[test]
+    fn delack_timer_flushes_lone_segment() {
+        let mut s = sink();
+        let fx = drive(&mut s, SimTime::ZERO, |s, ctx| s.on_packet(data(0), ctx));
+        // Extract the armed timer token.
+        let token = fx
+            .iter()
+            .find_map(|e| match e {
+                Effect::TimerAt { token, .. } => Some(*token),
+                _ => None,
+            })
+            .expect("a delayed-ACK timer must be armed");
+        let fx = drive(&mut s, SimTime::from_millis(100), |s, ctx| {
+            s.on_timer(token, ctx)
+        });
+        assert_eq!(acks(&fx), vec![1]);
+    }
+
+    #[test]
+    fn stale_delack_timer_is_ignored() {
+        let mut s = sink();
+        drive(&mut s, SimTime::ZERO, |s, ctx| s.on_packet(data(0), ctx));
+        drive(&mut s, SimTime::from_millis(1), |s, ctx| {
+            s.on_packet(data(1), ctx)
+        }); // ACK sent, timer cancelled via generation bump
+        let fx = drive(&mut s, SimTime::from_millis(100), |s, ctx| {
+            s.on_timer(1, ctx) // the old token
+        });
+        assert!(acks(&fx).is_empty());
+    }
+
+    #[test]
+    fn out_of_order_triggers_immediate_dup_acks() {
+        let mut s = sink();
+        drive(&mut s, SimTime::ZERO, |s, ctx| s.on_packet(data(0), ctx));
+        drive(&mut s, SimTime::ZERO, |s, ctx| s.on_packet(data(1), ctx)); // cum=2
+        // seq 2 lost; 3, 4, 5 arrive.
+        for seq in [3, 4, 5] {
+            let fx = drive(&mut s, SimTime::from_millis(2), |s, ctx| {
+                s.on_packet(data(seq), ctx)
+            });
+            assert_eq!(acks(&fx), vec![2], "dup ACK at the hole");
+        }
+        assert_eq!(s.next_expected(), 2);
+    }
+
+    #[test]
+    fn retransmission_filling_gap_acks_past_buffered_data() {
+        let mut s = sink();
+        drive(&mut s, SimTime::ZERO, |s, ctx| s.on_packet(data(0), ctx));
+        drive(&mut s, SimTime::ZERO, |s, ctx| s.on_packet(data(1), ctx));
+        for seq in [3, 4, 5] {
+            drive(&mut s, SimTime::from_millis(2), |s, ctx| {
+                s.on_packet(data(seq), ctx)
+            });
+        }
+        // The retransmitted seq 2 fills the hole: cum jumps to 6 at once.
+        let fx = drive(&mut s, SimTime::from_millis(5), |s, ctx| {
+            s.on_packet(data(2), ctx)
+        });
+        assert_eq!(acks(&fx), vec![6]);
+        assert_eq!(s.goodput_bytes(), 6 * 1000);
+    }
+
+    #[test]
+    fn below_window_duplicate_is_acked() {
+        let mut s = sink();
+        drive(&mut s, SimTime::ZERO, |s, ctx| s.on_packet(data(0), ctx));
+        drive(&mut s, SimTime::ZERO, |s, ctx| s.on_packet(data(1), ctx));
+        let fx = drive(&mut s, SimTime::from_millis(9), |s, ctx| {
+            s.on_packet(data(0), ctx)
+        });
+        assert_eq!(acks(&fx), vec![2]);
+    }
+
+    #[test]
+    fn non_data_packets_ignored() {
+        let mut s = sink();
+        let stray = Packet::new(
+            FlowId::from_u32(1),
+            NodeId::from_u32(0),
+            NodeId::from_u32(9),
+            Bytes::from_u64(40),
+            PacketKind::Attack,
+        );
+        let fx = drive(&mut s, SimTime::ZERO, |s, ctx| s.on_packet(stray, ctx));
+        assert!(fx.is_empty());
+        assert_eq!(s.stats().segments_received, 0);
+    }
+
+    #[test]
+    fn marked_segment_is_echoed_promptly_and_once() {
+        let mut s = sink();
+        let marked = data(0).with_ecn(pdos_sim::packet::Ecn::CongestionExperienced);
+        let fx = drive(&mut s, SimTime::ZERO, |s, ctx| s.on_packet(marked, ctx));
+        // The mark forces an immediate ACK carrying the echo.
+        let echoes: Vec<bool> = fx
+            .iter()
+            .filter_map(|e| match e {
+                Effect::Send(p) if p.kind.is_ack() => Some(p.ecn_echo),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(echoes, vec![true]);
+        // The next (unmarked) segments' ACK carries no echo. (The echo ACK
+        // reset the delayed-ACK count, so two segments flush the next ACK.)
+        drive(&mut s, SimTime::from_millis(1), |s, ctx| {
+            s.on_packet(data(1), ctx)
+        });
+        let fx = drive(&mut s, SimTime::from_millis(2), |s, ctx| {
+            s.on_packet(data(2), ctx)
+        });
+        let echoes: Vec<bool> = fx
+            .iter()
+            .filter_map(|e| match e {
+                Effect::Send(p) if p.kind.is_ack() => Some(p.ecn_echo),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(echoes, vec![false]);
+    }
+
+    #[test]
+    fn sack_blocks_report_ooo_ranges() {
+        let mut cfg = TcpConfig::ns2_newreno();
+        cfg.sack = true;
+        let mut s = TcpSink::new(cfg, FlowId::from_u32(1), NodeId::from_u32(0));
+        drive(&mut s, SimTime::ZERO, |s, ctx| s.on_packet(data(0), ctx));
+        drive(&mut s, SimTime::ZERO, |s, ctx| s.on_packet(data(1), ctx));
+        // Holes at 2 and 5: receive 3, 4 and 6.
+        for seq in [3, 4, 6] {
+            drive(&mut s, SimTime::from_millis(2), |s, ctx| {
+                s.on_packet(data(seq), ctx)
+            });
+        }
+        let fx = drive(&mut s, SimTime::from_millis(3), |s, ctx| {
+            s.on_packet(data(7), ctx)
+        });
+        let sack = fx
+            .iter()
+            .find_map(|e| match e {
+                Effect::Send(p) if p.kind.is_ack() => Some(p.sack),
+                _ => None,
+            })
+            .expect("dup ack sent");
+        assert_eq!(sack.ranges(), &[(3, 5), (6, 8)]);
+    }
+
+    #[test]
+    fn no_sack_blocks_without_the_flag() {
+        let mut s = sink();
+        drive(&mut s, SimTime::ZERO, |s, ctx| s.on_packet(data(0), ctx));
+        let fx = drive(&mut s, SimTime::from_millis(2), |s, ctx| {
+            s.on_packet(data(5), ctx)
+        });
+        let sack = fx
+            .iter()
+            .find_map(|e| match e {
+                Effect::Send(p) if p.kind.is_ack() => Some(p.sack),
+                _ => None,
+            })
+            .expect("dup ack sent");
+        assert!(sack.is_empty());
+    }
+
+    #[test]
+    fn jitter_tracks_interarrival_variability() {
+        // Regular arrivals: jitter stays at zero.
+        let mut s = sink();
+        for (i, t) in (0..8u64).map(|i| (i, SimTime::from_millis(10 * i))) {
+            drive(&mut s, t, |s, ctx| s.on_packet(data(i), ctx));
+        }
+        assert_eq!(s.jitter(), pdos_sim::time::SimDuration::ZERO);
+
+        // Bursty arrivals (gap alternating 1 ms / 50 ms): jitter grows.
+        let mut b = sink();
+        let mut t = 0u64;
+        for i in 0..20u64 {
+            t += if i % 2 == 0 { 1 } else { 50 };
+            drive(&mut b, SimTime::from_millis(t), |s, ctx| {
+                s.on_packet(data(i), ctx)
+            });
+        }
+        assert!(
+            b.jitter() > pdos_sim::time::SimDuration::from_millis(10),
+            "alternating gaps must register as jitter: {}",
+            b.jitter()
+        );
+        assert!(b.stats().jitter_nanos > 0);
+    }
+
+    #[test]
+    fn goodput_counts_only_in_order_payload() {
+        let mut s = sink();
+        drive(&mut s, SimTime::ZERO, |s, ctx| s.on_packet(data(0), ctx));
+        drive(&mut s, SimTime::ZERO, |s, ctx| s.on_packet(data(5), ctx));
+        assert_eq!(s.goodput_bytes(), 1000);
+        assert_eq!(s.stats().segments_received, 2);
+    }
+}

@@ -1,0 +1,79 @@
+//! Per-flow statistics collected by the TCP agents.
+
+use pdos_sim::time::SimTime;
+use pdos_sim::units::Bytes;
+
+/// Counters kept by a [`crate::sender::TcpSender`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SenderStats {
+    /// Segments transmitted, including retransmissions.
+    pub segments_sent: u64,
+    /// Retransmitted segments (fast retransmit + timeout).
+    pub retransmissions: u64,
+    /// Cumulative-ACKed segments (highest in-order delivery at the
+    /// receiver, in segments).
+    pub segments_acked: u64,
+    /// Retransmission timeouts taken.
+    pub timeouts: u64,
+    /// Fast-retransmit / fast-recovery episodes entered.
+    pub fast_recoveries: u64,
+    /// RTT samples taken.
+    pub rtt_samples: u64,
+    /// Window reductions taken in response to ECN congestion echoes.
+    pub ecn_reactions: u64,
+    /// Mice mode: request bursts fully delivered.
+    pub bursts_completed: u64,
+}
+
+/// A `(time, cwnd)` trajectory sample (recorded when
+/// [`crate::config::TcpConfig::record_cwnd`] is on).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CwndSample {
+    /// When the window changed.
+    pub at: SimTime,
+    /// The congestion window, in segments.
+    pub cwnd: f64,
+}
+
+/// Counters kept by a [`crate::sink::TcpSink`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SinkStats {
+    /// Data segments that arrived (including duplicates/out-of-order).
+    pub segments_received: u64,
+    /// ACK packets emitted.
+    pub acks_sent: u64,
+    /// In-order goodput delivered to the "application", in bytes of
+    /// payload.
+    pub goodput: Bytes,
+    /// The highest in-order segment boundary (next expected seq).
+    pub next_expected: u64,
+    /// RFC 3550-style smoothed inter-arrival jitter of in-order data, in
+    /// nanoseconds (`J += (|D| − J)/16`). The paper notes PDoS raises
+    /// jitter as well as cutting throughput (§2.3).
+    pub jitter_nanos: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_zero() {
+        let s = SenderStats::default();
+        assert_eq!(s.segments_sent, 0);
+        assert_eq!(s.timeouts, 0);
+        let k = SinkStats::default();
+        assert_eq!(k.goodput, Bytes::ZERO);
+        assert_eq!(k.next_expected, 0);
+    }
+
+    #[test]
+    fn cwnd_sample_is_copy() {
+        let a = CwndSample {
+            at: SimTime::from_millis(5),
+            cwnd: 2.0,
+        };
+        let b = a;
+        assert_eq!(a, b);
+    }
+}

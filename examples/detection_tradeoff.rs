@@ -1,0 +1,76 @@
+//! The damage-vs-exposure trade-off, measured: sweep the normalized
+//! attack rate gamma and run two real detectors against the bottleneck's
+//! incoming traffic, next to the paper's abstract risk factor (1-gamma)^k.
+//!
+//! Run with: `cargo run --release --example detection_tradeoff`
+
+use pdos::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let spec = ScenarioSpec::ns2_dumbbell(10);
+    let warmup = SimDuration::from_secs(5);
+    let window = SimDuration::from_secs(30);
+    let bin = SimDuration::from_millis(100);
+    let (t_extent, r_attack) = (0.075, 30e6);
+
+    let exp = GainExperiment::new(spec.clone()).warmup(warmup).window(window);
+    let baseline = exp.baseline_bytes()?;
+
+    println!("== damage vs detection: 75 ms pulses at 30 Mbps ==\n");
+    println!(
+        "{:>6} {:>8} {:>10} {:>12} {:>12} {:>10}",
+        "gamma", "G_sim", "risk(1-g)", "rate-alarm", "dtw-match", "class"
+    );
+
+    for gamma in [0.1, 0.25, 0.4, 0.6, 0.8, 0.95] {
+        // Gain measurement (fresh bench).
+        let point = exp.run_point(t_extent, r_attack, gamma, baseline)?;
+
+        // Detector measurement: trace the bottleneck under the same attack.
+        let train = PulseTrain::from_gamma(
+            SimDuration::from_secs_f64(t_extent),
+            BitsPerSec::from_bps(r_attack),
+            spec.bottleneck,
+            gamma,
+        )?;
+        let period_bins =
+            (train.period().as_nanos() as f64 / bin.as_nanos() as f64).round() as usize;
+        let mut bench = spec.build()?;
+        let trace = bench.trace_bottleneck(TraceFilter::All, bin);
+        bench.attach_pulse_attack(train, SimTime::ZERO + warmup, None);
+        bench.run_until(SimTime::ZERO + warmup + window);
+        let first = (warmup.as_nanos() / bin.as_nanos()) as usize;
+        let bytes: Vec<u64> = bench.sim.trace(trace).bytes_per_bin()[first..].to_vec();
+
+        // Detector 1: average-utilization (flooding) detector.
+        let rate_report =
+            RateDetector::conventional(spec.bottleneck.as_bps(), bin.as_secs_f64()).run(&bytes);
+
+        // Detector 2: DTW pulse-shape matcher (when a full period fits).
+        let dtw_detected = if period_bins >= 4 && period_bins <= bytes.len() {
+            let on_bins = ((t_extent / bin.as_secs_f64()).round() as usize)
+                .clamp(1, period_bins - 1);
+            let series: Vec<f64> = bytes.iter().map(|&b| b as f64).collect();
+            DtwPulseDetector::new(period_bins, on_bins, 0.75, Some(period_bins / 2))
+                .sweep(&series)
+                .detected
+        } else {
+            false
+        };
+
+        println!(
+            "{:>6.2} {:>8.3} {:>10.3} {:>12} {:>12} {:>10}",
+            gamma,
+            point.g_sim,
+            RiskPreference::NEUTRAL.factor(gamma),
+            if rate_report.detected { "ALARM" } else { "quiet" },
+            if dtw_detected { "MATCH" } else { "miss" },
+            point.class.to_string(),
+        );
+    }
+
+    println!("\nReading: the volume detector only fires at high gamma (flood-like),");
+    println!("while DTW sees the pulse *shape* at low duty cycles - the exposure");
+    println!("the (1-gamma)^k risk factor abstracts.");
+    Ok(())
+}

@@ -1,0 +1,60 @@
+//! The quasi-global synchronization phenomenon of Sec. 2.3 / Fig. 3:
+//! a pulsing attack imposes its own period on the aggregate incoming
+//! traffic at the bottleneck router.
+//!
+//! Run with: `cargo run --release --example synchronization`
+
+use pdos::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Fig. 3(a)'s attack: 50 ms pulses at 100 Mbps, every 2 s, against a
+    // dumbbell of TCP flows (scaled to 12 flows for a quick run).
+    let spec = ScenarioSpec::ns2_dumbbell(12);
+    let train = PulseTrain::new(
+        SimDuration::from_millis(50),
+        BitsPerSec::from_mbps(100.0),
+        SimDuration::from_millis(1950),
+    )?;
+    println!("attack period T_AIMD = {}", train.period());
+
+    let result = SyncExperiment::new(spec)
+        .warmup(SimDuration::from_secs(5))
+        .window(SimDuration::from_secs(40))
+        .run(train)?;
+
+    println!("\nnormalized incoming traffic (PAA, one char per segment):");
+    render_ascii(&result.paa_series);
+
+    println!("\npinnacles counted          : {}", result.peaks);
+    match result.period_from_peaks {
+        Some(p) => println!(
+            "period from peak count     : {:.2} s  ({} s window / {} peaks)",
+            p, result.window_secs, result.peaks
+        ),
+        None => println!("period from peak count     : none detected"),
+    }
+    if let Some(p) = result.period_from_autocorr {
+        println!("period from autocorrelation: {p:.2} s");
+    }
+    println!("expected (= attack period) : {:.2} s", result.expected_period);
+    Ok(())
+}
+
+/// Renders a series as rows of a small ASCII strip chart.
+fn render_ascii(series: &[f64]) {
+    const GLYPHS: &[u8] = b" .:-=+*#%@";
+    let (lo, hi) = series
+        .iter()
+        .fold((f64::MAX, f64::MIN), |(lo, hi), &x| (lo.min(x), hi.max(x)));
+    let span = (hi - lo).max(1e-9);
+    let line: String = series
+        .iter()
+        .map(|&x| {
+            let idx = (((x - lo) / span) * (GLYPHS.len() - 1) as f64).round() as usize;
+            GLYPHS[idx.min(GLYPHS.len() - 1)] as char
+        })
+        .collect();
+    for chunk in line.as_bytes().chunks(80) {
+        println!("  {}", std::str::from_utf8(chunk).unwrap());
+    }
+}

@@ -1,0 +1,52 @@
+//! # pdos — a simulation laboratory for pulsing denial-of-service research
+//!
+//! This facade crate re-exports the whole PDoS-lab workspace, a
+//! from-scratch Rust reproduction of Luo & Chang, *"Optimizing the Pulsing
+//! Denial-of-Service Attacks"* (DSN 2005). Everything runs inside a
+//! deterministic discrete-event simulator; nothing touches a real network.
+//! The intended audience is defenders and researchers: the analytical
+//! model predicts how much damage a pulsing attacker can inflict at a
+//! given average-rate budget, and the simulator + detectors measure it.
+//!
+//! | Crate | Role |
+//! |---|---|
+//! | [`sim`] | discrete-event packet simulator (links, DropTail/RED, routing) |
+//! | [`tcp`] | general AIMD(a,b) TCP agents (NewReno/Reno/Tahoe) |
+//! | [`attack`] | pulse-train / flooding workload generators, shrew helpers |
+//! | [`analysis`] | the paper's closed-form model and optimizer (the core) |
+//! | [`detect`] | rate / DTW detectors, randomized-RTO defense |
+//! | [`scenarios`] | the paper's topologies and measurement protocols |
+//!
+//! ## Quickstart
+//!
+//! ```no_run
+//! use pdos::prelude::*;
+//!
+//! // The paper's ns-2 scene: 15 TCP flows over a 15 Mbps RED bottleneck.
+//! let exp = GainExperiment::new(ScenarioSpec::ns2_dumbbell(15));
+//! let baseline = exp.baseline_bytes()?;
+//! // One pulsing attack: 75 ms pulses at 30 Mbps, normalized rate 0.3.
+//! let point = exp.run_point(0.075, 30e6, 0.3, baseline)?;
+//! println!("throughput degradation: {:.0}%", point.degradation_sim * 100.0);
+//! # Ok::<(), pdos::scenarios::experiment::ExperimentError>(())
+//! ```
+
+#![deny(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub use pdos_analysis as analysis;
+pub use pdos_attack as attack;
+pub use pdos_detect as detect;
+pub use pdos_scenarios as scenarios;
+pub use pdos_sim as sim;
+pub use pdos_tcp as tcp;
+
+/// One-stop re-exports of the types most experiments touch.
+pub mod prelude {
+    pub use pdos_analysis::prelude::*;
+    pub use pdos_attack::prelude::*;
+    pub use pdos_detect::prelude::*;
+    pub use pdos_scenarios::prelude::*;
+    pub use pdos_sim::prelude::*;
+    pub use pdos_tcp::prelude::*;
+}

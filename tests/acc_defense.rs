@@ -1,0 +1,87 @@
+//! Integration tests for the aggregate-based congestion control defense
+//! (the paper's reference [19]): the ACC penalty box catches the pulsing
+//! aggregate that evades long-horizon volume detectors, and collapses the
+//! attack gain.
+
+use pdos::prelude::*;
+use pdos::sim::queue::AccQueue;
+
+fn degradation_under(queue: BottleneckQueue, gamma: f64) -> (f64, u64) {
+    let mut spec = ScenarioSpec::ns2_dumbbell(8);
+    spec.queue = queue;
+    let exp = GainExperiment::new(spec.clone())
+        .warmup(SimDuration::from_secs(6))
+        .window(SimDuration::from_secs(25));
+    let baseline = exp.baseline_bytes().expect("baseline runs");
+    let p = exp
+        .run_point(0.075, 30e6, gamma, baseline)
+        .expect("attack point runs");
+    (p.degradation_sim, p.timeouts)
+}
+
+#[test]
+fn acc_collapses_the_pulsing_attack() {
+    let (undefended, _) = degradation_under(BottleneckQueue::Red, 0.4);
+    let (defended, _) = degradation_under(BottleneckQueue::AccRed, 0.4);
+    assert!(
+        undefended > 0.6,
+        "reference attack must bite: {undefended:.2}"
+    );
+    assert!(
+        defended < undefended * 0.6,
+        "ACC must blunt the attack: {undefended:.2} -> {defended:.2}"
+    );
+}
+
+#[test]
+fn acc_penalizes_exactly_the_attack_flow() {
+    let mut spec = ScenarioSpec::ns2_dumbbell(8);
+    spec.queue = BottleneckQueue::AccRed;
+    let mut bench = spec.build().expect("builds");
+    let train = PulseTrain::new(
+        SimDuration::from_millis(75),
+        BitsPerSec::from_mbps(30.0),
+        SimDuration::from_millis(300),
+    )
+    .expect("valid train");
+    bench.attach_pulse_attack(train, SimTime::from_secs(6), None);
+    bench.run_until(SimTime::from_secs(30));
+
+    let acc = bench
+        .sim
+        .link(bench.bottleneck)
+        .queue()
+        .as_any()
+        .downcast_ref::<AccQueue>()
+        .expect("acc queue present");
+    assert_eq!(
+        acc.penalized_flows(),
+        vec![ATTACK_FLOW],
+        "only the attack aggregate belongs in the penalty box"
+    );
+    assert!(acc.limiter_drops() > 100, "the limiter must clip pulses");
+}
+
+#[test]
+fn acc_leaves_unattacked_traffic_alone() {
+    let mut spec = ScenarioSpec::ns2_dumbbell(8);
+    spec.queue = BottleneckQueue::AccRed;
+    let exp = GainExperiment::new(spec.clone())
+        .warmup(SimDuration::from_secs(6))
+        .window(SimDuration::from_secs(20));
+    let acc_baseline = exp.baseline_bytes().expect("baseline runs");
+
+    let mut plain = ScenarioSpec::ns2_dumbbell(8);
+    plain.queue = BottleneckQueue::Red;
+    let red_baseline = GainExperiment::new(plain)
+        .warmup(SimDuration::from_secs(6))
+        .window(SimDuration::from_secs(20))
+        .baseline_bytes()
+        .expect("baseline runs");
+
+    let ratio = acc_baseline as f64 / red_baseline as f64;
+    assert!(
+        (0.9..=1.1).contains(&ratio),
+        "ACC must not tax legitimate TCP: ratio {ratio:.3}"
+    );
+}

@@ -1,0 +1,149 @@
+//! Cross-crate invariants: packet conservation in the engine, and the
+//! model's generality across AIMD parameterizations (§2.1 stresses the
+//! analysis covers *general* `AIMD(a, b)` TCP-friendly protocols, not
+//! just TCP's `(1, 0.5)`).
+
+use pdos::prelude::*;
+use pdos::tcp::sender::TcpSender;
+
+/// Every packet the network accepted is accounted for: delivered to an
+/// agent, delivered unclaimed, dropped by a queue, or still inside the
+/// network (queued / in flight / timers pending) when the run stops.
+#[test]
+fn packet_conservation_under_attack() {
+    let mut bench = ScenarioSpec::ns2_dumbbell(8).build().expect("builds");
+    let train = PulseTrain::new(
+        SimDuration::from_millis(75),
+        BitsPerSec::from_mbps(30.0),
+        SimDuration::from_millis(425),
+    )
+    .expect("valid train");
+    bench.attach_pulse_attack(train, SimTime::from_secs(3), None);
+    bench.run_until(SimTime::from_secs(20));
+
+    let stats = bench.sim.stats();
+    assert_eq!(stats.routeless, 0);
+
+    // Offered to links - still buffered = transmitted or dropped; the
+    // delivered+unclaimed count equals transmissions that reached their
+    // final node.
+    let mut offered = 0u64;
+    let mut transmitted = 0u64;
+    let mut dropped = 0u64;
+    let mut backlog = 0u64;
+    for link in bench.sim.links() {
+        let s = link.stats();
+        offered += s.offered_packets;
+        transmitted += s.tx_packets;
+        dropped += link.drops();
+        backlog += link.backlog_packets() as u64;
+    }
+    // Conservation at the link layer: everything offered is transmitted,
+    // dropped, buffered, or the single in-flight packet per link.
+    let in_flight_bound = bench.sim.links().len() as u64;
+    let accounted = transmitted + dropped + backlog;
+    assert!(
+        offered >= accounted && offered <= accounted + in_flight_bound,
+        "offered {offered} vs transmitted {transmitted} + dropped {dropped} + backlog {backlog}"
+    );
+    // End-to-end: arrivals at final nodes match deliveries to agents plus
+    // unclaimed attack packets (propagating packets may still be in the
+    // event queue, so delivered+unclaimed <= forwarded-to-hosts).
+    assert!(stats.delivered > 0 && stats.unclaimed > 0);
+    assert!(stats.queue_drops == dropped);
+}
+
+/// Eq. (1) holds for a *non-TCP* AIMD parameterization end-to-end:
+/// `AIMD(0.31, 0.875)` (a TCP-friendly smooth-decrease protocol) should
+/// converge to `W̄ = a·T/( (1−b)·d·RTT )` under the same attack.
+#[test]
+fn eq1_generalizes_beyond_tcp_parameters() {
+    let (a, b) = (0.31, 0.875);
+    let mut spec = ScenarioSpec::ns2_dumbbell(1);
+    spec.rtt_lo = 0.200;
+    spec.rtt_hi = 0.200;
+    spec.tcp.aimd = AimdParams::new(a, b).expect("valid AIMD pair");
+    spec.tcp.record_cwnd = true;
+
+    let t_aimd = 2.0;
+    let train = PulseTrain::new(
+        SimDuration::from_millis(100),
+        BitsPerSec::from_mbps(40.0),
+        SimDuration::from_millis(1900),
+    )
+    .expect("valid train");
+    let mut bench = spec.build().expect("builds");
+    bench.attach_pulse_attack(train, SimTime::from_secs(10), None);
+    bench.run_until(SimTime::from_secs(90));
+
+    let sender = bench
+        .sim
+        .agent_as::<TcpSender>(bench.flows[0].sender)
+        .expect("sender");
+    let steady: Vec<&CwndSample> = sender
+        .cwnd_trace()
+        .iter()
+        .filter(|s| s.at >= SimTime::from_secs(50))
+        .collect();
+    let mut peaks = Vec::new();
+    for w in steady.windows(2) {
+        // The gentle decrease drops by only 12.5%, so use a tight drop
+        // detector.
+        if w[1].cwnd < w[0].cwnd * 0.93 {
+            peaks.push(w[0].cwnd);
+        }
+    }
+    assert!(
+        peaks.len() >= 5,
+        "expected a gentle sawtooth, got {} drops",
+        peaks.len()
+    );
+    let mean_peak: f64 = peaks.iter().sum::<f64>() / peaks.len() as f64;
+    let w_bar = converged_window(a, b, 2.0, t_aimd, 0.200);
+    // a=0.31, b=0.875, d=2: W̄ = 0.31·2/(0.125·2·0.2) = 12.4 segments.
+    assert!((w_bar - 12.4).abs() < 1e-9);
+    let rel = (mean_peak - w_bar).abs() / w_bar;
+    assert!(
+        rel < 0.5,
+        "general-AIMD peaks (mean {mean_peak:.1}) should approximate W̄ = {w_bar:.1}"
+    );
+}
+
+/// The gentler the multiplicative decrease, the higher the converged
+/// window — the ordering Eq. (1) demands, verified in simulation.
+#[test]
+fn gentler_decrease_keeps_larger_windows() {
+    let peak_mean = |b: f64| {
+        let mut spec = ScenarioSpec::ns2_dumbbell(1);
+        spec.rtt_lo = 0.200;
+        spec.rtt_hi = 0.200;
+        spec.tcp.aimd = AimdParams::new(1.0, b).expect("valid");
+        spec.tcp.record_cwnd = true;
+        let train = PulseTrain::new(
+            SimDuration::from_millis(100),
+            BitsPerSec::from_mbps(40.0),
+            SimDuration::from_millis(1400),
+        )
+        .expect("valid train");
+        let mut bench = spec.build().expect("builds");
+        bench.attach_pulse_attack(train, SimTime::from_secs(8), None);
+        bench.run_until(SimTime::from_secs(60));
+        let sender = bench
+            .sim
+            .agent_as::<TcpSender>(bench.flows[0].sender)
+            .expect("sender");
+        let samples: Vec<f64> = sender
+            .cwnd_trace()
+            .iter()
+            .filter(|s| s.at >= SimTime::from_secs(30))
+            .map(|s| s.cwnd)
+            .collect();
+        samples.iter().sum::<f64>() / samples.len().max(1) as f64
+    };
+    let standard = peak_mean(0.5);
+    let gentle = peak_mean(0.8);
+    assert!(
+        gentle > standard,
+        "gentler decrease must hold more window: b=0.5 -> {standard:.1}, b=0.8 -> {gentle:.1}"
+    );
+}

@@ -1,0 +1,60 @@
+//! Integration tests for distributed (multi-source) pulsing: the aggregate
+//! of synchronized bots behaves like one big attacker, while staggered
+//! bots dilute the pulse amplitude and lose the PDoS effect — pulse
+//! *concentration*, not just average volume, is what hurts TCP.
+
+use pdos::prelude::*;
+
+fn degradation_with(
+    n_sources: u32,
+    phasing: AttackPhasing,
+) -> f64 {
+    let spec = ScenarioSpec::ns2_dumbbell(8);
+    let warm = SimTime::from_secs(6);
+    let end = SimTime::from_secs(31);
+
+    // Baseline.
+    let mut base = spec.build().expect("builds");
+    base.run_until(warm);
+    let b0 = base.goodput_bytes();
+    base.run_until(end);
+    let baseline = base.goodput_bytes() - b0;
+
+    // Attack: aggregate 30 Mbps pulses of 75 ms every 375 ms (γ = 0.4).
+    let train = PulseTrain::new(
+        SimDuration::from_millis(75),
+        BitsPerSec::from_mbps(30.0),
+        SimDuration::from_millis(300),
+    )
+    .expect("valid train");
+    let mut bench = spec.build().expect("builds");
+    bench
+        .attach_distributed_pulse_attack(train, warm, n_sources, phasing)
+        .expect("feasible distribution");
+    bench.run_until(warm);
+    let g0 = bench.goodput_bytes();
+    bench.run_until(end);
+    let attacked = bench.goodput_bytes() - g0;
+    1.0 - attacked as f64 / baseline as f64
+}
+
+#[test]
+fn synchronized_bots_equal_one_big_attacker() {
+    let single = degradation_with(1, AttackPhasing::Synchronized);
+    let botnet = degradation_with(6, AttackPhasing::Synchronized);
+    assert!(
+        (single - botnet).abs() < 0.15,
+        "synchronized sources must aggregate to the same attack: {single:.2} vs {botnet:.2}"
+    );
+    assert!(single > 0.4, "the reference attack must bite: {single:.2}");
+}
+
+#[test]
+fn staggered_bots_lose_the_pulse_concentration() {
+    let synchronized = degradation_with(8, AttackPhasing::Synchronized);
+    let staggered = degradation_with(8, AttackPhasing::Staggered);
+    assert!(
+        staggered < synchronized,
+        "staggering must dilute the damage: staggered {staggered:.2} vs synchronized {synchronized:.2}"
+    );
+}

@@ -1,0 +1,128 @@
+//! Integration tests for the two defense-side extensions: ECN marking at
+//! the RED bottleneck (the paper's §5 "enhancement to the RED algorithms"
+//! direction) and the randomized-RTO defense (§1.1), exercised in the
+//! actual TCP stack rather than only in closed form.
+
+use pdos::prelude::*;
+
+fn goodput_and_drops(spec: &ScenarioSpec, secs: u64) -> (u64, u64, u64) {
+    let mut bench = spec.build().expect("builds");
+    bench.run_until(SimTime::from_secs(secs));
+    let drops = bench.sim.link(bench.bottleneck).drops();
+    let marks = bench.sim.stats().ecn_marks;
+    (bench.goodput_bytes(), drops, marks)
+}
+
+/// With ECN negotiated, RED's early "drops" become marks: legitimate
+/// traffic keeps its throughput with far fewer lost packets.
+#[test]
+fn ecn_replaces_early_drops_with_marks() {
+    let plain = ScenarioSpec::ns2_dumbbell(8);
+    let mut ecn = ScenarioSpec::ns2_dumbbell(8);
+    ecn.tcp.ecn = true;
+
+    let (goodput_plain, drops_plain, marks_plain) = goodput_and_drops(&plain, 30);
+    let (goodput_ecn, drops_ecn, marks_ecn) = goodput_and_drops(&ecn, 30);
+
+    assert_eq!(marks_plain, 0);
+    assert!(marks_ecn > 0, "ECN run must mark");
+    assert!(
+        drops_ecn < drops_plain,
+        "marking must displace dropping: {drops_ecn} vs {drops_plain}"
+    );
+    // Throughput must not collapse (both fill most of the bottleneck).
+    let ratio = goodput_ecn as f64 / goodput_plain as f64;
+    assert!(
+        (0.8..=1.25).contains(&ratio),
+        "ECN should roughly preserve goodput, ratio {ratio:.2}"
+    );
+}
+
+/// ECN does not blunt the pulsing attack itself: the pulses overwhelm the
+/// buffer faster than the average-queue marking loop reacts, and the
+/// attack packets are not ECN-capable.
+#[test]
+fn ecn_does_not_defend_against_pulsing() {
+    let mut spec = ScenarioSpec::ns2_dumbbell(8);
+    spec.tcp.ecn = true;
+    let exp = GainExperiment::new(spec)
+        .warmup(SimDuration::from_secs(6))
+        .window(SimDuration::from_secs(20));
+    let baseline = exp.baseline_bytes().expect("baseline runs");
+    let p = exp.run_point(0.075, 30e6, 0.4, baseline).expect("runs");
+    assert!(
+        p.degradation_sim > 0.3,
+        "PDoS must still bite through ECN: {p:?}"
+    );
+}
+
+/// The randomized-RTO defense de-synchronizes the shrew lock: with the
+/// period pinned to `min_rto`, victims with stretched timers recover
+/// between pulses, so goodput improves markedly.
+#[test]
+fn randomized_rto_mitigates_shrew_lock() {
+    // A homogeneous long-RTT population: Eq. (1) gives W̄ = 1s/0.4s = 2.5
+    // segments, below the duplicate-ACK threshold, so every pulse forces a
+    // timeout and the T_AIMD = min_rto period can phase-lock it.
+    let shrew_goodput = |spread: f64| {
+        let mut spec = ScenarioSpec::ns2_dumbbell(6);
+        spec.rtt_lo = 0.40;
+        spec.rtt_hi = 0.42;
+        spec.tcp.rto_rand_spread = spread;
+        spec.tcp.rto_rand_seed = 11;
+        let mut bench = spec.build().expect("builds");
+        // Shrew attack: strong 50 ms pulses every min_rto = 1 s.
+        let train = PulseTrain::new(
+            SimDuration::from_millis(50),
+            BitsPerSec::from_mbps(50.0),
+            SimDuration::from_millis(950),
+        )
+        .expect("valid train");
+        bench.attach_pulse_attack(train, SimTime::from_secs(6), None);
+        bench.run_until(SimTime::from_secs(6));
+        let before = bench.goodput_bytes();
+        bench.run_until(SimTime::from_secs(46));
+        bench.goodput_bytes() - before
+    };
+
+    let locked = shrew_goodput(0.0);
+    let randomized = shrew_goodput(1.5);
+    assert!(
+        randomized as f64 > locked as f64 * 1.1,
+        "randomizing the RTO must recover goodput under a shrew lock: {locked} -> {randomized}"
+    );
+}
+
+/// But the same defense barely moves an AIMD-based attack, whose timing
+/// never references the RTO — the paper's §1.1 argument for studying the
+/// AIMD attack in the first place.
+#[test]
+fn randomized_rto_does_not_stop_aimd_attack() {
+    let aimd_goodput = |spread: f64| {
+        let mut spec = ScenarioSpec::ns2_dumbbell(8);
+        spec.tcp.rto_rand_spread = spread;
+        spec.tcp.rto_rand_seed = 11;
+        let mut bench = spec.build().expect("builds");
+        // Off-harmonic AIMD attack: period 0.42 s (not min_rto/n), strong
+        // enough to keep windows clamped via fast recovery.
+        let train = PulseTrain::new(
+            SimDuration::from_millis(75),
+            BitsPerSec::from_mbps(30.0),
+            SimDuration::from_millis(345),
+        )
+        .expect("valid train");
+        bench.attach_pulse_attack(train, SimTime::from_secs(6), None);
+        bench.run_until(SimTime::from_secs(6));
+        let before = bench.goodput_bytes();
+        bench.run_until(SimTime::from_secs(36));
+        bench.goodput_bytes() - before
+    };
+
+    let plain = aimd_goodput(0.0);
+    let randomized = aimd_goodput(1.5);
+    let improvement = randomized as f64 / plain as f64;
+    assert!(
+        improvement < 1.5,
+        "randomized RTO must not be a real defense against the AIMD attack: x{improvement:.2}"
+    );
+}

@@ -1,0 +1,154 @@
+//! Integration tests for the gain model (Figs. 6–9 behaviour): the
+//! measured gain curve has the analytical shape — zero at both ends, a
+//! single broad interior maximum near γ*, degradation monotone in γ.
+
+use pdos::prelude::*;
+
+fn experiment(n_flows: usize) -> GainExperiment {
+    GainExperiment::new(ScenarioSpec::ns2_dumbbell(n_flows))
+        .warmup(SimDuration::from_secs(8))
+        .window(SimDuration::from_secs(25))
+}
+
+#[test]
+fn degradation_increases_with_gamma() {
+    let exp = experiment(6);
+    let sweep = exp
+        .sweep(0.075, 30e6, &[0.15, 0.45, 0.85])
+        .expect("sweep runs");
+    assert_eq!(sweep.points.len(), 3);
+    let d: Vec<f64> = sweep.points.iter().map(|p| p.degradation_sim).collect();
+    assert!(
+        d[0] < d[2],
+        "higher normalized rate must hurt more: {d:?}"
+    );
+    // All points cause real damage.
+    assert!(d.iter().all(|&x| x > 0.1), "every point degrades: {d:?}");
+}
+
+#[test]
+fn gain_has_interior_maximum() {
+    // The gain G = Γ(1−γ) must fall at γ → 1 even though Γ keeps rising:
+    // the stealth factor wins. This is the defining shape of Figs. 6–9.
+    let exp = experiment(6);
+    let sweep = exp
+        .sweep(0.075, 30e6, &[0.15, 0.35, 0.6, 0.95])
+        .expect("sweep runs");
+    let g: Vec<f64> = sweep.points.iter().map(|p| p.g_sim).collect();
+    let max = g.iter().cloned().fold(f64::MIN, f64::max);
+    assert!(
+        g[3] < max * 0.8,
+        "gain must collapse near γ=1 (stealth factor): {g:?}"
+    );
+    assert!(max > 0.2, "interior gain must be substantial: {g:?}");
+    // The maximum is not at the last point.
+    let argmax = g
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+        .unwrap()
+        .0;
+    assert!(argmax < 3, "maximum should be interior: {g:?}");
+}
+
+#[test]
+fn measured_optimum_near_analytic_gamma_star() {
+    let exp = experiment(8);
+    let victims = ScenarioSpec::ns2_dumbbell(8).victims();
+    let c = c_psi(&victims, 0.075, 30e6).expect("valid parameters");
+    let gs = gamma_star(c, RiskPreference::NEUTRAL);
+    // Probe the predicted optimum and two distant points.
+    let probe = [0.1_f64.max(gs / 3.0), gs, (gs * 2.5).min(0.95)];
+    let sweep = exp.sweep(0.075, 30e6, &probe).expect("sweep runs");
+    let g: Vec<f64> = sweep.points.iter().map(|p| p.g_sim).collect();
+    // The predicted optimum must beat at least the far-right point, and
+    // the overall winner must not be the rightmost point (stealth loss).
+    assert!(
+        g[1] > g[2],
+        "gain at γ* = {gs:.2} should beat γ = {:.2}: {g:?}",
+        probe[2]
+    );
+}
+
+#[test]
+fn more_flows_raise_c_psi_and_shift_optimum_right() {
+    // Analytical cross-check wired through the scenario bridge: more
+    // victim flows -> larger C_Ψ -> larger γ* (harder to hurt everyone
+    // stealthily). Matches the panel progression in Figs. 6–9.
+    let c15 = c_psi(&ScenarioSpec::ns2_dumbbell(15).victims(), 0.075, 30e6).unwrap();
+    let c45 = c_psi(&ScenarioSpec::ns2_dumbbell(45).victims(), 0.075, 30e6).unwrap();
+    assert!(c45 > c15);
+    assert!(
+        gamma_star(c45, RiskPreference::NEUTRAL) > gamma_star(c15, RiskPreference::NEUTRAL)
+    );
+}
+
+#[test]
+fn flooding_baseline_is_total_but_loud() {
+    // γ ≈ 1 (flooding): near-total denial of service — and exactly the
+    // regime the PDoS attacker avoids because the risk factor vanishes.
+    let spec = ScenarioSpec::ns2_dumbbell(6);
+    let exp = GainExperiment::new(spec.clone())
+        .warmup(SimDuration::from_secs(8))
+        .window(SimDuration::from_secs(20));
+    let baseline = exp.baseline_bytes().expect("baseline runs");
+
+    let mut bench = spec.build().expect("builds");
+    bench.attach_flood_attack(
+        BitsPerSec::from_mbps(30.0),
+        SimTime::from_secs(8),
+        None,
+    );
+    bench.run_until(SimTime::from_secs(8));
+    let before = bench.goodput_bytes();
+    bench.run_until(SimTime::from_secs(28));
+    let flooded = bench.goodput_bytes() - before;
+
+    let degradation = 1.0 - flooded as f64 / baseline as f64;
+    assert!(
+        degradation > 0.9,
+        "a 2x-capacity flood must annihilate TCP, got {degradation:.2}"
+    );
+}
+
+/// The model's fairness prediction holds in simulation: an attack skews
+/// the per-flow goodput distribution (Jain's index falls) because
+/// short-RTT flows recover between pulses while long-RTT flows cannot.
+#[test]
+fn attack_amplifies_rtt_unfairness() {
+    let spec = ScenarioSpec::ns2_dumbbell(10);
+    let warm = SimTime::from_secs(8);
+    let end = SimTime::from_secs(33);
+
+    let per_flow = |attacked: bool| -> Vec<f64> {
+        let mut bench = spec.build().expect("builds");
+        if attacked {
+            let train = PulseTrain::new(
+                SimDuration::from_millis(75),
+                BitsPerSec::from_mbps(30.0),
+                SimDuration::from_millis(625),
+            )
+            .expect("valid train");
+            bench.attach_pulse_attack(train, warm, None);
+        }
+        bench.run_until(warm);
+        let before = bench.goodput_per_flow();
+        bench.run_until(end);
+        bench
+            .goodput_per_flow()
+            .iter()
+            .zip(&before)
+            .map(|(&a, &b)| (a - b) as f64)
+            .collect()
+    };
+
+    let fair_base = jain_index(&per_flow(false));
+    let fair_attacked = jain_index(&per_flow(true));
+    assert!(
+        fair_attacked < fair_base,
+        "the attack must skew shares toward short-RTT flows: {fair_base:.3} -> {fair_attacked:.3}"
+    );
+    // And the direction matches the analytic prediction.
+    let p = predicted_fairness(&spec.victims());
+    assert!(p.under_attack < p.baseline);
+}

@@ -1,0 +1,78 @@
+//! Integration test for Limited Transmit (RFC 3042): keeping the ACK
+//! clock alive lets small-window victims reach fast retransmit instead of
+//! timing out — shifting reactions from TO to FR under a pulsing attack.
+
+use pdos::prelude::*;
+
+fn reactions(limited_transmit: bool) -> (u64, u64, u64) {
+    let mut spec = ScenarioSpec::ns2_dumbbell(8);
+    spec.tcp.limited_transmit = limited_transmit;
+    let mut bench = spec.build().expect("builds");
+    let train = PulseTrain::new(
+        SimDuration::from_millis(75),
+        BitsPerSec::from_mbps(30.0),
+        SimDuration::from_millis(625), // T = 0.7 s, off the shrew harmonics
+    )
+    .expect("valid train");
+    bench.attach_pulse_attack(train, SimTime::from_secs(6), None);
+    bench.run_until(SimTime::from_secs(36));
+    (
+        bench.total_timeouts(),
+        bench.total_fast_recoveries(),
+        bench.goodput_bytes(),
+    )
+}
+
+#[test]
+fn limited_transmit_shifts_timeouts_toward_fast_recovery() {
+    let (to_base, fr_base, _) = reactions(false);
+    let (to_lt, fr_lt, _) = reactions(true);
+    let share = |to: u64, fr: u64| to as f64 / (to + fr).max(1) as f64;
+    assert!(
+        share(to_lt, fr_lt) < share(to_base, fr_base),
+        "RFC 3042 must lower the timeout share: base {to_base}/{fr_base} vs LT {to_lt}/{fr_lt}"
+    );
+}
+
+/// SACK's value shows on large windows: each pulse knocks several holes
+/// into the window, which NewReno repairs one partial-ACK RTT at a time
+/// while SACK repairs them in parallel; stacking Limited Transmit on top
+/// keeps small post-drop windows out of timeout entirely.
+#[test]
+fn sack_and_limited_transmit_speed_multi_loss_recovery() {
+    let run = |sack: bool, lt: bool| {
+        let mut spec = ScenarioSpec::ns2_dumbbell(2);
+        spec.rtt_lo = 0.15;
+        spec.rtt_hi = 0.16;
+        spec.tcp.sack = sack;
+        spec.tcp.limited_transmit = lt;
+        let mut bench = spec.build().expect("builds");
+        let train = PulseTrain::new(
+            SimDuration::from_millis(60),
+            BitsPerSec::from_mbps(40.0),
+            SimDuration::from_millis(1940),
+        )
+        .expect("valid train");
+        bench.attach_pulse_attack(train, SimTime::from_secs(6), None);
+        bench.run_until(SimTime::from_secs(6));
+        let g0 = bench.goodput_bytes();
+        bench.run_until(SimTime::from_secs(46));
+        (bench.goodput_bytes() - g0, bench.total_timeouts())
+    };
+    let (good_plain, to_plain) = run(false, false);
+    let (good_sack, to_sack) = run(true, false);
+    let (good_both, to_both) = run(true, true);
+
+    assert!(
+        good_sack as f64 > good_plain as f64 * 1.05,
+        "SACK must recover goodput: {good_plain} -> {good_sack}"
+    );
+    assert!(
+        good_both > good_sack,
+        "adding Limited Transmit must help further: {good_sack} -> {good_both}"
+    );
+    assert!(
+        to_both < to_plain,
+        "SACK+LT must cut timeouts: {to_plain} -> {to_both} (SACK alone: {to_sack})"
+    );
+}

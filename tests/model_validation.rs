@@ -1,0 +1,128 @@
+//! End-to-end validation of Lemma 2 (Eq. 9): in the FR-dominant regime
+//! the aggregate victim throughput under attack matches the closed form
+//! `a(1+b)·T²·S/(2d(1−b)) · (N−1) · Σ1/RTT²` to within a small factor.
+
+use pdos::prelude::*;
+
+/// Parameters chosen so the model's assumptions hold: homogeneous
+/// moderate RTTs (converged window W̄ = T/RTT ≈ 13 segments — plenty of
+/// dup-ACKs for fast recovery), long off-harmonic period, pulses strong
+/// enough to hit every flow.
+#[test]
+fn lemma2_aggregate_matches_in_fr_regime() {
+    let mut spec = ScenarioSpec::ns2_dumbbell(4);
+    spec.rtt_lo = 0.100;
+    spec.rtt_hi = 0.115;
+    // SACK + Limited Transmit keep the victims in the FR regime the
+    // model assumes.
+    spec.tcp.sack = true;
+    spec.tcp.limited_transmit = true;
+    let t_aimd = 1.4; // off the 1 s min-RTO harmonics
+
+    let mut bench = spec.build().expect("builds");
+    // Pulse width below RTT/2 so each pulse causes exactly one loss event
+    // per flow (one FR, one multiplicative decrease) — the model's unit
+    // of damage. Wider pulses at this rate cause double decreases and
+    // timeouts (over-gain, ratio ~0.4); weaker pulses miss flows
+    // (under-gain, ratio ~2).
+    let train = PulseTrain::new(
+        SimDuration::from_millis(40),
+        BitsPerSec::from_mbps(50.0),
+        SimDuration::from_secs_f64(t_aimd - 0.040),
+    )
+    .expect("valid train");
+    bench.attach_pulse_attack(train, SimTime::from_secs(10), None);
+
+    // Skip the transient (< 10 pulses), measure 20 whole periods.
+    let measure_from = SimTime::from_secs_f64(10.0 + 8.0 * t_aimd);
+    let n_periods = 20u32;
+    let measure_to =
+        measure_from + SimDuration::from_secs_f64(t_aimd * f64::from(n_periods));
+    bench.run_until(measure_from);
+    let before = bench.goodput_bytes();
+    bench.run_until(measure_to);
+    let measured = (bench.goodput_bytes() - before) as f64;
+
+    // Eq. (9) with N−1 = measured periods.
+    let victims = spec.victims();
+    let predicted = psi_attack(&victims, n_periods as usize + 1, t_aimd);
+
+    let ratio = measured / predicted;
+    assert!(
+        (0.75..=1.55).contains(&ratio),
+        "Lemma 2 aggregate: measured {measured:.0} vs predicted {predicted:.0} (ratio {ratio:.2})"
+    );
+    // And the FR count confirms the regime: about one recovery per flow
+    // per pulse, essentially no timeouts.
+    assert!(bench.total_timeouts() < 6, "FR regime expected");
+}
+
+/// Lemma 1's premise measured: without an attack the victims fill the
+/// bottleneck, so Ψ_normal ≈ R_bottle·(N−1)·T/8 within ~15%.
+#[test]
+fn lemma1_normal_throughput_matches() {
+    let spec = ScenarioSpec::ns2_dumbbell(10);
+    let mut bench = spec.build().expect("builds");
+    let t_aimd = 2.0;
+    let n_periods = 15u32;
+    bench.run_until(SimTime::from_secs(10));
+    let before = bench.goodput_bytes();
+    bench.run_until(SimTime::from_secs_f64(10.0 + t_aimd * f64::from(n_periods)));
+    let measured = (bench.goodput_bytes() - before) as f64;
+    let predicted = psi_normal(15e6, n_periods as usize + 1, t_aimd);
+    let ratio = measured / predicted;
+    assert!(
+        (0.8..=1.05).contains(&ratio),
+        "Lemma 1: measured {measured:.0} vs predicted {predicted:.0} (ratio {ratio:.2})"
+    );
+}
+
+/// Putting Lemmas 1 and 2 together: the measured Γ at a normal-gain
+/// operating point lands within ±0.25 of Prop. 2's prediction.
+#[test]
+fn prop2_degradation_matches_at_normal_gain_point() {
+    let mut spec = ScenarioSpec::ns2_dumbbell(4);
+    spec.rtt_lo = 0.100;
+    spec.rtt_hi = 0.115;
+    spec.tcp.sack = true;
+    spec.tcp.limited_transmit = true;
+
+    let exp = GainExperiment::new(spec.clone())
+        .warmup(SimDuration::from_secs(10))
+        .window(SimDuration::from_secs(28));
+    let baseline = exp.baseline_bytes().expect("baseline runs");
+    // γ chosen for a ~1.4 s period with the 40 ms / 50 Mbps pulses.
+    let gamma = 50e6 * 0.040 / (15e6 * 1.4);
+    let p = exp
+        .run_point(0.040, 50e6, gamma, baseline)
+        .expect("point runs");
+    assert!(
+        (p.degradation_sim - p.degradation_analytic).abs() < 0.25,
+        "Prop. 2 at a normal-gain point: model {:.2} vs measured {:.2}",
+        p.degradation_analytic,
+        p.degradation_sim
+    );
+}
+
+/// Robustness: with 1% ambient random loss on the bottleneck (a lossy
+/// path, Dummynet's `plr`), the attack still dominates the damage and
+/// the gain curve keeps its shape.
+#[test]
+fn attack_dominates_ambient_loss() {
+    let mut spec = ScenarioSpec::ns2_dumbbell(6);
+    spec.bottleneck_loss = 0.01;
+    let exp = GainExperiment::new(spec)
+        .warmup(SimDuration::from_secs(8))
+        .window(SimDuration::from_secs(20));
+    let baseline = exp.baseline_bytes().expect("baseline runs");
+    assert!(baseline > 0);
+    let weak = exp.run_point(0.075, 30e6, 0.15, baseline).expect("runs");
+    let strong = exp.run_point(0.075, 30e6, 0.6, baseline).expect("runs");
+    assert!(
+        strong.degradation_sim > weak.degradation_sim,
+        "monotonicity survives ambient loss: {:.2} vs {:.2}",
+        weak.degradation_sim,
+        strong.degradation_sim
+    );
+    assert!(strong.degradation_sim > 0.5, "{strong:?}");
+}

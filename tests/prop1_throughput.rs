@@ -1,0 +1,82 @@
+//! Integration test for Proposition 1 (Eq. 2): the steady-phase victim
+//! throughput per attack period matches the analytic
+//! `a(1+b)/(2d(1−b))·(T_AIMD/RTT)²` packet count, end to end.
+
+use pdos::prelude::*;
+use pdos::tcp::sink::TcpSink;
+
+#[test]
+fn steady_phase_throughput_matches_eq2() {
+    let mut spec = ScenarioSpec::ns2_dumbbell(1);
+    spec.rtt_lo = 0.200;
+    spec.rtt_hi = 0.200;
+    let t_aimd = 2.0;
+
+    let mut bench = spec.build().expect("builds");
+    let train = PulseTrain::new(
+        SimDuration::from_millis(100),
+        BitsPerSec::from_mbps(40.0),
+        SimDuration::from_millis(1900),
+    )
+    .expect("valid train");
+    bench.attach_pulse_attack(train, SimTime::from_secs(10), None);
+
+    // Let the transient die out (< 10 pulses per the paper), then measure
+    // 15 whole periods.
+    bench.run_until(SimTime::from_secs(30));
+    let sink_id = bench.flows[0].sink;
+    let before = bench
+        .sim
+        .agent_as::<TcpSink>(sink_id)
+        .expect("sink")
+        .goodput_bytes();
+    bench.run_until(SimTime::from_secs(60));
+    let after = bench
+        .sim
+        .agent_as::<TcpSink>(sink_id)
+        .expect("sink")
+        .goodput_bytes();
+    let measured_packets = (after - before) as f64 / 1000.0;
+
+    // Eq. (2) steady term: a(1+b)/(2d(1−b)) · (T/RTT)² per period.
+    let per_period = 1.0 * 1.5 / (2.0 * 2.0 * 0.5) * (t_aimd / 0.200_f64).powi(2);
+    let expected = per_period * 15.0;
+    assert!((per_period - 75.0).abs() < 1e-9);
+
+    let ratio = measured_packets / expected;
+    assert!(
+        (0.5..=1.5).contains(&ratio),
+        "steady-phase throughput: measured {measured_packets:.0} packets vs Eq. (2) {expected:.0} (ratio {ratio:.2})"
+    );
+}
+
+/// A ramping schedule (the §2.1 general form) escalates the damage pulse
+/// by pulse: the second half of the ramp hurts more than the first.
+#[test]
+fn ramp_schedule_escalates_damage() {
+    let spec = ScenarioSpec::ns2_dumbbell(6);
+    let mut bench = spec.build().expect("builds");
+    let sched = PulseSchedule::ramp(
+        SimDuration::from_millis(75),
+        SimDuration::from_millis(425),
+        BitsPerSec::from_mbps(5.0),
+        BitsPerSec::from_mbps(60.0),
+        40, // 20 s of ramp at 0.5 s periods
+    )
+    .expect("valid ramp");
+    bench.attach_pulse_schedule(sched, SimTime::from_secs(6));
+
+    bench.run_until(SimTime::from_secs(6));
+    let g0 = bench.goodput_bytes();
+    bench.run_until(SimTime::from_secs(16)); // weak half of the ramp
+    let g1 = bench.goodput_bytes();
+    bench.run_until(SimTime::from_secs(26)); // strong half
+    let g2 = bench.goodput_bytes();
+
+    let weak_half = g1 - g0;
+    let strong_half = g2 - g1;
+    assert!(
+        strong_half < weak_half * 3 / 4,
+        "the ramp's strong half must hurt more: weak {weak_half} vs strong {strong_half}"
+    );
+}

@@ -1,0 +1,104 @@
+//! Integration tests for §4.1.3 (shrew interaction) and the related
+//! defense claims of §1.1.
+
+use pdos::prelude::*;
+
+fn experiment() -> GainExperiment {
+    GainExperiment::new(ScenarioSpec::ns2_dumbbell(8))
+        .warmup(SimDuration::from_secs(5))
+        .window(SimDuration::from_secs(25))
+}
+
+/// At `T_AIMD = min_rto` the measured gain exceeds the analytical value by
+/// far more than at a nearby off-harmonic period — Fig. 10's 'O' markers.
+#[test]
+fn shrew_point_beats_analysis() {
+    let exp = experiment();
+    let baseline = exp.baseline_bytes().expect("baseline runs");
+    let (t_extent, r_attack) = (0.05, 50e6);
+    // γ for T_AIMD = 1.0 s (the ns-2 min RTO): γ = 50e6·0.05/(15e6·1.0).
+    let gamma_shrew = 50e6 * 0.05 / (15e6 * 1.0);
+    let shrew = exp
+        .run_point(t_extent, r_attack, gamma_shrew, baseline)
+        .expect("shrew point runs");
+    assert_eq!(shrew.shrew, Some(1), "period must sit on the fundamental");
+    assert!(
+        shrew.g_sim > shrew.g_analytic + 0.15,
+        "shrew point must out-perform the FR-only analysis: sim {:.3} vs analytic {:.3}",
+        shrew.g_sim,
+        shrew.g_analytic
+    );
+}
+
+/// Timeouts dominate the victim reaction at the shrew point; fast
+/// recoveries dominate at a long off-harmonic period.
+#[test]
+fn shrew_locks_victims_into_timeout() {
+    let exp = experiment();
+    let baseline = exp.baseline_bytes().expect("baseline runs");
+    let (t_extent, r_attack) = (0.05, 50e6);
+    let gamma_for = |t_aimd: f64| 50e6 * 0.05 / (15e6 * t_aimd);
+
+    let shrew = exp
+        .run_point(t_extent, r_attack, gamma_for(1.0), baseline)
+        .expect("runs");
+    let gentle = exp
+        .run_point(t_extent, r_attack, gamma_for(2.6), baseline)
+        .expect("runs");
+
+    let shrew_to_rate = shrew.timeouts as f64 / (shrew.timeouts + shrew.fast_recoveries).max(1) as f64;
+    let gentle_to_rate =
+        gentle.timeouts as f64 / (gentle.timeouts + gentle.fast_recoveries).max(1) as f64;
+    assert!(
+        shrew_to_rate > gentle_to_rate,
+        "shrew period must push a larger share of reactions into timeout: {shrew_to_rate:.2} vs {gentle_to_rate:.2}"
+    );
+}
+
+/// The timeout-aware model extension predicts at least as much damage as
+/// the FR-only model, and strictly more at the shrew point.
+#[test]
+fn timeout_extension_covers_shrew_points() {
+    let victims = ScenarioSpec::ns2_dumbbell(8).victims();
+    let model = TimeoutModel::default();
+
+    // Shrew period T = 1 s: the extension predicts strictly *less* victim
+    // throughput than the FR-only Lemma 2 (long-RTT flows lock into
+    // timeout), i.e. strictly more damage before any clamping.
+    let psi_fr = psi_attack(&victims, 101, 1.0);
+    let psi_ext = model.psi_attack_ext(&victims, 101, 1.0);
+    // (The drop is small for mixed RTTs: Σ1/RTT² is dominated by the
+    // short-RTT flows that stay in FR.)
+    assert!(
+        psi_ext < psi_fr,
+        "extension must predict less victim throughput at the shrew point: {psi_ext:.0} vs {psi_fr:.0}"
+    );
+    // And the clamped degradation never goes the wrong way.
+    let gamma = 50e6 * 0.05 / (15e6 * 1.0);
+    let c = c_psi(&victims, 0.05, 50e6).expect("valid");
+    assert!(model.degradation_ext(&victims, 1.0) >= degradation(gamma, c));
+
+    // For an all-long-RTT population the clamp releases and the extended
+    // degradation is strictly positive where the FR model still says 0.
+    let long_rtts = VictimSet::new(1.0, 0.5, 2.0, 1000.0, 15e6, vec![0.46; 8]).expect("valid");
+    let ext = model.degradation_ext(&long_rtts, 1.0);
+    assert!(
+        ext > 0.5,
+        "an all-long-RTT population shrew-locks almost completely: {ext:.3}"
+    );
+}
+
+/// Randomizing the minimum RTO (the Yang et al. defense) breaks the shrew
+/// lock analytically, but is declared — and is — irrelevant to the
+/// AIMD-based attack.
+#[test]
+fn randomized_rto_defense_scope() {
+    let fixed = RandomizedRtoPolicy::fixed(1.0);
+    let randomized = RandomizedRtoPolicy::new(1.0, 1.5).expect("valid policy");
+    // Shrew-locked hit probability collapses with randomization.
+    assert_eq!(fixed.shrew_hit_probability(1.0, 0.05), 1.0);
+    assert!(randomized.shrew_hit_probability(1.0, 0.05) < 0.1);
+    // Neither policy claims to defend the AIMD-based attack.
+    assert!(!fixed.defends_aimd_attack());
+    assert!(!randomized.defends_aimd_attack());
+}

@@ -1,0 +1,75 @@
+//! Integration test: the Kuzmanovic & Knightly double-dip — victim
+//! throughput under a pulsing attack has a local minimum exactly at
+//! `T_AIMD = min_rto`, unlike the smooth AIMD gain curve.
+
+use pdos::prelude::*;
+
+fn normalized_throughput(period_ms: u64) -> f64 {
+    let mut spec = ScenarioSpec::ns2_dumbbell(6);
+    spec.rtt_lo = 0.080;
+    spec.rtt_hi = 0.100;
+    let warm = SimTime::from_secs(6);
+    let end = SimTime::from_secs(36);
+
+    let mut base = spec.build().expect("builds");
+    base.run_until(warm);
+    let b0 = base.goodput_bytes();
+    base.run_until(end);
+    let baseline = (base.goodput_bytes() - b0) as f64;
+
+    let train = PulseTrain::new(
+        SimDuration::from_millis(50),
+        BitsPerSec::from_mbps(50.0),
+        SimDuration::from_millis(period_ms - 50),
+    )
+    .expect("valid train");
+    let mut bench = spec.build().expect("builds");
+    bench.attach_pulse_attack(train, warm, None);
+    bench.run_until(warm);
+    let g0 = bench.goodput_bytes();
+    bench.run_until(end);
+    (bench.goodput_bytes() - g0) as f64 / baseline
+}
+
+#[test]
+fn throughput_dips_at_the_min_rto_null() {
+    let before = normalized_throughput(900);
+    let null = normalized_throughput(1000);
+    let after = normalized_throughput(1300);
+    assert!(
+        null < before && null < after,
+        "T = min_rto must be a local minimum: rho(0.9)={before:.3}, rho(1.0)={null:.3}, rho(1.3)={after:.3}"
+    );
+}
+
+#[test]
+fn long_periods_recover_throughput() {
+    let tight = normalized_throughput(1000);
+    let loose = normalized_throughput(3000);
+    assert!(
+        loose > 2.0 * tight,
+        "tripling the period off the null must recover substantially: {tight:.3} -> {loose:.3}"
+    );
+}
+
+#[test]
+fn model_and_simulation_agree_the_null_is_the_minimum() {
+    // The fluid model ρ(T) ignores the slow-start ramp, so it overstates
+    // recovery away from the nulls; but both model and simulation must
+    // place the *minimum* of the probe set at T = min_rto.
+    let probes = [900u64, 1000, 1300];
+    let model: Vec<f64> = probes
+        .iter()
+        .map(|&t| shrew_throughput(t as f64 / 1000.0, 1.0))
+        .collect();
+    let sim: Vec<f64> = probes.iter().map(|&t| normalized_throughput(t)).collect();
+    let argmin = |v: &[f64]| {
+        v.iter()
+            .enumerate()
+            .min_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+            .expect("non-empty")
+            .0
+    };
+    assert_eq!(argmin(&model), 1, "model places the null at T=1 s: {model:?}");
+    assert_eq!(argmin(&sim), 1, "simulation agrees: {sim:?}");
+}

@@ -1,0 +1,123 @@
+//! Integration tests for §2.3 / Fig. 3: the quasi-global synchronization
+//! period equals the attack period, in both of the paper's environments.
+
+use pdos::prelude::*;
+
+/// Scaled Fig. 3(a): the ns-2 environment, 50 ms pulses at 100 Mbps every
+/// 2 s. The paper counts 30 pinnacles in 60 s; we use a 30 s window and
+/// expect ~15.
+#[test]
+fn fig3a_ns2_sync_period_is_2s() {
+    let spec = ScenarioSpec::ns2_dumbbell(12);
+    let train = PulseTrain::new(
+        SimDuration::from_millis(50),
+        BitsPerSec::from_mbps(100.0),
+        SimDuration::from_millis(1950),
+    )
+    .expect("valid train");
+    let result = SyncExperiment::new(spec)
+        .warmup(SimDuration::from_secs(5))
+        .window(SimDuration::from_secs(30))
+        .run(train)
+        .expect("experiment runs");
+
+    assert_eq!(result.expected_period, 2.0);
+    assert!(
+        (13..=17).contains(&result.peaks),
+        "30 s / 2 s = 15 pinnacles expected, got {}",
+        result.peaks
+    );
+    let peak_period = result.period_from_peaks.expect("peaks found");
+    assert!(
+        (peak_period - 2.0).abs() < 0.35,
+        "peak-count period {peak_period:.2} != 2 s"
+    );
+    let ac_period = result.period_from_autocorr.expect("autocorrelation works");
+    assert!(
+        (ac_period - 2.0).abs() < 0.25,
+        "autocorrelation period {ac_period:.2} != 2 s"
+    );
+}
+
+/// Scaled Fig. 3(b): the test-bed environment, 100 ms pulses at 50 Mbps
+/// every 2.5 s (the paper counts 24 pinnacles in 60 s; we use 25 s -> 10).
+#[test]
+fn fig3b_testbed_sync_period_is_2_5s() {
+    let spec = ScenarioSpec::testbed();
+    let train = PulseTrain::new(
+        SimDuration::from_millis(100),
+        BitsPerSec::from_mbps(50.0),
+        SimDuration::from_millis(2400),
+    )
+    .expect("valid train");
+    let result = SyncExperiment::new(spec)
+        .warmup(SimDuration::from_secs(8))
+        .window(SimDuration::from_secs(25))
+        .run(train)
+        .expect("experiment runs");
+
+    assert_eq!(result.expected_period, 2.5);
+    assert!(
+        (8..=12).contains(&result.peaks),
+        "25 s / 2.5 s = 10 pinnacles expected, got {}",
+        result.peaks
+    );
+    let ac_period = result.period_from_autocorr.expect("autocorrelation works");
+    assert!(
+        (ac_period - 2.5).abs() < 0.35,
+        "autocorrelation period {ac_period:.2} != 2.5 s"
+    );
+}
+
+/// The synchronization is caused by the attack: the same series processed
+/// the same way shows a *different* period when the attack period changes.
+#[test]
+fn sync_period_follows_attack_period() {
+    let run = |space_ms: u64| {
+        let spec = ScenarioSpec::ns2_dumbbell(8);
+        let train = PulseTrain::new(
+            SimDuration::from_millis(50),
+            BitsPerSec::from_mbps(100.0),
+            SimDuration::from_millis(space_ms),
+        )
+        .expect("valid train");
+        SyncExperiment::new(spec)
+            .warmup(SimDuration::from_secs(5))
+            .window(SimDuration::from_secs(24))
+            .run(train)
+            .expect("experiment runs")
+    };
+    let fast = run(950); // period 1 s
+    let slow = run(2950); // period 3 s
+    let fast_p = fast.period_from_autocorr.expect("fast period");
+    let slow_p = slow.period_from_autocorr.expect("slow period");
+    assert!((fast_p - 1.0).abs() < 0.2, "got {fast_p}");
+    assert!((slow_p - 3.0).abs() < 0.4, "got {slow_p}");
+}
+
+/// The bottleneck queue itself oscillates at the attack period: depth
+/// samples show the same dominant lag as the incoming traffic.
+#[test]
+fn queue_depth_oscillates_at_the_attack_period() {
+    let spec = ScenarioSpec::ns2_dumbbell(8);
+    let mut bench = spec.build().expect("builds");
+    let train = PulseTrain::new(
+        SimDuration::from_millis(50),
+        BitsPerSec::from_mbps(100.0),
+        SimDuration::from_millis(1950),
+    )
+    .expect("valid train");
+    bench.attach_pulse_attack(train, SimTime::from_secs(5), None);
+    bench.run_until(SimTime::from_secs(5));
+    let bin = SimDuration::from_millis(50);
+    let depths = bench.run_sampling_depth(SimTime::from_secs(29), bin);
+    let series: Vec<f64> = depths.iter().map(|&d| d as f64).collect();
+    let lag = dominant_lag(&series, 4, series.len() / 2).expect("periodic queue");
+    let period = lag as f64 * bin.as_secs_f64();
+    assert!(
+        (period - 2.0).abs() < 0.3,
+        "queue depth period {period:.2} s should equal T_AIMD = 2 s"
+    );
+    // The buffer actually fills during pulses.
+    assert!(*depths.iter().max().unwrap() > 30, "pulses must fill the queue");
+}
