@@ -114,7 +114,10 @@ mod tests {
     #[test]
     fn classes_partition_kappa() {
         assert_eq!(RiskPreference::new(2.0).unwrap().class(), RiskClass::Averse);
-        assert_eq!(RiskPreference::new(1.0).unwrap().class(), RiskClass::Neutral);
+        assert_eq!(
+            RiskPreference::new(1.0).unwrap().class(),
+            RiskClass::Neutral
+        );
         assert_eq!(RiskPreference::new(0.5).unwrap().class(), RiskClass::Loving);
         assert_eq!(RiskPreference::new(0.0).unwrap().class(), RiskClass::Loving);
         assert_eq!(RiskPreference::NEUTRAL.kappa(), 1.0);
@@ -189,9 +192,15 @@ mod tests {
 
     #[test]
     fn display_names_class() {
-        assert!(RiskPreference::new(2.0).unwrap().to_string().contains("risk-averse"));
+        assert!(RiskPreference::new(2.0)
+            .unwrap()
+            .to_string()
+            .contains("risk-averse"));
         assert!(RiskPreference::NEUTRAL.to_string().contains("risk-neutral"));
-        assert!(RiskPreference::new(0.1).unwrap().to_string().contains("risk-loving"));
+        assert!(RiskPreference::new(0.1)
+            .unwrap()
+            .to_string()
+            .contains("risk-loving"));
     }
 
     proptest::proptest! {

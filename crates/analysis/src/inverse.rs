@@ -8,8 +8,8 @@
 //! exponent — i.e. *how risk-averse this attacker is* — which in turn
 //! predicts how they will respond to a defense that changes `C_Ψ`.
 
-use crate::optimize::gamma_star;
 use crate::gain::RiskPreference;
+use crate::optimize::gamma_star;
 
 /// Recovers the resilience constant from one measured operating point using
 /// Prop. 2: `Γ = 1 − C_Ψ/γ  ⇒  C_Ψ = γ·(1 − Γ)`.

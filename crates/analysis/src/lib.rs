@@ -44,10 +44,10 @@
 
 pub mod fairness;
 pub mod gain;
+pub mod inverse;
 pub mod model;
 pub mod optimize;
 pub mod params;
-pub mod inverse;
 pub mod period;
 pub mod sensitivity;
 pub mod shrew_model;
@@ -59,7 +59,12 @@ pub mod prelude {
     pub use crate::fairness::{
         attack_shares, baseline_shares, jain_index, predicted_fairness, FairnessPrediction,
     };
-    pub use crate::gain::{attack_gain, attack_gain_measured, gain_curve, RiskClass, RiskPreference};
+    pub use crate::gain::{
+        attack_gain, attack_gain_measured, gain_curve, RiskClass, RiskPreference,
+    };
+    pub use crate::inverse::{
+        c_psi_from_observation, infer_kappa, profile_attacker, AttackerProfile,
+    };
     pub use crate::model::{
         c_psi, c_victim, converged_window, degradation, gamma_from_mu, mu_from_gamma, psi_attack,
         psi_attack_exact, psi_normal, transient_error,
@@ -69,9 +74,10 @@ pub mod prelude {
         solve, DamagePlan, OptimalAttack,
     };
     pub use crate::params::{spread_rtts, ParamError, VictimSet};
-    pub use crate::inverse::{c_psi_from_observation, infer_kappa, profile_attacker, AttackerProfile};
     pub use crate::period::{autocorrelation, count_peaks, dominant_lag, period_from_peak_count};
-    pub use crate::sensitivity::{c_psi_elasticities, parameter_what_if, gamma_star_elasticity, CpsiElasticities, WhatIfRow};
+    pub use crate::sensitivity::{
+        c_psi_elasticities, gamma_star_elasticity, parameter_what_if, CpsiElasticities, WhatIfRow,
+    };
     pub use crate::shrew_model::{shrew_curve, shrew_degradation, shrew_throughput};
     pub use crate::timeout_ext::{FlowRegime, TimeoutModel};
     pub use crate::timeseries::{mean, paa, standardize, std_dev, zero_mean};

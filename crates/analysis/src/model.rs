@@ -26,7 +26,15 @@ pub fn converged_window(a: f64, b: f64, d: f64, t_aimd: f64, rtt: f64) -> f64 {
 ///
 /// Returns the first `n` window values `W_1..W_n` (values *just before*
 /// each attack epoch).
-pub fn window_trajectory(a: f64, b: f64, d: f64, t_aimd: f64, rtt: f64, w1: f64, n: usize) -> Vec<f64> {
+pub fn window_trajectory(
+    a: f64,
+    b: f64,
+    d: f64,
+    t_aimd: f64,
+    rtt: f64,
+    w1: f64,
+    n: usize,
+) -> Vec<f64> {
     let gain_per_period = (a / d) * (t_aimd / rtt);
     let mut w = Vec::with_capacity(n);
     let mut cur = w1;
@@ -41,7 +49,15 @@ pub fn window_trajectory(a: f64, b: f64, d: f64, t_aimd: f64, rtt: f64, w1: f64,
 /// `w1` to within `tol` (relative) of the converged value `W̄` (used as
 /// `N_attack` in Proposition 1). The paper notes fewer than 10 pulses
 /// suffice for standard TCP.
-pub fn pulses_to_converge(a: f64, b: f64, d: f64, t_aimd: f64, rtt: f64, w1: f64, tol: f64) -> usize {
+pub fn pulses_to_converge(
+    a: f64,
+    b: f64,
+    d: f64,
+    t_aimd: f64,
+    rtt: f64,
+    w1: f64,
+    tol: f64,
+) -> usize {
     let w_bar = converged_window(a, b, d, t_aimd, rtt);
     let mut cur = w1;
     let gain_per_period = (a / d) * (t_aimd / rtt);
@@ -256,8 +272,7 @@ mod tests {
         assert!((converged_window(1.0, 0.5, 2.0, 2.0, 0.2) - 10.0).abs() < 1e-12);
         // Larger b (gentler decrease) -> larger converged window.
         assert!(
-            converged_window(1.0, 0.875, 2.0, 2.0, 0.2)
-                > converged_window(1.0, 0.5, 2.0, 2.0, 0.2)
+            converged_window(1.0, 0.875, 2.0, 2.0, 0.2) > converged_window(1.0, 0.5, 2.0, 2.0, 0.2)
         );
     }
 
@@ -266,7 +281,12 @@ mod tests {
         let (a, b, d, t, rtt) = (1.0, 0.5, 2.0, 2.0, 0.1);
         let w_bar = converged_window(a, b, d, t, rtt);
         let w = window_trajectory(a, b, d, t, rtt, 100.0, 50);
-        assert!((w[49] - w_bar).abs() < 1e-6, "W_50 = {} vs W̄ = {}", w[49], w_bar);
+        assert!(
+            (w[49] - w_bar).abs() < 1e-6,
+            "W_50 = {} vs W̄ = {}",
+            w[49],
+            w_bar
+        );
         // Fixed point is invariant.
         let w2 = window_trajectory(a, b, d, t, rtt, w_bar, 5);
         assert!(w2.iter().all(|wi| (wi - w_bar).abs() < 1e-9));
@@ -285,9 +305,7 @@ mod tests {
         let w_bar = converged_window(a, b, d, t, rtt);
         let n = 101;
         let psi = throughput_under_attack_per_flow(a, b, d, t, rtt, s, w_bar, n, 0.01);
-        let steady = a * (1.0 + b) / (2.0 * d * (1.0 - b)) * (t / rtt).powi(2)
-            * (n - 1) as f64
-            * s;
+        let steady = a * (1.0 + b) / (2.0 * d * (1.0 - b)) * (t / rtt).powi(2) * (n - 1) as f64 * s;
         let rel = (psi - steady).abs() / steady;
         assert!(rel < 0.02, "psi {psi} vs steady {steady}");
     }
@@ -296,8 +314,7 @@ mod tests {
     fn prop1_transient_adds_throughput_for_large_initial_window() {
         let (a, b, d, t, rtt, s) = (1.0, 0.5, 2.0, 2.0, 0.1, 1000.0);
         let w_bar = converged_window(a, b, d, t, rtt);
-        let from_converged =
-            throughput_under_attack_per_flow(a, b, d, t, rtt, s, w_bar, 100, 0.01);
+        let from_converged = throughput_under_attack_per_flow(a, b, d, t, rtt, s, w_bar, 100, 0.01);
         let from_large =
             throughput_under_attack_per_flow(a, b, d, t, rtt, s, 10.0 * w_bar, 100, 0.01);
         assert!(from_large > from_converged);

@@ -353,9 +353,7 @@ mod tests {
     fn infeasible_damage_targets_rejected() {
         let v = VictimSet::paper_ns2(25);
         // Γ -> 1 requires flooding (here already Γ = 0.8 needs γ > 1).
-        assert!(
-            plan_for_degradation(&v, 0.075, 30e6, 0.8, RiskPreference::NEUTRAL).is_err()
-        );
+        assert!(plan_for_degradation(&v, 0.075, 30e6, 0.8, RiskPreference::NEUTRAL).is_err());
         // Degenerate targets rejected outright.
         assert!(plan_for_degradation(&v, 0.075, 30e6, 0.0, RiskPreference::NEUTRAL).is_err());
         assert!(plan_for_degradation(&v, 0.075, 30e6, 1.0, RiskPreference::NEUTRAL).is_err());

@@ -126,7 +126,7 @@ impl TimeoutModel {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::model::{degradation, c_psi};
+    use crate::model::{c_psi, degradation};
 
     fn victims() -> VictimSet {
         VictimSet::paper_ns2(15)
@@ -136,20 +136,14 @@ mod tests {
     fn comfortable_windows_stay_in_fr() {
         let m = TimeoutModel::default();
         // Long period, short RTT: W̄ large.
-        assert_eq!(
-            m.regime(&victims(), 2.0, 0.020),
-            FlowRegime::FastRecovery
-        );
+        assert_eq!(m.regime(&victims(), 2.0, 0.020), FlowRegime::FastRecovery);
     }
 
     #[test]
     fn short_periods_push_long_rtt_flows_into_timeout() {
         let m = TimeoutModel::default();
         // T_AIMD = 0.3 s, RTT = 460 ms: W̄ = 0.3/0.46 < 1.
-        assert_eq!(
-            m.regime(&victims(), 0.3, 0.460),
-            FlowRegime::TimeoutBound
-        );
+        assert_eq!(m.regime(&victims(), 0.3, 0.460), FlowRegime::TimeoutBound);
     }
 
     #[test]

@@ -238,7 +238,11 @@ impl PulseSchedule {
         assert!(n > 0, "need at least one pulse");
         let pulses = (0..n)
             .map(|i| {
-                let f = if n == 1 { 0.0 } else { i as f64 / (n - 1) as f64 };
+                let f = if n == 1 {
+                    0.0
+                } else {
+                    i as f64 / (n - 1) as f64
+                };
                 let rate = BitsPerSec::from_bps(
                     start_rate.as_bps() + (end_rate.as_bps() - start_rate.as_bps()) * f,
                 );

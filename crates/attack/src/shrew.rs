@@ -145,8 +145,14 @@ mod tests {
     #[test]
     fn classification_rejects_off_harmonics() {
         let rto = SimDuration::from_secs(1);
-        assert_eq!(classify_shrew(SimDuration::from_millis(700), rto, 5, 0.05), None);
-        assert_eq!(classify_shrew(SimDuration::from_millis(1500), rto, 5, 0.05), None);
+        assert_eq!(
+            classify_shrew(SimDuration::from_millis(700), rto, 5, 0.05),
+            None
+        );
+        assert_eq!(
+            classify_shrew(SimDuration::from_millis(1500), rto, 5, 0.05),
+            None
+        );
         assert_eq!(classify_shrew(SimDuration::ZERO, rto, 5, 0.05), None);
     }
 

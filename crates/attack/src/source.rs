@@ -55,7 +55,10 @@ impl PulseSource {
         packet_size: Bytes,
         max_pulses: Option<u64>,
     ) -> Self {
-        assert!(packet_size != Bytes::ZERO, "attack packet size must be positive");
+        assert!(
+            packet_size != Bytes::ZERO,
+            "attack packet size must be positive"
+        );
         let gap = train.rate().tx_time(packet_size);
         let packets_per_pulse = train.packets_per_pulse(packet_size);
         PulseSource {
@@ -106,7 +109,10 @@ impl PulseSource {
         self.emit(ctx);
         self.in_pulse_idx += 1;
         if self.in_pulse_idx < self.packets_per_pulse {
-            ctx.timer_at(self.pulse_start + self.gap.saturating_mul(self.in_pulse_idx), 0);
+            ctx.timer_at(
+                self.pulse_start + self.gap.saturating_mul(self.in_pulse_idx),
+                0,
+            );
         } else {
             // Pulse complete; line up the next one.
             self.stats.pulses_completed += 1;
@@ -165,13 +171,11 @@ impl SchedulePulseSource {
     /// # Panics
     ///
     /// Panics if `packet_size` is zero.
-    pub fn new(
-        schedule: PulseSchedule,
-        flow: FlowId,
-        target: NodeId,
-        packet_size: Bytes,
-    ) -> Self {
-        assert!(packet_size != Bytes::ZERO, "attack packet size must be positive");
+    pub fn new(schedule: PulseSchedule, flow: FlowId, target: NodeId, packet_size: Bytes) -> Self {
+        assert!(
+            packet_size != Bytes::ZERO,
+            "attack packet size must be positive"
+        );
         SchedulePulseSource {
             schedule,
             flow,
@@ -274,7 +278,10 @@ impl CbrSource {
         stop_at: Option<SimTime>,
     ) -> Self {
         assert!(!rate.is_zero(), "CBR rate must be positive");
-        assert!(packet_size != Bytes::ZERO, "CBR packet size must be positive");
+        assert!(
+            packet_size != Bytes::ZERO,
+            "CBR packet size must be positive"
+        );
         assert!(
             matches!(kind, PacketKind::Attack | PacketKind::Background),
             "CBR sources emit Attack or Background packets only"
@@ -365,7 +372,9 @@ mod tests {
         loop {
             for e in fx.drain(..) {
                 match e {
-                    Effect::Send(p) => out.push((out.last().map(|(t, _)| *t).unwrap_or(SimTime::ZERO), p)),
+                    Effect::Send(p) => {
+                        out.push((out.last().map(|(t, _)| *t).unwrap_or(SimTime::ZERO), p))
+                    }
                     Effect::TimerAt { at, token } => pending.push((at, token)),
                 }
             }

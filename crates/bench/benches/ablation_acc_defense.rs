@@ -10,7 +10,8 @@ fn sweep_for(queue: BottleneckQueue) -> GainSweep {
     let mut spec = ScenarioSpec::ns2_dumbbell(flows);
     spec.queue = queue;
     let exp = GainExperiment::new(spec).warmup(warmup()).window(window());
-    exp.sweep(0.075, 30e6, &standard_gammas()).expect("sweep runs")
+    exp.sweep(0.075, 30e6, &standard_gammas())
+        .expect("sweep runs")
 }
 
 fn main() {

@@ -2,14 +2,14 @@
 //! Sweeps γ and runs the flooding (rate) detector and the DTW waveform
 //! detector against the bottleneck's incoming traffic.
 
+use pdos_analysis::gain::RiskPreference;
 use pdos_attack::pulse::PulseTrain;
 use pdos_bench::fast_mode;
 use pdos_detect::prelude::*;
-use pdos_analysis::gain::RiskPreference;
 use pdos_scenarios::prelude::*;
 use pdos_sim::time::{SimDuration, SimTime};
-use pdos_sim::units::BitsPerSec;
 use pdos_sim::trace::TraceFilter;
+use pdos_sim::units::BitsPerSec;
 
 fn main() {
     println!("=== Ablation: modelled risk factor vs measured detectability ===\n");
@@ -42,8 +42,8 @@ fn main() {
         let first = (warm.as_nanos() / bin.as_nanos()) as usize;
         let bytes: Vec<u64> = bench.sim.trace(trace).bytes_per_bin()[first..].to_vec();
 
-        let rate = RateDetector::conventional(spec.bottleneck.as_bps(), bin.as_secs_f64())
-            .run(&bytes);
+        let rate =
+            RateDetector::conventional(spec.bottleneck.as_bps(), bin.as_secs_f64()).run(&bytes);
         let dtw = if (4..=bytes.len()).contains(&period_bins) {
             let on = ((t_extent / bin.as_secs_f64()).round() as usize).clamp(1, period_bins - 1);
             let series: Vec<f64> = bytes.iter().map(|&b| b as f64).collect();

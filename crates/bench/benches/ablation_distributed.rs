@@ -12,7 +12,9 @@ use pdos_sim::trace::TraceFilter;
 use pdos_sim::units::BitsPerSec;
 
 fn main() {
-    println!("=== Ablation: distributed pulsing (aggregate 30 Mbps, 75 ms pulses, gamma=0.4) ===\n");
+    println!(
+        "=== Ablation: distributed pulsing (aggregate 30 Mbps, 75 ms pulses, gamma=0.4) ===\n"
+    );
     let flows = if fast_mode() { 6 } else { 12 };
     let spec = ScenarioSpec::ns2_dumbbell(flows);
     let warm = SimTime::from_secs(8);

@@ -38,7 +38,10 @@ fn run(attacked: bool) -> ClassGoodput {
     bench.run_until(end);
     let after = bench.goodput_per_flow();
 
-    let mut out = ClassGoodput { mice: 0, elephants: 0 };
+    let mut out = ClassGoodput {
+        mice: 0,
+        elephants: 0,
+    };
     for (i, h) in bench.flows.iter().enumerate() {
         let is_mouse = bench
             .sim
@@ -68,7 +71,10 @@ fn main() {
     let hit = run(true);
     let deg = |b: u64, a: u64| 1.0 - a as f64 / b.max(1) as f64;
 
-    println!("{:>12} {:>14} {:>14} {:>14}", "class", "baseline(MB)", "attacked(MB)", "degradation");
+    println!(
+        "{:>12} {:>14} {:>14} {:>14}",
+        "class", "baseline(MB)", "attacked(MB)", "degradation"
+    );
     println!(
         "{:>12} {:>14.2} {:>14.2} {:>14.3}",
         "mice",

@@ -31,7 +31,12 @@ fn main() {
             .expect("point runs");
         println!(
             "{:>8}ms {:>7.2}s {:>10.3} {:>10.3} {:>8} {:>8}",
-            t_extent_ms, p.t_aimd, degradation(gamma, c), p.degradation_sim, p.timeouts, p.fast_recoveries
+            t_extent_ms,
+            p.t_aimd,
+            degradation(gamma, c),
+            p.degradation_sim,
+            p.timeouts,
+            p.fast_recoveries
         );
     }
     println!("\nThe FR-only model's Γ *falls* with pulse width (C_Ψ ∝ T_extent), while");

@@ -9,7 +9,8 @@ fn sweep_for(queue: BottleneckQueue) -> GainSweep {
     let mut spec = ScenarioSpec::ns2_dumbbell(flows);
     spec.queue = queue;
     let exp = GainExperiment::new(spec).warmup(warmup()).window(window());
-    exp.sweep(0.075, 30e6, &standard_gammas()).expect("sweep runs")
+    exp.sweep(0.075, 30e6, &standard_gammas())
+        .expect("sweep runs")
 }
 
 fn main() {
@@ -36,6 +37,10 @@ fn main() {
     println!("\nmean gain: RED {red_mean:.3} vs DropTail {dt_mean:.3}");
     println!(
         "paper's Sec. 5 claim (RED >= DropTail): {}",
-        if red_mean >= dt_mean - 0.02 { "HOLDS" } else { "VIOLATED" }
+        if red_mean >= dt_mean - 0.02 {
+            "HOLDS"
+        } else {
+            "VIOLATED"
+        }
     );
 }

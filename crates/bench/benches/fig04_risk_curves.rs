@@ -28,6 +28,9 @@ fn main() {
         println!("  kappa = {k:>6}: gamma* = {:.4}", gamma_star(0.15, risk));
     }
     println!("  kappa -> 0   : gamma* -> 1        (Corollary 2, risk-loving limit)");
-    println!("  kappa  = 1   : gamma* = sqrt(C)   (Corollary 3) = {:.4}", 0.15f64.sqrt());
+    println!(
+        "  kappa  = 1   : gamma* = sqrt(C)   (Corollary 3) = {:.4}",
+        0.15f64.sqrt()
+    );
     println!("  kappa -> inf : gamma* -> C_psi    (Corollary 1, risk-averse limit)");
 }

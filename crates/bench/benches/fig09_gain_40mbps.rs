@@ -1,12 +1,12 @@
 //! Figure 9: attack gain vs normalized attack rate at
 //! R_attack = 40 Mbps, four panels (15/25/35/45 TCP flows), three pulse
-//! widths (50/75/100 ms). Analytic curve (Eq. 5 + Prop. 2) vs simulation.
+//! widths (50/75/100 ms). Analytic curve (Eq. 5 + Prop. 2) vs simulation,
+//! regenerated through the parallel deterministic runner.
 
-use pdos_bench::{print_gain_panel, PANEL_FLOWS};
+use pdos_bench::run_gain_figure;
+use pdos_scenarios::figures::GainFigure;
 
 fn main() {
     println!("=== Fig. 9: gain vs gamma, R_attack = 40 Mbps ===");
-    for &flows in &PANEL_FLOWS {
-        print_gain_panel(flows, 40.0);
-    }
+    run_gain_figure(GainFigure::Fig09);
 }

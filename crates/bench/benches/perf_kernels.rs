@@ -8,8 +8,8 @@ use pdos_analysis::timeseries::paa;
 use pdos_attack::pulse::PulseTrain;
 use pdos_detect::dtw::dtw_distance;
 use pdos_scenarios::spec::ScenarioSpec;
-use pdos_sim::packet::{FlowId, Packet, PacketKind};
 use pdos_sim::node::NodeId;
+use pdos_sim::packet::{FlowId, Packet, PacketKind};
 use pdos_sim::queue::{EnqueueOutcome, QueueDiscipline, RedConfig, RedQueue};
 use pdos_sim::time::{SimDuration, SimTime};
 use pdos_sim::units::{BitsPerSec, Bytes};
@@ -88,7 +88,9 @@ fn bench_gamma_star(c: &mut Criterion) {
 
 fn bench_dtw(c: &mut Criterion) {
     let a: Vec<f64> = (0..200).map(|i| ((i % 20) as f64 / 20.0).sin()).collect();
-    let b2: Vec<f64> = (0..200).map(|i| (((i + 3) % 20) as f64 / 20.0).sin()).collect();
+    let b2: Vec<f64> = (0..200)
+        .map(|i| (((i + 3) % 20) as f64 / 20.0).sin())
+        .collect();
     c.bench_function("detect/dtw_200x200_banded", |b| {
         b.iter(|| black_box(dtw_distance(black_box(&a), black_box(&b2), Some(10))))
     });

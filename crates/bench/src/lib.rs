@@ -8,6 +8,7 @@
 //!
 //! Set `PDOS_BENCH_FAST=1` to shrink measurement windows for smoke runs.
 
+use pdos_analysis::model::c_psi;
 use pdos_scenarios::prelude::*;
 use pdos_sim::time::SimDuration;
 
@@ -52,46 +53,104 @@ pub fn experiment(n_flows: usize) -> GainExperiment {
         .window(window())
 }
 
-/// Prints one figure panel: for each pulse width, the analytic and
-/// simulated gain at each γ, plus the §4.1.1 classification.
-pub fn print_gain_panel(n_flows: usize, r_attack_mbps: f64) {
-    let exp = experiment(n_flows);
-    let r_attack = r_attack_mbps * 1e6;
-    let gammas = standard_gammas();
-    let baseline = exp
-        .baseline_bytes()
-        .expect("baseline simulation must run");
-    println!(
-        "\n--- {n_flows} TCP flows, R_attack = {r_attack_mbps} Mbps (baseline {:.2} Mbps) ---",
-        baseline as f64 * 8.0 / window().as_secs_f64() / 1e6
-    );
-    println!(
-        "{:>9} {:>6} | {:>8} {:>8} {:>8} | {:>6} {:>6}",
-        "T_extent", "gamma", "T_AIMD", "G_curve", "G_sim", "shrew", "class"
-    );
-    for &t_extent in &TEXTENTS {
-        let sweep = exp
-            .sweep_with_baseline(t_extent, r_attack, &gammas, baseline)
-            .expect("sweep must run");
-        for p in &sweep.points {
+/// The figure grid at bench resolution, honoring `PDOS_BENCH_FAST`: the
+/// full panel/width/γ enumeration with bench windows.
+pub fn figure_grid() -> FigureGrid {
+    FigureGrid {
+        flows: PANEL_FLOWS.to_vec(),
+        textents: TEXTENTS.to_vec(),
+        gammas: standard_gammas(),
+        warmup: warmup(),
+        window: window(),
+    }
+}
+
+/// Regenerates one gain figure (Figs. 6–9) through the parallel
+/// deterministic runner and prints the same panel tables the serial
+/// loops used to, plus a throughput line. `PDOS_BENCH_JOBS` overrides
+/// the worker count (default: one per CPU).
+pub fn run_gain_figure(fig: GainFigure) {
+    let jobs = std::env::var("PDOS_BENCH_JOBS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0);
+    let grid = figure_grid();
+    let specs = gain_figure_specs(fig, &grid);
+    // `FromScenario` pins the figures' scenario seeds, so the parallel
+    // sweep reproduces the historical serial tables exactly.
+    let report = SweepRunner::new(0)
+        .seed_policy(SeedPolicy::FromScenario)
+        .jobs(jobs)
+        .run(&specs);
+    print_gain_report(fig, &grid, &report);
+}
+
+fn print_gain_report(fig: GainFigure, grid: &FigureGrid, report: &SweepReport) {
+    let r_attack_mbps = fig.r_attack_mbps();
+    let per_panel = grid.textents.len() * grid.gammas.len();
+    for (panel, &n_flows) in grid.flows.iter().enumerate() {
+        let records = &report.records[panel * per_panel..(panel + 1) * per_panel];
+        let baseline = records
+            .iter()
+            .map(|r| r.baseline_bytes)
+            .find(|&b| b > 0)
+            .unwrap_or(0);
+        println!(
+            "\n--- {n_flows} TCP flows, R_attack = {r_attack_mbps} Mbps (baseline {:.2} Mbps) ---",
+            baseline as f64 * 8.0 / grid.window.as_secs_f64() / 1e6
+        );
+        println!(
+            "{:>9} {:>6} | {:>8} {:>8} {:>8} | {:>6} {:>6}",
+            "T_extent", "gamma", "T_AIMD", "G_curve", "G_sim", "shrew", "class"
+        );
+        for (width, &t_extent) in grid.textents.iter().enumerate() {
+            let n = grid.gammas.len();
+            let curve = &records[width * n..(width + 1) * n];
+            let mut pairs = Vec::with_capacity(n);
+            for r in curve {
+                match &r.outcome {
+                    RunOutcome::Point { point: p, .. } => {
+                        println!(
+                            "{:>7}ms {:>6.2} | {:>7.2}s {:>8.3} {:>8.3} | {:>6} {:>6}",
+                            (t_extent * 1000.0) as u64,
+                            p.gamma,
+                            p.t_aimd,
+                            p.g_analytic,
+                            p.g_sim,
+                            p.shrew.map(|n| n.to_string()).unwrap_or_else(|| "-".into()),
+                            p.class,
+                        );
+                        pairs.push((p.g_analytic, p.g_sim));
+                    }
+                    RunOutcome::Infeasible { reason } => {
+                        println!("  (skipped {}: {reason})", r.id);
+                    }
+                    other => panic!("{} failed: {other:?}", r.id),
+                }
+            }
+            let c = c_psi(
+                &ScenarioSpec::ns2_dumbbell(n_flows).victims(),
+                t_extent,
+                r_attack_mbps * 1e6,
+            )
+            .expect("figure parameters are valid");
             println!(
-                "{:>7}ms {:>6.2} | {:>7.2}s {:>8.3} {:>8.3} | {:>6} {:>6}",
+                "  -> sweep class ({}ms, C_psi={:.3}): {}",
                 (t_extent * 1000.0) as u64,
-                p.gamma,
-                p.t_aimd,
-                p.g_analytic,
-                p.g_sim,
-                p.shrew.map(|n| n.to_string()).unwrap_or_else(|| "-".into()),
-                p.class,
+                c,
+                GainClass::classify_sweep(&pairs, 0.12)
             );
         }
-        println!(
-            "  -> sweep class ({}ms, C_psi={:.3}): {}",
-            (t_extent * 1000.0) as u64,
-            sweep.c_psi,
-            sweep.class
-        );
     }
+    println!(
+        "\n[runner] {} runs on {} workers: wall {:.1}s, cpu {:.1}s, speedup {:.2}x, {:.2} runs/s",
+        report.records.len(),
+        report.jobs,
+        report.wall.as_secs_f64(),
+        report.cpu_time().as_secs_f64(),
+        report.cpu_time().as_secs_f64() / report.wall.as_secs_f64().max(1e-9),
+        report.runs_per_sec()
+    );
 }
 
 /// Renders a normalized series as an ASCII strip (for the Fig. 3 benches).

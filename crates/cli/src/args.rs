@@ -29,10 +29,28 @@ pub struct Args {
 
 /// Option keys every subcommand accepts, used for typo detection.
 const KNOWN_KEYS: &[&str] = &[
-    "flows", "textent-ms", "rattack-mbps", "gamma", "kappa", "points", "period-s", "window-s",
-    "seed", "queue", "csv", "capacity-mbps", "bin-ms", "min-rto-ms", "trace-out", "target-degradation",
+    "flows",
+    "textent-ms",
+    "rattack-mbps",
+    "gamma",
+    "kappa",
+    "points",
+    "period-s",
+    "window-s",
+    "seed",
+    "queue",
+    "csv",
+    "capacity-mbps",
+    "bin-ms",
+    "min-rto-ms",
+    "trace-out",
+    "target-degradation",
+    "fig",
+    "jobs",
+    "master-seed",
+    "out",
 ];
-const KNOWN_FLAGS: &[&str] = &["ecn", "droptail", "help", "testbed"];
+const KNOWN_FLAGS: &[&str] = &["ecn", "droptail", "help", "testbed", "smoke"];
 
 impl Args {
     /// Parses `argv[1..]`.

@@ -3,6 +3,7 @@
 
 use crate::args::{ArgError, Args};
 use pdos_analysis::gain::RiskPreference;
+use pdos_analysis::model::c_psi;
 use pdos_analysis::optimize::{plan_for_degradation, solve};
 use pdos_analysis::sensitivity::parameter_what_if;
 use pdos_attack::pulse::PulseTrain;
@@ -10,6 +11,8 @@ use pdos_detect::cusum::CusumDetector;
 use pdos_detect::rate::RateDetector;
 use pdos_detect::spectral::SpectralDetector;
 use pdos_scenarios::experiment::{gamma_grid, GainExperiment};
+use pdos_scenarios::figures::{gain_figure_specs, FigureGrid, GainFigure};
+use pdos_scenarios::runner::{AttackPoint, ExperimentSpec, RunOutcome, SeedPolicy, SweepRunner};
 use pdos_scenarios::spec::{BottleneckQueue, ScenarioSpec};
 use pdos_scenarios::sync::SyncExperiment;
 use pdos_sim::time::SimDuration;
@@ -36,7 +39,12 @@ COMMANDS
              --trace-out FILE (write the bottleneck's binned byte trace,
              --bin-ms B (100) wide bins, consumable by `pdos detect`)
   sweep      gamma sweep printing CSV rows (gamma,t_aimd,g_curve,g_sim,class)
-             same options as simulate, plus --points N (8)
+             same options as simulate, plus --points N (8) and --jobs N
+             (0 = one worker per CPU)
+             --fig fig06|fig07|fig08|fig09 runs a whole paper figure
+             through the parallel deterministic runner instead:
+             --jobs N (0)  --smoke (CI-sized grid)  --master-seed S (0)
+             --out FILE (write the full JSON report)
   sync       the Fig. 3 synchronization experiment
              --flows N (12)  --textent-ms T (50)  --rattack-mbps R (100)
              --period-s P (2)  --window-s W (30)
@@ -121,7 +129,9 @@ pub fn cmd_solve(args: &Args) -> Result<String, ArgError> {
         "  {:<42} {:>8} {:>8} {:>8}",
         "change", "C_psi", "gamma*", "G*"
     );
-    for row in parameter_what_if(&victims, t_extent, r_attack).map_err(|e| ArgError(e.to_string()))? {
+    for row in
+        parameter_what_if(&victims, t_extent, r_attack).map_err(|e| ArgError(e.to_string()))?
+    {
         let _ = writeln!(
             out,
             "  {:<42} {:>8.3} {:>8.3} {:>8.3}",
@@ -142,13 +152,13 @@ pub fn cmd_simulate(args: &Args) -> Result<String, ArgError> {
     let exp = GainExperiment::new(spec)
         .warmup(SimDuration::from_secs(8))
         .window(SimDuration::from_secs(window));
-    let baseline = exp
-        .baseline_bytes()
-        .map_err(|e| ArgError(e.to_string()))?;
+    let baseline = exp.baseline_bytes().map_err(|e| ArgError(e.to_string()))?;
     let trace_bin = args
         .get("trace-out")
         .map(|_| -> Result<SimDuration, ArgError> {
-            Ok(SimDuration::from_secs_f64(args.num("bin-ms", 100.0)? / 1000.0))
+            Ok(SimDuration::from_secs_f64(
+                args.num("bin-ms", 100.0)? / 1000.0,
+            ))
         })
         .transpose()?;
     let (p, bins) = exp
@@ -158,8 +168,7 @@ pub fn cmd_simulate(args: &Args) -> Result<String, ArgError> {
     let mut out = String::new();
     if let Some(path) = args.get("trace-out") {
         let body: String = bins.iter().map(|b| format!("{b}\n")).collect();
-        std::fs::write(path, body)
-            .map_err(|e| ArgError(format!("cannot write {path}: {e}")))?;
+        std::fs::write(path, body).map_err(|e| ArgError(format!("cannot write {path}: {e}")))?;
         let _ = writeln!(out, "wrote {} bins to {path}", bins.len());
     }
     let _ = writeln!(
@@ -174,46 +183,163 @@ pub fn cmd_simulate(args: &Args) -> Result<String, ArgError> {
         "baseline goodput          : {:.2} Mbps",
         baseline as f64 * 8.0 / window as f64 / 1e6
     );
-    let _ = writeln!(out, "degradation (model / sim) : {:.3} / {:.3}", p.degradation_analytic, p.degradation_sim);
-    let _ = writeln!(out, "gain        (model / sim) : {:.3} / {:.3}", p.g_analytic, p.g_sim);
-    let _ = writeln!(out, "victim timeouts / FRs     : {} / {}", p.timeouts, p.fast_recoveries);
+    let _ = writeln!(
+        out,
+        "degradation (model / sim) : {:.3} / {:.3}",
+        p.degradation_analytic, p.degradation_sim
+    );
+    let _ = writeln!(
+        out,
+        "gain        (model / sim) : {:.3} / {:.3}",
+        p.g_analytic, p.g_sim
+    );
+    let _ = writeln!(
+        out,
+        "victim timeouts / FRs     : {} / {}",
+        p.timeouts, p.fast_recoveries
+    );
     if let Some(n) = p.shrew {
-        let _ = writeln!(out, "NOTE: period sits on the shrew subharmonic min_rto/{n}");
+        let _ = writeln!(
+            out,
+            "NOTE: period sits on the shrew subharmonic min_rto/{n}"
+        );
     }
     let _ = writeln!(out, "classification            : {}", p.class);
     Ok(out)
 }
 
-/// `pdos sweep`.
+/// `pdos sweep`: a γ sweep as CSV, or — with `--fig` — a whole paper
+/// figure through the parallel deterministic runner with a JSON report.
 pub fn cmd_sweep(args: &Args) -> Result<String, ArgError> {
+    if args.get("fig").is_some() {
+        return cmd_sweep_figure(args);
+    }
     let spec = spec_of(args, 15)?;
     let t_extent = args.num("textent-ms", 75.0)? / 1000.0;
     let r_attack = args.num("rattack-mbps", 30.0)? * 1e6;
     let points: usize = args.num("points", 8)?;
     let window: u64 = args.num("window-s", 30)?;
+    let jobs: usize = args.num("jobs", 0)?;
     if points < 2 {
         return Err(ArgError("--points must be at least 2".into()));
     }
 
-    let exp = GainExperiment::new(spec)
-        .warmup(SimDuration::from_secs(8))
-        .window(SimDuration::from_secs(window));
-    let baseline = exp
-        .baseline_bytes()
-        .map_err(|e| ArgError(e.to_string()))?;
-    let sweep = exp
-        .sweep_parallel(t_extent, r_attack, &gamma_grid(0.08, 0.92, points), baseline)
-        .map_err(|e| ArgError(e.to_string()))?;
+    // Enumerate the grid as specs and fan it out; `FromScenario` keeps the
+    // CSV identical to the historical serial loop at any worker count.
+    let warmup = SimDuration::from_secs(8);
+    let window = SimDuration::from_secs(window);
+    let specs: Vec<ExperimentSpec> = gamma_grid(0.08, 0.92, points)
+        .into_iter()
+        .map(|gamma| {
+            ExperimentSpec::attacked(
+                format!("sweep/g{gamma:.3}"),
+                spec.clone(),
+                AttackPoint {
+                    t_extent,
+                    r_attack,
+                    gamma,
+                },
+            )
+            .warmup(warmup)
+            .window(window)
+        })
+        .collect();
+    let report = SweepRunner::new(0)
+        .seed_policy(SeedPolicy::FromScenario)
+        .jobs(jobs)
+        .run(&specs);
+    if let Some(rec) = report.records.iter().find_map(|r| match &r.outcome {
+        RunOutcome::Failed { reason } => Some(format!("{}: {reason}", r.id)),
+        _ => None,
+    }) {
+        return Err(ArgError(rec));
+    }
 
+    let c = c_psi(&spec.victims(), t_extent, r_attack).map_err(|e| ArgError(e.to_string()))?;
     let mut out = String::from("gamma,t_aimd_s,g_curve,g_sim,degradation_sim,timeouts,class\n");
-    for p in &sweep.points {
+    let points_measured = report.points();
+    for p in &points_measured {
         let _ = writeln!(
             out,
             "{:.3},{:.3},{:.4},{:.4},{:.4},{},{}",
             p.gamma, p.t_aimd, p.g_analytic, p.g_sim, p.degradation_sim, p.timeouts, p.class
         );
     }
-    let _ = writeln!(out, "# C_psi = {:.4}, sweep class = {}", sweep.c_psi, sweep.class);
+    let pairs: Vec<(f64, f64)> = points_measured
+        .iter()
+        .map(|p| (p.g_analytic, p.g_sim))
+        .collect();
+    let class = pdos_scenarios::classify::GainClass::classify_sweep(&pairs, 0.12);
+    let _ = writeln!(out, "# C_psi = {c:.4}, sweep class = {class}");
+    Ok(out)
+}
+
+/// `pdos sweep --fig figNN`: one gain figure through the runner.
+fn cmd_sweep_figure(args: &Args) -> Result<String, ArgError> {
+    let fig_name = args.get("fig").unwrap_or_default();
+    let fig = GainFigure::from_name(fig_name).ok_or_else(|| {
+        ArgError(format!(
+            "--fig must be one of fig06, fig07, fig08, fig09; got '{fig_name}'"
+        ))
+    })?;
+    let jobs: usize = args.num("jobs", 0)?;
+    let grid = if args.flag("smoke") {
+        FigureGrid::smoke()
+    } else {
+        FigureGrid::full()
+    };
+    // Without --master-seed the figures' pinned scenario seeds are kept
+    // (the paper-exact sweep); with it, every run gets an independent
+    // seed derived from master seed + spec hash.
+    let (master_seed, policy) = match args.get("master-seed") {
+        None => (0, SeedPolicy::FromScenario),
+        Some(_) => (args.num("master-seed", 0u64)?, SeedPolicy::Derived),
+    };
+    let specs = gain_figure_specs(fig, &grid);
+    let report = SweepRunner::new(master_seed)
+        .seed_policy(policy)
+        .jobs(jobs)
+        .run(&specs);
+
+    let mut out = String::new();
+    let (mut ok, mut infeasible, mut failed) = (0usize, 0usize, 0usize);
+    for r in &report.records {
+        match &r.outcome {
+            RunOutcome::Point { .. } => ok += 1,
+            RunOutcome::Benign { .. } => {}
+            RunOutcome::Infeasible { .. } => infeasible += 1,
+            RunOutcome::Failed { reason } => {
+                failed += 1;
+                let _ = writeln!(out, "FAILED {}: {reason}", r.id);
+            }
+        }
+    }
+    let _ = writeln!(
+        out,
+        "{}: {} runs ({} ok, {} infeasible, {} failed) on {} workers",
+        fig.name(),
+        report.records.len(),
+        ok,
+        infeasible,
+        failed,
+        report.jobs
+    );
+    let _ = writeln!(
+        out,
+        "wall {:.2} s, cpu {:.2} s, speedup {:.2}x, {:.2} runs/s",
+        report.wall.as_secs_f64(),
+        report.cpu_time().as_secs_f64(),
+        report.cpu_time().as_secs_f64() / report.wall.as_secs_f64().max(1e-9),
+        report.runs_per_sec()
+    );
+    if let Some(path) = args.get("out") {
+        std::fs::write(path, report.to_json())
+            .map_err(|e| ArgError(format!("cannot write {path}: {e}")))?;
+        let _ = writeln!(out, "report written to {path}");
+    }
+    if failed > 0 {
+        return Err(ArgError(format!("{failed} runs failed:\n{out}")));
+    }
     Ok(out)
 }
 
@@ -229,12 +355,8 @@ pub fn cmd_sync(args: &Args) -> Result<String, ArgError> {
     if period <= extent {
         return Err(ArgError("--period-s must exceed --textent-ms".into()));
     }
-    let train = PulseTrain::new(
-        extent,
-        BitsPerSec::from_mbps(r_attack),
-        period - extent,
-    )
-    .map_err(|e| ArgError(e.to_string()))?;
+    let train = PulseTrain::new(extent, BitsPerSec::from_mbps(r_attack), period - extent)
+        .map_err(|e| ArgError(e.to_string()))?;
     let result = SyncExperiment::new(spec)
         .warmup(SimDuration::from_secs(8))
         .window(SimDuration::from_secs(window))
@@ -242,7 +364,11 @@ pub fn cmd_sync(args: &Args) -> Result<String, ArgError> {
         .map_err(|e| ArgError(e.to_string()))?;
 
     let mut out = String::new();
-    let _ = writeln!(out, "attack period              : {:.2} s", result.expected_period);
+    let _ = writeln!(
+        out,
+        "attack period              : {:.2} s",
+        result.expected_period
+    );
     let _ = writeln!(out, "pinnacles in {window} s           : {}", result.peaks);
     if let Some(p) = result.period_from_peaks {
         let _ = writeln!(out, "period from peak count     : {p:.2} s");
@@ -260,8 +386,8 @@ pub fn cmd_detect(args: &Args) -> Result<String, ArgError> {
         .ok_or_else(|| ArgError("missing required option --csv".into()))?;
     let capacity = args.require_num::<f64>("capacity-mbps")? * 1e6;
     let bin_ms: f64 = args.num("bin-ms", 100.0)?;
-    let text = std::fs::read_to_string(path)
-        .map_err(|e| ArgError(format!("cannot read {path}: {e}")))?;
+    let text =
+        std::fs::read_to_string(path).map_err(|e| ArgError(format!("cannot read {path}: {e}")))?;
     let bytes = parse_trace(&text)?;
     if bytes.is_empty() {
         return Err(ArgError(format!("{path} contains no samples")));
@@ -295,7 +421,12 @@ pub fn detect_report(bytes: &[u64], capacity_bps: f64, bin_secs: f64) -> String 
     let spectral = SpectralDetector::new(2, max_period, 12.0).sweep(&series);
 
     let mut out = String::new();
-    let _ = writeln!(out, "samples: {} bins of {:.0} ms", bytes.len(), bin_secs * 1000.0);
+    let _ = writeln!(
+        out,
+        "samples: {} bins of {:.0} ms",
+        bytes.len(),
+        bin_secs * 1000.0
+    );
     let _ = writeln!(
         out,
         "volume detector   : {} (final EWMA utilization {:.3})",
@@ -320,10 +451,16 @@ pub fn detect_report(bytes: &[u64], capacity_bps: f64, bin_secs: f64) -> String 
     let calib = (bytes.len() / 4).clamp(2, 100);
     let on_mean = CusumDetector::new(calib, 0.5, 8.0).scan(bytes);
     let dispersion: Vec<u64> = bytes.windows(2).map(|w| w[0].abs_diff(w[1])).collect();
-    let on_dispersion = CusumDetector::new(calib.min(dispersion.len().saturating_sub(1).max(2)), 0.5, 8.0)
-        .scan(&dispersion);
+    let on_dispersion = CusumDetector::new(
+        calib.min(dispersion.len().saturating_sub(1).max(2)),
+        0.5,
+        8.0,
+    )
+    .scan(&dispersion);
     let describe = |rep: &pdos_detect::cusum::CusumReport| match (rep.detected, rep.onset_bin) {
-        (true, Some(onset)) => format!("CHANGE at ~{:.1} s into the trace", onset as f64 * bin_secs),
+        (true, Some(onset)) => {
+            format!("CHANGE at ~{:.1} s into the trace", onset as f64 * bin_secs)
+        }
         _ => "no shift".to_string(),
     };
     let _ = writeln!(out, "cusum (volume)    : {}", describe(&on_mean));
@@ -469,9 +606,7 @@ mod tests {
     fn simulate_trace_out_roundtrips_into_detect() {
         let path = std::env::temp_dir().join("pdos_cli_trace_test.txt");
         let path_s = path.to_str().expect("utf8 temp path");
-        let cmd = format!(
-            "simulate --flows 4 --gamma 0.4 --window-s 8 --trace-out {path_s}"
-        );
+        let cmd = format!("simulate --flows 4 --gamma 0.4 --window-s 8 --trace-out {path_s}");
         let out = run(&parse(&cmd)).unwrap();
         assert!(out.contains("wrote"), "{out}");
         let detect_cmd = format!("detect --csv {path_s} --capacity-mbps 15 --bin-ms 100");
@@ -508,6 +643,36 @@ mod tests {
         .unwrap();
         assert!(out.starts_with("gamma,"), "{out}");
         assert!(out.lines().count() >= 3, "{out}");
+    }
+
+    #[test]
+    fn sweep_csv_is_identical_at_any_job_count() {
+        let base = "sweep --flows 3 --points 2 --window-s 5 --textent-ms 75 --rattack-mbps 30";
+        let serial = run(&parse(&format!("{base} --jobs 1"))).unwrap();
+        let parallel = run(&parse(&format!("{base} --jobs 4"))).unwrap();
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn sweep_fig_smoke_runs_and_writes_report() {
+        let out_path = std::env::temp_dir().join("pdos-cli-test-fig06.json");
+        let out = run(&parse(&format!(
+            "sweep --fig fig06 --smoke --jobs 2 --out {}",
+            out_path.display()
+        )))
+        .unwrap();
+        assert!(out.contains("fig06: 4 runs"), "{out}");
+        assert!(out.contains("runs/s"), "{out}");
+        let json = std::fs::read_to_string(&out_path).unwrap();
+        std::fs::remove_file(&out_path).ok();
+        assert!(json.contains("\"seed_policy\":\"from-scenario\""), "{json}");
+        assert!(json.contains("\"status\":\"ok\""), "{json}");
+    }
+
+    #[test]
+    fn sweep_fig_rejects_unknown_figure() {
+        let e = run(&parse("sweep --fig fig42 --smoke")).unwrap_err();
+        assert!(e.to_string().contains("fig06"), "{e}");
     }
 
     #[test]

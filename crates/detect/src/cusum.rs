@@ -116,7 +116,11 @@ mod tests {
         (0..n)
             .map(|i| {
                 let noise = ((i * 2654435761) % 7) as u64;
-                if i >= step_at { base + jump + noise } else { base + noise }
+                if i >= step_at {
+                    base + jump + noise
+                } else {
+                    base + noise
+                }
             })
             .collect()
     }
@@ -155,7 +159,11 @@ mod tests {
         let s: Vec<u64> = (0..400)
             .map(|i| {
                 let noise = ((i * 48271) % 100) as u64; // sd ~ 29
-                if i >= 200 { 1008 + noise } else { 1000 + noise }
+                if i >= 200 {
+                    1008 + noise
+                } else {
+                    1000 + noise
+                }
             })
             .collect();
         let rep = CusumDetector::conventional().scan(&s);

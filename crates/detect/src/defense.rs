@@ -169,7 +169,9 @@ mod tests {
     #[test]
     fn policy_admits_it_cannot_stop_aimd_attacks() {
         assert!(!RandomizedRtoPolicy::fixed(1.0).defends_aimd_attack());
-        assert!(!RandomizedRtoPolicy::new(1.0, 3.0).unwrap().defends_aimd_attack());
+        assert!(!RandomizedRtoPolicy::new(1.0, 3.0)
+            .unwrap()
+            .defends_aimd_attack());
     }
 
     proptest::proptest! {

@@ -35,15 +35,17 @@ pub fn dtw_distance(a: &[f64], b: &[f64], band: Option<usize>) -> f64 {
         return f64::INFINITY;
     }
     // Effective band must at least cover the diagonal slope.
-    let w = band
-        .map(|w| w.max(n.abs_diff(m)))
-        .unwrap_or(usize::MAX);
+    let w = band.map(|w| w.max(n.abs_diff(m))).unwrap_or(usize::MAX);
     let mut prev = vec![f64::INFINITY; m + 1];
     let mut cur = vec![f64::INFINITY; m + 1];
     prev[0] = 0.0;
     for i in 1..=n {
         cur.fill(f64::INFINITY);
-        let lo = if w == usize::MAX { 1 } else { i.saturating_sub(w).max(1) };
+        let lo = if w == usize::MAX {
+            1
+        } else {
+            i.saturating_sub(w).max(1)
+        };
         let hi = if w == usize::MAX { m } else { (i + w).min(m) };
         for j in lo..=hi {
             let d = a[i - 1] - b[j - 1];
@@ -104,7 +106,12 @@ impl DtwPulseDetector {
     ///
     /// Panics when the template shape is degenerate (see
     /// [`pulse_template`]) or `threshold` is not positive.
-    pub fn new(period_samples: usize, on_samples: usize, threshold: f64, band: Option<usize>) -> Self {
+    pub fn new(
+        period_samples: usize,
+        on_samples: usize,
+        threshold: f64,
+        band: Option<usize>,
+    ) -> Self {
         assert!(threshold > 0.0, "threshold must be positive");
         DtwPulseDetector {
             template: pulse_template(period_samples, on_samples),
@@ -224,7 +231,10 @@ mod tests {
         let flat: Vec<f64> = (0..400).map(|i| 5.0 + 0.01 * ((i % 7) as f64)).collect();
         let det = DtwPulseDetector::new(40, 2, 0.5, Some(4));
         let rep = det.sweep(&flat);
-        assert!(!rep.detected, "flat traffic must not look like pulses: {rep:?}");
+        assert!(
+            !rep.detected,
+            "flat traffic must not look like pulses: {rep:?}"
+        );
     }
 
     #[test]

@@ -188,7 +188,13 @@ mod tests {
     fn low_duty_cycle_pulses_evade() {
         // Full-rate bin every 20 bins (duty cycle 5%) — the PDoS regime.
         let series: Vec<u64> = (0..200)
-            .map(|i| if i % 20 == 0 { bin_bytes(3.0) } else { bin_bytes(0.3) })
+            .map(|i| {
+                if i % 20 == 0 {
+                    bin_bytes(3.0)
+                } else {
+                    bin_bytes(0.3)
+                }
+            })
             .collect();
         let report = detector().run(&series);
         assert!(
@@ -201,7 +207,13 @@ mod tests {
     fn high_duty_cycle_pulses_are_caught() {
         // Attack bins 4 out of every 5 (duty cycle 80% at full overload).
         let series: Vec<u64> = (0..200)
-            .map(|i| if i % 5 != 0 { bin_bytes(2.0) } else { bin_bytes(0.5) })
+            .map(|i| {
+                if i % 5 != 0 {
+                    bin_bytes(2.0)
+                } else {
+                    bin_bytes(0.5)
+                }
+            })
             .collect();
         let report = detector().run(&series);
         assert!(report.detected);

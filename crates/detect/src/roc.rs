@@ -82,7 +82,11 @@ mod tests {
         (0..400u64)
             .map(|i| {
                 let base = 10_000 + mix(i, salt) % 2_000;
-                if i % period == 0 { base + 40_000 } else { base }
+                if i % period == 0 {
+                    base + 40_000
+                } else {
+                    base
+                }
             })
             .collect()
     }
@@ -95,18 +99,28 @@ mod tests {
 
     fn spectral_at(threshold: f64, trace: &[u64]) -> bool {
         let series: Vec<f64> = trace.iter().map(|&b| b as f64).collect();
-        SpectralDetector::new(5, 80, threshold).sweep(&series).detected
+        SpectralDetector::new(5, 80, threshold)
+            .sweep(&series)
+            .detected
     }
 
     #[test]
     fn spectral_detector_separates_cleanly() {
         let (benign, attacked) = traces();
-        let points = roc_curve(&benign, &attacked, &[5.0, 10.0, 20.0, 40.0, 80.0], spectral_at);
+        let points = roc_curve(
+            &benign,
+            &attacked,
+            &[5.0, 10.0, 20.0, 40.0, 80.0],
+            spectral_at,
+        );
         let a = auc(&points);
         assert!(a > 0.9, "clean pulse trains should separate: AUC {a:.2}");
         // At some threshold the detector is simultaneously sensitive and
         // specific.
-        assert!(points.iter().any(|p| p.tpr > 0.9 && p.fpr < 0.2), "{points:?}");
+        assert!(
+            points.iter().any(|p| p.tpr > 0.9 && p.fpr < 0.2),
+            "{points:?}"
+        );
     }
 
     #[test]

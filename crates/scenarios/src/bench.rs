@@ -2,8 +2,8 @@
 //! attacker host, and measurement hooks.
 
 use pdos_analysis::params::VictimSet;
-use pdos_attack::pulse::{PulseError, PulseTrain};
 use pdos_attack::pulse::PulseSchedule;
+use pdos_attack::pulse::{PulseError, PulseTrain};
 use pdos_attack::source::{CbrSource, PulseSource, SchedulePulseSource};
 use pdos_sim::agent::AgentId;
 use pdos_sim::engine::Simulator;
@@ -156,7 +156,10 @@ impl Testbench {
                 self.attack_packet,
                 None,
             ));
-            ids.push(self.sim.attach_agent_at(self.attacker_node, src, start + offset));
+            ids.push(
+                self.sim
+                    .attach_agent_at(self.attacker_node, src, start + offset),
+            );
         }
         Ok(ids)
     }

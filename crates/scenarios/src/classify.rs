@@ -78,7 +78,10 @@ mod tests {
     #[test]
     fn sweep_classification_uses_mean() {
         let balanced = vec![(0.5, 0.6), (0.5, 0.4), (0.5, 0.5)];
-        assert_eq!(GainClass::classify_sweep(&balanced, 0.05), GainClass::Normal);
+        assert_eq!(
+            GainClass::classify_sweep(&balanced, 0.05),
+            GainClass::Normal
+        );
         let under = vec![(0.5, 0.3), (0.6, 0.35), (0.4, 0.3)];
         assert_eq!(GainClass::classify_sweep(&under, 0.05), GainClass::Under);
         let over = vec![(0.3, 0.55), (0.4, 0.6)];

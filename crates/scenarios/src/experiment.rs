@@ -175,11 +175,39 @@ impl GainExperiment {
     ///
     /// Returns [`ExperimentError::Build`] when the topology fails to build.
     pub fn baseline_bytes(&self) -> Result<u64, ExperimentError> {
+        Ok(self.baseline_traced(None)?.0)
+    }
+
+    /// Like [`GainExperiment::baseline_bytes`], but optionally records the
+    /// bottleneck's incoming-traffic bins over the measurement window —
+    /// the benign-trace source for detector ROC studies.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExperimentError::Build`] when the topology fails to build.
+    pub fn baseline_traced(
+        &self,
+        trace_bin: Option<SimDuration>,
+    ) -> Result<(u64, Vec<u64>), ExperimentError> {
         let mut bench = self.spec.build()?;
+        let trace = trace_bin.map(|bin| {
+            (
+                bench.trace_bottleneck(pdos_sim::trace::TraceFilter::All, bin),
+                bin,
+            )
+        });
         bench.run_until(SimTime::ZERO + self.warmup);
         let before = bench.goodput_bytes();
         bench.run_until(self.end());
-        Ok(bench.goodput_bytes() - before)
+        let bytes = bench.goodput_bytes() - before;
+        let bins = trace
+            .map(|(id, bin)| {
+                let first = (self.warmup.as_nanos() / bin.as_nanos()) as usize;
+                bench.sim.trace(id).bytes_per_bin()[first.min(bench.sim.trace(id).n_bins())..]
+                    .to_vec()
+            })
+            .unwrap_or_default();
+        Ok((bytes, bins))
     }
 
     /// Runs one attacked point given a precomputed baseline.
@@ -227,7 +255,12 @@ impl GainExperiment {
         let c = c_psi(&self.spec.victims(), t_extent, r_attack)?;
 
         let mut bench = self.spec.build()?;
-        let trace = trace_bin.map(|bin| (bench.trace_bottleneck(pdos_sim::trace::TraceFilter::All, bin), bin));
+        let trace = trace_bin.map(|bin| {
+            (
+                bench.trace_bottleneck(pdos_sim::trace::TraceFilter::All, bin),
+                bin,
+            )
+        });
         bench.attach_pulse_attack(train, SimTime::ZERO + self.warmup, None);
         bench.run_until(SimTime::ZERO + self.warmup);
         let before = bench.goodput_bytes();
@@ -398,7 +431,10 @@ impl GainExperiment {
             gains.push(p.g_sim);
             degs.push(p.degradation_sim);
         }
-        Ok((SeedStats::from_samples(&gains), SeedStats::from_samples(&degs)))
+        Ok((
+            SeedStats::from_samples(&gains),
+            SeedStats::from_samples(&degs),
+        ))
     }
 
     /// Like [`GainExperiment::sweep_with_baseline`] but runs the attacked
@@ -557,7 +593,13 @@ mod tests {
         let exp = quick_experiment(3).window(SimDuration::from_secs(8));
         let baseline = exp.baseline_bytes().unwrap();
         let (point, bins) = exp
-            .run_point_traced(0.1, 30e6, 0.4, baseline, Some(SimDuration::from_millis(100)))
+            .run_point_traced(
+                0.1,
+                30e6,
+                0.4,
+                baseline,
+                Some(SimDuration::from_millis(100)),
+            )
             .unwrap();
         assert!(point.degradation_sim > 0.0);
         // 8 s window at 100 ms bins = ~80 bins of the measurement window.
@@ -571,15 +613,10 @@ mod tests {
     #[test]
     fn optimal_train_matches_the_solved_period() {
         let spec = ScenarioSpec::ns2_dumbbell(25);
-        let train =
-            optimal_pulse_train(&spec, 0.075, 30e6, RiskPreference::NEUTRAL).unwrap();
-        let sol = pdos_analysis::optimize::solve(
-            &spec.victims(),
-            0.075,
-            30e6,
-            RiskPreference::NEUTRAL,
-        )
-        .unwrap();
+        let train = optimal_pulse_train(&spec, 0.075, 30e6, RiskPreference::NEUTRAL).unwrap();
+        let sol =
+            pdos_analysis::optimize::solve(&spec.victims(), 0.075, 30e6, RiskPreference::NEUTRAL)
+                .unwrap();
         assert!((train.period().as_secs_f64() - sol.period).abs() < 1e-6);
         assert!((train.gamma(spec.bottleneck) - sol.gamma_star).abs() < 1e-6);
     }
@@ -587,9 +624,7 @@ mod tests {
     #[test]
     fn multi_seed_point_reports_spread() {
         let exp = quick_experiment(3).window(SimDuration::from_secs(8));
-        let (gain, deg) = exp
-            .run_point_seeds(0.1, 30e6, 0.4, &[1, 2, 3])
-            .unwrap();
+        let (gain, deg) = exp.run_point_seeds(0.1, 30e6, 0.4, &[1, 2, 3]).unwrap();
         assert_eq!(gain.n, 3);
         assert!(gain.mean > 0.0 && gain.mean <= 1.0);
         assert!(gain.sd >= 0.0);
@@ -618,7 +653,7 @@ mod tests {
     fn shrew_points_flagged() {
         let exp = quick_experiment(3);
         let baseline = 1; // dummy; we only check the flag
-        // γ chosen so T_AIMD = 1 s: γ = R·T/(B·1) = 30e6·0.1/15e6 = 0.2.
+                          // γ chosen so T_AIMD = 1 s: γ = R·T/(B·1) = 30e6·0.1/15e6 = 0.2.
         let p = exp.run_point(0.1, 30e6, 0.2, baseline).unwrap();
         assert_eq!(p.t_aimd, 1.0);
         assert_eq!(p.shrew, Some(1));

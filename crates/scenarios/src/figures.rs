@@ -1,0 +1,234 @@
+//! Paper-figure parameter grids as [`ExperimentSpec`] enumerations.
+//!
+//! Figs. 6–9 are gain surfaces: four panels (15/25/35/45 TCP flows),
+//! three pulse widths (50/75/100 ms), eight γ samples each, at one
+//! `R_attack` per figure (25/30/35/40 Mbps). The ROC ablation pits the
+//! spectral detector against benign and attacked traces across γ.
+//! Enumerating these grids as flat spec lists — instead of nested loops —
+//! is what lets [`crate::runner::SweepRunner`] execute a whole figure in
+//! parallel.
+
+use crate::experiment::gamma_grid;
+use crate::runner::{AttackPoint, ExperimentSpec};
+use crate::spec::ScenarioSpec;
+use pdos_sim::time::SimDuration;
+
+/// The pulse widths the figure panels sweep (§4.1): 50, 75, 100 ms.
+pub const TEXTENTS: [f64; 3] = [0.050, 0.075, 0.100];
+
+/// The flow counts of the four panels of each of Figs. 6–9.
+pub const PANEL_FLOWS: [usize; 4] = [15, 25, 35, 45];
+
+/// The γ values the ROC ablation samples.
+pub const ROC_GAMMAS: [f64; 4] = [0.1, 0.2, 0.4, 0.7];
+
+/// One of the paper's gain-surface figures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GainFigure {
+    /// Fig. 6: `R_attack` = 25 Mbps.
+    Fig06,
+    /// Fig. 7: `R_attack` = 30 Mbps.
+    Fig07,
+    /// Fig. 8: `R_attack` = 35 Mbps.
+    Fig08,
+    /// Fig. 9: `R_attack` = 40 Mbps.
+    Fig09,
+}
+
+impl GainFigure {
+    /// The figure's pulse rate, Mbps.
+    pub fn r_attack_mbps(self) -> f64 {
+        match self {
+            GainFigure::Fig06 => 25.0,
+            GainFigure::Fig07 => 30.0,
+            GainFigure::Fig08 => 35.0,
+            GainFigure::Fig09 => 40.0,
+        }
+    }
+
+    /// The figure's canonical name (`fig06` …).
+    pub fn name(self) -> &'static str {
+        match self {
+            GainFigure::Fig06 => "fig06",
+            GainFigure::Fig07 => "fig07",
+            GainFigure::Fig08 => "fig08",
+            GainFigure::Fig09 => "fig09",
+        }
+    }
+
+    /// Parses a canonical name.
+    pub fn from_name(name: &str) -> Option<GainFigure> {
+        match name {
+            "fig06" => Some(GainFigure::Fig06),
+            "fig07" => Some(GainFigure::Fig07),
+            "fig08" => Some(GainFigure::Fig08),
+            "fig09" => Some(GainFigure::Fig09),
+            _ => None,
+        }
+    }
+}
+
+/// The sampling resolution of a figure sweep.
+#[derive(Debug, Clone)]
+pub struct FigureGrid {
+    /// Panel flow counts.
+    pub flows: Vec<usize>,
+    /// Pulse widths, seconds.
+    pub textents: Vec<f64>,
+    /// γ samples.
+    pub gammas: Vec<f64>,
+    /// Warm-up per run.
+    pub warmup: SimDuration,
+    /// Measurement window per run.
+    pub window: SimDuration,
+}
+
+impl FigureGrid {
+    /// The full published resolution: 4 panels × 3 widths × 8 γ = 96 runs,
+    /// 10 s warm-up, 40 s window.
+    pub fn full() -> FigureGrid {
+        FigureGrid {
+            flows: PANEL_FLOWS.to_vec(),
+            textents: TEXTENTS.to_vec(),
+            gammas: gamma_grid(0.08, 0.92, 8),
+            warmup: SimDuration::from_secs(10),
+            window: SimDuration::from_secs(40),
+        }
+    }
+
+    /// A CI-sized smoke grid: one small panel, one width, 4 γ, short
+    /// windows — enough to exercise every code path per PR.
+    pub fn smoke() -> FigureGrid {
+        FigureGrid {
+            flows: vec![8],
+            textents: vec![0.075],
+            gammas: gamma_grid(0.2, 0.8, 4),
+            warmup: SimDuration::from_secs(4),
+            window: SimDuration::from_secs(8),
+        }
+    }
+}
+
+/// Enumerates one gain figure as a flat spec list, panel-major then
+/// width-major then γ — the same order the serial tables print in.
+pub fn gain_figure_specs(fig: GainFigure, grid: &FigureGrid) -> Vec<ExperimentSpec> {
+    let r_attack = fig.r_attack_mbps() * 1e6;
+    let mut specs = Vec::with_capacity(grid.flows.len() * grid.textents.len() * grid.gammas.len());
+    for &flows in &grid.flows {
+        for &t_extent in &grid.textents {
+            for &gamma in &grid.gammas {
+                let id = format!(
+                    "{}/flows{flows}/te{}ms/g{gamma:.3}",
+                    fig.name(),
+                    (t_extent * 1000.0).round() as u64
+                );
+                specs.push(
+                    ExperimentSpec::attacked(
+                        id,
+                        ScenarioSpec::ns2_dumbbell(flows),
+                        AttackPoint {
+                            t_extent,
+                            r_attack,
+                            gamma,
+                        },
+                    )
+                    .warmup(grid.warmup)
+                    .window(grid.window),
+                );
+            }
+        }
+    }
+    specs
+}
+
+/// The ROC ablation's trace-generation grid: `n_traces` benign replicas
+/// plus `n_traces` attacked replicas per γ in [`ROC_GAMMAS`], each run
+/// recording 100 ms bottleneck ingress bins. Replica ids differ, so the
+/// runner's derived-seed policy gives every trace independent randomness;
+/// start phases are also spread per replica, as the serial bench did.
+pub fn roc_specs(n_traces: u64, window: SimDuration) -> Vec<ExperimentSpec> {
+    let bin = SimDuration::from_millis(100);
+    let warmup = SimDuration::from_secs(5);
+    let mut specs = Vec::new();
+    let scenario_for = |replica: u64| {
+        let mut s = ScenarioSpec::ns2_dumbbell(8);
+        s.start_stagger = SimDuration::from_millis(89 + (replica * 7) % 37);
+        s
+    };
+    for replica in 0..n_traces {
+        specs.push(
+            ExperimentSpec::benign(format!("roc/benign/r{replica}"), scenario_for(replica))
+                .warmup(warmup)
+                .window(window)
+                .traced(bin),
+        );
+    }
+    for &gamma in &ROC_GAMMAS {
+        for replica in 0..n_traces {
+            specs.push(
+                ExperimentSpec::attacked(
+                    format!("roc/g{gamma:.2}/r{replica}"),
+                    scenario_for(replica),
+                    AttackPoint {
+                        t_extent: 0.075,
+                        r_attack: 30e6,
+                        gamma,
+                    },
+                )
+                .warmup(warmup)
+                .window(window)
+                .traced(bin),
+            );
+        }
+    }
+    specs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_grid_enumerates_the_published_resolution() {
+        let specs = gain_figure_specs(GainFigure::Fig06, &FigureGrid::full());
+        assert_eq!(specs.len(), 4 * 3 * 8);
+        // Panel-major order: the first 24 specs are the 15-flow panel.
+        assert!(specs[..24].iter().all(|s| s.scenario.n_flows == 15));
+        assert!(specs.iter().all(|s| {
+            let a = s.attack.expect("attacked");
+            (a.r_attack - 25e6).abs() < 1.0
+        }));
+    }
+
+    #[test]
+    fn smoke_grid_is_small() {
+        let specs = gain_figure_specs(GainFigure::Fig09, &FigureGrid::smoke());
+        assert_eq!(specs.len(), 4);
+        assert!(specs.iter().all(|s| s.id.starts_with("fig09/")));
+    }
+
+    #[test]
+    fn figure_names_roundtrip() {
+        for fig in [
+            GainFigure::Fig06,
+            GainFigure::Fig07,
+            GainFigure::Fig08,
+            GainFigure::Fig09,
+        ] {
+            assert_eq!(GainFigure::from_name(fig.name()), Some(fig));
+        }
+        assert_eq!(GainFigure::from_name("fig11"), None);
+    }
+
+    #[test]
+    fn roc_grid_shapes_benign_and_attacked() {
+        let specs = roc_specs(4, SimDuration::from_secs(10));
+        assert_eq!(specs.len(), 4 + 4 * ROC_GAMMAS.len());
+        assert_eq!(specs.iter().filter(|s| s.attack.is_none()).count(), 4);
+        assert!(specs.iter().all(|s| s.trace_bin.is_some()));
+        // Replica ids make seeds distinct even at equal physics.
+        let a = crate::runner::derive_seed(1, &specs[0]);
+        let b = crate::runner::derive_seed(1, &specs[1]);
+        assert_ne!(a, b);
+    }
+}

@@ -12,7 +12,11 @@
 //! * [`classify::GainClass`] — the normal/under/over-gain taxonomy of
 //!   §4.1.1;
 //! * [`sync::SyncExperiment`] — the quasi-global synchronization
-//!   measurement of Fig. 3.
+//!   measurement of Fig. 3;
+//! * [`runner::SweepRunner`] — the parallel, deterministic experiment
+//!   runner (per-run seeds derived from a master seed + spec hash);
+//! * [`figures::gain_figure_specs`] — Figs. 6–9 and the ROC ablation as
+//!   flat spec enumerations the runner fans out.
 //!
 //! ## Example: measure one attacked point
 //!
@@ -33,6 +37,8 @@
 pub mod bench;
 pub mod classify;
 pub mod experiment;
+pub mod figures;
+pub mod runner;
 pub mod spec;
 pub mod sync;
 
@@ -43,6 +49,11 @@ pub mod prelude {
     pub use crate::experiment::{
         gamma_grid, optimal_pulse_train, ExperimentError, GainExperiment, GainPoint, GainSweep,
         SeedStats,
+    };
+    pub use crate::figures::{gain_figure_specs, roc_specs, FigureGrid, GainFigure};
+    pub use crate::runner::{
+        derive_seed, AttackPoint, ExperimentSpec, RunOutcome, RunRecord, SeedPolicy, SweepReport,
+        SweepRunner,
     };
     pub use crate::spec::{BottleneckQueue, ScenarioSpec};
     pub use crate::sync::{SyncExperiment, SyncResult};

@@ -1,0 +1,741 @@
+//! The parallel, deterministic experiment runner.
+//!
+//! The paper's results are sweeps over hundreds of `(T_extent, R_attack,
+//! γ)` points, each an independent simulation. [`SweepRunner`] fans a grid
+//! of [`ExperimentSpec`]s out over a pool of worker threads and collects
+//! per-run results plus wall-clock/throughput metrics into a single
+//! [`SweepReport`] (serializable to JSON with no external dependencies).
+//!
+//! ## Determinism
+//!
+//! Every run's RNG seed is a pure function of the runner's **master seed**
+//! and the spec itself:
+//!
+//! ```text
+//! run_seed = fnv1a64( master_seed ‖ fnv1a64(spec identity) )
+//! ```
+//!
+//! so results are bitwise-identical regardless of worker count or
+//! scheduling order, and distinct specs get distinct seeds. Two seed
+//! policies cover the two kinds of study:
+//!
+//! * [`SeedPolicy::FromScenario`] keeps each spec's `scenario.seed`
+//!   untouched — runs reproduce the serial figure sweeps exactly;
+//! * [`SeedPolicy::Derived`] overwrites `scenario.seed` with the derived
+//!   seed — independent replications (ROC studies, error bars) fall out
+//!   of simply enumerating specs with distinct ids.
+//!
+//! Baselines (the no-attack goodput a gain measurement normalizes by) are
+//! memoized across runs keyed by the effective scenario, so a figure panel
+//! sharing one scenario measures its baseline once, exactly like the
+//! serial protocol — and because a baseline is a pure function of the
+//! scenario, memoization cannot perturb determinism.
+
+use crate::experiment::{ExperimentError, GainExperiment, GainPoint};
+use crate::spec::ScenarioSpec;
+use pdos_analysis::gain::RiskPreference;
+use pdos_sim::time::SimDuration;
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::{Duration, Instant};
+
+/// One attacked parameter point of a sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AttackPoint {
+    /// Pulse width, seconds.
+    pub t_extent: f64,
+    /// Pulse rate, bits per second.
+    pub r_attack: f64,
+    /// Normalized average attack rate.
+    pub gamma: f64,
+}
+
+/// A self-contained description of one simulation run.
+#[derive(Debug, Clone)]
+pub struct ExperimentSpec {
+    /// Stable identifier, e.g. `fig06/flows15/te50ms/g0.320`. Part of the
+    /// seed-derivation input, so replications can share physics but not
+    /// seeds by differing only in id.
+    pub id: String,
+    /// The scenario to build.
+    pub scenario: ScenarioSpec,
+    /// Warm-up before the measurement window.
+    pub warmup: SimDuration,
+    /// Measurement window length.
+    pub window: SimDuration,
+    /// The attack to apply; `None` measures a benign baseline run.
+    pub attack: Option<AttackPoint>,
+    /// When set, record the bottleneck's ingress byte bins at this width
+    /// over the measurement window (detector studies).
+    pub trace_bin: Option<SimDuration>,
+    /// Risk preference κ folded into gain (1.0 = the figures' neutral).
+    pub kappa: f64,
+}
+
+impl ExperimentSpec {
+    /// A spec with the paper's defaults (10 s warm-up, 60 s window,
+    /// risk-neutral) for an attacked point.
+    pub fn attacked(
+        id: impl Into<String>,
+        scenario: ScenarioSpec,
+        attack: AttackPoint,
+    ) -> ExperimentSpec {
+        ExperimentSpec {
+            id: id.into(),
+            scenario,
+            warmup: SimDuration::from_secs(10),
+            window: SimDuration::from_secs(60),
+            attack: Some(attack),
+            trace_bin: None,
+            kappa: 1.0,
+        }
+    }
+
+    /// A benign (no-attack) spec with the paper's default windows.
+    pub fn benign(id: impl Into<String>, scenario: ScenarioSpec) -> ExperimentSpec {
+        ExperimentSpec {
+            id: id.into(),
+            scenario,
+            warmup: SimDuration::from_secs(10),
+            window: SimDuration::from_secs(60),
+            attack: None,
+            trace_bin: None,
+            kappa: 1.0,
+        }
+    }
+
+    /// Overrides the warm-up length.
+    #[must_use]
+    pub fn warmup(mut self, warmup: SimDuration) -> ExperimentSpec {
+        self.warmup = warmup;
+        self
+    }
+
+    /// Overrides the measurement window.
+    #[must_use]
+    pub fn window(mut self, window: SimDuration) -> ExperimentSpec {
+        self.window = window;
+        self
+    }
+
+    /// Requests a bottleneck ingress trace at `bin` width.
+    #[must_use]
+    pub fn traced(mut self, bin: SimDuration) -> ExperimentSpec {
+        self.trace_bin = Some(bin);
+        self
+    }
+
+    /// A stable 64-bit digest of the spec's identity: id, scenario,
+    /// windows, attack point and κ. Used as the spec half of the seed
+    /// derivation.
+    pub fn stable_hash(&self) -> u64 {
+        let mut ident = String::with_capacity(256);
+        let _ = write!(
+            ident,
+            "{}|{:?}|{:?}|{:?}|{:?}|{}",
+            self.id, self.scenario, self.warmup, self.window, self.attack, self.kappa
+        );
+        fnv1a64(ident.as_bytes())
+    }
+}
+
+/// FNV-1a, 64-bit: tiny, portable, and stable across platforms — unlike
+/// `std::hash::DefaultHasher`, whose output may change between releases.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Derives the run seed for `spec` under `master_seed`.
+pub fn derive_seed(master_seed: u64, spec: &ExperimentSpec) -> u64 {
+    let mut input = [0u8; 16];
+    input[..8].copy_from_slice(&master_seed.to_le_bytes());
+    input[8..].copy_from_slice(&spec.stable_hash().to_le_bytes());
+    fnv1a64(&input)
+}
+
+/// How the derived seed enters the simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SeedPolicy {
+    /// Keep each spec's `scenario.seed`: reproduces the serial figure
+    /// sweeps exactly (the figure definition pins the seed).
+    FromScenario,
+    /// Overwrite `scenario.seed` with the derived seed: independent
+    /// deterministic replications.
+    #[default]
+    Derived,
+}
+
+/// What one run produced.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RunOutcome {
+    /// An attacked run's measured point (plus its trace when requested).
+    Point {
+        /// The measured gain point.
+        point: GainPoint,
+        /// Bottleneck ingress bins over the window (empty unless traced).
+        trace: Vec<u64>,
+    },
+    /// A benign run's goodput (plus its trace when requested).
+    Benign {
+        /// Aggregate goodput over the window, bytes.
+        goodput_bytes: u64,
+        /// Bottleneck ingress bins over the window (empty unless traced).
+        trace: Vec<u64>,
+    },
+    /// The requested pulse train is infeasible at this point (skipped, as
+    /// in the serial sweeps).
+    Infeasible {
+        /// Why the pulse parameters are infeasible.
+        reason: String,
+    },
+    /// The run failed hard (bad model parameters, topology error).
+    Failed {
+        /// The error message.
+        reason: String,
+    },
+}
+
+/// One run's record in the report.
+#[derive(Debug, Clone)]
+pub struct RunRecord {
+    /// The spec's id.
+    pub id: String,
+    /// The derived seed (equals `scenario.seed` under
+    /// [`SeedPolicy::Derived`]).
+    pub run_seed: u64,
+    /// The effective scenario seed the simulation used.
+    pub scenario_seed: u64,
+    /// The baseline goodput this run's gain was normalized by (0 for
+    /// benign/failed runs).
+    pub baseline_bytes: u64,
+    /// The run's outcome.
+    pub outcome: RunOutcome,
+    /// Wall-clock time of this run on its worker.
+    pub wall: Duration,
+}
+
+impl RunRecord {
+    /// Serializes everything *except* timing — the byte-identical part of
+    /// the record across worker counts and scheduling orders.
+    pub fn result_json(&self) -> String {
+        let mut s = String::with_capacity(256);
+        let _ = write!(
+            s,
+            "{{\"id\":{},\"run_seed\":{},\"scenario_seed\":{},\"baseline_bytes\":{}",
+            json_str(&self.id),
+            self.run_seed,
+            self.scenario_seed,
+            self.baseline_bytes
+        );
+        match &self.outcome {
+            RunOutcome::Point { point, trace } => {
+                let _ = write!(s, ",\"status\":\"ok\",\"point\":{}", point_json(point));
+                if !trace.is_empty() {
+                    let _ = write!(s, ",\"trace\":{}", json_u64_array(trace));
+                }
+            }
+            RunOutcome::Benign {
+                goodput_bytes,
+                trace,
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"status\":\"benign\",\"goodput_bytes\":{goodput_bytes}"
+                );
+                if !trace.is_empty() {
+                    let _ = write!(s, ",\"trace\":{}", json_u64_array(trace));
+                }
+            }
+            RunOutcome::Infeasible { reason } => {
+                let _ = write!(
+                    s,
+                    ",\"status\":\"infeasible\",\"reason\":{}",
+                    json_str(reason)
+                );
+            }
+            RunOutcome::Failed { reason } => {
+                let _ = write!(s, ",\"status\":\"failed\",\"reason\":{}", json_str(reason));
+            }
+        }
+        s.push('}');
+        s
+    }
+}
+
+fn point_json(p: &GainPoint) -> String {
+    let mut s = String::with_capacity(256);
+    let _ = write!(
+        s,
+        "{{\"gamma\":{},\"t_aimd\":{},\"g_analytic\":{},\"g_sim\":{},\
+         \"degradation_analytic\":{},\"degradation_sim\":{},\
+         \"timeouts\":{},\"fast_recoveries\":{},\"shrew\":{},\"class\":\"{}\"}}",
+        p.gamma,
+        p.t_aimd,
+        p.g_analytic,
+        p.g_sim,
+        p.degradation_analytic,
+        p.degradation_sim,
+        p.timeouts,
+        p.fast_recoveries,
+        p.shrew.map_or_else(|| "null".into(), |n| n.to_string()),
+        p.class,
+    );
+    s
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn json_u64_array(xs: &[u64]) -> String {
+    let mut s = String::with_capacity(xs.len() * 8 + 2);
+    s.push('[');
+    for (i, x) in xs.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        let _ = write!(s, "{x}");
+    }
+    s.push(']');
+    s
+}
+
+/// The full report of one sweep: per-run records in spec order plus
+/// wall-clock/throughput metrics.
+#[derive(Debug, Clone)]
+pub struct SweepReport {
+    /// The master seed the runner used.
+    pub master_seed: u64,
+    /// Worker threads used.
+    pub jobs: usize,
+    /// The seed policy in force.
+    pub seed_policy: SeedPolicy,
+    /// Per-run records, in the order the specs were given.
+    pub records: Vec<RunRecord>,
+    /// End-to-end wall-clock time of the sweep.
+    pub wall: Duration,
+}
+
+impl SweepReport {
+    /// Total per-run compute time (the serial-equivalent cost).
+    pub fn cpu_time(&self) -> Duration {
+        self.records.iter().map(|r| r.wall).sum()
+    }
+
+    /// Completed runs per wall-clock second.
+    pub fn runs_per_sec(&self) -> f64 {
+        self.records.len() as f64 / self.wall.as_secs_f64().max(1e-9)
+    }
+
+    /// The measured points of successful attacked runs, in spec order.
+    pub fn points(&self) -> Vec<&GainPoint> {
+        self.records
+            .iter()
+            .filter_map(|r| match &r.outcome {
+                RunOutcome::Point { point, .. } => Some(point),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Serializes only the deterministic per-run results (no timing):
+    /// byte-identical across worker counts for the same master seed and
+    /// specs.
+    pub fn results_json(&self) -> String {
+        let mut s = String::from("[");
+        for (i, r) in self.records.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&r.result_json());
+        }
+        s.push(']');
+        s
+    }
+
+    /// Serializes the whole report (results + timing + throughput).
+    pub fn to_json(&self) -> String {
+        let policy = match self.seed_policy {
+            SeedPolicy::FromScenario => "from-scenario",
+            SeedPolicy::Derived => "derived",
+        };
+        let mut s = String::with_capacity(1024);
+        let _ = write!(
+            s,
+            "{{\"master_seed\":{},\"jobs\":{},\"seed_policy\":\"{}\",\
+             \"n_runs\":{},\"wall_secs\":{},\"cpu_secs\":{},\"runs_per_sec\":{},\
+             \"speedup\":{},\"run_wall_secs\":[",
+            self.master_seed,
+            self.jobs,
+            policy,
+            self.records.len(),
+            self.wall.as_secs_f64(),
+            self.cpu_time().as_secs_f64(),
+            self.runs_per_sec(),
+            self.cpu_time().as_secs_f64() / self.wall.as_secs_f64().max(1e-9),
+        );
+        for (i, r) in self.records.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(s, "{}", r.wall.as_secs_f64());
+        }
+        let _ = write!(s, "],\"runs\":{}}}", self.results_json());
+        s
+    }
+}
+
+type BaselineCell = Arc<OnceLock<Result<u64, String>>>;
+
+/// Memoizes baseline goodputs by effective-scenario digest. A baseline
+/// is a pure function of `(scenario, warmup, window)`, so sharing it
+/// across runs cannot perturb determinism; `OnceLock` also collapses
+/// concurrent computations of the same baseline into one.
+#[derive(Default)]
+struct BaselineCache {
+    cells: Mutex<HashMap<u64, BaselineCell>>,
+}
+
+impl BaselineCache {
+    fn get_or_measure(&self, key: u64, exp: &GainExperiment) -> Result<u64, String> {
+        let cell = {
+            let mut map = self.cells.lock().expect("baseline cache poisoned");
+            Arc::clone(map.entry(key).or_default())
+        };
+        cell.get_or_init(|| exp.baseline_bytes().map_err(|e| e.to_string()))
+            .clone()
+    }
+}
+
+/// The parallel sweep runner.
+#[derive(Debug, Clone)]
+pub struct SweepRunner {
+    master_seed: u64,
+    jobs: usize,
+    seed_policy: SeedPolicy,
+}
+
+impl Default for SweepRunner {
+    fn default() -> SweepRunner {
+        SweepRunner::new(0)
+    }
+}
+
+impl SweepRunner {
+    /// A runner with `master_seed`, one worker per available CPU, and the
+    /// default [`SeedPolicy::Derived`].
+    pub fn new(master_seed: u64) -> SweepRunner {
+        SweepRunner {
+            master_seed,
+            jobs: 0,
+            seed_policy: SeedPolicy::default(),
+        }
+    }
+
+    /// Sets the worker count (`0` = one per available CPU).
+    #[must_use]
+    pub fn jobs(mut self, jobs: usize) -> SweepRunner {
+        self.jobs = jobs;
+        self
+    }
+
+    /// Sets the seed policy.
+    #[must_use]
+    pub fn seed_policy(mut self, policy: SeedPolicy) -> SweepRunner {
+        self.seed_policy = policy;
+        self
+    }
+
+    /// The effective worker count.
+    pub fn effective_jobs(&self) -> usize {
+        if self.jobs > 0 {
+            self.jobs
+        } else {
+            std::thread::available_parallelism().map_or(1, |n| n.get())
+        }
+    }
+
+    /// Runs every spec and collects the report. Records come back in spec
+    /// order; the per-run results are a pure function of
+    /// `(master_seed, specs)` — worker count only changes the timing
+    /// metrics.
+    pub fn run(&self, specs: &[ExperimentSpec]) -> SweepReport {
+        let jobs = self.effective_jobs().max(1).min(specs.len().max(1));
+        let cache = BaselineCache::default();
+        let next = AtomicUsize::new(0);
+        let slots: Vec<OnceLock<RunRecord>> = specs.iter().map(|_| OnceLock::new()).collect();
+
+        let started = Instant::now();
+        std::thread::scope(|scope| {
+            for _ in 0..jobs {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(spec) = specs.get(i) else { break };
+                    let record = self.execute(spec, &cache);
+                    slots[i].set(record).expect("slot set twice");
+                });
+            }
+        });
+        let wall = started.elapsed();
+
+        SweepReport {
+            master_seed: self.master_seed,
+            jobs,
+            seed_policy: self.seed_policy,
+            records: slots
+                .into_iter()
+                .map(|s| s.into_inner().expect("worker filled every slot"))
+                .collect(),
+            wall,
+        }
+    }
+
+    /// Executes one spec (the per-worker body). Public so callers can run
+    /// single points through exactly the runner's code path.
+    pub fn execute_one(&self, spec: &ExperimentSpec) -> RunRecord {
+        self.execute(spec, &BaselineCache::default())
+    }
+
+    fn execute(&self, spec: &ExperimentSpec, cache: &BaselineCache) -> RunRecord {
+        let started = Instant::now();
+        let run_seed = derive_seed(self.master_seed, spec);
+        let mut scenario = spec.scenario.clone();
+        if self.seed_policy == SeedPolicy::Derived {
+            scenario.seed = run_seed;
+        }
+        let scenario_seed = scenario.seed;
+
+        let record = |outcome, baseline_bytes, wall| RunRecord {
+            id: spec.id.clone(),
+            run_seed,
+            scenario_seed,
+            baseline_bytes,
+            outcome,
+            wall,
+        };
+
+        let risk = match RiskPreference::new(spec.kappa) {
+            Ok(r) => r,
+            Err(reason) => {
+                return record(RunOutcome::Failed { reason }, 0, started.elapsed());
+            }
+        };
+        // The baseline key digests the *effective* scenario (post seed
+        // policy) plus the windows, so equal physics share one baseline.
+        let baseline_key =
+            fnv1a64(format!("{:?}|{:?}|{:?}", scenario, spec.warmup, spec.window).as_bytes());
+        let exp = GainExperiment::new(scenario)
+            .warmup(spec.warmup)
+            .window(spec.window)
+            .risk(risk);
+
+        let outcome = match spec.attack {
+            None => match exp.baseline_traced(spec.trace_bin) {
+                Ok((goodput_bytes, trace)) => RunOutcome::Benign {
+                    goodput_bytes,
+                    trace,
+                },
+                Err(e) => RunOutcome::Failed {
+                    reason: e.to_string(),
+                },
+            },
+            Some(attack) => match cache.get_or_measure(baseline_key, &exp) {
+                Err(reason) => RunOutcome::Failed { reason },
+                Ok(baseline) => {
+                    match exp.run_point_traced(
+                        attack.t_extent,
+                        attack.r_attack,
+                        attack.gamma,
+                        baseline,
+                        spec.trace_bin,
+                    ) {
+                        Ok((point, trace)) => {
+                            return record(
+                                RunOutcome::Point { point, trace },
+                                baseline,
+                                started.elapsed(),
+                            );
+                        }
+                        Err(ExperimentError::Pulse(e)) => RunOutcome::Infeasible {
+                            reason: e.to_string(),
+                        },
+                        Err(e) => RunOutcome::Failed {
+                            reason: e.to_string(),
+                        },
+                    }
+                }
+            },
+        };
+        let baseline_bytes = match &outcome {
+            RunOutcome::Benign { goodput_bytes, .. } => *goodput_bytes,
+            _ => 0,
+        };
+        record(outcome, baseline_bytes, started.elapsed())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdos_sim::time::SimDuration;
+
+    fn quick_scenario(n_flows: usize) -> ScenarioSpec {
+        ScenarioSpec::ns2_dumbbell(n_flows)
+    }
+
+    fn quick_spec(id: &str, gamma: f64) -> ExperimentSpec {
+        ExperimentSpec::attacked(
+            id,
+            quick_scenario(3),
+            AttackPoint {
+                t_extent: 0.1,
+                r_attack: 30e6,
+                gamma,
+            },
+        )
+        .warmup(SimDuration::from_secs(4))
+        .window(SimDuration::from_secs(6))
+    }
+
+    #[test]
+    fn distinct_specs_get_distinct_seeds() {
+        let a = quick_spec("a", 0.3);
+        let b = quick_spec("b", 0.3);
+        let c = quick_spec("a", 0.4);
+        assert_ne!(derive_seed(7, &a), derive_seed(7, &b), "id enters the hash");
+        assert_ne!(
+            derive_seed(7, &a),
+            derive_seed(7, &c),
+            "gamma enters the hash"
+        );
+        assert_ne!(derive_seed(7, &a), derive_seed(8, &a), "master seed enters");
+        assert_eq!(
+            derive_seed(7, &a),
+            derive_seed(7, &a.clone()),
+            "pure function"
+        );
+    }
+
+    #[test]
+    fn jobs_do_not_change_results() {
+        let specs: Vec<ExperimentSpec> = [0.2, 0.4, 0.6]
+            .iter()
+            .enumerate()
+            .map(|(i, &g)| quick_spec(&format!("p{i}"), g))
+            .collect();
+        let serial = SweepRunner::new(42).jobs(1).run(&specs);
+        let parallel = SweepRunner::new(42).jobs(4).run(&specs);
+        assert_eq!(serial.results_json(), parallel.results_json());
+        assert_eq!(serial.points().len(), 3);
+    }
+
+    #[test]
+    fn from_scenario_policy_matches_serial_experiment() {
+        let specs = vec![quick_spec("s", 0.4)];
+        let report = SweepRunner::new(0)
+            .seed_policy(SeedPolicy::FromScenario)
+            .jobs(2)
+            .run(&specs);
+        let exp = GainExperiment::new(quick_scenario(3))
+            .warmup(SimDuration::from_secs(4))
+            .window(SimDuration::from_secs(6));
+        let baseline = exp.baseline_bytes().unwrap();
+        let expected = exp.run_point(0.1, 30e6, 0.4, baseline).unwrap();
+        match &report.records[0].outcome {
+            RunOutcome::Point { point, .. } => assert_eq!(*point, expected),
+            other => panic!("expected a point, got {other:?}"),
+        }
+        assert_eq!(report.records[0].baseline_bytes, baseline);
+    }
+
+    #[test]
+    fn infeasible_points_are_recorded_not_fatal() {
+        // R_attack = 10 Mbps -> C_attack = 2/3: gamma = 0.8 infeasible.
+        let mut spec = quick_spec("inf", 0.8);
+        spec.attack = Some(AttackPoint {
+            t_extent: 0.1,
+            r_attack: 10e6,
+            gamma: 0.8,
+        });
+        let report = SweepRunner::new(1).run(&[spec]);
+        assert!(matches!(
+            report.records[0].outcome,
+            RunOutcome::Infeasible { .. }
+        ));
+    }
+
+    #[test]
+    fn benign_runs_report_goodput_and_trace() {
+        let spec = ExperimentSpec::benign("base", quick_scenario(3))
+            .warmup(SimDuration::from_secs(4))
+            .window(SimDuration::from_secs(6))
+            .traced(SimDuration::from_millis(100));
+        let report = SweepRunner::new(5).run(&[spec]);
+        match &report.records[0].outcome {
+            RunOutcome::Benign {
+                goodput_bytes,
+                trace,
+            } => {
+                assert!(*goodput_bytes > 0);
+                assert!((50..=65).contains(&trace.len()), "got {} bins", trace.len());
+            }
+            other => panic!("expected benign, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn report_json_is_wellformed_enough() {
+        let report = SweepRunner::new(3).jobs(2).run(&[quick_spec("j", 0.3)]);
+        let json = report.to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"master_seed\":3"));
+        assert!(json.contains("\"runs\":["));
+        assert!(json.contains("\"status\":\"ok\""));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn json_strings_are_escaped() {
+        assert_eq!(json_str("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+    }
+
+    #[test]
+    fn baseline_cache_shares_equal_scenarios() {
+        // Two gammas over the same scenario under FromScenario: both
+        // records must be normalized by the same baseline.
+        let specs = vec![quick_spec("g1", 0.3), quick_spec("g2", 0.6)];
+        let report = SweepRunner::new(0)
+            .seed_policy(SeedPolicy::FromScenario)
+            .jobs(2)
+            .run(&specs);
+        assert_eq!(
+            report.records[0].baseline_bytes,
+            report.records[1].baseline_bytes
+        );
+        assert!(report.records[0].baseline_bytes > 0);
+    }
+}

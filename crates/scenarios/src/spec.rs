@@ -220,8 +220,7 @@ impl ScenarioSpec {
         let rtts = self.rtts();
         let mut endpoints = Vec::with_capacity(self.n_flows);
         for (i, &rtt) in rtts.iter().enumerate() {
-            let d_src_s =
-                rtt / 2.0 - self.bottleneck_delay.as_secs_f64() - d_dst.as_secs_f64();
+            let d_src_s = rtt / 2.0 - self.bottleneck_delay.as_secs_f64() - d_dst.as_secs_f64();
             assert!(
                 d_src_s > 0.0,
                 "RTT {rtt}s too small for bottleneck delay {}",
@@ -268,18 +267,13 @@ impl ScenarioSpec {
             // Odd-indexed flows become mice first (spreading them across
             // the RTT range), then remaining even indices if needed.
             let mut cfg = self.tcp.clone();
-            let make_mouse = mice_left > 0
-                && (i % 2 == 1 || self.n_flows - i <= mice_left);
+            let make_mouse = mice_left > 0 && (i % 2 == 1 || self.n_flows - i <= mice_left);
             if make_mouse {
                 cfg.burst_segments = Some(self.mice_burst);
                 cfg.think_time = self.mice_think;
                 mice_left -= 1;
             }
-            let sender = sim.attach_agent_at(
-                src,
-                Box::new(TcpSender::new(cfg, flow, dst)),
-                start,
-            );
+            let sender = sim.attach_agent_at(src, Box::new(TcpSender::new(cfg, flow, dst)), start);
             let sink = sim.attach_agent(dst, Box::new(TcpSink::new(self.tcp.clone(), flow, src)));
             sim.bind_flow(src, flow, sender);
             sim.bind_flow(dst, flow, sink);

@@ -131,7 +131,10 @@ impl<'a> AgentCtx<'a> {
 ///
 /// Implementations must be deterministic given their construction-time seed;
 /// all randomness must come from an internally held, explicitly seeded RNG.
-pub trait Agent {
+/// `Send` is a supertrait so a fully built [`crate::engine::Simulator`]
+/// (which owns its agents) can move onto a worker thread — the parallel
+/// sweep runner executes one whole simulation per worker.
+pub trait Agent: Send {
     /// Called once when the engine starts the agent (at its scheduled start
     /// time, or at `t=0` by default).
     fn start(&mut self, ctx: &mut AgentCtx<'_>);

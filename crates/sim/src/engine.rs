@@ -166,7 +166,8 @@ impl Simulator {
             node,
             agent: Some(agent),
         });
-        self.events.schedule(start_at, Event::AgentStart { agent: id });
+        self.events
+            .schedule(start_at, Event::AgentStart { agent: id });
         id
     }
 
@@ -186,10 +187,7 @@ impl Simulator {
             "cannot bind unknown {agent}"
         );
         let prev = self.bindings.insert((node, flow), agent);
-        assert!(
-            prev.is_none(),
-            "binding ({node}, {flow}) registered twice"
-        );
+        assert!(prev.is_none(), "binding ({node}, {flow}) registered twice");
     }
 
     /// Registers a rate trace on the ingress of `link`.
@@ -314,12 +312,11 @@ impl Simulator {
         let dst = link.dst();
         let (packet, next_done) = link.tx_complete(self.clock);
         if let Some(at) = next_done {
-            self.events.schedule(at, Event::LinkTxDone { link: link_id });
+            self.events
+                .schedule(at, Event::LinkTxDone { link: link_id });
         }
-        self.events.schedule(
-            self.clock + delay,
-            Event::Deliver { node: dst, packet },
-        );
+        self.events
+            .schedule(self.clock + delay, Event::Deliver { node: dst, packet });
     }
 
     fn with_agent<F>(&mut self, id: AgentId, f: F)
@@ -345,10 +342,8 @@ impl Simulator {
                     packet.sent_at = self.clock;
                     // Route from the agent's own node; scheduled through the
                     // queue (same instant) to keep dispatch non-reentrant.
-                    self.events.schedule(
-                        self.clock,
-                        Event::Deliver { node, packet },
-                    );
+                    self.events
+                        .schedule(self.clock, Event::Deliver { node, packet });
                 }
                 Effect::TimerAt { at, token } => {
                     self.events.schedule(at, Event::Timer { agent: id, token });
@@ -370,6 +365,16 @@ impl Simulator {
         self.with_agent(id, |agent, ctx| agent.start(ctx));
     }
 }
+
+// A whole simulation must be movable onto a worker thread: the parallel
+// sweep runner builds one `Simulator` per experiment point and runs each
+// on its own worker. Every agent and queue discipline is `Send` by trait
+// bound; this assertion catches any future non-`Send` field (`Rc`,
+// `RefCell` shared across agents, raw pointers) at compile time.
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    assert_send::<Simulator>();
+};
 
 #[cfg(test)]
 mod tests {

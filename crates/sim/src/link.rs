@@ -254,8 +254,7 @@ impl Link {
     pub fn accept(&mut self, packet: Packet, now: SimTime) -> LinkAccept {
         self.stats.offered_packets += 1;
         self.stats.offered_bytes = self.stats.offered_bytes.saturating_add(packet.size);
-        if self.impairments.loss_prob > 0.0
-            && self.rng.random::<f64>() < self.impairments.loss_prob
+        if self.impairments.loss_prob > 0.0 && self.rng.random::<f64>() < self.impairments.loss_prob
         {
             self.stats.impairment_drops += 1;
             return LinkAccept::Dropped;
@@ -349,7 +348,10 @@ mod tests {
         let mut l = link(4);
         assert!(matches!(
             l.accept(pkt(1500), SimTime::ZERO),
-            LinkAccept::Accepted { tx_done: Some(_), .. }
+            LinkAccept::Accepted {
+                tx_done: Some(_),
+                ..
+            }
         ));
         assert_eq!(
             l.accept(pkt(1500), SimTime::ZERO),
@@ -377,7 +379,10 @@ mod tests {
         let mut l = link(1);
         assert!(matches!(
             l.accept(pkt(100), SimTime::ZERO),
-            LinkAccept::Accepted { tx_done: Some(_), .. }
+            LinkAccept::Accepted {
+                tx_done: Some(_),
+                ..
+            }
         ));
         assert!(matches!(
             l.accept(pkt(100), SimTime::ZERO),

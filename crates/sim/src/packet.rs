@@ -243,13 +243,20 @@ mod tests {
             NodeId::from_u32(1),
             NodeId::from_u32(2),
             Bytes::from_u64(1500),
-            PacketKind::Data { seq: 7, retx: false },
+            PacketKind::Data {
+                seq: 7,
+                retx: false,
+            },
         )
     }
 
     #[test]
     fn kind_predicates() {
-        assert!(PacketKind::Data { seq: 0, retx: false }.is_data());
+        assert!(PacketKind::Data {
+            seq: 0,
+            retx: false
+        }
+        .is_data());
         assert!(PacketKind::Ack { cum_seq: 0 }.is_ack());
         assert!(PacketKind::Attack.is_attack());
         assert!(!PacketKind::Attack.is_data());

@@ -205,10 +205,8 @@ impl AccQueue {
         let drops_this_epoch = self.inner.drops() + self.limiter_drops - self.drops_at_epoch_start;
         let congested = drops_this_epoch >= self.cfg.congestion_drops;
         let epoch_capacity_bytes = self.bandwidth.as_bps() * self.cfg.epoch.as_secs_f64() / 8.0;
-        let burst_threshold = self.cfg.burst_factor
-            * self.bandwidth.as_bps()
-            * self.cfg.subbin.as_secs_f64()
-            / 8.0;
+        let burst_threshold =
+            self.cfg.burst_factor * self.bandwidth.as_bps() * self.cfg.subbin.as_secs_f64() / 8.0;
 
         if congested {
             // Suspects: flows that burst above the line rate into a
@@ -375,7 +373,10 @@ mod tests {
         // the first, penalized after the second (it did not back off).
         pulse(&mut q, 9, 500, SimTime::from_millis(100), 500);
         let _ = q.enqueue(pkt(1, 100), SimTime::from_millis(1100));
-        assert!(q.penalized_flows().is_empty(), "one epoch only makes a suspect");
+        assert!(
+            q.penalized_flows().is_empty(),
+            "one epoch only makes a suspect"
+        );
         pulse(&mut q, 9, 500, SimTime::from_millis(1200), 500);
         let _ = q.enqueue(pkt(1, 100), SimTime::from_millis(2100));
         assert_eq!(q.penalized_flows(), vec![FlowId::from_u32(9)]);

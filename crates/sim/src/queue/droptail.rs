@@ -102,7 +102,10 @@ mod tests {
     fn fifo_order_preserved() {
         let mut q = DropTailQueue::new(8);
         for size in [100, 200, 300] {
-            assert_eq!(q.enqueue(pkt(size), SimTime::ZERO), EnqueueOutcome::Enqueued);
+            assert_eq!(
+                q.enqueue(pkt(size), SimTime::ZERO),
+                EnqueueOutcome::Enqueued
+            );
         }
         assert_eq!(q.len_packets(), 3);
         assert_eq!(q.len_bytes().as_u64(), 600);

@@ -14,7 +14,7 @@ pub use red::{RedConfig, RedQueue};
 
 use crate::packet::Packet;
 use crate::time::SimTime;
-use crate::units::{Bytes, BitsPerSec};
+use crate::units::{BitsPerSec, Bytes};
 
 /// Result of offering a packet to a queue.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

@@ -220,7 +220,11 @@ impl RedQueue {
         self.count += 1;
         // Floyd's uniformization: pa = pb / (1 - count*pb), clamped.
         let denom = 1.0 - self.count as f64 * pb;
-        let pa = if denom <= 0.0 { 1.0 } else { (pb / denom).min(1.0) };
+        let pa = if denom <= 0.0 {
+            1.0
+        } else {
+            (pb / denom).min(1.0)
+        };
         if self.rng.random::<f64>() < pa {
             self.count = 0;
             true
@@ -316,7 +320,10 @@ mod tests {
         let mut q = queue(100);
         // avg stays near zero for the first few arrivals (w_q = 0.002).
         for _ in 0..5 {
-            assert_eq!(q.enqueue(pkt(1000), SimTime::ZERO), EnqueueOutcome::Enqueued);
+            assert_eq!(
+                q.enqueue(pkt(1000), SimTime::ZERO),
+                EnqueueOutcome::Enqueued
+            );
         }
         assert_eq!(q.drops(), 0);
         assert!(q.avg_queue() < 5.0);

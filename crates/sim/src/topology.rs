@@ -231,10 +231,8 @@ impl TopologyBuilder {
             })
             .collect();
 
-        let edge_list: Vec<(LinkId, NodeId, NodeId)> = links
-            .iter()
-            .map(|l| (l.id(), l.src(), l.dst()))
-            .collect();
+        let edge_list: Vec<(LinkId, NodeId, NodeId)> =
+            links.iter().map(|l| (l.id(), l.src(), l.dst())).collect();
         let routing = RoutingTable::compute(n, &edge_list);
 
         Ok(Simulator::from_parts(nodes, links, routing))
@@ -251,7 +249,10 @@ mod tests {
 
     #[test]
     fn empty_topology_rejected() {
-        assert_eq!(TopologyBuilder::new().build().unwrap_err(), BuildError::Empty);
+        assert_eq!(
+            TopologyBuilder::new().build().unwrap_err(),
+            BuildError::Empty
+        );
     }
 
     #[test]
@@ -292,8 +293,20 @@ mod tests {
         let a = t.add_host("a");
         let r = t.add_router("r");
         let b = t.add_host("b");
-        t.add_duplex_link(a, r, BitsPerSec::from_mbps(1.0), SimDuration::from_millis(1), q());
-        t.add_duplex_link(r, b, BitsPerSec::from_mbps(1.0), SimDuration::from_millis(1), q());
+        t.add_duplex_link(
+            a,
+            r,
+            BitsPerSec::from_mbps(1.0),
+            SimDuration::from_millis(1),
+            q(),
+        );
+        t.add_duplex_link(
+            r,
+            b,
+            BitsPerSec::from_mbps(1.0),
+            SimDuration::from_millis(1),
+            q(),
+        );
         let sim = t.build().unwrap();
         assert!(sim.routing().reachable(a, b));
         assert!(sim.routing().reachable(b, a));

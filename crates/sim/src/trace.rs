@@ -108,10 +108,7 @@ impl RateTrace {
     /// The observed series as rates in bits per second (one value per bin).
     pub fn series_bps(&self) -> Vec<f64> {
         let secs = self.bin.as_secs_f64();
-        self.bytes
-            .iter()
-            .map(|&b| b as f64 * 8.0 / secs)
-            .collect()
+        self.bytes.iter().map(|&b| b as f64 * 8.0 / secs).collect()
     }
 
     /// Total bytes recorded.
@@ -158,7 +155,11 @@ mod tests {
 
     #[test]
     fn bins_accumulate_bytes() {
-        let mut t = RateTrace::new(LinkId::from_u32(0), TraceFilter::All, SimDuration::from_millis(50));
+        let mut t = RateTrace::new(
+            LinkId::from_u32(0),
+            TraceFilter::All,
+            SimDuration::from_millis(50),
+        );
         t.record(SimTime::from_millis(10), &pkt(PacketKind::Attack, 1000));
         t.record(SimTime::from_millis(40), &pkt(PacketKind::Attack, 500));
         t.record(SimTime::from_millis(60), &pkt(PacketKind::Attack, 200));
@@ -169,7 +170,11 @@ mod tests {
 
     #[test]
     fn series_converts_to_bps() {
-        let mut t = RateTrace::new(LinkId::from_u32(0), TraceFilter::All, SimDuration::from_millis(100));
+        let mut t = RateTrace::new(
+            LinkId::from_u32(0),
+            TraceFilter::All,
+            SimDuration::from_millis(100),
+        );
         t.record(SimTime::ZERO, &pkt(PacketKind::Background, 12_500)); // 100 kbit in 0.1 s = 1 Mbps
         assert_eq!(t.series_bps(), vec![1e6]);
     }
@@ -177,7 +182,10 @@ mod tests {
     #[test]
     fn filters_select_traffic_classes() {
         assert!(TraceFilter::All.admits(PacketKind::Attack));
-        assert!(TraceFilter::TcpOnly.admits(PacketKind::Data { seq: 0, retx: false }));
+        assert!(TraceFilter::TcpOnly.admits(PacketKind::Data {
+            seq: 0,
+            retx: false
+        }));
         assert!(TraceFilter::TcpOnly.admits(PacketKind::Ack { cum_seq: 0 }));
         assert!(!TraceFilter::TcpOnly.admits(PacketKind::Attack));
         assert!(!TraceFilter::TcpOnly.admits(PacketKind::Background));
@@ -197,7 +205,11 @@ mod tests {
 
     #[test]
     fn display_mentions_link() {
-        let t = RateTrace::new(LinkId::from_u32(3), TraceFilter::All, SimDuration::from_millis(50));
+        let t = RateTrace::new(
+            LinkId::from_u32(3),
+            TraceFilter::All,
+            SimDuration::from_millis(50),
+        );
         assert!(t.to_string().contains("link3"));
     }
 

@@ -11,8 +11,8 @@ use crate::rto::RttEstimator;
 use crate::stats::{CwndSample, SenderStats};
 use pdos_sim::agent::{Agent, AgentCtx};
 use pdos_sim::node::NodeId;
-use pdos_sim::packet::{FlowId, Packet, PacketKind};
 use pdos_sim::packet::Ecn;
+use pdos_sim::packet::{FlowId, Packet, PacketKind};
 use pdos_sim::time::SimTime;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -610,7 +610,11 @@ mod tests {
         drive(&mut s, SimTime::from_millis(100), |s, ctx| {
             s.on_packet(ack(2), ctx)
         });
-        assert!((s.cwnd() - 2.5).abs() < 1e-9, "2 + 1/2 = 2.5, got {}", s.cwnd());
+        assert!(
+            (s.cwnd() - 2.5).abs() < 1e-9,
+            "2 + 1/2 = 2.5, got {}",
+            s.cwnd()
+        );
     }
 
     #[test]
@@ -622,7 +626,7 @@ mod tests {
             s.on_packet(ack(2), ctx)
         });
         let cwnd_before = s.cwnd(); // 3.0
-        // Three duplicate ACKs at cum=2.
+                                    // Three duplicate ACKs at cum=2.
         for _ in 0..2 {
             let fx = drive(&mut s, SimTime::from_millis(110), |s, ctx| {
                 s.on_packet(ack(2), ctx)
@@ -744,9 +748,7 @@ mod tests {
             s.on_packet(ack(2), ctx)
         }); // outstanding: seqs 2,3,4
         let gen = s.rto_gen;
-        let fx = drive(&mut s, SimTime::from_secs(2), |s, ctx| {
-            s.on_timer(gen, ctx)
-        });
+        let fx = drive(&mut s, SimTime::from_secs(2), |s, ctx| s.on_timer(gen, ctx));
         assert_eq!(s.stats().timeouts, 1);
         assert_eq!(s.cwnd(), 1.0);
         // cwnd 1 allows exactly one re-send: the first unacked (seq 2).
@@ -927,7 +929,7 @@ mod tests {
         c.limited_transmit = true;
         let mut s = TcpSender::new(c, FlowId::from_u32(1), NodeId::from_u32(9));
         drive(&mut s, SimTime::ZERO, |s, ctx| s.start(ctx)); // seqs 0,1 out
-        // First two dup-ACKs each release one new segment.
+                                                             // First two dup-ACKs each release one new segment.
         let fx = drive(&mut s, SimTime::from_millis(50), |s, ctx| {
             s.on_packet(ack(0), ctx)
         });
@@ -1007,8 +1009,8 @@ mod tests {
         c.initial_cwnd = 8.0;
         let mut s = TcpSender::new(c, FlowId::from_u32(1), NodeId::from_u32(9));
         drive(&mut s, SimTime::ZERO, |s, ctx| s.start(ctx)); // seqs 0..8 out
-        // Losses at 2 and 5; receiver has 0,1,3,4,6,7 and dup-acks cum=2
-        // with SACK blocks for [3,5) and [6,8).
+                                                             // Losses at 2 and 5; receiver has 0,1,3,4,6,7 and dup-acks cum=2
+                                                             // with SACK blocks for [3,5) and [6,8).
         let sack = pdos_sim::packet::SackBlocks::from_ranges(&[(3, 5), (6, 8)]);
         for i in 0..5u64 {
             let p = ack(2).with_sack(sack);

@@ -297,7 +297,7 @@ mod tests {
         let mut s = sink();
         drive(&mut s, SimTime::ZERO, |s, ctx| s.on_packet(data(0), ctx));
         drive(&mut s, SimTime::ZERO, |s, ctx| s.on_packet(data(1), ctx)); // cum=2
-        // seq 2 lost; 3, 4, 5 arrive.
+                                                                          // seq 2 lost; 3, 4, 5 arrive.
         for seq in [3, 4, 5] {
             let fx = drive(&mut s, SimTime::from_millis(2), |s, ctx| {
                 s.on_packet(data(seq), ctx)

@@ -31,7 +31,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         spec.bottleneck,
         gamma,
     )?;
-    println!("(ground truth: gamma* = {gamma:.3}, T_AIMD = {}, C_psi = {c_true:.3})\n", train.period());
+    println!(
+        "(ground truth: gamma* = {gamma:.3}, T_AIMD = {}, C_psi = {c_true:.3})\n",
+        train.period()
+    );
 
     // --- Step 1: measure the damage. -----------------------------------
     let exp = GainExperiment::new(spec.clone())
@@ -53,7 +56,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let volume = RateDetector::conventional(15e6, bin.as_secs_f64()).run(&bytes);
     println!(
         "        volume detector: {} (EWMA utilization {:.2})",
-        if volume.detected { "ALARM" } else { "quiet - the attack is stealthy" },
+        if volume.detected {
+            "ALARM"
+        } else {
+            "quiet - the attack is stealthy"
+        },
         volume.final_utilization
     );
 

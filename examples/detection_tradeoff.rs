@@ -13,7 +13,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let bin = SimDuration::from_millis(100);
     let (t_extent, r_attack) = (0.075, 30e6);
 
-    let exp = GainExperiment::new(spec.clone()).warmup(warmup).window(window);
+    let exp = GainExperiment::new(spec.clone())
+        .warmup(warmup)
+        .window(window);
     let baseline = exp.baseline_bytes()?;
 
     println!("== damage vs detection: 75 ms pulses at 30 Mbps ==\n");
@@ -48,8 +50,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
         // Detector 2: DTW pulse-shape matcher (when a full period fits).
         let dtw_detected = if period_bins >= 4 && period_bins <= bytes.len() {
-            let on_bins = ((t_extent / bin.as_secs_f64()).round() as usize)
-                .clamp(1, period_bins - 1);
+            let on_bins =
+                ((t_extent / bin.as_secs_f64()).round() as usize).clamp(1, period_bins - 1);
             let series: Vec<f64> = bytes.iter().map(|&b| b as f64).collect();
             DtwPulseDetector::new(period_bins, on_bins, 0.75, Some(period_bins / 2))
                 .sweep(&series)
@@ -63,7 +65,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             gamma,
             point.g_sim,
             RiskPreference::NEUTRAL.factor(gamma),
-            if rate_report.detected { "ALARM" } else { "quiet" },
+            if rate_report.detected {
+                "ALARM"
+            } else {
+                "quiet"
+            },
             if dtw_detected { "MATCH" } else { "miss" },
             point.class.to_string(),
         );

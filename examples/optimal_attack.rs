@@ -14,7 +14,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("== Optimal PDoS parameters (25 flows, T_extent=75ms, R_attack=30Mbps) ==");
     println!("damage constant C_psi = {c:.4}\n");
-    println!("{:<22} {:>8} {:>8} {:>10} {:>8}", "attacker", "gamma*", "mu*", "period(s)", "gain");
+    println!(
+        "{:<22} {:>8} {:>8} {:>10} {:>8}",
+        "attacker", "gamma*", "mu*", "period(s)", "gain"
+    );
 
     for (label, kappa) in [
         ("risk-loving (k=0.3)", 0.3),
@@ -30,7 +33,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     // Corollary 3 sanity: the neutral optimum is sqrt(C_psi).
-    println!("\nCorollary 3 check: gamma* = sqrt(C_psi) = {:.3}", c.sqrt());
+    println!(
+        "\nCorollary 3 check: gamma* = sqrt(C_psi) = {:.3}",
+        c.sqrt()
+    );
 
     // Verify in simulation that the neutral gamma* beats its neighbours.
     let exp = GainExperiment::new(spec)

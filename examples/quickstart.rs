@@ -26,12 +26,27 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let (t_extent, r_attack, gamma) = (0.075, 30e6, 0.3);
     let point = exp.run_point(t_extent, r_attack, gamma, baseline)?;
 
-    println!("\nattack: 75 ms pulses at 30 Mbps, every {:.2} s (gamma = {gamma})", point.t_aimd);
-    println!("  analytical degradation (Prop. 2) : {:5.1}%", point.degradation_analytic * 100.0);
-    println!("  measured degradation             : {:5.1}%", point.degradation_sim * 100.0);
-    println!("  analytical gain (Eq. 5, kappa=1) : {:5.3}", point.g_analytic);
+    println!(
+        "\nattack: 75 ms pulses at 30 Mbps, every {:.2} s (gamma = {gamma})",
+        point.t_aimd
+    );
+    println!(
+        "  analytical degradation (Prop. 2) : {:5.1}%",
+        point.degradation_analytic * 100.0
+    );
+    println!(
+        "  measured degradation             : {:5.1}%",
+        point.degradation_sim * 100.0
+    );
+    println!(
+        "  analytical gain (Eq. 5, kappa=1) : {:5.3}",
+        point.g_analytic
+    );
     println!("  measured gain                    : {:5.3}", point.g_sim);
-    println!("  victim timeouts / fast recoveries: {} / {}", point.timeouts, point.fast_recoveries);
+    println!(
+        "  victim timeouts / fast recoveries: {} / {}",
+        point.timeouts, point.fast_recoveries
+    );
     println!("  classification (Sec. 4.1.1)      : {}", point.class);
 
     // 3. The headline: the attacker spends ~3.5x less than the bottleneck

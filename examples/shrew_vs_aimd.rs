@@ -21,7 +21,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let gamma_off = gamma_shrew / 0.7; // T_AIMD = 0.7 s: off-harmonic
 
     println!("== shrew point vs off-harmonic AIMD point (same pulse shape) ==\n");
-    for (label, gamma) in [("shrew  (T=1.0s)", gamma_shrew), ("aimd   (T=0.7s)", gamma_off)] {
+    for (label, gamma) in [
+        ("shrew  (T=1.0s)", gamma_shrew),
+        ("aimd   (T=0.7s)", gamma_off),
+    ] {
         let p = exp.run_point(t_extent, r_attack, gamma, baseline)?;
         println!(
             "{label}: gamma={gamma:.3} G_sim={:.3} G_analytic={:.3} timeouts={} FRs={} shrew={:?}",

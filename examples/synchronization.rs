@@ -36,7 +36,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     if let Some(p) = result.period_from_autocorr {
         println!("period from autocorrelation: {p:.2} s");
     }
-    println!("expected (= attack period) : {:.2} s", result.expected_period);
+    println!(
+        "expected (= attack period) : {:.2} s",
+        result.expected_period
+    );
     Ok(())
 }
 

@@ -71,7 +71,10 @@ fn no_packets_are_lost_to_routing() {
     let stats = bench.sim.stats();
     assert_eq!(stats.routeless, 0, "{stats:?}");
     assert!(stats.delivered > 0);
-    assert!(stats.unclaimed > 0, "attack packets land unclaimed at the sink");
+    assert!(
+        stats.unclaimed > 0,
+        "attack packets land unclaimed at the sink"
+    );
 }
 
 /// Dummynet-style impairments behave as configured: a 5% random-loss link

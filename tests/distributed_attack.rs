@@ -5,10 +5,7 @@
 
 use pdos::prelude::*;
 
-fn degradation_with(
-    n_sources: u32,
-    phasing: AttackPhasing,
-) -> f64 {
+fn degradation_with(n_sources: u32, phasing: AttackPhasing) -> f64 {
     let spec = ScenarioSpec::ns2_dumbbell(8);
     let warm = SimTime::from_secs(6);
     let end = SimTime::from_secs(31);

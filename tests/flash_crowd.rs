@@ -36,8 +36,20 @@ fn bottleneck_trace(flash_crowd: bool, attack: bool) -> Vec<u64> {
     }
     let attacker = t.add_host("attacker");
     let sinkhost = t.add_host("attack-sink");
-    t.add_duplex_link(attacker, s, BitsPerSec::from_mbps(1000.0), SimDuration::from_millis(1), ample.clone());
-    t.add_duplex_link(sinkhost, r, BitsPerSec::from_mbps(1000.0), SimDuration::from_millis(1), ample);
+    t.add_duplex_link(
+        attacker,
+        s,
+        BitsPerSec::from_mbps(1000.0),
+        SimDuration::from_millis(1),
+        ample.clone(),
+    );
+    t.add_duplex_link(
+        sinkhost,
+        r,
+        BitsPerSec::from_mbps(1000.0),
+        SimDuration::from_millis(1),
+        ample,
+    );
 
     let mut sim = t.build().expect("builds");
     let bin = SimDuration::from_millis(100);

@@ -18,10 +18,7 @@ fn degradation_increases_with_gamma() {
         .expect("sweep runs");
     assert_eq!(sweep.points.len(), 3);
     let d: Vec<f64> = sweep.points.iter().map(|p| p.degradation_sim).collect();
-    assert!(
-        d[0] < d[2],
-        "higher normalized rate must hurt more: {d:?}"
-    );
+    assert!(d[0] < d[2], "higher normalized rate must hurt more: {d:?}");
     // All points cause real damage.
     assert!(d.iter().all(|&x| x > 0.1), "every point degrades: {d:?}");
 }
@@ -78,9 +75,7 @@ fn more_flows_raise_c_psi_and_shift_optimum_right() {
     let c15 = c_psi(&ScenarioSpec::ns2_dumbbell(15).victims(), 0.075, 30e6).unwrap();
     let c45 = c_psi(&ScenarioSpec::ns2_dumbbell(45).victims(), 0.075, 30e6).unwrap();
     assert!(c45 > c15);
-    assert!(
-        gamma_star(c45, RiskPreference::NEUTRAL) > gamma_star(c15, RiskPreference::NEUTRAL)
-    );
+    assert!(gamma_star(c45, RiskPreference::NEUTRAL) > gamma_star(c15, RiskPreference::NEUTRAL));
 }
 
 #[test]
@@ -94,11 +89,7 @@ fn flooding_baseline_is_total_but_loud() {
     let baseline = exp.baseline_bytes().expect("baseline runs");
 
     let mut bench = spec.build().expect("builds");
-    bench.attach_flood_attack(
-        BitsPerSec::from_mbps(30.0),
-        SimTime::from_secs(8),
-        None,
-    );
+    bench.attach_flood_attack(BitsPerSec::from_mbps(30.0), SimTime::from_secs(8), None);
     bench.run_until(SimTime::from_secs(8));
     let before = bench.goodput_bytes();
     bench.run_until(SimTime::from_secs(28));

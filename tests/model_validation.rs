@@ -36,8 +36,7 @@ fn lemma2_aggregate_matches_in_fr_regime() {
     // Skip the transient (< 10 pulses), measure 20 whole periods.
     let measure_from = SimTime::from_secs_f64(10.0 + 8.0 * t_aimd);
     let n_periods = 20u32;
-    let measure_to =
-        measure_from + SimDuration::from_secs_f64(t_aimd * f64::from(n_periods));
+    let measure_to = measure_from + SimDuration::from_secs_f64(t_aimd * f64::from(n_periods));
     bench.run_until(measure_from);
     let before = bench.goodput_bytes();
     bench.run_until(measure_to);

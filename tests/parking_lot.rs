@@ -3,8 +3,8 @@
 //! targets the middle hop; flows crossing it suffer, flows that avoid it
 //! do not — locality the dumbbell cannot express.
 
-use pdos::prelude::*;
 use pdos::attack::source::PulseSource;
+use pdos::prelude::*;
 use pdos::tcp::sender::TcpSender;
 use pdos::tcp::sink::TcpSink;
 
@@ -35,16 +35,40 @@ fn build(n_per_group: usize) -> ParkingLot {
 
     // Two bottleneck hops r1->r2->r3 (RED forward, ample reverse).
     t.add_link(r1, r2, bottleneck, SimDuration::from_millis(5), red.clone());
-    t.add_link(r2, r1, bottleneck, SimDuration::from_millis(5), ample.clone());
+    t.add_link(
+        r2,
+        r1,
+        bottleneck,
+        SimDuration::from_millis(5),
+        ample.clone(),
+    );
     t.add_link(r2, r3, bottleneck, SimDuration::from_millis(5), red);
-    t.add_link(r3, r2, bottleneck, SimDuration::from_millis(5), ample.clone());
+    t.add_link(
+        r3,
+        r2,
+        bottleneck,
+        SimDuration::from_millis(5),
+        ample.clone(),
+    );
 
     let mut hosts = Vec::new();
     let add_pair = |t: &mut TopologyBuilder, src_router, dst_router, tag: &str, i: usize| {
         let src = t.add_host(format!("{tag}-src{i}"));
         let dst = t.add_host(format!("{tag}-dst{i}"));
-        t.add_duplex_link(src, src_router, access, SimDuration::from_millis(2), ample.clone());
-        t.add_duplex_link(dst, dst_router, access, SimDuration::from_millis(2), ample.clone());
+        t.add_duplex_link(
+            src,
+            src_router,
+            access,
+            SimDuration::from_millis(2),
+            ample.clone(),
+        );
+        t.add_duplex_link(
+            dst,
+            dst_router,
+            access,
+            SimDuration::from_millis(2),
+            ample.clone(),
+        );
         (src, dst)
     };
     for i in 0..n_per_group {
@@ -54,8 +78,20 @@ fn build(n_per_group: usize) -> ParkingLot {
     }
     let attacker = t.add_host("attacker");
     let attack_sink = t.add_host("attack-sink");
-    t.add_duplex_link(attacker, r2, BitsPerSec::from_mbps(1000.0), SimDuration::from_millis(1), ample.clone());
-    t.add_duplex_link(attack_sink, r3, BitsPerSec::from_mbps(1000.0), SimDuration::from_millis(1), ample);
+    t.add_duplex_link(
+        attacker,
+        r2,
+        BitsPerSec::from_mbps(1000.0),
+        SimDuration::from_millis(1),
+        ample.clone(),
+    );
+    t.add_duplex_link(
+        attack_sink,
+        r3,
+        BitsPerSec::from_mbps(1000.0),
+        SimDuration::from_millis(1),
+        ample,
+    );
 
     let mut sim = t.build().expect("parking lot builds");
     let cfg = TcpConfig::ns2_newreno();
@@ -107,7 +143,8 @@ fn run(attacked: bool) -> (f64, f64, f64) {
             Bytes::from_u64(1000),
             None,
         ));
-        lot.sim.attach_agent_at(lot.attacker, src, SimTime::from_secs(6));
+        lot.sim
+            .attach_agent_at(lot.attacker, src, SimTime::from_secs(6));
     }
     lot.sim.run_until(SimTime::from_secs(6));
     let before = (

@@ -41,10 +41,7 @@ fn tree_sim(parents: &[u8], src_pick: u8, dst_pick: u8) -> (Simulator, u64) {
         sim.bind_flow(src, flow, tx);
         sim.bind_flow(dst, flow, rx);
         sim.run_until(SimTime::from_secs(3));
-        goodput_probe = sim
-            .agent_as::<TcpSink>(rx)
-            .expect("sink")
-            .goodput_bytes();
+        goodput_probe = sim.agent_as::<TcpSink>(rx).expect("sink").goodput_bytes();
     }
     (sim, goodput_probe)
 }

@@ -37,7 +37,10 @@ fn red_yields_at_least_droptail_gain() {
         "RED should be at least as vulnerable as drop-tail: RED {red:.3} vs DropTail {droptail:.3}"
     );
     // Both must show real damage for the comparison to mean anything.
-    assert!(red > 0.3 && droptail > 0.2, "red {red:.3}, droptail {droptail:.3}");
+    assert!(
+        red > 0.3 && droptail > 0.2,
+        "red {red:.3}, droptail {droptail:.3}"
+    );
 }
 
 #[test]

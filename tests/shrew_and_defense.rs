@@ -46,7 +46,8 @@ fn shrew_locks_victims_into_timeout() {
         .run_point(t_extent, r_attack, gamma_for(2.6), baseline)
         .expect("runs");
 
-    let shrew_to_rate = shrew.timeouts as f64 / (shrew.timeouts + shrew.fast_recoveries).max(1) as f64;
+    let shrew_to_rate =
+        shrew.timeouts as f64 / (shrew.timeouts + shrew.fast_recoveries).max(1) as f64;
     let gentle_to_rate =
         gentle.timeouts as f64 / (gentle.timeouts + gentle.fast_recoveries).max(1) as f64;
     assert!(

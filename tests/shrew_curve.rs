@@ -70,6 +70,10 @@ fn model_and_simulation_agree_the_null_is_the_minimum() {
             .expect("non-empty")
             .0
     };
-    assert_eq!(argmin(&model), 1, "model places the null at T=1 s: {model:?}");
+    assert_eq!(
+        argmin(&model),
+        1,
+        "model places the null at T=1 s: {model:?}"
+    );
     assert_eq!(argmin(&sim), 1, "simulation agrees: {sim:?}");
 }

@@ -119,5 +119,8 @@ fn queue_depth_oscillates_at_the_attack_period() {
         "queue depth period {period:.2} s should equal T_AIMD = 2 s"
     );
     // The buffer actually fills during pulses.
-    assert!(*depths.iter().max().unwrap() > 30, "pulses must fill the queue");
+    assert!(
+        *depths.iter().max().unwrap() > 30,
+        "pulses must fill the queue"
+    );
 }
