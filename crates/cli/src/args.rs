@@ -49,8 +49,10 @@ const KNOWN_KEYS: &[&str] = &[
     "jobs",
     "master-seed",
     "out",
+    "golden-dir",
+    "scenarios",
 ];
-const KNOWN_FLAGS: &[&str] = &["ecn", "droptail", "help", "testbed", "smoke"];
+const KNOWN_FLAGS: &[&str] = &["ecn", "droptail", "help", "testbed", "smoke", "bless"];
 
 impl Args {
     /// Parses `argv[1..]`.
@@ -185,5 +187,30 @@ mod tests {
     fn required_option_enforced() {
         let a = parse("detect").unwrap();
         assert!(a.require_num::<f64>("capacity-mbps").is_err());
+    }
+
+    #[test]
+    fn sweep_figure_options_round_trip() {
+        let a =
+            parse("sweep --fig fig06 --jobs 3 --smoke --master-seed 17 --out /tmp/r.json").unwrap();
+        assert_eq!(a.command, "sweep");
+        assert_eq!(a.get("fig"), Some("fig06"));
+        assert_eq!(a.num::<usize>("jobs", 0).unwrap(), 3);
+        assert!(a.flag("smoke"));
+        assert_eq!(a.num::<u64>("master-seed", 0).unwrap(), 17);
+        assert_eq!(a.get("out"), Some("/tmp/r.json"));
+        // Absent flags and keys fall back cleanly.
+        assert!(!a.flag("bless"));
+        assert_eq!(a.num::<u64>("seed", 9).unwrap(), 9);
+    }
+
+    #[test]
+    fn check_options_round_trip() {
+        let a = parse("check --scenarios 50 --golden-dir tests/golden --bless --jobs 2").unwrap();
+        assert_eq!(a.command, "check");
+        assert_eq!(a.num::<usize>("scenarios", 0).unwrap(), 50);
+        assert_eq!(a.get("golden-dir"), Some("tests/golden"));
+        assert!(a.flag("bless"));
+        assert_eq!(a.num::<usize>("jobs", 0).unwrap(), 2);
     }
 }

@@ -7,6 +7,7 @@ use pdos_analysis::model::c_psi;
 use pdos_analysis::optimize::{plan_for_degradation, solve};
 use pdos_analysis::sensitivity::parameter_what_if;
 use pdos_attack::pulse::PulseTrain;
+use pdos_conformance::{OracleConfig, GOLDEN_FILE};
 use pdos_detect::cusum::CusumDetector;
 use pdos_detect::rate::RateDetector;
 use pdos_detect::spectral::SpectralDetector;
@@ -51,6 +52,13 @@ COMMANDS
   detect     run the volume + spectral detectors over a binned byte trace
              --csv FILE (one integer per line: bytes per bin)
              --capacity-mbps C  --bin-ms B (100)
+  check      conformance suite: a fig06 smoke sweep with the runtime
+             invariant checkers on, golden-trace digest regression, and
+             the analytic differential oracle (randomized scenarios vs
+             the Eq. 5 gain curves within EXPERIMENTS.md tolerance bands)
+             --jobs N (0)  --scenarios N (50)  --master-seed S (7)
+             --golden-dir DIR (tests/golden)  --bless (regenerate the
+             golden digests)  --out FILE (write the report)
   help       this text
 ";
 
@@ -343,6 +351,122 @@ fn cmd_sweep_figure(args: &Args) -> Result<String, ArgError> {
     Ok(out)
 }
 
+/// `pdos check` — the conformance suite. Fails (non-zero exit) on any
+/// invariant violation, golden-trace drift, or oracle band breach; when
+/// `--out` is given the report is written even on failure, so CI can
+/// upload it as an artifact.
+pub fn cmd_check(args: &Args) -> Result<String, ArgError> {
+    let jobs: usize = args.num("jobs", 0)?;
+    let scenarios: usize = args.num("scenarios", 50)?;
+    let master_seed: u64 = args.num("master-seed", 7)?;
+    let golden_path =
+        std::path::Path::new(args.get("golden-dir").unwrap_or("tests/golden")).join(GOLDEN_FILE);
+    let mut out = String::new();
+    let mut problems: Vec<String> = Vec::new();
+
+    // 1. A whole figure smoke sweep with the invariant checkers on.
+    let specs: Vec<ExperimentSpec> = gain_figure_specs(GainFigure::Fig06, &FigureGrid::smoke())
+        .into_iter()
+        .map(ExperimentSpec::checked)
+        .collect();
+    let report = SweepRunner::new(0)
+        .seed_policy(SeedPolicy::FromScenario)
+        .jobs(jobs)
+        .run(&specs);
+    let clean = report
+        .records
+        .iter()
+        .filter(|r| matches!(r.outcome, RunOutcome::Point { .. }))
+        .count();
+    let _ = writeln!(
+        out,
+        "invariants: fig06 smoke sweep under checks: {clean}/{} runs clean ({:.2} s wall)",
+        report.records.len(),
+        report.wall.as_secs_f64()
+    );
+    for r in &report.records {
+        if let RunOutcome::Failed { reason } | RunOutcome::Infeasible { reason } = &r.outcome {
+            problems.push(format!("invariants: {}: {reason}", r.id));
+        }
+    }
+
+    // 2. Golden-trace digests.
+    match pdos_conformance::compute_digests(jobs) {
+        Err(e) => problems.push(format!("golden: {e}")),
+        Ok(digests) => {
+            if args.flag("bless") {
+                if let Some(dir) = golden_path.parent() {
+                    std::fs::create_dir_all(dir)
+                        .map_err(|e| ArgError(format!("cannot create {}: {e}", dir.display())))?;
+                }
+                std::fs::write(
+                    &golden_path,
+                    pdos_conformance::golden::format_digests(&digests),
+                )
+                .map_err(|e| ArgError(format!("cannot write {}: {e}", golden_path.display())))?;
+                let _ = writeln!(
+                    out,
+                    "golden: blessed {} digests into {}",
+                    digests.len(),
+                    golden_path.display()
+                );
+            } else {
+                match std::fs::read_to_string(&golden_path) {
+                    Err(e) => problems.push(format!(
+                        "golden: cannot read {} ({e}); run `pdos check --bless`",
+                        golden_path.display()
+                    )),
+                    Ok(text) => match pdos_conformance::golden::parse_digests(&text) {
+                        Err(e) => problems.push(format!("golden: {e}")),
+                        Ok(stored) => {
+                            let drift = pdos_conformance::golden::compare(&digests, &stored);
+                            let _ = writeln!(
+                                out,
+                                "golden: {} digests vs {}: {}",
+                                digests.len(),
+                                golden_path.display(),
+                                if drift.is_empty() { "match" } else { "DRIFT" }
+                            );
+                            problems.extend(drift.into_iter().map(|d| format!("golden: {d}")));
+                        }
+                    },
+                }
+            }
+        }
+    }
+
+    // 3. The analytic differential oracle.
+    let oracle = pdos_conformance::run_oracle(&OracleConfig {
+        scenarios,
+        master_seed,
+        jobs,
+        ..OracleConfig::default()
+    });
+    out.push_str(&oracle.summary());
+    if !oracle.pass() {
+        problems.push("oracle: tolerance bands breached (see report)".into());
+    }
+
+    if let Some(path) = args.get("out") {
+        let mut full = out.clone();
+        for p in &problems {
+            let _ = writeln!(full, "PROBLEM: {p}");
+        }
+        std::fs::write(path, full).map_err(|e| ArgError(format!("cannot write {path}: {e}")))?;
+        let _ = writeln!(out, "report written to {path}");
+    }
+    if problems.is_empty() {
+        let _ = writeln!(out, "conformance: PASS");
+        Ok(out)
+    } else {
+        Err(ArgError(format!(
+            "conformance: FAIL ({} problem(s))\n{}\n{out}",
+            problems.len(),
+            problems.join("\n")
+        )))
+    }
+}
+
 /// `pdos sync`.
 pub fn cmd_sync(args: &Args) -> Result<String, ArgError> {
     let spec = spec_of(args, 12)?;
@@ -483,6 +607,7 @@ pub fn run(args: &Args) -> Result<String, ArgError> {
         "sweep" => cmd_sweep(args),
         "sync" => cmd_sync(args),
         "detect" => cmd_detect(args),
+        "check" => cmd_check(args),
         "help" | "--help" | "-h" => Ok(HELP.to_string()),
         other => Err(ArgError(format!(
             "unknown command '{other}'; try `pdos help`"
@@ -673,6 +798,59 @@ mod tests {
     fn sweep_fig_rejects_unknown_figure() {
         let e = run(&parse("sweep --fig fig42 --smoke")).unwrap_err();
         assert!(e.to_string().contains("fig06"), "{e}");
+    }
+
+    #[test]
+    fn check_bless_then_verify_roundtrips() {
+        // A tiny conformance pass against a temp golden dir: bless writes
+        // the digests, the verify pass then matches them; --out lands the
+        // report on disk both times. 4 oracle scenarios keep it fast —
+        // the full 50-scenario run lives in the conformance crate's suite.
+        let dir = std::env::temp_dir().join("pdos-cli-test-golden");
+        let report_path = std::env::temp_dir().join("pdos-cli-test-check.txt");
+        let _ = std::fs::remove_dir_all(&dir);
+        let base = format!(
+            "check --scenarios 4 --jobs 2 --golden-dir {} --out {}",
+            dir.display(),
+            report_path.display()
+        );
+        let blessed = run(&parse(&format!("{base} --bless"))).unwrap();
+        assert!(blessed.contains("blessed 4 digests"), "{blessed}");
+        assert!(blessed.contains("conformance: PASS"), "{blessed}");
+        let verified = run(&parse(&base)).unwrap();
+        assert!(verified.contains("golden:"), "{verified}");
+        assert!(verified.contains("match"), "{verified}");
+        assert!(verified.contains("conformance: PASS"), "{verified}");
+        let report = std::fs::read_to_string(&report_path).unwrap();
+        assert!(report.contains("oracle:"), "{report}");
+        let _ = std::fs::remove_dir_all(&dir);
+        let _ = std::fs::remove_file(&report_path);
+    }
+
+    #[test]
+    fn check_fails_on_golden_drift_but_still_writes_the_report() {
+        let dir = std::env::temp_dir().join("pdos-cli-test-golden-drift");
+        let report_path = std::env::temp_dir().join("pdos-cli-test-check-drift.txt");
+        std::fs::create_dir_all(&dir).unwrap();
+        // A stale golden file with a wrong digest for one canonical run.
+        std::fs::write(
+            dir.join(pdos_conformance::GOLDEN_FILE),
+            "golden/ns2-benign bins=1 total=1 digest=0000000000000001\n",
+        )
+        .unwrap();
+        let cmd = format!(
+            "check --scenarios 4 --jobs 2 --golden-dir {} --out {}",
+            dir.display(),
+            report_path.display()
+        );
+        let err = run(&parse(&cmd)).unwrap_err();
+        assert!(err.to_string().contains("conformance: FAIL"), "{err}");
+        assert!(err.to_string().contains("golden:"), "{err}");
+        // The report exists despite the failure (the CI artifact path).
+        let report = std::fs::read_to_string(&report_path).unwrap();
+        assert!(report.contains("PROBLEM: golden:"), "{report}");
+        let _ = std::fs::remove_dir_all(&dir);
+        let _ = std::fs::remove_file(&report_path);
     }
 
     #[test]

@@ -1,0 +1,27 @@
+//! # pdos-conformance — does the laboratory still tell the truth?
+//!
+//! Three independent mechanisms guard the reproduction against silent
+//! regressions (see `docs/TESTING.md` for the full story):
+//!
+//! 1. **Runtime invariants** — the simulator's event engine, links,
+//!    queues and TCP senders carry always-compiled, runtime-enabled
+//!    checkers ([`pdos_sim::check`]); every conformance run executes with
+//!    them on, so a conservation or clock bug fails the run rather than
+//!    skewing a figure.
+//! 2. **Golden traces** ([`golden`]) — hashed per-bin traffic digests of
+//!    canonical scenarios, pinned under `tests/golden/` and re-blessable
+//!    via `pdos check --bless`.
+//! 3. **Differential oracle** ([`oracle`]) — randomized scenarios pushed
+//!    through both the analytic gain model and the simulator, enforcing
+//!    the tolerance bands documented in EXPERIMENTS.md ([`bands`]).
+
+#![deny(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod bands;
+pub mod golden;
+pub mod oracle;
+
+pub use bands::ToleranceBands;
+pub use golden::{canonical_specs, compute_digests, TraceDigest, GOLDEN_FILE};
+pub use oracle::{run_oracle, OracleConfig, OracleOutcome};

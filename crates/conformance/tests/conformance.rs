@@ -1,0 +1,124 @@
+//! The conformance suite: golden traces, the differential oracle, the
+//! seeded-fault drill, and a checked figure smoke sweep.
+//!
+//! `PDOS_BLESS=1 cargo test -p pdos-conformance` regenerates the golden
+//! digests (equivalently: `pdos check --bless`).
+
+use pdos_conformance::{compute_digests, golden, run_oracle, OracleConfig, GOLDEN_FILE};
+use pdos_scenarios::figures::{gain_figure_specs, FigureGrid, GainFigure};
+use pdos_scenarios::runner::{RunOutcome, SeedPolicy, SweepRunner};
+use pdos_scenarios::spec::ScenarioSpec;
+use pdos_sim::check::ViolationKind;
+use pdos_sim::link::LinkId;
+use pdos_sim::time::SimTime;
+use std::path::PathBuf;
+
+fn golden_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../../tests/golden")
+        .join(GOLDEN_FILE)
+}
+
+#[test]
+fn golden_traces_match_the_stored_digests() {
+    let current = compute_digests(2).expect("canonical runs must succeed");
+    let path = golden_path();
+    if std::env::var_os("PDOS_BLESS").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).expect("create golden dir");
+        std::fs::write(&path, golden::format_digests(&current)).expect("write golden file");
+        return;
+    }
+    let stored = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "cannot read {}: {e}; bless with PDOS_BLESS=1",
+            path.display()
+        )
+    });
+    let stored = golden::parse_digests(&stored).expect("golden file parses");
+    let problems = golden::compare(&current, &stored);
+    assert!(
+        problems.is_empty(),
+        "golden trace drift (intentional? bless with PDOS_BLESS=1):\n{}",
+        problems.join("\n")
+    );
+}
+
+#[test]
+fn golden_digests_are_stable_across_worker_counts() {
+    let serial = compute_digests(1).expect("serial run");
+    let parallel = compute_digests(4).expect("parallel run");
+    assert_eq!(serial, parallel);
+}
+
+#[test]
+fn oracle_holds_over_fifty_randomized_scenarios() {
+    let outcome = run_oracle(&OracleConfig::default());
+    assert_eq!(outcome.n_runs, 50);
+    assert!(outcome.pass(), "{}", outcome.summary());
+    assert!(
+        outcome.n_right >= 10,
+        "need a meaningful right-side sample: {}",
+        outcome.summary()
+    );
+}
+
+#[test]
+fn seeded_clock_fault_is_flagged() {
+    let mut bench = ScenarioSpec::ns2_dumbbell(3).build().expect("build");
+    bench.sim.enable_checks();
+    bench.run_until(SimTime::from_secs(5));
+    assert!(
+        bench.audit_violations().is_empty(),
+        "healthy run must be clean"
+    );
+    // Drag the clock ahead of every pending event: each subsequent pop
+    // now looks like time running backwards.
+    bench.sim.corrupt_clock_for_test(SimTime::from_secs(60));
+    bench.run_until(SimTime::from_secs(61));
+    let violations = bench.audit_violations();
+    assert!(
+        violations
+            .iter()
+            .any(|v| v.kind == ViolationKind::ClockRegression),
+        "expected a clock-regression flag, got: {violations:?}"
+    );
+}
+
+#[test]
+fn seeded_link_accounting_fault_is_flagged() {
+    let mut bench = ScenarioSpec::ns2_dumbbell(3).build().expect("build");
+    bench.sim.enable_checks();
+    bench.run_until(SimTime::from_secs(2));
+    bench
+        .sim
+        .link_mut_for_test(LinkId::from_u32(0))
+        .corrupt_accounting_for_test();
+    bench.run_until(SimTime::from_secs(3));
+    let violations = bench.audit_violations();
+    assert!(
+        violations
+            .iter()
+            .any(|v| v.kind == ViolationKind::PacketConservation),
+        "expected a packet-conservation flag, got: {violations:?}"
+    );
+}
+
+#[test]
+fn fig06_smoke_sweep_is_clean_under_checks() {
+    let specs: Vec<_> = gain_figure_specs(GainFigure::Fig06, &FigureGrid::smoke())
+        .into_iter()
+        .map(|s| s.checked())
+        .collect();
+    let report = SweepRunner::new(0)
+        .seed_policy(SeedPolicy::FromScenario)
+        .jobs(2)
+        .run(&specs);
+    for r in &report.records {
+        assert!(
+            matches!(r.outcome, RunOutcome::Point { .. }),
+            "{}: expected a clean point under checks, got {:?}",
+            r.id,
+            r.outcome
+        );
+    }
+}

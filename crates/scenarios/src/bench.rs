@@ -244,6 +244,20 @@ impl Testbench {
             .sum()
     }
 
+    /// Collects runtime-invariant violations: everything the engine's
+    /// checkers recorded (empty unless `sim.enable_checks()` was called)
+    /// plus each victim TCP sender's invariant audit at the current time.
+    pub fn audit_violations(&self) -> Vec<pdos_sim::check::Violation> {
+        let now = self.sim.now();
+        let mut out: Vec<_> = self.sim.violations().to_vec();
+        for h in &self.flows {
+            if let Some(s) = self.sim.agent_as::<TcpSender>(h.sender) {
+                out.extend(s.check_invariants(now));
+            }
+        }
+        out
+    }
+
     /// Advances the simulation to `until`.
     pub fn run_until(&mut self, until: SimTime) {
         self.sim.run_until(until);

@@ -32,6 +32,9 @@ pub enum ExperimentError {
     Model(ParamError),
     /// The scenario topology failed to build.
     Build(pdos_sim::topology::BuildError),
+    /// Runtime invariant checkers flagged the run (only produced when the
+    /// experiment was configured with [`GainExperiment::checks`]).
+    Invariant(String),
 }
 
 impl fmt::Display for ExperimentError {
@@ -40,6 +43,7 @@ impl fmt::Display for ExperimentError {
             ExperimentError::Pulse(e) => write!(f, "pulse parameters: {e}"),
             ExperimentError::Model(e) => write!(f, "model parameters: {e}"),
             ExperimentError::Build(e) => write!(f, "topology: {e}"),
+            ExperimentError::Invariant(s) => write!(f, "invariant violations: {s}"),
         }
     }
 }
@@ -50,6 +54,7 @@ impl Error for ExperimentError {
             ExperimentError::Pulse(e) => Some(e),
             ExperimentError::Model(e) => Some(e),
             ExperimentError::Build(e) => Some(e),
+            ExperimentError::Invariant(_) => None,
         }
     }
 }
@@ -121,6 +126,7 @@ pub struct GainExperiment {
     window: SimDuration,
     risk: RiskPreference,
     class_margin: f64,
+    checks: bool,
 }
 
 impl GainExperiment {
@@ -133,6 +139,7 @@ impl GainExperiment {
             window: SimDuration::from_secs(60),
             risk: RiskPreference::NEUTRAL,
             class_margin: 0.12,
+            checks: false,
         }
     }
 
@@ -158,6 +165,31 @@ impl GainExperiment {
     pub fn class_margin(mut self, margin: f64) -> Self {
         self.class_margin = margin;
         self
+    }
+
+    /// Enables the simulator's runtime invariant checkers for every run
+    /// this experiment performs. A run that trips any checker — or whose
+    /// victim TCP senders end in an inconsistent state — fails with
+    /// [`ExperimentError::Invariant`] instead of returning data.
+    pub fn checks(mut self, enabled: bool) -> Self {
+        self.checks = enabled;
+        self
+    }
+
+    fn audit(&self, bench: &crate::bench::Testbench) -> Result<(), ExperimentError> {
+        if !self.checks {
+            return Ok(());
+        }
+        let violations = bench.audit_violations();
+        if violations.is_empty() {
+            return Ok(());
+        }
+        let shown: Vec<String> = violations.iter().take(4).map(|v| v.to_string()).collect();
+        let mut msg = format!("{} violation(s): {}", violations.len(), shown.join("; "));
+        if violations.len() > shown.len() {
+            msg.push_str("; ...");
+        }
+        Err(ExperimentError::Invariant(msg))
     }
 
     /// The scenario under test.
@@ -190,6 +222,9 @@ impl GainExperiment {
         trace_bin: Option<SimDuration>,
     ) -> Result<(u64, Vec<u64>), ExperimentError> {
         let mut bench = self.spec.build()?;
+        if self.checks {
+            bench.sim.enable_checks();
+        }
         let trace = trace_bin.map(|bin| {
             (
                 bench.trace_bottleneck(pdos_sim::trace::TraceFilter::All, bin),
@@ -199,6 +234,7 @@ impl GainExperiment {
         bench.run_until(SimTime::ZERO + self.warmup);
         let before = bench.goodput_bytes();
         bench.run_until(self.end());
+        self.audit(&bench)?;
         let bytes = bench.goodput_bytes() - before;
         let bins = trace
             .map(|(id, bin)| {
@@ -255,6 +291,9 @@ impl GainExperiment {
         let c = c_psi(&self.spec.victims(), t_extent, r_attack)?;
 
         let mut bench = self.spec.build()?;
+        if self.checks {
+            bench.sim.enable_checks();
+        }
         let trace = trace_bin.map(|bin| {
             (
                 bench.trace_bottleneck(pdos_sim::trace::TraceFilter::All, bin),
@@ -267,6 +306,7 @@ impl GainExperiment {
         let fr_before = bench.total_fast_recoveries();
         let to_before = bench.total_timeouts();
         bench.run_until(self.end());
+        self.audit(&bench)?;
         let attacked = bench.goodput_bytes() - before;
 
         let degradation_sim = if baseline_bytes == 0 {
@@ -647,6 +687,16 @@ mod tests {
         for (a, b) in serial.points.iter().zip(&parallel.points) {
             assert_eq!(a, b, "parallel execution must not change results");
         }
+    }
+
+    #[test]
+    fn checked_run_is_clean_on_a_healthy_scenario() {
+        let exp = quick_experiment(3)
+            .window(SimDuration::from_secs(8))
+            .checks(true);
+        let baseline = exp.baseline_bytes().unwrap();
+        let p = exp.run_point(0.1, 30e6, 0.4, baseline).unwrap();
+        assert!(p.degradation_sim > 0.0);
     }
 
     #[test]

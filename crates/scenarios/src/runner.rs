@@ -72,6 +72,11 @@ pub struct ExperimentSpec {
     pub trace_bin: Option<SimDuration>,
     /// Risk preference κ folded into gain (1.0 = the figures' neutral).
     pub kappa: f64,
+    /// Run with the simulator's runtime invariant checkers enabled; a
+    /// violation turns the run into [`RunOutcome::Failed`]. Deliberately
+    /// **not** part of [`ExperimentSpec::stable_hash`] — auditing a run
+    /// must not change its seed or its physics.
+    pub checks: bool,
 }
 
 impl ExperimentSpec {
@@ -90,6 +95,7 @@ impl ExperimentSpec {
             attack: Some(attack),
             trace_bin: None,
             kappa: 1.0,
+            checks: false,
         }
     }
 
@@ -103,6 +109,7 @@ impl ExperimentSpec {
             attack: None,
             trace_bin: None,
             kappa: 1.0,
+            checks: false,
         }
     }
 
@@ -124,6 +131,15 @@ impl ExperimentSpec {
     #[must_use]
     pub fn traced(mut self, bin: SimDuration) -> ExperimentSpec {
         self.trace_bin = Some(bin);
+        self
+    }
+
+    /// Enables the runtime invariant checkers for this run. Hash-neutral:
+    /// a checked run uses the same seed and produces the same physics as
+    /// an unchecked one.
+    #[must_use]
+    pub fn checked(mut self) -> ExperimentSpec {
+        self.checks = true;
         self
     }
 
@@ -494,7 +510,7 @@ impl SweepRunner {
                 scope.spawn(|| loop {
                     let i = next.fetch_add(1, Ordering::Relaxed);
                     let Some(spec) = specs.get(i) else { break };
-                    let record = self.execute(spec, &cache);
+                    let record = self.execute_caught(spec, &cache);
                     slots[i].set(record).expect("slot set twice");
                 });
             }
@@ -516,7 +532,39 @@ impl SweepRunner {
     /// Executes one spec (the per-worker body). Public so callers can run
     /// single points through exactly the runner's code path.
     pub fn execute_one(&self, spec: &ExperimentSpec) -> RunRecord {
-        self.execute(spec, &BaselineCache::default())
+        self.execute_caught(spec, &BaselineCache::default())
+    }
+
+    /// Runs [`SweepRunner::execute`] with a panic boundary: a spec that
+    /// panics anywhere inside the simulation surfaces as
+    /// [`RunOutcome::Failed`] instead of tearing down the whole sweep.
+    fn execute_caught(&self, spec: &ExperimentSpec, cache: &BaselineCache) -> RunRecord {
+        let started = Instant::now();
+        match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| self.execute(spec, cache))) {
+            Ok(record) => record,
+            Err(payload) => {
+                let what = payload
+                    .downcast_ref::<&str>()
+                    .map(|s| (*s).to_string())
+                    .or_else(|| payload.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "non-string panic payload".to_string());
+                let run_seed = derive_seed(self.master_seed, spec);
+                RunRecord {
+                    id: spec.id.clone(),
+                    run_seed,
+                    scenario_seed: if self.seed_policy == SeedPolicy::Derived {
+                        run_seed
+                    } else {
+                        spec.scenario.seed
+                    },
+                    baseline_bytes: 0,
+                    outcome: RunOutcome::Failed {
+                        reason: format!("worker panicked: {what}"),
+                    },
+                    wall: started.elapsed(),
+                }
+            }
+        }
     }
 
     fn execute(&self, spec: &ExperimentSpec, cache: &BaselineCache) -> RunRecord {
@@ -550,7 +598,8 @@ impl SweepRunner {
         let exp = GainExperiment::new(scenario)
             .warmup(spec.warmup)
             .window(spec.window)
-            .risk(risk);
+            .risk(risk)
+            .checks(spec.checks);
 
         let outcome = match spec.attack {
             None => match exp.baseline_traced(spec.trace_bin) {
@@ -721,6 +770,79 @@ mod tests {
     #[test]
     fn json_strings_are_escaped() {
         assert_eq!(json_str("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+    }
+
+    #[test]
+    fn fnv1a64_matches_reference_vectors() {
+        // Published FNV-1a 64-bit test vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x8594_4171_f739_67e8);
+    }
+
+    #[test]
+    fn stable_hash_and_derived_seed_are_pinned() {
+        // Golden values: any change to the spec identity format, the
+        // `Debug` representations feeding it, or the seed derivation
+        // silently re-seeds every derived-policy sweep. If a change here
+        // is *intentional*, update the constants and say so in the commit.
+        let spec = quick_spec("pin", 0.5);
+        assert_eq!(spec.stable_hash(), 0x6f14_23d5_379e_2643);
+        assert_eq!(derive_seed(0, &spec), 0x8e4f_476b_4557_9e9e);
+        assert_eq!(derive_seed(42, &spec), 0xc0b9_e410_12e1_d370);
+    }
+
+    #[test]
+    fn checks_flag_is_hash_neutral() {
+        let plain = quick_spec("n", 0.4);
+        let checked = quick_spec("n", 0.4).checked();
+        assert_eq!(plain.stable_hash(), checked.stable_hash());
+        assert_eq!(derive_seed(9, &plain), derive_seed(9, &checked));
+    }
+
+    #[test]
+    fn checked_spec_runs_clean_and_matches_unchecked() {
+        let plain = SweepRunner::new(11).jobs(1).run(&[quick_spec("c", 0.4)]);
+        let checked = SweepRunner::new(11)
+            .jobs(1)
+            .run(&[quick_spec("c", 0.4).checked()]);
+        assert_eq!(plain.results_json(), checked.results_json());
+        assert!(matches!(
+            checked.records[0].outcome,
+            RunOutcome::Point { .. }
+        ));
+    }
+
+    #[test]
+    fn panicking_spec_fails_without_sinking_the_sweep() {
+        // An AIMD decrease ratio of 2.0 passes the type system but fails
+        // TcpConfig::validate, so TcpSender::new panics while the
+        // scenario builds — a stand-in for any agent bug.
+        let mut bad = quick_spec("bad", 0.4);
+        bad.scenario.tcp.aimd.b = 2.0;
+        let specs = vec![quick_spec("ok1", 0.3), bad, quick_spec("ok2", 0.5)];
+        let report = SweepRunner::new(2).jobs(2).run(&specs);
+        assert_eq!(report.records.len(), 3);
+        assert!(matches!(
+            report.records[0].outcome,
+            RunOutcome::Point { .. }
+        ));
+        match &report.records[1].outcome {
+            RunOutcome::Failed { reason } => {
+                assert!(reason.contains("worker panicked"), "got: {reason}");
+            }
+            other => panic!("expected Failed, got {other:?}"),
+        }
+        assert!(matches!(
+            report.records[2].outcome,
+            RunOutcome::Point { .. }
+        ));
+
+        // The single-spec entry point survives the same panic.
+        let mut lone = quick_spec("lone", 0.4);
+        lone.scenario.tcp.aimd.b = 2.0;
+        let record = SweepRunner::new(2).execute_one(&lone);
+        assert!(matches!(record.outcome, RunOutcome::Failed { .. }));
     }
 
     #[test]

@@ -2,6 +2,7 @@
 //! queue, and advances simulated time.
 
 use crate::agent::{Agent, AgentCtx, AgentId, Effect};
+use crate::check::{CheckState, Violation, ViolationKind};
 use crate::event::{Event, EventQueue};
 use crate::link::{Link, LinkAccept, LinkId};
 use crate::node::{Node, NodeId};
@@ -72,6 +73,9 @@ pub struct Simulator {
     next_uid: u64,
     stats: SimStats,
     effects_scratch: Vec<Effect>,
+    /// Runtime invariant checkers; `None` (the default) costs one branch
+    /// per event.
+    checks: Option<Box<CheckState>>,
 }
 
 impl std::fmt::Debug for Simulator {
@@ -103,7 +107,38 @@ impl Simulator {
             next_uid: 1,
             stats: SimStats::default(),
             effects_scratch: Vec::new(),
+            checks: None,
         }
+    }
+
+    /// Turns on the runtime invariant checkers (see [`crate::check`]).
+    ///
+    /// From this point on, every processed event audits event-time
+    /// monotonicity and the touched link's packet conservation, queue
+    /// occupancy and RED drop-probability monotonicity. Breaches are
+    /// recorded — with sim-time and entity id — instead of panicking, and
+    /// read back with [`Simulator::violations`].
+    pub fn enable_checks(&mut self) {
+        if self.checks.is_none() {
+            self.checks = Some(Box::new(CheckState::new(self.links.len())));
+        }
+    }
+
+    /// Whether [`Simulator::enable_checks`] was called.
+    pub fn checks_enabled(&self) -> bool {
+        self.checks.is_some()
+    }
+
+    /// Invariant violations recorded so far (empty when checks are off).
+    pub fn violations(&self) -> &[Violation] {
+        self.checks
+            .as_deref()
+            .map_or(&[], |c| c.violations.as_slice())
+    }
+
+    /// Violations beyond the recording cap, counted but not stored.
+    pub fn violations_truncated(&self) -> u64 {
+        self.checks.as_deref().map_or(0, |c| c.truncated)
     }
 
     /// Current simulation time.
@@ -249,8 +284,22 @@ impl Simulator {
         let Some((at, event)) = self.events.pop() else {
             return false;
         };
-        debug_assert!(at >= self.clock, "event in the past: {at} < {}", self.clock);
-        self.clock = at;
+        if at < self.clock {
+            match self.checks.as_deref_mut() {
+                Some(checks) => checks.record(Violation {
+                    at: self.clock,
+                    entity: "engine".into(),
+                    kind: ViolationKind::ClockRegression,
+                    detail: format!("popped event scheduled at {at} behind clock {}", self.clock),
+                }),
+                None => {
+                    debug_assert!(false, "event in the past: {at} < {}", self.clock);
+                }
+            }
+        }
+        // Never move the clock backwards: a corrupted event timestamp is
+        // recorded above but must not propagate regressions downstream.
+        self.clock = self.clock.max(at);
         self.stats.events += 1;
         match event {
             Event::Deliver { node, packet } => self.handle_arrival(node, packet),
@@ -304,6 +353,9 @@ impl Simulator {
                 *self.drops_by_flow.entry(packet.flow).or_insert(0) += 1;
             }
         }
+        if self.checks.is_some() {
+            self.audit_link(link_id);
+        }
     }
 
     fn handle_tx_done(&mut self, link_id: LinkId) {
@@ -317,6 +369,69 @@ impl Simulator {
         }
         self.events
             .schedule(self.clock + delay, Event::Deliver { node: dst, packet });
+        if self.checks.is_some() {
+            self.audit_link(link_id);
+        }
+    }
+
+    /// Audits one link's invariants after it processed a packet: packet
+    /// conservation, queue occupancy, and (for RED queues) the
+    /// monotonicity of the drop probability in the average queue.
+    fn audit_link(&mut self, link_id: LinkId) {
+        let Some(checks) = self.checks.as_deref_mut() else {
+            return;
+        };
+        let link = &self.links[link_id.index()];
+        let now = self.clock;
+        for v in link.audit(now) {
+            checks.record(v);
+        }
+        if let Some(red) = link
+            .queue()
+            .as_any()
+            .downcast_ref::<crate::queue::RedQueue>()
+        {
+            let avg = red.avg_queue();
+            let pb = red.drop_probability();
+            if !pb.is_finite() || !(0.0..=1.0).contains(&pb) {
+                checks.record(Violation {
+                    at: now,
+                    entity: link_id.to_string(),
+                    kind: ViolationKind::RedDropProbability,
+                    detail: format!("drop probability {pb} outside [0, 1] at avg {avg}"),
+                });
+            }
+            if let Some((prev_avg, prev_pb)) = checks.red_last[link_id.index()] {
+                const EPS: f64 = 1e-12;
+                let opposed = (avg > prev_avg + EPS && pb < prev_pb - EPS)
+                    || (avg < prev_avg - EPS && pb > prev_pb + EPS);
+                if opposed {
+                    checks.record(Violation {
+                        at: now,
+                        entity: link_id.to_string(),
+                        kind: ViolationKind::RedDropProbability,
+                        detail: format!(
+                            "drop probability moved {prev_pb} -> {pb} while avg moved \
+                             {prev_avg} -> {avg}"
+                        ),
+                    });
+                }
+            }
+            checks.red_last[link_id.index()] = Some((avg, pb));
+        }
+    }
+
+    /// Test hook: forces the clock forward so the next pending event pops
+    /// "in the past", seeding a clock-regression fault for the checkers.
+    #[doc(hidden)]
+    pub fn corrupt_clock_for_test(&mut self, to: SimTime) {
+        self.clock = to;
+    }
+
+    /// Test hook: mutable access to a link, for seeding accounting faults.
+    #[doc(hidden)]
+    pub fn link_mut_for_test(&mut self, id: LinkId) -> &mut Link {
+        &mut self.links[id.index()]
     }
 
     fn with_agent<F>(&mut self, id: AgentId, f: F)
@@ -692,6 +807,104 @@ mod tests {
     fn attach_to_unknown_node_panics() {
         let (mut sim, _, _) = two_hosts();
         sim.attach_agent(NodeId::from_u32(99), Box::new(Counter::default()));
+    }
+
+    #[test]
+    fn checks_stay_clean_on_a_healthy_run() {
+        let (mut sim, a, b) = two_hosts();
+        sim.enable_checks();
+        assert!(sim.checks_enabled());
+        sim.attach_agent(
+            a,
+            Box::new(Blaster {
+                dst: b,
+                flow: FlowId::from_u32(1),
+                count: 50,
+                gap: SimDuration::from_micros(100),
+                sent: 0,
+            }),
+        );
+        sim.run_until(SimTime::from_secs(1));
+        assert!(
+            sim.violations().is_empty(),
+            "healthy run flagged: {:?}",
+            sim.violations()
+        );
+        assert_eq!(sim.violations_truncated(), 0);
+    }
+
+    #[test]
+    fn violations_empty_when_checks_disabled() {
+        let (mut sim, a, b) = two_hosts();
+        sim.attach_agent(
+            a,
+            Box::new(Blaster {
+                dst: b,
+                flow: FlowId::from_u32(1),
+                count: 3,
+                gap: SimDuration::ZERO,
+                sent: 0,
+            }),
+        );
+        sim.run_until(SimTime::from_secs(1));
+        assert!(!sim.checks_enabled());
+        assert!(sim.violations().is_empty());
+    }
+
+    #[test]
+    fn corrupted_clock_is_flagged_as_regression() {
+        let (mut sim, a, b) = two_hosts();
+        sim.enable_checks();
+        sim.attach_agent(
+            a,
+            Box::new(Blaster {
+                dst: b,
+                flow: FlowId::from_u32(1),
+                count: 5,
+                gap: SimDuration::from_millis(1),
+                sent: 0,
+            }),
+        );
+        // Jump the clock far past every pending event: the next pop is
+        // "in the past" and must be flagged, not panic.
+        sim.corrupt_clock_for_test(SimTime::from_secs(10));
+        sim.run_until(SimTime::from_secs(20));
+        let v = sim
+            .violations()
+            .iter()
+            .find(|v| v.kind == crate::check::ViolationKind::ClockRegression)
+            .expect("clock regression must be flagged");
+        assert_eq!(v.entity, "engine");
+        assert_eq!(v.at, SimTime::from_secs(10));
+    }
+
+    #[test]
+    fn corrupted_link_accounting_is_flagged_as_conservation_breach() {
+        let (mut sim, a, b) = two_hosts();
+        sim.enable_checks();
+        sim.attach_agent(
+            a,
+            Box::new(Blaster {
+                dst: b,
+                flow: FlowId::from_u32(1),
+                count: 10,
+                gap: SimDuration::from_millis(1),
+                sent: 0,
+            }),
+        );
+        let link_id = {
+            let link = sim.link_mut_for_test(LinkId::from_u32(0));
+            link.corrupt_accounting_for_test();
+            link.id()
+        };
+        sim.run_until(SimTime::from_secs(1));
+        let v = sim
+            .violations()
+            .iter()
+            .find(|v| v.kind == crate::check::ViolationKind::PacketConservation)
+            .expect("conservation breach must be flagged");
+        assert_eq!(v.entity, link_id.to_string());
+        assert!(v.detail.contains("offered"), "{}", v.detail);
     }
 
     #[test]

@@ -38,6 +38,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod agent;
+pub mod check;
 pub mod engine;
 pub mod event;
 pub mod link;
@@ -53,6 +54,7 @@ pub mod units;
 /// Convenient re-exports of the types almost every user touches.
 pub mod prelude {
     pub use crate::agent::{Agent, AgentCtx, AgentId};
+    pub use crate::check::{Violation, ViolationKind};
     pub use crate::engine::{SimStats, Simulator};
     pub use crate::link::{Impairments, LinkId};
     pub use crate::node::NodeId;

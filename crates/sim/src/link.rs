@@ -1,6 +1,7 @@
 //! Simplex links: a serializing transmitter, a propagation delay, and an
 //! ingress queue discipline.
 
+use crate::check::{Violation, ViolationKind};
 use crate::node::NodeId;
 use crate::packet::Packet;
 use crate::queue::QueueDiscipline;
@@ -238,6 +239,58 @@ impl Link {
     /// Current backlog in packets (not counting the in-flight packet).
     pub fn backlog_packets(&self) -> usize {
         self.queue.len_packets()
+    }
+
+    /// Packets currently being serialized (0 or 1).
+    pub fn in_flight_packets(&self) -> usize {
+        usize::from(self.in_flight.is_some())
+    }
+
+    /// Audits this link's conservation and occupancy invariants at `now`,
+    /// returning any breaches (empty on a healthy link).
+    ///
+    /// The conservation identity is
+    /// `offered = transmitted + queue drops + impairment drops + backlog +
+    /// in-flight`: every packet ever offered is still resident, already on
+    /// the wire, or accounted for by exactly one drop counter.
+    pub fn audit(&self, now: SimTime) -> Vec<Violation> {
+        let mut out = Vec::new();
+        let backlog = self.queue.len_packets();
+        let capacity = self.queue.capacity_packets();
+        if backlog > capacity {
+            out.push(Violation {
+                at: now,
+                entity: self.id.to_string(),
+                kind: ViolationKind::QueueOccupancy,
+                detail: format!("backlog {backlog} packets exceeds capacity {capacity}"),
+            });
+        }
+        let resident = backlog as u64 + self.in_flight_packets() as u64;
+        let accounted =
+            self.stats.tx_packets + self.queue.drops() + self.stats.impairment_drops + resident;
+        if self.stats.offered_packets != accounted {
+            out.push(Violation {
+                at: now,
+                entity: self.id.to_string(),
+                kind: ViolationKind::PacketConservation,
+                detail: format!(
+                    "offered {} != tx {} + queue drops {} + impairment drops {} + resident \
+                     {resident}",
+                    self.stats.offered_packets,
+                    self.stats.tx_packets,
+                    self.queue.drops(),
+                    self.stats.impairment_drops,
+                ),
+            });
+        }
+        out
+    }
+
+    /// Test hook: inflates the offered-packet counter without enqueueing,
+    /// seeding a packet-conservation fault for the checkers.
+    #[doc(hidden)]
+    pub fn corrupt_accounting_for_test(&mut self) {
+        self.stats.offered_packets += 1;
     }
 
     /// Read-only access to the queue discipline (for discipline-specific

@@ -502,4 +502,42 @@ mod tests {
         assert_eq!(q.drops(), 0);
         assert_eq!(q.limiter_drops(), 0);
     }
+
+    proptest::proptest! {
+        /// Occupancy never exceeds the inner RED's hard capacity and drop
+        /// accounting stays additive (inner drops + limiter drops),
+        /// whatever mix of flows, sizes and times arrives.
+        #[test]
+        fn prop_occupancy_never_exceeds_capacity(
+            ops in proptest::collection::vec(
+                (proptest::bool::ANY, 0u32..5, 100u64..1500), 1..300
+            )
+        ) {
+            let capacity = 16;
+            let mut q = AccQueue::new(
+                AccConfig::default_for(RedConfig::paper_testbed(capacity)),
+                BitsPerSec::from_mbps(15.0),
+                7,
+            );
+            let mut t = SimTime::ZERO;
+            for (is_enq, flow, size) in ops {
+                t += SimDuration::from_micros(137);
+                if is_enq {
+                    let _ = q.enqueue(pkt(flow, size), t);
+                } else {
+                    let _ = q.dequeue(t);
+                }
+                proptest::prop_assert!(
+                    q.len_packets() <= capacity,
+                    "backlog {} exceeds capacity {capacity}",
+                    q.len_packets()
+                );
+                proptest::prop_assert_eq!(q.capacity_packets(), capacity);
+                proptest::prop_assert_eq!(
+                    q.drops(),
+                    q.inner.drops() + q.limiter_drops
+                );
+            }
+        }
+    }
 }

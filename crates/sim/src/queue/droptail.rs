@@ -154,5 +154,36 @@ mod tests {
                 proptest::prop_assert!(q.len_packets() <= q.capacity_packets());
             }
         }
+
+        /// A tail-drop queue drops an arrival **iff** it is full at that
+        /// instant, for every capacity and interleaving, and the drop
+        /// counter tracks exactly the dropped arrivals.
+        #[test]
+        fn prop_drops_iff_full(
+            cap in 1usize..32,
+            ops in proptest::collection::vec((proptest::bool::ANY, 1u64..1500), 1..300)
+        ) {
+            let mut q = DropTailQueue::new(cap);
+            let mut expected_drops = 0u64;
+            for (is_enq, size) in ops {
+                if is_enq {
+                    let was_full = q.len_packets() == cap;
+                    let outcome = q.enqueue(pkt(size), SimTime::ZERO);
+                    proptest::prop_assert_eq!(
+                        outcome.is_drop(),
+                        was_full,
+                        "cap {}: outcome {:?} with occupancy {}",
+                        cap, outcome, q.len_packets()
+                    );
+                    if was_full {
+                        expected_drops += 1;
+                    }
+                } else {
+                    let _ = q.dequeue(SimTime::ZERO);
+                }
+                proptest::prop_assert!(q.len_packets() <= cap);
+                proptest::prop_assert_eq!(q.drops(), expected_drops);
+            }
+        }
     }
 }

@@ -162,6 +162,17 @@ impl RedQueue {
         self.avg
     }
 
+    /// The early-drop probability `p_b` implied by the current average
+    /// queue (0 below `min_th`), before Floyd's inter-drop count
+    /// correction.
+    ///
+    /// For a fixed configuration this is non-decreasing in the average
+    /// queue and confined to `[0, 1]` — the monotonicity contract the
+    /// runtime checkers enforce.
+    pub fn drop_probability(&self) -> f64 {
+        self.base_drop_prob().unwrap_or(0.0)
+    }
+
     /// Early (probabilistic) drops so far.
     pub fn early_drops(&self) -> u64 {
         self.early_drops
@@ -476,6 +487,45 @@ mod tests {
                 proptest::prop_assert_eq!(q.len_bytes().as_u64(), model_bytes);
                 proptest::prop_assert!(q.avg_queue() >= 0.0);
             }
+        }
+
+        /// The base drop probability is non-decreasing in the average
+        /// queue and stays in `[0, 1]` across the whole range — including
+        /// the gentle region between `max_th` and `2*max_th` — for
+        /// arbitrary threshold placements.
+        #[test]
+        fn prop_drop_probability_monotone_in_avg(
+            params in (0.5f64..50.0, 0.5f64..50.0, 0.05f64..1.0),
+            avgs in proptest::collection::vec(0.0f64..200.0, 2..40)
+        ) {
+            let (min_th, span, max_p) = params;
+            let mut cfg = RedConfig::ns2_default(10_000);
+            cfg.min_th = min_th;
+            cfg.max_th = min_th + span;
+            cfg.max_p = max_p;
+            let mut q = RedQueue::new(cfg, BitsPerSec::from_mbps(15.0), 7);
+            let mut sorted = avgs;
+            sorted.sort_by(f64::total_cmp);
+            let mut last_p = -1.0;
+            for avg in sorted {
+                q.avg = avg;
+                let p = q.drop_probability();
+                proptest::prop_assert!(
+                    (0.0..=1.0).contains(&p),
+                    "p_b {p} outside [0,1] at avg {avg}"
+                );
+                proptest::prop_assert!(
+                    p >= last_p - 1e-12,
+                    "p_b decreased {last_p} -> {p} as avg rose to {avg}"
+                );
+                last_p = p;
+            }
+            // Beyond the gentle region the drop is certain.
+            q.avg = 2.0 * q.cfg.max_th;
+            proptest::prop_assert_eq!(q.drop_probability(), 1.0);
+            // Below min_th no early drop is ever considered.
+            q.avg = 0.0;
+            proptest::prop_assert_eq!(q.drop_probability(), 0.0);
         }
     }
 }

@@ -10,6 +10,7 @@ use crate::config::{CcVariant, TcpConfig};
 use crate::rto::RttEstimator;
 use crate::stats::{CwndSample, SenderStats};
 use pdos_sim::agent::{Agent, AgentCtx};
+use pdos_sim::check::{Violation, ViolationKind};
 use pdos_sim::node::NodeId;
 use pdos_sim::packet::Ecn;
 use pdos_sim::packet::{FlowId, Packet, PacketKind};
@@ -166,6 +167,70 @@ impl TcpSender {
     /// Whether a segment-limited transfer has completed.
     pub fn is_done(&self) -> bool {
         self.done
+    }
+
+    /// Audits the sender's congestion-control invariants at `now`,
+    /// returning any breaches (empty on a healthy sender).
+    ///
+    /// Checked: `cwnd` finite and within `[1, max_cwnd]` segments (the
+    /// AIMD floor outside timeout), `ssthresh` finite and at or above its
+    /// two-segment reduction floor (RFC 5681), the RFC 6298 RTO inside
+    /// `[min_rto, max_rto]`, and no sequence regression
+    /// (`next_new >= high_ack`).
+    pub fn check_invariants(&self, now: SimTime) -> Vec<Violation> {
+        let mut out = Vec::new();
+        let entity = format!("tcp-sender/{}", self.flow);
+        if !self.cwnd.is_finite() || !(1.0..=self.cfg.max_cwnd).contains(&self.cwnd) {
+            out.push(Violation {
+                at: now,
+                entity: entity.clone(),
+                kind: ViolationKind::TcpWindow,
+                detail: format!(
+                    "cwnd {} outside [1, {}] segments",
+                    self.cwnd, self.cfg.max_cwnd
+                ),
+            });
+        }
+        let ssthresh_floor = 2.0f64.min(self.cfg.initial_ssthresh);
+        if !self.ssthresh.is_finite() || self.ssthresh < ssthresh_floor {
+            out.push(Violation {
+                at: now,
+                entity: entity.clone(),
+                kind: ViolationKind::TcpWindow,
+                detail: format!("ssthresh {} below floor {ssthresh_floor}", self.ssthresh),
+            });
+        }
+        if self.next_new < self.high_ack {
+            out.push(Violation {
+                at: now,
+                entity: entity.clone(),
+                kind: ViolationKind::TcpWindow,
+                detail: format!(
+                    "sequence regression: next_new {} < high_ack {}",
+                    self.next_new, self.high_ack
+                ),
+            });
+        }
+        let rto = self.est.rto();
+        if rto < self.cfg.min_rto || rto > self.cfg.max_rto {
+            out.push(Violation {
+                at: now,
+                entity,
+                kind: ViolationKind::TcpRto,
+                detail: format!(
+                    "rto {rto} outside [{}, {}]",
+                    self.cfg.min_rto, self.cfg.max_rto
+                ),
+            });
+        }
+        out
+    }
+
+    /// Test hook: sets `cwnd` directly, bypassing the clamp in
+    /// [`TcpSender::set_cwnd`], seeding a window fault for the checkers.
+    #[doc(hidden)]
+    pub fn corrupt_cwnd_for_test(&mut self, value: f64) {
+        self.cwnd = value;
     }
 
     fn outstanding(&self) -> bool {
@@ -576,6 +641,36 @@ mod tests {
                 _ => None,
             })
             .collect()
+    }
+
+    #[test]
+    fn invariants_hold_on_a_driven_sender_and_flag_corruption() {
+        let mut s = sender();
+        drive(&mut s, SimTime::ZERO, |s, ctx| s.start(ctx));
+        drive(&mut s, SimTime::from_millis(100), |s, ctx| {
+            s.on_packet(ack(2), ctx)
+        });
+        assert!(
+            s.check_invariants(SimTime::from_millis(100)).is_empty(),
+            "healthy sender flagged: {:?}",
+            s.check_invariants(SimTime::from_millis(100))
+        );
+        // Seed a fault past the clamp: cwnd below the one-segment floor.
+        s.corrupt_cwnd_for_test(0.25);
+        let violations = s.check_invariants(SimTime::from_millis(200));
+        assert_eq!(violations.len(), 1, "{violations:?}");
+        assert_eq!(
+            violations[0].kind,
+            pdos_sim::check::ViolationKind::TcpWindow
+        );
+        assert!(
+            violations[0].entity.contains("tcp-sender"),
+            "{violations:?}"
+        );
+        assert_eq!(violations[0].at, SimTime::from_millis(200));
+        // Non-finite state is also caught.
+        s.corrupt_cwnd_for_test(f64::NAN);
+        assert_eq!(s.check_invariants(SimTime::ZERO).len(), 1);
     }
 
     #[test]
