@@ -376,6 +376,7 @@ mod tests {
                         out.push((out.last().map(|(t, _)| *t).unwrap_or(SimTime::ZERO), p))
                     }
                     Effect::TimerAt { at, token } => pending.push((at, token)),
+                    Effect::CancelTimer { token } => pending.retain(|&(_, t)| t != token),
                 }
             }
             pending.sort_by_key(|(at, _)| *at);

@@ -8,6 +8,9 @@
 //!
 //! Set `PDOS_BENCH_FAST=1` to shrink measurement windows for smoke runs.
 
+pub mod alloc;
+pub mod perf;
+
 use pdos_analysis::model::c_psi;
 use pdos_scenarios::prelude::*;
 use pdos_sim::time::SimDuration;

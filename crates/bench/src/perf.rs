@@ -1,0 +1,565 @@
+//! The engine performance harness behind `pdos bench`.
+//!
+//! Unlike the figure benches in `benches/` (which reproduce the paper's
+//! plots), this module measures the *simulator itself*: how many events
+//! and packets per second the hot path sustains on canonical macro
+//! workloads, plus targeted microbenches of the event queue and the
+//! queue disciplines. Every run is deterministic; only the wall-clock
+//! measurements vary between hosts.
+//!
+//! The harness writes `BENCH_<date>.json` reports (see `docs/PERF.md`)
+//! that seed the perf trajectory of the repository: CI runs the smoke
+//! variant and fails on a >20% events/sec regression against the
+//! committed baseline.
+
+use crate::alloc::{self, AllocSnapshot};
+use pdos_attack::pulse::PulseTrain;
+use pdos_scenarios::spec::ScenarioSpec;
+use pdos_sim::event::{Event, EventQueue};
+use pdos_sim::node::NodeId;
+use pdos_sim::packet::{FlowId, Packet, PacketKind};
+use pdos_sim::queue::{QueueDiscipline, QueueSpec, RedConfig};
+use pdos_sim::time::{SimDuration, SimTime};
+use pdos_sim::units::{BitsPerSec, Bytes};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// One macro workload measurement: a full simulated scenario timed
+/// end-to-end.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MacroResult {
+    /// Workload name (`fig06-smoke`, ...).
+    pub name: String,
+    /// Simulated horizon, seconds.
+    pub sim_secs: f64,
+    /// Events the engine processed.
+    pub events: u64,
+    /// Packets that reached an endpoint (delivered + unclaimed).
+    pub packets: u64,
+    /// Wall-clock time, seconds.
+    pub wall_secs: f64,
+}
+
+impl MacroResult {
+    /// Events processed per wall-clock second.
+    pub fn events_per_sec(&self) -> f64 {
+        self.events as f64 / self.wall_secs.max(1e-9)
+    }
+
+    /// Endpoint packets per wall-clock second.
+    pub fn packets_per_sec(&self) -> f64 {
+        self.packets as f64 / self.wall_secs.max(1e-9)
+    }
+}
+
+/// One microbench measurement: a tight loop over a single subsystem.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MicroResult {
+    /// Microbench name (`event-queue`, ...).
+    pub name: String,
+    /// Operations performed.
+    pub ops: u64,
+    /// Wall-clock time, seconds.
+    pub wall_secs: f64,
+}
+
+impl MicroResult {
+    /// Operations per wall-clock second.
+    pub fn ops_per_sec(&self) -> f64 {
+        self.ops as f64 / self.wall_secs.max(1e-9)
+    }
+}
+
+/// A full harness run: macro workloads, microbenches, and process-level
+/// resource readings.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PerfReport {
+    /// UTC date of the run, `YYYY-MM-DD`.
+    pub date: String,
+    /// Whether the smoke (CI-sized) variant ran.
+    pub smoke: bool,
+    /// Macro workload measurements.
+    pub macros: Vec<MacroResult>,
+    /// Microbench measurements.
+    pub micros: Vec<MicroResult>,
+    /// Peak resident set size, bytes (Linux `VmHWM`; `None` elsewhere).
+    pub peak_rss_bytes: Option<u64>,
+    /// Allocation counters over the macro workloads (`None` unless the
+    /// counting allocator is registered, as it is in the `pdos` binary).
+    pub alloc: Option<AllocSnapshot>,
+}
+
+impl PerfReport {
+    /// The named macro result, if present.
+    pub fn macro_result(&self, name: &str) -> Option<&MacroResult> {
+        self.macros.iter().find(|m| m.name == name)
+    }
+
+    /// Serializes the report as JSON.
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(1024);
+        let _ = write!(
+            s,
+            "{{\"schema\":\"pdos-bench/1\",\"date\":\"{}\",\"smoke\":{},\"macros\":[",
+            self.date, self.smoke
+        );
+        for (i, m) in self.macros.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(
+                s,
+                "{{\"name\":\"{}\",\"sim_secs\":{},\"events\":{},\"packets\":{},\
+                 \"wall_secs\":{:.6},\"events_per_sec\":{:.1},\"packets_per_sec\":{:.1}}}",
+                m.name,
+                m.sim_secs,
+                m.events,
+                m.packets,
+                m.wall_secs,
+                m.events_per_sec(),
+                m.packets_per_sec(),
+            );
+        }
+        s.push_str("],\"micros\":[");
+        for (i, m) in self.micros.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(
+                s,
+                "{{\"name\":\"{}\",\"ops\":{},\"wall_secs\":{:.6},\"ops_per_sec\":{:.1}}}",
+                m.name,
+                m.ops,
+                m.wall_secs,
+                m.ops_per_sec(),
+            );
+        }
+        s.push_str("],");
+        match self.peak_rss_bytes {
+            Some(b) => {
+                let _ = write!(s, "\"peak_rss_bytes\":{b},");
+            }
+            None => s.push_str("\"peak_rss_bytes\":null,"),
+        }
+        match self.alloc {
+            Some(a) => {
+                let _ = write!(
+                    s,
+                    "\"alloc\":{{\"allocations\":{},\"bytes\":{}}}}}",
+                    a.allocations, a.bytes
+                );
+            }
+            None => s.push_str("\"alloc\":null}"),
+        }
+        s
+    }
+
+    /// A human-readable summary table.
+    pub fn summary(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "pdos bench ({}) — {}",
+            if self.smoke { "smoke" } else { "full" },
+            self.date
+        );
+        let _ = writeln!(
+            out,
+            "  {:<24} {:>12} {:>12} {:>9} {:>14} {:>14}",
+            "macro workload", "events", "packets", "wall s", "events/s", "packets/s"
+        );
+        for m in &self.macros {
+            let _ = writeln!(
+                out,
+                "  {:<24} {:>12} {:>12} {:>9.3} {:>14.0} {:>14.0}",
+                m.name,
+                m.events,
+                m.packets,
+                m.wall_secs,
+                m.events_per_sec(),
+                m.packets_per_sec()
+            );
+        }
+        let _ = writeln!(
+            out,
+            "  {:<24} {:>12} {:>9} {:>14}",
+            "microbench", "ops", "wall s", "ops/s"
+        );
+        for m in &self.micros {
+            let _ = writeln!(
+                out,
+                "  {:<24} {:>12} {:>9.3} {:>14.0}",
+                m.name,
+                m.ops,
+                m.wall_secs,
+                m.ops_per_sec()
+            );
+        }
+        if let Some(rss) = self.peak_rss_bytes {
+            let _ = writeln!(out, "  peak RSS: {:.1} MiB", rss as f64 / (1024.0 * 1024.0));
+        }
+        if let Some(a) = self.alloc {
+            let _ = writeln!(
+                out,
+                "  allocations (macro phase): {} ({:.1} MiB)",
+                a.allocations,
+                a.bytes as f64 / (1024.0 * 1024.0)
+            );
+        }
+        out
+    }
+}
+
+/// Runs the harness: the CI-sized smoke variant (`smoke = true`: the
+/// fig06 smoke macro plus shortened microbenches) or the full set of
+/// macro workloads.
+pub fn run(smoke: bool) -> PerfReport {
+    let alloc_before = alloc::is_counting().then(alloc::snapshot);
+    let mut macros = vec![fig06_smoke()];
+    if !smoke {
+        macros.push(single_bottleneck_60s());
+        macros.push(rtt_heterogeneous_50());
+    }
+    let alloc = alloc_before.map(|before| alloc::snapshot().since(before));
+    let scale = if smoke { 1 } else { 4 };
+    let micros = vec![
+        micro_event_queue(200_000 * scale),
+        micro_timer_churn(100_000 * scale),
+        micro_queue_discipline(200_000 * scale),
+    ];
+    PerfReport {
+        date: today_utc(),
+        smoke,
+        macros,
+        micros,
+        peak_rss_bytes: peak_rss_bytes(),
+        alloc,
+    }
+}
+
+/// The canonical regression-gate workload: the fig06 smoke scenario
+/// (8 flows, 75 ms pulses at 25 Mbps, γ = 0.4, 4 s warm-up + 8 s
+/// window) — the same scenario family as the golden conformance traces.
+pub fn fig06_smoke() -> MacroResult {
+    run_attacked(
+        "fig06-smoke",
+        ScenarioSpec::ns2_dumbbell(8),
+        0.075,
+        25e6,
+        0.40,
+        SimDuration::from_secs(4),
+        SimDuration::from_secs(8),
+    )
+}
+
+/// A long benign run: 15 flows sharing the ns-2 bottleneck for 60 s of
+/// simulated time with no attack — pure TCP/queue dynamics.
+pub fn single_bottleneck_60s() -> MacroResult {
+    run_benign(
+        "single-bottleneck-60s",
+        ScenarioSpec::ns2_dumbbell(15),
+        SimDuration::from_secs(60),
+    )
+}
+
+/// A wide, RTT-heterogeneous attacked run: 50 flows with RTTs spread
+/// 20–460 ms under 75 ms pulses at 30 Mbps, γ = 0.4.
+pub fn rtt_heterogeneous_50() -> MacroResult {
+    run_attacked(
+        "rtt-heterogeneous-50",
+        ScenarioSpec::ns2_dumbbell(50),
+        0.075,
+        30e6,
+        0.40,
+        SimDuration::from_secs(5),
+        SimDuration::from_secs(15),
+    )
+}
+
+fn run_attacked(
+    name: &str,
+    spec: ScenarioSpec,
+    t_extent: f64,
+    r_attack: f64,
+    gamma: f64,
+    warmup: SimDuration,
+    window: SimDuration,
+) -> MacroResult {
+    let train = PulseTrain::from_gamma(
+        SimDuration::from_secs_f64(t_extent),
+        BitsPerSec::from_bps(r_attack),
+        spec.bottleneck,
+        gamma,
+    )
+    .expect("canonical bench attack parameters are feasible");
+    let mut bench = spec.build().expect("canonical bench scenario builds");
+    bench.attach_pulse_attack(train, SimTime::ZERO + warmup, None);
+    let horizon = SimTime::ZERO + warmup + window;
+    let t0 = Instant::now();
+    bench.run_until(horizon);
+    let wall = t0.elapsed().as_secs_f64();
+    let stats = bench.sim.stats();
+    MacroResult {
+        name: name.to_string(),
+        sim_secs: (warmup + window).as_secs_f64(),
+        events: stats.events,
+        packets: stats.delivered + stats.unclaimed,
+        wall_secs: wall,
+    }
+}
+
+fn run_benign(name: &str, spec: ScenarioSpec, horizon: SimDuration) -> MacroResult {
+    let mut bench = spec.build().expect("canonical bench scenario builds");
+    let t0 = Instant::now();
+    bench.run_until(SimTime::ZERO + horizon);
+    let wall = t0.elapsed().as_secs_f64();
+    let stats = bench.sim.stats();
+    MacroResult {
+        name: name.to_string(),
+        sim_secs: horizon.as_secs_f64(),
+        events: stats.events,
+        packets: stats.delivered + stats.unclaimed,
+        wall_secs: wall,
+    }
+}
+
+/// A tiny deterministic generator for bench schedules (SplitMix64).
+struct Mix(u64);
+
+impl Mix {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// Event-queue microbench: interleaved schedule/pop of packet-tier
+/// events with pseudorandom timestamps (the engine's arrival pattern).
+pub fn micro_event_queue(n: u64) -> MicroResult {
+    let mut q = EventQueue::new();
+    let mut rng = Mix(7);
+    let t0 = Instant::now();
+    let mut ops = 0u64;
+    for i in 0..n {
+        let at = SimTime::from_nanos(rng.next() % 1_000_000_000);
+        q.schedule(
+            at,
+            Event::LinkTxDone {
+                link: pdos_sim::link::LinkId::from_u32((i % 64) as u32),
+            },
+        );
+        ops += 1;
+        if i % 2 == 1 {
+            let _ = std::hint::black_box(q.pop());
+            ops += 1;
+        }
+    }
+    while q.pop().is_some() {
+        ops += 1;
+    }
+    MicroResult {
+        name: "event-queue".to_string(),
+        ops,
+        wall_secs: t0.elapsed().as_secs_f64(),
+    }
+}
+
+/// Timer-churn microbench: the RTO pattern — every armed timer is
+/// superseded before it fires (schedule, then cancel or supersede),
+/// which is exactly the load lazy cancellation turns into heap bloat.
+pub fn micro_timer_churn(n: u64) -> MicroResult {
+    let mut q = EventQueue::new();
+    let mut rng = Mix(11);
+    let agent = pdos_sim::agent::AgentId::from_u32(0);
+    let t0 = Instant::now();
+    let mut ops = 0u64;
+    let mut pending = Vec::new();
+    for i in 0..n {
+        let at = SimTime::from_nanos(1_000_000 + rng.next() % 4_000_000_000);
+        pending.push(q.schedule_timer(at, agent, i));
+        ops += 1;
+        // Cancel the previously armed timer (RTO re-arm churn).
+        if pending.len() >= 2 {
+            let stale = pending.remove(0);
+            q.cancel_timer(stale);
+            ops += 1;
+        }
+        if i % 8 == 7 {
+            let _ = std::hint::black_box(q.pop());
+            ops += 1;
+        }
+    }
+    while q.pop().is_some() {
+        ops += 1;
+    }
+    MicroResult {
+        name: "timer-churn".to_string(),
+        ops,
+        wall_secs: t0.elapsed().as_secs_f64(),
+    }
+}
+
+/// Queue-discipline microbench: RED enqueue/dequeue under a bursty
+/// arrival pattern (the bottleneck's inner loop).
+pub fn micro_queue_discipline(n: u64) -> MicroResult {
+    let mut red = QueueSpec::Red(RedConfig::ns2_default(60)).build(BitsPerSec::from_mbps(15.0), 3);
+    let mut rng = Mix(13);
+    let pkt = Packet::new(
+        FlowId::from_u32(1),
+        NodeId::from_u32(0),
+        NodeId::from_u32(1),
+        Bytes::from_u64(1000),
+        PacketKind::Background,
+    );
+    let t0 = Instant::now();
+    let mut ops = 0u64;
+    let mut now = SimTime::ZERO;
+    for i in 0..n {
+        now += SimDuration::from_nanos(200_000 + rng.next() % 600_000);
+        let _ = std::hint::black_box(red.enqueue(pkt, now));
+        ops += 1;
+        // Bursts: drain every second slot so the queue oscillates.
+        if i % 2 == 0 {
+            let _ = std::hint::black_box(red.dequeue(now));
+            ops += 1;
+        }
+    }
+    MicroResult {
+        name: "red-queue".to_string(),
+        ops,
+        wall_secs: t0.elapsed().as_secs_f64(),
+    }
+}
+
+/// The current UTC date as `YYYY-MM-DD`, computed from the system clock
+/// (civil-from-days; no external date dependency).
+pub fn today_utc() -> String {
+    let secs = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let days = (secs / 86_400) as i64;
+    // Howard Hinnant's civil_from_days algorithm.
+    let z = days + 719_468;
+    let era = z.div_euclid(146_097);
+    let doe = z.rem_euclid(146_097);
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = doy - (153 * mp + 2) / 5 + 1;
+    let m = if mp < 10 { mp + 3 } else { mp - 9 };
+    let y = if m <= 2 { y + 1 } else { y };
+    format!("{y:04}-{m:02}-{d:02}")
+}
+
+/// Peak resident set size of this process in bytes, read from
+/// `/proc/self/status` (`VmHWM`). `None` on non-Linux hosts.
+pub fn peak_rss_bytes() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    let kb: u64 = line.split_whitespace().nth(1)?.parse().ok()?;
+    Some(kb * 1024)
+}
+
+/// Extracts `events_per_sec` for the named macro workload from a
+/// report previously serialized with [`PerfReport::to_json`]. This is a
+/// purpose-built extractor for the harness's own output format, not a
+/// general JSON parser.
+pub fn extract_macro_events_per_sec(json: &str, name: &str) -> Option<f64> {
+    let needle = format!("\"name\":\"{name}\"");
+    let obj_start = json.find(&needle)?;
+    let rest = &json[obj_start..];
+    let obj_end = rest.find('}').unwrap_or(rest.len());
+    let obj = &rest[..obj_end];
+    let key = "\"events_per_sec\":";
+    let v = &obj[obj.find(key)? + key.len()..];
+    let end = v
+        .find(|c: char| c != '.' && c != '-' && !c.is_ascii_digit())
+        .unwrap_or(v.len());
+    v[..end].parse().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_roundtrips_the_gate_metric() {
+        let report = PerfReport {
+            date: "2026-08-06".into(),
+            smoke: true,
+            macros: vec![MacroResult {
+                name: "fig06-smoke".into(),
+                sim_secs: 12.0,
+                events: 1_000_000,
+                packets: 300_000,
+                wall_secs: 0.5,
+            }],
+            micros: vec![MicroResult {
+                name: "event-queue".into(),
+                ops: 100,
+                wall_secs: 0.001,
+            }],
+            peak_rss_bytes: Some(12 * 1024 * 1024),
+            alloc: Some(AllocSnapshot {
+                allocations: 42,
+                bytes: 1024,
+            }),
+        };
+        let json = report.to_json();
+        assert!(json.contains("\"schema\":\"pdos-bench/1\""), "{json}");
+        assert!(json.contains("\"peak_rss_bytes\":12582912"), "{json}");
+        assert!(json.contains("\"allocations\":42"), "{json}");
+        let eps = extract_macro_events_per_sec(&json, "fig06-smoke").expect("metric extracted");
+        assert!((eps - 2_000_000.0).abs() < 1.0, "{eps}");
+        assert_eq!(extract_macro_events_per_sec(&json, "nonexistent"), None);
+        assert!(report.summary().contains("fig06-smoke"));
+    }
+
+    #[test]
+    fn null_fields_serialize() {
+        let report = PerfReport {
+            date: "2026-08-06".into(),
+            smoke: false,
+            macros: vec![],
+            micros: vec![],
+            peak_rss_bytes: None,
+            alloc: None,
+        };
+        let json = report.to_json();
+        assert!(json.contains("\"peak_rss_bytes\":null"), "{json}");
+        assert!(json.contains("\"alloc\":null"), "{json}");
+    }
+
+    #[test]
+    fn date_is_civil_and_plausible() {
+        let d = today_utc();
+        assert_eq!(d.len(), 10, "{d}");
+        assert_eq!(&d[4..5], "-");
+        let year: i32 = d[..4].parse().unwrap();
+        assert!(year >= 2024, "{d}");
+    }
+
+    #[test]
+    fn microbenches_run_quickly_and_count_ops() {
+        let eq = micro_event_queue(2_000);
+        assert!(eq.ops >= 2_000);
+        assert!(eq.ops_per_sec() > 0.0);
+        let tc = micro_timer_churn(2_000);
+        assert!(tc.ops >= 2_000);
+        let rq = micro_queue_discipline(2_000);
+        assert!(rq.ops >= 2_000);
+    }
+
+    #[test]
+    fn rss_reads_on_linux() {
+        if cfg!(target_os = "linux") {
+            let rss = peak_rss_bytes().expect("VmHWM available on Linux");
+            assert!(rss > 0);
+        }
+    }
+}

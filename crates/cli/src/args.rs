@@ -51,6 +51,7 @@ const KNOWN_KEYS: &[&str] = &[
     "out",
     "golden-dir",
     "scenarios",
+    "baseline",
 ];
 const KNOWN_FLAGS: &[&str] = &["ecn", "droptail", "help", "testbed", "smoke", "bless"];
 

@@ -52,6 +52,13 @@ COMMANDS
   detect     run the volume + spectral detectors over a binned byte trace
              --csv FILE (one integer per line: bytes per bin)
              --capacity-mbps C  --bin-ms B (100)
+  bench      engine performance harness: macro workloads (events/s,
+             packets/s) plus event-queue and queue-discipline microbenches,
+             written as a BENCH_<date>.json report
+             --smoke (CI-sized: fig06 smoke macro only)  --out FILE
+             (default BENCH_<date>.json)  --baseline FILE (compare the
+             fig06-smoke events/s against a previous report and fail on
+             a >20% regression)
   check      conformance suite: a fig06 smoke sweep with the runtime
              invariant checkers on, golden-trace digest regression, and
              the analytic differential oracle (randomized scenarios vs
@@ -467,6 +474,49 @@ pub fn cmd_check(args: &Args) -> Result<String, ArgError> {
     }
 }
 
+/// `pdos bench` — the engine performance harness. Writes a
+/// `BENCH_<date>.json` report and, with `--baseline`, enforces the CI
+/// regression gate: the fig06-smoke macro must stay within 20% of the
+/// baseline report's events/sec.
+pub fn cmd_bench(args: &Args) -> Result<String, ArgError> {
+    let report = pdos_bench::perf::run(args.flag("smoke"));
+    let path = match args.get("out") {
+        Some(p) => p.to_string(),
+        None => format!("BENCH_{}.json", report.date),
+    };
+    let json = report.to_json();
+    std::fs::write(&path, &json).map_err(|e| ArgError(format!("cannot write {path}: {e}")))?;
+    let mut out = report.summary();
+    let _ = writeln!(out, "report written to {path}");
+    if let Some(baseline_path) = args.get("baseline") {
+        let baseline = std::fs::read_to_string(baseline_path)
+            .map_err(|e| ArgError(format!("cannot read {baseline_path}: {e}")))?;
+        let gate = "fig06-smoke";
+        let base = pdos_bench::perf::extract_macro_events_per_sec(&baseline, gate)
+            .ok_or_else(|| ArgError(format!("{baseline_path}: no '{gate}' events_per_sec")))?;
+        let now = report
+            .macro_result(gate)
+            .map(|m| m.events_per_sec())
+            .ok_or_else(|| ArgError(format!("current run has no '{gate}' macro")))?;
+        let ratio = now / base.max(1e-9);
+        let _ = writeln!(
+            out,
+            "baseline gate: {gate} {:.0} events/s vs baseline {:.0} ({:+.1}%)",
+            now,
+            base,
+            (ratio - 1.0) * 100.0
+        );
+        if ratio < 0.8 {
+            return Err(ArgError(format!(
+                "bench: FAIL — {gate} regressed {:.1}% vs {baseline_path} \
+                 ({now:.0} events/s vs {base:.0}; >20% budget)\n{out}",
+                (1.0 - ratio) * 100.0
+            )));
+        }
+    }
+    Ok(out)
+}
+
 /// `pdos sync`.
 pub fn cmd_sync(args: &Args) -> Result<String, ArgError> {
     let spec = spec_of(args, 12)?;
@@ -608,6 +658,7 @@ pub fn run(args: &Args) -> Result<String, ArgError> {
         "sync" => cmd_sync(args),
         "detect" => cmd_detect(args),
         "check" => cmd_check(args),
+        "bench" => cmd_bench(args),
         "help" | "--help" | "-h" => Ok(HELP.to_string()),
         other => Err(ArgError(format!(
             "unknown command '{other}'; try `pdos help`"
@@ -865,5 +916,51 @@ mod tests {
     #[test]
     fn sync_rejects_degenerate_period() {
         assert!(run(&parse("sync --period-s 0.01 --textent-ms 50")).is_err());
+    }
+
+    #[test]
+    fn bench_smoke_writes_a_report_and_passes_a_fair_baseline() {
+        let out_path = std::env::temp_dir().join("pdos-cli-test-bench.json");
+        let cmd = format!("bench --smoke --out {}", out_path.display());
+        let out = run(&parse(&cmd)).unwrap();
+        assert!(out.contains("fig06-smoke"), "{out}");
+        assert!(out.contains("event-queue"), "{out}");
+        let json = std::fs::read_to_string(&out_path).unwrap();
+        assert!(json.contains("\"schema\":\"pdos-bench/1\""), "{json}");
+        let eps = pdos_bench::perf::extract_macro_events_per_sec(&json, "fig06-smoke").unwrap();
+        assert!(eps > 0.0, "{eps}");
+
+        // The report it just wrote is a same-speed baseline: the gate
+        // must pass against it.
+        let cmd = format!(
+            "bench --smoke --out {} --baseline {}",
+            out_path.display(),
+            out_path.display()
+        );
+        let out = run(&parse(&cmd)).unwrap();
+        assert!(out.contains("baseline gate"), "{out}");
+        let _ = std::fs::remove_file(&out_path);
+    }
+
+    #[test]
+    fn bench_baseline_gate_fails_on_a_big_regression() {
+        let base_path = std::env::temp_dir().join("pdos-cli-test-bench-base.json");
+        let out_path = std::env::temp_dir().join("pdos-cli-test-bench-out.json");
+        // A fabricated baseline claiming an impossibly fast engine.
+        std::fs::write(
+            &base_path,
+            "{\"schema\":\"pdos-bench/1\",\"macros\":[{\"name\":\"fig06-smoke\",\
+             \"events_per_sec\":900000000000.0}]}",
+        )
+        .unwrap();
+        let cmd = format!(
+            "bench --smoke --out {} --baseline {}",
+            out_path.display(),
+            base_path.display()
+        );
+        let err = run(&parse(&cmd)).unwrap_err();
+        assert!(err.to_string().contains("regressed"), "{err}");
+        let _ = std::fs::remove_file(&base_path);
+        let _ = std::fs::remove_file(&out_path);
     }
 }

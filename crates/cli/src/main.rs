@@ -3,6 +3,11 @@
 use pdos_cli::args::Args;
 use pdos_cli::commands::{run, HELP};
 
+/// Count allocations process-wide so `pdos bench` can report them
+/// alongside throughput (see `pdos_bench::alloc`).
+#[global_allocator]
+static ALLOCATOR: pdos_bench::alloc::CountingAllocator = pdos_bench::alloc::CountingAllocator;
+
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     if argv.is_empty() {

@@ -43,6 +43,53 @@ fn golden_traces_match_the_stored_digests() {
     );
 }
 
+/// Equivalence lock for the two-tier event queue + packet arena.
+///
+/// The hot-path rewrite (timer wheel over an indexed heap, `Deliver`
+/// events carrying arena handles, real timer cancellation) claims
+/// *exact* behavioural equivalence with the plain-heap engine. This test
+/// pins all four canonical digests to the literal values the pre-rewrite
+/// engine produced — unlike [`golden_traces_match_the_stored_digests`]
+/// it ignores `PDOS_BLESS`, so the optimization cannot be "fixed" by
+/// re-blessing: if one of these moves, the queue or arena broke ordering.
+#[test]
+fn event_queue_rewrite_is_digest_equivalent_no_rebless() {
+    let expected: &[(&str, usize, u64, u64)] = &[
+        ("golden/ns2-benign", 80, 13_238_160, 0xf3c7_3471_d0fa_6ff6),
+        (
+            "golden/ns2-red-attacked",
+            80,
+            7_114_880,
+            0x46fa_6743_5da4_c0cd,
+        ),
+        (
+            "golden/ns2-droptail-attacked",
+            80,
+            7_182_480,
+            0x5ec8_7067_5582_2f4d,
+        ),
+        (
+            "golden/testbed-attacked",
+            80,
+            7_127_000,
+            0x8bb8_1cfe_ba7b_bae8,
+        ),
+    ];
+    let current = compute_digests(2).expect("canonical runs must succeed");
+    assert_eq!(current.len(), expected.len());
+    for (got, &(name, n_bins, total, digest)) in current.iter().zip(expected) {
+        assert_eq!(got.name, name);
+        assert_eq!(got.n_bins, n_bins, "{name}: bin count moved");
+        assert_eq!(got.total_bytes, total, "{name}: traffic total moved");
+        assert_eq!(
+            got.digest, digest,
+            "{name}: trace digest moved — the event-queue/arena rewrite \
+             is no longer behaviourally equivalent (re-blessing is not an \
+             acceptable fix for this test)"
+        );
+    }
+}
+
 #[test]
 fn golden_digests_are_stable_across_worker_counts() {
     let serial = compute_digests(1).expect("serial run");

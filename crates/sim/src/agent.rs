@@ -52,6 +52,11 @@ pub enum Effect {
         /// Agent-private discriminator passed back on expiry.
         token: u64,
     },
+    /// Cancel every pending timer of this agent armed with `token`.
+    CancelTimer {
+        /// The token the timers were armed with.
+        token: u64,
+    },
 }
 
 /// The callback context handed to every agent hook.
@@ -113,9 +118,11 @@ impl<'a> AgentCtx<'a> {
 
     /// Arms a timer that fires at absolute time `at` with `token`.
     ///
-    /// There is no cancel operation: agents version their timers with the
-    /// token and ignore stale expirations (lazy cancellation), which keeps
-    /// the event queue append-only and cheap.
+    /// Pair with [`cancel_timer`](Self::cancel_timer) to retire a timer
+    /// early; the engine cancels it in the timer wheel for real, so heavy
+    /// re-arm churn (TCP RTO on every ACK) never bloats the event queue.
+    /// Token-versioning with stale-expiry checks still works and remains a
+    /// sound belt-and-braces pattern for agents that skip cancellation.
     pub fn timer_at(&mut self, at: SimTime, token: u64) {
         self.effects.push(Effect::TimerAt { at, token });
     }
@@ -124,6 +131,13 @@ impl<'a> AgentCtx<'a> {
     pub fn timer_after(&mut self, after: SimDuration, token: u64) {
         let at = self.now + after;
         self.timer_at(at, token);
+    }
+
+    /// Cancels every pending timer this agent armed with `token`.
+    ///
+    /// Cancelling a token with no pending timer is a harmless no-op.
+    pub fn cancel_timer(&mut self, token: u64) {
+        self.effects.push(Effect::CancelTimer { token });
     }
 }
 

@@ -3,14 +3,14 @@
 
 use crate::agent::{Agent, AgentCtx, AgentId, Effect};
 use crate::check::{CheckState, Violation, ViolationKind};
-use crate::event::{Event, EventQueue};
+use crate::event::{Event, EventQueue, TimerHandle};
+use crate::fnv::FnvHashMap;
 use crate::link::{Link, LinkAccept, LinkId};
 use crate::node::{Node, NodeId};
-use crate::packet::{FlowId, Packet};
+use crate::packet::{FlowId, Packet, PacketArena};
 use crate::routing::RoutingTable;
 use crate::time::{SimDuration, SimTime};
 use crate::trace::{RateTrace, TraceFilter, TraceId};
-use std::collections::HashMap;
 
 /// Aggregate counters kept by the engine.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -33,6 +33,9 @@ pub struct SimStats {
 struct AgentSlot {
     node: NodeId,
     agent: Option<Box<dyn Agent>>,
+    /// Live timer handles by token, so `Effect::CancelTimer` can cancel in
+    /// the wheel for real. Dead handles are pruned on every timer dispatch.
+    timers: Vec<(u64, TimerHandle)>,
 }
 
 /// The simulator: a deterministic single-threaded event loop.
@@ -66,10 +69,13 @@ pub struct Simulator {
     links: Vec<Link>,
     routing: RoutingTable,
     agents: Vec<AgentSlot>,
-    bindings: HashMap<(NodeId, FlowId), AgentId>,
+    bindings: FnvHashMap<(NodeId, FlowId), AgentId>,
     traces: Vec<RateTrace>,
     link_traces: Vec<Vec<TraceId>>,
-    drops_by_flow: HashMap<FlowId, u64>,
+    drops_by_flow: FnvHashMap<FlowId, u64>,
+    /// In-flight packets, parked here while their `Deliver` event is
+    /// pending so the event itself carries only a small handle.
+    arena: PacketArena,
     next_uid: u64,
     stats: SimStats,
     effects_scratch: Vec<Effect>,
@@ -100,10 +106,11 @@ impl Simulator {
             links,
             routing,
             agents: Vec::new(),
-            bindings: HashMap::new(),
+            bindings: FnvHashMap::default(),
             traces: Vec::new(),
             link_traces: vec![Vec::new(); n_links],
-            drops_by_flow: HashMap::new(),
+            drops_by_flow: FnvHashMap::default(),
+            arena: PacketArena::new(),
             next_uid: 1,
             stats: SimStats::default(),
             effects_scratch: Vec::new(),
@@ -200,6 +207,7 @@ impl Simulator {
         self.agents.push(AgentSlot {
             node,
             agent: Some(agent),
+            timers: Vec::new(),
         });
         self.events
             .schedule(start_at, Event::AgentStart { agent: id });
@@ -267,11 +275,8 @@ impl Simulator {
     /// leaving the clock at `horizon` (or at the last event when the queue
     /// drains first — then advances to `horizon`).
     pub fn run_until(&mut self, horizon: SimTime) {
-        while let Some(at) = self.events.peek_time() {
-            if at > horizon {
-                break;
-            }
-            self.step();
+        while let Some((at, event)) = self.events.pop_before(horizon) {
+            self.process(at, event);
         }
         if self.clock < horizon {
             self.clock = horizon;
@@ -284,6 +289,13 @@ impl Simulator {
         let Some((at, event)) = self.events.pop() else {
             return false;
         };
+        self.process(at, event);
+        true
+    }
+
+    /// Dispatches one already-popped event.
+    #[inline]
+    fn process(&mut self, at: SimTime, event: Event) {
         if at < self.clock {
             match self.checks.as_deref_mut() {
                 Some(checks) => checks.record(Violation {
@@ -302,12 +314,14 @@ impl Simulator {
         self.clock = self.clock.max(at);
         self.stats.events += 1;
         match event {
-            Event::Deliver { node, packet } => self.handle_arrival(node, packet),
+            Event::Deliver { node, packet } => {
+                let packet = self.arena.take(packet);
+                self.handle_arrival(node, packet);
+            }
             Event::LinkTxDone { link } => self.handle_tx_done(link),
             Event::Timer { agent, token } => self.dispatch_timer(agent, token),
             Event::AgentStart { agent } => self.dispatch_start(agent),
         }
-        true
     }
 
     /// Number of events still pending.
@@ -367,8 +381,14 @@ impl Simulator {
             self.events
                 .schedule(at, Event::LinkTxDone { link: link_id });
         }
-        self.events
-            .schedule(self.clock + delay, Event::Deliver { node: dst, packet });
+        let handle = self.arena.insert(packet);
+        self.events.schedule(
+            self.clock + delay,
+            Event::Deliver {
+                node: dst,
+                packet: handle,
+            },
+        );
         if self.checks.is_some() {
             self.audit_link(link_id);
         }
@@ -434,6 +454,25 @@ impl Simulator {
         &mut self.links[id.index()]
     }
 
+    /// Test hook: schedules a `Deliver` event carrying a deliberately
+    /// stale arena handle whose slot has been recycled for another packet
+    /// — the ABA fault the arena's generation check must catch (by
+    /// panicking on the pop) rather than silently aliasing the new
+    /// occupant.
+    #[doc(hidden)]
+    pub fn schedule_stale_deliver_for_test(&mut self, node: NodeId, packet: Packet) {
+        let stale = self.arena.insert(packet);
+        let _ = self.arena.take(stale);
+        let _recycled_slot_now_holds_live_packet = self.arena.insert(packet);
+        self.events.schedule(
+            self.clock,
+            Event::Deliver {
+                node,
+                packet: stale,
+            },
+        );
+    }
+
     fn with_agent<F>(&mut self, id: AgentId, f: F)
     where
         F: FnOnce(&mut dyn Agent, &mut AgentCtx<'_>),
@@ -457,11 +496,29 @@ impl Simulator {
                     packet.sent_at = self.clock;
                     // Route from the agent's own node; scheduled through the
                     // queue (same instant) to keep dispatch non-reentrant.
-                    self.events
-                        .schedule(self.clock, Event::Deliver { node, packet });
+                    let handle = self.arena.insert(packet);
+                    self.events.schedule(
+                        self.clock,
+                        Event::Deliver {
+                            node,
+                            packet: handle,
+                        },
+                    );
                 }
                 Effect::TimerAt { at, token } => {
-                    self.events.schedule(at, Event::Timer { agent: id, token });
+                    let handle = self.events.schedule_timer(at, id, token);
+                    self.agents[id.index()].timers.push((token, handle));
+                }
+                Effect::CancelTimer { token } => {
+                    let events = &mut self.events;
+                    self.agents[id.index()].timers.retain(|&(tok, handle)| {
+                        if tok == token {
+                            events.cancel_timer(handle);
+                            false
+                        } else {
+                            events.timer_is_live(handle)
+                        }
+                    });
                 }
             }
         }
@@ -473,6 +530,12 @@ impl Simulator {
     }
 
     fn dispatch_timer(&mut self, id: AgentId, token: u64) {
+        // The fired timer's handle just went dead; sweep it (and any other
+        // dead handles) so the table tracks only live timers.
+        let events = &self.events;
+        self.agents[id.index()]
+            .timers
+            .retain(|&(_, handle)| events.timer_is_live(handle));
         self.with_agent(id, |agent, ctx| agent.on_timer(token, ctx));
     }
 
@@ -723,14 +786,14 @@ mod tests {
         let r1 = t.add_router("r1");
         let r2 = t.add_router("r2");
         let b = t.add_host("b");
-        let q = QueueSpec::DropTail { capacity: 50 };
+        let q = std::sync::Arc::new(QueueSpec::DropTail { capacity: 50 });
         for (x, y) in [(a, r1), (r1, r2), (r2, b)] {
             t.add_duplex_link(
                 x,
                 y,
                 BitsPerSec::from_mbps(8.0),
                 SimDuration::from_millis(1),
-                q.clone(),
+                std::sync::Arc::clone(&q),
             );
         }
         let mut sim = t.build().unwrap();
@@ -905,6 +968,25 @@ mod tests {
             .expect("conservation breach must be flagged");
         assert_eq!(v.entity, link_id.to_string());
         assert!(v.detail.contains("offered"), "{}", v.detail);
+    }
+
+    #[test]
+    #[should_panic(expected = "stale PacketRef")]
+    fn stale_packet_handle_panics_under_checks() {
+        // ABA regression: a Deliver event holding a handle to a recycled
+        // arena slot must die loudly when popped, never deliver the slot's
+        // new occupant.
+        let (mut sim, a, b) = two_hosts();
+        sim.enable_checks();
+        let pkt = Packet::new(
+            FlowId::from_u32(1),
+            a,
+            b,
+            Bytes::from_u64(1000),
+            PacketKind::Background,
+        );
+        sim.schedule_stale_deliver_for_test(b, pkt);
+        sim.step();
     }
 
     #[test]

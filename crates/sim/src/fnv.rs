@@ -1,0 +1,70 @@
+//! FNV-1a hashing for the engine's small-key hot-path maps.
+//!
+//! `std`'s default SipHash is DoS-resistant but pays for it on every
+//! lookup; the engine's maps are keyed by internal ids (`NodeId`,
+//! `FlowId`) that no external party controls, so the cheap FNV-1a mix is
+//! both safe and measurably faster on the per-packet delivery path.
+
+use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// A 64-bit FNV-1a [`Hasher`].
+#[derive(Debug, Clone)]
+pub struct FnvHasher(u64);
+
+impl Default for FnvHasher {
+    fn default() -> Self {
+        FnvHasher(FNV_OFFSET)
+    }
+}
+
+impl Hasher for FnvHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut h = self.0;
+        for &b in bytes {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(FNV_PRIME);
+        }
+        self.0 = h;
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+/// A `HashMap` using [`FnvHasher`].
+pub type FnvHashMap<K, V> = HashMap<K, V, BuildHasherDefault<FnvHasher>>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_reference_vectors() {
+        // Classic FNV-1a test vectors.
+        let hash = |s: &str| {
+            let mut h = FnvHasher::default();
+            h.write(s.as_bytes());
+            h.finish()
+        };
+        assert_eq!(hash(""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(hash("a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(hash("foobar"), 0x8594_4171_f739_67e8);
+    }
+
+    #[test]
+    fn map_works_with_tuple_keys() {
+        let mut m: FnvHashMap<(u32, u32), u64> = FnvHashMap::default();
+        m.insert((1, 2), 3);
+        m.insert((2, 1), 4);
+        assert_eq!(m.get(&(1, 2)), Some(&3));
+        assert_eq!(m.get(&(2, 1)), Some(&4));
+        assert_eq!(m.len(), 2);
+    }
+}

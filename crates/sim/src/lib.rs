@@ -41,6 +41,7 @@ pub mod agent;
 pub mod check;
 pub mod engine;
 pub mod event;
+pub mod fnv;
 pub mod link;
 pub mod node;
 pub mod packet;

@@ -4,7 +4,7 @@
 use crate::check::{Violation, ViolationKind};
 use crate::node::NodeId;
 use crate::packet::Packet;
-use crate::queue::QueueDiscipline;
+use crate::queue::{AnyQueue, QueueDiscipline};
 use crate::time::{SimDuration, SimTime};
 use crate::units::{BitsPerSec, Bytes};
 use rand::rngs::SmallRng;
@@ -121,11 +121,16 @@ pub struct Link {
     dst: NodeId,
     bandwidth: BitsPerSec,
     delay: SimDuration,
-    queue: Box<dyn QueueDiscipline>,
+    queue: AnyQueue,
     impairments: Impairments,
     rng: SmallRng,
     in_flight: Option<Packet>,
     stats: LinkStats,
+    /// Memo of the last serialization-time computation: traffic is
+    /// dominated by a handful of distinct packet sizes, and the f64
+    /// division in [`BitsPerSec::tx_time`] shows up in event-loop
+    /// profiles. Same size in → same duration out, so this is exact.
+    tx_memo: (Bytes, SimDuration),
 }
 
 impl fmt::Debug for Link {
@@ -155,7 +160,7 @@ impl Link {
         dst: NodeId,
         bandwidth: BitsPerSec,
         delay: SimDuration,
-        queue: Box<dyn QueueDiscipline>,
+        queue: impl Into<AnyQueue>,
     ) -> Self {
         assert!(!bandwidth.is_zero(), "link bandwidth must be positive");
         Link {
@@ -164,12 +169,22 @@ impl Link {
             dst,
             bandwidth,
             delay,
-            queue,
+            queue: queue.into(),
             impairments: Impairments::NONE,
             rng: SmallRng::seed_from_u64(id.as_u32() as u64 + 0x5EED),
             in_flight: None,
             stats: LinkStats::default(),
+            tx_memo: (Bytes::from_u64(0), SimDuration::ZERO),
         }
+    }
+
+    /// [`BitsPerSec::tx_time`] with a one-entry memo on the packet size.
+    #[inline]
+    fn tx_time(&mut self, size: Bytes) -> SimDuration {
+        if self.tx_memo.0 != size {
+            self.tx_memo = (size, self.bandwidth.tx_time(size));
+        }
+        self.tx_memo.1
     }
 
     /// Installs Dummynet-style impairments (random loss and delay
@@ -296,7 +311,7 @@ impl Link {
     /// Read-only access to the queue discipline (for discipline-specific
     /// inspection in tests and traces).
     pub fn queue(&self) -> &dyn QueueDiscipline {
-        self.queue.as_ref()
+        &self.queue
     }
 
     /// Offers `packet` to the link at time `now`.
@@ -312,6 +327,17 @@ impl Link {
             self.stats.impairment_drops += 1;
             return LinkAccept::Dropped;
         }
+        if self.in_flight.is_none() && self.queue.is_empty_droptail() {
+            // Idle transmitter, empty tail-drop buffer: the enqueue/dequeue
+            // round-trip below is an identity (see `is_empty_droptail`), so
+            // start serializing directly and skip two packet copies.
+            let done_at = now + self.tx_time(packet.size);
+            self.in_flight = Some(packet);
+            return LinkAccept::Accepted {
+                tx_done: Some(done_at),
+                marked: false,
+            };
+        }
         let outcome = self.queue.enqueue(packet, now);
         if outcome.is_drop() {
             return LinkAccept::Dropped;
@@ -322,7 +348,7 @@ impl Link {
                 .queue
                 .dequeue(now)
                 .expect("discipline accepted a packet but has none to serve");
-            let done_at = now + self.bandwidth.tx_time(next.size);
+            let done_at = now + self.tx_time(next.size);
             self.in_flight = Some(next);
             Some(done_at)
         } else {
@@ -347,11 +373,14 @@ impl Link {
             .expect("tx_complete without an in-flight packet");
         self.stats.tx_packets += 1;
         self.stats.tx_bytes = self.stats.tx_bytes.saturating_add(done.size);
-        let next_done_at = self.queue.dequeue(now).map(|next| {
-            let at = now + self.bandwidth.tx_time(next.size);
-            self.in_flight = Some(next);
-            at
-        });
+        let next_done_at = match self.queue.dequeue(now) {
+            Some(next) => {
+                let at = now + self.tx_time(next.size);
+                self.in_flight = Some(next);
+                Some(at)
+            }
+            None => None,
+        };
         (done, next_done_at)
     }
 }
@@ -369,7 +398,7 @@ mod tests {
             NodeId::from_u32(1),
             BitsPerSec::from_mbps(15.0),
             SimDuration::from_millis(10),
-            Box::new(DropTailQueue::new(capacity)),
+            DropTailQueue::new(capacity),
         )
     }
 

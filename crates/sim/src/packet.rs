@@ -233,6 +233,110 @@ impl fmt::Display for Packet {
     }
 }
 
+/// A generation-checked handle to a packet parked in a [`PacketArena`].
+///
+/// `Deliver` events carry one of these (8 bytes) instead of a full
+/// [`Packet`] (~100 bytes), which keeps event-queue entries small and hot.
+/// The generation counter makes ABA misuse loud: a handle that outlives
+/// its packet (taken and the slot recycled) panics on access instead of
+/// silently aliasing the new occupant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PacketRef {
+    index: u32,
+    gen: u32,
+}
+
+#[derive(Debug)]
+struct ArenaSlot {
+    packet: Packet,
+    gen: u32,
+}
+
+/// Slab of in-flight packets awaiting delivery.
+///
+/// The engine parks a packet here when it schedules its `Deliver` event
+/// and takes it back out when the event pops, so the slot count tracks the
+/// number of packets in flight (a few hundred in typical topologies), not
+/// total traffic. Slots are recycled through a free list; every recycle
+/// bumps the slot's generation so stale [`PacketRef`]s are detectable.
+#[derive(Debug, Default)]
+pub struct PacketArena {
+    slots: Vec<ArenaSlot>,
+    free: Vec<u32>,
+    live: usize,
+}
+
+impl PacketArena {
+    /// Creates an empty arena.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Parks `packet` and returns its handle.
+    pub fn insert(&mut self, packet: Packet) -> PacketRef {
+        self.live += 1;
+        match self.free.pop() {
+            Some(index) => {
+                let slot = &mut self.slots[index as usize];
+                slot.packet = packet;
+                PacketRef {
+                    index,
+                    gen: slot.gen,
+                }
+            }
+            None => {
+                let index = u32::try_from(self.slots.len()).expect("packet arena overflow");
+                self.slots.push(ArenaSlot { packet, gen: 0 });
+                PacketRef { index, gen: 0 }
+            }
+        }
+    }
+
+    /// Removes and returns the packet behind `handle`, recycling its slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `handle` is stale — its packet was already taken and the
+    /// slot may have been recycled (an ABA bug in the caller).
+    pub fn take(&mut self, handle: PacketRef) -> Packet {
+        let slot = &mut self.slots[handle.index as usize];
+        assert_eq!(
+            slot.gen, handle.gen,
+            "stale PacketRef: arena slot {} was recycled (ABA)",
+            handle.index,
+        );
+        slot.gen = slot.gen.wrapping_add(1);
+        self.free.push(handle.index);
+        self.live -= 1;
+        slot.packet
+    }
+
+    /// Borrows the packet behind `handle` without freeing the slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `handle` is stale, like [`take`](Self::take).
+    pub fn get(&self, handle: PacketRef) -> &Packet {
+        let slot = &self.slots[handle.index as usize];
+        assert_eq!(
+            slot.gen, handle.gen,
+            "stale PacketRef: arena slot {} was recycled (ABA)",
+            handle.index,
+        );
+        &slot.packet
+    }
+
+    /// Number of packets currently parked.
+    pub fn live(&self) -> usize {
+        self.live
+    }
+
+    /// Capacity high-water mark: total slots ever allocated.
+    pub fn slots_allocated(&self) -> usize {
+        self.slots.len()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -308,5 +412,42 @@ mod tests {
         let s = sample().to_string();
         assert!(s.contains("flow3"));
         assert!(s.contains("seq=7"));
+    }
+
+    #[test]
+    fn arena_roundtrips_and_recycles() {
+        let mut arena = PacketArena::new();
+        let p = sample();
+        let h1 = arena.insert(p);
+        assert_eq!(arena.live(), 1);
+        assert_eq!(*arena.get(h1), p);
+        assert_eq!(arena.take(h1), p);
+        assert_eq!(arena.live(), 0);
+        // The freed slot is reused, with a new generation.
+        let h2 = arena.insert(p);
+        assert_eq!(arena.slots_allocated(), 1);
+        assert_ne!(h1, h2);
+        assert_eq!(arena.take(h2), p);
+    }
+
+    #[test]
+    #[should_panic(expected = "stale PacketRef")]
+    fn stale_handle_take_panics_after_recycle() {
+        // The ABA scenario: take a packet, let the slot be recycled for a
+        // different packet, then use the old handle. Must panic, not alias.
+        let mut arena = PacketArena::new();
+        let h1 = arena.insert(sample());
+        let _ = arena.take(h1);
+        let _h2 = arena.insert(sample()); // recycles slot 0
+        let _ = arena.take(h1); // stale: panics
+    }
+
+    #[test]
+    #[should_panic(expected = "stale PacketRef")]
+    fn stale_handle_get_panics() {
+        let mut arena = PacketArena::new();
+        let h = arena.insert(sample());
+        let _ = arena.take(h);
+        let _ = arena.get(h);
     }
 }

@@ -93,11 +93,11 @@ impl QueueSpec {
     /// Instantiates the discipline. `bandwidth` is the drain rate of the
     /// owning link (RED uses it to decay its average during idle periods);
     /// `seed` feeds RED's early-drop generator.
-    pub fn build(&self, bandwidth: BitsPerSec, seed: u64) -> Box<dyn QueueDiscipline> {
+    pub fn build(&self, bandwidth: BitsPerSec, seed: u64) -> AnyQueue {
         match self {
-            QueueSpec::DropTail { capacity } => Box::new(DropTailQueue::new(*capacity)),
-            QueueSpec::Red(cfg) => Box::new(RedQueue::new(cfg.clone(), bandwidth, seed)),
-            QueueSpec::Acc(cfg) => Box::new(AccQueue::new(cfg.clone(), bandwidth, seed)),
+            QueueSpec::DropTail { capacity } => AnyQueue::DropTail(DropTailQueue::new(*capacity)),
+            QueueSpec::Red(cfg) => AnyQueue::Red(RedQueue::new(cfg.clone(), bandwidth, seed)),
+            QueueSpec::Acc(cfg) => AnyQueue::Acc(AccQueue::new(cfg.clone(), bandwidth, seed)),
         }
     }
 
@@ -108,6 +108,153 @@ impl QueueSpec {
             QueueSpec::Red(cfg) => cfg.capacity,
             QueueSpec::Acc(cfg) => cfg.red.capacity,
         }
+    }
+}
+
+/// A queue discipline with enum dispatch on the hot path.
+///
+/// Links used to hold `Box<dyn QueueDiscipline>`; every per-packet
+/// `enqueue`/`dequeue` was a virtual call through a pointer. The stock
+/// disciplines are a closed set, so this enum devirtualizes them into a
+/// direct match (and keeps the discipline inline in the `Link`, not behind
+/// a second allocation). Out-of-tree disciplines still fit via
+/// [`AnyQueue::Custom`].
+// Inline (unboxed) variants are the point: there is one queue per link,
+// so the size spread costs a few hundred bytes per topology, not per
+// packet, and buys pointer-free dispatch.
+#[allow(clippy::large_enum_variant)]
+pub enum AnyQueue {
+    /// Tail-drop FIFO.
+    DropTail(DropTailQueue),
+    /// Random Early Detection.
+    Red(RedQueue),
+    /// RED + aggregate-based congestion control.
+    Acc(AccQueue),
+    /// Any other discipline, boxed.
+    Custom(Box<dyn QueueDiscipline>),
+}
+
+impl AnyQueue {
+    /// Whether an `enqueue` immediately followed by `dequeue` at the same
+    /// instant would be a provable no-op returning the same packet: an
+    /// empty tail-drop FIFO (capacity >= 1 guarantees acceptance, nothing
+    /// is ever marked, and byte/drop accounting nets to zero). The link
+    /// uses this to skip the buffer round-trip when its transmitter is
+    /// idle, which is the common case on uncongested access links.
+    #[inline]
+    pub(crate) fn is_empty_droptail(&self) -> bool {
+        matches!(self, AnyQueue::DropTail(q) if q.len_packets() == 0)
+    }
+}
+
+impl QueueDiscipline for AnyQueue {
+    #[inline]
+    fn enqueue(&mut self, packet: Packet, now: SimTime) -> EnqueueOutcome {
+        match self {
+            AnyQueue::DropTail(q) => q.enqueue(packet, now),
+            AnyQueue::Red(q) => q.enqueue(packet, now),
+            AnyQueue::Acc(q) => q.enqueue(packet, now),
+            AnyQueue::Custom(q) => q.enqueue(packet, now),
+        }
+    }
+
+    #[inline]
+    fn dequeue(&mut self, now: SimTime) -> Option<Packet> {
+        match self {
+            AnyQueue::DropTail(q) => q.dequeue(now),
+            AnyQueue::Red(q) => q.dequeue(now),
+            AnyQueue::Acc(q) => q.dequeue(now),
+            AnyQueue::Custom(q) => q.dequeue(now),
+        }
+    }
+
+    fn len_packets(&self) -> usize {
+        match self {
+            AnyQueue::DropTail(q) => q.len_packets(),
+            AnyQueue::Red(q) => q.len_packets(),
+            AnyQueue::Acc(q) => q.len_packets(),
+            AnyQueue::Custom(q) => q.len_packets(),
+        }
+    }
+
+    fn len_bytes(&self) -> Bytes {
+        match self {
+            AnyQueue::DropTail(q) => q.len_bytes(),
+            AnyQueue::Red(q) => q.len_bytes(),
+            AnyQueue::Acc(q) => q.len_bytes(),
+            AnyQueue::Custom(q) => q.len_bytes(),
+        }
+    }
+
+    fn capacity_packets(&self) -> usize {
+        match self {
+            AnyQueue::DropTail(q) => q.capacity_packets(),
+            AnyQueue::Red(q) => q.capacity_packets(),
+            AnyQueue::Acc(q) => q.capacity_packets(),
+            AnyQueue::Custom(q) => q.capacity_packets(),
+        }
+    }
+
+    fn drops(&self) -> u64 {
+        match self {
+            AnyQueue::DropTail(q) => q.drops(),
+            AnyQueue::Red(q) => q.drops(),
+            AnyQueue::Acc(q) => q.drops(),
+            AnyQueue::Custom(q) => q.drops(),
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        match self {
+            AnyQueue::DropTail(q) => q.name(),
+            AnyQueue::Red(q) => q.name(),
+            AnyQueue::Acc(q) => q.name(),
+            AnyQueue::Custom(q) => q.name(),
+        }
+    }
+
+    /// Forwards to the *inner* discipline, so downcasts like
+    /// `as_any().downcast_ref::<RedQueue>()` keep working unchanged.
+    fn as_any(&self) -> &dyn std::any::Any {
+        match self {
+            AnyQueue::DropTail(q) => q.as_any(),
+            AnyQueue::Red(q) => q.as_any(),
+            AnyQueue::Acc(q) => q.as_any(),
+            AnyQueue::Custom(q) => q.as_any(),
+        }
+    }
+}
+
+impl std::fmt::Debug for AnyQueue {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AnyQueue")
+            .field("discipline", &self.name())
+            .field("backlog", &self.len_packets())
+            .finish()
+    }
+}
+
+impl From<DropTailQueue> for AnyQueue {
+    fn from(q: DropTailQueue) -> Self {
+        AnyQueue::DropTail(q)
+    }
+}
+
+impl From<RedQueue> for AnyQueue {
+    fn from(q: RedQueue) -> Self {
+        AnyQueue::Red(q)
+    }
+}
+
+impl From<AccQueue> for AnyQueue {
+    fn from(q: AccQueue) -> Self {
+        AnyQueue::Acc(q)
+    }
+}
+
+impl From<Box<dyn QueueDiscipline>> for AnyQueue {
+    fn from(q: Box<dyn QueueDiscipline>) -> Self {
+        AnyQueue::Custom(q)
     }
 }
 
@@ -140,6 +287,24 @@ mod tests {
             QueueSpec::Red(RedConfig::ns2_default(50)).capacity_packets(),
             50
         );
+    }
+
+    #[test]
+    fn any_queue_forwards_as_any_to_inner() {
+        let bw = BitsPerSec::from_mbps(15.0);
+        let red = QueueSpec::Red(RedConfig::ns2_default(50)).build(bw, 1);
+        assert!(red.as_any().downcast_ref::<RedQueue>().is_some());
+        let custom: AnyQueue = (Box::new(DropTailQueue::new(4)) as Box<dyn QueueDiscipline>).into();
+        assert_eq!(custom.name(), "droptail");
+        assert!(custom.as_any().downcast_ref::<DropTailQueue>().is_some());
+        let mut q: AnyQueue = DropTailQueue::new(1).into();
+        assert!(q.enqueue(pkt(100), SimTime::ZERO).is_accepted());
+        assert!(q.enqueue(pkt(100), SimTime::ZERO).is_drop());
+        assert_eq!(q.len_packets(), 1);
+        assert_eq!(q.len_bytes(), Bytes::from_u64(100));
+        assert_eq!(q.capacity_packets(), 1);
+        assert_eq!(q.drops(), 1);
+        assert!(q.dequeue(SimTime::ZERO).is_some());
     }
 
     #[test]

@@ -14,9 +14,10 @@ use std::collections::VecDeque;
 #[derive(Debug, Clone)]
 pub struct RoutingTable {
     n_nodes: usize,
-    /// `table[src][dst]` = outgoing link, or `None` when unreachable (or
-    /// `src == dst`).
-    table: Vec<Vec<Option<LinkId>>>,
+    /// Row-major `table[src * n_nodes + dst]` = outgoing link, or `None`
+    /// when unreachable (or `src == dst`). Flat so the per-forward lookup
+    /// is one indexed load instead of chasing a nested `Vec`.
+    table: Vec<Option<LinkId>>,
 }
 
 impl RoutingTable {
@@ -41,7 +42,7 @@ impl RoutingTable {
             rin.sort_by_key(|(id, _)| *id);
         }
 
-        let mut table = vec![vec![None; n_nodes]; n_nodes];
+        let mut table = vec![None; n_nodes * n_nodes];
         for dst in 0..n_nodes {
             // BFS on reversed edges from dst; when we relax edge (link,
             // src -> dst-side node u), `link` is src's next hop toward dst
@@ -54,7 +55,7 @@ impl RoutingTable {
                 for &(link, src) in &radj[u] {
                     if dist[src.index()] == usize::MAX {
                         dist[src.index()] = dist[u] + 1;
-                        table[src.index()][dst] = Some(link);
+                        table[src.index() * n_nodes + dst] = Some(link);
                         q.push_back(src.index());
                     }
                 }
@@ -65,8 +66,9 @@ impl RoutingTable {
 
     /// The outgoing link from `src` toward `dst`, or `None` when `dst` is
     /// unreachable or equal to `src`.
+    #[inline]
     pub fn next_link(&self, src: NodeId, dst: NodeId) -> Option<LinkId> {
-        self.table[src.index()][dst.index()]
+        self.table[src.index() * self.n_nodes + dst.index()]
     }
 
     /// Number of nodes the table covers.

@@ -9,6 +9,7 @@ use crate::time::SimDuration;
 use crate::units::BitsPerSec;
 use std::error::Error;
 use std::fmt;
+use std::sync::Arc;
 
 /// A problem found while building a topology.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -47,7 +48,7 @@ struct LinkSpec {
     dst: NodeId,
     bandwidth: BitsPerSec,
     delay: SimDuration,
-    queue: QueueSpec,
+    queue: Arc<QueueSpec>,
     impairments: Impairments,
 }
 
@@ -68,7 +69,9 @@ struct LinkSpec {
 /// let r = t.add_router("R");
 /// let src = t.add_host("sender");
 /// let dst = t.add_host("receiver");
-/// let q = QueueSpec::DropTail { capacity: 64 };
+/// // Wrapping the spec in an `Arc` shares it across links without
+/// // cloning; passing a bare `QueueSpec` works too.
+/// let q = std::sync::Arc::new(QueueSpec::DropTail { capacity: 64 });
 /// t.add_duplex_link(src, s, BitsPerSec::from_mbps(50.0), SimDuration::from_millis(1), q.clone());
 /// t.add_duplex_link(s, r, BitsPerSec::from_mbps(15.0), SimDuration::from_millis(10), q.clone());
 /// t.add_duplex_link(r, dst, BitsPerSec::from_mbps(50.0), SimDuration::from_millis(1), q);
@@ -116,13 +119,17 @@ impl TopologyBuilder {
     }
 
     /// Adds a simplex link `src -> dst`.
+    ///
+    /// `queue` accepts either a bare [`QueueSpec`] or an
+    /// `Arc<QueueSpec>`; pass a shared `Arc` to describe many links
+    /// without cloning the spec per link.
     pub fn add_link(
         &mut self,
         src: NodeId,
         dst: NodeId,
         bandwidth: BitsPerSec,
         delay: SimDuration,
-        queue: QueueSpec,
+        queue: impl Into<Arc<QueueSpec>>,
     ) -> LinkId {
         let id = LinkId::from_u32(self.links.len() as u32);
         self.links.push(LinkSpec {
@@ -130,7 +137,7 @@ impl TopologyBuilder {
             dst,
             bandwidth,
             delay,
-            queue,
+            queue: queue.into(),
             impairments: Impairments::NONE,
         });
         id
@@ -151,16 +158,18 @@ impl TopologyBuilder {
     }
 
     /// Adds a pair of simplex links `a -> b` and `b -> a` with identical
-    /// parameters. Returns `(forward, reverse)`.
+    /// parameters. Returns `(forward, reverse)`. The spec is shared, not
+    /// cloned, between the two directions.
     pub fn add_duplex_link(
         &mut self,
         a: NodeId,
         b: NodeId,
         bandwidth: BitsPerSec,
         delay: SimDuration,
-        queue: QueueSpec,
+        queue: impl Into<Arc<QueueSpec>>,
     ) -> (LinkId, LinkId) {
-        let fwd = self.add_link(a, b, bandwidth, delay, queue.clone());
+        let queue = queue.into();
+        let fwd = self.add_link(a, b, bandwidth, delay, Arc::clone(&queue));
         let rev = self.add_link(b, a, bandwidth, delay, queue);
         (fwd, rev)
     }
@@ -313,6 +322,34 @@ mod tests {
         assert_eq!(sim.nodes()[1].label(), "r");
         assert_eq!(t.n_nodes(), 3);
         assert_eq!(t.n_links(), 4);
+    }
+
+    #[test]
+    fn thousand_links_share_one_spec_without_cloning() {
+        // Regression: link specs used to be cloned per link (and per
+        // duplex direction). With `Arc` sharing, a 1k-link topology holds
+        // exactly one spec: 1 owner here + 1 per link, and building it
+        // never clones the spec either.
+        let mut t = TopologyBuilder::new();
+        let a = t.add_router("a");
+        let b = t.add_router("b");
+        let shared = Arc::new(QueueSpec::DropTail { capacity: 50 });
+        for i in 0..1_000 {
+            let (src, dst) = if i % 2 == 0 { (a, b) } else { (b, a) };
+            t.add_link(
+                src,
+                dst,
+                BitsPerSec::from_mbps(10.0),
+                SimDuration::from_millis(1),
+                Arc::clone(&shared),
+            );
+        }
+        assert_eq!(t.n_links(), 1_000);
+        assert_eq!(Arc::strong_count(&shared), 1_001);
+        let sim = t.build().unwrap();
+        assert_eq!(sim.links().len(), 1_000);
+        // build() borrowed the specs; no hidden clones survived it.
+        assert_eq!(Arc::strong_count(&shared), 1_001);
     }
 
     #[test]

@@ -55,6 +55,11 @@ pub struct RateTrace {
     filter: TraceFilter,
     bin: SimDuration,
     bytes: Vec<u64>,
+    /// Nanosecond range `[start, end)` of the most recently hit bin.
+    /// Records arrive in near-monotone time, so almost every record lands
+    /// in the cached bin and skips the index division.
+    cur_range: (u64, u64),
+    cur_idx: usize,
 }
 
 impl RateTrace {
@@ -70,6 +75,8 @@ impl RateTrace {
             filter,
             bin,
             bytes: Vec::new(),
+            cur_range: (0, bin.as_nanos()),
+            cur_idx: 0,
         }
     }
 
@@ -93,7 +100,17 @@ impl RateTrace {
         if !self.filter.admits(packet.kind) {
             return;
         }
-        let idx = (now.as_nanos() / self.bin.as_nanos()) as usize;
+        let t = now.as_nanos();
+        let idx = if t >= self.cur_range.0 && t < self.cur_range.1 {
+            self.cur_idx
+        } else {
+            let width = self.bin.as_nanos();
+            let idx = (t / width) as usize;
+            let start = idx as u64 * width;
+            self.cur_range = (start, start.saturating_add(width));
+            self.cur_idx = idx;
+            idx
+        };
         if idx >= self.bytes.len() {
             self.bytes.resize(idx + 1, 0);
         }

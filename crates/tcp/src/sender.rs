@@ -252,6 +252,9 @@ impl TcpSender {
     }
 
     fn arm_rto(&mut self, ctx: &mut AgentCtx<'_>) {
+        // Retire the previous RTO in the engine's timer wheel; the
+        // generation bump below keeps stale fires harmless regardless.
+        ctx.cancel_timer(self.rto_gen);
         self.rto_gen += 1;
         let mut rto = self.est.rto();
         if self.cfg.rto_rand_spread > 0.0 {
@@ -263,7 +266,8 @@ impl TcpSender {
         ctx.timer_after(rto, self.rto_gen);
     }
 
-    fn cancel_rto(&mut self) {
+    fn cancel_rto(&mut self, ctx: &mut AgentCtx<'_>) {
+        ctx.cancel_timer(self.rto_gen);
         self.rto_gen += 1;
     }
 
@@ -394,7 +398,7 @@ impl TcpSender {
         if let Some(limit) = self.cfg.limit_segments {
             if self.high_ack >= limit {
                 self.done = true;
-                self.cancel_rto();
+                self.cancel_rto(ctx);
                 return;
             }
         }
@@ -403,7 +407,7 @@ impl TcpSender {
         if self.cfg.burst_segments.is_some() && !self.thinking && self.high_ack >= self.burst_end {
             self.thinking = true;
             self.stats.bursts_completed += 1;
-            self.cancel_rto();
+            self.cancel_rto(ctx);
             self.resume_gen += 1;
             ctx.timer_after(
                 self.cfg.think_time,
@@ -416,7 +420,7 @@ impl TcpSender {
         if self.outstanding() {
             self.arm_rto(ctx);
         } else {
-            self.cancel_rto();
+            self.cancel_rto(ctx);
         }
     }
 

@@ -108,7 +108,10 @@ impl TcpSink {
 
     fn send_ack(&mut self, ctx: &mut AgentCtx<'_>) {
         self.pending = 0;
-        self.delack_gen += 1; // cancel any delayed-ACK timer
+        // Cancel any delayed-ACK timer in the wheel; the generation bump
+        // keeps stale fires harmless regardless.
+        ctx.cancel_timer(self.delack_gen);
+        self.delack_gen += 1;
         self.stats.acks_sent += 1;
         let echo = std::mem::take(&mut self.ece_pending);
         let sack = if self.cfg.sack {
@@ -170,6 +173,7 @@ impl Agent for TcpSink {
                 if self.pending >= self.cfg.delayed_ack {
                     self.send_ack(ctx);
                 } else {
+                    ctx.cancel_timer(self.delack_gen);
                     self.delack_gen += 1;
                     ctx.timer_after(self.cfg.ack_delay, self.delack_gen);
                 }
