@@ -215,7 +215,7 @@ impl PerfReport {
 /// macro workloads.
 pub fn run(smoke: bool) -> PerfReport {
     let alloc_before = alloc::is_counting().then(alloc::snapshot);
-    let mut macros = vec![fig06_smoke()];
+    let mut macros = vec![fig06_smoke(), fig06_smoke_metered()];
     if !smoke {
         macros.push(single_bottleneck_60s());
         macros.push(rtt_heterogeneous_50());
@@ -249,6 +249,24 @@ pub fn fig06_smoke() -> MacroResult {
         0.40,
         SimDuration::from_secs(4),
         SimDuration::from_secs(8),
+        false,
+    )
+}
+
+/// The regression-gate workload with the metrics registry enabled —
+/// reported alongside [`fig06_smoke`] so the observability layer's
+/// runtime overhead stays visible in every bench report. The CI gate
+/// itself keys on the unmetered `fig06-smoke` only.
+pub fn fig06_smoke_metered() -> MacroResult {
+    run_attacked(
+        "fig06-smoke-metrics",
+        ScenarioSpec::ns2_dumbbell(8),
+        0.075,
+        25e6,
+        0.40,
+        SimDuration::from_secs(4),
+        SimDuration::from_secs(8),
+        true,
     )
 }
 
@@ -273,9 +291,11 @@ pub fn rtt_heterogeneous_50() -> MacroResult {
         0.40,
         SimDuration::from_secs(5),
         SimDuration::from_secs(15),
+        false,
     )
 }
 
+#[allow(clippy::too_many_arguments)]
 fn run_attacked(
     name: &str,
     spec: ScenarioSpec,
@@ -284,6 +304,7 @@ fn run_attacked(
     gamma: f64,
     warmup: SimDuration,
     window: SimDuration,
+    metered: bool,
 ) -> MacroResult {
     let train = PulseTrain::from_gamma(
         SimDuration::from_secs_f64(t_extent),
@@ -293,6 +314,9 @@ fn run_attacked(
     )
     .expect("canonical bench attack parameters are feasible");
     let mut bench = spec.build().expect("canonical bench scenario builds");
+    if metered {
+        bench.sim.enable_metrics();
+    }
     bench.attach_pulse_attack(train, SimTime::ZERO + warmup, None);
     let horizon = SimTime::ZERO + warmup + window;
     let t0 = Instant::now();

@@ -52,6 +52,8 @@ const KNOWN_KEYS: &[&str] = &[
     "golden-dir",
     "scenarios",
     "baseline",
+    "scenario",
+    "format",
 ];
 const KNOWN_FLAGS: &[&str] = &["ecn", "droptail", "help", "testbed", "smoke", "bless"];
 

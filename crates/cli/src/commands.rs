@@ -59,6 +59,11 @@ COMMANDS
              (default BENCH_<date>.json)  --baseline FILE (compare the
              fig06-smoke events/s against a previous report and fail on
              a >20% regression)
+  metrics    run a scenario set with the metrics registry enabled and
+             export the merged per-link/per-flow/engine snapshot
+             --scenario fig06-smoke|golden (fig06-smoke)  --jobs N (0)
+             --format json|csv (json)  --out FILE (print to stdout
+             when omitted)
   check      conformance suite: a fig06 smoke sweep with the runtime
              invariant checkers on, golden-trace digest regression, and
              the analytic differential oracle (randomized scenarios vs
@@ -354,6 +359,80 @@ fn cmd_sweep_figure(args: &Args) -> Result<String, ArgError> {
     }
     if failed > 0 {
         return Err(ArgError(format!("{failed} runs failed:\n{out}")));
+    }
+    Ok(out)
+}
+
+/// `pdos metrics` — runs a scenario set with the metrics registry on and
+/// exports the merged observability snapshot (per-link, per-flow and
+/// engine scopes, plus the CLI's own sweep wall-time phase counter).
+pub fn cmd_metrics(args: &Args) -> Result<String, ArgError> {
+    let scenario = args.get("scenario").unwrap_or("fig06-smoke");
+    let format = args.get("format").unwrap_or("json");
+    if !matches!(format, "json" | "csv") {
+        return Err(ArgError(format!(
+            "--format must be json or csv; got '{format}'"
+        )));
+    }
+    let jobs: usize = args.num("jobs", 0)?;
+    let specs: Vec<ExperimentSpec> = match scenario {
+        "fig06-smoke" => gain_figure_specs(GainFigure::Fig06, &FigureGrid::smoke())
+            .into_iter()
+            .map(ExperimentSpec::metered)
+            .collect(),
+        "golden" => pdos_conformance::canonical_specs()
+            .into_iter()
+            .map(ExperimentSpec::metered)
+            .collect(),
+        other => {
+            return Err(ArgError(format!(
+                "--scenario must be fig06-smoke or golden; got '{other}'"
+            )));
+        }
+    };
+
+    // The sweep itself is a profiled phase: its wall time lands in the
+    // snapshot under cli/sweep_wall_nanos (the only wall-clock-dependent
+    // entry — everything else is virtual-time deterministic).
+    let mut profile = pdos_metrics::MetricsRegistry::new();
+    let mut clock = pdos_metrics::WallClock::new();
+    let report =
+        pdos_metrics::time_phase(&mut profile, &mut clock, "cli", "sweep_wall_nanos", || {
+            SweepRunner::new(0)
+                .seed_policy(SeedPolicy::FromScenario)
+                .jobs(jobs)
+                .run(&specs)
+        });
+    if let Some(failure) = report.records.iter().find_map(|r| match &r.outcome {
+        RunOutcome::Failed { reason } => Some(format!("{}: {reason}", r.id)),
+        _ => None,
+    }) {
+        return Err(ArgError(failure));
+    }
+    let mut merged = report
+        .merged_metrics()
+        .ok_or_else(|| ArgError("no successful metered runs to merge".into()))?;
+    merged.merge(&profile.snapshot());
+
+    let body = match format {
+        "csv" => merged.to_csv(),
+        _ => merged.to_json(),
+    };
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{scenario}: merged {} metrics from {} runs on {} workers",
+        merged.entries.len(),
+        report.records.len(),
+        report.jobs
+    );
+    match args.get("out") {
+        Some(path) => {
+            std::fs::write(path, &body)
+                .map_err(|e| ArgError(format!("cannot write {path}: {e}")))?;
+            let _ = writeln!(out, "metrics written to {path}");
+        }
+        None => out.push_str(&body),
     }
     Ok(out)
 }
@@ -657,6 +736,7 @@ pub fn run(args: &Args) -> Result<String, ArgError> {
         "sweep" => cmd_sweep(args),
         "sync" => cmd_sync(args),
         "detect" => cmd_detect(args),
+        "metrics" => cmd_metrics(args),
         "check" => cmd_check(args),
         "bench" => cmd_bench(args),
         "help" | "--help" | "-h" => Ok(HELP.to_string()),
@@ -902,6 +982,42 @@ mod tests {
         assert!(report.contains("PROBLEM: golden:"), "{report}");
         let _ = std::fs::remove_dir_all(&dir);
         let _ = std::fs::remove_file(&report_path);
+    }
+
+    #[test]
+    fn metrics_smoke_writes_json_snapshot() {
+        let out_path = std::env::temp_dir().join("pdos-cli-test-metrics.json");
+        let out = run(&parse(&format!(
+            "metrics --scenario fig06-smoke --jobs 2 --out {}",
+            out_path.display()
+        )))
+        .unwrap();
+        assert!(out.contains("fig06-smoke: merged"), "{out}");
+        let json = std::fs::read_to_string(&out_path).unwrap();
+        std::fs::remove_file(&out_path).ok();
+        assert!(json.contains("\"schema\": \"pdos-metrics/1\""), "{json}");
+        assert!(json.contains("\"scope\": \"link/0\""), "{json}");
+        assert!(json.contains("\"scope\": \"flow/0\""), "{json}");
+        assert!(json.contains("pops_packet_tier"), "{json}");
+        assert!(json.contains("sweep_wall_nanos"), "{json}");
+    }
+
+    #[test]
+    fn metrics_csv_prints_to_stdout_without_out() {
+        let out = run(&parse(
+            "metrics --scenario fig06-smoke --jobs 2 --format csv",
+        ))
+        .unwrap();
+        assert!(out.contains("scope,name,kind,field,value"), "{out}");
+        assert!(out.contains("link/0,enqueued,counter,value,"), "{out}");
+    }
+
+    #[test]
+    fn metrics_rejects_unknown_scenario_and_format() {
+        let e = run(&parse("metrics --scenario nonsense")).unwrap_err();
+        assert!(e.to_string().contains("fig06-smoke"), "{e}");
+        let e = run(&parse("metrics --format xml")).unwrap_err();
+        assert!(e.to_string().contains("json or csv"), "{e}");
     }
 
     #[test]

@@ -80,12 +80,41 @@ fn digest_bins(bins: &[u64]) -> u64 {
 /// Returns the failing run's id and reason if any canonical run fails —
 /// including invariant violations.
 pub fn compute_digests(jobs: usize) -> Result<Vec<TraceDigest>, String> {
-    let specs = canonical_specs();
+    compute_digests_inner(canonical_specs(), jobs).map(|(digests, _)| digests)
+}
+
+/// Like [`compute_digests`], but runs every canonical scenario with the
+/// metrics registry enabled and returns the merged snapshot alongside the
+/// digests. Metrics are contractually hash-neutral, so the digests this
+/// returns must equal the plain [`compute_digests`] output — the
+/// conformance suite pins exactly that.
+///
+/// # Errors
+///
+/// Returns the failing run's id and reason if any canonical run fails.
+pub fn compute_digests_metered(
+    jobs: usize,
+) -> Result<(Vec<TraceDigest>, pdos_metrics::MetricsSnapshot), String> {
+    let specs = canonical_specs()
+        .into_iter()
+        .map(ExperimentSpec::metered)
+        .collect();
+    let (digests, snapshot) = compute_digests_inner(specs, jobs)?;
+    Ok((
+        digests,
+        snapshot.ok_or("metered sweep produced no metrics snapshot")?,
+    ))
+}
+
+fn compute_digests_inner(
+    specs: Vec<ExperimentSpec>,
+    jobs: usize,
+) -> Result<(Vec<TraceDigest>, Option<pdos_metrics::MetricsSnapshot>), String> {
     let report = SweepRunner::new(0)
         .seed_policy(SeedPolicy::FromScenario)
         .jobs(jobs)
         .run(&specs);
-    report
+    let digests = report
         .records
         .iter()
         .map(|r| {
@@ -102,7 +131,8 @@ pub fn compute_digests(jobs: usize) -> Result<Vec<TraceDigest>, String> {
                 digest: digest_bins(trace),
             })
         })
-        .collect()
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok((digests, report.merged_metrics()))
 }
 
 /// Serializes digests to the stored text format (one line per run).

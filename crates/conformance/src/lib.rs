@@ -23,5 +23,7 @@ pub mod golden;
 pub mod oracle;
 
 pub use bands::ToleranceBands;
-pub use golden::{canonical_specs, compute_digests, TraceDigest, GOLDEN_FILE};
+pub use golden::{
+    canonical_specs, compute_digests, compute_digests_metered, TraceDigest, GOLDEN_FILE,
+};
 pub use oracle::{run_oracle, OracleConfig, OracleOutcome};

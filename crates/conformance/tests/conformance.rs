@@ -4,7 +4,9 @@
 //! `PDOS_BLESS=1 cargo test -p pdos-conformance` regenerates the golden
 //! digests (equivalently: `pdos check --bless`).
 
-use pdos_conformance::{compute_digests, golden, run_oracle, OracleConfig, GOLDEN_FILE};
+use pdos_conformance::{
+    compute_digests, compute_digests_metered, golden, run_oracle, OracleConfig, GOLDEN_FILE,
+};
 use pdos_scenarios::figures::{gain_figure_specs, FigureGrid, GainFigure};
 use pdos_scenarios::runner::{RunOutcome, SeedPolicy, SweepRunner};
 use pdos_scenarios::spec::ScenarioSpec;
@@ -88,6 +90,54 @@ fn event_queue_rewrite_is_digest_equivalent_no_rebless() {
              acceptable fix for this test)"
         );
     }
+}
+
+/// Determinism lock for the observability layer.
+///
+/// Metrics are contractually read-only: enabling the registry must not
+/// move a single byte of any canonical trace. Like the event-queue lock
+/// above, this pins the literal pre-metrics digests and ignores
+/// `PDOS_BLESS` — an instrumentation hook that perturbs packet timing
+/// cannot be "fixed" by re-blessing.
+#[test]
+fn metrics_enabled_runs_keep_all_golden_digests_no_rebless() {
+    let expected: &[(&str, usize, u64, u64)] = &[
+        ("golden/ns2-benign", 80, 13_238_160, 0xf3c7_3471_d0fa_6ff6),
+        (
+            "golden/ns2-red-attacked",
+            80,
+            7_114_880,
+            0x46fa_6743_5da4_c0cd,
+        ),
+        (
+            "golden/ns2-droptail-attacked",
+            80,
+            7_182_480,
+            0x5ec8_7067_5582_2f4d,
+        ),
+        (
+            "golden/testbed-attacked",
+            80,
+            7_127_000,
+            0x8bb8_1cfe_ba7b_bae8,
+        ),
+    ];
+    let (current, snapshot) = compute_digests_metered(2).expect("canonical runs must succeed");
+    assert_eq!(current.len(), expected.len());
+    for (got, &(name, n_bins, total, digest)) in current.iter().zip(expected) {
+        assert_eq!(got.name, name);
+        assert_eq!(got.n_bins, n_bins, "{name}: bin count moved");
+        assert_eq!(got.total_bytes, total, "{name}: traffic total moved");
+        assert_eq!(
+            got.digest, digest,
+            "{name}: trace digest moved with metrics enabled — an \
+             instrumentation hook is perturbing the simulation \
+             (re-blessing is not an acceptable fix for this test)"
+        );
+    }
+    // The runs really were observed, not silently unmetered.
+    assert!(snapshot.counter("engine", "pops_packet_tier").unwrap() > 0);
+    assert!(snapshot.counter("link/0", "enqueued").unwrap() > 0);
 }
 
 #[test]

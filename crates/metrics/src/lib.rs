@@ -1,0 +1,821 @@
+//! # pdos-metrics — deterministic observability primitives
+//!
+//! A zero-overhead-when-disabled metrics layer for the PDoS lab. Three
+//! metric kinds — [`Counter`](Metric::Counter), a time-weighted [`Gauge`],
+//! and a fixed-boundary mergeable [`Histogram`] — live behind a
+//! [`MetricsRegistry`] that interns `(scope, name)` pairs into dense
+//! [`MetricId`]s, so the hot path pays one bounds-checked index per update
+//! and never hashes a string.
+//!
+//! ## Determinism contract
+//!
+//! Everything in this crate is a pure function of the values fed to it:
+//! no wall clocks, no global state, no map-iteration-order dependence.
+//! Time-weighted gauges take their timestamps from the *caller* (the
+//! simulator's virtual clock, or a [`Clock`] the caller supplies), so a
+//! metered simulation run produces a byte-identical snapshot on every
+//! execution. Snapshots sort entries by `(scope, name)`, which makes the
+//! JSON/CSV output independent of registration order and of how many
+//! workers' registries were merged, and in which order.
+
+#![deny(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+/// Dense handle to one metric inside a [`MetricsRegistry`].
+///
+/// Obtained once from [`MetricsRegistry::counter`] / [`gauge`] /
+/// [`histogram`] (string interning, cold path), then used for updates
+/// (array index, hot path).
+///
+/// [`gauge`]: MetricsRegistry::gauge
+/// [`histogram`]: MetricsRegistry::histogram
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MetricId(u32);
+
+impl MetricId {
+    /// The raw dense index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A last-value gauge with a time-weighted integral.
+///
+/// [`set`](Gauge::set) records a new value at a caller-supplied timestamp
+/// and accumulates `previous_value * dt` into the integral, so
+/// [`time_weighted_mean`](Gauge::time_weighted_mean) is the exact
+/// time-average of the piecewise-constant signal between the first and
+/// last observation (after [`finalize`](Gauge::finalize) extends it to
+/// the end of the run).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Gauge {
+    last: f64,
+    last_at_nanos: u64,
+    integral: f64,
+    elapsed_nanos: u64,
+    seen: bool,
+}
+
+impl Gauge {
+    /// Advances the integral up to `now_nanos` without changing the value.
+    fn accumulate(&mut self, now_nanos: u64) {
+        if self.seen && now_nanos > self.last_at_nanos {
+            let dt = now_nanos - self.last_at_nanos;
+            self.integral += self.last * dt as f64;
+            self.elapsed_nanos += dt;
+        }
+        self.last_at_nanos = now_nanos;
+    }
+
+    /// Records `value` at `now_nanos`. Timestamps must be non-decreasing;
+    /// an out-of-order timestamp is clamped (no time is un-accumulated).
+    pub fn set(&mut self, value: f64, now_nanos: u64) {
+        self.accumulate(now_nanos.max(self.last_at_nanos));
+        self.last = value;
+        self.seen = true;
+    }
+
+    /// Extends the integral to `now_nanos` (end of run) so the mean covers
+    /// the full observation span.
+    pub fn finalize(&mut self, now_nanos: u64) {
+        self.accumulate(now_nanos.max(self.last_at_nanos));
+    }
+
+    /// The most recently set value (0 before any [`set`](Gauge::set)).
+    pub fn last(&self) -> f64 {
+        self.last
+    }
+
+    /// Total nanoseconds covered by the integral.
+    pub fn elapsed_nanos(&self) -> u64 {
+        self.elapsed_nanos
+    }
+
+    /// Time-weighted mean of the signal (0 if no time has elapsed).
+    pub fn time_weighted_mean(&self) -> f64 {
+        if self.elapsed_nanos == 0 {
+            0.0
+        } else {
+            self.integral / self.elapsed_nanos as f64
+        }
+    }
+
+    /// Merges another gauge's observation span into this one: integrals
+    /// and elapsed times add; `last` takes the other gauge's value (merge
+    /// order is deterministic, so the result is too).
+    pub fn merge(&mut self, other: &Gauge) {
+        self.integral += other.integral;
+        self.elapsed_nanos += other.elapsed_nanos;
+        if other.seen {
+            self.last = other.last;
+            self.seen = true;
+        }
+    }
+}
+
+/// A fixed-boundary histogram with exact quantile-bound semantics.
+///
+/// `bounds` are strictly increasing upper bucket edges; bucket `i` covers
+/// `(bounds[i-1], bounds[i]]`, with an implicit final bucket up to `+inf`.
+/// Because boundaries are fixed at construction, histograms with equal
+/// boundaries merge losslessly (bucket-wise addition), and
+/// [`quantile_bounds`](Histogram::quantile_bounds) returns an interval
+/// that *provably* contains the true quantile of the recorded values.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    bounds: Vec<f64>,
+    counts: Vec<u64>,
+    count: u64,
+    sum: f64,
+}
+
+impl Histogram {
+    /// Creates a histogram with the given strictly increasing upper
+    /// bucket edges (an empty slice yields a single `(-inf, +inf]`
+    /// bucket).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bounds` is not strictly increasing or contains a
+    /// non-finite edge.
+    pub fn new(bounds: &[f64]) -> Histogram {
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly increasing"
+        );
+        assert!(
+            bounds.iter().all(|b| b.is_finite()),
+            "histogram bounds must be finite"
+        );
+        Histogram {
+            bounds: bounds.to_vec(),
+            counts: vec![0; bounds.len() + 1],
+            count: 0,
+            sum: 0.0,
+        }
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, value: f64) {
+        debug_assert!(value.is_finite(), "histogram values must be finite");
+        let idx = self.bounds.partition_point(|b| value > *b);
+        self.counts[idx] += 1;
+        self.count += 1;
+        self.sum += value;
+    }
+
+    /// Total observations recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all recorded values.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// The upper bucket edges.
+    pub fn bounds(&self) -> &[f64] {
+        &self.bounds
+    }
+
+    /// Per-bucket counts (`bounds.len() + 1` entries; last is overflow).
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// The `(lower, upper]` range of bucket `idx` (`-inf`/`+inf` at the
+    /// extremes).
+    pub fn bucket_range(&self, idx: usize) -> (f64, f64) {
+        let lo = if idx == 0 {
+            f64::NEG_INFINITY
+        } else {
+            self.bounds[idx - 1]
+        };
+        let hi = self.bounds.get(idx).copied().unwrap_or(f64::INFINITY);
+        (lo, hi)
+    }
+
+    /// Whether another histogram has identical boundaries (mergeable).
+    pub fn same_bounds(&self, other: &Histogram) -> bool {
+        self.bounds == other.bounds
+    }
+
+    /// Merges another histogram bucket-wise.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the boundaries differ — merging is only defined for
+    /// histograms of the same metric.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert!(
+            self.same_bounds(other),
+            "cannot merge histograms with different boundaries"
+        );
+        for (c, o) in self.counts.iter_mut().zip(&other.counts) {
+            *c += o;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+    }
+
+    /// The `(lower, upper]` bucket range containing the `q`-quantile of
+    /// the recorded values (`q` clamped to `[0, 1]`), or `None` if the
+    /// histogram is empty. The true quantile always satisfies
+    /// `lower < x <= upper`.
+    pub fn quantile_bounds(&self, q: f64) -> Option<(f64, f64)> {
+        if self.count == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut cum = 0u64;
+        for (idx, &c) in self.counts.iter().enumerate() {
+            cum += c;
+            if cum >= rank {
+                return Some(self.bucket_range(idx));
+            }
+        }
+        Some(self.bucket_range(self.counts.len() - 1))
+    }
+}
+
+/// One metric value: the payload of a registry entry or snapshot entry.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Metric {
+    /// A monotonically increasing count.
+    Counter(u64),
+    /// A time-weighted last-value gauge.
+    Gauge(Gauge),
+    /// A fixed-boundary histogram.
+    Histogram(Histogram),
+}
+
+impl Metric {
+    /// The kind name used in snapshots ("counter" / "gauge" /
+    /// "histogram").
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Metric::Counter(_) => "counter",
+            Metric::Gauge(_) => "gauge",
+            Metric::Histogram(_) => "histogram",
+        }
+    }
+
+    /// Merges another metric of the same kind into this one (counters
+    /// add, gauges combine spans, histograms add bucket-wise).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a kind mismatch or histogram boundary mismatch.
+    pub fn merge(&mut self, other: &Metric) {
+        match (self, other) {
+            (Metric::Counter(a), Metric::Counter(b)) => *a += b,
+            (Metric::Gauge(a), Metric::Gauge(b)) => a.merge(b),
+            (Metric::Histogram(a), Metric::Histogram(b)) => a.merge(b),
+            (a, b) => panic!("cannot merge {} into {}", b.kind(), a.kind()),
+        }
+    }
+}
+
+struct Entry {
+    scope: String,
+    name: String,
+    value: Metric,
+}
+
+/// The registry: interns `(scope, name)` pairs into dense [`MetricId`]s
+/// and stores the metric values in one flat vector.
+///
+/// Registration (the `counter`/`gauge`/`histogram` methods) is the cold
+/// path; updates (`inc`/`gauge_set`/`observe`) are a single indexed
+/// access. Registering an existing `(scope, name)` returns the existing
+/// id (and panics on a kind mismatch — one name, one kind).
+#[derive(Default)]
+pub struct MetricsRegistry {
+    index: HashMap<(String, String), MetricId>,
+    entries: Vec<Entry>,
+}
+
+impl MetricsRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::default()
+    }
+
+    /// Number of registered metrics.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no metrics are registered.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    fn intern(&mut self, scope: &str, name: &str, make: impl FnOnce() -> Metric) -> MetricId {
+        if let Some(&id) = self.index.get(&(scope.to_string(), name.to_string())) {
+            let existing = &self.entries[id.index()].value;
+            let wanted = make();
+            assert_eq!(
+                existing.kind(),
+                wanted.kind(),
+                "{scope}/{name} already registered as a {}",
+                existing.kind()
+            );
+            return id;
+        }
+        let id = MetricId(u32::try_from(self.entries.len()).expect("metric count fits in u32"));
+        self.entries.push(Entry {
+            scope: scope.to_string(),
+            name: name.to_string(),
+            value: make(),
+        });
+        self.index.insert((scope.to_string(), name.to_string()), id);
+        id
+    }
+
+    /// Registers (or looks up) a counter.
+    pub fn counter(&mut self, scope: &str, name: &str) -> MetricId {
+        self.intern(scope, name, || Metric::Counter(0))
+    }
+
+    /// Registers (or looks up) a gauge.
+    pub fn gauge(&mut self, scope: &str, name: &str) -> MetricId {
+        self.intern(scope, name, || Metric::Gauge(Gauge::default()))
+    }
+
+    /// Registers (or looks up) a histogram with the given upper bucket
+    /// edges (see [`Histogram::new`]).
+    pub fn histogram(&mut self, scope: &str, name: &str, bounds: &[f64]) -> MetricId {
+        self.intern(scope, name, || Metric::Histogram(Histogram::new(bounds)))
+    }
+
+    /// Adds `n` to a counter (hot path).
+    #[inline]
+    pub fn inc(&mut self, id: MetricId, n: u64) {
+        match &mut self.entries[id.index()].value {
+            Metric::Counter(c) => *c += n,
+            other => debug_assert!(false, "inc on a {}", other.kind()),
+        }
+    }
+
+    /// Sets a gauge to `value` at `now_nanos` (hot path).
+    #[inline]
+    pub fn gauge_set(&mut self, id: MetricId, value: f64, now_nanos: u64) {
+        match &mut self.entries[id.index()].value {
+            Metric::Gauge(g) => g.set(value, now_nanos),
+            other => debug_assert!(false, "gauge_set on a {}", other.kind()),
+        }
+    }
+
+    /// Records one histogram observation (hot path).
+    #[inline]
+    pub fn observe(&mut self, id: MetricId, value: f64) {
+        match &mut self.entries[id.index()].value {
+            Metric::Histogram(h) => h.record(value),
+            other => debug_assert!(false, "observe on a {}", other.kind()),
+        }
+    }
+
+    /// Cold-path convenience: intern and add to a counter in one call
+    /// (post-run exports, phase timers).
+    pub fn add_counter(&mut self, scope: &str, name: &str, n: u64) {
+        let id = self.counter(scope, name);
+        self.inc(id, n);
+    }
+
+    /// Cold-path convenience: intern and set a gauge in one call.
+    pub fn set_gauge(&mut self, scope: &str, name: &str, value: f64, now_nanos: u64) {
+        let id = self.gauge(scope, name);
+        self.gauge_set(id, value, now_nanos);
+    }
+
+    /// Extends every gauge's integral to `now_nanos` (call once at end of
+    /// run, before snapshotting).
+    pub fn finalize_gauges(&mut self, now_nanos: u64) {
+        for e in &mut self.entries {
+            if let Metric::Gauge(g) = &mut e.value {
+                g.finalize(now_nanos);
+            }
+        }
+    }
+
+    /// A point-in-time copy of every metric, sorted by `(scope, name)`.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let mut entries: Vec<SnapshotEntry> = self
+            .entries
+            .iter()
+            .map(|e| SnapshotEntry {
+                scope: e.scope.clone(),
+                name: e.name.clone(),
+                value: e.value.clone(),
+            })
+            .collect();
+        entries.sort_by(|a, b| (&a.scope, &a.name).cmp(&(&b.scope, &b.name)));
+        MetricsSnapshot { entries }
+    }
+}
+
+impl std::fmt::Debug for MetricsRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MetricsRegistry")
+            .field("metrics", &self.entries.len())
+            .finish()
+    }
+}
+
+/// One `(scope, name, value)` triple inside a [`MetricsSnapshot`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SnapshotEntry {
+    /// The interned scope (e.g. `link/0`, `flow/3`, `engine`).
+    pub scope: String,
+    /// The metric name within the scope.
+    pub name: String,
+    /// The metric value.
+    pub value: Metric,
+}
+
+/// A serialisable, mergeable copy of a registry's state.
+///
+/// Entries are kept sorted by `(scope, name)`, so two snapshots of the
+/// same run are structurally equal and serialise byte-identically no
+/// matter how they were assembled.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    /// The metrics, sorted by `(scope, name)`.
+    pub entries: Vec<SnapshotEntry>,
+}
+
+impl MetricsSnapshot {
+    /// Looks up a metric by scope and name.
+    pub fn get(&self, scope: &str, name: &str) -> Option<&Metric> {
+        self.entries
+            .binary_search_by(|e| (e.scope.as_str(), e.name.as_str()).cmp(&(scope, name)))
+            .ok()
+            .map(|i| &self.entries[i].value)
+    }
+
+    /// The value of a counter, or `None` if absent / not a counter.
+    pub fn counter(&self, scope: &str, name: &str) -> Option<u64> {
+        match self.get(scope, name)? {
+            Metric::Counter(c) => Some(*c),
+            _ => None,
+        }
+    }
+
+    /// Merges another snapshot into this one: matching `(scope, name)`
+    /// entries merge metric-wise, new entries are inserted in order.
+    pub fn merge(&mut self, other: &MetricsSnapshot) {
+        for e in &other.entries {
+            match self
+                .entries
+                .binary_search_by(|x| (x.scope.as_str(), x.name.as_str()).cmp(&(&e.scope, &e.name)))
+            {
+                Ok(i) => self.entries[i].value.merge(&e.value),
+                Err(i) => self.entries.insert(i, e.clone()),
+            }
+        }
+    }
+
+    /// Serialises the snapshot as JSON (schema `pdos-metrics/1`).
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{\n  \"schema\": \"pdos-metrics/1\",\n  \"entries\": [");
+        for (i, e) in self.entries.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(
+                s,
+                "\n    {{\"scope\": {}, \"name\": {}, \"kind\": \"{}\"",
+                json_str(&e.scope),
+                json_str(&e.name),
+                e.value.kind()
+            );
+            match &e.value {
+                Metric::Counter(c) => {
+                    let _ = write!(s, ", \"value\": {c}}}");
+                }
+                Metric::Gauge(g) => {
+                    let _ = write!(
+                        s,
+                        ", \"last\": {}, \"mean\": {}, \"elapsed_nanos\": {}}}",
+                        json_f64(g.last()),
+                        json_f64(g.time_weighted_mean()),
+                        g.elapsed_nanos()
+                    );
+                }
+                Metric::Histogram(h) => {
+                    let _ = write!(
+                        s,
+                        ", \"count\": {}, \"sum\": {}, \"bounds\": [{}], \"counts\": [{}]}}",
+                        h.count(),
+                        json_f64(h.sum()),
+                        h.bounds()
+                            .iter()
+                            .map(|b| json_f64(*b))
+                            .collect::<Vec<_>>()
+                            .join(", "),
+                        h.counts()
+                            .iter()
+                            .map(u64::to_string)
+                            .collect::<Vec<_>>()
+                            .join(", ")
+                    );
+                }
+            }
+        }
+        s.push_str("\n  ]\n}\n");
+        s
+    }
+
+    /// Serialises the snapshot as CSV (`scope,name,kind,field,value`; one
+    /// row per scalar, histogram buckets as `le_<bound>` / `le_inf`).
+    pub fn to_csv(&self) -> String {
+        let mut s = String::from("scope,name,kind,field,value\n");
+        for e in &self.entries {
+            let head = format!("{},{},{}", e.scope, e.name, e.value.kind());
+            match &e.value {
+                Metric::Counter(c) => {
+                    let _ = writeln!(s, "{head},value,{c}");
+                }
+                Metric::Gauge(g) => {
+                    let _ = writeln!(s, "{head},last,{}", g.last());
+                    let _ = writeln!(s, "{head},mean,{}", g.time_weighted_mean());
+                    let _ = writeln!(s, "{head},elapsed_nanos,{}", g.elapsed_nanos());
+                }
+                Metric::Histogram(h) => {
+                    let _ = writeln!(s, "{head},count,{}", h.count());
+                    let _ = writeln!(s, "{head},sum,{}", h.sum());
+                    for (i, c) in h.counts().iter().enumerate() {
+                        match h.bounds().get(i) {
+                            Some(b) => {
+                                let _ = writeln!(s, "{head},le_{b},{c}");
+                            }
+                            None => {
+                                let _ = writeln!(s, "{head},le_inf,{c}");
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        s
+    }
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// A source of wall-clock timestamps for phase profiling.
+///
+/// Simulation results never depend on a `Clock`: the engine's own metrics
+/// use virtual time, and phase timers only *add* profiling counters. Tests
+/// pass a [`ManualClock`] so even those counters are reproducible.
+pub trait Clock {
+    /// Nanoseconds since an arbitrary fixed origin; must be monotone.
+    fn now_nanos(&mut self) -> u64;
+}
+
+/// A [`Clock`] backed by [`std::time::Instant`] (real wall time).
+#[derive(Debug)]
+pub struct WallClock {
+    origin: std::time::Instant,
+}
+
+impl WallClock {
+    /// Creates a wall clock with its origin at "now".
+    pub fn new() -> WallClock {
+        WallClock {
+            origin: std::time::Instant::now(),
+        }
+    }
+}
+
+impl Default for WallClock {
+    fn default() -> Self {
+        WallClock::new()
+    }
+}
+
+impl Clock for WallClock {
+    fn now_nanos(&mut self) -> u64 {
+        u64::try_from(self.origin.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+}
+
+/// A hand-advanced [`Clock`] for deterministic tests.
+#[derive(Debug, Default)]
+pub struct ManualClock {
+    /// The time the clock currently reports.
+    pub now_nanos: u64,
+}
+
+impl ManualClock {
+    /// Advances the clock by `nanos`.
+    pub fn advance(&mut self, nanos: u64) {
+        self.now_nanos += nanos;
+    }
+}
+
+impl Clock for ManualClock {
+    fn now_nanos(&mut self) -> u64 {
+        self.now_nanos
+    }
+}
+
+/// Runs `f`, recording its duration (per the caller-supplied clock) into
+/// the counter `scope/name`, in nanoseconds. Returns `f`'s result.
+pub fn time_phase<T>(
+    registry: &mut MetricsRegistry,
+    clock: &mut dyn Clock,
+    scope: &str,
+    name: &str,
+    f: impl FnOnce() -> T,
+) -> T {
+    let start = clock.now_nanos();
+    let out = f();
+    let elapsed = clock.now_nanos().saturating_sub(start);
+    registry.add_counter(scope, name, elapsed);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_roundtrip() {
+        let mut reg = MetricsRegistry::new();
+        let id = reg.counter("link/0", "enqueued");
+        reg.inc(id, 3);
+        reg.inc(id, 4);
+        assert_eq!(reg.counter("link/0", "enqueued"), id);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("link/0", "enqueued"), Some(7));
+        assert_eq!(snap.counter("link/0", "missing"), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn kind_mismatch_panics() {
+        let mut reg = MetricsRegistry::new();
+        reg.counter("a", "x");
+        reg.gauge("a", "x");
+    }
+
+    #[test]
+    fn gauge_time_weighted_mean_is_exact() {
+        let mut g = Gauge::default();
+        g.set(2.0, 0);
+        g.set(4.0, 10); // 2.0 held for 10 ns
+        g.finalize(30); // 4.0 held for 20 ns
+        assert_eq!(g.elapsed_nanos(), 30);
+        assert!((g.time_weighted_mean() - (2.0 * 10.0 + 4.0 * 20.0) / 30.0).abs() < 1e-12);
+        assert_eq!(g.last(), 4.0);
+    }
+
+    #[test]
+    fn gauge_before_first_set_contributes_nothing() {
+        let mut g = Gauge::default();
+        g.finalize(100);
+        assert_eq!(g.elapsed_nanos(), 0);
+        g.set(1.0, 100);
+        g.finalize(150);
+        assert_eq!(g.elapsed_nanos(), 50);
+        assert_eq!(g.time_weighted_mean(), 1.0);
+    }
+
+    #[test]
+    fn histogram_buckets_and_quantiles() {
+        let mut h = Histogram::new(&[1.0, 2.0, 4.0]);
+        for v in [0.5, 1.0, 1.5, 3.0, 9.0] {
+            h.record(v);
+        }
+        assert_eq!(h.counts(), &[2, 1, 1, 1]); // (..1], (1..2], (2..4], (4..]
+        assert_eq!(h.count(), 5);
+        // Median of {0.5, 1.0, 1.5, 3.0, 9.0} is 1.5, in (1, 2].
+        assert_eq!(h.quantile_bounds(0.5), Some((1.0, 2.0)));
+        assert_eq!(h.quantile_bounds(1.0), Some((4.0, f64::INFINITY)));
+        assert_eq!(h.quantile_bounds(0.0), Some((f64::NEG_INFINITY, 1.0)));
+        assert_eq!(Histogram::new(&[1.0]).quantile_bounds(0.5), None);
+    }
+
+    #[test]
+    fn histogram_merge_adds_bucketwise() {
+        let mut a = Histogram::new(&[1.0, 2.0]);
+        let mut b = Histogram::new(&[1.0, 2.0]);
+        a.record(0.5);
+        b.record(1.5);
+        b.record(5.0);
+        a.merge(&b);
+        assert_eq!(a.counts(), &[1, 1, 1]);
+        assert_eq!(a.count(), 3);
+        assert!((a.sum() - 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "different boundaries")]
+    fn histogram_merge_rejects_different_bounds() {
+        let mut a = Histogram::new(&[1.0]);
+        a.merge(&Histogram::new(&[2.0]));
+    }
+
+    #[test]
+    fn snapshot_is_sorted_and_order_independent() {
+        let mut a = MetricsRegistry::new();
+        a.add_counter("z", "late", 1);
+        a.add_counter("a", "early", 2);
+        let mut b = MetricsRegistry::new();
+        b.add_counter("a", "early", 2);
+        b.add_counter("z", "late", 1);
+        assert_eq!(a.snapshot(), b.snapshot());
+        assert_eq!(a.snapshot().to_json(), b.snapshot().to_json());
+    }
+
+    #[test]
+    fn snapshot_merge_combines_and_inserts() {
+        let mut a = MetricsRegistry::new();
+        a.add_counter("s", "x", 1);
+        let mut b = MetricsRegistry::new();
+        b.add_counter("s", "x", 2);
+        b.add_counter("s", "y", 5);
+        let mut snap = a.snapshot();
+        snap.merge(&b.snapshot());
+        assert_eq!(snap.counter("s", "x"), Some(3));
+        assert_eq!(snap.counter("s", "y"), Some(5));
+        // Merge result is itself sorted.
+        let again = snap.clone();
+        snap.merge(&MetricsSnapshot::default());
+        assert_eq!(snap, again);
+    }
+
+    #[test]
+    fn json_and_csv_are_wellformed_enough() {
+        let mut reg = MetricsRegistry::new();
+        reg.add_counter("engine", "pops", 9);
+        reg.set_gauge("link/0", "occupancy_pkts", 3.0, 0);
+        let h = reg.histogram("link/0", "red_drop_prob", &[0.1, 0.5]);
+        reg.observe(h, 0.3);
+        reg.finalize_gauges(10);
+        let snap = reg.snapshot();
+        let json = snap.to_json();
+        assert!(json.starts_with('{') && json.trim_end().ends_with('}'));
+        assert!(json.contains("\"schema\": \"pdos-metrics/1\""));
+        assert!(json.contains("\"kind\": \"histogram\""));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        let csv = snap.to_csv();
+        assert!(csv.starts_with("scope,name,kind,field,value\n"));
+        assert!(csv.contains("link/0,red_drop_prob,histogram,le_0.1,0"));
+        assert!(csv.contains("link/0,red_drop_prob,histogram,le_0.5,1"));
+        assert!(csv.contains("link/0,red_drop_prob,histogram,le_inf,0"));
+    }
+
+    #[test]
+    fn stepped_clock_times_phases_deterministically() {
+        // A clock that advances 250 ns per reading: the phase spans one
+        // reading-to-reading gap, so the counter lands on exactly 250.
+        struct Stepping(u64);
+        impl Clock for Stepping {
+            fn now_nanos(&mut self) -> u64 {
+                self.0 += 250;
+                self.0
+            }
+        }
+        let mut reg = MetricsRegistry::new();
+        let mut clock = Stepping(0);
+        let out = time_phase(&mut reg, &mut clock, "profile", "warmup", || 42);
+        assert_eq!(out, 42);
+        assert_eq!(reg.snapshot().counter("profile", "warmup"), Some(250));
+        let mut manual = ManualClock::default();
+        manual.advance(7);
+        assert_eq!(manual.now_nanos, 7);
+        let _wall = WallClock::default().now_nanos();
+    }
+}

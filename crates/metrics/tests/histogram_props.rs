@@ -1,0 +1,149 @@
+//! Property battery for [`pdos_metrics::Histogram`] (vendored proptest).
+//!
+//! The histogram is the one metric with non-trivial algebra: merge must
+//! be associative and commutative, counts must be conserved under
+//! arbitrary merge trees, every recorded value must land in the bucket
+//! whose bounds contain it, and quantile estimates must be bounded by
+//! bucket edges. Each law is checked over randomized value streams and
+//! randomized (strictly-increasing) boundary sets.
+
+use pdos_metrics::Histogram;
+use proptest::prop_assert;
+use proptest::prop_assert_eq;
+use proptest::proptest;
+
+/// Builds strictly increasing bounds from raw positive step sizes.
+fn bounds_from_steps(steps: &[u64]) -> Vec<f64> {
+    let mut acc = 0.0;
+    steps
+        .iter()
+        .map(|s| {
+            acc += (*s % 97 + 1) as f64 * 0.25;
+            acc
+        })
+        .collect()
+}
+
+fn values_from_raw(raw: &[u64]) -> Vec<f64> {
+    raw.iter().map(|v| (*v % 4096) as f64 * 0.0625).collect()
+}
+
+fn filled(bounds: &[f64], values: &[f64]) -> Histogram {
+    let mut h = Histogram::new(bounds);
+    for &v in values {
+        h.record(v);
+    }
+    h
+}
+
+proptest! {
+    #[test]
+    fn merge_is_commutative(
+        steps in proptest::collection::vec(0u64..1000, 1..8),
+        raw_a in proptest::collection::vec(0u64..100_000, 0..64),
+        raw_b in proptest::collection::vec(0u64..100_000, 0..64),
+    ) {
+        let bounds = bounds_from_steps(&steps);
+        let a = filled(&bounds, &values_from_raw(&raw_a));
+        let b = filled(&bounds, &values_from_raw(&raw_b));
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        prop_assert_eq!(ab.counts(), ba.counts());
+        prop_assert_eq!(ab.count(), ba.count());
+        prop_assert!((ab.sum() - ba.sum()).abs() <= 1e-6 * (1.0 + ab.sum().abs()));
+    }
+
+    #[test]
+    fn merge_is_associative(
+        steps in proptest::collection::vec(0u64..1000, 1..8),
+        raw_a in proptest::collection::vec(0u64..100_000, 0..48),
+        raw_b in proptest::collection::vec(0u64..100_000, 0..48),
+        raw_c in proptest::collection::vec(0u64..100_000, 0..48),
+    ) {
+        let bounds = bounds_from_steps(&steps);
+        let a = filled(&bounds, &values_from_raw(&raw_a));
+        let b = filled(&bounds, &values_from_raw(&raw_b));
+        let c = filled(&bounds, &values_from_raw(&raw_c));
+        // (a ⊕ b) ⊕ c
+        let mut left = a.clone();
+        left.merge(&b);
+        left.merge(&c);
+        // a ⊕ (b ⊕ c)
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut right = a.clone();
+        right.merge(&bc);
+        prop_assert_eq!(left.counts(), right.counts());
+        prop_assert_eq!(left.count(), right.count());
+        prop_assert!((left.sum() - right.sum()).abs() <= 1e-6 * (1.0 + left.sum().abs()));
+    }
+
+    #[test]
+    fn count_is_conserved_under_arbitrary_merge_trees(
+        steps in proptest::collection::vec(0u64..1000, 1..6),
+        raws in proptest::collection::vec(
+            proptest::collection::vec(0u64..100_000, 0..32), 1..8),
+        fold_left in proptest::collection::vec(0u8..2, 0..8),
+    ) {
+        let bounds = bounds_from_steps(&steps);
+        let total: u64 = raws.iter().map(|r| r.len() as u64).sum();
+        // Fold the histograms into one via a randomized tree shape: at
+        // each step merge either into the accumulator (left-deep) or into
+        // the incoming histogram (right-deep), as directed by `fold_left`.
+        let mut parts: Vec<Histogram> = raws
+            .iter()
+            .map(|r| filled(&bounds, &values_from_raw(r)))
+            .collect();
+        let mut acc = parts.remove(0);
+        for (i, part) in parts.into_iter().enumerate() {
+            let left_deep = fold_left.get(i).copied().unwrap_or(0) == 0;
+            if left_deep {
+                acc.merge(&part);
+            } else {
+                let mut p = part;
+                p.merge(&acc);
+                acc = p;
+            }
+        }
+        prop_assert_eq!(acc.count(), total);
+        prop_assert_eq!(acc.counts().iter().sum::<u64>(), total);
+    }
+
+    #[test]
+    fn recorded_values_land_in_their_containing_bucket(
+        steps in proptest::collection::vec(0u64..1000, 1..8),
+        raw in proptest::collection::vec(0u64..100_000, 1..64),
+    ) {
+        let bounds = bounds_from_steps(&steps);
+        for v in values_from_raw(&raw) {
+            let mut h = Histogram::new(&bounds);
+            h.record(v);
+            let idx = h.counts().iter().position(|&c| c == 1).unwrap();
+            let (lo, hi) = h.bucket_range(idx);
+            prop_assert!(lo < v || (idx == 0 && v == lo), "{v} below bucket ({lo}, {hi}]");
+            prop_assert!(v <= hi, "{v} above bucket ({lo}, {hi}]");
+        }
+    }
+
+    #[test]
+    fn quantile_estimates_are_bounded_by_bucket_edges(
+        steps in proptest::collection::vec(0u64..1000, 1..8),
+        raw in proptest::collection::vec(0u64..100_000, 1..64),
+        q_raw in 0u64..=100,
+    ) {
+        let bounds = bounds_from_steps(&steps);
+        let values = values_from_raw(&raw);
+        let h = filled(&bounds, &values);
+        let q = q_raw as f64 / 100.0;
+        let (lo, hi) = h.quantile_bounds(q).unwrap();
+        // The true q-quantile (nearest-rank) of the recorded values.
+        let mut sorted = values.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let rank = ((q * sorted.len() as f64).ceil() as usize).max(1);
+        let true_q = sorted[rank - 1];
+        prop_assert!(lo <= true_q, "true quantile {true_q} below bucket ({lo}, {hi}]");
+        prop_assert!(true_q <= hi, "true quantile {true_q} above bucket ({lo}, {hi}]");
+    }
+}

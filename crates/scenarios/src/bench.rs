@@ -258,6 +258,54 @@ impl Testbench {
         out
     }
 
+    /// Exports per-flow TCP metrics into `registry`: one `flow/<id>`
+    /// scope per victim connection, holding the sender's loss/recovery
+    /// counters, a congestion-window histogram (populated when
+    /// `record_cwnd` is on), final cwnd/ssthresh gauges and the sink's
+    /// delivery counters. Runs post-hoc over agent state — it cannot
+    /// perturb the simulation.
+    pub fn export_flow_metrics(&self, registry: &mut pdos_metrics::MetricsRegistry) {
+        /// Congestion-window histogram edges, in segments (powers of two
+        /// spanning every window the scenarios produce).
+        const CWND_BOUNDS: [f64; 8] = [1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0];
+        let now = self.sim.now().as_nanos();
+        for h in &self.flows {
+            let scope = format!("flow/{}", h.flow.as_u32());
+            if let Some(s) = self.sim.agent_as::<TcpSender>(h.sender) {
+                let st = s.stats();
+                registry.add_counter(&scope, "segments_sent", st.segments_sent);
+                registry.add_counter(&scope, "retransmissions", st.retransmissions);
+                registry.add_counter(&scope, "rto_expirations", st.timeouts);
+                registry.add_counter(&scope, "fast_retransmits", st.fast_recoveries);
+                registry.add_counter(&scope, "rtt_samples", st.rtt_samples);
+                registry.set_gauge(&scope, "cwnd_segments", s.cwnd(), now);
+                registry.set_gauge(&scope, "ssthresh_segments", s.ssthresh(), now);
+                let hist = registry.histogram(&scope, "cwnd_samples", &CWND_BOUNDS);
+                for sample in s.cwnd_trace() {
+                    registry.observe(hist, sample.cwnd);
+                }
+            }
+            if let Some(k) = self.sim.agent_as::<TcpSink>(h.sink) {
+                let st = k.stats();
+                registry.add_counter(&scope, "segments_received", st.segments_received);
+                registry.add_counter(&scope, "acks_sent", st.acks_sent);
+                registry.add_counter(&scope, "delayed_ack_fires", st.delayed_ack_fires);
+                registry.add_counter(&scope, "goodput_bytes", k.goodput_bytes());
+            }
+        }
+    }
+
+    /// The run's full metrics snapshot: the engine's per-link/per-tier
+    /// metrics plus the per-flow TCP export. `None` unless
+    /// `sim.enable_metrics()` was called before the run.
+    pub fn metrics_snapshot(&mut self) -> Option<pdos_metrics::MetricsSnapshot> {
+        let mut snapshot = self.sim.metrics_snapshot()?;
+        let mut flows = pdos_metrics::MetricsRegistry::new();
+        self.export_flow_metrics(&mut flows);
+        snapshot.merge(&flows.snapshot());
+        Some(snapshot)
+    }
+
     /// Advances the simulation to `until`.
     pub fn run_until(&mut self, until: SimTime) {
         self.sim.run_until(until);

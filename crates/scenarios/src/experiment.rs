@@ -127,6 +127,7 @@ pub struct GainExperiment {
     risk: RiskPreference,
     class_margin: f64,
     checks: bool,
+    metrics: bool,
 }
 
 impl GainExperiment {
@@ -140,6 +141,7 @@ impl GainExperiment {
             risk: RiskPreference::NEUTRAL,
             class_margin: 0.12,
             checks: false,
+            metrics: false,
         }
     }
 
@@ -173,6 +175,16 @@ impl GainExperiment {
     /// [`ExperimentError::Invariant`] instead of returning data.
     pub fn checks(mut self, enabled: bool) -> Self {
         self.checks = enabled;
+        self
+    }
+
+    /// Enables the metrics registry for every run this experiment
+    /// performs: the `*_observed` variants then return a merged
+    /// per-link/per-flow [`pdos_metrics::MetricsSnapshot`]. Metrics are
+    /// read-only observers — enabling them never changes measured
+    /// goodput, traces, or gains.
+    pub fn metrics(mut self, enabled: bool) -> Self {
+        self.metrics = enabled;
         self
     }
 
@@ -221,9 +233,27 @@ impl GainExperiment {
         &self,
         trace_bin: Option<SimDuration>,
     ) -> Result<(u64, Vec<u64>), ExperimentError> {
+        let (bytes, bins, _) = self.baseline_observed(trace_bin)?;
+        Ok((bytes, bins))
+    }
+
+    /// Like [`GainExperiment::baseline_traced`], additionally returning
+    /// the run's metrics snapshot when [`GainExperiment::metrics`] is
+    /// enabled (`None` otherwise).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExperimentError::Build`] when the topology fails to build.
+    pub fn baseline_observed(
+        &self,
+        trace_bin: Option<SimDuration>,
+    ) -> Result<(u64, Vec<u64>, Option<pdos_metrics::MetricsSnapshot>), ExperimentError> {
         let mut bench = self.spec.build()?;
         if self.checks {
             bench.sim.enable_checks();
+        }
+        if self.metrics {
+            bench.sim.enable_metrics();
         }
         let trace = trace_bin.map(|bin| {
             (
@@ -243,7 +273,8 @@ impl GainExperiment {
                     .to_vec()
             })
             .unwrap_or_default();
-        Ok((bytes, bins))
+        let snapshot = bench.metrics_snapshot();
+        Ok((bytes, bins, snapshot))
     }
 
     /// Runs one attacked point given a precomputed baseline.
@@ -281,6 +312,27 @@ impl GainExperiment {
         baseline_bytes: u64,
         trace_bin: Option<SimDuration>,
     ) -> Result<(GainPoint, Vec<u64>), ExperimentError> {
+        let (point, bins, _) =
+            self.run_point_observed(t_extent, r_attack, gamma, baseline_bytes, trace_bin)?;
+        Ok((point, bins))
+    }
+
+    /// Like [`GainExperiment::run_point_traced`], additionally returning
+    /// the run's metrics snapshot when [`GainExperiment::metrics`] is
+    /// enabled (`None` otherwise).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExperimentError`] for infeasible pulse/model parameters
+    /// or build failures.
+    pub fn run_point_observed(
+        &self,
+        t_extent: f64,
+        r_attack: f64,
+        gamma: f64,
+        baseline_bytes: u64,
+        trace_bin: Option<SimDuration>,
+    ) -> Result<(GainPoint, Vec<u64>, Option<pdos_metrics::MetricsSnapshot>), ExperimentError> {
         let train = PulseTrain::from_gamma(
             SimDuration::from_secs_f64(t_extent),
             BitsPerSec::from_bps(r_attack),
@@ -293,6 +345,9 @@ impl GainExperiment {
         let mut bench = self.spec.build()?;
         if self.checks {
             bench.sim.enable_checks();
+        }
+        if self.metrics {
+            bench.sim.enable_metrics();
         }
         let trace = trace_bin.map(|bin| {
             (
@@ -340,7 +395,8 @@ impl GainExperiment {
             ),
             class: GainClass::classify(g_analytic, g_sim, self.class_margin),
         };
-        Ok((point, bins))
+        let snapshot = bench.metrics_snapshot();
+        Ok((point, bins, snapshot))
     }
 
     /// Runs a full γ sweep (one figure curve): baseline once, then one
@@ -697,6 +753,84 @@ mod tests {
         let baseline = exp.baseline_bytes().unwrap();
         let p = exp.run_point(0.1, 30e6, 0.4, baseline).unwrap();
         assert!(p.degradation_sim > 0.0);
+    }
+
+    #[test]
+    fn metrics_are_read_only_observers() {
+        let plain_exp = quick_experiment(3).window(SimDuration::from_secs(8));
+        let baseline = plain_exp.baseline_bytes().unwrap();
+        let plain = plain_exp.run_point(0.1, 30e6, 0.4, baseline).unwrap();
+        // Without the flag, observed variants return no snapshot.
+        let (_, _, none) = plain_exp.baseline_observed(None).unwrap();
+        assert!(none.is_none());
+        let metered_exp = plain_exp.metrics(true);
+        let (point, _, snap) = metered_exp
+            .run_point_observed(0.1, 30e6, 0.4, baseline, None)
+            .unwrap();
+        assert_eq!(plain, point, "metrics must not perturb the run");
+        let snap = snap.expect("metrics enabled");
+        assert!(snap.counter("engine", "pops_packet_tier").unwrap() > 0);
+        assert!(snap.counter("link/0", "enqueued").unwrap() > 0);
+        assert!(snap.counter("flow/0", "segments_sent").unwrap() > 0);
+        assert!(snap.counter("flow/0", "goodput_bytes").unwrap() > 0);
+    }
+
+    /// Satellite check: the per-flow metrics export is a faithful copy of
+    /// the agents' own `SenderStats`/`SinkStats`, flow by flow.
+    #[test]
+    fn per_flow_metrics_agree_with_agent_stats() {
+        let spec = ScenarioSpec::ns2_dumbbell(3);
+        let mut bench = spec.build().unwrap();
+        bench.sim.enable_metrics();
+        bench.run_until(SimTime::from_secs(10));
+        let snap = bench.metrics_snapshot().expect("metrics enabled");
+        let mut timeouts = 0;
+        let mut fast = 0;
+        let mut goodput = 0;
+        for h in &bench.flows {
+            let scope = format!("flow/{}", h.flow.as_u32());
+            let sender = bench
+                .sim
+                .agent_as::<pdos_tcp::sender::TcpSender>(h.sender)
+                .unwrap();
+            let s = sender.stats();
+            assert_eq!(snap.counter(&scope, "segments_sent"), Some(s.segments_sent));
+            assert_eq!(
+                snap.counter(&scope, "retransmissions"),
+                Some(s.retransmissions)
+            );
+            assert_eq!(snap.counter(&scope, "rto_expirations"), Some(s.timeouts));
+            assert_eq!(
+                snap.counter(&scope, "fast_retransmits"),
+                Some(s.fast_recoveries)
+            );
+            assert_eq!(snap.counter(&scope, "rtt_samples"), Some(s.rtt_samples));
+            let sink = bench
+                .sim
+                .agent_as::<pdos_tcp::sink::TcpSink>(h.sink)
+                .unwrap();
+            let k = sink.stats();
+            assert_eq!(
+                snap.counter(&scope, "segments_received"),
+                Some(k.segments_received)
+            );
+            assert_eq!(snap.counter(&scope, "acks_sent"), Some(k.acks_sent));
+            assert_eq!(
+                snap.counter(&scope, "delayed_ack_fires"),
+                Some(k.delayed_ack_fires)
+            );
+            assert_eq!(
+                snap.counter(&scope, "goodput_bytes"),
+                Some(sink.goodput_bytes())
+            );
+            timeouts += s.timeouts;
+            fast += s.fast_recoveries;
+            goodput += sink.goodput_bytes();
+        }
+        assert_eq!(timeouts, bench.total_timeouts());
+        assert_eq!(fast, bench.total_fast_recoveries());
+        assert_eq!(goodput, bench.goodput_bytes());
+        assert!(goodput > 0, "flows must have delivered data");
     }
 
     #[test]

@@ -77,6 +77,11 @@ pub struct ExperimentSpec {
     /// **not** part of [`ExperimentSpec::stable_hash`] — auditing a run
     /// must not change its seed or its physics.
     pub checks: bool,
+    /// Run with the metrics registry enabled: the record then carries a
+    /// per-link/per-flow [`pdos_metrics::MetricsSnapshot`]. Like `checks`,
+    /// deliberately **not** part of [`ExperimentSpec::stable_hash`] —
+    /// observing a run must not change its seed or its physics.
+    pub metrics: bool,
 }
 
 impl ExperimentSpec {
@@ -96,6 +101,7 @@ impl ExperimentSpec {
             trace_bin: None,
             kappa: 1.0,
             checks: false,
+            metrics: false,
         }
     }
 
@@ -110,6 +116,7 @@ impl ExperimentSpec {
             trace_bin: None,
             kappa: 1.0,
             checks: false,
+            metrics: false,
         }
     }
 
@@ -140,6 +147,15 @@ impl ExperimentSpec {
     #[must_use]
     pub fn checked(mut self) -> ExperimentSpec {
         self.checks = true;
+        self
+    }
+
+    /// Enables the metrics registry for this run. Hash-neutral: a metered
+    /// run uses the same seed and produces the same physics as an
+    /// unmetered one.
+    #[must_use]
+    pub fn metered(mut self) -> ExperimentSpec {
+        self.metrics = true;
         self
     }
 
@@ -233,6 +249,10 @@ pub struct RunRecord {
     pub baseline_bytes: u64,
     /// The run's outcome.
     pub outcome: RunOutcome,
+    /// The run's metrics snapshot (`Some` only for successful runs of a
+    /// metered spec). Not part of [`RunRecord::result_json`] — the sweep
+    /// aggregates snapshots via [`SweepReport::merged_metrics`] instead.
+    pub metrics: Option<pdos_metrics::MetricsSnapshot>,
     /// Wall-clock time of this run on its worker.
     pub wall: Duration,
 }
@@ -375,6 +395,27 @@ impl SweepReport {
                 _ => None,
             })
             .collect()
+    }
+
+    /// Merges the metrics snapshots of every successful metered run into
+    /// one aggregate, or `None` when no record carries metrics. Records
+    /// whose outcome is [`RunOutcome::Failed`] are skipped explicitly: a
+    /// failed worker (panic caught at the run boundary, invariant
+    /// violation, build error) may have died mid-run, so any counters it
+    /// accumulated are partial and must not contaminate the aggregate.
+    pub fn merged_metrics(&self) -> Option<pdos_metrics::MetricsSnapshot> {
+        let mut merged: Option<pdos_metrics::MetricsSnapshot> = None;
+        for r in &self.records {
+            if matches!(r.outcome, RunOutcome::Failed { .. }) {
+                continue;
+            }
+            let Some(snap) = &r.metrics else { continue };
+            match &mut merged {
+                None => merged = Some(snap.clone()),
+                Some(m) => m.merge(snap),
+            }
+        }
+        merged
     }
 
     /// Serializes only the deterministic per-run results (no timing):
@@ -561,6 +602,7 @@ impl SweepRunner {
                     outcome: RunOutcome::Failed {
                         reason: format!("worker panicked: {what}"),
                     },
+                    metrics: None,
                     wall: started.elapsed(),
                 }
             }
@@ -576,19 +618,20 @@ impl SweepRunner {
         }
         let scenario_seed = scenario.seed;
 
-        let record = |outcome, baseline_bytes, wall| RunRecord {
+        let record = |outcome, baseline_bytes, metrics, wall| RunRecord {
             id: spec.id.clone(),
             run_seed,
             scenario_seed,
             baseline_bytes,
             outcome,
+            metrics,
             wall,
         };
 
         let risk = match RiskPreference::new(spec.kappa) {
             Ok(r) => r,
             Err(reason) => {
-                return record(RunOutcome::Failed { reason }, 0, started.elapsed());
+                return record(RunOutcome::Failed { reason }, 0, None, started.elapsed());
             }
         };
         // The baseline key digests the *effective* scenario (post seed
@@ -599,14 +642,22 @@ impl SweepRunner {
             .warmup(spec.warmup)
             .window(spec.window)
             .risk(risk)
-            .checks(spec.checks);
+            .checks(spec.checks)
+            .metrics(spec.metrics);
 
         let outcome = match spec.attack {
-            None => match exp.baseline_traced(spec.trace_bin) {
-                Ok((goodput_bytes, trace)) => RunOutcome::Benign {
-                    goodput_bytes,
-                    trace,
-                },
+            None => match exp.baseline_observed(spec.trace_bin) {
+                Ok((goodput_bytes, trace, snapshot)) => {
+                    return record(
+                        RunOutcome::Benign {
+                            goodput_bytes,
+                            trace,
+                        },
+                        goodput_bytes,
+                        snapshot,
+                        started.elapsed(),
+                    );
+                }
                 Err(e) => RunOutcome::Failed {
                     reason: e.to_string(),
                 },
@@ -614,17 +665,18 @@ impl SweepRunner {
             Some(attack) => match cache.get_or_measure(baseline_key, &exp) {
                 Err(reason) => RunOutcome::Failed { reason },
                 Ok(baseline) => {
-                    match exp.run_point_traced(
+                    match exp.run_point_observed(
                         attack.t_extent,
                         attack.r_attack,
                         attack.gamma,
                         baseline,
                         spec.trace_bin,
                     ) {
-                        Ok((point, trace)) => {
+                        Ok((point, trace, snapshot)) => {
                             return record(
                                 RunOutcome::Point { point, trace },
                                 baseline,
+                                snapshot,
                                 started.elapsed(),
                             );
                         }
@@ -638,11 +690,7 @@ impl SweepRunner {
                 }
             },
         };
-        let baseline_bytes = match &outcome {
-            RunOutcome::Benign { goodput_bytes, .. } => *goodput_bytes,
-            _ => 0,
-        };
-        record(outcome, baseline_bytes, started.elapsed())
+        record(outcome, 0, None, started.elapsed())
     }
 }
 
@@ -843,6 +891,57 @@ mod tests {
         lone.scenario.tcp.aimd.b = 2.0;
         let record = SweepRunner::new(2).execute_one(&lone);
         assert!(matches!(record.outcome, RunOutcome::Failed { .. }));
+    }
+
+    #[test]
+    fn metrics_flag_is_hash_neutral() {
+        let plain = quick_spec("m", 0.4);
+        let metered = quick_spec("m", 0.4).metered();
+        assert_eq!(plain.stable_hash(), metered.stable_hash());
+        assert_eq!(derive_seed(9, &plain), derive_seed(9, &metered));
+    }
+
+    #[test]
+    fn metered_spec_runs_identically_and_carries_a_snapshot() {
+        let plain = SweepRunner::new(11).jobs(1).run(&[quick_spec("m", 0.4)]);
+        let metered = SweepRunner::new(11)
+            .jobs(1)
+            .run(&[quick_spec("m", 0.4).metered()]);
+        // Physics and serialized results are untouched by observation.
+        assert_eq!(plain.results_json(), metered.results_json());
+        assert!(plain.records[0].metrics.is_none());
+        assert!(plain.merged_metrics().is_none());
+        let snap = metered.records[0]
+            .metrics
+            .as_ref()
+            .expect("metered run carries a snapshot");
+        assert!(snap.counter("engine", "pops_packet_tier").unwrap() > 0);
+        assert_eq!(metered.merged_metrics().as_ref(), Some(snap));
+    }
+
+    /// Satellite fix: merging a sweep's metrics must skip Failed
+    /// (panicked) workers explicitly — their counters are partial — and
+    /// must not panic doing so.
+    #[test]
+    fn merged_metrics_excludes_failed_workers() {
+        let mut bad = quick_spec("bad", 0.4).metered();
+        bad.scenario.tcp.aimd.b = 2.0; // panics in TcpSender::new
+        let specs = vec![
+            quick_spec("ok1", 0.3).metered(),
+            bad,
+            quick_spec("ok2", 0.5).metered(),
+        ];
+        let report = SweepRunner::new(2).jobs(2).run(&specs);
+        assert!(matches!(
+            report.records[1].outcome,
+            RunOutcome::Failed { .. }
+        ));
+        let merged = report.merged_metrics().expect("two runs succeeded");
+        // The aggregate is exactly the two successful snapshots merged.
+        let mut expected = report.records[0].metrics.clone().unwrap();
+        expected.merge(report.records[2].metrics.as_ref().unwrap());
+        assert_eq!(merged, expected);
+        assert!(merged.counter("engine", "pops_packet_tier").unwrap() > 0);
     }
 
     #[test]

@@ -6,6 +6,7 @@ use crate::check::{CheckState, Violation, ViolationKind};
 use crate::event::{Event, EventQueue, TimerHandle};
 use crate::fnv::FnvHashMap;
 use crate::link::{Link, LinkAccept, LinkId};
+use crate::metrics::EngineMetrics;
 use crate::node::{Node, NodeId};
 use crate::packet::{FlowId, Packet, PacketArena};
 use crate::routing::RoutingTable;
@@ -82,6 +83,9 @@ pub struct Simulator {
     /// Runtime invariant checkers; `None` (the default) costs one branch
     /// per event.
     checks: Option<Box<CheckState>>,
+    /// Observability layer; `None` (the default) costs one branch per
+    /// event, exactly like `checks`.
+    metrics: Option<Box<EngineMetrics>>,
 }
 
 impl std::fmt::Debug for Simulator {
@@ -115,6 +119,7 @@ impl Simulator {
             stats: SimStats::default(),
             effects_scratch: Vec::new(),
             checks: None,
+            metrics: None,
         }
     }
 
@@ -134,6 +139,45 @@ impl Simulator {
     /// Whether [`Simulator::enable_checks`] was called.
     pub fn checks_enabled(&self) -> bool {
         self.checks.is_some()
+    }
+
+    /// Turns on the observability layer (see [`crate::metrics`]).
+    ///
+    /// From this point on the engine maintains per-link enqueue/dequeue/
+    /// drop counts, a time-weighted occupancy gauge, a tx-busy gauge,
+    /// discipline-specific metrics (RED drop-probability histogram,
+    /// DropTail overflow counter) and per-wheel-tier event-pop counters.
+    /// Metrics are read-only with respect to the simulation: an enabled
+    /// run is event-for-event identical to a disabled one.
+    pub fn enable_metrics(&mut self) {
+        if self.metrics.is_none() {
+            self.metrics = Some(Box::new(EngineMetrics::new(&self.links)));
+        }
+    }
+
+    /// Builder-style [`Simulator::enable_metrics`].
+    #[must_use]
+    pub fn with_metrics(mut self) -> Self {
+        self.enable_metrics();
+        self
+    }
+
+    /// Whether [`Simulator::enable_metrics`] was called.
+    pub fn metrics_enabled(&self) -> bool {
+        self.metrics.is_some()
+    }
+
+    /// The metrics registry, for recording additional scopes (phase
+    /// timers, post-run exports). `None` while metrics are disabled.
+    pub fn metrics_registry_mut(&mut self) -> Option<&mut pdos_metrics::MetricsRegistry> {
+        self.metrics.as_deref_mut().map(EngineMetrics::registry_mut)
+    }
+
+    /// Snapshots every engine metric, finalizing time-weighted gauges at
+    /// the current virtual clock. `None` while metrics are disabled.
+    pub fn metrics_snapshot(&mut self) -> Option<pdos_metrics::MetricsSnapshot> {
+        let now = self.clock;
+        self.metrics.as_deref_mut().map(|m| m.snapshot(now))
     }
 
     /// Invariant violations recorded so far (empty when checks are off).
@@ -313,6 +357,9 @@ impl Simulator {
         // recorded above but must not propagate regressions downstream.
         self.clock = self.clock.max(at);
         self.stats.events += 1;
+        if let Some(m) = self.metrics.as_deref_mut() {
+            m.on_pop(&event);
+        }
         match event {
             Event::Deliver { node, packet } => {
                 let packet = self.arena.take(packet);
@@ -352,7 +399,7 @@ impl Simulator {
             self.traces[tid.index()].record(self.clock, &packet);
         }
         let link = &mut self.links[link_id.index()];
-        match link.accept(packet, self.clock) {
+        let accepted = match link.accept(packet, self.clock) {
             LinkAccept::Accepted { tx_done, marked } => {
                 if let Some(done_at) = tx_done {
                     self.events
@@ -361,11 +408,16 @@ impl Simulator {
                 if marked {
                     self.stats.ecn_marks += 1;
                 }
+                true
             }
             LinkAccept::Dropped => {
                 self.stats.queue_drops += 1;
                 *self.drops_by_flow.entry(packet.flow).or_insert(0) += 1;
+                false
             }
+        };
+        if let Some(m) = self.metrics.as_deref_mut() {
+            m.on_accept(&self.links[link_id.index()], accepted, self.clock);
         }
         if self.checks.is_some() {
             self.audit_link(link_id);
@@ -389,6 +441,9 @@ impl Simulator {
                 packet: handle,
             },
         );
+        if let Some(m) = self.metrics.as_deref_mut() {
+            m.on_tx_done(&self.links[link_id.index()], self.clock);
+        }
         if self.checks.is_some() {
             self.audit_link(link_id);
         }
@@ -987,6 +1042,104 @@ mod tests {
         );
         sim.schedule_stale_deliver_for_test(b, pkt);
         sim.step();
+    }
+
+    #[test]
+    fn metrics_count_link_traffic_and_event_tiers() {
+        let (mut sim, a, b) = two_hosts();
+        sim.enable_metrics();
+        assert!(sim.metrics_enabled());
+        let flow = FlowId::from_u32(1);
+        sim.attach_agent(
+            a,
+            Box::new(Blaster {
+                dst: b,
+                flow,
+                count: 10,
+                gap: SimDuration::from_millis(1),
+                sent: 0,
+            }),
+        );
+        let counter = sim.attach_agent(b, Box::new(Counter::default()));
+        sim.bind_flow(b, flow, counter);
+        sim.run_until(SimTime::from_secs(1));
+        let snap = sim.metrics_snapshot().expect("metrics are on");
+        assert_eq!(snap.counter("link/0", "enqueued"), Some(10));
+        assert_eq!(snap.counter("link/0", "dequeued"), Some(10));
+        assert_eq!(snap.counter("link/0", "dropped"), Some(0));
+        // The links are DropTail, so the overflow counter exists (and
+        // stayed at zero) and the RED histogram does not.
+        assert_eq!(snap.counter("link/0", "droptail_overflow"), Some(0));
+        assert!(snap.get("link/0", "red_drop_prob").is_none());
+        // 10 sends + 10 LinkTxDone + 10 deliveries + 1 start on the
+        // packet tier; the Blaster's 11 timer fires on the timer tier.
+        assert_eq!(snap.counter("engine", "pops_timer_tier"), Some(11));
+        let packet_pops = snap.counter("engine", "pops_packet_tier").unwrap();
+        assert_eq!(packet_pops + 11, sim.stats().events);
+    }
+
+    #[test]
+    fn metrics_attribute_droptail_overflow() {
+        let mut t = TopologyBuilder::new();
+        let a = t.add_host("a");
+        let b = t.add_host("b");
+        t.add_duplex_link(
+            a,
+            b,
+            BitsPerSec::from_mbps(8.0),
+            SimDuration::from_millis(1),
+            QueueSpec::DropTail { capacity: 2 },
+        );
+        let mut sim = t.build().unwrap().with_metrics();
+        let flow = FlowId::from_u32(1);
+        sim.attach_agent(
+            a,
+            Box::new(Blaster {
+                dst: b,
+                flow,
+                count: 10,
+                gap: SimDuration::ZERO,
+                sent: 0,
+            }),
+        );
+        let counter = sim.attach_agent(b, Box::new(Counter::default()));
+        sim.bind_flow(b, flow, counter);
+        sim.run_until(SimTime::from_secs(1));
+        let snap = sim.metrics_snapshot().unwrap();
+        // Same split as `queue_overflow_drops_and_attributes_flow`.
+        assert_eq!(snap.counter("link/0", "dropped"), Some(7));
+        assert_eq!(snap.counter("link/0", "droptail_overflow"), Some(7));
+        assert_eq!(snap.counter("link/0", "enqueued"), Some(3));
+        assert_eq!(snap.counter("link/0", "dequeued"), Some(3));
+    }
+
+    #[test]
+    fn metrics_do_not_perturb_the_run() {
+        let run = |metered: bool| {
+            let (mut sim, a, b) = two_hosts();
+            if metered {
+                sim.enable_metrics();
+            }
+            let flow = FlowId::from_u32(1);
+            sim.attach_agent(
+                a,
+                Box::new(Blaster {
+                    dst: b,
+                    flow,
+                    count: 25,
+                    gap: SimDuration::from_micros(700),
+                    sent: 0,
+                }),
+            );
+            let counter = sim.attach_agent(b, Box::new(Counter::default()));
+            sim.bind_flow(b, flow, counter);
+            sim.run_until(SimTime::from_secs(1));
+            (
+                sim.stats(),
+                sim.agent_as::<Counter>(counter).unwrap().last_at,
+            )
+        };
+        assert_eq!(run(false), run(true));
     }
 
     #[test]

@@ -43,6 +43,7 @@ pub mod engine;
 pub mod event;
 pub mod fnv;
 pub mod link;
+pub mod metrics;
 pub mod node;
 pub mod packet;
 pub mod queue;

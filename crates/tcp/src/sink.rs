@@ -196,6 +196,7 @@ impl Agent for TcpSink {
 
     fn on_timer(&mut self, token: u64, ctx: &mut AgentCtx<'_>) {
         if token == self.delack_gen && self.pending > 0 {
+            self.stats.delayed_ack_fires += 1;
             self.send_ack(ctx);
         }
     }

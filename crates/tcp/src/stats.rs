@@ -51,11 +51,20 @@ pub struct SinkStats {
     /// nanoseconds (`J += (|D| − J)/16`). The paper notes PDoS raises
     /// jitter as well as cutting throughput (§2.3).
     pub jitter_nanos: u64,
+    /// ACKs emitted by the delayed-ACK timer expiring (as opposed to the
+    /// every-Nth-segment, duplicate, or gap-fill paths).
+    pub delayed_ack_fires: u64,
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::config::TcpConfig;
+    use crate::sender::TcpSender;
+    use crate::sink::TcpSink;
+    use pdos_sim::agent::{Agent, AgentCtx, Effect};
+    use pdos_sim::node::NodeId;
+    use pdos_sim::packet::{FlowId, Packet, PacketKind};
 
     #[test]
     fn defaults_are_zero() {
@@ -65,6 +74,146 @@ mod tests {
         let k = SinkStats::default();
         assert_eq!(k.goodput, Bytes::ZERO);
         assert_eq!(k.next_expected, 0);
+        assert_eq!(k.delayed_ack_fires, 0);
+    }
+
+    /// Drives one agent callback and returns the produced effects.
+    fn drive<A: Agent, F: FnOnce(&mut A, &mut AgentCtx<'_>)>(
+        agent: &mut A,
+        now: SimTime,
+        f: F,
+    ) -> Vec<Effect> {
+        let mut fx = Vec::new();
+        let mut ctx = AgentCtx::new(now, NodeId::from_u32(0), &mut fx);
+        f(agent, &mut ctx);
+        fx
+    }
+
+    fn ack(cum: u64) -> Packet {
+        Packet::new(
+            FlowId::from_u32(1),
+            NodeId::from_u32(9),
+            NodeId::from_u32(0),
+            Bytes::from_u64(40),
+            PacketKind::Ack { cum_seq: cum },
+        )
+    }
+
+    fn data(seq: u64) -> Packet {
+        Packet::new(
+            FlowId::from_u32(1),
+            NodeId::from_u32(0),
+            NodeId::from_u32(9),
+            Bytes::from_u64(1040),
+            PacketKind::Data { seq, retx: false },
+        )
+    }
+
+    /// The token of the most recently armed timer in `fx`, if any.
+    fn last_timer_token(fx: &[Effect]) -> Option<u64> {
+        fx.iter().rev().find_map(|e| match e {
+            Effect::TimerAt { token, .. } => Some(*token),
+            _ => None,
+        })
+    }
+
+    /// One scripted loss episode, counter by counter: slow start, a
+    /// triple-duplicate-ACK fast retransmit, then a retransmission
+    /// timeout. Every `SenderStats` field the episode touches is pinned.
+    #[test]
+    fn scripted_loss_pattern_pins_sender_counters() {
+        let mut s = TcpSender::new(
+            TcpConfig::ns2_newreno(),
+            FlowId::from_u32(1),
+            NodeId::from_u32(9),
+        );
+        // Start: initial window of 2 (seqs 0, 1).
+        drive(&mut s, SimTime::ZERO, |s, ctx| s.start(ctx));
+        assert_eq!(s.stats().segments_sent, 2);
+        // Both segments ACKed: one RTT sample, cwnd 3, three new segments
+        // (2, 3, 4) released.
+        drive(&mut s, SimTime::from_millis(50), |s, ctx| {
+            s.on_packet(ack(2), ctx)
+        });
+        assert_eq!(s.stats().segments_acked, 2);
+        assert_eq!(s.stats().rtt_samples, 1);
+        assert_eq!(s.stats().segments_sent, 5);
+        // Segment 2 "lost": three duplicate ACKs trigger exactly one fast
+        // retransmit and one fast-recovery episode.
+        let mut fx_retx = Vec::new();
+        for (i, t) in [60u64, 61, 62].iter().enumerate() {
+            fx_retx = drive(&mut s, SimTime::from_millis(*t), |s, ctx| {
+                s.on_packet(ack(2), ctx)
+            });
+            assert_eq!(s.stats().fast_recoveries, u64::from(i == 2));
+        }
+        assert_eq!(s.stats().retransmissions, 1);
+        // 5 before the episode + the retransmit + 2 new segments released
+        // by NewReno's window inflation during recovery.
+        assert_eq!(s.stats().segments_sent, 8);
+        assert!(s.in_fast_recovery());
+        // The retransmission re-armed the RTO; let it expire. Exactly one
+        // timeout, one more retransmission, no extra RTT samples.
+        let token = last_timer_token(&fx_retx).expect("retransmit re-arms the RTO");
+        drive(&mut s, SimTime::from_secs(5), |s, ctx| {
+            s.on_timer(token, ctx)
+        });
+        assert_eq!(s.stats().timeouts, 1);
+        assert_eq!(s.stats().retransmissions, 2);
+        assert_eq!(s.stats().segments_sent, 9);
+        assert_eq!(s.stats().rtt_samples, 1);
+        assert_eq!(s.stats().segments_acked, 2);
+    }
+
+    /// A scripted loss-and-recovery arrival pattern at the sink, pinning
+    /// goodput, ACK production and the delayed-ACK-timer counter.
+    #[test]
+    fn scripted_arrivals_pin_sink_goodput_and_delack_counters() {
+        let cfg = TcpConfig::ns2_newreno();
+        let mss = cfg.mss.as_u64();
+        let mut k = TcpSink::new(cfg, FlowId::from_u32(1), NodeId::from_u32(0));
+        // Segments 0 and 1 in order: the second arrival crosses the
+        // delayed-ACK threshold and ACKs immediately.
+        drive(&mut k, SimTime::from_millis(10), |k, ctx| {
+            k.on_packet(data(0), ctx)
+        });
+        assert_eq!(k.stats().acks_sent, 0);
+        drive(&mut k, SimTime::from_millis(12), |k, ctx| {
+            k.on_packet(data(1), ctx)
+        });
+        assert_eq!(k.stats().acks_sent, 1);
+        // Segment 2 lost; 3 arrives out of order: immediate duplicate
+        // ACK, goodput frozen at 2 segments.
+        drive(&mut k, SimTime::from_millis(14), |k, ctx| {
+            k.on_packet(data(3), ctx)
+        });
+        assert_eq!(k.stats().acks_sent, 2);
+        assert_eq!(k.next_expected(), 2);
+        assert_eq!(k.goodput_bytes(), 2 * mss);
+        // The retransmission of 2 fills the hole: immediate ACK, goodput
+        // jumps over the buffered segment.
+        drive(&mut k, SimTime::from_millis(200), |k, ctx| {
+            k.on_packet(data(2), ctx)
+        });
+        assert_eq!(k.stats().acks_sent, 3);
+        assert_eq!(k.next_expected(), 4);
+        assert_eq!(k.goodput_bytes(), 4 * mss);
+        assert_eq!(k.stats().goodput, Bytes::from_u64(4 * mss));
+        assert_eq!(k.stats().delayed_ack_fires, 0);
+        // Segment 4 alone arms the delayed-ACK timer; its expiry is the
+        // only path that bumps `delayed_ack_fires`.
+        let fx = drive(&mut k, SimTime::from_millis(300), |k, ctx| {
+            k.on_packet(data(4), ctx)
+        });
+        assert_eq!(k.stats().acks_sent, 3, "below threshold: ACK deferred");
+        let token = last_timer_token(&fx).expect("delayed-ACK timer armed");
+        drive(&mut k, SimTime::from_millis(400), |k, ctx| {
+            k.on_timer(token, ctx)
+        });
+        assert_eq!(k.stats().delayed_ack_fires, 1);
+        assert_eq!(k.stats().acks_sent, 4);
+        assert_eq!(k.stats().segments_received, 5);
+        assert_eq!(k.goodput_bytes(), 5 * mss);
     }
 
     #[test]
