@@ -14,7 +14,7 @@ use std::any::Any;
 /// the pulse rate (`i`-th packet at `pulse_start + i · size·8/R_attack`).
 /// The train stops after `max_pulses` pulses, or runs for the whole
 /// simulation when unlimited.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct PulseSource {
     train: PulseTrain,
     flow: FlowId,
@@ -146,12 +146,16 @@ impl Agent for PulseSource {
     fn as_any(&self) -> &dyn Any {
         self
     }
+
+    fn clone_box(&self) -> Option<Box<dyn Agent>> {
+        Some(Box::new(self.clone()))
+    }
 }
 
 /// Replays a general [`PulseSchedule`] (§2.1's varying-pulse attack):
 /// each scheduled pulse is emitted with its own width, rate and trailing
 /// gap, then the source stops.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct SchedulePulseSource {
     schedule: PulseSchedule,
     flow: FlowId,
@@ -245,11 +249,15 @@ impl Agent for SchedulePulseSource {
     fn as_any(&self) -> &dyn Any {
         self
     }
+
+    fn clone_box(&self) -> Option<Box<dyn Agent>> {
+        Some(Box::new(self.clone()))
+    }
 }
 
 /// A constant-bit-rate source: the flooding baseline (and, with
 /// `PacketKind::Background`, plain UDP cross-traffic).
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct CbrSource {
     rate: BitsPerSec,
     flow: FlowId,
@@ -341,6 +349,10 @@ impl Agent for CbrSource {
 
     fn as_any(&self) -> &dyn Any {
         self
+    }
+
+    fn clone_box(&self) -> Option<Box<dyn Agent>> {
+        Some(Box::new(self.clone()))
     }
 }
 

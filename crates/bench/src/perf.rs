@@ -14,6 +14,8 @@
 
 use crate::alloc::{self, AllocSnapshot};
 use pdos_attack::pulse::PulseTrain;
+use pdos_scenarios::experiment::GainExperiment;
+use pdos_scenarios::runner::{AttackPoint, ExperimentSpec, SeedPolicy, SweepRunner};
 use pdos_scenarios::spec::ScenarioSpec;
 use pdos_sim::event::{Event, EventQueue};
 use pdos_sim::node::NodeId;
@@ -70,6 +72,30 @@ impl MicroResult {
     }
 }
 
+/// The warm-start macro: the same sweep grid measured cold (every run
+/// simulates its own warm-up) and warm-started (one warm-up is simulated,
+/// checkpointed, and forked per run), with the results asserted identical.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WarmStartResult {
+    /// Workload name (`fig06-grid-warmstart`).
+    pub name: String,
+    /// Sweep points in the grid (excluding the shared baseline).
+    pub points: u64,
+    /// Wall-clock seconds for the cold sweep.
+    pub cold_wall_secs: f64,
+    /// Wall-clock seconds for the warm-started sweep.
+    pub warm_wall_secs: f64,
+    /// Approximate heap footprint of the shared checkpoint, bytes.
+    pub checkpoint_bytes: u64,
+}
+
+impl WarmStartResult {
+    /// Cold wall time over warm wall time (> 1 means forking wins).
+    pub fn speedup(&self) -> f64 {
+        self.cold_wall_secs / self.warm_wall_secs.max(1e-9)
+    }
+}
+
 /// A full harness run: macro workloads, microbenches, and process-level
 /// resource readings.
 #[derive(Debug, Clone, PartialEq)]
@@ -82,6 +108,9 @@ pub struct PerfReport {
     pub macros: Vec<MacroResult>,
     /// Microbench measurements.
     pub micros: Vec<MicroResult>,
+    /// The cold-vs-forked warm-start comparison (`None` in reports from
+    /// schema `pdos-bench/1`, which predates checkpointing).
+    pub warm_start: Option<WarmStartResult>,
     /// Peak resident set size, bytes (Linux `VmHWM`; `None` elsewhere).
     pub peak_rss_bytes: Option<u64>,
     /// Allocation counters over the macro workloads (`None` unless the
@@ -95,12 +124,13 @@ impl PerfReport {
         self.macros.iter().find(|m| m.name == name)
     }
 
-    /// Serializes the report as JSON.
+    /// Serializes the report as JSON (schema `pdos-bench/2`; readers also
+    /// accept `/1`, which lacks the `warm_start` section).
     pub fn to_json(&self) -> String {
         let mut s = String::with_capacity(1024);
         let _ = write!(
             s,
-            "{{\"schema\":\"pdos-bench/1\",\"date\":\"{}\",\"smoke\":{},\"macros\":[",
+            "{{\"schema\":\"pdos-bench/2\",\"date\":\"{}\",\"smoke\":{},\"macros\":[",
             self.date, self.smoke
         );
         for (i, m) in self.macros.iter().enumerate() {
@@ -135,6 +165,23 @@ impl PerfReport {
             );
         }
         s.push_str("],");
+        match &self.warm_start {
+            Some(w) => {
+                let _ = write!(
+                    s,
+                    "\"warm_start\":{{\"name\":\"{}\",\"points\":{},\
+                     \"cold_wall_secs\":{:.6},\"warm_wall_secs\":{:.6},\
+                     \"speedup\":{:.3},\"checkpoint_bytes\":{}}},",
+                    w.name,
+                    w.points,
+                    w.cold_wall_secs,
+                    w.warm_wall_secs,
+                    w.speedup(),
+                    w.checkpoint_bytes,
+                );
+            }
+            None => s.push_str("\"warm_start\":null,"),
+        }
         match self.peak_rss_bytes {
             Some(b) => {
                 let _ = write!(s, "\"peak_rss_bytes\":{b},");
@@ -195,6 +242,19 @@ impl PerfReport {
                 m.ops_per_sec()
             );
         }
+        if let Some(w) = &self.warm_start {
+            let _ = writeln!(
+                out,
+                "  {:<24} {:>4} points, cold {:.3} s vs forked {:.3} s \
+                 ({:.2}x), checkpoint {:.1} MiB",
+                w.name,
+                w.points,
+                w.cold_wall_secs,
+                w.warm_wall_secs,
+                w.speedup(),
+                w.checkpoint_bytes as f64 / (1024.0 * 1024.0)
+            );
+        }
         if let Some(rss) = self.peak_rss_bytes {
             let _ = writeln!(out, "  peak RSS: {:.1} MiB", rss as f64 / (1024.0 * 1024.0));
         }
@@ -221,6 +281,7 @@ pub fn run(smoke: bool) -> PerfReport {
         macros.push(rtt_heterogeneous_50());
     }
     let alloc = alloc_before.map(|before| alloc::snapshot().since(before));
+    let warm_start = Some(fig06_grid_warmstart());
     let scale = if smoke { 1 } else { 4 };
     let micros = vec![
         micro_event_queue(200_000 * scale),
@@ -232,8 +293,68 @@ pub fn run(smoke: bool) -> PerfReport {
         smoke,
         macros,
         micros,
+        warm_start,
         peak_rss_bytes: peak_rss_bytes(),
         alloc,
+    }
+}
+
+/// The warm-start macro: a six-point fig06-style γ grid over one shared
+/// scenario, swept cold (`warm_start(false)`: each of the seven runs —
+/// baseline plus six points — simulates the 4 s warm-up itself) and then
+/// warm-started (one warm-up, checkpointed, seven forks). Both sweeps run
+/// on one worker so the wall-clock ratio isolates the checkpointing win,
+/// and the reports are asserted bitwise-identical — the macro doubles as
+/// an end-to-end equivalence check on every bench run.
+pub fn fig06_grid_warmstart() -> WarmStartResult {
+    let gammas = [0.20, 0.30, 0.40, 0.50, 0.60, 0.70];
+    let scenario = ScenarioSpec::ns2_dumbbell(8);
+    let warmup = SimDuration::from_secs(4);
+    let window = SimDuration::from_secs(2);
+    let specs: Vec<ExperimentSpec> = gammas
+        .iter()
+        .map(|&gamma| {
+            ExperimentSpec::attacked(
+                format!("bench/warmstart/g{gamma:.2}"),
+                scenario.clone(),
+                AttackPoint {
+                    t_extent: 0.075,
+                    r_attack: 25e6,
+                    gamma,
+                },
+            )
+            .warmup(warmup)
+            .window(window)
+        })
+        .collect();
+    let runner = SweepRunner::new(0)
+        .seed_policy(SeedPolicy::FromScenario)
+        .jobs(1);
+
+    let t0 = Instant::now();
+    let cold = runner.clone().warm_start(false).run(&specs);
+    let cold_wall_secs = t0.elapsed().as_secs_f64();
+    let t1 = Instant::now();
+    let warm = runner.warm_start(true).run(&specs);
+    let warm_wall_secs = t1.elapsed().as_secs_f64();
+    assert_eq!(
+        cold.results_json(),
+        warm.results_json(),
+        "warm-start must be bitwise result-neutral"
+    );
+
+    let checkpoint_bytes = GainExperiment::new(scenario)
+        .warmup(warmup)
+        .window(window)
+        .warm_start(None)
+        .map(|w| w.approx_bytes() as u64)
+        .unwrap_or(0);
+    WarmStartResult {
+        name: "fig06-grid-warmstart".to_string(),
+        points: gammas.len() as u64,
+        cold_wall_secs,
+        warm_wall_secs,
+        checkpoint_bytes,
     }
 }
 
@@ -317,10 +438,12 @@ fn run_attacked(
     if metered {
         bench.sim.enable_metrics();
     }
-    bench.attach_pulse_attack(train, SimTime::ZERO + warmup, None);
-    let horizon = SimTime::ZERO + warmup + window;
+    // Warm up first, attach at the boundary: the same event order the
+    // experiment layer uses for both its cold and forked runs.
     let t0 = Instant::now();
-    bench.run_until(horizon);
+    bench.run_until(SimTime::ZERO + warmup);
+    bench.attach_pulse_attack(train, SimTime::ZERO + warmup, None);
+    bench.run_until(SimTime::ZERO + warmup + window);
     let wall = t0.elapsed().as_secs_f64();
     let stats = bench.sim.stats();
     MacroResult {
@@ -493,6 +616,47 @@ pub fn peak_rss_bytes() -> Option<u64> {
 /// report previously serialized with [`PerfReport::to_json`]. This is a
 /// purpose-built extractor for the harness's own output format, not a
 /// general JSON parser.
+/// Whether `json` is a bench report this harness can read: schema
+/// `pdos-bench/2` (current) or `pdos-bench/1` (pre-warm-start; lacks the
+/// `warm_start` section, so its extractors return `None` gracefully).
+pub fn schema_supported(json: &str) -> bool {
+    json.contains("\"schema\":\"pdos-bench/1\"") || json.contains("\"schema\":\"pdos-bench/2\"")
+}
+
+/// Extracts a top-level numeric field (`null` and absence both yield
+/// `None`). Purpose-built for the harness's own output format.
+fn extract_number_after(json: &str, key: &str) -> Option<f64> {
+    let v = &json[json.find(key)? + key.len()..];
+    let end = v
+        .find(|c: char| c != '.' && c != '-' && !c.is_ascii_digit())
+        .unwrap_or(v.len());
+    v[..end].parse().ok()
+}
+
+/// The report's peak RSS in bytes, if recorded.
+pub fn extract_peak_rss_bytes(json: &str) -> Option<u64> {
+    extract_number_after(json, "\"peak_rss_bytes\":").map(|v| v as u64)
+}
+
+/// The report's macro-phase allocation count, if recorded.
+pub fn extract_alloc_allocations(json: &str) -> Option<u64> {
+    let obj = &json[json.find("\"alloc\":")?..];
+    extract_number_after(obj, "\"allocations\":").map(|v| v as u64)
+}
+
+/// The warm-start macro's cold/forked speedup, if recorded (`None` for
+/// schema `pdos-bench/1` reports).
+pub fn extract_warm_start_speedup(json: &str) -> Option<f64> {
+    let obj = &json[json.find("\"warm_start\":{")?..];
+    extract_number_after(obj, "\"speedup\":")
+}
+
+/// The warm-start macro's checkpoint footprint in bytes, if recorded.
+pub fn extract_warm_start_checkpoint_bytes(json: &str) -> Option<u64> {
+    let obj = &json[json.find("\"warm_start\":{")?..];
+    extract_number_after(obj, "\"checkpoint_bytes\":").map(|v| v as u64)
+}
+
 pub fn extract_macro_events_per_sec(json: &str, name: &str) -> Option<f64> {
     let needle = format!("\"name\":\"{name}\"");
     let obj_start = json.find(&needle)?;
@@ -528,6 +692,13 @@ mod tests {
                 ops: 100,
                 wall_secs: 0.001,
             }],
+            warm_start: Some(WarmStartResult {
+                name: "fig06-grid-warmstart".into(),
+                points: 6,
+                cold_wall_secs: 0.9,
+                warm_wall_secs: 0.3,
+                checkpoint_bytes: 2_000_000,
+            }),
             peak_rss_bytes: Some(12 * 1024 * 1024),
             alloc: Some(AllocSnapshot {
                 allocations: 42,
@@ -535,13 +706,21 @@ mod tests {
             }),
         };
         let json = report.to_json();
-        assert!(json.contains("\"schema\":\"pdos-bench/1\""), "{json}");
+        assert!(json.contains("\"schema\":\"pdos-bench/2\""), "{json}");
+        assert!(schema_supported(&json), "{json}");
         assert!(json.contains("\"peak_rss_bytes\":12582912"), "{json}");
         assert!(json.contains("\"allocations\":42"), "{json}");
+        assert!(json.contains("\"checkpoint_bytes\":2000000"), "{json}");
         let eps = extract_macro_events_per_sec(&json, "fig06-smoke").expect("metric extracted");
         assert!((eps - 2_000_000.0).abs() < 1.0, "{eps}");
         assert_eq!(extract_macro_events_per_sec(&json, "nonexistent"), None);
+        assert_eq!(extract_peak_rss_bytes(&json), Some(12 * 1024 * 1024));
+        assert_eq!(extract_alloc_allocations(&json), Some(42));
+        let speedup = extract_warm_start_speedup(&json).expect("speedup extracted");
+        assert!((speedup - 3.0).abs() < 1e-9, "{speedup}");
+        assert_eq!(extract_warm_start_checkpoint_bytes(&json), Some(2_000_000));
         assert!(report.summary().contains("fig06-smoke"));
+        assert!(report.summary().contains("fig06-grid-warmstart"));
     }
 
     #[test]
@@ -551,12 +730,46 @@ mod tests {
             smoke: false,
             macros: vec![],
             micros: vec![],
+            warm_start: None,
             peak_rss_bytes: None,
             alloc: None,
         };
         let json = report.to_json();
+        assert!(json.contains("\"warm_start\":null"), "{json}");
         assert!(json.contains("\"peak_rss_bytes\":null"), "{json}");
         assert!(json.contains("\"alloc\":null"), "{json}");
+        assert_eq!(extract_warm_start_speedup(&json), None);
+        assert_eq!(extract_peak_rss_bytes(&json), None);
+    }
+
+    #[test]
+    fn schema_1_reports_still_read() {
+        // A pre-warm-start report (the `/1` schema): the gate metric and
+        // resource readings extract; the warm-start extractors return None.
+        let v1 = "{\"schema\":\"pdos-bench/1\",\"date\":\"2026-08-07\",\"smoke\":true,\
+                  \"macros\":[{\"name\":\"fig06-smoke\",\"events_per_sec\":5416242.3}],\
+                  \"micros\":[],\"peak_rss_bytes\":7032832,\
+                  \"alloc\":{\"allocations\":101752,\"bytes\":30148821}}";
+        assert!(schema_supported(v1));
+        assert!(!schema_supported("{\"schema\":\"pdos-bench/99\"}"));
+        let eps = extract_macro_events_per_sec(v1, "fig06-smoke").unwrap();
+        assert!((eps - 5_416_242.3).abs() < 0.5, "{eps}");
+        assert_eq!(extract_peak_rss_bytes(v1), Some(7_032_832));
+        assert_eq!(extract_alloc_allocations(v1), Some(101_752));
+        assert_eq!(extract_warm_start_speedup(v1), None);
+        assert_eq!(extract_warm_start_checkpoint_bytes(v1), None);
+    }
+
+    #[test]
+    fn warmstart_macro_speeds_up_and_records_checkpoint_size() {
+        let w = fig06_grid_warmstart();
+        assert_eq!(w.points, 6);
+        assert!(w.checkpoint_bytes > 0, "{w:?}");
+        // The macro asserts result-equality internally; the perf bar
+        // itself (>= 1.3x) is enforced by the CLI gate against the
+        // committed report, not here, to keep the test robust on loaded
+        // machines — but forking should never be slower than cold.
+        assert!(w.speedup() > 1.0, "warm-start slower than cold: {:?}", w);
     }
 
     #[test]

@@ -55,7 +55,16 @@ const KNOWN_KEYS: &[&str] = &[
     "scenario",
     "format",
 ];
-const KNOWN_FLAGS: &[&str] = &["ecn", "droptail", "help", "testbed", "smoke", "bless"];
+const KNOWN_FLAGS: &[&str] = &[
+    "ecn",
+    "droptail",
+    "help",
+    "testbed",
+    "smoke",
+    "bless",
+    "warm-start",
+    "no-warm-start",
+];
 
 impl Args {
     /// Parses `argv[1..]`.
@@ -205,6 +214,16 @@ mod tests {
         // Absent flags and keys fall back cleanly.
         assert!(!a.flag("bless"));
         assert_eq!(a.num::<u64>("seed", 9).unwrap(), 9);
+    }
+
+    #[test]
+    fn warm_start_flags_round_trip() {
+        let a = parse("sweep --fig fig06 --no-warm-start").unwrap();
+        assert!(a.flag("no-warm-start"));
+        assert!(!a.flag("warm-start"));
+        let b = parse("sweep --fig fig06 --warm-start").unwrap();
+        assert!(b.flag("warm-start"));
+        assert!(!b.flag("no-warm-start"));
     }
 
     #[test]

@@ -46,6 +46,10 @@ COMMANDS
              through the parallel deterministic runner instead:
              --jobs N (0)  --smoke (CI-sized grid)  --master-seed S (0)
              --out FILE (write the full JSON report)
+             --warm-start | --no-warm-start (default on): simulate each
+             distinct warm-up prefix once, checkpoint it, and fork every
+             sweep point from the checkpoint; results are bitwise
+             identical either way (cold fallback is automatic)
   sync       the Fig. 3 synchronization experiment
              --flows N (12)  --textent-ms T (50)  --rattack-mbps R (100)
              --period-s P (2)  --window-s W (30)
@@ -53,12 +57,14 @@ COMMANDS
              --csv FILE (one integer per line: bytes per bin)
              --capacity-mbps C  --bin-ms B (100)
   bench      engine performance harness: macro workloads (events/s,
-             packets/s) plus event-queue and queue-discipline microbenches,
-             written as a BENCH_<date>.json report
+             packets/s), the fig06-grid-warmstart macro (cold vs forked
+             sweep wall time + checkpoint size), and event-queue and
+             queue-discipline microbenches, written as a BENCH_<date>.json
+             report (schema pdos-bench/2; /1 baselines still read)
              --smoke (CI-sized: fig06 smoke macro only)  --out FILE
-             (default BENCH_<date>.json)  --baseline FILE (compare the
-             fig06-smoke events/s against a previous report and fail on
-             a >20% regression)
+             (default BENCH_<date>.json)  --baseline FILE (fail on a >20%
+             fig06-smoke events/s regression, >30% peak-RSS or
+             allocation-count growth, or a warm-start speedup below 1.3x)
   metrics    run a scenario set with the metrics registry enabled and
              export the merged per-link/per-flow/engine snapshot
              --scenario fig06-smoke|golden (fig06-smoke)  --jobs N (0)
@@ -71,8 +77,22 @@ COMMANDS
              --jobs N (0)  --scenarios N (50)  --master-seed S (7)
              --golden-dir DIR (tests/golden)  --bless (regenerate the
              golden digests)  --out FILE (write the report)
+             --warm-start | --no-warm-start (default on) for the smoke
+             sweep's warm-start checkpointing
   help       this text
 ";
+
+/// Resolves `--warm-start` / `--no-warm-start` (default: on). Warm-start
+/// checkpointing is bitwise result-neutral, so the flag is purely a
+/// wall-clock/debugging knob.
+fn warm_start_of(args: &Args) -> Result<bool, ArgError> {
+    if args.flag("warm-start") && args.flag("no-warm-start") {
+        return Err(ArgError(
+            "--warm-start and --no-warm-start are mutually exclusive".into(),
+        ));
+    }
+    Ok(!args.flag("no-warm-start"))
+}
 
 fn queue_of(args: &Args) -> Result<BottleneckQueue, ArgError> {
     match args.get("queue").unwrap_or("red") {
@@ -267,6 +287,7 @@ pub fn cmd_sweep(args: &Args) -> Result<String, ArgError> {
     let report = SweepRunner::new(0)
         .seed_policy(SeedPolicy::FromScenario)
         .jobs(jobs)
+        .warm_start(warm_start_of(args)?)
         .run(&specs);
     if let Some(rec) = report.records.iter().find_map(|r| match &r.outcome {
         RunOutcome::Failed { reason } => Some(format!("{}: {reason}", r.id)),
@@ -319,6 +340,7 @@ fn cmd_sweep_figure(args: &Args) -> Result<String, ArgError> {
     let report = SweepRunner::new(master_seed)
         .seed_policy(policy)
         .jobs(jobs)
+        .warm_start(warm_start_of(args)?)
         .run(&specs);
 
     let mut out = String::new();
@@ -458,6 +480,7 @@ pub fn cmd_check(args: &Args) -> Result<String, ArgError> {
     let report = SweepRunner::new(0)
         .seed_policy(SeedPolicy::FromScenario)
         .jobs(jobs)
+        .warm_start(warm_start_of(args)?)
         .run(&specs);
     let clean = report
         .records
@@ -554,9 +577,13 @@ pub fn cmd_check(args: &Args) -> Result<String, ArgError> {
 }
 
 /// `pdos bench` — the engine performance harness. Writes a
-/// `BENCH_<date>.json` report and, with `--baseline`, enforces the CI
-/// regression gate: the fig06-smoke macro must stay within 20% of the
-/// baseline report's events/sec.
+/// `BENCH_<date>.json` report (schema `pdos-bench/2`) and, with
+/// `--baseline`, enforces the CI regression gates: the fig06-smoke macro
+/// must stay within 20% of the baseline report's events/sec, peak RSS and
+/// allocation count must stay within 30%, and the fig06-grid-warmstart
+/// macro must keep forked sweeps at least 1.3x faster than cold ones.
+/// Baselines in the older `pdos-bench/1` schema are accepted (their
+/// missing fields simply skip the corresponding gates).
 pub fn cmd_bench(args: &Args) -> Result<String, ArgError> {
     let report = pdos_bench::perf::run(args.flag("smoke"));
     let path = match args.get("out") {
@@ -570,6 +597,13 @@ pub fn cmd_bench(args: &Args) -> Result<String, ArgError> {
     if let Some(baseline_path) = args.get("baseline") {
         let baseline = std::fs::read_to_string(baseline_path)
             .map_err(|e| ArgError(format!("cannot read {baseline_path}: {e}")))?;
+        if !pdos_bench::perf::schema_supported(&baseline) {
+            return Err(ArgError(format!(
+                "{baseline_path}: unsupported schema (want pdos-bench/1 or pdos-bench/2)"
+            )));
+        }
+        let mut failures: Vec<String> = Vec::new();
+
         let gate = "fig06-smoke";
         let base = pdos_bench::perf::extract_macro_events_per_sec(&baseline, gate)
             .ok_or_else(|| ArgError(format!("{baseline_path}: no '{gate}' events_per_sec")))?;
@@ -586,10 +620,75 @@ pub fn cmd_bench(args: &Args) -> Result<String, ArgError> {
             (ratio - 1.0) * 100.0
         );
         if ratio < 0.8 {
-            return Err(ArgError(format!(
-                "bench: FAIL — {gate} regressed {:.1}% vs {baseline_path} \
-                 ({now:.0} events/s vs {base:.0}; >20% budget)\n{out}",
+            failures.push(format!(
+                "{gate} regressed {:.1}% ({now:.0} events/s vs {base:.0}; >20% budget)",
                 (1.0 - ratio) * 100.0
+            ));
+        }
+
+        // Resource gates: 30% budgets, enforced only when both reports
+        // carry the reading (a /1 baseline without them skips the gate).
+        if let (Some(base_rss), Some(now_rss)) = (
+            pdos_bench::perf::extract_peak_rss_bytes(&baseline),
+            report.peak_rss_bytes,
+        ) {
+            let ratio = now_rss as f64 / base_rss.max(1) as f64;
+            let _ = writeln!(
+                out,
+                "baseline gate: peak RSS {:.1} MiB vs baseline {:.1} MiB ({:+.1}%)",
+                now_rss as f64 / (1024.0 * 1024.0),
+                base_rss as f64 / (1024.0 * 1024.0),
+                (ratio - 1.0) * 100.0
+            );
+            if ratio > 1.3 {
+                failures.push(format!(
+                    "peak RSS grew {:.1}% ({now_rss} bytes vs {base_rss}; >30% budget)",
+                    (ratio - 1.0) * 100.0
+                ));
+            }
+        }
+        if let (Some(base_allocs), Some(now_allocs)) = (
+            pdos_bench::perf::extract_alloc_allocations(&baseline),
+            report.alloc.as_ref().map(|a| a.allocations),
+        ) {
+            let ratio = now_allocs as f64 / base_allocs.max(1) as f64;
+            let _ = writeln!(
+                out,
+                "baseline gate: allocations {now_allocs} vs baseline {base_allocs} ({:+.1}%)",
+                (ratio - 1.0) * 100.0
+            );
+            if ratio > 1.3 {
+                failures.push(format!(
+                    "allocation count grew {:.1}% ({now_allocs} vs {base_allocs}; >30% budget)",
+                    (ratio - 1.0) * 100.0
+                ));
+            }
+        }
+
+        // Warm-start gate: forked sweeps must stay meaningfully faster
+        // than cold ones, independent of what the baseline recorded.
+        if let Some(ws) = &report.warm_start {
+            let _ = writeln!(
+                out,
+                "baseline gate: {} speedup {:.2}x (floor 1.30x)",
+                ws.name,
+                ws.speedup()
+            );
+            if ws.speedup() < 1.3 {
+                failures.push(format!(
+                    "{} speedup {:.2}x below 1.30x floor (cold {:.3} s, forked {:.3} s)",
+                    ws.name,
+                    ws.speedup(),
+                    ws.cold_wall_secs,
+                    ws.warm_wall_secs
+                ));
+            }
+        }
+
+        if !failures.is_empty() {
+            return Err(ArgError(format!(
+                "bench: FAIL vs {baseline_path} — {}\n{out}",
+                failures.join("; ")
             )));
         }
     }
@@ -926,6 +1025,52 @@ mod tests {
     }
 
     #[test]
+    fn sweep_fig_warm_start_matches_cold_hash_for_hash() {
+        // The acceptance bar for warm-start checkpointing: the fig06 grid's
+        // SweepReport JSON must be identical (per-run results, seeds,
+        // baselines, traces) with forked runs and with cold runs. Only the
+        // wall-clock fields may differ, so compare from "runs": onward.
+        let warm_path = std::env::temp_dir().join("pdos-cli-test-fig06-warm.json");
+        let cold_path = std::env::temp_dir().join("pdos-cli-test-fig06-cold.json");
+        run(&parse(&format!(
+            "sweep --fig fig06 --smoke --jobs 2 --warm-start --out {}",
+            warm_path.display()
+        )))
+        .unwrap();
+        run(&parse(&format!(
+            "sweep --fig fig06 --smoke --jobs 2 --no-warm-start --out {}",
+            cold_path.display()
+        )))
+        .unwrap();
+        let runs_of = |path: &std::path::Path| -> String {
+            let json = std::fs::read_to_string(path).unwrap();
+            json.split("\"runs\":")
+                .nth(1)
+                .expect("runs section")
+                .to_string()
+        };
+        let (warm, cold) = (runs_of(&warm_path), runs_of(&cold_path));
+        std::fs::remove_file(&warm_path).ok();
+        std::fs::remove_file(&cold_path).ok();
+        assert!(!warm.is_empty());
+        assert_eq!(
+            pdos_scenarios::runner::fnv1a64(warm.as_bytes()),
+            pdos_scenarios::runner::fnv1a64(cold.as_bytes()),
+            "warm-start must be bitwise result-neutral"
+        );
+        assert_eq!(warm, cold);
+    }
+
+    #[test]
+    fn warm_start_flags_are_mutually_exclusive() {
+        let e = run(&parse(
+            "sweep --fig fig06 --smoke --warm-start --no-warm-start",
+        ))
+        .unwrap_err();
+        assert!(e.to_string().contains("mutually exclusive"), "{e}");
+    }
+
+    #[test]
     fn sweep_fig_rejects_unknown_figure() {
         let e = run(&parse("sweep --fig fig42 --smoke")).unwrap_err();
         assert!(e.to_string().contains("fig06"), "{e}");
@@ -1042,9 +1187,12 @@ mod tests {
         assert!(out.contains("fig06-smoke"), "{out}");
         assert!(out.contains("event-queue"), "{out}");
         let json = std::fs::read_to_string(&out_path).unwrap();
-        assert!(json.contains("\"schema\":\"pdos-bench/1\""), "{json}");
+        assert!(json.contains("\"schema\":\"pdos-bench/2\""), "{json}");
+        assert!(json.contains("\"warm_start\":{"), "{json}");
         let eps = pdos_bench::perf::extract_macro_events_per_sec(&json, "fig06-smoke").unwrap();
         assert!(eps > 0.0, "{eps}");
+        let bytes = pdos_bench::perf::extract_warm_start_checkpoint_bytes(&json).unwrap();
+        assert!(bytes > 0, "{json}");
 
         // The report it just wrote is a same-speed baseline: the gate
         // must pass against it.
@@ -1055,6 +1203,24 @@ mod tests {
         );
         let out = run(&parse(&cmd)).unwrap();
         assert!(out.contains("baseline gate"), "{out}");
+        assert!(out.contains("peak RSS"), "{out}");
+        assert!(out.contains("fig06-grid-warmstart speedup"), "{out}");
+        let _ = std::fs::remove_file(&out_path);
+    }
+
+    #[test]
+    fn bench_baseline_rejects_unknown_schema() {
+        let base_path = std::env::temp_dir().join("pdos-cli-test-bench-badschema.json");
+        let out_path = std::env::temp_dir().join("pdos-cli-test-bench-badschema-out.json");
+        std::fs::write(&base_path, "{\"schema\":\"pdos-bench/99\",\"macros\":[]}").unwrap();
+        let cmd = format!(
+            "bench --smoke --out {} --baseline {}",
+            out_path.display(),
+            base_path.display()
+        );
+        let err = run(&parse(&cmd)).unwrap_err();
+        assert!(err.to_string().contains("unsupported schema"), "{err}");
+        let _ = std::fs::remove_file(&base_path);
         let _ = std::fs::remove_file(&out_path);
     }
 

@@ -80,7 +80,40 @@ fn digest_bins(bins: &[u64]) -> u64 {
 /// Returns the failing run's id and reason if any canonical run fails —
 /// including invariant violations.
 pub fn compute_digests(jobs: usize) -> Result<Vec<TraceDigest>, String> {
-    compute_digests_inner(canonical_specs(), jobs).map(|(digests, _)| digests)
+    compute_digests_inner(canonical_specs(), jobs, true).map(|(digests, _)| digests)
+}
+
+/// Like [`compute_digests`], but with warm-start checkpointing explicitly
+/// forced on or off. Forking a checkpointed warm-up is contractually
+/// byte-identical to re-simulating it, so both settings must produce the
+/// same digests — the fork-equivalence conformance tests pin exactly that.
+///
+/// # Errors
+///
+/// Returns the failing run's id and reason if any canonical run fails.
+pub fn compute_digests_with(jobs: usize, warm_start: bool) -> Result<Vec<TraceDigest>, String> {
+    compute_digests_inner(canonical_specs(), jobs, warm_start).map(|(digests, _)| digests)
+}
+
+/// Like [`compute_digests_metered`], but with warm-start checkpointing
+/// explicitly forced on or off.
+///
+/// # Errors
+///
+/// Returns the failing run's id and reason if any canonical run fails.
+pub fn compute_digests_metered_with(
+    jobs: usize,
+    warm_start: bool,
+) -> Result<(Vec<TraceDigest>, pdos_metrics::MetricsSnapshot), String> {
+    let specs = canonical_specs()
+        .into_iter()
+        .map(ExperimentSpec::metered)
+        .collect();
+    let (digests, snapshot) = compute_digests_inner(specs, jobs, warm_start)?;
+    Ok((
+        digests,
+        snapshot.ok_or("metered sweep produced no metrics snapshot")?,
+    ))
 }
 
 /// Like [`compute_digests`], but runs every canonical scenario with the
@@ -95,24 +128,18 @@ pub fn compute_digests(jobs: usize) -> Result<Vec<TraceDigest>, String> {
 pub fn compute_digests_metered(
     jobs: usize,
 ) -> Result<(Vec<TraceDigest>, pdos_metrics::MetricsSnapshot), String> {
-    let specs = canonical_specs()
-        .into_iter()
-        .map(ExperimentSpec::metered)
-        .collect();
-    let (digests, snapshot) = compute_digests_inner(specs, jobs)?;
-    Ok((
-        digests,
-        snapshot.ok_or("metered sweep produced no metrics snapshot")?,
-    ))
+    compute_digests_metered_with(jobs, true)
 }
 
 fn compute_digests_inner(
     specs: Vec<ExperimentSpec>,
     jobs: usize,
+    warm_start: bool,
 ) -> Result<(Vec<TraceDigest>, Option<pdos_metrics::MetricsSnapshot>), String> {
     let report = SweepRunner::new(0)
         .seed_policy(SeedPolicy::FromScenario)
         .jobs(jobs)
+        .warm_start(warm_start)
         .run(&specs);
     let digests = report
         .records

@@ -24,6 +24,7 @@ pub mod oracle;
 
 pub use bands::ToleranceBands;
 pub use golden::{
-    canonical_specs, compute_digests, compute_digests_metered, TraceDigest, GOLDEN_FILE,
+    canonical_specs, compute_digests, compute_digests_metered, compute_digests_metered_with,
+    compute_digests_with, TraceDigest, GOLDEN_FILE,
 };
 pub use oracle::{run_oracle, OracleConfig, OracleOutcome};

@@ -5,14 +5,16 @@
 //! digests (equivalently: `pdos check --bless`).
 
 use pdos_conformance::{
-    compute_digests, compute_digests_metered, golden, run_oracle, OracleConfig, GOLDEN_FILE,
+    compute_digests, compute_digests_metered, compute_digests_metered_with, golden, run_oracle,
+    OracleConfig, GOLDEN_FILE,
 };
+use pdos_scenarios::experiment::GainExperiment;
 use pdos_scenarios::figures::{gain_figure_specs, FigureGrid, GainFigure};
 use pdos_scenarios::runner::{RunOutcome, SeedPolicy, SweepRunner};
 use pdos_scenarios::spec::ScenarioSpec;
 use pdos_sim::check::ViolationKind;
 use pdos_sim::link::LinkId;
-use pdos_sim::time::SimTime;
+use pdos_sim::time::{SimDuration, SimTime};
 use std::path::PathBuf;
 
 fn golden_path() -> PathBuf {
@@ -197,6 +199,84 @@ fn seeded_link_accounting_fault_is_flagged() {
             .iter()
             .any(|v| v.kind == ViolationKind::PacketConservation),
         "expected a packet-conservation flag, got: {violations:?}"
+    );
+}
+
+/// Fork-equivalence lock for warm-start checkpointing.
+///
+/// Forking a checkpointed warm-up claims *exact* behavioural equivalence
+/// with re-simulating it. This runs every canonical scenario both ways —
+/// cold and forked, with checkers and metrics on — and requires identical
+/// trace digests (every bin byte) and identical merged metrics snapshots
+/// (every counter, gauge and histogram bucket). Like the other locks, a
+/// drift here cannot be "fixed" by re-blessing: the checkpoint lost or
+/// perturbed simulator state.
+#[test]
+fn forked_runs_match_cold_runs_digests_and_metrics() {
+    let (cold_digests, cold_metrics) =
+        compute_digests_metered_with(2, false).expect("cold canonical runs must succeed");
+    let (warm_digests, warm_metrics) =
+        compute_digests_metered_with(2, true).expect("forked canonical runs must succeed");
+    assert_eq!(
+        cold_digests, warm_digests,
+        "forked runs drifted from cold runs — SimCheckpoint is incomplete"
+    );
+    assert_eq!(
+        cold_metrics, warm_metrics,
+        "forked metrics drifted from cold metrics — observer state was \
+         not checkpointed faithfully"
+    );
+}
+
+proptest::proptest! {
+    #![proptest_config(proptest::test_runner::ProptestConfig::with_cases(12))]
+
+    /// Property: a checkpoint forks any number of times without being
+    /// consumed or mutated — two forks measured with identical parameters
+    /// produce identical gain points, trace bins and metrics snapshots.
+    #[test]
+    fn prop_double_fork_is_identical(gamma_pct in 25u32..65, flows in 2usize..5) {
+        let exp = GainExperiment::new(ScenarioSpec::ns2_dumbbell(flows))
+            .warmup(SimDuration::from_secs(2))
+            .window(SimDuration::from_secs(2))
+            .metrics(true);
+        let warm = exp
+            .warm_start(Some(SimDuration::from_millis(100)))
+            .expect("warm start");
+        let gamma = f64::from(gamma_pct) / 100.0;
+        let a = exp
+            .run_point_observed_forked(exp.fork_run(&warm), 0.075, 25e6, gamma, 1_000_000)
+            .expect("first fork");
+        let b = exp
+            .run_point_observed_forked(exp.fork_run(&warm), 0.075, 25e6, gamma, 1_000_000)
+            .expect("second fork");
+        proptest::prop_assert_eq!(a, b);
+    }
+}
+
+/// Seeded-fault drill for the checkpoint layer: a checkpoint that silently
+/// drops one piece of simulator state (the bottleneck link's accounting)
+/// must not produce a quietly-wrong forked run — the always-on invariant
+/// checkers have to flag it.
+#[test]
+fn omitted_checkpoint_state_is_flagged_by_checkers() {
+    let exp = GainExperiment::new(ScenarioSpec::ns2_dumbbell(3))
+        .warmup(SimDuration::from_secs(2))
+        .window(SimDuration::from_secs(2))
+        .checks(true);
+    // A healthy checkpoint forks cleanly.
+    let warm = exp.warm_start(None).expect("warm start");
+    exp.baseline_observed_from(&warm)
+        .expect("healthy forked run must pass the checkers");
+    // The same checkpoint minus one state field must be caught.
+    let mut corrupted = exp.warm_start(None).expect("warm start");
+    corrupted.omit_link_stats_for_test();
+    let err = exp
+        .baseline_observed_from(&corrupted)
+        .expect_err("a checkpoint missing link state must fail the checkers");
+    assert!(
+        err.to_string().contains("violation"),
+        "expected an invariant violation, got: {err}"
     );
 }
 

@@ -281,6 +281,7 @@ impl Metric {
     }
 }
 
+#[derive(Clone)]
 struct Entry {
     scope: String,
     name: String,
@@ -294,7 +295,7 @@ struct Entry {
 /// path; updates (`inc`/`gauge_set`/`observe`) are a single indexed
 /// access. Registering an existing `(scope, name)` returns the existing
 /// id (and panics on a kind mismatch — one name, one kind).
-#[derive(Default)]
+#[derive(Clone, Default)]
 pub struct MetricsRegistry {
     index: HashMap<(String, String), MetricId>,
     entries: Vec<Entry>,

@@ -6,7 +6,7 @@ use pdos_attack::pulse::PulseSchedule;
 use pdos_attack::pulse::{PulseError, PulseTrain};
 use pdos_attack::source::{CbrSource, PulseSource, SchedulePulseSource};
 use pdos_sim::agent::AgentId;
-use pdos_sim::engine::Simulator;
+use pdos_sim::engine::{CheckpointError, SimCheckpoint, Simulator};
 use pdos_sim::link::LinkId;
 use pdos_sim::node::NodeId;
 use pdos_sim::packet::{FlowId, PacketKind};
@@ -79,7 +79,89 @@ impl std::fmt::Debug for Testbench {
     }
 }
 
+/// A frozen [`Testbench`]: the simulator checkpoint plus the bench's own
+/// wiring metadata, so [`Testbench::fork`] rebuilds a fully usable bench.
+pub struct BenchCheckpoint {
+    sim: SimCheckpoint,
+    flows: Vec<FlowHandle>,
+    attacker_node: NodeId,
+    attack_target: NodeId,
+    bottleneck: LinkId,
+    r_bottle: BitsPerSec,
+    victims: VictimSet,
+    tcp: TcpConfig,
+    attack_packet: Bytes,
+}
+
+impl BenchCheckpoint {
+    /// The simulation instant the checkpoint was taken at.
+    pub fn taken_at(&self) -> SimTime {
+        self.sim.taken_at()
+    }
+
+    /// Rough heap footprint of the captured simulator state, in bytes.
+    pub fn approx_bytes(&self) -> usize {
+        self.sim.approx_bytes()
+    }
+
+    /// Test hook: forward to the simulator checkpoint's seeded-fault
+    /// helper (drops one link's stats so checkers must notice).
+    #[doc(hidden)]
+    pub fn omit_link_stats_for_test(&mut self) {
+        self.sim.omit_link_stats_for_test(self.bottleneck);
+    }
+}
+
+impl std::fmt::Debug for BenchCheckpoint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BenchCheckpoint")
+            .field("taken_at", &self.taken_at())
+            .field("flows", &self.flows.len())
+            .field("approx_bytes", &self.approx_bytes())
+            .finish()
+    }
+}
+
 impl Testbench {
+    /// Freezes the bench — simulator state plus wiring metadata — into a
+    /// [`BenchCheckpoint`] that [`Testbench::fork`] can resume from any
+    /// number of times.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CheckpointError`] when the simulator holds an agent or
+    /// queue discipline that does not support checkpointing.
+    pub fn checkpoint(&self) -> Result<BenchCheckpoint, CheckpointError> {
+        Ok(BenchCheckpoint {
+            sim: self.sim.checkpoint()?,
+            flows: self.flows.clone(),
+            attacker_node: self.attacker_node,
+            attack_target: self.attack_target,
+            bottleneck: self.bottleneck,
+            r_bottle: self.r_bottle,
+            victims: self.victims.clone(),
+            tcp: self.tcp.clone(),
+            attack_packet: self.attack_packet,
+        })
+    }
+
+    /// Resumes a fresh, independent bench from `checkpoint`. The forked
+    /// bench continues byte-identically to the bench the checkpoint was
+    /// taken from; forking does not consume the checkpoint.
+    pub fn fork(checkpoint: &BenchCheckpoint) -> Testbench {
+        Testbench {
+            sim: Simulator::fork(&checkpoint.sim),
+            flows: checkpoint.flows.clone(),
+            attacker_node: checkpoint.attacker_node,
+            attack_target: checkpoint.attack_target,
+            bottleneck: checkpoint.bottleneck,
+            r_bottle: checkpoint.r_bottle,
+            victims: checkpoint.victims.clone(),
+            tcp: checkpoint.tcp.clone(),
+            attack_packet: checkpoint.attack_packet,
+        }
+    }
+
     /// Attaches a pulsing attack that starts at `start` and runs for at
     /// most `max_pulses` pulses (`None` = until the end of the run).
     pub fn attach_pulse_attack(

@@ -35,6 +35,9 @@ pub enum ExperimentError {
     /// Runtime invariant checkers flagged the run (only produced when the
     /// experiment was configured with [`GainExperiment::checks`]).
     Invariant(String),
+    /// The simulator state could not be checkpointed for warm-starting
+    /// (an agent or queue discipline does not support cloning).
+    Checkpoint(pdos_sim::engine::CheckpointError),
 }
 
 impl fmt::Display for ExperimentError {
@@ -44,6 +47,7 @@ impl fmt::Display for ExperimentError {
             ExperimentError::Model(e) => write!(f, "model parameters: {e}"),
             ExperimentError::Build(e) => write!(f, "topology: {e}"),
             ExperimentError::Invariant(s) => write!(f, "invariant violations: {s}"),
+            ExperimentError::Checkpoint(e) => write!(f, "checkpoint: {e}"),
         }
     }
 }
@@ -55,6 +59,7 @@ impl Error for ExperimentError {
             ExperimentError::Model(e) => Some(e),
             ExperimentError::Build(e) => Some(e),
             ExperimentError::Invariant(_) => None,
+            ExperimentError::Checkpoint(e) => Some(e),
         }
     }
 }
@@ -62,6 +67,11 @@ impl Error for ExperimentError {
 impl From<PulseError> for ExperimentError {
     fn from(e: PulseError) -> Self {
         ExperimentError::Pulse(e)
+    }
+}
+impl From<pdos_sim::engine::CheckpointError> for ExperimentError {
+    fn from(e: pdos_sim::engine::CheckpointError) -> Self {
+        ExperimentError::Checkpoint(e)
     }
 }
 impl From<ParamError> for ExperimentError {
@@ -116,6 +126,52 @@ pub struct GainSweep {
     pub points: Vec<GainPoint>,
     /// Sweep-level classification (§4.1.1).
     pub class: GainClass,
+}
+
+/// A warm-started experiment prefix: the bench checkpointed right at the
+/// end of warm-up (the attack start), plus the trace registration that was
+/// made before warm-up so forked runs keep recording into the same bins.
+///
+/// Produced by [`GainExperiment::warm_start`]; consumed (any number of
+/// times, without being moved) by [`GainExperiment::baseline_observed_from`]
+/// and [`GainExperiment::run_point_observed_from`]. Because every sweep
+/// point of a figure shares the same scenario/seed/warm-up, one `WarmStart`
+/// replaces one full warm-up simulation per point.
+#[derive(Debug)]
+pub struct WarmStart {
+    checkpoint: crate::bench::BenchCheckpoint,
+    trace: Option<(pdos_sim::trace::TraceId, SimDuration)>,
+}
+
+impl WarmStart {
+    /// Rough heap footprint of the captured simulator state, in bytes.
+    pub fn approx_bytes(&self) -> usize {
+        self.checkpoint.approx_bytes()
+    }
+
+    /// The trace bin width this warm start was prepared with (`None` when
+    /// untraced). Forked measurements must be asked for the same width.
+    pub fn trace_bin(&self) -> Option<SimDuration> {
+        self.trace.map(|(_, bin)| bin)
+    }
+
+    /// Test hook: corrupt the checkpoint by dropping the bottleneck link's
+    /// stats, so invariant checkers must flag every forked run.
+    #[doc(hidden)]
+    pub fn omit_link_stats_for_test(&mut self) {
+        self.checkpoint.omit_link_stats_for_test();
+    }
+}
+
+/// A bench forked from a [`WarmStart`] and not yet measured.
+///
+/// Forking is the only operation that needs the warm start itself, so
+/// callers sharing a `WarmStart` behind a lock can fork inside a short
+/// critical section and run the (much longer) measurement outside it.
+#[derive(Debug)]
+pub struct ForkedRun {
+    bench: crate::bench::Testbench,
+    trace: Option<(pdos_sim::trace::TraceId, SimDuration)>,
 }
 
 /// The experiment driver: a scenario plus measurement windows.
@@ -248,6 +304,78 @@ impl GainExperiment {
         &self,
         trace_bin: Option<SimDuration>,
     ) -> Result<(u64, Vec<u64>, Option<pdos_metrics::MetricsSnapshot>), ExperimentError> {
+        let (mut bench, trace) = self.prepare(trace_bin)?;
+        bench.run_until(SimTime::ZERO + self.warmup);
+        self.measure_baseline(bench, trace)
+    }
+
+    /// Like [`GainExperiment::baseline_observed`], but resuming from a
+    /// [`WarmStart`] instead of simulating the warm-up again. Produces
+    /// byte-identical results to the cold variant called with
+    /// [`WarmStart::trace_bin`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExperimentError::Invariant`] when checks are enabled and
+    /// the forked run trips a checker.
+    pub fn baseline_observed_from(
+        &self,
+        warm: &WarmStart,
+    ) -> Result<(u64, Vec<u64>, Option<pdos_metrics::MetricsSnapshot>), ExperimentError> {
+        self.baseline_observed_forked(self.fork_run(warm))
+    }
+
+    /// Forks `warm` into a fresh, independent bench ready to measure.
+    /// This is the only warm-start operation that touches the shared
+    /// checkpoint, so it is cheap to serialize behind a lock.
+    pub fn fork_run(&self, warm: &WarmStart) -> ForkedRun {
+        ForkedRun {
+            bench: crate::bench::Testbench::fork(&warm.checkpoint),
+            trace: warm.trace,
+        }
+    }
+
+    /// Measures the no-attack window on a previously forked bench.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExperimentError::Invariant`] when checks are enabled and
+    /// the forked run trips a checker.
+    pub fn baseline_observed_forked(
+        &self,
+        run: ForkedRun,
+    ) -> Result<(u64, Vec<u64>, Option<pdos_metrics::MetricsSnapshot>), ExperimentError> {
+        self.measure_baseline(run.bench, run.trace)
+    }
+
+    /// Simulates the shared prefix of every run of this experiment — build,
+    /// observer wiring, trace registration, warm-up — and checkpoints the
+    /// bench right at the attack start.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExperimentError::Build`] when the topology fails to build
+    /// and [`ExperimentError::Checkpoint`] when the simulator holds state
+    /// that cannot be captured (callers should fall back to cold runs).
+    pub fn warm_start(&self, trace_bin: Option<SimDuration>) -> Result<WarmStart, ExperimentError> {
+        let (mut bench, trace) = self.prepare(trace_bin)?;
+        bench.run_until(SimTime::ZERO + self.warmup);
+        let checkpoint = bench.checkpoint()?;
+        Ok(WarmStart { checkpoint, trace })
+    }
+
+    /// Builds the bench and wires up everything that must exist before
+    /// warm-up: checkers, metrics, and the bottleneck trace.
+    fn prepare(
+        &self,
+        trace_bin: Option<SimDuration>,
+    ) -> Result<
+        (
+            crate::bench::Testbench,
+            Option<(pdos_sim::trace::TraceId, SimDuration)>,
+        ),
+        ExperimentError,
+    > {
         let mut bench = self.spec.build()?;
         if self.checks {
             bench.sim.enable_checks();
@@ -261,18 +389,37 @@ impl GainExperiment {
                 bin,
             )
         });
-        bench.run_until(SimTime::ZERO + self.warmup);
-        let before = bench.goodput_bytes();
-        bench.run_until(self.end());
-        self.audit(&bench)?;
-        let bytes = bench.goodput_bytes() - before;
-        let bins = trace
+        Ok((bench, trace))
+    }
+
+    /// The recorded trace bins restricted to the measurement window (the
+    /// warm-up prefix is sliced off).
+    fn window_bins(
+        &self,
+        bench: &crate::bench::Testbench,
+        trace: Option<(pdos_sim::trace::TraceId, SimDuration)>,
+    ) -> Vec<u64> {
+        trace
             .map(|(id, bin)| {
                 let first = (self.warmup.as_nanos() / bin.as_nanos()) as usize;
                 bench.sim.trace(id).bytes_per_bin()[first.min(bench.sim.trace(id).n_bins())..]
                     .to_vec()
             })
-            .unwrap_or_default();
+            .unwrap_or_default()
+    }
+
+    /// Measures the no-attack window on a bench that has already reached
+    /// the end of warm-up (cold or forked).
+    fn measure_baseline(
+        &self,
+        mut bench: crate::bench::Testbench,
+        trace: Option<(pdos_sim::trace::TraceId, SimDuration)>,
+    ) -> Result<(u64, Vec<u64>, Option<pdos_metrics::MetricsSnapshot>), ExperimentError> {
+        let before = bench.goodput_bytes();
+        bench.run_until(self.end());
+        self.audit(&bench)?;
+        let bytes = bench.goodput_bytes() - before;
+        let bins = self.window_bins(&bench, trace);
         let snapshot = bench.metrics_snapshot();
         Ok((bytes, bins, snapshot))
     }
@@ -333,6 +480,73 @@ impl GainExperiment {
         baseline_bytes: u64,
         trace_bin: Option<SimDuration>,
     ) -> Result<(GainPoint, Vec<u64>, Option<pdos_metrics::MetricsSnapshot>), ExperimentError> {
+        let (train, t_aimd, c) = self.plan_train(t_extent, r_attack, gamma)?;
+        let (mut bench, trace) = self.prepare(trace_bin)?;
+        bench.run_until(SimTime::ZERO + self.warmup);
+        self.measure_point(bench, trace, train, t_aimd, c, gamma, baseline_bytes)
+    }
+
+    /// Like [`GainExperiment::run_point_observed`], but resuming from a
+    /// [`WarmStart`] instead of simulating the warm-up again. Produces
+    /// byte-identical results to the cold variant called with
+    /// [`WarmStart::trace_bin`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExperimentError`] for infeasible pulse/model parameters
+    /// or invariant violations in the forked run.
+    pub fn run_point_observed_from(
+        &self,
+        warm: &WarmStart,
+        t_extent: f64,
+        r_attack: f64,
+        gamma: f64,
+        baseline_bytes: u64,
+    ) -> Result<(GainPoint, Vec<u64>, Option<pdos_metrics::MetricsSnapshot>), ExperimentError> {
+        self.run_point_observed_forked(
+            self.fork_run(warm),
+            t_extent,
+            r_attack,
+            gamma,
+            baseline_bytes,
+        )
+    }
+
+    /// Like [`GainExperiment::run_point_observed_from`], but consuming a
+    /// previously forked bench.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExperimentError`] for infeasible pulse/model parameters
+    /// or invariant violations in the forked run.
+    pub fn run_point_observed_forked(
+        &self,
+        run: ForkedRun,
+        t_extent: f64,
+        r_attack: f64,
+        gamma: f64,
+        baseline_bytes: u64,
+    ) -> Result<(GainPoint, Vec<u64>, Option<pdos_metrics::MetricsSnapshot>), ExperimentError> {
+        let (train, t_aimd, c) = self.plan_train(t_extent, r_attack, gamma)?;
+        self.measure_point(
+            run.bench,
+            run.trace,
+            train,
+            t_aimd,
+            c,
+            gamma,
+            baseline_bytes,
+        )
+    }
+
+    /// Derives the pulse train and the analytic damage constant for one
+    /// sweep point — pure math, shared by cold and forked runs.
+    fn plan_train(
+        &self,
+        t_extent: f64,
+        r_attack: f64,
+        gamma: f64,
+    ) -> Result<(PulseTrain, f64, f64), ExperimentError> {
         let train = PulseTrain::from_gamma(
             SimDuration::from_secs_f64(t_extent),
             BitsPerSec::from_bps(r_attack),
@@ -341,22 +555,25 @@ impl GainExperiment {
         )?;
         let t_aimd = train.period().as_secs_f64();
         let c = c_psi(&self.spec.victims(), t_extent, r_attack)?;
+        Ok((train, t_aimd, c))
+    }
 
-        let mut bench = self.spec.build()?;
-        if self.checks {
-            bench.sim.enable_checks();
-        }
-        if self.metrics {
-            bench.sim.enable_metrics();
-        }
-        let trace = trace_bin.map(|bin| {
-            (
-                bench.trace_bottleneck(pdos_sim::trace::TraceFilter::All, bin),
-                bin,
-            )
-        });
+    /// Attaches the attack and measures the window on a bench that has
+    /// already reached the end of warm-up (cold or forked). The attack is
+    /// attached *after* warm-up so cold and forked runs execute the exact
+    /// same event sequence.
+    #[allow(clippy::too_many_arguments)]
+    fn measure_point(
+        &self,
+        mut bench: crate::bench::Testbench,
+        trace: Option<(pdos_sim::trace::TraceId, SimDuration)>,
+        train: PulseTrain,
+        t_aimd: f64,
+        c: f64,
+        gamma: f64,
+        baseline_bytes: u64,
+    ) -> Result<(GainPoint, Vec<u64>, Option<pdos_metrics::MetricsSnapshot>), ExperimentError> {
         bench.attach_pulse_attack(train, SimTime::ZERO + self.warmup, None);
-        bench.run_until(SimTime::ZERO + self.warmup);
         let before = bench.goodput_bytes();
         let fr_before = bench.total_fast_recoveries();
         let to_before = bench.total_timeouts();
@@ -371,13 +588,7 @@ impl GainExperiment {
         };
         let g_analytic = attack_gain(gamma, c, self.risk);
         let g_sim = attack_gain_measured(gamma, degradation_sim, self.risk);
-        let bins = trace
-            .map(|(id, bin)| {
-                let first = (self.warmup.as_nanos() / bin.as_nanos()) as usize;
-                bench.sim.trace(id).bytes_per_bin()[first.min(bench.sim.trace(id).n_bins())..]
-                    .to_vec()
-            })
-            .unwrap_or_default();
+        let bins = self.window_bins(&bench, trace);
         let point = GainPoint {
             gamma,
             t_aimd,

@@ -31,7 +31,7 @@
 //! serial protocol — and because a baseline is a pure function of the
 //! scenario, memoization cannot perturb determinism.
 
-use crate::experiment::{ExperimentError, GainExperiment, GainPoint};
+use crate::experiment::{ExperimentError, GainExperiment, GainPoint, WarmStart};
 use crate::spec::ScenarioSpec;
 use pdos_analysis::gain::RiskPreference;
 use pdos_sim::time::SimDuration;
@@ -168,6 +168,42 @@ impl ExperimentSpec {
             ident,
             "{}|{:?}|{:?}|{:?}|{:?}|{}",
             self.id, self.scenario, self.warmup, self.window, self.attack, self.kappa
+        );
+        fnv1a64(ident.as_bytes())
+    }
+
+    /// A stable 64-bit digest of everything that shapes the simulation up
+    /// to the attack start: the scenario (seed included), the warm-up
+    /// length, the trace registration, and the checks/metrics observer
+    /// wiring (a checkpoint physically carries checker and registry state,
+    /// so forks must match the spec's wiring). The id, measurement window,
+    /// attack point and κ are deliberately excluded — sweep points that
+    /// differ only in those share one warm-up prefix, which is what lets
+    /// the warm-start cache simulate each prefix once and fork per point.
+    pub fn prefix_hash(&self) -> u64 {
+        Self::prefix_hash_of(
+            &self.scenario,
+            self.warmup,
+            self.trace_bin,
+            self.checks,
+            self.metrics,
+        )
+    }
+
+    /// [`ExperimentSpec::prefix_hash`] for an explicit effective
+    /// `scenario` — the runner hashes the scenario *after* applying its
+    /// [`SeedPolicy`], so only runs with equal physics share a prefix.
+    pub fn prefix_hash_of(
+        scenario: &ScenarioSpec,
+        warmup: SimDuration,
+        trace_bin: Option<SimDuration>,
+        checks: bool,
+        metrics: bool,
+    ) -> u64 {
+        let mut ident = String::with_capacity(256);
+        let _ = write!(
+            ident,
+            "{scenario:?}|{warmup:?}|{trace_bin:?}|{checks}|{metrics}"
         );
         fnv1a64(ident.as_bytes())
     }
@@ -466,6 +502,81 @@ impl SweepReport {
 }
 
 type BaselineCell = Arc<OnceLock<Result<u64, String>>>;
+type WarmCell = Arc<OnceLock<Result<Mutex<WarmStart>, String>>>;
+
+/// Memoizes warm-start checkpoints by [`ExperimentSpec::prefix_hash`],
+/// bounded to an LRU of [`SweepRunner::checkpoint_capacity`] entries so a
+/// sweep over many distinct prefixes cannot hold every simulator image in
+/// memory at once. The `OnceLock` cell collapses concurrent warm-ups of
+/// the same prefix into one; the `Mutex` serializes only the (cheap) fork
+/// operation, never the measurement.
+struct CheckpointCache {
+    capacity: usize,
+    inner: Mutex<CheckpointLru>,
+}
+
+#[derive(Default)]
+struct CheckpointLru {
+    cells: HashMap<u64, WarmCell>,
+    /// Keys from least- to most-recently used.
+    order: Vec<u64>,
+}
+
+impl CheckpointCache {
+    fn new(capacity: usize) -> CheckpointCache {
+        CheckpointCache {
+            capacity: capacity.max(1),
+            inner: Mutex::new(CheckpointLru::default()),
+        }
+    }
+
+    /// The cell for `key`, marking it most-recently used; evicts the
+    /// least-recently used checkpoint when the cache is full. Workers that
+    /// grabbed an evicted cell keep their `Arc` — eviction only stops new
+    /// lookups from reviving it.
+    fn cell(&self, key: u64) -> WarmCell {
+        let mut lru = self.inner.lock().expect("checkpoint cache poisoned");
+        lru.order.retain(|&k| k != key);
+        lru.order.push(key);
+        if let Some(cell) = lru.cells.get(&key) {
+            return Arc::clone(cell);
+        }
+        if lru.cells.len() >= self.capacity {
+            let evict = lru.order.remove(0);
+            lru.cells.remove(&evict);
+        }
+        let cell = WarmCell::default();
+        lru.cells.insert(key, Arc::clone(&cell));
+        cell
+    }
+
+    /// The warmed-up cell for `key`, simulating the shared prefix on first
+    /// use. A failed warm-up (un-checkpointable state) is memoized too, so
+    /// every run of that prefix falls back to cold exactly once per sweep.
+    fn get_or_warm(
+        &self,
+        key: u64,
+        exp: &GainExperiment,
+        trace_bin: Option<SimDuration>,
+    ) -> WarmCell {
+        let cell = self.cell(key);
+        cell.get_or_init(|| {
+            exp.warm_start(trace_bin)
+                .map(Mutex::new)
+                .map_err(|e| e.to_string())
+        });
+        cell
+    }
+}
+
+/// The usable warm start inside a warmed cell, or `None` when the warm-up
+/// failed and the caller must run cold.
+fn forkable(cell: &WarmCell) -> Option<&Mutex<WarmStart>> {
+    match cell.get() {
+        Some(Ok(m)) => Some(m),
+        _ => None,
+    }
+}
 
 /// Memoizes baseline goodputs by effective-scenario digest. A baseline
 /// is a pure function of `(scenario, warmup, window)`, so sharing it
@@ -477,15 +588,23 @@ struct BaselineCache {
 }
 
 impl BaselineCache {
-    fn get_or_measure(&self, key: u64, exp: &GainExperiment) -> Result<u64, String> {
+    fn get_or_measure(
+        &self,
+        key: u64,
+        measure: impl FnOnce() -> Result<u64, String>,
+    ) -> Result<u64, String> {
         let cell = {
             let mut map = self.cells.lock().expect("baseline cache poisoned");
             Arc::clone(map.entry(key).or_default())
         };
-        cell.get_or_init(|| exp.baseline_bytes().map_err(|e| e.to_string()))
-            .clone()
+        cell.get_or_init(measure).clone()
     }
 }
+
+/// Default bound on the warm-start checkpoint LRU: a figure panel keeps a
+/// handful of distinct prefixes (one per scenario variant), so eight
+/// simulator images comfortably cover the grids while bounding memory.
+pub const DEFAULT_CHECKPOINT_CAPACITY: usize = 8;
 
 /// The parallel sweep runner.
 #[derive(Debug, Clone)]
@@ -493,6 +612,8 @@ pub struct SweepRunner {
     master_seed: u64,
     jobs: usize,
     seed_policy: SeedPolicy,
+    warm_start: bool,
+    checkpoint_capacity: usize,
 }
 
 impl Default for SweepRunner {
@@ -502,13 +623,15 @@ impl Default for SweepRunner {
 }
 
 impl SweepRunner {
-    /// A runner with `master_seed`, one worker per available CPU, and the
-    /// default [`SeedPolicy::Derived`].
+    /// A runner with `master_seed`, one worker per available CPU, the
+    /// default [`SeedPolicy::Derived`], and warm-start checkpointing on.
     pub fn new(master_seed: u64) -> SweepRunner {
         SweepRunner {
             master_seed,
             jobs: 0,
             seed_policy: SeedPolicy::default(),
+            warm_start: true,
+            checkpoint_capacity: DEFAULT_CHECKPOINT_CAPACITY,
         }
     }
 
@@ -523,6 +646,25 @@ impl SweepRunner {
     #[must_use]
     pub fn seed_policy(mut self, policy: SeedPolicy) -> SweepRunner {
         self.seed_policy = policy;
+        self
+    }
+
+    /// Enables or disables warm-start checkpointing (default on). When on,
+    /// each distinct [`ExperimentSpec::prefix_hash`] simulates its warm-up
+    /// once, is checkpointed, and every run of that prefix forks from the
+    /// checkpoint; results are bitwise-identical either way, so this is a
+    /// pure wall-clock knob. Runs whose state cannot be checkpointed fall
+    /// back to cold automatically.
+    #[must_use]
+    pub fn warm_start(mut self, enabled: bool) -> SweepRunner {
+        self.warm_start = enabled;
+        self
+    }
+
+    /// Bounds the warm-start checkpoint LRU (entries; clamped to ≥ 1).
+    #[must_use]
+    pub fn checkpoint_capacity(mut self, capacity: usize) -> SweepRunner {
+        self.checkpoint_capacity = capacity.max(1);
         self
     }
 
@@ -542,6 +684,7 @@ impl SweepRunner {
     pub fn run(&self, specs: &[ExperimentSpec]) -> SweepReport {
         let jobs = self.effective_jobs().max(1).min(specs.len().max(1));
         let cache = BaselineCache::default();
+        let warm_cache = CheckpointCache::new(self.checkpoint_capacity);
         let next = AtomicUsize::new(0);
         let slots: Vec<OnceLock<RunRecord>> = specs.iter().map(|_| OnceLock::new()).collect();
 
@@ -551,7 +694,7 @@ impl SweepRunner {
                 scope.spawn(|| loop {
                     let i = next.fetch_add(1, Ordering::Relaxed);
                     let Some(spec) = specs.get(i) else { break };
-                    let record = self.execute_caught(spec, &cache);
+                    let record = self.execute_caught(spec, &cache, &warm_cache);
                     slots[i].set(record).expect("slot set twice");
                 });
             }
@@ -573,15 +716,26 @@ impl SweepRunner {
     /// Executes one spec (the per-worker body). Public so callers can run
     /// single points through exactly the runner's code path.
     pub fn execute_one(&self, spec: &ExperimentSpec) -> RunRecord {
-        self.execute_caught(spec, &BaselineCache::default())
+        self.execute_caught(
+            spec,
+            &BaselineCache::default(),
+            &CheckpointCache::new(self.checkpoint_capacity),
+        )
     }
 
     /// Runs [`SweepRunner::execute`] with a panic boundary: a spec that
     /// panics anywhere inside the simulation surfaces as
     /// [`RunOutcome::Failed`] instead of tearing down the whole sweep.
-    fn execute_caught(&self, spec: &ExperimentSpec, cache: &BaselineCache) -> RunRecord {
+    fn execute_caught(
+        &self,
+        spec: &ExperimentSpec,
+        cache: &BaselineCache,
+        warm_cache: &CheckpointCache,
+    ) -> RunRecord {
         let started = Instant::now();
-        match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| self.execute(spec, cache))) {
+        match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            self.execute(spec, cache, warm_cache)
+        })) {
             Ok(record) => record,
             Err(payload) => {
                 let what = payload
@@ -609,7 +763,12 @@ impl SweepRunner {
         }
     }
 
-    fn execute(&self, spec: &ExperimentSpec, cache: &BaselineCache) -> RunRecord {
+    fn execute(
+        &self,
+        spec: &ExperimentSpec,
+        cache: &BaselineCache,
+        warm_cache: &CheckpointCache,
+    ) -> RunRecord {
         let started = Instant::now();
         let run_seed = derive_seed(self.master_seed, spec);
         let mut scenario = spec.scenario.clone();
@@ -638,6 +797,15 @@ impl SweepRunner {
         // policy) plus the windows, so equal physics share one baseline.
         let baseline_key =
             fnv1a64(format!("{:?}|{:?}|{:?}", scenario, spec.warmup, spec.window).as_bytes());
+        // The prefix key likewise digests the effective scenario, so only
+        // runs with equal physics share a warm-start checkpoint.
+        let prefix_key = ExperimentSpec::prefix_hash_of(
+            &scenario,
+            spec.warmup,
+            spec.trace_bin,
+            spec.checks,
+            spec.metrics,
+        );
         let exp = GainExperiment::new(scenario)
             .warmup(spec.warmup)
             .window(spec.window)
@@ -645,50 +813,90 @@ impl SweepRunner {
             .checks(spec.checks)
             .metrics(spec.metrics);
 
+        // Warm start: simulate the shared prefix once per distinct digest,
+        // then fork per run. Forking holds the cell lock only as long as
+        // the (cheap) state clone; the measurement runs unlocked. A prefix
+        // that cannot be checkpointed memoizes its failure and every run
+        // of it executes the normal cold path — results are identical
+        // either way, warm-starting is purely a wall-clock optimization.
+        let warm_cell = self
+            .warm_start
+            .then(|| warm_cache.get_or_warm(prefix_key, &exp, spec.trace_bin));
+        let fork = || {
+            let cell = warm_cell.as_ref()?;
+            let warm = forkable(cell)?.lock().expect("warm start poisoned");
+            Some(exp.fork_run(&warm))
+        };
+
         let outcome = match spec.attack {
-            None => match exp.baseline_observed(spec.trace_bin) {
-                Ok((goodput_bytes, trace, snapshot)) => {
-                    return record(
-                        RunOutcome::Benign {
+            None => {
+                let result = match fork() {
+                    Some(run) => exp.baseline_observed_forked(run),
+                    None => exp.baseline_observed(spec.trace_bin),
+                };
+                match result {
+                    Ok((goodput_bytes, trace, snapshot)) => {
+                        return record(
+                            RunOutcome::Benign {
+                                goodput_bytes,
+                                trace,
+                            },
                             goodput_bytes,
-                            trace,
-                        },
-                        goodput_bytes,
-                        snapshot,
-                        started.elapsed(),
-                    );
+                            snapshot,
+                            started.elapsed(),
+                        );
+                    }
+                    Err(e) => RunOutcome::Failed {
+                        reason: e.to_string(),
+                    },
                 }
-                Err(e) => RunOutcome::Failed {
-                    reason: e.to_string(),
-                },
-            },
-            Some(attack) => match cache.get_or_measure(baseline_key, &exp) {
-                Err(reason) => RunOutcome::Failed { reason },
-                Ok(baseline) => {
-                    match exp.run_point_observed(
-                        attack.t_extent,
-                        attack.r_attack,
-                        attack.gamma,
-                        baseline,
-                        spec.trace_bin,
-                    ) {
-                        Ok((point, trace, snapshot)) => {
-                            return record(
-                                RunOutcome::Point { point, trace },
+            }
+            Some(attack) => {
+                let measure_baseline = || match fork() {
+                    Some(run) => exp
+                        .baseline_observed_forked(run)
+                        .map(|(bytes, _, _)| bytes)
+                        .map_err(|e| e.to_string()),
+                    None => exp.baseline_bytes().map_err(|e| e.to_string()),
+                };
+                match cache.get_or_measure(baseline_key, measure_baseline) {
+                    Err(reason) => RunOutcome::Failed { reason },
+                    Ok(baseline) => {
+                        let result = match fork() {
+                            Some(run) => exp.run_point_observed_forked(
+                                run,
+                                attack.t_extent,
+                                attack.r_attack,
+                                attack.gamma,
                                 baseline,
-                                snapshot,
-                                started.elapsed(),
-                            );
+                            ),
+                            None => exp.run_point_observed(
+                                attack.t_extent,
+                                attack.r_attack,
+                                attack.gamma,
+                                baseline,
+                                spec.trace_bin,
+                            ),
+                        };
+                        match result {
+                            Ok((point, trace, snapshot)) => {
+                                return record(
+                                    RunOutcome::Point { point, trace },
+                                    baseline,
+                                    snapshot,
+                                    started.elapsed(),
+                                );
+                            }
+                            Err(ExperimentError::Pulse(e)) => RunOutcome::Infeasible {
+                                reason: e.to_string(),
+                            },
+                            Err(e) => RunOutcome::Failed {
+                                reason: e.to_string(),
+                            },
                         }
-                        Err(ExperimentError::Pulse(e)) => RunOutcome::Infeasible {
-                            reason: e.to_string(),
-                        },
-                        Err(e) => RunOutcome::Failed {
-                            reason: e.to_string(),
-                        },
                     }
                 }
-            },
+            }
         };
         record(outcome, 0, None, started.elapsed())
     }
@@ -766,6 +974,87 @@ mod tests {
             other => panic!("expected a point, got {other:?}"),
         }
         assert_eq!(report.records[0].baseline_bytes, baseline);
+    }
+
+    #[test]
+    fn warm_start_matches_cold_hash_for_hash() {
+        // A mixed grid sharing one prefix under FromScenario: benign +
+        // attacked + traced specs. The whole report — every point, trace
+        // bin, baseline and seed — must be bitwise-identical with
+        // warm-starting on (forked runs) and off (cold runs).
+        let mut specs: Vec<ExperimentSpec> = [0.2, 0.4, 0.6]
+            .iter()
+            .enumerate()
+            .map(|(i, &g)| quick_spec(&format!("w{i}"), g).traced(SimDuration::from_millis(100)))
+            .collect();
+        specs.push(
+            ExperimentSpec::benign("w-base", quick_scenario(3))
+                .warmup(SimDuration::from_secs(4))
+                .window(SimDuration::from_secs(6))
+                .traced(SimDuration::from_millis(100)),
+        );
+        for policy in [SeedPolicy::FromScenario, SeedPolicy::Derived] {
+            let warm = SweepRunner::new(42)
+                .seed_policy(policy)
+                .jobs(2)
+                .warm_start(true)
+                .run(&specs);
+            let cold = SweepRunner::new(42)
+                .seed_policy(policy)
+                .jobs(2)
+                .warm_start(false)
+                .run(&specs);
+            assert_eq!(
+                warm.results_json(),
+                cold.results_json(),
+                "policy {policy:?}"
+            );
+            assert_eq!(
+                fnv1a64(warm.results_json().as_bytes()),
+                fnv1a64(cold.results_json().as_bytes())
+            );
+        }
+    }
+
+    #[test]
+    fn checkpoint_lru_eviction_keeps_results_exact() {
+        // Four distinct prefixes through a capacity-1 cache: every lookup
+        // beyond the first of each prefix either re-warms or runs cold —
+        // results must not depend on cache hits at all.
+        let specs: Vec<ExperimentSpec> = (0..4)
+            .map(|i| {
+                let mut s = quick_spec(&format!("e{i}"), 0.4);
+                s.scenario.seed = 1000 + i;
+                s
+            })
+            .collect();
+        let tiny = SweepRunner::new(9)
+            .seed_policy(SeedPolicy::FromScenario)
+            .checkpoint_capacity(1)
+            .run(&specs);
+        let cold = SweepRunner::new(9)
+            .seed_policy(SeedPolicy::FromScenario)
+            .warm_start(false)
+            .run(&specs);
+        assert_eq!(tiny.results_json(), cold.results_json());
+    }
+
+    #[test]
+    fn prefix_hash_groups_points_and_splits_scenarios() {
+        let a = quick_spec("a", 0.2);
+        let b = quick_spec("b", 0.6); // same prefix, different attack/id
+        assert_eq!(a.prefix_hash(), b.prefix_hash());
+        let mut c = quick_spec("c", 0.2);
+        c.scenario.seed ^= 1;
+        assert_ne!(a.prefix_hash(), c.prefix_hash(), "seed is prefix-relevant");
+        let d = quick_spec("d", 0.2).traced(SimDuration::from_millis(100));
+        assert_ne!(
+            a.prefix_hash(),
+            d.prefix_hash(),
+            "trace wiring is prefix-relevant"
+        );
+        let e = quick_spec("e", 0.2).window(SimDuration::from_secs(30));
+        assert_eq!(a.prefix_hash(), e.prefix_hash(), "window is post-prefix");
     }
 
     #[test]

@@ -163,6 +163,15 @@ pub trait Agent: Send {
     /// Upcast for post-run inspection (reading flow statistics out of the
     /// engine once the run completes).
     fn as_any(&self) -> &dyn Any;
+
+    /// Deep-copies this agent for checkpoint/fork, or `None` when the
+    /// agent cannot be captured (the default). An un-cloneable agent makes
+    /// the whole simulator checkpoint fail, which the sweep layer treats
+    /// as "fall back to a cold run" — so custom agents stay sound without
+    /// opting in.
+    fn clone_box(&self) -> Option<Box<dyn Agent>> {
+        None
+    }
 }
 
 #[cfg(test)]

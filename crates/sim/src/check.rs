@@ -81,7 +81,7 @@ impl fmt::Display for Violation {
 pub(crate) const MAX_RECORDED: usize = 64;
 
 /// Mutable checker state owned by the engine while checks are enabled.
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 pub(crate) struct CheckState {
     pub(crate) violations: Vec<Violation>,
     /// Breaches beyond [`MAX_RECORDED`] are only counted.

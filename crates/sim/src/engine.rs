@@ -39,6 +39,22 @@ struct AgentSlot {
     timers: Vec<(u64, TimerHandle)>,
 }
 
+impl AgentSlot {
+    /// Deep-copies the slot, or `None` when the agent does not implement
+    /// [`Agent::clone_box`].
+    fn try_clone(&self) -> Option<AgentSlot> {
+        let agent = match &self.agent {
+            Some(a) => Some(a.clone_box()?),
+            None => None,
+        };
+        Some(AgentSlot {
+            node: self.node,
+            agent,
+            timers: self.timers.clone(),
+        })
+    }
+}
+
 /// The simulator: a deterministic single-threaded event loop.
 ///
 /// Build one with [`crate::topology::TopologyBuilder`], attach agents, then
@@ -597,6 +613,183 @@ impl Simulator {
     fn dispatch_start(&mut self, id: AgentId) {
         self.with_agent(id, |agent, ctx| agent.start(ctx));
     }
+
+    /// Freezes the complete simulator state into a [`SimCheckpoint`].
+    ///
+    /// The checkpoint captures everything the event loop reads: the clock,
+    /// both event-wheel tiers (including the shared tie-break sequence
+    /// counter and the timer slab's generation state), the packet arena,
+    /// every link's queue/transmitter/RNG/counter state, routing, traces,
+    /// per-flow drop counts, agent state machines (via
+    /// [`Agent::clone_box`]) with their live timer tables, and the
+    /// checker/metrics layers. A simulator resumed with
+    /// [`Simulator::fork`] therefore processes the byte-identical event
+    /// sequence a cold run would.
+    ///
+    /// # Errors
+    ///
+    /// Fails when any attached agent or queue discipline cannot be
+    /// deep-copied (a custom [`Agent`] without `clone_box`, or an
+    /// [`crate::queue::AnyQueue::Custom`] discipline). Callers treat that
+    /// as "this simulation cannot warm-start" and fall back to cold runs.
+    pub fn checkpoint(&self) -> Result<SimCheckpoint, CheckpointError> {
+        let state = self.try_clone()?;
+        let approx_bytes = state.approx_heap_bytes();
+        Ok(SimCheckpoint {
+            state,
+            approx_bytes,
+        })
+    }
+
+    /// Resumes a fresh, independent simulator from `checkpoint`.
+    ///
+    /// Forking never consumes the checkpoint: any number of variants can
+    /// be forked from one warm-up, and each fork owns its state outright
+    /// (no sharing, so concurrent forks cannot observe each other).
+    pub fn fork(checkpoint: &SimCheckpoint) -> Simulator {
+        checkpoint
+            .state
+            .try_clone()
+            .expect("checkpointed state is always re-cloneable")
+    }
+
+    /// Fallible deep copy backing [`Simulator::checkpoint`].
+    fn try_clone(&self) -> Result<Simulator, CheckpointError> {
+        // Effects only live inside a single `with_agent` call; between
+        // events (the only place checkpoints are taken) the scratch is
+        // empty, so dropping it from the copy loses nothing.
+        debug_assert!(self.effects_scratch.is_empty());
+        let mut links = Vec::with_capacity(self.links.len());
+        for link in &self.links {
+            links.push(
+                link.try_clone()
+                    .ok_or(CheckpointError::UncloneableQueue(link.id()))?,
+            );
+        }
+        let mut agents = Vec::with_capacity(self.agents.len());
+        for (i, slot) in self.agents.iter().enumerate() {
+            agents.push(
+                slot.try_clone().ok_or_else(|| {
+                    CheckpointError::UncloneableAgent(AgentId::from_u32(i as u32))
+                })?,
+            );
+        }
+        Ok(Simulator {
+            clock: self.clock,
+            events: self.events.clone(),
+            nodes: self.nodes.clone(),
+            links,
+            routing: self.routing.clone(),
+            agents,
+            bindings: self.bindings.clone(),
+            traces: self.traces.clone(),
+            link_traces: self.link_traces.clone(),
+            drops_by_flow: self.drops_by_flow.clone(),
+            arena: self.arena.clone(),
+            next_uid: self.next_uid,
+            stats: self.stats,
+            effects_scratch: Vec::new(),
+            checks: self.checks.clone(),
+            metrics: self.metrics.clone(),
+        })
+    }
+
+    /// Rough heap footprint of the captured state, for checkpoint-size
+    /// reporting. Counts the dominant dynamic structures (event wheels,
+    /// arena slots, queue backlogs, trace bins) at container granularity;
+    /// agent internals are estimated per slot.
+    fn approx_heap_bytes(&self) -> usize {
+        use std::mem::size_of;
+        let mut bytes = size_of::<Simulator>();
+        // Each pending event: a wheel entry (~at + seq + event) on one of
+        // the two tiers.
+        bytes += self.events.len() * (size_of::<Event>() + 2 * size_of::<u64>());
+        bytes += self.arena.slots_allocated() * (size_of::<Packet>() + size_of::<u32>());
+        for link in &self.links {
+            bytes += size_of::<Link>() + link.backlog_packets() * size_of::<Packet>();
+        }
+        for trace in &self.traces {
+            bytes += trace.n_bins() * size_of::<u64>();
+        }
+        for slot in &self.agents {
+            bytes += 256 + slot.timers.len() * size_of::<(u64, TimerHandle)>();
+        }
+        bytes += self.bindings.len() * (size_of::<(NodeId, FlowId)>() + size_of::<AgentId>());
+        bytes += self.drops_by_flow.len() * (size_of::<FlowId>() + size_of::<u64>());
+        bytes
+    }
+}
+
+/// Why [`Simulator::checkpoint`] could not capture the state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CheckpointError {
+    /// An attached agent does not implement [`Agent::clone_box`].
+    UncloneableAgent(AgentId),
+    /// A link's queue discipline is an un-cloneable
+    /// [`crate::queue::AnyQueue::Custom`].
+    UncloneableQueue(LinkId),
+}
+
+impl std::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckpointError::UncloneableAgent(id) => {
+                write!(f, "{id} does not support clone_box; cannot checkpoint")
+            }
+            CheckpointError::UncloneableQueue(id) => {
+                write!(f, "{id} has a custom queue discipline; cannot checkpoint")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+/// A frozen deep copy of a [`Simulator`], produced by
+/// [`Simulator::checkpoint`] and consumed (non-destructively) by
+/// [`Simulator::fork`].
+///
+/// The intended use is warm-starting: run the expensive common prefix of
+/// an experiment family once (e.g. TCP warm-up to steady state), take a
+/// checkpoint, then fork one simulator per variant. Determinism contract:
+/// `fork` + `run_until(T)` produces byte-identical traces, stats, metrics
+/// and violations to running the original simulator to `T` — provided the
+/// same operations (agent attachments, traces) are applied in the same
+/// order after the checkpoint instant.
+pub struct SimCheckpoint {
+    state: Simulator,
+    approx_bytes: usize,
+}
+
+impl SimCheckpoint {
+    /// The simulation instant the checkpoint was taken at.
+    pub fn taken_at(&self) -> SimTime {
+        self.state.clock
+    }
+
+    /// Rough heap footprint of the captured state, in bytes.
+    pub fn approx_bytes(&self) -> usize {
+        self.approx_bytes
+    }
+
+    /// Test hook: simulates an incomplete state capture by resetting one
+    /// link's counters, as if `checkpoint()` had failed to copy
+    /// `Link::stats`. Forked runs then breach packet conservation on that
+    /// link, which the invariant checkers must report.
+    #[doc(hidden)]
+    pub fn omit_link_stats_for_test(&mut self, link: LinkId) {
+        self.state.links[link.index()].reset_stats_for_test();
+    }
+}
+
+impl std::fmt::Debug for SimCheckpoint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SimCheckpoint")
+            .field("taken_at", &self.state.clock)
+            .field("approx_bytes", &self.approx_bytes)
+            .field("pending_events", &self.state.events.len())
+            .finish()
+    }
 }
 
 // A whole simulation must be movable onto a worker thread: the parallel
@@ -607,6 +800,11 @@ impl Simulator {
 const _: () = {
     const fn assert_send<T: Send>() {}
     assert_send::<Simulator>();
+    // Checkpoints travel between sweep workers (inside a mutex-guarded
+    // cache), so they must be `Send` too. They are deliberately not
+    // required to be `Sync`: agents are `Send`-only trait objects, and
+    // forking clones under the cache's lock.
+    assert_send::<SimCheckpoint>();
 };
 
 #[cfg(test)]
@@ -651,7 +849,7 @@ mod tests {
     }
 
     /// Counts received packets.
-    #[derive(Default)]
+    #[derive(Default, Clone)]
     struct Counter {
         received: u64,
         bytes: u64,
@@ -1163,5 +1361,168 @@ mod tests {
         assert_eq!(sim.agent_as::<Counter>(counter).unwrap().received, 0);
         sim.run_until(SimTime::from_secs(3));
         assert_eq!(sim.agent_as::<Counter>(counter).unwrap().received, 1);
+    }
+
+    /// A [`Blaster`] that supports checkpointing.
+    #[derive(Clone)]
+    struct CloneBlaster(Blaster);
+
+    impl Clone for Blaster {
+        fn clone(&self) -> Self {
+            Blaster {
+                dst: self.dst,
+                flow: self.flow,
+                count: self.count,
+                gap: self.gap,
+                sent: self.sent,
+            }
+        }
+    }
+
+    impl Agent for CloneBlaster {
+        fn start(&mut self, ctx: &mut AgentCtx<'_>) {
+            self.0.start(ctx);
+        }
+        fn on_packet(&mut self, p: Packet, ctx: &mut AgentCtx<'_>) {
+            self.0.on_packet(p, ctx);
+        }
+        fn on_timer(&mut self, t: u64, ctx: &mut AgentCtx<'_>) {
+            self.0.on_timer(t, ctx);
+        }
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+        fn clone_box(&self) -> Option<Box<dyn Agent>> {
+            Some(Box::new(self.clone()))
+        }
+    }
+
+    /// Builds a two-host sim with a cloneable blaster + counter, runs it
+    /// to `pause`, and returns it with the counter's id.
+    fn checkpointable_sim(pause: SimTime) -> (Simulator, AgentId) {
+        let (mut sim, a, b) = two_hosts();
+        sim.enable_checks();
+        let flow = FlowId::from_u32(1);
+        sim.attach_agent(
+            a,
+            Box::new(CloneBlaster(Blaster {
+                dst: b,
+                flow,
+                count: 200,
+                gap: SimDuration::from_micros(700),
+                sent: 0,
+            })),
+        );
+        let counter = sim.attach_agent(b, Box::new(CloneCounter(Counter::default())));
+        sim.bind_flow(b, flow, counter);
+        sim.run_until(pause);
+        (sim, counter)
+    }
+
+    /// A cloneable [`Counter`].
+    #[derive(Default, Clone)]
+    struct CloneCounter(Counter);
+
+    impl Agent for CloneCounter {
+        fn start(&mut self, ctx: &mut AgentCtx<'_>) {
+            self.0.start(ctx);
+        }
+        fn on_packet(&mut self, p: Packet, ctx: &mut AgentCtx<'_>) {
+            self.0.on_packet(p, ctx);
+        }
+        fn on_timer(&mut self, t: u64, ctx: &mut AgentCtx<'_>) {
+            self.0.on_timer(t, ctx);
+        }
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+        fn clone_box(&self) -> Option<Box<dyn Agent>> {
+            Some(Box::new(self.clone()))
+        }
+    }
+
+    #[test]
+    fn fork_resumes_identically_to_cold_run() {
+        let pause = SimTime::from_millis(40);
+        let horizon = SimTime::from_millis(300);
+        let (mut cold, cold_counter) = checkpointable_sim(pause);
+        let (paused, _) = checkpointable_sim(pause);
+        let checkpoint = paused.checkpoint().expect("all agents cloneable");
+        assert_eq!(checkpoint.taken_at(), pause);
+        assert!(checkpoint.approx_bytes() > 0);
+
+        let mut forked = Simulator::fork(&checkpoint);
+        cold.run_until(horizon);
+        forked.run_until(horizon);
+        assert_eq!(cold.stats(), forked.stats());
+        assert_eq!(cold.violations(), forked.violations());
+        let cold_seen = cold
+            .agent_as::<CloneCounter>(cold_counter)
+            .map(|c| (c.0.received, c.0.bytes, c.0.last_at))
+            .unwrap();
+        let fork_seen = forked
+            .agent_as::<CloneCounter>(cold_counter)
+            .map(|c| (c.0.received, c.0.bytes, c.0.last_at))
+            .unwrap();
+        assert_eq!(cold_seen, fork_seen);
+    }
+
+    #[test]
+    fn forking_twice_yields_independent_identical_runs() {
+        let (paused, counter) = checkpointable_sim(SimTime::from_millis(40));
+        let checkpoint = paused.checkpoint().unwrap();
+        let horizon = SimTime::from_millis(300);
+        let mut f1 = Simulator::fork(&checkpoint);
+        let mut f2 = Simulator::fork(&checkpoint);
+        f1.run_until(horizon);
+        // f1 finishing must not disturb f2 (no shared mutable state).
+        f2.run_until(horizon);
+        assert_eq!(f1.stats(), f2.stats());
+        assert_eq!(
+            f1.agent_as::<CloneCounter>(counter).unwrap().0.received,
+            f2.agent_as::<CloneCounter>(counter).unwrap().0.received,
+        );
+    }
+
+    #[test]
+    fn uncloneable_agent_fails_checkpoint() {
+        let (mut sim, a, b) = two_hosts();
+        let flow = FlowId::from_u32(1);
+        // Plain `Blaster` keeps the default `clone_box` (None).
+        let id = sim.attach_agent(
+            a,
+            Box::new(Blaster {
+                dst: b,
+                flow,
+                count: 1,
+                gap: SimDuration::ZERO,
+                sent: 0,
+            }),
+        );
+        assert_eq!(
+            sim.checkpoint().err(),
+            Some(CheckpointError::UncloneableAgent(id))
+        );
+        assert!(sim
+            .checkpoint()
+            .unwrap_err()
+            .to_string()
+            .contains("clone_box"));
+    }
+
+    #[test]
+    fn omitted_state_field_is_caught_by_invariant_checkers() {
+        let (paused, _) = checkpointable_sim(SimTime::from_millis(40));
+        let mut checkpoint = paused.checkpoint().unwrap();
+        checkpoint.omit_link_stats_for_test(LinkId::from_u32(0));
+        let mut forked = Simulator::fork(&checkpoint);
+        forked.run_until(SimTime::from_millis(300));
+        assert!(
+            forked
+                .violations()
+                .iter()
+                .any(|v| v.kind == ViolationKind::PacketConservation),
+            "conservation checker must flag the incompletely captured link"
+        );
     }
 }

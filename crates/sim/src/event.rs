@@ -123,7 +123,7 @@ const PKT_LEVELS: usize = 9;
 /// `(at, seq)` sifts dominated event-loop profiles; the wheel's ordering
 /// argument (strictly-lower-tick-first across levels, exact `(at, seq)`
 /// inside the front) is the same one the timer tier proves.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct PacketWheel {
     /// `PKT_LEVELS × SLOTS_PER_LEVEL` buckets of scheduled events.
     slots: Vec<Vec<Scheduled>>,
@@ -268,7 +268,7 @@ const SLOTS_PER_LEVEL: usize = 1 << LEVEL_BITS;
 /// (`u64` nanoseconds >> 20), so no overflow list is needed.
 const LEVELS: usize = 8;
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct TimerEntry {
     at: SimTime,
     seq: u64,
@@ -278,7 +278,7 @@ struct TimerEntry {
 }
 
 /// Hierarchical timer wheel with slab-allocated, generation-checked entries.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct TimerWheel {
     /// Slab of timer entries; `free` holds recyclable indices.
     entries: Vec<TimerEntry>,
@@ -491,7 +491,7 @@ impl TimerWheel {
 /// `(time, scheduling order)` — with the addition of real timer
 /// cancellation via [`schedule_timer`](Self::schedule_timer) /
 /// [`cancel_timer`](Self::cancel_timer).
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct EventQueue {
     packets: PacketWheel,
     timers: TimerWheel,

@@ -57,7 +57,7 @@ pub mod units;
 pub mod prelude {
     pub use crate::agent::{Agent, AgentCtx, AgentId};
     pub use crate::check::{Violation, ViolationKind};
-    pub use crate::engine::{SimStats, Simulator};
+    pub use crate::engine::{CheckpointError, SimCheckpoint, SimStats, Simulator};
     pub use crate::link::{Impairments, LinkId};
     pub use crate::node::NodeId;
     pub use crate::packet::{FlowId, Packet, PacketKind};

@@ -308,10 +308,39 @@ impl Link {
         self.stats.offered_packets += 1;
     }
 
+    /// Test hook: zeroes the link counters, modelling a checkpoint that
+    /// failed to capture `Link::stats` — the conservation audit must then
+    /// flag the link on its next packet.
+    #[doc(hidden)]
+    pub fn reset_stats_for_test(&mut self) {
+        self.stats = LinkStats::default();
+    }
+
     /// Read-only access to the queue discipline (for discipline-specific
     /// inspection in tests and traces).
     pub fn queue(&self) -> &dyn QueueDiscipline {
         &self.queue
+    }
+
+    /// Deep-copies this link for checkpoint/fork, or `None` when the
+    /// queue discipline is an un-cloneable [`AnyQueue::Custom`]. The copy
+    /// carries the full transmitter state — in-flight packet, counters,
+    /// impairment RNG position and tx-time memo — so a forked link
+    /// produces the byte-identical event sequence a cold link would.
+    pub(crate) fn try_clone(&self) -> Option<Link> {
+        Some(Link {
+            id: self.id,
+            src: self.src,
+            dst: self.dst,
+            bandwidth: self.bandwidth,
+            delay: self.delay,
+            queue: self.queue.try_clone()?,
+            impairments: self.impairments,
+            rng: self.rng.clone(),
+            in_flight: self.in_flight,
+            stats: self.stats,
+            tx_memo: self.tx_memo,
+        })
     }
 
     /// Offers `packet` to the link at time `now`.

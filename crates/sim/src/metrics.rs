@@ -23,6 +23,7 @@ use crate::time::SimTime;
 const RED_DROP_PROB_BOUNDS: [f64; 8] = [0.0, 0.01, 0.02, 0.05, 0.1, 0.2, 0.5, 1.0];
 
 /// Per-link and engine-level metrics, updated from the event loop.
+#[derive(Clone)]
 pub struct EngineMetrics {
     registry: MetricsRegistry,
     /// Events popped from the packet wheel tier (`Deliver`, `LinkTxDone`,

@@ -246,7 +246,7 @@ pub struct PacketRef {
     gen: u32,
 }
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct ArenaSlot {
     packet: Packet,
     gen: u32,
@@ -259,7 +259,7 @@ struct ArenaSlot {
 /// number of packets in flight (a few hundred in typical topologies), not
 /// total traffic. Slots are recycled through a free list; every recycle
 /// bumps the slot's generation so stale [`PacketRef`]s are detectable.
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct PacketArena {
     slots: Vec<ArenaSlot>,
     free: Vec<u32>,

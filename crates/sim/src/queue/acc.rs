@@ -103,7 +103,7 @@ impl AccConfig {
     }
 }
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct PenaltyBox {
     /// Token bucket level, in bytes.
     tokens: f64,
@@ -114,6 +114,7 @@ struct PenaltyBox {
 }
 
 /// RED wrapped with the ACC penalty-box loop.
+#[derive(Clone)]
 pub struct AccQueue {
     cfg: AccConfig,
     inner: RedQueue,

@@ -25,7 +25,7 @@ use std::collections::VecDeque;
 /// assert_eq!(q.enqueue(pkt, SimTime::ZERO), EnqueueOutcome::Enqueued);
 /// assert_eq!(q.enqueue(pkt, SimTime::ZERO), EnqueueOutcome::Dropped);
 /// ```
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct DropTailQueue {
     buf: VecDeque<Packet>,
     capacity: usize,

@@ -145,6 +145,20 @@ impl AnyQueue {
     pub(crate) fn is_empty_droptail(&self) -> bool {
         matches!(self, AnyQueue::DropTail(q) if q.len_packets() == 0)
     }
+
+    /// Deep-copies this queue for checkpoint/fork. The stock disciplines
+    /// (including RED's seeded RNG position) clone faithfully;
+    /// [`AnyQueue::Custom`] cannot be cloned through the trait object, so
+    /// it returns `None` and the owning simulator's checkpoint fails —
+    /// the caller falls back to a cold run.
+    pub(crate) fn try_clone(&self) -> Option<AnyQueue> {
+        match self {
+            AnyQueue::DropTail(q) => Some(AnyQueue::DropTail(q.clone())),
+            AnyQueue::Red(q) => Some(AnyQueue::Red(q.clone())),
+            AnyQueue::Acc(q) => Some(AnyQueue::Acc(q.clone())),
+            AnyQueue::Custom(_) => None,
+        }
+    }
 }
 
 impl QueueDiscipline for AnyQueue {

@@ -110,7 +110,7 @@ impl RedConfig {
 }
 
 /// A RED queue instance.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct RedQueue {
     cfg: RedConfig,
     buf: VecDeque<Packet>,

@@ -38,7 +38,7 @@ use std::collections::BTreeSet;
 /// sim.bind_flow(dst, flow, rx);   // data
 /// # }
 /// ```
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct TcpSender {
     cfg: TcpConfig,
     flow: FlowId,
@@ -592,6 +592,10 @@ impl Agent for TcpSender {
 
     fn as_any(&self) -> &dyn Any {
         self
+    }
+
+    fn clone_box(&self) -> Option<Box<dyn Agent>> {
+        Some(Box::new(self.clone()))
     }
 }
 

@@ -12,7 +12,7 @@ use std::collections::BTreeSet;
 /// delayed ACKs), ACKs out-of-order arrivals immediately (producing the
 /// duplicate ACKs fast retransmit relies on), and ACKs immediately when a
 /// retransmission fills a gap.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct TcpSink {
     cfg: TcpConfig,
     flow: FlowId,
@@ -203,6 +203,10 @@ impl Agent for TcpSink {
 
     fn as_any(&self) -> &dyn Any {
         self
+    }
+
+    fn clone_box(&self) -> Option<Box<dyn Agent>> {
+        Some(Box::new(self.clone()))
     }
 }
 
