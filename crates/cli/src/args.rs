@@ -54,6 +54,11 @@ const KNOWN_KEYS: &[&str] = &[
     "baseline",
     "scenario",
     "format",
+    "budget-secs",
+    "repro-dir",
+    "replay",
+    "shrink-budget",
+    "fault",
 ];
 const KNOWN_FLAGS: &[&str] = &[
     "ecn",
@@ -224,6 +229,23 @@ mod tests {
         let b = parse("sweep --fig fig06 --warm-start").unwrap();
         assert!(b.flag("warm-start"));
         assert!(!b.flag("no-warm-start"));
+    }
+
+    #[test]
+    fn fuzz_options_round_trip() {
+        let a = parse(
+            "fuzz --scenarios 300 --budget-secs 900 --master-seed 3 --jobs 2 \
+             --out /tmp/f.json --repro-dir /tmp/repros --shrink-budget 16 --fault none",
+        )
+        .unwrap();
+        assert_eq!(a.command, "fuzz");
+        assert_eq!(a.num::<usize>("scenarios", 0).unwrap(), 300);
+        assert_eq!(a.num::<u64>("budget-secs", 0).unwrap(), 900);
+        assert_eq!(a.get("repro-dir"), Some("/tmp/repros"));
+        assert_eq!(a.num::<usize>("shrink-budget", 0).unwrap(), 16);
+        assert_eq!(a.get("fault"), Some("none"));
+        let b = parse("fuzz --replay /tmp/repros/case.repro").unwrap();
+        assert_eq!(b.get("replay"), Some("/tmp/repros/case.repro"));
     }
 
     #[test]

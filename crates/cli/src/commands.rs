@@ -79,6 +79,23 @@ COMMANDS
              golden digests)  --out FILE (write the report)
              --warm-start | --no-warm-start (default on) for the smoke
              sweep's warm-start checkpointing
+  fuzz       scenario fuzzing campaign: seeded random case families
+             (oracle-envelope and diverse dumbbells, parking-lot and
+             fat-tree topologies) through the oracle + invariant-checker
+             + golden-digest machinery, with shrink-on-violation
+             --scenarios N (200)  --budget-secs S (0 = uncapped; the
+             unit is *simulated* seconds, so the budget is
+             machine-independent)  --master-seed S (7)  --jobs N (0;
+             never affects the report bytes)
+             --out FILE (stable pdos-fuzz/1 JSON report)
+             --repro-dir DIR (one self-contained .repro per violation,
+             minimized by the shrinker)
+             --shrink-budget N (64; replays allowed per shrink)
+             --fault none|link-accounting|omit-link-stats (self-test
+             drill: deliberately inject a physics bug into every
+             dumbbell case; the campaign must catch it)
+             --replay FILE (re-run one .repro file; exits non-zero
+             while the recorded violation still reproduces)
   help       this text
 ";
 
@@ -576,6 +593,82 @@ pub fn cmd_check(args: &Args) -> Result<String, ArgError> {
     }
 }
 
+/// `pdos fuzz` — the scenario fuzzing campaign (or, with `--replay`, a
+/// single repro-file replay). Campaign violations are shrunk, written as
+/// `.repro` files when `--repro-dir` is given, and fail the command with
+/// a non-zero exit; the `--out` report is written even on failure, so CI
+/// can upload it as an artifact.
+pub fn cmd_fuzz(args: &Args) -> Result<String, ArgError> {
+    if let Some(path) = args.get("replay") {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| ArgError(format!("cannot read {path}: {e}")))?;
+        let repro = pdos_fuzz::parse_repro(&text).map_err(ArgError)?;
+        return match pdos_fuzz::replay_repro(&repro) {
+            None => Ok(format!(
+                "replay {path}: case {} passes — the recorded {} no longer reproduces\n",
+                repro.id,
+                repro.class.as_str()
+            )),
+            Some((class, detail)) if class == repro.class => Err(ArgError(format!(
+                "replay {path}: REPRODUCED {} on case {}: {detail}",
+                class.as_str(),
+                repro.id
+            ))),
+            Some((class, detail)) => Err(ArgError(format!(
+                "replay {path}: case {} now fails as {} (recorded {}): {detail}",
+                repro.id,
+                class.as_str(),
+                repro.class.as_str()
+            ))),
+        };
+    }
+
+    let cfg = pdos_fuzz::CampaignConfig {
+        scenarios: args.num("scenarios", 200)?,
+        master_seed: args.num("master-seed", 7)?,
+        budget_sim_secs: args.num("budget-secs", 0)?,
+        jobs: args.num("jobs", 0)?,
+        fault: pdos_fuzz::fault_from_str(args.get("fault").unwrap_or("none")).map_err(ArgError)?,
+        shrink_budget: args.num("shrink-budget", 64)?,
+        ..pdos_fuzz::CampaignConfig::default()
+    };
+    let mut report = pdos_fuzz::run_campaign(&cfg);
+    if !report.pass() {
+        pdos_fuzz::shrink_report(&mut report, &cfg);
+    }
+    let mut out = report.summary();
+    if let Some(dir) = args.get("repro-dir") {
+        if !report.pass() {
+            std::fs::create_dir_all(dir)
+                .map_err(|e| ArgError(format!("cannot create {dir}: {e}")))?;
+            for v in &report.violations {
+                let name = format!("{}.repro", v.case.id.replace('/', "-"));
+                let path = std::path::Path::new(dir).join(&name);
+                std::fs::write(&path, pdos_fuzz::format_repro(v, &cfg))
+                    .map_err(|e| ArgError(format!("cannot write {}: {e}", path.display())))?;
+            }
+            let _ = writeln!(
+                out,
+                "wrote {} repro file(s) to {dir}",
+                report.violations.len()
+            );
+        }
+    }
+    if let Some(path) = args.get("out") {
+        std::fs::write(path, report.to_json())
+            .map_err(|e| ArgError(format!("cannot write {path}: {e}")))?;
+        let _ = writeln!(out, "report written to {path}");
+    }
+    if report.pass() {
+        Ok(out)
+    } else {
+        Err(ArgError(format!(
+            "fuzz: FAIL ({} violation(s))\n{out}",
+            report.violations.len()
+        )))
+    }
+}
+
 /// `pdos bench` — the engine performance harness. Writes a
 /// `BENCH_<date>.json` report (schema `pdos-bench/2`) and, with
 /// `--baseline`, enforces the CI regression gates: the fig06-smoke macro
@@ -838,6 +931,7 @@ pub fn run(args: &Args) -> Result<String, ArgError> {
         "metrics" => cmd_metrics(args),
         "check" => cmd_check(args),
         "bench" => cmd_bench(args),
+        "fuzz" => cmd_fuzz(args),
         "help" | "--help" | "-h" => Ok(HELP.to_string()),
         other => Err(ArgError(format!(
             "unknown command '{other}'; try `pdos help`"
@@ -1177,6 +1271,90 @@ mod tests {
     #[test]
     fn sync_rejects_degenerate_period() {
         assert!(run(&parse("sync --period-s 0.01 --textent-ms 50")).is_err());
+    }
+
+    /// The smallest master seed whose generated set contains a
+    /// multi-case dumbbell family (deterministic scan; see the fuzz
+    /// crate's own suite for the same idiom).
+    fn fuzz_drill_seed(n_cases: usize) -> u64 {
+        (0u64..64)
+            .find(|&s| {
+                pdos_fuzz::gen::generate(s, n_cases)
+                    .iter()
+                    .any(|f| f.is_dumbbell() && f.cases.len() >= 2)
+            })
+            .expect("some small seed draws a dumbbell family")
+    }
+
+    #[test]
+    fn fuzz_smoke_passes_and_reports_identically_at_any_job_count() {
+        let seed = fuzz_drill_seed(4);
+        let out_1 = std::env::temp_dir().join("pdos-cli-test-fuzz-j1.json");
+        let out_2 = std::env::temp_dir().join("pdos-cli-test-fuzz-j2.json");
+        let base = format!("fuzz --scenarios 4 --master-seed {seed}");
+        let text = run(&parse(&format!(
+            "{base} --jobs 1 --out {}",
+            out_1.display()
+        )))
+        .unwrap();
+        assert!(text.contains("no violations"), "{text}");
+        assert!(text.contains("warm starts:"), "{text}");
+        run(&parse(&format!(
+            "{base} --jobs 2 --out {}",
+            out_2.display()
+        )))
+        .unwrap();
+        let (a, b) = (
+            std::fs::read_to_string(&out_1).unwrap(),
+            std::fs::read_to_string(&out_2).unwrap(),
+        );
+        let _ = std::fs::remove_file(&out_1);
+        let _ = std::fs::remove_file(&out_2);
+        assert!(a.starts_with("{\"schema\":\"pdos-fuzz/1\""), "{a}");
+        assert_eq!(a, b, "the report must be byte-identical across --jobs");
+    }
+
+    #[test]
+    fn fuzz_fault_drill_writes_repros_that_replay_red() {
+        let seed = fuzz_drill_seed(2);
+        let dir = std::env::temp_dir().join("pdos-cli-test-fuzz-repros");
+        let report_path = std::env::temp_dir().join("pdos-cli-test-fuzz-drill.json");
+        let _ = std::fs::remove_dir_all(&dir);
+        let cmd = format!(
+            "fuzz --scenarios 2 --master-seed {seed} --jobs 1 --fault link-accounting \
+             --shrink-budget 12 --repro-dir {} --out {}",
+            dir.display(),
+            report_path.display()
+        );
+        let err = run(&parse(&cmd)).unwrap_err();
+        assert!(err.to_string().contains("fuzz: FAIL"), "{err}");
+        // The report was still written (the CI artifact path), and the
+        // violations carry their shrunk cases.
+        let json = std::fs::read_to_string(&report_path).unwrap();
+        assert!(json.contains("\"status\":\"run-failed\""), "{json}");
+        assert!(json.contains("\"shrunk\":{"), "{json}");
+
+        // Every violation produced a repro file; replaying one under the
+        // same fault reproduces the violation (non-zero exit).
+        let mut repros: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().path())
+            .collect();
+        repros.sort();
+        assert!(!repros.is_empty());
+        let replay = format!("fuzz --replay {}", repros[0].display());
+        let err = run(&parse(&replay)).unwrap_err();
+        assert!(err.to_string().contains("REPRODUCED run-failed"), "{err}");
+        let _ = std::fs::remove_dir_all(&dir);
+        let _ = std::fs::remove_file(&report_path);
+    }
+
+    #[test]
+    fn fuzz_rejects_unknown_fault_and_missing_replay_file() {
+        let e = run(&parse("fuzz --fault nonsense")).unwrap_err();
+        assert!(e.to_string().contains("unknown fault"), "{e}");
+        let e = run(&parse("fuzz --replay /nonexistent.repro")).unwrap_err();
+        assert!(e.to_string().contains("cannot read"), "{e}");
     }
 
     #[test]

@@ -64,7 +64,11 @@ pub fn canonical_specs() -> Vec<ExperimentSpec> {
     .collect()
 }
 
-fn digest_bins(bins: &[u64]) -> u64 {
+/// Fingerprints a binned trace: `fnv1a64` over the little-endian `u64`
+/// bin values — the digest scheme every golden entry pins. Public so
+/// other harnesses (the fuzz campaign's per-case digests) fingerprint
+/// traces identically to the golden file.
+pub fn digest_bins(bins: &[u64]) -> u64 {
     let mut bytes = Vec::with_capacity(bins.len() * 8);
     for b in bins {
         bytes.extend_from_slice(&b.to_le_bytes());

@@ -25,6 +25,6 @@ pub mod oracle;
 pub use bands::ToleranceBands;
 pub use golden::{
     canonical_specs, compute_digests, compute_digests_metered, compute_digests_metered_with,
-    compute_digests_with, TraceDigest, GOLDEN_FILE,
+    compute_digests_with, digest_bins, TraceDigest, GOLDEN_FILE,
 };
-pub use oracle::{run_oracle, OracleConfig, OracleOutcome};
+pub use oracle::{check_point, run_oracle, OracleConfig, OracleOutcome, PointVerdict};

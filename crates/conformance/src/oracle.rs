@@ -21,6 +21,7 @@
 use crate::bands::ToleranceBands;
 use pdos_analysis::gain::{attack_gain, RiskPreference};
 use pdos_analysis::model::{c_psi, degradation};
+use pdos_scenarios::experiment::GainPoint;
 use pdos_scenarios::runner::{AttackPoint, ExperimentSpec, RunOutcome, SweepRunner};
 use pdos_scenarios::spec::ScenarioSpec;
 use pdos_sim::time::SimDuration;
@@ -171,6 +172,82 @@ pub fn oracle_specs(cfg: &OracleConfig) -> Vec<ExperimentSpec> {
         .collect()
 }
 
+/// The verdict [`check_point`] renders on one measured gain point.
+#[derive(Debug, Clone, Default)]
+pub struct PointVerdict {
+    /// Hard failures: identity breaches, out-of-range measured gain, and
+    /// right-side band-ceiling breaches, formatted exactly as the oracle
+    /// report lists them.
+    pub failures: Vec<String>,
+    /// `Some(|G_sim − G_analytic|)` when the point sits right of the gain
+    /// maximum (γ ≥ [`ToleranceBands::gamma_right`]); `None` otherwise or
+    /// when a hard failure pre-empted the band check.
+    pub right_err: Option<f64>,
+    /// Whether `right_err` falls inside the effective right-side band
+    /// (always `false` when `right_err` is `None`).
+    pub within: bool,
+}
+
+/// Renders the differential-oracle verdict on one measured point: the
+/// identity checks (recorded analytic values vs an independent
+/// recomputation through `pdos-analysis`), the measured-gain range check,
+/// and the right-side tolerance band. This is the exact per-point logic
+/// [`run_oracle`] applies, factored out so other harnesses (the fuzz
+/// campaign) can hold arbitrary generated scenarios to the same bands.
+pub fn check_point(
+    id: &str,
+    scenario: &ScenarioSpec,
+    attack: AttackPoint,
+    point: &GainPoint,
+    bands: &ToleranceBands,
+) -> PointVerdict {
+    let mut v = PointVerdict::default();
+
+    // Identity: the analytic values in the record must equal an
+    // independent recomputation through pdos-analysis.
+    let c = match c_psi(&scenario.victims(), attack.t_extent, attack.r_attack) {
+        Ok(c) => c,
+        Err(e) => {
+            v.failures
+                .push(format!("{id}: model rejected parameters: {e}"));
+            return v;
+        }
+    };
+    let g_expected = attack_gain(attack.gamma, c, RiskPreference::NEUTRAL);
+    let d_expected = degradation(attack.gamma, c);
+    if (point.g_analytic - g_expected).abs() > 1e-9 {
+        v.failures.push(format!(
+            "{id}: analytic-gain identity broken: recorded {} recomputed {}",
+            point.g_analytic, g_expected
+        ));
+    }
+    if (point.degradation_analytic - d_expected).abs() > 1e-9 {
+        v.failures.push(format!(
+            "{id}: analytic-degradation identity broken: recorded {} recomputed {}",
+            point.degradation_analytic, d_expected
+        ));
+    }
+    if !point.g_sim.is_finite() || !(0.0..=1.0 + 1e-9).contains(&point.g_sim) {
+        v.failures
+            .push(format!("{id}: measured gain out of range: {}", point.g_sim));
+        return v;
+    }
+
+    // Band: the right side of the maximum must track the curve.
+    if attack.gamma >= bands.gamma_right {
+        let err = (point.g_sim - point.g_analytic).abs();
+        v.right_err = Some(err);
+        v.within = err <= bands.effective_right_band();
+        if err > bands.hard_abs_err {
+            v.failures.push(format!(
+                "{id}: right-side error {err:.4} exceeds the hard ceiling {:.4}",
+                bands.hard_abs_err
+            ));
+        }
+    }
+    v
+}
+
 /// Runs the differential oracle.
 pub fn run_oracle(cfg: &OracleConfig) -> OracleOutcome {
     let specs = oracle_specs(cfg);
@@ -205,52 +282,14 @@ pub fn run_oracle(cfg: &OracleConfig) -> OracleOutcome {
         };
         out.n_points += 1;
 
-        // Identity: the analytic values in the record must equal an
-        // independent recomputation through pdos-analysis.
-        let c = match c_psi(&spec.scenario.victims(), attack.t_extent, attack.r_attack) {
-            Ok(c) => c,
-            Err(e) => {
-                out.failures
-                    .push(format!("{}: model rejected parameters: {e}", spec.id));
-                continue;
-            }
-        };
-        let g_expected = attack_gain(attack.gamma, c, RiskPreference::NEUTRAL);
-        let d_expected = degradation(attack.gamma, c);
-        if (point.g_analytic - g_expected).abs() > 1e-9 {
-            out.failures.push(format!(
-                "{}: analytic-gain identity broken: recorded {} recomputed {}",
-                spec.id, point.g_analytic, g_expected
-            ));
-        }
-        if (point.degradation_analytic - d_expected).abs() > 1e-9 {
-            out.failures.push(format!(
-                "{}: analytic-degradation identity broken: recorded {} recomputed {}",
-                spec.id, point.degradation_analytic, d_expected
-            ));
-        }
-        if !point.g_sim.is_finite() || !(0.0..=1.0 + 1e-9).contains(&point.g_sim) {
-            out.failures.push(format!(
-                "{}: measured gain out of range: {}",
-                spec.id, point.g_sim
-            ));
-            continue;
-        }
-
-        // Band: the right side of the maximum must track the curve.
-        if attack.gamma >= cfg.bands.gamma_right {
-            let err = (point.g_sim - point.g_analytic).abs();
+        let verdict = check_point(&spec.id, &spec.scenario, attack, point, &cfg.bands);
+        out.failures.extend(verdict.failures);
+        if let Some(err) = verdict.right_err {
             out.n_right += 1;
             err_sum += err;
             out.max_abs_err_right = out.max_abs_err_right.max(err);
-            if err <= cfg.bands.effective_right_band() {
+            if verdict.within {
                 out.n_within += 1;
-            }
-            if err > cfg.bands.hard_abs_err {
-                out.failures.push(format!(
-                    "{}: right-side error {err:.4} exceeds the hard ceiling {:.4}",
-                    spec.id, cfg.bands.hard_abs_err
-                ));
             }
         }
     }

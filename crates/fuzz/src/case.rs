@@ -1,0 +1,488 @@
+//! The fuzz campaign's case model: the compact drawn parameters of one
+//! generated scenario, with an exact text serialization.
+//!
+//! A case stores the *dimensions the generator drew* — base topology,
+//! flow counts, queue discipline, traffic mix, windows, attack point —
+//! not the expanded `ScenarioSpec`. That keeps repro files small and
+//! diffable, makes the shrinker's transformations trivial (decrement a
+//! field, re-expand), and, because every field is an integer, makes the
+//! `format_case`/`parse_case` round trip exact with no float-printing
+//! subtleties.
+
+use pdos_scenarios::runner::{AttackPoint, ExperimentSpec};
+use pdos_scenarios::spec::{BottleneckQueue, ScenarioSpec};
+use pdos_sim::time::SimDuration;
+
+/// The dumbbell preset a case starts from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BaseScenario {
+    /// The ns-2 dumbbell (§4.1): 15 Mbps RED bottleneck, heterogeneous
+    /// 20–460 ms RTTs.
+    Ns2,
+    /// The testbed dumbbell (§4.2): 10 Mbps bottleneck, 300 ms base RTT.
+    Testbed,
+}
+
+/// The bottleneck queue discipline a case runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueueKind {
+    /// Random Early Detection (the paper's default).
+    Red,
+    /// Plain tail-drop.
+    DropTail,
+    /// RED with the accumulation-based refinement.
+    AccRed,
+}
+
+/// The victim RTT spread of a case (only meaningful on the ns-2 base;
+/// the testbed pins its own RTT).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RttProfile {
+    /// The paper's heterogeneous 20–460 ms spread.
+    Paper,
+    /// A tight 40–120 ms cluster (homogeneous victims).
+    Narrow,
+    /// A 20–800 ms spread (satellite-grade stragglers).
+    Wide,
+}
+
+/// One drawn attack point, in exact integer units.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AttackParams {
+    /// Pulse width, milliseconds.
+    pub extent_ms: u32,
+    /// Pulse rate, Mbps.
+    pub rate_mbps: u32,
+    /// Normalized average attack rate γ, thousandths.
+    pub gamma_milli: u32,
+}
+
+impl AttackParams {
+    /// The equivalent floating-point [`AttackPoint`].
+    pub fn point(&self) -> AttackPoint {
+        AttackPoint {
+            t_extent: f64::from(self.extent_ms) / 1000.0,
+            r_attack: f64::from(self.rate_mbps) * 1e6,
+            gamma: f64::from(self.gamma_milli) / 1000.0,
+        }
+    }
+}
+
+/// A generated dumbbell case: a [`ScenarioSpec`] variation plus at most
+/// one attack point (families with several points expand to several
+/// cases sharing one scenario, and therefore one warm-start prefix).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DumbbellCase {
+    /// Whether the case sits inside the differential oracle's envelope
+    /// (ns-2 base, RED, pure elephants, 3–8 flows, oracle attack ranges,
+    /// 4 s/8 s windows) and is therefore held to the tolerance bands,
+    /// not just the identity/range/invariant checks.
+    pub oracle: bool,
+    /// The preset the scenario starts from.
+    pub base: BaseScenario,
+    /// Long-lived (elephant) victim flows.
+    pub n_flows: u32,
+    /// Bottleneck queue discipline.
+    pub queue: QueueKind,
+    /// Short request/response (mice) flows riding along.
+    pub mice_flows: u32,
+    /// Ambient bottleneck loss, in 1e-4 units (0 = lossless).
+    pub loss_e4: u32,
+    /// Victim RTT spread.
+    pub rtt: RttProfile,
+    /// The scenario's physics seed (kept verbatim by the campaign's
+    /// `SeedPolicy::FromScenario`, so a case replays bit-identically).
+    pub seed: u64,
+    /// Warm-up, whole seconds.
+    pub warmup_s: u32,
+    /// Measurement window, whole seconds.
+    pub window_s: u32,
+    /// The attack point; `None` measures a benign baseline.
+    pub attack: Option<AttackParams>,
+}
+
+impl DumbbellCase {
+    /// Expands the drawn dimensions into a concrete [`ScenarioSpec`].
+    pub fn scenario(&self) -> ScenarioSpec {
+        let mut s = match self.base {
+            BaseScenario::Ns2 => ScenarioSpec::ns2_dumbbell(self.n_flows as usize),
+            BaseScenario::Testbed => ScenarioSpec::testbed(),
+        };
+        s.n_flows = self.n_flows as usize;
+        s.queue = match self.queue {
+            QueueKind::Red => BottleneckQueue::Red,
+            QueueKind::DropTail => BottleneckQueue::DropTail,
+            QueueKind::AccRed => BottleneckQueue::AccRed,
+        };
+        s.mice_flows = self.mice_flows as usize;
+        s.bottleneck_loss = f64::from(self.loss_e4) * 1e-4;
+        if self.base == BaseScenario::Ns2 {
+            // The testbed pins its own RTT; profiles apply to ns-2 only.
+            // All three lower bounds respect the builder's requirement
+            // that rtt/2 exceed the bottleneck delay plus 1 ms.
+            let (lo, hi) = match self.rtt {
+                RttProfile::Paper => (s.rtt_lo, s.rtt_hi),
+                RttProfile::Narrow => (0.040, 0.120),
+                RttProfile::Wide => (0.020, 0.800),
+            };
+            s.rtt_lo = lo;
+            s.rtt_hi = hi;
+        }
+        s.seed = self.seed;
+        s
+    }
+
+    /// Expands the case into the runner's [`ExperimentSpec`] (traced at
+    /// the golden 100 ms bins, invariant checkers on).
+    pub fn spec(&self, id: &str) -> ExperimentSpec {
+        let scenario = self.scenario();
+        let spec = match self.attack {
+            Some(a) => ExperimentSpec::attacked(id, scenario, a.point()),
+            None => ExperimentSpec::benign(id, scenario),
+        };
+        spec.warmup(SimDuration::from_secs(u64::from(self.warmup_s)))
+            .window(SimDuration::from_secs(u64::from(self.window_s)))
+            .traced(SimDuration::from_millis(100))
+            .checked()
+    }
+
+    /// Simulated seconds this case costs (the budget unit).
+    pub fn sim_secs(&self) -> u64 {
+        u64::from(self.warmup_s) + u64::from(self.window_s)
+    }
+}
+
+/// The non-dumbbell topology shapes the campaign exercises directly on
+/// the simulator substrate (no `ScenarioSpec`, no gain protocol — these
+/// cases check routing, conservation and invariants under attack on
+/// shapes the dumbbell cannot express).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TopoKind {
+    /// Three routers in a chain, two bottleneck hops, three flow groups
+    /// (long/right/left); the attack targets the middle hop.
+    ParkingLot,
+    /// A small two-level fat-tree: two aggregation cores joined by the
+    /// bottleneck, leaf switches on each side, cross-core flows.
+    FatTree,
+}
+
+/// A generated non-dumbbell topology case.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TopologyCase {
+    /// Which shape to build.
+    pub kind: TopoKind,
+    /// Host pairs per flow group (parking lot) or leaf switches per core
+    /// side (fat tree).
+    pub groups: u32,
+    /// The topology/physics seed.
+    pub seed: u64,
+    /// Total simulated run length, whole seconds (the attack starts a
+    /// third of the way in).
+    pub run_s: u32,
+    /// Pulse width, milliseconds.
+    pub extent_ms: u32,
+    /// Pulse rate, Mbps.
+    pub rate_mbps: u32,
+    /// Pulse spacing, milliseconds.
+    pub space_ms: u32,
+}
+
+impl TopologyCase {
+    /// Simulated seconds this case costs (the budget unit).
+    pub fn sim_secs(&self) -> u64 {
+        u64::from(self.run_s)
+    }
+}
+
+/// The drawn parameters of one case, either shape.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CaseParams {
+    /// A dumbbell case running the full gain protocol.
+    Dumbbell(DumbbellCase),
+    /// A direct-substrate topology case.
+    Topology(TopologyCase),
+}
+
+impl CaseParams {
+    /// Simulated seconds this case costs (the budget unit).
+    pub fn sim_secs(&self) -> u64 {
+        match self {
+            CaseParams::Dumbbell(c) => c.sim_secs(),
+            CaseParams::Topology(c) => c.sim_secs(),
+        }
+    }
+
+    /// A short display tag for reports (`oracle`, `diverse`,
+    /// `parking-lot`, `fat-tree`).
+    pub fn kind_tag(&self) -> &'static str {
+        match self {
+            CaseParams::Dumbbell(c) if c.oracle => "oracle",
+            CaseParams::Dumbbell(_) => "diverse",
+            CaseParams::Topology(c) => match c.kind {
+                TopoKind::ParkingLot => "parking-lot",
+                TopoKind::FatTree => "fat-tree",
+            },
+        }
+    }
+}
+
+/// One generated case: a stable id plus its drawn parameters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FuzzCase {
+    /// Stable id, `fuzz/<family>/<case>` — also the run id inside sweep
+    /// records and reports.
+    pub id: String,
+    /// The drawn parameters.
+    pub params: CaseParams,
+}
+
+/// Serializes a case to its exact single-line text form (the `case =`
+/// payload of repro files). Inverse of [`parse_case`].
+pub fn format_case(params: &CaseParams) -> String {
+    match params {
+        CaseParams::Dumbbell(c) => {
+            let class = if c.oracle { "oracle" } else { "diverse" };
+            let base = match c.base {
+                BaseScenario::Ns2 => "ns2",
+                BaseScenario::Testbed => "testbed",
+            };
+            let queue = match c.queue {
+                QueueKind::Red => "red",
+                QueueKind::DropTail => "droptail",
+                QueueKind::AccRed => "accred",
+            };
+            let rtt = match c.rtt {
+                RttProfile::Paper => "paper",
+                RttProfile::Narrow => "narrow",
+                RttProfile::Wide => "wide",
+            };
+            let attack = match c.attack {
+                None => "none".to_string(),
+                Some(a) => format!("{}/{}/{}", a.extent_ms, a.rate_mbps, a.gamma_milli),
+            };
+            format!(
+                "topo=dumbbell class={class} base={base} flows={} queue={queue} mice={} \
+                 loss_e4={} rtt={rtt} seed={} warmup_s={} window_s={} attack={attack}",
+                c.n_flows, c.mice_flows, c.loss_e4, c.seed, c.warmup_s, c.window_s
+            )
+        }
+        CaseParams::Topology(c) => {
+            let kind = match c.kind {
+                TopoKind::ParkingLot => "parking-lot",
+                TopoKind::FatTree => "fat-tree",
+            };
+            format!(
+                "topo={kind} groups={} seed={} run_s={} extent_ms={} rate_mbps={} space_ms={}",
+                c.groups, c.seed, c.run_s, c.extent_ms, c.rate_mbps, c.space_ms
+            )
+        }
+    }
+}
+
+/// Parses the output of [`format_case`] back into parameters.
+///
+/// # Errors
+///
+/// Returns a message naming the missing or malformed token.
+pub fn parse_case(line: &str) -> Result<CaseParams, String> {
+    let mut kv = std::collections::HashMap::new();
+    for token in line.split_whitespace() {
+        let (k, v) = token
+            .split_once('=')
+            .ok_or_else(|| format!("malformed token {token:?} (expected key=value)"))?;
+        kv.insert(k, v);
+    }
+    let fetch = |k: &str| -> Result<&str, String> {
+        kv.get(k).copied().ok_or_else(|| format!("missing {k}="))
+    };
+    let int = |k: &str| -> Result<u32, String> {
+        fetch(k)?
+            .parse::<u32>()
+            .map_err(|e| format!("bad {k}: {e}"))
+    };
+    let long = |k: &str| -> Result<u64, String> {
+        fetch(k)?
+            .parse::<u64>()
+            .map_err(|e| format!("bad {k}: {e}"))
+    };
+
+    match fetch("topo")? {
+        "dumbbell" => {
+            let oracle = match fetch("class")? {
+                "oracle" => true,
+                "diverse" => false,
+                other => return Err(format!("bad class: {other:?}")),
+            };
+            let base = match fetch("base")? {
+                "ns2" => BaseScenario::Ns2,
+                "testbed" => BaseScenario::Testbed,
+                other => return Err(format!("bad base: {other:?}")),
+            };
+            let queue = match fetch("queue")? {
+                "red" => QueueKind::Red,
+                "droptail" => QueueKind::DropTail,
+                "accred" => QueueKind::AccRed,
+                other => return Err(format!("bad queue: {other:?}")),
+            };
+            let rtt = match fetch("rtt")? {
+                "paper" => RttProfile::Paper,
+                "narrow" => RttProfile::Narrow,
+                "wide" => RttProfile::Wide,
+                other => return Err(format!("bad rtt: {other:?}")),
+            };
+            let attack = match fetch("attack")? {
+                "none" => None,
+                spec => {
+                    let parts: Vec<&str> = spec.split('/').collect();
+                    let [e, r, g] = parts.as_slice() else {
+                        return Err(format!("bad attack: {spec:?} (want e/r/g)"));
+                    };
+                    Some(AttackParams {
+                        extent_ms: e.parse().map_err(|x| format!("bad extent: {x}"))?,
+                        rate_mbps: r.parse().map_err(|x| format!("bad rate: {x}"))?,
+                        gamma_milli: g.parse().map_err(|x| format!("bad gamma: {x}"))?,
+                    })
+                }
+            };
+            Ok(CaseParams::Dumbbell(DumbbellCase {
+                oracle,
+                base,
+                n_flows: int("flows")?,
+                queue,
+                mice_flows: int("mice")?,
+                loss_e4: int("loss_e4")?,
+                rtt,
+                seed: long("seed")?,
+                warmup_s: int("warmup_s")?,
+                window_s: int("window_s")?,
+                attack,
+            }))
+        }
+        kind @ ("parking-lot" | "fat-tree") => Ok(CaseParams::Topology(TopologyCase {
+            kind: if kind == "parking-lot" {
+                TopoKind::ParkingLot
+            } else {
+                TopoKind::FatTree
+            },
+            groups: int("groups")?,
+            seed: long("seed")?,
+            run_s: int("run_s")?,
+            extent_ms: int("extent_ms")?,
+            rate_mbps: int("rate_mbps")?,
+            space_ms: int("space_ms")?,
+        })),
+        other => Err(format!("bad topo: {other:?}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_dumbbell() -> CaseParams {
+        CaseParams::Dumbbell(DumbbellCase {
+            oracle: false,
+            base: BaseScenario::Ns2,
+            n_flows: 5,
+            queue: QueueKind::DropTail,
+            mice_flows: 2,
+            loss_e4: 20,
+            rtt: RttProfile::Wide,
+            seed: 0xDEAD_BEEF,
+            warmup_s: 3,
+            window_s: 6,
+            attack: Some(AttackParams {
+                extent_ms: 75,
+                rate_mbps: 32,
+                gamma_milli: 413,
+            }),
+        })
+    }
+
+    #[test]
+    fn case_text_round_trips_exactly() {
+        let cases = [
+            sample_dumbbell(),
+            CaseParams::Dumbbell(DumbbellCase {
+                oracle: true,
+                base: BaseScenario::Ns2,
+                n_flows: 4,
+                queue: QueueKind::Red,
+                mice_flows: 0,
+                loss_e4: 0,
+                rtt: RttProfile::Paper,
+                seed: 1,
+                warmup_s: 4,
+                window_s: 8,
+                attack: None,
+            }),
+            CaseParams::Topology(TopologyCase {
+                kind: TopoKind::FatTree,
+                groups: 2,
+                seed: 99,
+                run_s: 16,
+                extent_ms: 50,
+                rate_mbps: 25,
+                space_ms: 450,
+            }),
+        ];
+        for c in &cases {
+            let line = format_case(c);
+            let back = parse_case(&line).expect("round trip parses");
+            assert_eq!(&back, c, "line: {line}");
+            assert_eq!(format_case(&back), line, "stable re-serialization");
+        }
+    }
+
+    #[test]
+    fn parse_rejects_malformed_lines() {
+        assert!(parse_case("topo=dumbbell").is_err(), "missing fields");
+        assert!(parse_case("topo=moebius groups=1").is_err(), "bad shape");
+        assert!(parse_case("garbage").is_err(), "no key=value");
+        let line = format_case(&sample_dumbbell()).replace("flows=5", "flows=x");
+        assert!(parse_case(&line).is_err(), "non-integer field");
+    }
+
+    #[test]
+    fn dumbbell_case_expands_to_a_buildable_scenario() {
+        let CaseParams::Dumbbell(c) = sample_dumbbell() else {
+            unreachable!()
+        };
+        let scenario = c.scenario();
+        assert_eq!(scenario.n_flows, 5);
+        assert_eq!(scenario.mice_flows, 2);
+        assert_eq!(scenario.seed, 0xDEAD_BEEF);
+        assert!((scenario.bottleneck_loss - 0.002).abs() < 1e-12);
+        // The expansion must satisfy the topology builder's constraints.
+        let bench = scenario.build().expect("case expands to a valid topology");
+        assert_eq!(bench.flows.len(), 5);
+        let spec = c.spec("fuzz/test/c0");
+        assert!(spec.checks, "fuzz cases always audit invariants");
+        assert!(spec.trace_bin.is_some(), "fuzz cases always trace");
+        assert_eq!(c.sim_secs(), 9);
+    }
+
+    #[test]
+    fn rtt_profiles_respect_builder_bounds() {
+        // Every profile × base must expand to a buildable scenario even
+        // at the extremes the generator can draw.
+        for rtt in [RttProfile::Paper, RttProfile::Narrow, RttProfile::Wide] {
+            for base in [BaseScenario::Ns2, BaseScenario::Testbed] {
+                let c = DumbbellCase {
+                    oracle: false,
+                    base,
+                    n_flows: 2,
+                    queue: QueueKind::Red,
+                    mice_flows: 0,
+                    loss_e4: 0,
+                    rtt,
+                    seed: 7,
+                    warmup_s: 2,
+                    window_s: 4,
+                    attack: None,
+                };
+                c.scenario().build().expect("profile builds");
+            }
+        }
+    }
+}

@@ -1,0 +1,316 @@
+//! The deterministic scenario generator: a seeded stream of case
+//! *families*, each a group of cases sharing one warm-up prefix.
+//!
+//! Generation is a pure function of `(master_seed, n_cases)` — the RNG
+//! is consumed in one fixed order, so the same inputs always produce the
+//! same families, ids and parameters, on any machine and worker count.
+//! The budget pass ([`truncate_to_budget`]) runs *after* generation and
+//! drops whole families from the end, so a budgeted campaign is always a
+//! prefix of the unbudgeted one — a nightly run strictly extends the PR
+//! smoke slice for the same seed.
+
+use crate::case::{
+    AttackParams, BaseScenario, CaseParams, DumbbellCase, FuzzCase, QueueKind, RttProfile,
+    TopoKind, TopologyCase,
+};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A group of cases sharing one scenario (dumbbell families) or a single
+/// direct-substrate topology case.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Family {
+    /// The family's cases, in draw order.
+    pub cases: Vec<FuzzCase>,
+}
+
+impl Family {
+    /// Whether this family runs through the sweep runner (dumbbell) as
+    /// opposed to the direct topology harness.
+    pub fn is_dumbbell(&self) -> bool {
+        matches!(
+            self.cases.first().map(|c| &c.params),
+            Some(CaseParams::Dumbbell(_))
+        )
+    }
+
+    /// Simulated seconds this family costs (the budget unit): the sum of
+    /// its cases' warm-up + window (or run) lengths.
+    pub fn sim_secs(&self) -> u64 {
+        self.cases.iter().map(|c| c.params.sim_secs()).sum()
+    }
+}
+
+/// The pulse widths the generator samples (the paper's §4.1 values).
+const EXTENTS_MS: [u32; 3] = [50, 75, 100];
+
+fn draw_attack(rng: &mut SmallRng, rate_lo: u32, rate_hi: u32) -> AttackParams {
+    AttackParams {
+        extent_ms: EXTENTS_MS[rng.random_range(0usize..EXTENTS_MS.len())],
+        rate_mbps: rng.random_range(rate_lo..=rate_hi),
+        gamma_milli: rng.random_range(100u32..=900),
+    }
+}
+
+fn draw_seed(rng: &mut SmallRng) -> u64 {
+    rng.random_range(1u64..(1 << 62))
+}
+
+/// An oracle-envelope family: the exact scenario/attack distribution the
+/// differential oracle validates (ns-2 base, RED, pure elephants, 4 s /
+/// 8 s windows, ≥ 25 Mbps pulses so no draw is infeasible), so every
+/// case is held to the tolerance bands.
+fn draw_oracle_family(rng: &mut SmallRng, fam: usize) -> Family {
+    let template = DumbbellCase {
+        oracle: true,
+        base: BaseScenario::Ns2,
+        n_flows: rng.random_range(3u32..=8),
+        queue: QueueKind::Red,
+        mice_flows: 0,
+        loss_e4: 0,
+        rtt: RttProfile::Paper,
+        seed: draw_seed(rng),
+        warmup_s: 4,
+        window_s: 8,
+        attack: None,
+    };
+    let n_points = rng.random_range(2u32..=3);
+    let cases = (0..n_points)
+        .map(|i| {
+            let mut c = template.clone();
+            c.attack = Some(draw_attack(rng, 25, 40));
+            FuzzCase {
+                id: format!("fuzz/{fam:04}/c{i}"),
+                params: CaseParams::Dumbbell(c),
+            }
+        })
+        .collect();
+    Family { cases }
+}
+
+/// A diverse dumbbell family: both bases, all three queue disciplines,
+/// mice, ambient loss and off-distribution RTT spreads. Held to the
+/// identity/range/invariant checks but not the oracle bands (the bands
+/// were tuned on the oracle envelope only). Pulse rates stay ≥ 20 Mbps —
+/// above both bases' bottlenecks — so γ ≤ 0.9 is never infeasible.
+fn draw_diverse_family(rng: &mut SmallRng, fam: usize) -> Family {
+    let base = if rng.random_range(0u32..4) == 0 {
+        BaseScenario::Testbed
+    } else {
+        BaseScenario::Ns2
+    };
+    let n_flows = rng.random_range(2u32..=10);
+    let template = DumbbellCase {
+        oracle: false,
+        base,
+        n_flows,
+        queue: match rng.random_range(0u32..3) {
+            0 => QueueKind::Red,
+            1 => QueueKind::DropTail,
+            _ => QueueKind::AccRed,
+        },
+        mice_flows: rng.random_range(0..=n_flows.min(4)),
+        loss_e4: if rng.random_range(0u32..4) == 0 {
+            rng.random_range(10u32..=50)
+        } else {
+            0
+        },
+        rtt: match rng.random_range(0u32..3) {
+            0 => RttProfile::Paper,
+            1 => RttProfile::Narrow,
+            _ => RttProfile::Wide,
+        },
+        seed: draw_seed(rng),
+        warmup_s: rng.random_range(2u32..=4),
+        window_s: rng.random_range(4u32..=8),
+        attack: None,
+    };
+    let n_attacked = rng.random_range(1u32..=2);
+    let benign = rng.random_range(0u32..3) == 0;
+    let mut cases = Vec::new();
+    for i in 0..n_attacked {
+        let mut c = template.clone();
+        c.attack = Some(draw_attack(rng, 20, 40));
+        cases.push(FuzzCase {
+            id: format!("fuzz/{fam:04}/c{i}"),
+            params: CaseParams::Dumbbell(c),
+        });
+    }
+    if benign {
+        cases.push(FuzzCase {
+            id: format!("fuzz/{fam:04}/c{n_attacked}"),
+            params: CaseParams::Dumbbell(template),
+        });
+    }
+    Family { cases }
+}
+
+fn draw_topology_family(rng: &mut SmallRng, fam: usize, kind: TopoKind) -> Family {
+    let case = TopologyCase {
+        kind,
+        groups: rng.random_range(1u32..=3),
+        seed: draw_seed(rng),
+        run_s: rng.random_range(14u32..=20),
+        extent_ms: EXTENTS_MS[rng.random_range(0usize..EXTENTS_MS.len())],
+        rate_mbps: rng.random_range(20u32..=40),
+        space_ms: rng.random_range(250u32..=550),
+    };
+    Family {
+        cases: vec![FuzzCase {
+            id: format!("fuzz/{fam:04}/c0"),
+            params: CaseParams::Topology(case),
+        }],
+    }
+}
+
+/// Generates families until at least `n_cases` cases exist (whole
+/// families only, so the count can slightly exceed the request). The
+/// class mix is drawn per family: half oracle-envelope dumbbells, three
+/// tenths diverse dumbbells, one tenth each parking-lot and fat-tree.
+pub fn generate(master_seed: u64, n_cases: usize) -> Vec<Family> {
+    let mut rng = SmallRng::seed_from_u64(master_seed);
+    let mut families = Vec::new();
+    let mut total = 0usize;
+    while total < n_cases.max(1) {
+        let fam = families.len();
+        let family = match rng.random_range(0u32..10) {
+            0..=4 => draw_oracle_family(&mut rng, fam),
+            5..=7 => draw_diverse_family(&mut rng, fam),
+            8 => draw_topology_family(&mut rng, fam, TopoKind::ParkingLot),
+            _ => draw_topology_family(&mut rng, fam, TopoKind::FatTree),
+        };
+        total += family.cases.len();
+        families.push(family);
+    }
+    families
+}
+
+/// What the budget pass decided.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BudgetPlan {
+    /// Simulated seconds the full generated set would cost.
+    pub planned_sim_secs: u64,
+    /// Simulated seconds of the kept prefix.
+    pub kept_sim_secs: u64,
+    /// Whether any family was dropped.
+    pub truncated: bool,
+}
+
+/// Truncates `families` to `budget_sim_secs` *simulated* seconds by
+/// dropping whole families from the end (never the first — a campaign
+/// always runs at least one family). `0` means uncapped. The unit is
+/// simulated time, not wall-clock: it is machine-independent, so the
+/// same seed and budget keep the same cases everywhere.
+pub fn truncate_to_budget(families: &mut Vec<Family>, budget_sim_secs: u64) -> BudgetPlan {
+    let planned: u64 = families.iter().map(Family::sim_secs).sum();
+    let mut kept = planned;
+    let mut truncated = false;
+    if budget_sim_secs > 0 {
+        while kept > budget_sim_secs && families.len() > 1 {
+            let dropped = families.pop().expect("len > 1").sim_secs();
+            kept -= dropped;
+            truncated = true;
+        }
+    }
+    BudgetPlan {
+        planned_sim_secs: planned,
+        kept_sim_secs: kept,
+        truncated,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = generate(42, 30);
+        let b = generate(42, 30);
+        assert_eq!(a, b);
+        let c = generate(43, 30);
+        assert_ne!(a, c, "master seed shapes the draw");
+    }
+
+    #[test]
+    fn generation_covers_the_request_with_unique_ids() {
+        let families = generate(7, 25);
+        let cases: Vec<&FuzzCase> = families.iter().flat_map(|f| &f.cases).collect();
+        assert!(cases.len() >= 25);
+        let mut ids: Vec<&str> = cases.iter().map(|c| c.id.as_str()).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), cases.len(), "ids are unique");
+        assert!(!generate(7, 0).is_empty(), "at least one family always");
+    }
+
+    #[test]
+    fn families_share_one_scenario() {
+        // Every dumbbell family's cases differ only in the attack point —
+        // that is what lets the runner warm up the family's prefix once.
+        for family in generate(3, 60) {
+            if !family.is_dumbbell() {
+                continue;
+            }
+            let strip = |p: &CaseParams| match p {
+                CaseParams::Dumbbell(c) => {
+                    let mut c = c.clone();
+                    c.attack = None;
+                    c
+                }
+                CaseParams::Topology(_) => unreachable!(),
+            };
+            let first = strip(&family.cases[0].params);
+            for case in &family.cases[1..] {
+                assert_eq!(strip(&case.params), first, "family shares a scenario");
+            }
+        }
+    }
+
+    #[test]
+    fn generated_classes_all_appear_and_expand() {
+        let families = generate(11, 120);
+        let mut seen = std::collections::HashSet::new();
+        for f in &families {
+            for case in &f.cases {
+                seen.insert(case.params.kind_tag());
+                // Every generated dumbbell must expand to a buildable
+                // scenario (profile bounds, mice counts, loss ranges).
+                if let CaseParams::Dumbbell(c) = &case.params {
+                    c.scenario().build().expect("generated case builds");
+                    if c.oracle {
+                        assert_eq!((c.warmup_s, c.window_s), (4, 8));
+                        assert!(c.mice_flows == 0 && c.loss_e4 == 0);
+                    }
+                }
+            }
+        }
+        for tag in ["oracle", "diverse", "parking-lot", "fat-tree"] {
+            assert!(seen.contains(tag), "missing class {tag} in {seen:?}");
+        }
+    }
+
+    #[test]
+    fn budget_drops_whole_families_from_the_end() {
+        let full = generate(9, 40);
+        let planned: u64 = full.iter().map(Family::sim_secs).sum();
+        let mut capped = full.clone();
+        let plan = truncate_to_budget(&mut capped, planned / 2);
+        assert!(plan.truncated);
+        assert_eq!(plan.planned_sim_secs, planned);
+        assert!(plan.kept_sim_secs <= planned / 2);
+        assert_eq!(capped[..], full[..capped.len()], "kept set is a prefix");
+
+        // Uncapped: nothing dropped.
+        let mut free = full.clone();
+        let plan = truncate_to_budget(&mut free, 0);
+        assert!(!plan.truncated);
+        assert_eq!(free, full);
+
+        // A budget below the first family still keeps one family.
+        let mut floor = full.clone();
+        let plan = truncate_to_budget(&mut floor, 1);
+        assert_eq!(floor.len(), 1);
+        assert!(plan.truncated);
+    }
+}

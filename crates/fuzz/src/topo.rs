@@ -1,0 +1,301 @@
+//! Direct-substrate topology cases: parking-lot chains and small
+//! fat-trees built straight on `pdos-sim`, attacked with a pulse train,
+//! and audited for the invariants the gain protocol never checks on
+//! these shapes — routing totality, link-level packet conservation, and
+//! the runtime checkers.
+//!
+//! Everything here is single-threaded and seeded, so a
+//! [`TopologyCase`] replays bit-identically from its drawn parameters.
+
+use crate::case::{TopoKind, TopologyCase};
+use pdos_attack::pulse::PulseTrain;
+use pdos_attack::source::PulseSource;
+use pdos_sim::engine::Simulator;
+use pdos_sim::link::LinkId;
+use pdos_sim::node::NodeId;
+use pdos_sim::packet::FlowId;
+use pdos_sim::queue::{QueueSpec, RedConfig};
+use pdos_sim::time::{SimDuration, SimTime};
+use pdos_sim::topology::TopologyBuilder;
+use pdos_sim::trace::TraceFilter;
+use pdos_sim::units::{BitsPerSec, Bytes};
+use pdos_tcp::config::TcpConfig;
+use pdos_tcp::sender::TcpSender;
+use pdos_tcp::sink::TcpSink;
+
+/// What one topology run observed.
+#[derive(Debug, Clone)]
+pub struct TopoOutcome {
+    /// Aggregate sink goodput over the whole run, bytes.
+    pub goodput_bytes: u64,
+    /// Bottleneck ingress bytes in 100 ms bins (the digest input).
+    pub bins: Vec<u64>,
+    /// Runtime-checker violations recorded by the engine.
+    pub violations: usize,
+    /// The first violation, rendered, when any fired.
+    pub first_violation: Option<String>,
+    /// Packets dropped for lack of a route (must be 0 on these shapes).
+    pub routeless: u64,
+    /// Whether link-level packet conservation held across every link.
+    pub conserved: bool,
+}
+
+/// The wired simulator for one topology case, before running.
+struct Wired {
+    sim: Simulator,
+    bottleneck: LinkId,
+    sinks: Vec<pdos_sim::agent::AgentId>,
+    attacker: NodeId,
+    attack_sink: NodeId,
+}
+
+const BOTTLENECK_MBPS: f64 = 15.0;
+
+fn red_queue() -> QueueSpec {
+    let mut cfg = RedConfig::paper_testbed(60);
+    cfg.mean_packet_size = Bytes::from_u64(1040);
+    QueueSpec::Red(cfg)
+}
+
+fn ample() -> QueueSpec {
+    QueueSpec::DropTail { capacity: 10_000 }
+}
+
+/// Wires a host pair onto `(src_router, dst_router)` and returns it.
+fn add_pair(
+    t: &mut TopologyBuilder,
+    src_router: NodeId,
+    dst_router: NodeId,
+    tag: &str,
+    i: usize,
+) -> (NodeId, NodeId) {
+    let access = BitsPerSec::from_mbps(50.0);
+    let src = t.add_host(format!("{tag}-src{i}"));
+    let dst = t.add_host(format!("{tag}-dst{i}"));
+    t.add_duplex_link(
+        src,
+        src_router,
+        access,
+        SimDuration::from_millis(2),
+        ample(),
+    );
+    t.add_duplex_link(
+        dst,
+        dst_router,
+        access,
+        SimDuration::from_millis(2),
+        ample(),
+    );
+    (src, dst)
+}
+
+/// Three routers in a chain, two RED bottleneck hops; flow groups long
+/// (r1→r3), right (r2→r3) and left (r1→r2), `groups` pairs each. The
+/// attack targets the middle hop r2→r3.
+fn build_parking_lot(case: &TopologyCase) -> Wired {
+    let mut t = TopologyBuilder::with_seed(case.seed);
+    let r1 = t.add_router("r1");
+    let r2 = t.add_router("r2");
+    let r3 = t.add_router("r3");
+    let bottleneck = BitsPerSec::from_mbps(BOTTLENECK_MBPS);
+    let d = SimDuration::from_millis(5);
+
+    t.add_link(r1, r2, bottleneck, d, red_queue());
+    t.add_link(r2, r1, bottleneck, d, ample());
+    let middle = t.add_link(r2, r3, bottleneck, d, red_queue());
+    t.add_link(r3, r2, bottleneck, d, ample());
+
+    let mut pairs = Vec::new();
+    for i in 0..case.groups as usize {
+        pairs.push(add_pair(&mut t, r1, r3, "long", i));
+        pairs.push(add_pair(&mut t, r2, r3, "right", i));
+        pairs.push(add_pair(&mut t, r1, r2, "left", i));
+    }
+    let (attacker, attack_sink) = attach_attack_hosts(&mut t, r2, r3);
+
+    let mut sim = t.build().expect("parking lot builds");
+    let sinks = wire_flows(&mut sim, &pairs);
+    Wired {
+        sim,
+        bottleneck: middle,
+        sinks,
+        attacker,
+        attack_sink,
+    }
+}
+
+/// Two aggregation cores joined by one RED bottleneck, `groups` leaf
+/// switches per side, two hosts per leaf; every flow crosses the core
+/// link left→right. The attack targets the core bottleneck.
+fn build_fat_tree(case: &TopologyCase) -> Wired {
+    let mut t = TopologyBuilder::with_seed(case.seed);
+    let c0 = t.add_router("c0");
+    let c1 = t.add_router("c1");
+    let core = BitsPerSec::from_mbps(BOTTLENECK_MBPS);
+    let uplink = BitsPerSec::from_mbps(50.0);
+    let d = SimDuration::from_millis(5);
+
+    let bottleneck = t.add_link(c0, c1, core, d, red_queue());
+    t.add_link(c1, c0, core, d, ample());
+
+    let mut pairs = Vec::new();
+    for l in 0..case.groups as usize {
+        let left = t.add_router(format!("leaf-l{l}"));
+        let right = t.add_router(format!("leaf-r{l}"));
+        t.add_duplex_link(left, c0, uplink, SimDuration::from_millis(2), ample());
+        t.add_duplex_link(right, c1, uplink, SimDuration::from_millis(2), ample());
+        for h in 0..2 {
+            pairs.push(add_pair(&mut t, left, right, &format!("pod{l}"), h));
+        }
+    }
+    let (attacker, attack_sink) = attach_attack_hosts(&mut t, c0, c1);
+
+    let mut sim = t.build().expect("fat tree builds");
+    let sinks = wire_flows(&mut sim, &pairs);
+    Wired {
+        sim,
+        bottleneck,
+        sinks,
+        attacker,
+        attack_sink,
+    }
+}
+
+fn attach_attack_hosts(t: &mut TopologyBuilder, near: NodeId, far: NodeId) -> (NodeId, NodeId) {
+    let fast = BitsPerSec::from_mbps(1000.0);
+    let attacker = t.add_host("attacker");
+    let attack_sink = t.add_host("attack-sink");
+    t.add_duplex_link(attacker, near, fast, SimDuration::from_millis(1), ample());
+    t.add_duplex_link(attack_sink, far, fast, SimDuration::from_millis(1), ample());
+    (attacker, attack_sink)
+}
+
+fn wire_flows(sim: &mut Simulator, pairs: &[(NodeId, NodeId)]) -> Vec<pdos_sim::agent::AgentId> {
+    let cfg = TcpConfig::ns2_newreno();
+    let mut sinks = Vec::with_capacity(pairs.len());
+    for (i, &(src, dst)) in pairs.iter().enumerate() {
+        let flow = FlowId::from_u32(i as u32);
+        let start = SimTime::from_millis(53 * i as u64);
+        let tx = sim.attach_agent_at(src, Box::new(TcpSender::new(cfg.clone(), flow, dst)), start);
+        let rx = sim.attach_agent(dst, Box::new(TcpSink::new(cfg.clone(), flow, src)));
+        sim.bind_flow(src, flow, tx);
+        sim.bind_flow(dst, flow, rx);
+        sinks.push(rx);
+    }
+    sinks
+}
+
+/// Builds, attacks and runs one topology case with the runtime checkers
+/// and a 100 ms bottleneck ingress trace, then audits the outcome.
+pub fn run_topology(case: &TopologyCase) -> TopoOutcome {
+    let mut w = match case.kind {
+        TopoKind::ParkingLot => build_parking_lot(case),
+        TopoKind::FatTree => build_fat_tree(case),
+    };
+    w.sim.enable_checks();
+    let trace = w.sim.trace_link_ingress(
+        w.bottleneck,
+        TraceFilter::All,
+        SimDuration::from_millis(100),
+    );
+
+    // The attack starts a third of the way in, after TCP has converged.
+    let train = PulseTrain::new(
+        SimDuration::from_millis(u64::from(case.extent_ms)),
+        BitsPerSec::from_mbps(f64::from(case.rate_mbps)),
+        SimDuration::from_millis(u64::from(case.space_ms)),
+    )
+    .expect("generator draws positive pulse parameters");
+    let src = Box::new(PulseSource::new(
+        train,
+        FlowId::from_u32(9999),
+        w.attack_sink,
+        Bytes::from_u64(1000),
+        None,
+    ));
+    let attack_start = SimTime::from_secs(u64::from(case.run_s) / 3);
+    w.sim.attach_agent_at(w.attacker, src, attack_start);
+
+    w.sim.run_until(SimTime::from_secs(u64::from(case.run_s)));
+
+    let goodput_bytes = w
+        .sinks
+        .iter()
+        .map(|&rx| {
+            w.sim
+                .agent_as::<TcpSink>(rx)
+                .expect("sink agent")
+                .goodput_bytes()
+        })
+        .sum();
+
+    // Link-level conservation: offered = tx + dropped + backlog, give or
+    // take one in-flight packet per link (the random-topology suite's
+    // bound).
+    let mut offered = 0u64;
+    let mut accounted = 0u64;
+    for link in w.sim.links() {
+        offered += link.stats().offered_packets;
+        accounted += link.stats().tx_packets + link.drops() + link.backlog_packets() as u64;
+    }
+    let slack = w.sim.links().len() as u64;
+    let conserved = offered >= accounted && offered <= accounted + slack;
+
+    TopoOutcome {
+        goodput_bytes,
+        bins: w.sim.trace(trace).bytes_per_bin().to_vec(),
+        violations: w.sim.violations().len(),
+        first_violation: w.sim.violations().first().map(ToString::to_string),
+        routeless: w.sim.stats().routeless,
+        conserved,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_case(kind: TopoKind) -> TopologyCase {
+        TopologyCase {
+            kind,
+            groups: 1,
+            seed: 5,
+            run_s: 9,
+            extent_ms: 75,
+            rate_mbps: 30,
+            space_ms: 425,
+        }
+    }
+
+    #[test]
+    fn parking_lot_runs_clean_and_carries_traffic() {
+        let out = run_topology(&quick_case(TopoKind::ParkingLot));
+        assert_eq!(out.violations, 0, "{:?}", out.first_violation);
+        assert_eq!(out.routeless, 0);
+        assert!(out.conserved);
+        assert!(out.goodput_bytes > 100_000, "got {}", out.goodput_bytes);
+        assert!(!out.bins.is_empty());
+        // The attack is visible in the trace: post-start bins carry more
+        // bytes than the bottleneck alone would (pulse ingress spikes).
+        let peak = out.bins.iter().copied().max().unwrap_or(0);
+        assert!(peak > 0);
+    }
+
+    #[test]
+    fn fat_tree_runs_clean_and_carries_traffic() {
+        let out = run_topology(&quick_case(TopoKind::FatTree));
+        assert_eq!(out.violations, 0, "{:?}", out.first_violation);
+        assert_eq!(out.routeless, 0);
+        assert!(out.conserved);
+        assert!(out.goodput_bytes > 100_000, "got {}", out.goodput_bytes);
+    }
+
+    #[test]
+    fn topology_runs_are_deterministic() {
+        let case = quick_case(TopoKind::ParkingLot);
+        let a = run_topology(&case);
+        let b = run_topology(&case);
+        assert_eq!(a.goodput_bytes, b.goodput_bytes);
+        assert_eq!(a.bins, b.bins);
+    }
+}

@@ -85,6 +85,27 @@ impl From<pdos_sim::topology::BuildError> for ExperimentError {
     }
 }
 
+/// A deliberately injected, physics-neutral accounting bug used to drill
+/// the verification pipeline end to end (fuzz-campaign self-tests, CI
+/// canaries). Both variants corrupt only the bottleneck link's *counters*
+/// — never the packet flow — so an unchecked run still measures the true
+/// physics, while a checked run must fail with
+/// [`ExperimentError::Invariant`] via the packet-conservation audit.
+///
+/// The fault is applied at the start of the measurement phase, *after*
+/// any warm-start fork, so shared checkpoints stay uncorrupted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SeededFault {
+    /// Inflates the bottleneck's offered-packet counter by one, so the
+    /// conservation audit sees a packet that was offered but never
+    /// transmitted, dropped, or queued.
+    LinkAccounting,
+    /// Zeroes the bottleneck's counters mid-flight (the "checkpoint that
+    /// forgot the stats" bug from the warm-start drills): transmitted
+    /// packets then outnumber offered ones.
+    OmitLinkStats,
+}
+
 /// One measured point of a gain figure.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct GainPoint {
@@ -184,6 +205,7 @@ pub struct GainExperiment {
     class_margin: f64,
     checks: bool,
     metrics: bool,
+    fault: Option<SeededFault>,
 }
 
 impl GainExperiment {
@@ -198,6 +220,7 @@ impl GainExperiment {
             class_margin: 0.12,
             checks: false,
             metrics: false,
+            fault: None,
         }
     }
 
@@ -242,6 +265,25 @@ impl GainExperiment {
     pub fn metrics(mut self, enabled: bool) -> Self {
         self.metrics = enabled;
         self
+    }
+
+    /// Injects `fault` into the measurement phase of every run this
+    /// experiment performs (see [`SeededFault`]). `None` clears it.
+    pub fn fault(mut self, fault: Option<SeededFault>) -> Self {
+        self.fault = fault;
+        self
+    }
+
+    /// Applies the configured fault to a bench about to be measured. Runs
+    /// after forking, so a shared [`WarmStart`] is never corrupted.
+    fn inject_fault(&self, bench: &mut crate::bench::Testbench) {
+        let Some(fault) = self.fault else { return };
+        let link = bench.bottleneck;
+        let link = bench.sim.link_mut_for_test(link);
+        match fault {
+            SeededFault::LinkAccounting => link.corrupt_accounting_for_test(),
+            SeededFault::OmitLinkStats => link.reset_stats_for_test(),
+        }
     }
 
     fn audit(&self, bench: &crate::bench::Testbench) -> Result<(), ExperimentError> {
@@ -415,6 +457,7 @@ impl GainExperiment {
         mut bench: crate::bench::Testbench,
         trace: Option<(pdos_sim::trace::TraceId, SimDuration)>,
     ) -> Result<(u64, Vec<u64>, Option<pdos_metrics::MetricsSnapshot>), ExperimentError> {
+        self.inject_fault(&mut bench);
         let before = bench.goodput_bytes();
         bench.run_until(self.end());
         self.audit(&bench)?;
@@ -573,6 +616,7 @@ impl GainExperiment {
         gamma: f64,
         baseline_bytes: u64,
     ) -> Result<(GainPoint, Vec<u64>, Option<pdos_metrics::MetricsSnapshot>), ExperimentError> {
+        self.inject_fault(&mut bench);
         bench.attach_pulse_attack(train, SimTime::ZERO + self.warmup, None);
         let before = bench.goodput_bytes();
         let fr_before = bench.total_fast_recoveries();
@@ -1042,6 +1086,27 @@ mod tests {
         assert_eq!(fast, bench.total_fast_recoveries());
         assert_eq!(goodput, bench.goodput_bytes());
         assert!(goodput > 0, "flows must have delivered data");
+    }
+
+    #[test]
+    fn seeded_faults_are_physics_neutral_and_caught_by_checks() {
+        let exp = quick_experiment(3).window(SimDuration::from_secs(8));
+        let baseline = exp.baseline_bytes().unwrap();
+        let clean = exp.run_point(0.1, 30e6, 0.4, baseline).unwrap();
+        for fault in [SeededFault::LinkAccounting, SeededFault::OmitLinkStats] {
+            // Counters-only corruption: the unchecked measurement is
+            // bit-identical to a clean run...
+            let faulted = exp.clone().fault(Some(fault));
+            let p = faulted.run_point(0.1, 30e6, 0.4, baseline).unwrap();
+            assert_eq!(p, clean, "{fault:?} must not perturb physics");
+            // ...and the checked one must fail the conservation audit.
+            let checked = faulted.checks(true);
+            let err = checked.run_point(0.1, 30e6, 0.4, baseline).unwrap_err();
+            assert!(
+                matches!(err, ExperimentError::Invariant(_)),
+                "{fault:?}: expected Invariant, got {err:?}"
+            );
+        }
     }
 
     #[test]

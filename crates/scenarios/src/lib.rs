@@ -48,7 +48,7 @@ pub mod prelude {
     pub use crate::classify::GainClass;
     pub use crate::experiment::{
         gamma_grid, optimal_pulse_train, ExperimentError, GainExperiment, GainPoint, GainSweep,
-        SeedStats,
+        SeedStats, SeededFault,
     };
     pub use crate::figures::{gain_figure_specs, roc_specs, FigureGrid, GainFigure};
     pub use crate::runner::{

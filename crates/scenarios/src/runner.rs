@@ -31,7 +31,7 @@
 //! serial protocol — and because a baseline is a pure function of the
 //! scenario, memoization cannot perturb determinism.
 
-use crate::experiment::{ExperimentError, GainExperiment, GainPoint, WarmStart};
+use crate::experiment::{ExperimentError, GainExperiment, GainPoint, SeededFault, WarmStart};
 use crate::spec::ScenarioSpec;
 use pdos_analysis::gain::RiskPreference;
 use pdos_sim::time::SimDuration;
@@ -82,6 +82,14 @@ pub struct ExperimentSpec {
     /// deliberately **not** part of [`ExperimentSpec::stable_hash`] —
     /// observing a run must not change its seed or its physics.
     pub metrics: bool,
+    /// Deliberately inject a known physics bug into the measurement phase
+    /// (fuzz-campaign self-test drills; see [`SeededFault`]). Applied
+    /// *after* the warm-up fork, so checkpoints stay uncorrupted and
+    /// shareable. Excluded from [`ExperimentSpec::stable_hash`] and
+    /// [`ExperimentSpec::prefix_hash`] (it must not re-seed or re-warm
+    /// anything), but folded into the baseline memo key so a faulted
+    /// baseline can never be served to an unfaulted run.
+    pub fault: Option<SeededFault>,
 }
 
 impl ExperimentSpec {
@@ -102,6 +110,7 @@ impl ExperimentSpec {
             kappa: 1.0,
             checks: false,
             metrics: false,
+            fault: None,
         }
     }
 
@@ -117,6 +126,7 @@ impl ExperimentSpec {
             kappa: 1.0,
             checks: false,
             metrics: false,
+            fault: None,
         }
     }
 
@@ -156,6 +166,15 @@ impl ExperimentSpec {
     #[must_use]
     pub fn metered(mut self) -> ExperimentSpec {
         self.metrics = true;
+        self
+    }
+
+    /// Injects `fault` into the measurement phase of this run (fuzz-drill
+    /// seam). Hash-neutral: a faulted spec keeps its seed and warm-up
+    /// prefix; only the measured physics are (deliberately) corrupted.
+    #[must_use]
+    pub fn faulted(mut self, fault: SeededFault) -> ExperimentSpec {
+        self.fault = Some(fault);
         self
     }
 
@@ -407,6 +426,18 @@ pub struct SweepReport {
     pub seed_policy: SeedPolicy,
     /// Per-run records, in the order the specs were given.
     pub records: Vec<RunRecord>,
+    /// Warm-up prefixes actually simulated (cold starts): how many times a
+    /// shared prefix had to be simulated from `t = 0`. With warm-starting
+    /// on and no LRU evictions this equals the number of distinct
+    /// [`ExperimentSpec::prefix_hash`] values; without it this is `0`
+    /// (every run pays its own cold warm-up instead). Not part of
+    /// [`SweepReport::results_json`] — it is a cache statistic, not a
+    /// physics result.
+    pub warmups: usize,
+    /// Runs that resumed from a forked checkpoint instead of cold-starting
+    /// (attacked measurements, memoized baseline measurements and benign
+    /// runs each count once). Not part of [`SweepReport::results_json`].
+    pub forked_runs: usize,
     /// End-to-end wall-clock time of the sweep.
     pub wall: Duration,
 }
@@ -479,12 +510,15 @@ impl SweepReport {
         let _ = write!(
             s,
             "{{\"master_seed\":{},\"jobs\":{},\"seed_policy\":\"{}\",\
-             \"n_runs\":{},\"wall_secs\":{},\"cpu_secs\":{},\"runs_per_sec\":{},\
+             \"n_runs\":{},\"warmups\":{},\"forked_runs\":{},\
+             \"wall_secs\":{},\"cpu_secs\":{},\"runs_per_sec\":{},\
              \"speedup\":{},\"run_wall_secs\":[",
             self.master_seed,
             self.jobs,
             policy,
             self.records.len(),
+            self.warmups,
+            self.forked_runs,
             self.wall.as_secs_f64(),
             self.cpu_time().as_secs_f64(),
             self.runs_per_sec(),
@@ -553,20 +587,32 @@ impl CheckpointCache {
     /// The warmed-up cell for `key`, simulating the shared prefix on first
     /// use. A failed warm-up (un-checkpointable state) is memoized too, so
     /// every run of that prefix falls back to cold exactly once per sweep.
+    /// Each actual warm-up simulation (the `OnceLock` closure firing)
+    /// bumps `stats.warmups` — the sweep's cold-start count.
     fn get_or_warm(
         &self,
         key: u64,
         exp: &GainExperiment,
         trace_bin: Option<SimDuration>,
+        stats: &WarmStats,
     ) -> WarmCell {
         let cell = self.cell(key);
         cell.get_or_init(|| {
+            stats.warmups.fetch_add(1, Ordering::Relaxed);
             exp.warm_start(trace_bin)
                 .map(Mutex::new)
                 .map_err(|e| e.to_string())
         });
         cell
     }
+}
+
+/// Shared warm-start accounting for one sweep: how many cold prefix
+/// warm-ups ran and how many runs resumed from a forked checkpoint.
+#[derive(Default)]
+struct WarmStats {
+    warmups: AtomicUsize,
+    forked_runs: AtomicUsize,
 }
 
 /// The usable warm start inside a warmed cell, or `None` when the warm-up
@@ -685,6 +731,7 @@ impl SweepRunner {
         let jobs = self.effective_jobs().max(1).min(specs.len().max(1));
         let cache = BaselineCache::default();
         let warm_cache = CheckpointCache::new(self.checkpoint_capacity);
+        let stats = WarmStats::default();
         let next = AtomicUsize::new(0);
         let slots: Vec<OnceLock<RunRecord>> = specs.iter().map(|_| OnceLock::new()).collect();
 
@@ -694,7 +741,7 @@ impl SweepRunner {
                 scope.spawn(|| loop {
                     let i = next.fetch_add(1, Ordering::Relaxed);
                     let Some(spec) = specs.get(i) else { break };
-                    let record = self.execute_caught(spec, &cache, &warm_cache);
+                    let record = self.execute_caught(spec, &cache, &warm_cache, &stats);
                     slots[i].set(record).expect("slot set twice");
                 });
             }
@@ -709,6 +756,8 @@ impl SweepRunner {
                 .into_iter()
                 .map(|s| s.into_inner().expect("worker filled every slot"))
                 .collect(),
+            warmups: stats.warmups.load(Ordering::Relaxed),
+            forked_runs: stats.forked_runs.load(Ordering::Relaxed),
             wall,
         }
     }
@@ -720,6 +769,7 @@ impl SweepRunner {
             spec,
             &BaselineCache::default(),
             &CheckpointCache::new(self.checkpoint_capacity),
+            &WarmStats::default(),
         )
     }
 
@@ -731,10 +781,11 @@ impl SweepRunner {
         spec: &ExperimentSpec,
         cache: &BaselineCache,
         warm_cache: &CheckpointCache,
+        stats: &WarmStats,
     ) -> RunRecord {
         let started = Instant::now();
         match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            self.execute(spec, cache, warm_cache)
+            self.execute(spec, cache, warm_cache, stats)
         })) {
             Ok(record) => record,
             Err(payload) => {
@@ -768,6 +819,7 @@ impl SweepRunner {
         spec: &ExperimentSpec,
         cache: &BaselineCache,
         warm_cache: &CheckpointCache,
+        stats: &WarmStats,
     ) -> RunRecord {
         let started = Instant::now();
         let run_seed = derive_seed(self.master_seed, spec);
@@ -794,9 +846,15 @@ impl SweepRunner {
             }
         };
         // The baseline key digests the *effective* scenario (post seed
-        // policy) plus the windows, so equal physics share one baseline.
-        let baseline_key =
-            fnv1a64(format!("{:?}|{:?}|{:?}", scenario, spec.warmup, spec.window).as_bytes());
+        // policy) plus the windows — and the fault seam, so a deliberately
+        // corrupted baseline is never shared with a clean run.
+        let baseline_key = fnv1a64(
+            format!(
+                "{:?}|{:?}|{:?}|{:?}",
+                scenario, spec.warmup, spec.window, spec.fault
+            )
+            .as_bytes(),
+        );
         // The prefix key likewise digests the effective scenario, so only
         // runs with equal physics share a warm-start checkpoint.
         let prefix_key = ExperimentSpec::prefix_hash_of(
@@ -811,7 +869,8 @@ impl SweepRunner {
             .window(spec.window)
             .risk(risk)
             .checks(spec.checks)
-            .metrics(spec.metrics);
+            .metrics(spec.metrics)
+            .fault(spec.fault);
 
         // Warm start: simulate the shared prefix once per distinct digest,
         // then fork per run. Forking holds the cell lock only as long as
@@ -821,11 +880,13 @@ impl SweepRunner {
         // either way, warm-starting is purely a wall-clock optimization.
         let warm_cell = self
             .warm_start
-            .then(|| warm_cache.get_or_warm(prefix_key, &exp, spec.trace_bin));
+            .then(|| warm_cache.get_or_warm(prefix_key, &exp, spec.trace_bin, stats));
         let fork = || {
             let cell = warm_cell.as_ref()?;
             let warm = forkable(cell)?.lock().expect("warm start poisoned");
-            Some(exp.fork_run(&warm))
+            let run = exp.fork_run(&warm);
+            stats.forked_runs.fetch_add(1, Ordering::Relaxed);
+            Some(run)
         };
 
         let outcome = match spec.attack {
@@ -1231,6 +1292,60 @@ mod tests {
         expected.merge(report.records[2].metrics.as_ref().unwrap());
         assert_eq!(merged, expected);
         assert!(merged.counter("engine", "pops_packet_tier").unwrap() > 0);
+    }
+
+    #[test]
+    fn warm_start_counters_reflect_amortization() {
+        // Three attacked points over one scenario (one shared prefix):
+        // exactly one cold warm-up, then one fork per measurement plus one
+        // for the memoized baseline.
+        let specs: Vec<ExperimentSpec> = [0.2, 0.4, 0.6]
+            .iter()
+            .enumerate()
+            .map(|(i, &g)| quick_spec(&format!("a{i}"), g))
+            .collect();
+        let warm = SweepRunner::new(3)
+            .seed_policy(SeedPolicy::FromScenario)
+            .jobs(2)
+            .run(&specs);
+        assert_eq!(warm.warmups, 1, "one prefix, one cold start");
+        assert_eq!(warm.forked_runs, 4, "3 points + 1 memoized baseline");
+        let cold = SweepRunner::new(3)
+            .seed_policy(SeedPolicy::FromScenario)
+            .jobs(2)
+            .warm_start(false)
+            .run(&specs);
+        assert_eq!((cold.warmups, cold.forked_runs), (0, 0));
+        assert_eq!(warm.results_json(), cold.results_json());
+        assert!(warm.to_json().contains("\"warmups\":1"));
+    }
+
+    #[test]
+    fn fault_field_is_hash_neutral() {
+        let plain = quick_spec("f", 0.4);
+        let faulted = quick_spec("f", 0.4).faulted(SeededFault::LinkAccounting);
+        assert_eq!(plain.stable_hash(), faulted.stable_hash());
+        assert_eq!(plain.prefix_hash(), faulted.prefix_hash());
+        assert_eq!(derive_seed(9, &plain), derive_seed(9, &faulted));
+    }
+
+    #[test]
+    fn faulted_spec_fails_only_when_checked() {
+        // The injected accounting bug is invisible without the checkers...
+        let quiet = SweepRunner::new(4)
+            .jobs(1)
+            .run(&[quick_spec("q", 0.4).faulted(SeededFault::LinkAccounting)]);
+        assert!(matches!(quiet.records[0].outcome, RunOutcome::Point { .. }));
+        // ...and an invariant-violation failure with them.
+        let caught = SweepRunner::new(4).jobs(1).run(&[quick_spec("q", 0.4)
+            .faulted(SeededFault::LinkAccounting)
+            .checked()]);
+        match &caught.records[0].outcome {
+            RunOutcome::Failed { reason } => {
+                assert!(reason.contains("violation"), "got: {reason}");
+            }
+            other => panic!("expected Failed, got {other:?}"),
+        }
     }
 
     #[test]
