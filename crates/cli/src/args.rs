@@ -59,6 +59,7 @@ const KNOWN_KEYS: &[&str] = &[
     "replay",
     "shrink-budget",
     "fault",
+    "cc",
 ];
 const KNOWN_FLAGS: &[&str] = &[
     "ecn",
@@ -208,10 +209,13 @@ mod tests {
 
     #[test]
     fn sweep_figure_options_round_trip() {
-        let a =
-            parse("sweep --fig fig06 --jobs 3 --smoke --master-seed 17 --out /tmp/r.json").unwrap();
+        let a = parse(
+            "sweep --fig fig06 --jobs 3 --smoke --master-seed 17 --cc cubic --out /tmp/r.json",
+        )
+        .unwrap();
         assert_eq!(a.command, "sweep");
         assert_eq!(a.get("fig"), Some("fig06"));
+        assert_eq!(a.get("cc"), Some("cubic"));
         assert_eq!(a.num::<usize>("jobs", 0).unwrap(), 3);
         assert!(a.flag("smoke"));
         assert_eq!(a.num::<u64>("master-seed", 0).unwrap(), 17);

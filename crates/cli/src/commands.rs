@@ -3,7 +3,7 @@
 
 use crate::args::{ArgError, Args};
 use pdos_analysis::gain::RiskPreference;
-use pdos_analysis::model::c_psi;
+use pdos_analysis::model::{c_psi, mu_from_gamma};
 use pdos_analysis::optimize::{plan_for_degradation, solve};
 use pdos_analysis::sensitivity::parameter_what_if;
 use pdos_attack::pulse::PulseTrain;
@@ -12,12 +12,13 @@ use pdos_detect::cusum::CusumDetector;
 use pdos_detect::rate::RateDetector;
 use pdos_detect::spectral::SpectralDetector;
 use pdos_scenarios::experiment::{gamma_grid, GainExperiment};
-use pdos_scenarios::figures::{gain_figure_specs, FigureGrid, GainFigure};
+use pdos_scenarios::figures::{gain_figure_specs, gain_figure_specs_cc, FigureGrid, GainFigure};
 use pdos_scenarios::runner::{AttackPoint, ExperimentSpec, RunOutcome, SeedPolicy, SweepRunner};
 use pdos_scenarios::spec::{BottleneckQueue, ScenarioSpec};
 use pdos_scenarios::sync::SyncExperiment;
 use pdos_sim::time::SimDuration;
 use pdos_sim::units::BitsPerSec;
+use pdos_tcp::cc::CcSpec;
 use std::fmt::Write as _;
 
 /// The top-level help text.
@@ -45,7 +46,10 @@ COMMANDS
              --fig fig06|fig07|fig08|fig09 runs a whole paper figure
              through the parallel deterministic runner instead:
              --jobs N (0)  --smoke (CI-sized grid)  --master-seed S (0)
-             --out FILE (write the full JSON report)
+             --cc aimd|cubic|bbr-lite|dctcp (aimd): victims run the
+             chosen congestion control; the summary reports the measured
+             per-algorithm (gamma*, mu*) next to the analytic AIMD
+             reference  --out FILE (write the full JSON report)
              --warm-start | --no-warm-start (default on): simulate each
              distinct warm-up prefix once, checkpoint it, and fork every
              sweep point from the checkpoint; results are bitwise
@@ -79,6 +83,10 @@ COMMANDS
              golden digests)  --out FILE (write the report)
              --warm-start | --no-warm-start (default on) for the smoke
              sweep's warm-start checkpointing
+             --cc all (also run the congestion-control differential
+             battery: every registered algorithm simulates the same
+             ECN-marked canonical point and all traces must be
+             pairwise distinct)
   fuzz       scenario fuzzing campaign: seeded random case families
              (oracle-envelope and diverse dumbbells, parking-lot and
              fat-tree topologies) through the oracle + invariant-checker
@@ -109,6 +117,19 @@ fn warm_start_of(args: &Args) -> Result<bool, ArgError> {
         ));
     }
     Ok(!args.flag("no-warm-start"))
+}
+
+/// Resolves `--cc` against the congestion-control registry (default:
+/// `aimd`, the paper's sender).
+fn cc_of(args: &Args) -> Result<CcSpec, ArgError> {
+    let key = args.get("cc").unwrap_or("aimd");
+    CcSpec::from_key(key).ok_or_else(|| {
+        let known: Vec<&str> = CcSpec::ALL.iter().map(|c| c.key()).collect();
+        ArgError(format!(
+            "--cc must be one of {}; got '{key}'",
+            known.join(", ")
+        ))
+    })
 }
 
 fn queue_of(args: &Args) -> Result<BottleneckQueue, ArgError> {
@@ -353,7 +374,8 @@ fn cmd_sweep_figure(args: &Args) -> Result<String, ArgError> {
         None => (0, SeedPolicy::FromScenario),
         Some(_) => (args.num("master-seed", 0u64)?, SeedPolicy::Derived),
     };
-    let specs = gain_figure_specs(fig, &grid);
+    let cc = cc_of(args)?;
+    let specs = gain_figure_specs_cc(fig, &grid, cc);
     let report = SweepRunner::new(master_seed)
         .seed_policy(policy)
         .jobs(jobs)
@@ -391,6 +413,49 @@ fn cmd_sweep_figure(args: &Args) -> Result<String, ArgError> {
         report.cpu_time().as_secs_f64() / report.wall.as_secs_f64().max(1e-9),
         report.runs_per_sec()
     );
+    // Per-algorithm optimum: the measured γ* is the argmax of G_sim over
+    // the swept grid, with μ* implied by Eq. 2 at that rate; the analytic
+    // Eq. 5 solution (which models AIMD senders) is printed alongside as
+    // the paper's reference point.
+    let points = report.points();
+    if let Some(best) = points
+        .iter()
+        .copied()
+        .max_by(|a, b| a.g_sim.total_cmp(&b.g_sim))
+    {
+        let r_attack = fig.r_attack_mbps() * 1e6;
+        let victims = ScenarioSpec::ns2_dumbbell(grid.flows[0]).victims();
+        let mu = mu_from_gamma(r_attack / victims.r_bottle(), best.gamma);
+        let _ = writeln!(
+            out,
+            "cc={}: measured gamma* = {:.3}, mu* = {:.2} (T = {:.3} s, G_sim = {:.3})",
+            cc.key(),
+            best.gamma,
+            mu,
+            best.t_aimd,
+            best.g_sim
+        );
+        match solve(
+            &victims,
+            grid.textents[0],
+            r_attack,
+            RiskPreference::NEUTRAL,
+        ) {
+            Ok(sol) => {
+                let _ = writeln!(
+                    out,
+                    "analytic AIMD reference ({} flows, {:.0} ms pulses): gamma* = {:.3}, mu* = {:.2}",
+                    grid.flows[0],
+                    grid.textents[0] * 1000.0,
+                    sol.gamma_star,
+                    sol.mu_star
+                );
+            }
+            Err(e) => {
+                let _ = writeln!(out, "analytic AIMD reference unavailable: {e}");
+            }
+        }
+    }
     if let Some(path) = args.get("out") {
         std::fs::write(path, report.to_json())
             .map_err(|e| ArgError(format!("cannot write {path}: {e}")))?;
@@ -486,6 +551,18 @@ pub fn cmd_check(args: &Args) -> Result<String, ArgError> {
     let master_seed: u64 = args.num("master-seed", 7)?;
     let golden_path =
         std::path::Path::new(args.get("golden-dir").unwrap_or("tests/golden")).join(GOLDEN_FILE);
+    // `--cc` is validated up front so a typo fails before the sweep runs.
+    let cc_battery = match args.get("cc") {
+        None => false,
+        Some(key) if key == "all" || CcSpec::from_key(key).is_some() => true,
+        Some(key) => {
+            let known: Vec<&str> = CcSpec::ALL.iter().map(|c| c.key()).collect();
+            return Err(ArgError(format!(
+                "--cc must be 'all' or a registry key ({}); got '{key}'",
+                known.join(", ")
+            )));
+        }
+    };
     let mut out = String::new();
     let mut problems: Vec<String> = Vec::new();
 
@@ -571,6 +648,43 @@ pub fn cmd_check(args: &Args) -> Result<String, ArgError> {
     out.push_str(&oracle.summary());
     if !oracle.pass() {
         problems.push("oracle: tolerance bands breached (see report)".into());
+    }
+
+    // 4. The congestion-control differential battery (opt-in via `--cc`).
+    // Every registered algorithm simulates the same ECN-marked canonical
+    // point; aliasing — two algorithms producing byte-identical traces —
+    // means registry dispatch is broken and fails the suite.
+    if cc_battery {
+        match pdos_conformance::compute_cc_digests(jobs) {
+            Err(e) => problems.push(format!("cc: {e}")),
+            Ok(digests) => {
+                for d in &digests {
+                    let _ = writeln!(
+                        out,
+                        "cc: {} bins={} digest={:016x}",
+                        d.name, d.n_bins, d.digest
+                    );
+                }
+                let mut aliased = false;
+                for i in 0..digests.len() {
+                    for j in i + 1..digests.len() {
+                        if digests[i].digest == digests[j].digest {
+                            aliased = true;
+                            problems.push(format!(
+                                "cc: {} and {} produced identical traces — registry dispatch is aliasing algorithms",
+                                digests[i].name, digests[j].name
+                            ));
+                        }
+                    }
+                }
+                let _ = writeln!(
+                    out,
+                    "cc: differential battery over {} algorithms: {}",
+                    digests.len(),
+                    if aliased { "ALIASED" } else { "all distinct" }
+                );
+            }
+        }
     }
 
     if let Some(path) = args.get("out") {
@@ -1171,6 +1285,61 @@ mod tests {
     }
 
     #[test]
+    fn sweep_fig_cc_runs_per_algorithm_and_reports_the_optimum() {
+        let out_path = std::env::temp_dir().join("pdos-cli-test-fig06-cubic.json");
+        let out = run(&parse(&format!(
+            "sweep --fig fig06 --smoke --jobs 2 --cc cubic --out {}",
+            out_path.display()
+        )))
+        .unwrap();
+        assert!(out.contains("cc=cubic: measured gamma* ="), "{out}");
+        assert!(out.contains("mu* ="), "{out}");
+        assert!(out.contains("analytic AIMD reference"), "{out}");
+        let json = std::fs::read_to_string(&out_path).unwrap();
+        std::fs::remove_file(&out_path).ok();
+        // Every run id carries the algorithm tag, so reports never
+        // collide with the legacy AIMD grid.
+        assert!(json.contains("/cc-cubic"), "{json}");
+    }
+
+    #[test]
+    fn sweep_fig_default_cc_is_byte_identical_to_explicit_aimd() {
+        let default_path = std::env::temp_dir().join("pdos-cli-test-fig06-ccdefault.json");
+        let aimd_path = std::env::temp_dir().join("pdos-cli-test-fig06-ccaimd.json");
+        run(&parse(&format!(
+            "sweep --fig fig06 --smoke --jobs 2 --out {}",
+            default_path.display()
+        )))
+        .unwrap();
+        run(&parse(&format!(
+            "sweep --fig fig06 --smoke --jobs 2 --cc aimd --out {}",
+            aimd_path.display()
+        )))
+        .unwrap();
+        let runs_of = |path: &std::path::Path| -> String {
+            let json = std::fs::read_to_string(path).unwrap();
+            json.split("\"runs\":")
+                .nth(1)
+                .expect("runs section")
+                .to_string()
+        };
+        let (default_runs, aimd_runs) = (runs_of(&default_path), runs_of(&aimd_path));
+        std::fs::remove_file(&default_path).ok();
+        std::fs::remove_file(&aimd_path).ok();
+        // `--cc aimd` must be the legacy grid: same ids, seeds, traces.
+        assert_eq!(default_runs, aimd_runs);
+    }
+
+    #[test]
+    fn sweep_fig_rejects_unknown_cc() {
+        let e = run(&parse("sweep --fig fig06 --smoke --cc tahoe99")).unwrap_err();
+        assert!(
+            e.to_string().contains("aimd, cubic, bbr-lite, dctcp"),
+            "{e}"
+        );
+    }
+
+    #[test]
     fn check_bless_then_verify_roundtrips() {
         // A tiny conformance pass against a temp golden dir: bless writes
         // the digests, the verify pass then matches them; --out lands the
@@ -1221,6 +1390,31 @@ mod tests {
         assert!(report.contains("PROBLEM: golden:"), "{report}");
         let _ = std::fs::remove_dir_all(&dir);
         let _ = std::fs::remove_file(&report_path);
+    }
+
+    #[test]
+    fn check_cc_battery_reports_distinct_algorithms() {
+        let dir = std::env::temp_dir().join("pdos-cli-test-golden-cc");
+        let _ = std::fs::remove_dir_all(&dir);
+        let cmd = format!(
+            "check --scenarios 4 --jobs 2 --cc all --bless --golden-dir {}",
+            dir.display()
+        );
+        let out = run(&parse(&cmd)).unwrap();
+        assert!(out.contains("cc: golden/cc-aimd"), "{out}");
+        assert!(out.contains("cc: golden/cc-dctcp"), "{out}");
+        assert!(
+            out.contains("cc: differential battery over 4 algorithms: all distinct"),
+            "{out}"
+        );
+        assert!(out.contains("conformance: PASS"), "{out}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn check_rejects_unknown_cc() {
+        let e = run(&parse("check --cc tahoe99 --scenarios 1")).unwrap_err();
+        assert!(e.to_string().contains("'all' or a registry key"), "{e}");
     }
 
     #[test]

@@ -64,6 +64,63 @@ pub fn canonical_specs() -> Vec<ExperimentSpec> {
     .collect()
 }
 
+/// The differential congestion-control battery: the fig06 canonical
+/// attack point (25 Mbps pulses, `T_extent = 75 ms`, `γ = 0.40`) on the
+/// ns-2 dumbbell, once per registered algorithm — the *same* scenario
+/// each time, with ECN negotiated so the RED bottleneck marks as well as
+/// drops (DCTCP is an ECN algorithm per RFC 8257, and the mark response
+/// is exactly where the four reduction laws differ). Ids are
+/// `golden/cc-<key>`; each algorithm pins its own digest so a behaviour
+/// change in any one state machine — or an accidental coupling between
+/// them — shows up as drift.
+pub fn cc_differential_specs() -> Vec<ExperimentSpec> {
+    let warmup = SimDuration::from_secs(4);
+    let window = SimDuration::from_secs(8);
+    let bin = SimDuration::from_millis(100);
+    let attack = AttackPoint {
+        t_extent: 0.075,
+        r_attack: 25e6,
+        gamma: 0.40,
+    };
+    pdos_tcp::cc::CcSpec::ALL
+        .into_iter()
+        .map(|cc| {
+            let mut scenario = ScenarioSpec::ns2_dumbbell(3).with_cc(cc);
+            scenario.tcp.ecn = true;
+            ExperimentSpec::attacked(format!("golden/cc-{}", cc.key()), scenario, attack)
+                .warmup(warmup)
+                .window(window)
+                .traced(bin)
+                .checked()
+        })
+        .collect()
+}
+
+/// Runs the [`cc_differential_specs`] battery (invariant checkers on)
+/// and fingerprints each algorithm's trace.
+///
+/// # Errors
+///
+/// Returns the failing run's id and reason if any run fails — including
+/// invariant violations, which is the point: every algorithm must hold
+/// the engine's conservation and TCP window audits.
+pub fn compute_cc_digests(jobs: usize) -> Result<Vec<TraceDigest>, String> {
+    compute_cc_digests_with(jobs, true)
+}
+
+/// Like [`compute_cc_digests`], but with warm-start checkpointing forced
+/// on or off. Checkpoint forking is contractually byte-identical to cold
+/// simulation for *every* congestion control, not just the AIMD seed —
+/// the CC fork-equivalence matrix in the conformance suite pins both
+/// paths equal per algorithm.
+///
+/// # Errors
+///
+/// Returns the failing run's id and reason if any run fails.
+pub fn compute_cc_digests_with(jobs: usize, warm_start: bool) -> Result<Vec<TraceDigest>, String> {
+    compute_digests_inner(cc_differential_specs(), jobs, warm_start).map(|(digests, _)| digests)
+}
+
 /// Fingerprints a binned trace: `fnv1a64` over the little-endian `u64`
 /// bin values — the digest scheme every golden entry pins. Public so
 /// other harnesses (the fuzz campaign's per-case digests) fingerprint

@@ -24,7 +24,8 @@ pub mod oracle;
 
 pub use bands::ToleranceBands;
 pub use golden::{
-    canonical_specs, compute_digests, compute_digests_metered, compute_digests_metered_with,
-    compute_digests_with, digest_bins, TraceDigest, GOLDEN_FILE,
+    canonical_specs, cc_differential_specs, compute_cc_digests, compute_cc_digests_with,
+    compute_digests, compute_digests_metered, compute_digests_metered_with, compute_digests_with,
+    digest_bins, TraceDigest, GOLDEN_FILE,
 };
 pub use oracle::{check_point, run_oracle, OracleConfig, OracleOutcome, PointVerdict};

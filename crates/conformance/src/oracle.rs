@@ -233,12 +233,17 @@ pub fn check_point(
         return v;
     }
 
-    // Band: the right side of the maximum must track the curve.
+    // Band: the right side of the maximum must track the curve. Eq. 5
+    // models AIMD(a, b) senders only, so the band is *enforced* for
+    // `aimd` and recorded-but-reported for every other congestion
+    // control — how far CUBIC/BBR/DCTCP drift from the AIMD curve is a
+    // result, not a bug.
     if attack.gamma >= bands.gamma_right {
         let err = (point.g_sim - point.g_analytic).abs();
         v.right_err = Some(err);
         v.within = err <= bands.effective_right_band();
-        if err > bands.hard_abs_err {
+        let enforced = scenario.tcp.cc == pdos_tcp::cc::CcSpec::Aimd;
+        if enforced && err > bands.hard_abs_err {
             v.failures.push(format!(
                 "{id}: right-side error {err:.4} exceeds the hard ceiling {:.4}",
                 bands.hard_abs_err

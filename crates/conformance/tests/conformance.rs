@@ -5,8 +5,8 @@
 //! digests (equivalently: `pdos check --bless`).
 
 use pdos_conformance::{
-    compute_digests, compute_digests_metered, compute_digests_metered_with, golden, run_oracle,
-    OracleConfig, GOLDEN_FILE,
+    compute_cc_digests, compute_cc_digests_with, compute_digests, compute_digests_metered,
+    compute_digests_metered_with, golden, run_oracle, OracleConfig, GOLDEN_FILE,
 };
 use pdos_scenarios::experiment::GainExperiment;
 use pdos_scenarios::figures::{gain_figure_specs, FigureGrid, GainFigure};
@@ -277,6 +277,107 @@ fn omitted_checkpoint_state_is_flagged_by_checkers() {
     assert!(
         err.to_string().contains("violation"),
         "expected an invariant violation, got: {err}"
+    );
+}
+
+/// Differential congestion-control battery.
+///
+/// The same fig06 canonical attack point runs once per registered
+/// algorithm with the invariant checkers on. Every algorithm must hold
+/// the engine's audits (a failed run aborts `compute_cc_digests`), the
+/// four traces must be pairwise distinct (the state machines really are
+/// different physics, not aliases of one another), and each digest is
+/// pinned to a literal. `aimd` doubles as a registry-dispatch lock: it is
+/// the same sender the legacy golden set exercises, so its digest moving
+/// here — while the legacy set stays green — means dispatch, not TCP,
+/// broke. This test ignores `PDOS_BLESS`; a CC behaviour change must be
+/// reviewed against these literals, not re-blessed away.
+#[test]
+fn cc_differential_battery_pins_per_algorithm_digests_no_rebless() {
+    let expected: &[(&str, u64)] = &[
+        ("golden/cc-aimd", 0x9fc1_7dc8_0062_9d39),
+        ("golden/cc-cubic", 0xe354_5875_c18c_4f59),
+        ("golden/cc-bbr-lite", 0x2f71_d07b_377b_11b2),
+        ("golden/cc-dctcp", 0xe266_586c_5873_30cf),
+    ];
+    let current = compute_cc_digests(2).expect("every algorithm must pass the checkers");
+    let listing: String = current
+        .iter()
+        .map(|d| {
+            format!(
+                "(\"{}\", {}, {}, {:#018x})\n",
+                d.name, d.n_bins, d.total_bytes, d.digest
+            )
+        })
+        .collect();
+    assert_eq!(
+        current.len(),
+        expected.len(),
+        "battery size moved:\n{listing}"
+    );
+    for (got, &(name, digest)) in current.iter().zip(expected) {
+        assert_eq!(got.name, name);
+        assert_eq!(
+            got.digest, digest,
+            "{name}: differential digest moved — a congestion-control \
+             state machine changed behaviour (current battery:\n{listing})"
+        );
+    }
+    // Pairwise distinct: no algorithm is silently falling back to another.
+    for (i, a) in current.iter().enumerate() {
+        for b in &current[i + 1..] {
+            assert_ne!(
+                a.digest, b.digest,
+                "{} and {} produced identical traces — registry dispatch \
+                 is aliasing algorithms",
+                a.name, b.name
+            );
+        }
+    }
+}
+
+/// Fork-equivalence matrix across congestion controls: checkpointing a
+/// warm-up and forking it must be byte-identical to cold simulation for
+/// *every* algorithm, not just the AIMD seed — CUBIC's epoch clock,
+/// BBR-lite's bandwidth ring and DCTCP's alpha all live in cloned sender
+/// state and must survive the checkpoint unperturbed.
+#[test]
+fn cc_forked_runs_match_cold_runs_for_every_algorithm() {
+    let cold = compute_cc_digests_with(2, false).expect("cold CC runs must succeed");
+    let warm = compute_cc_digests_with(2, true).expect("forked CC runs must succeed");
+    assert_eq!(
+        cold, warm,
+        "forked CC runs drifted from cold runs — some congestion-control \
+         state is not checkpointed faithfully"
+    );
+}
+
+/// Seeded-fault drill for the CC layer: a planted CUBIC-style window bug
+/// (cwnd gone non-finite, as a broken cubic epoch/cube-root computation
+/// produces) must be caught by the TCP window audit at the end of a
+/// checked run — it survives the sender's own clamp and a further second
+/// of simulation, so it cannot silently skew a gain figure.
+#[test]
+fn seeded_cubic_window_fault_is_flagged() {
+    use pdos_tcp::cc::CcSpec;
+    let mut bench = ScenarioSpec::ns2_dumbbell(3)
+        .with_cc(CcSpec::Cubic)
+        .build()
+        .expect("build");
+    bench.sim.enable_checks();
+    bench.run_until(SimTime::from_secs(2));
+    assert!(
+        bench.audit_violations().is_empty(),
+        "healthy cubic run must be clean"
+    );
+    bench.corrupt_sender_cwnd_for_test(0, f64::NAN);
+    bench.run_until(SimTime::from_secs(3));
+    let violations = bench.audit_violations();
+    assert!(
+        violations
+            .iter()
+            .any(|v| v.kind == ViolationKind::TcpWindow),
+        "expected a TCP window flag, got: {violations:?}"
     );
 }
 

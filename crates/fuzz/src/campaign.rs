@@ -133,6 +133,7 @@ pub fn fault_to_str(fault: Option<SeededFault>) -> &'static str {
         None => "none",
         Some(SeededFault::LinkAccounting) => "link-accounting",
         Some(SeededFault::OmitLinkStats) => "omit-link-stats",
+        Some(SeededFault::CubicWindow) => "cubic-window",
     }
 }
 
@@ -146,6 +147,7 @@ pub fn fault_from_str(s: &str) -> Result<Option<SeededFault>, String> {
         "none" => None,
         "link-accounting" => Some(SeededFault::LinkAccounting),
         "omit-link-stats" => Some(SeededFault::OmitLinkStats),
+        "cubic-window" => Some(SeededFault::CubicWindow),
         other => return Err(format!("unknown fault {other:?}")),
     })
 }
@@ -752,6 +754,7 @@ mod tests {
             None,
             Some(SeededFault::LinkAccounting),
             Some(SeededFault::OmitLinkStats),
+            Some(SeededFault::CubicWindow),
         ] {
             assert_eq!(fault_from_str(fault_to_str(fault)).unwrap(), fault);
         }

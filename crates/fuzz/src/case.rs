@@ -12,6 +12,7 @@
 use pdos_scenarios::runner::{AttackPoint, ExperimentSpec};
 use pdos_scenarios::spec::{BottleneckQueue, ScenarioSpec};
 use pdos_sim::time::SimDuration;
+use pdos_tcp::cc::CcSpec;
 
 /// The dumbbell preset a case starts from.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -99,6 +100,11 @@ pub struct DumbbellCase {
     pub window_s: u32,
     /// The attack point; `None` measures a benign baseline.
     pub attack: Option<AttackParams>,
+    /// The victims' congestion-control algorithm. Oracle-envelope cases
+    /// always run [`CcSpec::Aimd`] — the tolerance bands were derived
+    /// from the paper's AIMD model — while diverse families draw from
+    /// the whole registry.
+    pub cc: CcSpec,
 }
 
 impl DumbbellCase {
@@ -129,6 +135,7 @@ impl DumbbellCase {
             s.rtt_hi = hi;
         }
         s.seed = self.seed;
+        s.tcp.cc = self.cc;
         s
     }
 
@@ -260,11 +267,19 @@ pub fn format_case(params: &CaseParams) -> String {
                 None => "none".to_string(),
                 Some(a) => format!("{}/{}/{}", a.extent_ms, a.rate_mbps, a.gamma_milli),
             };
-            format!(
+            let mut line = format!(
                 "topo=dumbbell class={class} base={base} flows={} queue={queue} mice={} \
                  loss_e4={} rtt={rtt} seed={} warmup_s={} window_s={} attack={attack}",
                 c.n_flows, c.mice_flows, c.loss_e4, c.seed, c.warmup_s, c.window_s
-            )
+            );
+            // Emitted only for non-default algorithms, so every repro
+            // line written before the CC registry existed still
+            // re-serializes byte-identically (absent ≡ aimd).
+            if c.cc != CcSpec::Aimd {
+                line.push_str(" cc=");
+                line.push_str(c.cc.key());
+            }
+            line
         }
         CaseParams::Topology(c) => {
             let kind = match c.kind {
@@ -344,6 +359,10 @@ pub fn parse_case(line: &str) -> Result<CaseParams, String> {
                     })
                 }
             };
+            let cc = match kv.get("cc") {
+                None => CcSpec::Aimd,
+                Some(v) => CcSpec::from_key(v).ok_or_else(|| format!("bad cc: {v:?}"))?,
+            };
             Ok(CaseParams::Dumbbell(DumbbellCase {
                 oracle,
                 base,
@@ -356,6 +375,7 @@ pub fn parse_case(line: &str) -> Result<CaseParams, String> {
                 warmup_s: int("warmup_s")?,
                 window_s: int("window_s")?,
                 attack,
+                cc,
             }))
         }
         kind @ ("parking-lot" | "fat-tree") => Ok(CaseParams::Topology(TopologyCase {
@@ -396,6 +416,7 @@ mod tests {
                 rate_mbps: 32,
                 gamma_milli: 413,
             }),
+            cc: CcSpec::Aimd,
         })
     }
 
@@ -415,6 +436,25 @@ mod tests {
                 warmup_s: 4,
                 window_s: 8,
                 attack: None,
+                cc: CcSpec::Aimd,
+            }),
+            CaseParams::Dumbbell(DumbbellCase {
+                oracle: false,
+                base: BaseScenario::Ns2,
+                n_flows: 6,
+                queue: QueueKind::Red,
+                mice_flows: 1,
+                loss_e4: 0,
+                rtt: RttProfile::Narrow,
+                seed: 42,
+                warmup_s: 2,
+                window_s: 4,
+                attack: Some(AttackParams {
+                    extent_ms: 50,
+                    rate_mbps: 25,
+                    gamma_milli: 300,
+                }),
+                cc: CcSpec::BbrLite,
             }),
             CaseParams::Topology(TopologyCase {
                 kind: TopoKind::FatTree,
@@ -441,6 +481,31 @@ mod tests {
         assert!(parse_case("garbage").is_err(), "no key=value");
         let line = format_case(&sample_dumbbell()).replace("flows=5", "flows=x");
         assert!(parse_case(&line).is_err(), "non-integer field");
+        let line = format!("{} cc=tahoe99", format_case(&sample_dumbbell()));
+        assert!(parse_case(&line).is_err(), "unknown cc key");
+    }
+
+    #[test]
+    fn cc_token_defaults_to_aimd_and_stays_off_legacy_lines() {
+        // Pre-registry repro lines carry no cc= token; they must parse
+        // to the aimd default and re-serialize without gaining one.
+        let legacy = format_case(&sample_dumbbell());
+        assert!(!legacy.contains("cc="), "aimd stays implicit: {legacy}");
+        let CaseParams::Dumbbell(parsed) = parse_case(&legacy).expect("legacy line parses") else {
+            unreachable!()
+        };
+        assert_eq!(parsed.cc, CcSpec::Aimd);
+        // Every registered algorithm round-trips through its key.
+        for cc in CcSpec::ALL {
+            let CaseParams::Dumbbell(mut c) = sample_dumbbell() else {
+                unreachable!()
+            };
+            c.cc = cc;
+            let line = format_case(&CaseParams::Dumbbell(c.clone()));
+            assert_eq!(line.contains("cc="), cc != CcSpec::Aimd, "{line}");
+            let back = parse_case(&line).expect("cc line parses");
+            assert_eq!(back, CaseParams::Dumbbell(c));
+        }
     }
 
     #[test]
@@ -480,6 +545,7 @@ mod tests {
                     warmup_s: 2,
                     window_s: 4,
                     attack: None,
+                    cc: CcSpec::Aimd,
                 };
                 c.scenario().build().expect("profile builds");
             }

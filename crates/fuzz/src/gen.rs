@@ -13,6 +13,7 @@ use crate::case::{
     AttackParams, BaseScenario, CaseParams, DumbbellCase, FuzzCase, QueueKind, RttProfile,
     TopoKind, TopologyCase,
 };
+use pdos_tcp::cc::CcSpec;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
@@ -73,6 +74,8 @@ fn draw_oracle_family(rng: &mut SmallRng, fam: usize) -> Family {
         warmup_s: 4,
         window_s: 8,
         attack: None,
+        // Oracle cases stay on the AIMD model the bands were tuned on.
+        cc: CcSpec::Aimd,
     };
     let n_points = rng.random_range(2u32..=3);
     let cases = (0..n_points)
@@ -89,10 +92,12 @@ fn draw_oracle_family(rng: &mut SmallRng, fam: usize) -> Family {
 }
 
 /// A diverse dumbbell family: both bases, all three queue disciplines,
-/// mice, ambient loss and off-distribution RTT spreads. Held to the
-/// identity/range/invariant checks but not the oracle bands (the bands
-/// were tuned on the oracle envelope only). Pulse rates stay ≥ 20 Mbps —
-/// above both bases' bottlenecks — so γ ≤ 0.9 is never infeasible.
+/// mice, ambient loss, off-distribution RTT spreads and the full
+/// congestion-control registry (oracle families pin AIMD; only diverse
+/// families draw CUBIC/BBR-lite/DCTCP victims, which the bands were
+/// never tuned on). Held to the identity/range/invariant checks but not
+/// the oracle bands. Pulse rates stay ≥ 20 Mbps — above both bases'
+/// bottlenecks — so γ ≤ 0.9 is never infeasible.
 fn draw_diverse_family(rng: &mut SmallRng, fam: usize) -> Family {
     let base = if rng.random_range(0u32..4) == 0 {
         BaseScenario::Testbed
@@ -124,6 +129,7 @@ fn draw_diverse_family(rng: &mut SmallRng, fam: usize) -> Family {
         warmup_s: rng.random_range(2u32..=4),
         window_s: rng.random_range(4u32..=8),
         attack: None,
+        cc: CcSpec::ALL[rng.random_range(0usize..CcSpec::ALL.len())],
     };
     let n_attacked = rng.random_range(1u32..=2);
     let benign = rng.random_range(0u32..3) == 0;
@@ -288,6 +294,31 @@ mod tests {
         for tag in ["oracle", "diverse", "parking-lot", "fat-tree"] {
             assert!(seen.contains(tag), "missing class {tag} in {seen:?}");
         }
+    }
+
+    #[test]
+    fn cc_dimension_stays_on_diverse_families_and_covers_the_registry() {
+        let families = generate(11, 240);
+        let mut diverse_ccs = std::collections::HashSet::new();
+        for f in &families {
+            for case in &f.cases {
+                if let CaseParams::Dumbbell(c) = &case.params {
+                    if c.oracle {
+                        assert_eq!(
+                            c.cc,
+                            CcSpec::Aimd,
+                            "oracle cases must stay on the AIMD envelope"
+                        );
+                    } else {
+                        diverse_ccs.insert(c.cc);
+                    }
+                }
+            }
+        }
+        assert!(
+            diverse_ccs.len() >= 3,
+            "a 240-case draw should cover most of the registry: {diverse_ccs:?}"
+        );
     }
 
     #[test]

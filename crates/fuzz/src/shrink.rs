@@ -86,6 +86,13 @@ fn candidates(params: &CaseParams, class: ViolationClass) -> Vec<CaseParams> {
                 n.rtt = RttProfile::Paper;
                 push(n);
             }
+            if c.cc != pdos_tcp::cc::CcSpec::Aimd {
+                // Simplify toward the paper's sender: a bug that still
+                // reproduces under AIMD is not algorithm-specific.
+                let mut n = c.clone();
+                n.cc = pdos_tcp::cc::CcSpec::Aimd;
+                push(n);
+            }
             if let Some(a) = c.attack {
                 if a.extent_ms > 50 {
                     let mut n = c.clone();
@@ -337,6 +344,64 @@ mod tests {
         assert_eq!(hit, v.class, "replay reproduces the class: {detail}");
     }
 
+    /// The CC-layer drill: `--fault cubic-window` plants a non-finite
+    /// window (the broken-CUBIC failure shape) in every dumbbell case;
+    /// the campaign must catch it as an invariant failure, the shrinker
+    /// must minimize it, and the repro must replay to the same class.
+    #[test]
+    fn cubic_window_fault_drill_catches_shrinks_and_replays() {
+        // Deterministic seed scan for an affected multi-case dumbbell
+        // family. BBR-lite recomputes cwnd from its bandwidth filter on
+        // every ACK — repairing the planted NaN — so the scan requires a
+        // family on one of the other three algorithms.
+        let affected = |f: &gen::Family| {
+            f.cases.len() >= 2
+                && f.cases.iter().all(|case| match &case.params {
+                    CaseParams::Dumbbell(c) => c.cc != pdos_tcp::cc::CcSpec::BbrLite,
+                    CaseParams::Topology(_) => false,
+                })
+        };
+        let seed = (0u64..64)
+            .find(|&s| gen::generate(s, 2).iter().any(affected))
+            .expect("some small seed draws an affected dumbbell family");
+        let cfg = CampaignConfig {
+            scenarios: 2,
+            master_seed: seed,
+            jobs: 1,
+            fault: Some(SeededFault::CubicWindow),
+            shrink_budget: 24,
+            ..CampaignConfig::default()
+        };
+        let mut report = run_campaign(&cfg);
+
+        // 1. The TCP window audit catches the planted CC bug.
+        assert!(!report.pass(), "the drill must catch the seeded CC fault");
+        let idx = report
+            .violations
+            .iter()
+            .position(|v| v.class == ViolationClass::RunFailed && v.detail.contains("cwnd"))
+            .expect("a cwnd window violation is reported");
+
+        // 2. The shrinker minimizes while preserving the class.
+        shrink_report(&mut report, &cfg);
+        let v = &report.violations[idx];
+        let sh = v.shrunk.as_ref().expect("violation within shrink quota");
+        let CaseParams::Dumbbell(c) = &sh.params else {
+            panic!("faulted violations are dumbbell cases")
+        };
+        assert!(c.n_flows <= 3, "flows shrunk: {}", c.n_flows);
+        assert!(sh.replays <= cfg.shrink_budget);
+
+        // 3. The repro file round-trips and replays to the same class.
+        let text = format_repro(v, &cfg);
+        assert!(text.contains("fault = cubic-window"));
+        let repro = parse_repro(&text).expect("repro file parses");
+        assert_eq!(repro.fault, Some(SeededFault::CubicWindow));
+        assert_eq!(repro.params, sh.params);
+        let (hit, detail) = replay_repro(&repro).expect("the shrunk case still fails");
+        assert_eq!(hit, v.class, "replay reproduces the class: {detail}");
+    }
+
     #[test]
     fn repro_files_round_trip_without_a_campaign() {
         let v = CampaignViolation {
@@ -396,6 +461,7 @@ mod tests {
                 rate_mbps: 30,
                 gamma_milli: 700,
             }),
+            cc: pdos_tcp::cc::CcSpec::Aimd,
         };
         let cands = candidates(&CaseParams::Dumbbell(c.clone()), ViolationClass::OracleBand);
         assert!(!cands.is_empty());

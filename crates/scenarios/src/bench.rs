@@ -326,6 +326,26 @@ impl Testbench {
             .sum()
     }
 
+    /// Test hook: plants a window fault in the `idx`-th victim's TCP
+    /// sender, bypassing the sender's own clamp, so the TCP window audit
+    /// has something to catch (the `cubic-window` seeded-fault drill).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range or the agent is not a
+    /// [`TcpSender`].
+    #[doc(hidden)]
+    pub fn corrupt_sender_cwnd_for_test(&mut self, idx: usize, value: f64) {
+        let h = self.flows[idx];
+        let mut sender = self
+            .sim
+            .agent_as::<TcpSender>(h.sender)
+            .expect("sender agent type")
+            .clone();
+        sender.corrupt_cwnd_for_test(value);
+        self.sim.replace_agent_for_test(h.sender, Box::new(sender));
+    }
+
     /// Collects runtime-invariant violations: everything the engine's
     /// checkers recorded (empty unless `sim.enable_checks()` was called)
     /// plus each victim TCP sender's invariant audit at the current time.

@@ -85,12 +85,13 @@ impl From<pdos_sim::topology::BuildError> for ExperimentError {
     }
 }
 
-/// A deliberately injected, physics-neutral accounting bug used to drill
-/// the verification pipeline end to end (fuzz-campaign self-tests, CI
-/// canaries). Both variants corrupt only the bottleneck link's *counters*
-/// — never the packet flow — so an unchecked run still measures the true
-/// physics, while a checked run must fail with
-/// [`ExperimentError::Invariant`] via the packet-conservation audit.
+/// A deliberately injected bug used to drill the verification pipeline
+/// end to end (fuzz-campaign self-tests, CI canaries). A checked run
+/// must fail with [`ExperimentError::Invariant`]; the link variants are
+/// *physics-neutral* — they corrupt only the bottleneck link's counters,
+/// never the packet flow, so an unchecked run still measures the true
+/// physics — while [`SeededFault::CubicWindow`] plants a window-state
+/// bug inside the first victim's TCP sender.
 ///
 /// The fault is applied at the start of the measurement phase, *after*
 /// any warm-start fork, so shared checkpoints stay uncorrupted.
@@ -104,6 +105,14 @@ pub enum SeededFault {
     /// forgot the stats" bug from the warm-start drills): transmitted
     /// packets then outnumber offered ones.
     OmitLinkStats,
+    /// Plants a congestion-control bug: the first victim sender's window
+    /// turns non-finite, as a broken CUBIC epoch/cube-root computation
+    /// (divide-by-zero cwnd or RTT) produces. NaN survives the sender's
+    /// own `clamp` and every CC growth rule — each propagates it — so
+    /// the TCP window audit at the end of a checked run must flag it.
+    /// Unlike the link faults this perturbs physics, so it only appears
+    /// in drills, never in baselines shared with clean runs.
+    CubicWindow,
 }
 
 /// One measured point of a gain figure.
@@ -278,11 +287,25 @@ impl GainExperiment {
     /// after forking, so a shared [`WarmStart`] is never corrupted.
     fn inject_fault(&self, bench: &mut crate::bench::Testbench) {
         let Some(fault) = self.fault else { return };
-        let link = bench.bottleneck;
-        let link = bench.sim.link_mut_for_test(link);
         match fault {
-            SeededFault::LinkAccounting => link.corrupt_accounting_for_test(),
-            SeededFault::OmitLinkStats => link.reset_stats_for_test(),
+            SeededFault::LinkAccounting => {
+                let link = bench.bottleneck;
+                bench
+                    .sim
+                    .link_mut_for_test(link)
+                    .corrupt_accounting_for_test();
+            }
+            SeededFault::OmitLinkStats => {
+                let link = bench.bottleneck;
+                bench.sim.link_mut_for_test(link).reset_stats_for_test();
+            }
+            SeededFault::CubicWindow => {
+                // A finite overshoot would be repaired by the sender's
+                // own clamp at the next ACK; NaN persists through the
+                // clamp and every growth rule, so the end-of-run audit
+                // is guaranteed to see it.
+                bench.corrupt_sender_cwnd_for_test(0, f64::NAN);
+            }
         }
     }
 

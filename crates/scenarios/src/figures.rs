@@ -112,20 +112,39 @@ impl FigureGrid {
 /// Enumerates one gain figure as a flat spec list, panel-major then
 /// width-major then γ — the same order the serial tables print in.
 pub fn gain_figure_specs(fig: GainFigure, grid: &FigureGrid) -> Vec<ExperimentSpec> {
+    gain_figure_specs_cc(fig, grid, pdos_tcp::cc::CcSpec::Aimd)
+}
+
+/// The same grid as [`gain_figure_specs`], with the victims running the
+/// given congestion-control algorithm — the per-algorithm re-run of the
+/// paper's Fig. 6–9 question (`pdos sweep --fig figNN --cc <alg>`).
+///
+/// `aimd` yields identical ids, hashes and seeds to the legacy grid; any
+/// other algorithm tags every id with a `/cc-<key>` suffix so reports
+/// and golden files never collide across algorithms.
+pub fn gain_figure_specs_cc(
+    fig: GainFigure,
+    grid: &FigureGrid,
+    cc: pdos_tcp::cc::CcSpec,
+) -> Vec<ExperimentSpec> {
     let r_attack = fig.r_attack_mbps() * 1e6;
     let mut specs = Vec::with_capacity(grid.flows.len() * grid.textents.len() * grid.gammas.len());
     for &flows in &grid.flows {
         for &t_extent in &grid.textents {
             for &gamma in &grid.gammas {
-                let id = format!(
+                let mut id = format!(
                     "{}/flows{flows}/te{}ms/g{gamma:.3}",
                     fig.name(),
                     (t_extent * 1000.0).round() as u64
                 );
+                if cc != pdos_tcp::cc::CcSpec::Aimd {
+                    id.push_str("/cc-");
+                    id.push_str(cc.key());
+                }
                 specs.push(
                     ExperimentSpec::attacked(
                         id,
-                        ScenarioSpec::ns2_dumbbell(flows),
+                        ScenarioSpec::ns2_dumbbell(flows).with_cc(cc),
                         AttackPoint {
                             t_extent,
                             r_attack,
@@ -205,6 +224,25 @@ mod tests {
         let specs = gain_figure_specs(GainFigure::Fig09, &FigureGrid::smoke());
         assert_eq!(specs.len(), 4);
         assert!(specs.iter().all(|s| s.id.starts_with("fig09/")));
+    }
+
+    #[test]
+    fn cc_grid_tags_ids_and_scenarios_without_touching_aimd() {
+        use pdos_tcp::cc::CcSpec;
+        let grid = FigureGrid::smoke();
+        let legacy = gain_figure_specs(GainFigure::Fig06, &grid);
+        let aimd = gain_figure_specs_cc(GainFigure::Fig06, &grid, CcSpec::Aimd);
+        for (l, a) in legacy.iter().zip(&aimd) {
+            assert_eq!(l.id, a.id);
+            // Same stable hash => same derived seeds and warm-start keys.
+            assert_eq!(l.stable_hash(), a.stable_hash());
+        }
+        let cubic = gain_figure_specs_cc(GainFigure::Fig06, &grid, CcSpec::Cubic);
+        for (l, c) in legacy.iter().zip(&cubic) {
+            assert_eq!(c.id, format!("{}/cc-cubic", l.id));
+            assert_eq!(c.scenario.tcp.cc, CcSpec::Cubic);
+            assert_ne!(l.stable_hash(), c.stable_hash(), "cc must re-seed");
+        }
     }
 
     #[test]

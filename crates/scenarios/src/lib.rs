@@ -50,7 +50,9 @@ pub mod prelude {
         gamma_grid, optimal_pulse_train, ExperimentError, GainExperiment, GainPoint, GainSweep,
         SeedStats, SeededFault,
     };
-    pub use crate::figures::{gain_figure_specs, roc_specs, FigureGrid, GainFigure};
+    pub use crate::figures::{
+        gain_figure_specs, gain_figure_specs_cc, roc_specs, FigureGrid, GainFigure,
+    };
     pub use crate::runner::{
         derive_seed, AttackPoint, ExperimentSpec, RunOutcome, RunRecord, SeedPolicy, SweepReport,
         SweepRunner,

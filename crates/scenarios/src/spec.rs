@@ -125,12 +125,27 @@ impl ScenarioSpec {
         }
     }
 
+    /// Returns this scenario with the victims running the given
+    /// congestion-control algorithm (see `pdos_tcp::cc`). The default,
+    /// `aimd`, is hash-neutral: a spec that never calls this keeps its
+    /// legacy stable hash and derived seeds.
+    pub fn with_cc(mut self, cc: pdos_tcp::cc::CcSpec) -> Self {
+        self.tcp.cc = cc;
+        self
+    }
+
     /// The victim RTT list this spec produces.
     pub fn rtts(&self) -> Vec<f64> {
         spread_rtts(self.n_flows, self.rtt_lo, self.rtt_hi)
     }
 
     /// The analytical victim population corresponding to this scenario.
+    ///
+    /// The paper's model (Eq. 5, Prop. 3/4) is parameterized by
+    /// `AIMD(a, b)` only, so this always reads [`TcpConfig::aimd`] —
+    /// for non-AIMD [`TcpConfig::cc`] choices the analytic curve is a
+    /// *reference*, not a prediction, and the oracle reports rather than
+    /// enforces its bands.
     pub fn victims(&self) -> VictimSet {
         VictimSet::new(
             self.tcp.aimd.a,

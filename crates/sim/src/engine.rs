@@ -525,6 +525,18 @@ impl Simulator {
         &mut self.links[id.index()]
     }
 
+    /// Test hook: swaps an agent's state wholesale, for seeding
+    /// agent-level faults — clone the concrete agent out via
+    /// [`Simulator::agent_as`], corrupt it, and swap it back in.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is unknown.
+    #[doc(hidden)]
+    pub fn replace_agent_for_test(&mut self, id: AgentId, agent: Box<dyn Agent>) {
+        self.agents[id.index()].agent = Some(agent);
+    }
+
     /// Test hook: schedules a `Deliver` event carrying a deliberately
     /// stale arena handle whose slot has been recycled for another packet
     /// — the ABA fault the arena's generation check must catch (by

@@ -1,0 +1,943 @@
+//! Pluggable congestion control: a fold-function registry behind
+//! [`crate::sender::TcpSender`].
+//!
+//! The sender owns a tiny [`CcState`] (`cwnd`, `ssthresh`, both in
+//! fractional segments) and folds congestion events through a boxed
+//! [`CongestionControl`]: cumulative ACKs, dup-ack loss, ECN echoes and
+//! retransmission timeouts. Everything *transport*-shaped — fast-recovery
+//! structure, NewReno partial-ACK deflation, SACK scoreboards, limited
+//! transmit, go-back-N after an RTO — stays in the sender; the algorithm
+//! only decides how the window grows and how far it falls.
+//!
+//! Algorithms are selected declaratively by [`CcSpec`], a string-keyed
+//! registry (`aimd`, `cubic`, `bbr-lite`, `dctcp`, plus the
+//! parameterized `aimd(a,b)` form accepted by [`parse_cc_key`]) carried
+//! in [`TcpConfig::cc`]. Scenarios, sweeps, fuzz cases and the CLI all
+//! pick algorithms through this one enum, so congestion control is data,
+//! not code.
+//!
+//! ## Contract
+//!
+//! Implementations must be:
+//!
+//! * **Deterministic** — pure functions of the event stream (no wall
+//!   clock, no RNG). Two runs of the same scenario must produce the
+//!   same window trajectory bit for bit.
+//! * **Checkpoint-cloneable** — plain data, cloned via
+//!   [`CongestionControl::clone_box`] when the simulator snapshots or
+//!   forks a run. Warm-start forking and `pdos fuzz` rely on this.
+//! * **Bounded** — reductions must keep `ssthresh` at or above
+//!   [`CongestionControl::ssthresh_floor`]; the sender clamps `cwnd`
+//!   into `[1, max_cwnd]` after every fold.
+//!
+//! See `docs/CC.md` for the full contract and a walkthrough of adding a
+//! new algorithm.
+
+use crate::config::{AimdParams, TcpConfig};
+use pdos_sim::time::{SimDuration, SimTime};
+use std::fmt;
+
+/// The congestion variables the sender owns and every algorithm folds
+/// over. Both are fractional *segment* counts, matching the ns-2 agents
+/// the paper simulates.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CcState {
+    /// Congestion window in segments.
+    pub cwnd: f64,
+    /// Slow-start threshold in segments.
+    pub ssthresh: f64,
+}
+
+/// One cumulative-ACK observation handed to [`CongestionControl::on_ack`].
+#[derive(Debug, Clone, Copy)]
+pub struct AckSample {
+    /// Segments newly acknowledged by this cumulative ACK.
+    pub newly: u64,
+    /// Simulation time the ACK was processed.
+    pub now: SimTime,
+    /// Fresh RTT sample, if Karn's rule allowed one on this ACK.
+    pub rtt: Option<SimDuration>,
+    /// Whether this ACK carried the ECN echo bit (only meaningful when
+    /// the config enables ECN).
+    pub ecn_echo: bool,
+}
+
+/// String-keyed registry of congestion-control algorithms.
+///
+/// The default is [`CcSpec::Aimd`], which reproduces the paper's
+/// `AIMD(a, b)` sender byte for byte — configs that never mention `cc`
+/// hash and simulate exactly as before.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum CcSpec {
+    /// The paper's `AIMD(a, b)` response (parameters in
+    /// [`TcpConfig::aimd`]). Registry key `aimd`, or `aimd(a,b)` to set
+    /// the parameters in the same breath.
+    #[default]
+    Aimd,
+    /// RFC 8312 CUBIC window growth with fast convergence. Key `cubic`.
+    Cubic,
+    /// A simplified BBR: startup/drain/probe-bw pacing-gain cycle over
+    /// windowed max-bandwidth and min-RTT filters. Key `bbr-lite`.
+    BbrLite,
+    /// DCTCP: ECN-fraction `alpha` EWMA scales the window reduction.
+    /// Key `dctcp`.
+    Dctcp,
+}
+
+impl CcSpec {
+    /// Every registered algorithm, in registry order.
+    pub const ALL: [CcSpec; 4] = [CcSpec::Aimd, CcSpec::Cubic, CcSpec::BbrLite, CcSpec::Dctcp];
+
+    /// The registry key (`aimd`, `cubic`, `bbr-lite`, `dctcp`).
+    pub fn key(self) -> &'static str {
+        match self {
+            CcSpec::Aimd => "aimd",
+            CcSpec::Cubic => "cubic",
+            CcSpec::BbrLite => "bbr-lite",
+            CcSpec::Dctcp => "dctcp",
+        }
+    }
+
+    /// Looks up a bare registry key. For the parameterized `aimd(a,b)`
+    /// form use [`parse_cc_key`].
+    pub fn from_key(key: &str) -> Option<CcSpec> {
+        CcSpec::ALL.into_iter().find(|c| c.key() == key)
+    }
+
+    /// Instantiates the algorithm's initial state machine.
+    pub fn build(self) -> Box<dyn CongestionControl> {
+        match self {
+            CcSpec::Aimd => Box::new(Aimd),
+            CcSpec::Cubic => Box::new(Cubic::new()),
+            CcSpec::BbrLite => Box::new(BbrLite::new()),
+            CcSpec::Dctcp => Box::new(Dctcp::new()),
+        }
+    }
+}
+
+impl fmt::Display for CcSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.key())
+    }
+}
+
+/// Parses a registry key, accepting the parameterized `aimd(a,b)` form.
+///
+/// Returns the spec plus the AIMD parameters when the key carries them;
+/// the caller applies the parameters to [`TcpConfig::aimd`].
+pub fn parse_cc_key(key: &str) -> Result<(CcSpec, Option<AimdParams>), String> {
+    let key = key.trim();
+    if let Some(cc) = CcSpec::from_key(key) {
+        return Ok((cc, None));
+    }
+    if let Some(rest) = key.strip_prefix("aimd(") {
+        let inner = rest
+            .strip_suffix(')')
+            .ok_or_else(|| format!("malformed cc key `{key}`: missing `)`"))?;
+        let mut parts = inner.split(',');
+        let (a, b) = match (parts.next(), parts.next(), parts.next()) {
+            (Some(a), Some(b), None) => (a.trim(), b.trim()),
+            _ => return Err(format!("malformed cc key `{key}`: want `aimd(a,b)`")),
+        };
+        let a: f64 = a
+            .parse()
+            .map_err(|_| format!("bad AIMD increase `{a}` in `{key}`"))?;
+        let b: f64 = b
+            .parse()
+            .map_err(|_| format!("bad AIMD decrease `{b}` in `{key}`"))?;
+        let params = AimdParams::new(a, b).map_err(|e| format!("bad `{key}`: {e}"))?;
+        return Ok((CcSpec::Aimd, Some(params)));
+    }
+    Err(format!(
+        "unknown cc algorithm `{key}` (known: aimd, aimd(a,b), cubic, bbr-lite, dctcp)"
+    ))
+}
+
+/// The congestion-control fold: how the window grows on ACKs and how far
+/// it falls on loss, ECN and RTO.
+///
+/// The sender calls exactly one method per congestion event and applies
+/// the result through its own clamped `set_cwnd`; implementations never
+/// see or mutate transport state. `on_loss`/`on_rto` set only
+/// `ssthresh` — the sender decides the post-event window (fast-recovery
+/// entry inflates to `ssthresh + dupack_threshold`; an RTO collapses to
+/// one segment for go-back-N).
+pub trait CongestionControl: fmt::Debug + Send {
+    /// Which registry entry this state machine implements.
+    fn kind(&self) -> CcSpec;
+
+    /// Clones the state machine for checkpoint snapshots and forks.
+    fn clone_box(&self) -> Box<dyn CongestionControl>;
+
+    /// Downcast hook for tests and debug tooling.
+    fn as_any(&self) -> &dyn std::any::Any;
+
+    /// Window growth on a cumulative ACK outside loss recovery. Returns
+    /// the new (unclamped) `cwnd`; the sender clamps into
+    /// `[1, max_cwnd]` and records the trace sample.
+    fn on_ack(&mut self, st: &CcState, cfg: &TcpConfig, ack: &AckSample) -> f64;
+
+    /// Dup-ack loss signal: set the reduction target `st.ssthresh`.
+    fn on_loss(&mut self, st: &mut CcState, cfg: &TcpConfig, now: SimTime);
+
+    /// ECN echo (the sender gates to once per window): set
+    /// `st.ssthresh` and return the new (unclamped) `cwnd`.
+    fn on_ecn(&mut self, st: &mut CcState, cfg: &TcpConfig, now: SimTime) -> f64;
+
+    /// Retransmission timeout: set `st.ssthresh`. The sender collapses
+    /// `cwnd` to one segment afterwards.
+    fn on_rto(&mut self, st: &mut CcState, cfg: &TcpConfig, now: SimTime);
+
+    /// Fast recovery completed (full ACK). The sender then sets
+    /// `cwnd = st.ssthresh`; algorithms that keep epoch state (CUBIC)
+    /// reset it here.
+    fn on_recovery_exit(&mut self, _st: &mut CcState, _cfg: &TcpConfig, _now: SimTime) {}
+
+    /// The lowest `ssthresh` this algorithm may ever set — the invariant
+    /// checker audits against this contract instead of assuming AIMD
+    /// halving.
+    fn ssthresh_floor(&self, cfg: &TcpConfig) -> f64 {
+        2.0f64.min(cfg.initial_ssthresh)
+    }
+}
+
+impl Clone for Box<dyn CongestionControl> {
+    fn clone(&self) -> Self {
+        self.clone_box()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// aimd — the paper's AIMD(a, b), byte-identical to the pre-registry sender.
+// ---------------------------------------------------------------------------
+
+/// The paper's `AIMD(a, b)` response. Stateless: the parameters live in
+/// [`TcpConfig::aimd`], and all arithmetic reproduces the original
+/// hard-coded sender expressions exactly (same operations, same order),
+/// so legacy golden digests hold bit for bit.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Aimd;
+
+impl CongestionControl for Aimd {
+    fn kind(&self) -> CcSpec {
+        CcSpec::Aimd
+    }
+
+    fn clone_box(&self) -> Box<dyn CongestionControl> {
+        Box::new(*self)
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn on_ack(&mut self, st: &CcState, cfg: &TcpConfig, _ack: &AckSample) -> f64 {
+        let a = cfg.aimd.a;
+        if st.cwnd < st.ssthresh {
+            // Slow start: one segment (scaled by a) per ACK.
+            st.cwnd + a
+        } else {
+            // Congestion avoidance: ~a segments per RTT.
+            st.cwnd + a / st.cwnd
+        }
+    }
+
+    fn on_loss(&mut self, st: &mut CcState, cfg: &TcpConfig, _now: SimTime) {
+        st.ssthresh = (st.cwnd * cfg.aimd.b).max(2.0);
+    }
+
+    fn on_ecn(&mut self, st: &mut CcState, cfg: &TcpConfig, _now: SimTime) -> f64 {
+        st.ssthresh = (st.cwnd * cfg.aimd.b).max(2.0);
+        st.ssthresh
+    }
+
+    fn on_rto(&mut self, st: &mut CcState, cfg: &TcpConfig, _now: SimTime) {
+        st.ssthresh = (st.cwnd * cfg.aimd.b).max(2.0);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// cubic — RFC 8312 window growth with fast convergence.
+// ---------------------------------------------------------------------------
+
+/// RFC 8312 scaling constant `C` (segments/sec^3).
+const CUBIC_C: f64 = 0.4;
+/// RFC 8312 multiplicative decrease factor `beta_cubic`.
+const CUBIC_BETA: f64 = 0.7;
+
+/// RFC 8312 CUBIC: the window follows `W(t) = C·(t − K)³ + w_max` in
+/// time since the last congestion epoch began, with fast convergence
+/// shrinking `w_max` when a flow backs off twice without reclaiming it.
+///
+/// Growth between loss events is monotone: each ACK moves the window at
+/// most one segment toward the cubic target and never backwards.
+#[derive(Debug, Clone, Copy)]
+pub struct Cubic {
+    /// Window just before the last reduction (the plateau the cubic
+    /// curve aims back at).
+    w_max: f64,
+    /// Time offset `K` to reach `w_max` in the current epoch.
+    k: f64,
+    /// Start of the current congestion-avoidance epoch, or `None` until
+    /// the first post-reduction ACK re-arms it.
+    epoch_start: Option<SimTime>,
+}
+
+impl Cubic {
+    /// Fresh CUBIC state: no epoch, no remembered plateau.
+    pub fn new() -> Self {
+        Cubic {
+            w_max: 0.0,
+            k: 0.0,
+            epoch_start: None,
+        }
+    }
+
+    fn reduce(&mut self, st: &mut CcState) {
+        // Fast convergence: a flow that backs off below its previous
+        // plateau releases bandwidth by aiming lower next epoch.
+        if st.cwnd < self.w_max {
+            self.w_max = st.cwnd * (2.0 - CUBIC_BETA) / 2.0;
+        } else {
+            self.w_max = st.cwnd;
+        }
+        st.ssthresh = (st.cwnd * CUBIC_BETA).max(2.0);
+        self.epoch_start = None;
+    }
+}
+
+impl Default for Cubic {
+    fn default() -> Self {
+        Cubic::new()
+    }
+}
+
+impl CongestionControl for Cubic {
+    fn kind(&self) -> CcSpec {
+        CcSpec::Cubic
+    }
+
+    fn clone_box(&self) -> Box<dyn CongestionControl> {
+        Box::new(*self)
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn on_ack(&mut self, st: &CcState, _cfg: &TcpConfig, ack: &AckSample) -> f64 {
+        if st.cwnd < st.ssthresh {
+            // Standard slow start below ssthresh.
+            return st.cwnd + 1.0;
+        }
+        let t0 = match self.epoch_start {
+            Some(t0) => t0,
+            None => {
+                // New epoch: aim the cubic curve from the current window
+                // back up at w_max over K seconds.
+                if self.w_max < st.cwnd {
+                    self.w_max = st.cwnd;
+                }
+                self.k = ((self.w_max - st.cwnd) / CUBIC_C).max(0.0).cbrt();
+                self.epoch_start = Some(ack.now);
+                ack.now
+            }
+        };
+        let t = ack.now.saturating_since(t0).as_secs_f64();
+        let target = CUBIC_C * (t - self.k).powi(3) + self.w_max;
+        // Per-ACK step toward the target: never negative (monotone
+        // between losses), at most one segment (no line-rate bursts).
+        let step = ((target - st.cwnd) / st.cwnd).clamp(0.0, 1.0);
+        st.cwnd + step
+    }
+
+    fn on_loss(&mut self, st: &mut CcState, _cfg: &TcpConfig, _now: SimTime) {
+        self.reduce(st);
+    }
+
+    fn on_ecn(&mut self, st: &mut CcState, _cfg: &TcpConfig, _now: SimTime) -> f64 {
+        self.reduce(st);
+        st.ssthresh
+    }
+
+    fn on_rto(&mut self, st: &mut CcState, _cfg: &TcpConfig, _now: SimTime) {
+        self.reduce(st);
+    }
+
+    fn on_recovery_exit(&mut self, _st: &mut CcState, _cfg: &TcpConfig, _now: SimTime) {
+        // Congestion avoidance resumes from ssthresh: restart the epoch
+        // clock there, not at the pre-loss window.
+        self.epoch_start = None;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// bbr-lite — startup/drain/probe-bw over windowed max-bw / min-rtt.
+// ---------------------------------------------------------------------------
+
+/// Probe-bandwidth pacing-gain cycle (RFC-draft BBR values): one probe
+/// phase, one drain phase, six cruise phases.
+pub const BBR_PACING_GAINS: [f64; 8] = [1.25, 0.75, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0];
+/// Delivery-rate samples kept in the windowed max filter.
+const BBR_BW_WINDOW: usize = 8;
+/// Startup exits after this many ACKs without ≥25% bandwidth growth.
+const BBR_FULL_BW_ROUNDS: u32 = 3;
+/// Window floor (segments) so probing never stalls the pipe.
+const BBR_MIN_CWND: f64 = 4.0;
+/// RTT fallback (seconds) before the first sample lands.
+const BBR_FALLBACK_RTT: f64 = 0.1;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum BbrPhase {
+    Startup,
+    Drain,
+    ProbeBw(usize),
+}
+
+/// A simplified BBR: model the path (windowed max delivery rate ×
+/// windowed min RTT = BDP) and size the window as `gain × BDP`, cycling
+/// the eight [`BBR_PACING_GAINS`] one min-RTT apart. Loss sets
+/// `ssthresh` mildly but the model — not the loss — dictates the window,
+/// which is exactly why pulsing attacks tuned to AIMD's backoff land
+/// differently here.
+#[derive(Debug, Clone, Copy)]
+pub struct BbrLite {
+    phase: BbrPhase,
+    /// Ring of recent delivery-rate samples (segments/sec).
+    bw_samples: [f64; BBR_BW_WINDOW],
+    bw_pos: usize,
+    /// Windowed-min RTT estimate.
+    min_rtt: Option<SimDuration>,
+    /// Previous ACK arrival, for delivery-rate sampling.
+    last_ack_at: Option<SimTime>,
+    /// Best bandwidth seen in startup and ACKs since it last grew.
+    full_bw: f64,
+    full_bw_rounds: u32,
+    /// When the current probe-bw phase began.
+    phase_start: Option<SimTime>,
+}
+
+impl BbrLite {
+    /// Fresh BBR-lite state in startup.
+    pub fn new() -> Self {
+        BbrLite {
+            phase: BbrPhase::Startup,
+            bw_samples: [0.0; BBR_BW_WINDOW],
+            bw_pos: 0,
+            min_rtt: None,
+            last_ack_at: None,
+            full_bw: 0.0,
+            full_bw_rounds: 0,
+            phase_start: None,
+        }
+    }
+
+    fn max_bw(&self) -> f64 {
+        self.bw_samples.iter().copied().fold(0.0, f64::max)
+    }
+
+    fn rtt_secs(&self) -> f64 {
+        self.min_rtt
+            .map(SimDuration::as_secs_f64)
+            .filter(|r| *r > 0.0)
+            .unwrap_or(BBR_FALLBACK_RTT)
+    }
+
+    /// Bandwidth-delay product in segments, per the current model.
+    fn bdp(&self) -> f64 {
+        self.max_bw() * self.rtt_secs()
+    }
+
+    /// The probe-bw phase index, if the cycle is running (test hook).
+    #[doc(hidden)]
+    pub fn probe_phase(&self) -> Option<usize> {
+        match self.phase {
+            BbrPhase::ProbeBw(i) => Some(i),
+            _ => None,
+        }
+    }
+}
+
+impl Default for BbrLite {
+    fn default() -> Self {
+        BbrLite::new()
+    }
+}
+
+impl CongestionControl for BbrLite {
+    fn kind(&self) -> CcSpec {
+        CcSpec::BbrLite
+    }
+
+    fn clone_box(&self) -> Box<dyn CongestionControl> {
+        Box::new(*self)
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn on_ack(&mut self, st: &CcState, _cfg: &TcpConfig, ack: &AckSample) -> f64 {
+        if let Some(rtt) = ack.rtt {
+            match self.min_rtt {
+                Some(m) if m <= rtt => {}
+                _ => self.min_rtt = Some(rtt),
+            }
+        }
+        if let Some(last) = self.last_ack_at {
+            let elapsed = ack.now.saturating_since(last).as_secs_f64();
+            if elapsed > 0.0 {
+                self.bw_samples[self.bw_pos] = ack.newly as f64 / elapsed;
+                self.bw_pos = (self.bw_pos + 1) % BBR_BW_WINDOW;
+            }
+        }
+        self.last_ack_at = Some(ack.now);
+
+        let bdp = self.bdp();
+        match self.phase {
+            BbrPhase::Startup => {
+                let bw = self.max_bw();
+                if bw > self.full_bw * 1.25 {
+                    self.full_bw = bw;
+                    self.full_bw_rounds = 0;
+                } else if bw > 0.0 {
+                    self.full_bw_rounds += 1;
+                    if self.full_bw_rounds >= BBR_FULL_BW_ROUNDS && bdp > 0.0 {
+                        self.phase = BbrPhase::Drain;
+                    }
+                }
+                // Startup: double per RTT, like slow start.
+                st.cwnd + ack.newly as f64
+            }
+            BbrPhase::Drain => {
+                let target = bdp.max(BBR_MIN_CWND);
+                if st.cwnd <= target {
+                    self.phase = BbrPhase::ProbeBw(0);
+                    self.phase_start = Some(ack.now);
+                    return target;
+                }
+                // Drain the startup queue: step down toward BDP.
+                (st.cwnd * 0.75).max(target)
+            }
+            BbrPhase::ProbeBw(idx) => {
+                let mut idx = idx;
+                let rtt = SimDuration::from_secs_f64(self.rtt_secs());
+                let started = *self.phase_start.get_or_insert(ack.now);
+                if ack.now.saturating_since(started) >= rtt {
+                    idx = (idx + 1) % BBR_PACING_GAINS.len();
+                    self.phase = BbrPhase::ProbeBw(idx);
+                    self.phase_start = Some(ack.now);
+                }
+                (BBR_PACING_GAINS[idx] * bdp).max(BBR_MIN_CWND)
+            }
+        }
+    }
+
+    fn on_loss(&mut self, st: &mut CcState, _cfg: &TcpConfig, _now: SimTime) {
+        // BBR is model-driven: loss nudges ssthresh but the window is
+        // re-derived from (max_bw, min_rtt) on the next ACK.
+        st.ssthresh = (st.cwnd * 0.85).max(2.0);
+    }
+
+    fn on_ecn(&mut self, st: &mut CcState, _cfg: &TcpConfig, _now: SimTime) -> f64 {
+        st.ssthresh = (st.cwnd * 0.85).max(2.0);
+        st.ssthresh
+    }
+
+    fn on_rto(&mut self, st: &mut CcState, _cfg: &TcpConfig, _now: SimTime) {
+        // A timeout invalidates the model: restart discovery.
+        st.ssthresh = (st.cwnd * 0.5).max(2.0);
+        self.phase = BbrPhase::Startup;
+        self.phase_start = None;
+        self.full_bw = 0.0;
+        self.full_bw_rounds = 0;
+        self.bw_samples = [0.0; BBR_BW_WINDOW];
+        self.last_ack_at = None;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// dctcp — ECN-fraction alpha EWMA.
+// ---------------------------------------------------------------------------
+
+/// DCTCP EWMA gain `g` (RFC 8257 recommends 1/16).
+const DCTCP_G: f64 = 1.0 / 16.0;
+
+/// DCTCP: estimate the fraction `alpha` of ACKs carrying ECN echoes
+/// (EWMA, gain 1/16, updated once per window of ACKed segments) and cut
+/// the window by `alpha / 2` on each ECN round — a gentle, congestion-
+/// proportional backoff. Loss and RTO fall back to standard halving.
+///
+/// `alpha` starts at 1 (RFC 8257) so the first congestion signal is as
+/// conservative as Reno, then anneals to the observed marking rate.
+#[derive(Debug, Clone, Copy)]
+pub struct Dctcp {
+    /// EWMA of the ECN-marked fraction, always in `[0, 1]`.
+    alpha: f64,
+    /// Segments ACKed in the current observation window.
+    acked: f64,
+    /// Of those, segments whose ACK carried the ECN echo.
+    marked: f64,
+}
+
+impl Dctcp {
+    /// Fresh DCTCP state with `alpha = 1` per RFC 8257.
+    pub fn new() -> Self {
+        Dctcp {
+            alpha: 1.0,
+            acked: 0.0,
+            marked: 0.0,
+        }
+    }
+
+    /// The current `alpha` estimate (test hook).
+    #[doc(hidden)]
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+}
+
+impl Default for Dctcp {
+    fn default() -> Self {
+        Dctcp::new()
+    }
+}
+
+impl CongestionControl for Dctcp {
+    fn kind(&self) -> CcSpec {
+        CcSpec::Dctcp
+    }
+
+    fn clone_box(&self) -> Box<dyn CongestionControl> {
+        Box::new(*self)
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn on_ack(&mut self, st: &CcState, _cfg: &TcpConfig, ack: &AckSample) -> f64 {
+        self.acked += ack.newly as f64;
+        if ack.ecn_echo {
+            self.marked += ack.newly as f64;
+        }
+        // One observation window ≈ one cwnd's worth of ACKed segments.
+        if self.acked >= st.cwnd.max(1.0) {
+            let fraction = self.marked / self.acked;
+            self.alpha = (1.0 - DCTCP_G) * self.alpha + DCTCP_G * fraction;
+            self.acked = 0.0;
+            self.marked = 0.0;
+        }
+        // Window growth is standard Reno.
+        if st.cwnd < st.ssthresh {
+            st.cwnd + 1.0
+        } else {
+            st.cwnd + 1.0 / st.cwnd
+        }
+    }
+
+    fn on_loss(&mut self, st: &mut CcState, _cfg: &TcpConfig, _now: SimTime) {
+        st.ssthresh = (st.cwnd * 0.5).max(2.0);
+    }
+
+    fn on_ecn(&mut self, st: &mut CcState, _cfg: &TcpConfig, _now: SimTime) -> f64 {
+        // The DCTCP cut: proportional to the observed marking rate.
+        st.ssthresh = (st.cwnd * (1.0 - self.alpha / 2.0)).max(2.0);
+        st.ssthresh
+    }
+
+    fn on_rto(&mut self, st: &mut CcState, _cfg: &TcpConfig, _now: SimTime) {
+        st.ssthresh = (st.cwnd * 0.5).max(2.0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> TcpConfig {
+        TcpConfig::ns2_newreno()
+    }
+
+    fn ack_at(now_ms: u64, newly: u64) -> AckSample {
+        AckSample {
+            newly,
+            now: SimTime::from_millis(now_ms),
+            rtt: Some(SimDuration::from_millis(50)),
+            ecn_echo: false,
+        }
+    }
+
+    #[test]
+    fn registry_keys_round_trip() {
+        for cc in CcSpec::ALL {
+            assert_eq!(CcSpec::from_key(cc.key()), Some(cc));
+            assert_eq!(parse_cc_key(cc.key()).unwrap(), (cc, None));
+            assert_eq!(cc.build().kind(), cc);
+        }
+        assert_eq!(CcSpec::from_key("reno"), None);
+        assert!(parse_cc_key("reno").is_err());
+    }
+
+    #[test]
+    fn parameterized_aimd_key_parses() {
+        let (cc, params) = parse_cc_key("aimd(0.5, 0.875)").unwrap();
+        assert_eq!(cc, CcSpec::Aimd);
+        let p = params.unwrap();
+        assert!((p.a - 0.5).abs() < 1e-12);
+        assert!((p.b - 0.875).abs() < 1e-12);
+        assert!(parse_cc_key("aimd(1.0)").is_err());
+        assert!(parse_cc_key("aimd(1.0, 2.0)").is_err(), "b >= 1 rejected");
+        assert!(parse_cc_key("aimd(x, 0.5)").is_err());
+    }
+
+    #[test]
+    fn aimd_matches_legacy_expressions() {
+        let c = cfg();
+        let mut cc = Aimd;
+        let st = CcState {
+            cwnd: 4.0,
+            ssthresh: 8.0,
+        };
+        // Slow start: +a per ACK.
+        assert_eq!(cc.on_ack(&st, &c, &ack_at(1, 1)), 4.0 + c.aimd.a);
+        let st = CcState {
+            cwnd: 10.0,
+            ssthresh: 8.0,
+        };
+        // Congestion avoidance: +a/cwnd per ACK.
+        assert_eq!(cc.on_ack(&st, &c, &ack_at(1, 1)), 10.0 + c.aimd.a / 10.0);
+        let mut st = CcState {
+            cwnd: 10.0,
+            ssthresh: 8.0,
+        };
+        cc.on_loss(&mut st, &c, SimTime::from_millis(2));
+        assert_eq!(st.ssthresh, (10.0 * c.aimd.b).max(2.0));
+    }
+
+    #[test]
+    fn cubic_growth_is_monotone_between_losses() {
+        let c = cfg();
+        let mut cc = Cubic::new();
+        let mut st = CcState {
+            cwnd: 20.0,
+            ssthresh: 10.0,
+        };
+        cc.on_loss(&mut st, &c, SimTime::from_millis(0));
+        st.cwnd = st.ssthresh;
+        let mut prev = st.cwnd;
+        for i in 0..2_000u64 {
+            let next = cc.on_ack(&st, &c, &ack_at(10 + i * 5, 1));
+            assert!(
+                next >= prev - 1e-12,
+                "cubic shrank between losses: {prev} -> {next} at ack {i}"
+            );
+            assert!(next <= prev + 1.0 + 1e-12, "per-ack step bounded by 1");
+            st.cwnd = next.clamp(1.0, c.max_cwnd);
+            prev = st.cwnd;
+        }
+        // The curve passes its plateau and keeps probing beyond w_max.
+        assert!(
+            st.cwnd > 20.0,
+            "cubic reclaimed and passed w_max: {}",
+            st.cwnd
+        );
+    }
+
+    #[test]
+    fn cubic_fast_convergence_lowers_the_plateau() {
+        let c = cfg();
+        let mut cc = Cubic::new();
+        let mut st = CcState {
+            cwnd: 40.0,
+            ssthresh: 20.0,
+        };
+        cc.on_loss(&mut st, &c, SimTime::from_millis(0));
+        assert_eq!(cc.w_max, 40.0);
+        // Second loss below the plateau: w_max drops under the window.
+        st.cwnd = 30.0;
+        cc.on_loss(&mut st, &c, SimTime::from_millis(100));
+        assert!((cc.w_max - 30.0 * (2.0 - CUBIC_BETA) / 2.0).abs() < 1e-12);
+        assert_eq!(st.ssthresh, (30.0 * CUBIC_BETA).max(2.0));
+    }
+
+    #[test]
+    fn bbr_lite_cycles_probe_gains_periodically() {
+        let c = cfg();
+        let mut cc = BbrLite::new();
+        let mut st = CcState {
+            cwnd: 4.0,
+            ssthresh: 64.0,
+        };
+        // Drive steady ACKs 10 ms apart with a 50 ms RTT until the cycle
+        // starts, then record phase transitions.
+        let mut phases = Vec::new();
+        for i in 0..3_000u64 {
+            let next = cc.on_ack(&st, &c, &ack_at(10 * (i + 1), 2));
+            st.cwnd = next.clamp(1.0, c.max_cwnd);
+            if let Some(p) = cc.probe_phase() {
+                if phases.last() != Some(&p) {
+                    phases.push(p);
+                }
+            }
+        }
+        assert!(
+            phases.len() >= 17,
+            "cycle ran at least twice around: {phases:?}"
+        );
+        // Phases advance strictly cyclically: 0,1,...,7,0,1,...
+        for w in phases.windows(2) {
+            assert_eq!(w[1], (w[0] + 1) % BBR_PACING_GAINS.len(), "{phases:?}");
+        }
+        assert_eq!(phases[0], 0, "cycle starts at the probe phase");
+    }
+
+    #[test]
+    fn bbr_lite_window_tracks_gain_times_bdp() {
+        let c = cfg();
+        let mut cc = BbrLite::new();
+        let mut st = CcState {
+            cwnd: 4.0,
+            ssthresh: 64.0,
+        };
+        let mut last = 0.0;
+        for i in 0..3_000u64 {
+            last = cc.on_ack(&st, &c, &ack_at(10 * (i + 1), 2));
+            st.cwnd = last.clamp(1.0, c.max_cwnd);
+        }
+        let (idx, bdp) = (cc.probe_phase().unwrap(), cc.bdp());
+        assert!((last - (BBR_PACING_GAINS[idx] * bdp).max(BBR_MIN_CWND)).abs() < 1e-9);
+        // 2 segments per 10 ms = 200 seg/s; min RTT 50 ms → BDP = 10.
+        assert!(
+            (bdp - 10.0).abs() < 1.0,
+            "bdp model near 10 segments: {bdp}"
+        );
+    }
+
+    #[test]
+    fn dctcp_alpha_anneals_toward_marking_rate() {
+        let c = cfg();
+        let mut cc = Dctcp::new();
+        let st = CcState {
+            cwnd: 4.0,
+            ssthresh: 2.0,
+        };
+        // No marks: alpha decays geometrically from 1 toward 0.
+        for i in 0..400u64 {
+            cc.on_ack(&st, &c, &ack_at(i + 1, 2));
+        }
+        assert!(
+            cc.alpha() < 0.01,
+            "alpha decays without marks: {}",
+            cc.alpha()
+        );
+        // All-marked stream: alpha climbs back toward 1.
+        for i in 0..400u64 {
+            let mut a = ack_at(500 + i, 2);
+            a.ecn_echo = true;
+            cc.on_ack(&st, &c, &a);
+        }
+        assert!(
+            cc.alpha() > 0.99,
+            "alpha tracks full marking: {}",
+            cc.alpha()
+        );
+    }
+
+    #[test]
+    fn dctcp_cut_is_proportional_to_alpha() {
+        let c = cfg();
+        let mut cc = Dctcp::new();
+        let st0 = CcState {
+            cwnd: 4.0,
+            ssthresh: 2.0,
+        };
+        for i in 0..400u64 {
+            cc.on_ack(&st0, &c, &ack_at(i + 1, 2));
+        }
+        let alpha = cc.alpha();
+        let mut st = CcState {
+            cwnd: 20.0,
+            ssthresh: 10.0,
+        };
+        let cut = cc.on_ecn(&mut st, &c, SimTime::from_secs(1));
+        assert!((cut - (20.0 * (1.0 - alpha / 2.0)).max(2.0)).abs() < 1e-12);
+        assert_eq!(st.ssthresh, cut);
+    }
+
+    #[test]
+    fn all_algorithms_clone_box_preserves_state() {
+        for cc in CcSpec::ALL {
+            let c = cfg();
+            let mut machine = cc.build();
+            let mut st = CcState {
+                cwnd: 12.0,
+                ssthresh: 6.0,
+            };
+            for i in 0..50u64 {
+                let next = machine.on_ack(&st, &c, &ack_at(10 * (i + 1), 1));
+                st.cwnd = next.clamp(1.0, c.max_cwnd);
+            }
+            let mut forked = machine.clone_box();
+            let mut st2 = st;
+            // Identical continuations: the clone is a full state snapshot.
+            for i in 50..80u64 {
+                let a = machine.on_ack(&st, &c, &ack_at(10 * (i + 1), 1));
+                let b = forked.on_ack(&st2, &c, &ack_at(10 * (i + 1), 1));
+                assert_eq!(a.to_bits(), b.to_bits(), "{cc:?} fork diverged at {i}");
+                st.cwnd = a.clamp(1.0, c.max_cwnd);
+                st2.cwnd = b.clamp(1.0, c.max_cwnd);
+            }
+        }
+    }
+
+    proptest::proptest! {
+        /// Every algorithm, fed arbitrary ack/loss/ecn/rto interleavings,
+        /// keeps the clamped window in [1, max_cwnd], keeps ssthresh at
+        /// or above its contracted floor, and (DCTCP) keeps alpha in
+        /// [0, 1].
+        #[test]
+        fn prop_cc_state_machines_stay_bounded(
+            alg in 0usize..4,
+            ops in proptest::collection::vec((0u8..4, 1u64..8), 1..300)
+        ) {
+            let c = cfg();
+            let cc_spec = CcSpec::ALL[alg];
+            let mut cc = cc_spec.build();
+            let mut st = CcState { cwnd: c.initial_cwnd, ssthresh: c.initial_ssthresh };
+            let mut now_ms = 0u64;
+            for (kind, arg) in ops {
+                now_ms += arg * 7;
+                let now = SimTime::from_millis(now_ms);
+                match kind {
+                    0 => {
+                        let mut a = ack_at(now_ms, arg);
+                        a.ecn_echo = arg % 3 == 0;
+                        let next = cc.on_ack(&st, &c, &a);
+                        proptest::prop_assert!(next.is_finite());
+                        st.cwnd = next.clamp(1.0, c.max_cwnd);
+                    }
+                    1 => {
+                        cc.on_loss(&mut st, &c, now);
+                        st.cwnd = st.ssthresh.clamp(1.0, c.max_cwnd);
+                    }
+                    2 => {
+                        let next = cc.on_ecn(&mut st, &c, now);
+                        st.cwnd = next.clamp(1.0, c.max_cwnd);
+                    }
+                    _ => {
+                        cc.on_rto(&mut st, &c, now);
+                        st.cwnd = 1.0;
+                    }
+                }
+                proptest::prop_assert!(st.cwnd >= 1.0 && st.cwnd <= c.max_cwnd);
+                proptest::prop_assert!(st.ssthresh.is_finite());
+                proptest::prop_assert!(st.ssthresh >= cc.ssthresh_floor(&c));
+                if let CcSpec::Dctcp = cc_spec {
+                    let d: &Dctcp = cc.as_any().downcast_ref::<Dctcp>().unwrap();
+                    proptest::prop_assert!((0.0..=1.0).contains(&d.alpha()));
+                }
+            }
+        }
+    }
+}

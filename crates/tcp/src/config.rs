@@ -1,7 +1,9 @@
 //! TCP agent configuration.
 
+use crate::cc::{parse_cc_key, CcSpec};
 use pdos_sim::time::SimDuration;
 use pdos_sim::units::Bytes;
+use std::fmt;
 
 /// The general additive-increase / multiplicative-decrease parameters of
 /// §2.1: on a congestion signal the window drops from `W` to `b·W`; each
@@ -68,7 +70,7 @@ pub enum CcVariant {
 }
 
 /// Full sender/receiver configuration.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Clone, PartialEq)]
 pub struct TcpConfig {
     /// Maximum segment size (payload bytes per segment).
     pub mss: Bytes,
@@ -134,6 +136,48 @@ pub struct TcpConfig {
     /// Record a `(time, cwnd)` sample at every window change (costs memory;
     /// enable only when the experiment reads the trajectory).
     pub record_cwnd: bool,
+    /// Congestion-control algorithm (see [`crate::cc`]). The default,
+    /// [`CcSpec::Aimd`], reproduces the paper's sender exactly.
+    pub cc: CcSpec,
+}
+
+// Hand-rolled `Debug` because the derive output is hash-load-bearing:
+// `ExperimentSpec::stable_hash`, the sweep prefix hash and the baseline
+// memo key all digest `{scenario:?}`, which embeds this struct. The
+// impl prints the original 22 fields exactly as the derive did and
+// appends `cc` only when it differs from the default, so every config
+// that predates the registry — and every `cc = aimd` config — keeps its
+// legacy hash, derived seeds and golden digests bit for bit.
+impl fmt::Debug for TcpConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut d = f.debug_struct("TcpConfig");
+        d.field("mss", &self.mss)
+            .field("header", &self.header)
+            .field("ack_size", &self.ack_size)
+            .field("aimd", &self.aimd)
+            .field("delayed_ack", &self.delayed_ack)
+            .field("ack_delay", &self.ack_delay)
+            .field("initial_cwnd", &self.initial_cwnd)
+            .field("initial_ssthresh", &self.initial_ssthresh)
+            .field("max_cwnd", &self.max_cwnd)
+            .field("dupack_threshold", &self.dupack_threshold)
+            .field("sack", &self.sack)
+            .field("limited_transmit", &self.limited_transmit)
+            .field("min_rto", &self.min_rto)
+            .field("max_rto", &self.max_rto)
+            .field("variant", &self.variant)
+            .field("ecn", &self.ecn)
+            .field("rto_rand_spread", &self.rto_rand_spread)
+            .field("rto_rand_seed", &self.rto_rand_seed)
+            .field("limit_segments", &self.limit_segments)
+            .field("burst_segments", &self.burst_segments)
+            .field("think_time", &self.think_time)
+            .field("record_cwnd", &self.record_cwnd);
+        if self.cc != CcSpec::Aimd {
+            d.field("cc", &self.cc);
+        }
+        d.finish()
+    }
 }
 
 impl TcpConfig {
@@ -164,6 +208,7 @@ impl TcpConfig {
             burst_segments: None,
             think_time: SimDuration::from_millis(500),
             record_cwnd: false,
+            cc: CcSpec::Aimd,
         }
     }
 
@@ -221,6 +266,22 @@ impl TcpConfig {
     /// The on-wire size of one full data segment.
     pub fn segment_wire_size(&self) -> Bytes {
         self.mss + self.header
+    }
+
+    /// Applies a congestion-control registry key (`aimd`, `aimd(a,b)`,
+    /// `cubic`, `bbr-lite`, `dctcp`) to this configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message for unknown keys or invalid `aimd(a,b)`
+    /// parameters.
+    pub fn set_cc_key(&mut self, key: &str) -> Result<(), String> {
+        let (cc, params) = parse_cc_key(key)?;
+        self.cc = cc;
+        if let Some(p) = params {
+            self.aimd = p;
+        }
+        Ok(())
     }
 }
 
@@ -304,5 +365,36 @@ mod tests {
     fn wire_size_includes_header() {
         let c = TcpConfig::ns2_newreno();
         assert_eq!(c.segment_wire_size().as_u64(), 1040);
+    }
+
+    #[test]
+    fn debug_omits_default_cc_and_names_overrides() {
+        use crate::cc::CcSpec;
+        // Legacy configs must render exactly as before the registry
+        // existed: the experiment hashes digest this string.
+        let legacy = format!("{:?}", TcpConfig::ns2_newreno());
+        assert!(!legacy.contains("cc:"), "default cc leaked into {legacy}");
+        assert!(legacy.ends_with("record_cwnd: false }"), "{legacy}");
+        let mut c = TcpConfig::ns2_newreno();
+        c.cc = CcSpec::Cubic;
+        let tagged = format!("{c:?}");
+        assert!(
+            tagged.ends_with("record_cwnd: false, cc: Cubic }"),
+            "{tagged}"
+        );
+    }
+
+    #[test]
+    fn set_cc_key_updates_algorithm_and_aimd_params() {
+        use crate::cc::CcSpec;
+        let mut c = TcpConfig::ns2_newreno();
+        c.set_cc_key("cubic").unwrap();
+        assert_eq!(c.cc, CcSpec::Cubic);
+        c.set_cc_key("aimd(0.31, 0.875)").unwrap();
+        assert_eq!(c.cc, CcSpec::Aimd);
+        assert!((c.aimd.a - 0.31).abs() < 1e-12);
+        assert!((c.aimd.b - 0.875).abs() < 1e-12);
+        assert!(c.set_cc_key("vegas").is_err());
+        assert!(c.validate().is_ok());
     }
 }

@@ -1,13 +1,16 @@
-//! # pdos-tcp — general AIMD(a, b) TCP agents for `pdos-sim`
+//! # pdos-tcp — pluggable-CC TCP agents for `pdos-sim`
 //!
 //! Segment-granularity TCP endpoints in the style of ns-2's agents, built
 //! for the PDoS-lab reproduction of Luo & Chang (DSN 2005):
 //!
-//! * [`sender::TcpSender`] — greedy source with slow start, congestion
-//!   avoidance under a general additive-increase/multiplicative-decrease
-//!   rule [`config::AimdParams`], fast retransmit, NewReno/Reno/Tahoe loss
-//!   recovery, and an RFC 6298-style retransmission timeout with a
-//!   configurable floor (`min_rto`) — the knob the shrew attack exploits.
+//! * [`sender::TcpSender`] — greedy source with slow start, fast
+//!   retransmit, NewReno/Reno/Tahoe loss recovery, and an RFC 6298-style
+//!   retransmission timeout with a configurable floor (`min_rto`) — the
+//!   knob the shrew attack exploits. Window growth and backoff fold
+//!   through the [`cc`] registry: the paper's general
+//!   additive-increase/multiplicative-decrease rule
+//!   ([`config::AimdParams`], the default), RFC 8312 CUBIC, a simplified
+//!   BBR and DCTCP, selected declaratively by [`cc::CcSpec`].
 //! * [`sink::TcpSink`] — cumulative ACKs with the delayed-ACK factor `d`
 //!   that appears throughout the paper's throughput model.
 //!
@@ -46,6 +49,7 @@
 #![deny(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod cc;
 pub mod config;
 pub mod rto;
 pub mod sender;
@@ -54,6 +58,7 @@ pub mod stats;
 
 /// Convenient re-exports.
 pub mod prelude {
+    pub use crate::cc::{parse_cc_key, AckSample, CcSpec, CcState, CongestionControl};
     pub use crate::config::{AimdParams, CcVariant, TcpConfig};
     pub use crate::rto::RttEstimator;
     pub use crate::sender::TcpSender;

@@ -1,11 +1,13 @@
-//! The TCP sender: a greedy (FTP-like) source driving a general
-//! `AIMD(a, b)` congestion-control state machine.
+//! The TCP sender: a greedy (FTP-like) source driving a pluggable
+//! congestion-control state machine (the paper's general `AIMD(a, b)`
+//! by default; see [`crate::cc`] for the registry).
 //!
 //! The sender works at segment granularity like the ns-2 TCP agents the
 //! paper simulates: sequence numbers count segments, the congestion window
 //! is a (fractional) segment count, and ACKs carry the receiver's
 //! next-expected segment number.
 
+use crate::cc::{AckSample, CcState, CongestionControl};
 use crate::config::{CcVariant, TcpConfig};
 use crate::rto::RttEstimator;
 use crate::stats::{CwndSample, SenderStats};
@@ -44,9 +46,10 @@ pub struct TcpSender {
     flow: FlowId,
     dst: NodeId,
 
-    // Window state (in segments).
-    cwnd: f64,
-    ssthresh: f64,
+    // Window state (in segments), folded through the pluggable
+    // congestion-control algorithm below.
+    st: CcState,
+    cc: Box<dyn CongestionControl>,
     /// Next never-before-sent segment.
     next_new: u64,
     /// All segments below this are cumulatively acknowledged.
@@ -106,8 +109,11 @@ impl TcpSender {
                 .wrapping_add(u64::from(flow.as_u32())),
         );
         TcpSender {
-            cwnd: cfg.initial_cwnd,
-            ssthresh: cfg.initial_ssthresh,
+            st: CcState {
+                cwnd: cfg.initial_cwnd,
+                ssthresh: cfg.initial_ssthresh,
+            },
+            cc: cfg.cc.build(),
             next_new: 0,
             high_ack: 0,
             dup_acks: 0,
@@ -140,12 +146,17 @@ impl TcpSender {
 
     /// Current congestion window, in segments.
     pub fn cwnd(&self) -> f64 {
-        self.cwnd
+        self.st.cwnd
     }
 
     /// Current slow-start threshold, in segments.
     pub fn ssthresh(&self) -> f64 {
-        self.ssthresh
+        self.st.ssthresh
+    }
+
+    /// Which congestion-control algorithm this sender runs.
+    pub fn cc_kind(&self) -> crate::cc::CcSpec {
+        self.cc.kind()
     }
 
     /// Whether the sender is inside fast recovery.
@@ -173,31 +184,38 @@ impl TcpSender {
     /// returning any breaches (empty on a healthy sender).
     ///
     /// Checked: `cwnd` finite and within `[1, max_cwnd]` segments (the
-    /// AIMD floor outside timeout), `ssthresh` finite and at or above its
-    /// two-segment reduction floor (RFC 5681), the RFC 6298 RTO inside
+    /// one-segment floor outside timeout), `ssthresh` finite and at or
+    /// above the floor the active congestion-control algorithm contracts
+    /// via [`CongestionControl::ssthresh_floor`] (two segments for the
+    /// RFC 5681 family — not hard-coded AIMD halving, so CUBIC/BBR/DCTCP
+    /// reductions don't trip false positives), the RFC 6298 RTO inside
     /// `[min_rto, max_rto]`, and no sequence regression
     /// (`next_new >= high_ack`).
     pub fn check_invariants(&self, now: SimTime) -> Vec<Violation> {
         let mut out = Vec::new();
         let entity = format!("tcp-sender/{}", self.flow);
-        if !self.cwnd.is_finite() || !(1.0..=self.cfg.max_cwnd).contains(&self.cwnd) {
+        if !self.st.cwnd.is_finite() || !(1.0..=self.cfg.max_cwnd).contains(&self.st.cwnd) {
             out.push(Violation {
                 at: now,
                 entity: entity.clone(),
                 kind: ViolationKind::TcpWindow,
                 detail: format!(
                     "cwnd {} outside [1, {}] segments",
-                    self.cwnd, self.cfg.max_cwnd
+                    self.st.cwnd, self.cfg.max_cwnd
                 ),
             });
         }
-        let ssthresh_floor = 2.0f64.min(self.cfg.initial_ssthresh);
-        if !self.ssthresh.is_finite() || self.ssthresh < ssthresh_floor {
+        let ssthresh_floor = self.cc.ssthresh_floor(&self.cfg);
+        if !self.st.ssthresh.is_finite() || self.st.ssthresh < ssthresh_floor {
             out.push(Violation {
                 at: now,
                 entity: entity.clone(),
                 kind: ViolationKind::TcpWindow,
-                detail: format!("ssthresh {} below floor {ssthresh_floor}", self.ssthresh),
+                detail: format!(
+                    "ssthresh {} below {} floor {ssthresh_floor}",
+                    self.st.ssthresh,
+                    self.cc.kind()
+                ),
             });
         }
         if self.next_new < self.high_ack {
@@ -230,7 +248,7 @@ impl TcpSender {
     /// [`TcpSender::set_cwnd`], seeding a window fault for the checkers.
     #[doc(hidden)]
     pub fn corrupt_cwnd_for_test(&mut self, value: f64) {
-        self.cwnd = value;
+        self.st.cwnd = value;
     }
 
     fn outstanding(&self) -> bool {
@@ -241,13 +259,13 @@ impl TcpSender {
         if self.cfg.record_cwnd {
             self.cwnd_trace.push(CwndSample {
                 at: now,
-                cwnd: self.cwnd,
+                cwnd: self.st.cwnd,
             });
         }
     }
 
     fn set_cwnd(&mut self, value: f64, now: SimTime) {
-        self.cwnd = value.clamp(1.0, self.cfg.max_cwnd);
+        self.st.cwnd = value.clamp(1.0, self.cfg.max_cwnd);
         self.record_cwnd(now);
     }
 
@@ -304,7 +322,7 @@ impl TcpSender {
     /// Sends as much as the window allows: pending timeout re-sends first,
     /// then new data.
     fn send_window(&mut self, ctx: &mut AgentCtx<'_>) {
-        let usable_end = self.high_ack + self.cwnd.floor() as u64;
+        let usable_end = self.high_ack + self.st.cwnd.floor() as u64;
         loop {
             if let Some(s) = self.resend_from {
                 if s < self.next_new && s < usable_end {
@@ -340,15 +358,18 @@ impl TcpSender {
         }
     }
 
-    fn on_new_ack(&mut self, cum_seq: u64, ctx: &mut AgentCtx<'_>) {
+    fn on_new_ack(&mut self, cum_seq: u64, ecn_echo: bool, ctx: &mut AgentCtx<'_>) {
         let newly = cum_seq - self.high_ack;
         // RTT sample (Karn-safe: `timed` is cleared on any retransmission
         // of the timed segment).
+        let mut rtt_sample = None;
         if let Some((seq, sent_at)) = self.timed {
             if cum_seq > seq {
-                self.est.on_sample(ctx.now().saturating_since(sent_at));
+                let sample = ctx.now().saturating_since(sent_at);
+                self.est.on_sample(sample);
                 self.stats.rtt_samples += 1;
                 self.timed = None;
+                rtt_sample = Some(sample);
             }
         }
         self.high_ack = cum_seq;
@@ -374,24 +395,26 @@ impl TcpSender {
                 self.in_fast_recovery = false;
                 self.dup_acks = 0;
                 self.sack_retx_sent.clear();
-                self.set_cwnd(self.ssthresh, ctx.now());
+                self.cc.on_recovery_exit(&mut self.st, &self.cfg, ctx.now());
+                self.set_cwnd(self.st.ssthresh, ctx.now());
             } else {
                 // NewReno partial ACK: retransmit the next hole, deflate by
                 // the amount acked, add back one segment, restart the timer.
                 self.send_segment(self.high_ack, true, ctx);
-                self.set_cwnd((self.cwnd - newly as f64 + 1.0).max(1.0), ctx.now());
+                self.set_cwnd((self.st.cwnd - newly as f64 + 1.0).max(1.0), ctx.now());
                 self.send_window(ctx);
                 self.arm_rto(ctx);
                 return;
             }
         } else {
             self.dup_acks = 0;
-            let a = self.cfg.aimd.a;
-            let grown = if self.cwnd < self.ssthresh {
-                self.cwnd + a // slow start: +a per ACK
-            } else {
-                self.cwnd + a / self.cwnd // congestion avoidance
+            let ack = AckSample {
+                newly,
+                now: ctx.now(),
+                rtt: rtt_sample,
+                ecn_echo,
             };
+            let grown = self.cc.on_ack(&self.st, &self.cfg, &ack);
             self.set_cwnd(grown, ctx.now());
         }
 
@@ -429,7 +452,7 @@ impl TcpSender {
         if self.in_fast_recovery {
             // Window inflation: each further dup-ACK signals one segment
             // has left the network.
-            self.set_cwnd(self.cwnd + 1.0, ctx.now());
+            self.set_cwnd(self.st.cwnd + 1.0, ctx.now());
             if self.cfg.sack {
                 // RFC 6675-lite: spend the freed slot on the next hole the
                 // scoreboard exposes, rather than on new data.
@@ -463,7 +486,7 @@ impl TcpSender {
         }
         if self.dup_acks == self.cfg.dupack_threshold {
             self.stats.fast_recoveries += 1;
-            self.ssthresh = (self.cwnd * self.cfg.aimd.b).max(2.0);
+            self.cc.on_loss(&mut self.st, &self.cfg, ctx.now());
             self.timed = None; // the timed segment is likely the lost one
             match self.cfg.variant {
                 CcVariant::Tahoe => {
@@ -477,7 +500,7 @@ impl TcpSender {
                     self.recover = self.next_new.saturating_sub(1);
                     self.send_segment(self.high_ack, true, ctx);
                     self.set_cwnd(
-                        self.ssthresh + f64::from(self.cfg.dupack_threshold),
+                        self.st.ssthresh + f64::from(self.cfg.dupack_threshold),
                         ctx.now(),
                     );
                     self.send_window(ctx);
@@ -495,8 +518,8 @@ impl TcpSender {
             return;
         }
         self.stats.ecn_reactions += 1;
-        self.ssthresh = (self.cwnd * self.cfg.aimd.b).max(2.0);
-        self.set_cwnd(self.ssthresh, ctx.now());
+        let reduced = self.cc.on_ecn(&mut self.st, &self.cfg, ctx.now());
+        self.set_cwnd(reduced, ctx.now());
         self.ecn_recover = self.next_new;
     }
 
@@ -518,7 +541,7 @@ impl TcpSender {
         }
         self.stats.timeouts += 1;
         self.est.on_timeout();
-        self.ssthresh = (self.cwnd * self.cfg.aimd.b).max(2.0);
+        self.cc.on_rto(&mut self.st, &self.cfg, ctx.now());
         self.in_fast_recovery = false;
         self.dup_acks = 0;
         self.timed = None;
@@ -561,7 +584,7 @@ impl Agent for TcpSender {
             }
         }
         if cum_seq > self.high_ack {
-            self.on_new_ack(cum_seq, ctx);
+            self.on_new_ack(cum_seq, self.cfg.ecn && packet.ecn_echo, ctx);
         } else if cum_seq == self.high_ack && self.outstanding() {
             self.on_dup_ack(ctx);
         }
@@ -709,7 +732,7 @@ mod tests {
         let mut s = sender();
         drive(&mut s, SimTime::ZERO, |s, ctx| s.start(ctx));
         // Force CA by lowering ssthresh below cwnd.
-        s.ssthresh = 1.0;
+        s.st.ssthresh = 1.0;
         drive(&mut s, SimTime::from_millis(100), |s, ctx| {
             s.on_packet(ack(2), ctx)
         });
