@@ -10,9 +10,15 @@ use pdos_attack::pulse::PulseTrain;
 use pdos_conformance::{OracleConfig, GOLDEN_FILE};
 use pdos_detect::cusum::CusumDetector;
 use pdos_detect::rate::RateDetector;
+use pdos_detect::roc::{auc, roc_curve};
 use pdos_detect::spectral::SpectralDetector;
+use pdos_detect::streaming::{
+    alarm_stream_json, Alarm, StreamingCusum, StreamingDetector, StreamingRate, StreamingSpectral,
+};
 use pdos_scenarios::experiment::{gamma_grid, GainExperiment};
-use pdos_scenarios::figures::{gain_figure_specs, gain_figure_specs_cc, FigureGrid, GainFigure};
+use pdos_scenarios::figures::{
+    gain_figure_specs, gain_figure_specs_cc, roc_specs, FigureGrid, GainFigure,
+};
 use pdos_scenarios::runner::{AttackPoint, ExperimentSpec, RunOutcome, SeedPolicy, SweepRunner};
 use pdos_scenarios::spec::{BottleneckQueue, ScenarioSpec};
 use pdos_scenarios::sync::SyncExperiment;
@@ -46,6 +52,10 @@ COMMANDS
              --fig fig06|fig07|fig08|fig09 runs a whole paper figure
              through the parallel deterministic runner instead:
              --jobs N (0)  --smoke (CI-sized grid)  --master-seed S (0)
+             --fig roc runs the ROC ablation instead: benign and attacked
+             traces through the runner, scored by the streaming detectors
+             across a threshold sweep (reports per-scorer curves + AUC;
+             --out FILE writes the deterministic pdos-roc/1 JSON)
              --cc aimd|cubic|bbr-lite|dctcp (aimd): victims run the
              chosen congestion control; the summary reports the measured
              per-algorithm (gamma*, mu*) next to the analytic AIMD
@@ -60,6 +70,17 @@ COMMANDS
   detect     run the volume + spectral detectors over a binned byte trace
              --csv FILE (one integer per line: bytes per bin)
              --capacity-mbps C  --bin-ms B (100)
+  serve      streaming detection service: feed traces bin by bin through
+             the online CUSUM + rate + spectral detector bank and emit
+             the deterministic pdos-detect/1 alarm-stream JSON
+             --replay FILE (score one recorded trace, the `pdos simulate
+             --trace-out` format; requires --capacity-mbps C)
+             --bin-ms B (100)
+             live mode (default, no --replay): simulate a scenario set
+             and score each run's bottleneck trace in spec order —
+             --scenario golden|fig06-smoke (golden)  --jobs N (0; never
+             affects the alarm stream)
+             --out FILE (write the JSON; printed to stdout otherwise)
   bench      engine performance harness: macro workloads (events/s,
              packets/s), the fig06-grid-warmstart macro (cold vs forked
              sweep wall time + checkpoint size), and event-queue and
@@ -99,9 +120,11 @@ COMMANDS
              --repro-dir DIR (one self-contained .repro per violation,
              minimized by the shrinker)
              --shrink-budget N (64; replays allowed per shrink)
-             --fault none|link-accounting|omit-link-stats (self-test
-             drill: deliberately inject a physics bug into every
-             dumbbell case; the campaign must catch it)
+             --fault none|link-accounting|omit-link-stats|cubic-window|
+             cusum-drift (self-test drill: deliberately inject a bug
+             into every dumbbell case; the campaign must catch it —
+             cusum-drift desynchronizes the streaming detector state,
+             which the detector-equivalence stage must flag)
              --replay FILE (re-run one .repro file; exits non-zero
              while the recorded violation still reproduces)
   help       this text
@@ -356,9 +379,12 @@ pub fn cmd_sweep(args: &Args) -> Result<String, ArgError> {
 /// `pdos sweep --fig figNN`: one gain figure through the runner.
 fn cmd_sweep_figure(args: &Args) -> Result<String, ArgError> {
     let fig_name = args.get("fig").unwrap_or_default();
+    if fig_name == "roc" {
+        return cmd_sweep_roc(args);
+    }
     let fig = GainFigure::from_name(fig_name).ok_or_else(|| {
         ArgError(format!(
-            "--fig must be one of fig06, fig07, fig08, fig09; got '{fig_name}'"
+            "--fig must be one of fig06, fig07, fig08, fig09, roc; got '{fig_name}'"
         ))
     })?;
     let jobs: usize = args.num("jobs", 0)?;
@@ -463,6 +489,116 @@ fn cmd_sweep_figure(args: &Args) -> Result<String, ArgError> {
     }
     if failed > 0 {
         return Err(ArgError(format!("{failed} runs failed:\n{out}")));
+    }
+    Ok(out)
+}
+
+/// The utilization thresholds the ROC ablation sweeps the rate scorer
+/// over, and the sigma thresholds for the dispersion-CUSUM scorer.
+const ROC_RATE_THRESHOLDS: [f64; 7] = [0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9];
+const ROC_CUSUM_THRESHOLDS: [f64; 7] = [2.0, 3.0, 4.0, 6.0, 8.0, 12.0, 16.0];
+
+/// `pdos sweep --fig roc`: the ROC ablation — benign and attacked traces
+/// generated through the (warm-startable) runner, then scored by the
+/// *streaming* detectors across a threshold sweep. The output — human
+/// table and `pdos-roc/1` JSON — is a pure function of the traces, so it
+/// is byte-identical across `--jobs` and warm-start settings.
+fn cmd_sweep_roc(args: &Args) -> Result<String, ArgError> {
+    let jobs: usize = args.num("jobs", 0)?;
+    let (n_traces, window) = if args.flag("smoke") {
+        (2, SimDuration::from_secs(8))
+    } else {
+        (5, SimDuration::from_secs(30))
+    };
+    let specs = roc_specs(n_traces, window);
+    let report = SweepRunner::new(0)
+        .seed_policy(SeedPolicy::FromScenario)
+        .jobs(jobs)
+        .warm_start(warm_start_of(args)?)
+        .run(&specs);
+
+    let (mut benign, mut attacked): (Vec<Vec<u64>>, Vec<Vec<u64>>) = (Vec::new(), Vec::new());
+    for (spec, r) in specs.iter().zip(&report.records) {
+        match &r.outcome {
+            RunOutcome::Point { trace, .. } => attacked.push(trace.clone()),
+            RunOutcome::Benign { trace, .. } => benign.push(trace.clone()),
+            RunOutcome::Infeasible { reason } | RunOutcome::Failed { reason } => {
+                return Err(ArgError(format!("{}: {reason}", spec.id)));
+            }
+        }
+    }
+    let capacity = specs[0].scenario.bottleneck.as_bps();
+    let bin_secs = 0.1;
+
+    // Both scorers run *streaming* detectors over each trace — the same
+    // state machines `pdos serve` deploys, so the curve measures the
+    // online pipeline, not the batch one.
+    let rate_points = roc_curve(&benign, &attacked, &ROC_RATE_THRESHOLDS, |th, trace| {
+        let det = RateDetector::new(capacity, bin_secs, th, 0.05, 5)
+            .expect("roc thresholds are in domain");
+        let mut s = StreamingRate::new(det);
+        trace.iter().any(|&b| s.push(b).is_some())
+    });
+    let cusum_points = roc_curve(&benign, &attacked, &ROC_CUSUM_THRESHOLDS, |th, trace| {
+        let dispersion: Vec<u64> = trace.windows(2).map(|w| w[0].abs_diff(w[1])).collect();
+        let calib = (dispersion.len() / 2).max(2);
+        let mut s = StreamingCusum::new(calib, 0.5, th);
+        dispersion.iter().any(|&b| s.push(b).is_some())
+    });
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "roc: {} traces ({} benign, {} attacked), gammas {:?}",
+        benign.len() + attacked.len(),
+        benign.len(),
+        attacked.len(),
+        pdos_scenarios::figures::ROC_GAMMAS
+    );
+    let _ = writeln!(out, "scorer,threshold,tpr,fpr");
+    for (name, points) in [("rate", &rate_points), ("cusum-dispersion", &cusum_points)] {
+        for p in points.iter() {
+            let _ = writeln!(out, "{name},{:.2},{:.3},{:.3}", p.threshold, p.tpr, p.fpr);
+        }
+    }
+    let _ = writeln!(out, "rate AUC             = {:.3}", auc(&rate_points));
+    let _ = writeln!(out, "cusum-dispersion AUC = {:.3}", auc(&cusum_points));
+
+    if let Some(path) = args.get("out") {
+        let mut json = String::from("{\"schema\":\"pdos-roc/1\",");
+        let _ = write!(
+            json,
+            "\"n_benign\":{},\"n_attacked\":{},\"scorers\":[",
+            benign.len(),
+            attacked.len()
+        );
+        for (i, (name, points)) in [("rate", &rate_points), ("cusum-dispersion", &cusum_points)]
+            .into_iter()
+            .enumerate()
+        {
+            if i > 0 {
+                json.push(',');
+            }
+            let _ = write!(
+                json,
+                "{{\"name\":\"{name}\",\"auc\":{},\"points\":[",
+                auc(points)
+            );
+            for (j, p) in points.iter().enumerate() {
+                if j > 0 {
+                    json.push(',');
+                }
+                let _ = write!(
+                    json,
+                    "{{\"threshold\":{},\"tpr\":{},\"fpr\":{}}}",
+                    p.threshold, p.tpr, p.fpr
+                );
+            }
+            json.push_str("]}");
+        }
+        json.push_str("]}");
+        std::fs::write(path, json).map_err(|e| ArgError(format!("cannot write {path}: {e}")))?;
+        let _ = writeln!(out, "report written to {path}");
     }
     Ok(out)
 }
@@ -1016,15 +1152,124 @@ pub fn detect_report(bytes: &[u64], capacity_bps: f64, bin_secs: f64) -> String 
         8.0,
     )
     .scan(&dispersion);
-    let describe = |rep: &pdos_detect::cusum::CusumReport| match (rep.detected, rep.onset_bin) {
-        (true, Some(onset)) => {
-            format!("CHANGE at ~{:.1} s into the trace", onset as f64 * bin_secs)
+    let describe = |scan: &pdos_detect::cusum::CusumScan| match scan {
+        pdos_detect::cusum::CusumScan::Report(rep) => match (rep.detected, rep.onset_bin) {
+            (true, Some(onset)) => {
+                format!("CHANGE at ~{:.1} s into the trace", onset as f64 * bin_secs)
+            }
+            _ => "no shift".to_string(),
+        },
+        pdos_detect::cusum::CusumScan::TooFewBins { needed, got } => {
+            format!("uncalibrated ({got}/{needed} bins)")
         }
-        _ => "no shift".to_string(),
     };
     let _ = writeln!(out, "cusum (volume)    : {}", describe(&on_mean));
     let _ = writeln!(out, "cusum (dispersion): {}", describe(&on_dispersion));
     out
+}
+
+/// Feeds one binned trace through the online detector bank and collects
+/// every alarm in the fixed bank order (cusum, rate, spectral) so the
+/// stream is deterministic even when several detectors fire on one bin.
+fn serve_alarms(bytes: &[u64], capacity_bps: f64, bin_secs: f64) -> Vec<Alarm> {
+    let calib = (bytes.len() / 4).clamp(2, 100);
+    let mut cusum = StreamingCusum::new(calib, 0.5, 8.0);
+    let mut rate = StreamingRate::conventional(capacity_bps, bin_secs);
+    let mut spectral = StreamingSpectral::conventional();
+    let mut alarms = Vec::new();
+    for &b in bytes {
+        alarms.extend(cusum.push(b));
+        alarms.extend(rate.push(b));
+        alarms.extend(spectral.push(b));
+    }
+    alarms
+}
+
+/// `pdos serve` — the streaming detection service. Replays a recorded
+/// trace (`--replay`) or simulates a scenario set live, scoring every
+/// run's bottleneck trace bin by bin through the online detector bank,
+/// and emits the deterministic `pdos-detect/1` alarm-stream JSON.
+///
+/// The output never mentions worker counts or wall-clock, so it is
+/// byte-identical across `--jobs`.
+fn cmd_serve(args: &Args) -> Result<String, ArgError> {
+    let bin_ms: f64 = args.num("bin-ms", 100.0)?;
+    let bin_secs = bin_ms / 1000.0;
+    let mut out = String::new();
+
+    let runs: Vec<(String, Vec<Alarm>)> = if let Some(path) = args.get("replay") {
+        let capacity = args.require_num::<f64>("capacity-mbps")? * 1e6;
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| ArgError(format!("cannot read {path}: {e}")))?;
+        let bytes = parse_trace(&text)?;
+        if bytes.is_empty() {
+            return Err(ArgError(format!("{path} contains no samples")));
+        }
+        let _ = writeln!(out, "serve: replaying {} bins from {path}", bytes.len());
+        vec![(path.to_string(), serve_alarms(&bytes, capacity, bin_secs))]
+    } else {
+        let scenario = args.get("scenario").unwrap_or("golden");
+        let jobs: usize = args.num("jobs", 0)?;
+        let bin = SimDuration::from_secs_f64(bin_secs);
+        let specs: Vec<ExperimentSpec> = match scenario {
+            "golden" => pdos_conformance::canonical_specs(),
+            "fig06-smoke" => gain_figure_specs(GainFigure::Fig06, &FigureGrid::smoke()),
+            other => {
+                return Err(ArgError(format!(
+                    "--scenario must be golden or fig06-smoke; got '{other}'"
+                )))
+            }
+        }
+        .into_iter()
+        .map(|s| s.traced(bin).tapped())
+        .collect();
+        let _ = writeln!(
+            out,
+            "serve: scoring {} live runs from scenario set '{scenario}'",
+            specs.len()
+        );
+        let report = SweepRunner::new(0)
+            .seed_policy(SeedPolicy::FromScenario)
+            .jobs(jobs)
+            .run(&specs);
+        let mut runs = Vec::with_capacity(specs.len());
+        for (spec, r) in specs.iter().zip(&report.records) {
+            let trace = match &r.outcome {
+                RunOutcome::Point { trace, .. } | RunOutcome::Benign { trace, .. } => trace,
+                RunOutcome::Infeasible { reason } | RunOutcome::Failed { reason } => {
+                    return Err(ArgError(format!("{}: {reason}", spec.id)));
+                }
+            };
+            let capacity = spec.scenario.bottleneck.as_bps();
+            runs.push((spec.id.clone(), serve_alarms(trace, capacity, bin_secs)));
+        }
+        runs
+    };
+
+    let mut total = 0usize;
+    for (id, alarms) in &runs {
+        for a in alarms {
+            let _ = writeln!(
+                out,
+                "{id}: {} alarm at bin {} (t={:.1} s, statistic {:.3})",
+                a.detector,
+                a.bin,
+                a.bin as f64 * bin_secs,
+                a.statistic
+            );
+        }
+        total += alarms.len();
+    }
+    let _ = writeln!(out, "serve: {total} alarm(s) across {} run(s)", runs.len());
+
+    let json = alarm_stream_json(&runs, bin_secs);
+    if let Some(path) = args.get("out") {
+        std::fs::write(path, &json).map_err(|e| ArgError(format!("cannot write {path}: {e}")))?;
+        let _ = writeln!(out, "alarm stream written to {path}");
+    } else {
+        let _ = writeln!(out, "{json}");
+    }
+    Ok(out)
 }
 
 /// Dispatches a parsed command line.
@@ -1042,6 +1287,7 @@ pub fn run(args: &Args) -> Result<String, ArgError> {
         "sweep" => cmd_sweep(args),
         "sync" => cmd_sync(args),
         "detect" => cmd_detect(args),
+        "serve" => cmd_serve(args),
         "metrics" => cmd_metrics(args),
         "check" => cmd_check(args),
         "bench" => cmd_bench(args),
@@ -1616,5 +1862,140 @@ mod tests {
         assert!(err.to_string().contains("regressed"), "{err}");
         let _ = std::fs::remove_file(&base_path);
         let _ = std::fs::remove_file(&out_path);
+    }
+
+    #[test]
+    fn serve_replay_scores_a_recorded_trace() {
+        let path = std::env::temp_dir().join("pdos-cli-test-serve-replay.txt");
+        let out = run(&parse(&format!(
+            "simulate --flows 4 --gamma 0.4 --window-s 8 --trace-out {}",
+            path.display()
+        )))
+        .unwrap();
+        assert!(out.contains("bins to"), "{out}");
+        let served = run(&parse(&format!(
+            "serve --replay {} --capacity-mbps 15",
+            path.display()
+        )))
+        .unwrap();
+        assert!(served.contains("serve: replaying"), "{served}");
+        assert!(served.contains("pdos-detect/1"), "{served}");
+        assert!(served.contains("alarm(s) across 1 run(s)"), "{served}");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn serve_replay_requires_capacity() {
+        let err = run(&parse("serve --replay nope.txt")).unwrap_err();
+        assert!(err.to_string().contains("capacity-mbps"), "{err}");
+        let err = run(&parse("serve --scenario warp-core")).unwrap_err();
+        assert!(err.to_string().contains("golden or fig06-smoke"), "{err}");
+    }
+
+    #[test]
+    fn serve_live_is_byte_identical_at_any_job_count() {
+        let one = run(&parse("serve --scenario fig06-smoke --jobs 1")).unwrap();
+        let two = run(&parse("serve --scenario fig06-smoke --jobs 2")).unwrap();
+        assert_eq!(one, two, "the alarm stream must not depend on --jobs");
+        assert!(one.contains("pdos-detect/1"), "{one}");
+    }
+
+    #[test]
+    fn serve_replay_matches_live_on_the_same_trace() {
+        // Score the first fig06-smoke run live, then record its trace
+        // and replay it — the per-run alarm sequences must coincide.
+        let live_path = std::env::temp_dir().join("pdos-cli-test-serve-live.json");
+        run(&parse(&format!(
+            "serve --scenario fig06-smoke --jobs 2 --out {}",
+            live_path.display()
+        )))
+        .unwrap();
+        let live_json = std::fs::read_to_string(&live_path).unwrap();
+
+        let spec = gain_figure_specs(GainFigure::Fig06, &FigureGrid::smoke())
+            .remove(0)
+            .traced(SimDuration::from_millis(100))
+            .tapped();
+        let record = SweepRunner::new(0)
+            .seed_policy(SeedPolicy::FromScenario)
+            .jobs(1)
+            .execute_one(&spec);
+        let trace = match &record.outcome {
+            RunOutcome::Point { trace, .. } | RunOutcome::Benign { trace, .. } => trace.clone(),
+            other => panic!("unexpected outcome {other:?}"),
+        };
+        let trace_path = std::env::temp_dir().join("pdos-cli-test-serve-trace.txt");
+        let text: String = trace.iter().map(|b| format!("{b}\n")).collect();
+        std::fs::write(&trace_path, text).unwrap();
+        let replay_path = std::env::temp_dir().join("pdos-cli-test-serve-replay.json");
+        run(&parse(&format!(
+            "serve --replay {} --capacity-mbps 15 --out {}",
+            trace_path.display(),
+            replay_path.display()
+        )))
+        .unwrap();
+        let replay_json = std::fs::read_to_string(&replay_path).unwrap();
+
+        // Alarm objects contain no nested brackets, so the first
+        // "alarms":[...] segment of each stream is directly comparable.
+        let alarms_of = |json: &str| -> String {
+            json.split("\"alarms\":[")
+                .nth(1)
+                .expect("stream has a run")
+                .split(']')
+                .next()
+                .unwrap()
+                .to_string()
+        };
+        assert_eq!(
+            alarms_of(&live_json),
+            alarms_of(&replay_json),
+            "replaying the recorded trace must reproduce the live alarms"
+        );
+        for p in [&live_path, &trace_path, &replay_path] {
+            let _ = std::fs::remove_file(p);
+        }
+    }
+
+    #[test]
+    fn sweep_roc_smoke_reports_curves_and_auc() {
+        let out_path = std::env::temp_dir().join("pdos-cli-test-roc.json");
+        let out = run(&parse(&format!(
+            "sweep --fig roc --smoke --jobs 2 --out {}",
+            out_path.display()
+        )))
+        .unwrap();
+        assert!(out.contains("scorer,threshold,tpr,fpr"), "{out}");
+        assert!(out.contains("rate AUC"), "{out}");
+        assert!(out.contains("cusum-dispersion AUC"), "{out}");
+        let json = std::fs::read_to_string(&out_path).unwrap();
+        assert!(json.starts_with("{\"schema\":\"pdos-roc/1\""), "{json}");
+        assert!(json.contains("\"name\":\"rate\""), "{json}");
+        let _ = std::fs::remove_file(&out_path);
+    }
+
+    #[test]
+    fn sweep_roc_warm_start_matches_cold_hash_for_hash() {
+        let warm_path = std::env::temp_dir().join("pdos-cli-test-roc-warm.json");
+        let cold_path = std::env::temp_dir().join("pdos-cli-test-roc-cold.json");
+        run(&parse(&format!(
+            "sweep --fig roc --smoke --warm-start --out {}",
+            warm_path.display()
+        )))
+        .unwrap();
+        run(&parse(&format!(
+            "sweep --fig roc --smoke --no-warm-start --out {}",
+            cold_path.display()
+        )))
+        .unwrap();
+        let warm = std::fs::read_to_string(&warm_path).unwrap();
+        let cold = std::fs::read_to_string(&cold_path).unwrap();
+        assert_eq!(
+            pdos_scenarios::runner::fnv1a64(warm.as_bytes()),
+            pdos_scenarios::runner::fnv1a64(cold.as_bytes()),
+            "warm-started ROC curves must match the cold run hash-for-hash"
+        );
+        let _ = std::fs::remove_file(&warm_path);
+        let _ = std::fs::remove_file(&cold_path);
     }
 }

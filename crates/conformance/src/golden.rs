@@ -178,6 +178,23 @@ pub fn compute_digests_metered_with(
 }
 
 /// Like [`compute_digests`], but runs every canonical scenario with the
+/// engine's per-link detector tap enabled. Taps are contractually
+/// hash-neutral — read-only binning on the forwarding path — so the
+/// digests this returns must equal the plain [`compute_digests`] output;
+/// the conformance suite pins exactly that against the golden literals.
+///
+/// # Errors
+///
+/// Returns the failing run's id and reason if any canonical run fails.
+pub fn compute_digests_tapped(jobs: usize) -> Result<Vec<TraceDigest>, String> {
+    let specs = canonical_specs()
+        .into_iter()
+        .map(ExperimentSpec::tapped)
+        .collect();
+    compute_digests_inner(specs, jobs, true).map(|(digests, _)| digests)
+}
+
+/// Like [`compute_digests`], but runs every canonical scenario with the
 /// metrics registry enabled and returns the merged snapshot alongside the
 /// digests. Metrics are contractually hash-neutral, so the digests this
 /// returns must equal the plain [`compute_digests`] output — the

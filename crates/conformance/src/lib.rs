@@ -14,18 +14,26 @@
 //! 3. **Differential oracle** ([`oracle`]) — randomized scenarios pushed
 //!    through both the analytic gain model and the simulator, enforcing
 //!    the tolerance bands documented in EXPERIMENTS.md ([`bands`]).
+//! 4. **Detector equivalence** ([`equivalence`]) — canonical and
+//!    randomized traces scored by both the batch and the streaming
+//!    detectors, requiring bit-identical verdicts.
 
 #![deny(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod bands;
+pub mod equivalence;
 pub mod golden;
 pub mod oracle;
 
 pub use bands::ToleranceBands;
+pub use equivalence::{
+    check_cusum_equivalence, check_rate_equivalence, equivalence_specs, run_equivalence,
+    EquivalenceConfig, EquivalenceOutcome,
+};
 pub use golden::{
     canonical_specs, cc_differential_specs, compute_cc_digests, compute_cc_digests_with,
-    compute_digests, compute_digests_metered, compute_digests_metered_with, compute_digests_with,
-    digest_bins, TraceDigest, GOLDEN_FILE,
+    compute_digests, compute_digests_metered, compute_digests_metered_with, compute_digests_tapped,
+    compute_digests_with, digest_bins, TraceDigest, GOLDEN_FILE,
 };
 pub use oracle::{check_point, run_oracle, OracleConfig, OracleOutcome, PointVerdict};

@@ -6,7 +6,8 @@
 
 use pdos_conformance::{
     compute_cc_digests, compute_cc_digests_with, compute_digests, compute_digests_metered,
-    compute_digests_metered_with, golden, run_oracle, OracleConfig, GOLDEN_FILE,
+    compute_digests_metered_with, compute_digests_tapped, golden, run_equivalence, run_oracle,
+    EquivalenceConfig, OracleConfig, GOLDEN_FILE,
 };
 use pdos_scenarios::experiment::GainExperiment;
 use pdos_scenarios::figures::{gain_figure_specs, FigureGrid, GainFigure};
@@ -140,6 +141,63 @@ fn metrics_enabled_runs_keep_all_golden_digests_no_rebless() {
     // The runs really were observed, not silently unmetered.
     assert!(snapshot.counter("engine", "pops_packet_tier").unwrap() > 0);
     assert!(snapshot.counter("link/0", "enqueued").unwrap() > 0);
+}
+
+/// Determinism lock for the detection layer's engine tap.
+///
+/// The per-link detector tap is contractually read-only: enabling it
+/// must not move a single byte of any canonical trace. Like the other
+/// locks, this pins the literal pre-tap digests and ignores
+/// `PDOS_BLESS` — a tap hook that perturbs packet timing cannot be
+/// "fixed" by re-blessing.
+#[test]
+fn tap_enabled_runs_keep_all_golden_digests_no_rebless() {
+    let expected: &[(&str, usize, u64, u64)] = &[
+        ("golden/ns2-benign", 80, 13_238_160, 0xf3c7_3471_d0fa_6ff6),
+        (
+            "golden/ns2-red-attacked",
+            80,
+            7_114_880,
+            0x46fa_6743_5da4_c0cd,
+        ),
+        (
+            "golden/ns2-droptail-attacked",
+            80,
+            7_182_480,
+            0x5ec8_7067_5582_2f4d,
+        ),
+        (
+            "golden/testbed-attacked",
+            80,
+            7_127_000,
+            0x8bb8_1cfe_ba7b_bae8,
+        ),
+    ];
+    let current = compute_digests_tapped(2).expect("canonical runs must succeed");
+    assert_eq!(current.len(), expected.len());
+    for (got, &(name, n_bins, total, digest)) in current.iter().zip(expected) {
+        assert_eq!(got.name, name);
+        assert_eq!(got.n_bins, n_bins, "{name}: bin count moved");
+        assert_eq!(got.total_bytes, total, "{name}: traffic total moved");
+        assert_eq!(
+            got.digest, digest,
+            "{name}: trace digest moved with the detector tap enabled — \
+             the tap hook is perturbing the simulation (re-blessing is \
+             not an acceptable fix for this test)"
+        );
+    }
+}
+
+/// Batch-vs-streaming detector equivalence over the canonical golden
+/// scenarios plus fifty seeded-random ones: every recorded trace must
+/// score bit-for-bit identically — verdict, alarm bin, onset, peak
+/// statistic — whether handed to the batch detectors whole or pushed
+/// through the streaming detectors bin by bin.
+#[test]
+fn streaming_detectors_match_batch_over_the_equivalence_battery() {
+    let outcome = run_equivalence(&EquivalenceConfig::default());
+    assert_eq!(outcome.n_runs, 54);
+    assert!(outcome.pass(), "{}", outcome.summary());
 }
 
 #[test]

@@ -21,6 +21,51 @@ pub struct CusumDetector {
     threshold_sigmas: f64,
 }
 
+/// Outcome of [`CusumDetector::scan`].
+///
+/// A series shorter than the calibration window has no baseline yet, so
+/// the detector cannot render a verdict at all — that is a different
+/// situation from a calibrated scan that stayed quiet, and the streaming
+/// scorer ([`crate::streaming::StreamingCusum`]) needs to tell them
+/// apart. `TooFewBins` makes the distinction structural instead of a
+/// silent empty report.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CusumScan {
+    /// The series covered the calibration window and was scanned.
+    Report(CusumReport),
+    /// The series ended inside the calibration window: no verdict yet.
+    TooFewBins {
+        /// Bins required before the first sample can be scanned
+        /// (`calibration_bins + 1`).
+        needed: usize,
+        /// Bins actually supplied.
+        got: usize,
+    },
+}
+
+impl CusumScan {
+    /// The report, when the series calibrated; `None` while uncalibrated.
+    pub fn report(&self) -> Option<&CusumReport> {
+        match self {
+            CusumScan::Report(rep) => Some(rep),
+            CusumScan::TooFewBins { .. } => None,
+        }
+    }
+
+    /// Consumes the scan into its report, when the series calibrated.
+    pub fn into_report(self) -> Option<CusumReport> {
+        match self {
+            CusumScan::Report(rep) => Some(rep),
+            CusumScan::TooFewBins { .. } => None,
+        }
+    }
+
+    /// Whether the scan alarmed (`false` while uncalibrated).
+    pub fn detected(&self) -> bool {
+        self.report().is_some_and(|rep| rep.detected)
+    }
+}
+
 /// Result of a CUSUM scan.
 #[derive(Debug, Clone, PartialEq)]
 pub struct CusumReport {
@@ -59,15 +104,20 @@ impl CusumDetector {
         Self::new(50, 0.5, 8.0)
     }
 
+    /// Bins required before the first sample can be scanned.
+    pub fn needed_bins(&self) -> usize {
+        self.calibration_bins + 1
+    }
+
     /// Scans a binned byte series. The first `calibration_bins` samples
-    /// define the baseline; scanning starts after them.
-    pub fn scan(&self, series: &[u64]) -> CusumReport {
+    /// define the baseline; scanning starts after them. A series that
+    /// ends inside the calibration window yields
+    /// [`CusumScan::TooFewBins`], not a quiet report.
+    pub fn scan(&self, series: &[u64]) -> CusumScan {
         if series.len() <= self.calibration_bins {
-            return CusumReport {
-                detected: false,
-                alarm_bin: None,
-                onset_bin: None,
-                peak_sigmas: 0.0,
+            return CusumScan::TooFewBins {
+                needed: self.needed_bins(),
+                got: series.len(),
             };
         }
         let calib: Vec<f64> = series[..self.calibration_bins]
@@ -91,20 +141,20 @@ impl CusumDetector {
                 peak = s;
             }
             if s > h {
-                return CusumReport {
+                return CusumScan::Report(CusumReport {
                     detected: true,
                     alarm_bin: Some(i),
                     onset_bin: Some(last_zero + 1),
                     peak_sigmas: peak / sigma,
-                };
+                });
             }
         }
-        CusumReport {
+        CusumScan::Report(CusumReport {
             detected: false,
             alarm_bin: None,
             onset_bin: None,
             peak_sigmas: peak / sigma,
-        }
+        })
     }
 }
 
@@ -128,7 +178,10 @@ mod tests {
     #[test]
     fn detects_step_and_localizes_onset() {
         let s = series_with_step(300, 120, 1000, 200);
-        let rep = CusumDetector::conventional().scan(&s);
+        let rep = CusumDetector::conventional()
+            .scan(&s)
+            .into_report()
+            .expect("calibrated");
         assert!(rep.detected, "{rep:?}");
         let onset = rep.onset_bin.unwrap();
         assert!(
@@ -141,16 +194,28 @@ mod tests {
     #[test]
     fn stays_quiet_without_change() {
         let s = series_with_step(300, usize::MAX, 1000, 0);
-        let rep = CusumDetector::conventional().scan(&s);
+        let rep = CusumDetector::conventional()
+            .scan(&s)
+            .into_report()
+            .expect("calibrated");
         assert!(!rep.detected, "{rep:?}");
         assert_eq!(rep.onset_bin, None);
     }
 
+    /// Pins the structured short-series outcome: an uncalibrated scan is
+    /// `TooFewBins`, not a quiet report.
     #[test]
-    fn short_series_yields_empty_report() {
-        let rep = CusumDetector::conventional().scan(&[5; 10]);
-        assert!(!rep.detected);
-        assert_eq!(rep.peak_sigmas, 0.0);
+    fn short_series_reports_too_few_bins() {
+        let scan = CusumDetector::conventional().scan(&[5; 10]);
+        assert_eq!(
+            scan,
+            CusumScan::TooFewBins {
+                needed: 51,
+                got: 10
+            }
+        );
+        assert!(!scan.detected());
+        assert_eq!(scan.report(), None);
     }
 
     #[test]
@@ -166,7 +231,10 @@ mod tests {
                 }
             })
             .collect();
-        let rep = CusumDetector::conventional().scan(&s);
+        let rep = CusumDetector::conventional()
+            .scan(&s)
+            .into_report()
+            .expect("calibrated");
         assert!(!rep.detected, "{rep:?}");
     }
 
@@ -181,7 +249,10 @@ mod tests {
         #[test]
         fn prop_peak_nonnegative(base in 1u64..10_000, n in 60usize..300) {
             let s = vec![base; n];
-            let rep = CusumDetector::conventional().scan(&s);
+            let rep = CusumDetector::conventional()
+                .scan(&s)
+                .into_report()
+                .expect("n >= 60 always calibrates");
             proptest::prop_assert!(rep.peak_sigmas >= 0.0);
             proptest::prop_assert!(!rep.detected);
         }

@@ -38,13 +38,18 @@ pub mod dtw;
 pub mod rate;
 pub mod roc;
 pub mod spectral;
+pub mod streaming;
 
 /// Convenient re-exports.
 pub mod prelude {
-    pub use crate::cusum::{CusumDetector, CusumReport};
+    pub use crate::cusum::{CusumDetector, CusumReport, CusumScan};
     pub use crate::defense::RandomizedRtoPolicy;
     pub use crate::dtw::{dtw_distance, pulse_template, DtwPulseDetector, DtwReport};
     pub use crate::rate::{DetectionReport, DetectorConfigError, RateDetector};
     pub use crate::roc::{auc, roc_curve, RocPoint};
     pub use crate::spectral::{power_at_period, SpectralDetector, SpectralReport};
+    pub use crate::streaming::{
+        alarm_stream_json, Alarm, CusumState, RateState, SpectralState, StreamingCusum,
+        StreamingDetector, StreamingRate, StreamingSpectral,
+    };
 }

@@ -23,7 +23,7 @@ impl fmt::Display for DetectorConfigError {
 impl Error for DetectorConfigError {}
 
 /// An EWMA utilization detector over a binned byte series.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RateDetector {
     capacity_bps: f64,
     bin_secs: f64,
@@ -138,11 +138,9 @@ impl RateDetector {
         alarm
     }
 
-    /// Runs the detector over a whole series and reports.
-    pub fn run(mut self, series_bytes: &[u64]) -> DetectionReport {
-        for &b in series_bytes {
-            self.observe(b);
-        }
+    /// The report for everything observed so far, without consuming the
+    /// detector — the streaming scorer snapshots this after each bin.
+    pub fn report(&self) -> DetectionReport {
         DetectionReport {
             detected: self.first_alarm.is_some(),
             first_alarm_bin: self.first_alarm,
@@ -150,6 +148,14 @@ impl RateDetector {
             total_bins: self.bins_seen,
             final_utilization: self.ewma_util,
         }
+    }
+
+    /// Runs the detector over a whole series and reports.
+    pub fn run(mut self, series_bytes: &[u64]) -> DetectionReport {
+        for &b in series_bytes {
+            self.observe(b);
+        }
+        self.report()
     }
 }
 

@@ -1,0 +1,833 @@
+//! Online (streaming) versions of the reference detectors.
+//!
+//! The batch detectors in [`crate::cusum`], [`crate::rate`], and
+//! [`crate::spectral`] score a complete recorded trace after the run.
+//! A defender service sees the trace one bin at a time, and a
+//! checkpoint-forked sweep needs detector state that forks with the
+//! simulation. Each streaming detector here is a small state machine:
+//!
+//! * [`StreamingCusum::push`] / [`StreamingRate::push`] /
+//!   [`StreamingSpectral::push`] consume one closed bin of bytes and
+//!   return [`Some(Alarm)`](Alarm) exactly once, on the bin where the
+//!   detector first fires;
+//! * `snapshot()` / `restore()` expose the full detector state so a
+//!   detector survives a checkpoint fork byte-identically;
+//! * `fork()` clones the state machine mid-stream; two forks fed the
+//!   same suffix stay bit-identical;
+//! * `merge()` combines two same-lineage states (one a
+//!   prefix-continuation of the other — the shape produced by
+//!   checkpoint forking), adopting the further-advanced one.
+//!
+//! ## Equivalence contract
+//!
+//! `StreamingCusum` and `StreamingRate` are *exact* re-expressions of
+//! the batch math: feeding a series bin-by-bin and then calling
+//! [`StreamingCusum::scan`] (or [`StreamingRate::report`]) reproduces
+//! the batch verdict, onset bin, and peak statistic bit-for-bit. The
+//! conformance crate pins this on the canonical golden scenarios plus
+//! 50 seeded-random ones. `StreamingSpectral` evaluates a *sliding
+//! window* rather than the whole series, so it intentionally differs
+//! from a whole-series [`SpectralDetector::sweep`]; its contract is
+//! that each windowed evaluation equals a batch sweep of exactly that
+//! window (see `docs/DETECTION.md`).
+
+use std::collections::VecDeque;
+
+use pdos_analysis::timeseries::{mean, std_dev};
+
+use crate::cusum::{CusumReport, CusumScan};
+use crate::rate::{DetectionReport, RateDetector};
+use crate::spectral::{SpectralDetector, SpectralReport};
+
+/// A detector firing: emitted by `push` exactly once per stream, on the
+/// first bin where the detector's alarm condition holds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Alarm {
+    /// Which detector fired (`"cusum"`, `"rate"`, or `"spectral"`).
+    pub detector: &'static str,
+    /// Zero-based bin index where the alarm fired.
+    pub bin: usize,
+    /// The detector's statistic at the alarm: CUSUM sigmas, EWMA
+    /// utilization, or spectral peak-to-median ratio.
+    pub statistic: f64,
+}
+
+/// Common interface over the three streaming detectors, for callers
+/// that fan a bin stream across a heterogeneous detector bank.
+pub trait StreamingDetector {
+    /// Stable label used in alarm streams.
+    fn label(&self) -> &'static str;
+    /// Consumes one closed bin of observed bytes.
+    fn push(&mut self, bytes: u64) -> Option<Alarm>;
+    /// Bins consumed so far.
+    fn bins_seen(&self) -> usize;
+}
+
+// ---------------------------------------------------------------------------
+// CUSUM
+// ---------------------------------------------------------------------------
+
+/// Baseline statistics fixed once the calibration window closes.
+#[derive(Debug, Clone, PartialEq)]
+struct ArmedCusum {
+    mu: f64,
+    sigma: f64,
+    k: f64,
+    h: f64,
+    s: f64,
+    peak: f64,
+    last_zero: usize,
+}
+
+/// The alarm record frozen at the first threshold crossing (mirrors the
+/// batch scan's early return).
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct CusumAlarmMark {
+    alarm_bin: usize,
+    onset_bin: usize,
+    peak_sigmas: f64,
+}
+
+/// Complete state of a [`StreamingCusum`], snapshot/restorable so the
+/// detector survives a checkpoint fork.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CusumState {
+    calib: Vec<u64>,
+    armed: Option<ArmedCusum>,
+    bins_seen: usize,
+    alarm: Option<CusumAlarmMark>,
+}
+
+/// Online one-sided CUSUM: bit-for-bit equivalent to
+/// [`crate::cusum::CusumDetector::scan`] over the pushed prefix.
+///
+/// The first `calibration_bins` pushes only accumulate the baseline;
+/// the detector arms on the next push (computing `mu`/`sigma` with the
+/// same [`mean`]/[`std_dev`] calls as the batch scan, on the same `f64`
+/// conversion, so the floating-point results are identical) and then
+/// runs the identical recurrence. Once the alarm fires the statistic
+/// freezes, exactly like the batch scan's early return.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamingCusum {
+    calibration_bins: usize,
+    slack_sigmas: f64,
+    threshold_sigmas: f64,
+    state: CusumState,
+}
+
+impl StreamingCusum {
+    /// Creates a streaming detector with the same parameters (and the
+    /// same panics) as [`crate::cusum::CusumDetector::new`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `calibration_bins < 2`, or if the slack/threshold are
+    /// non-positive.
+    pub fn new(calibration_bins: usize, slack_sigmas: f64, threshold_sigmas: f64) -> Self {
+        assert!(calibration_bins >= 2, "need at least 2 calibration bins");
+        assert!(slack_sigmas > 0.0, "slack must be positive");
+        assert!(threshold_sigmas > 0.0, "threshold must be positive");
+        StreamingCusum {
+            calibration_bins,
+            slack_sigmas,
+            threshold_sigmas,
+            state: CusumState {
+                calib: Vec::new(),
+                armed: None,
+                bins_seen: 0,
+                alarm: None,
+            },
+        }
+    }
+
+    /// The conventional setting, mirroring
+    /// [`crate::cusum::CusumDetector::conventional`].
+    pub fn conventional() -> Self {
+        Self::new(50, 0.5, 8.0)
+    }
+
+    /// Bins required before the first sample can be scanned.
+    pub fn needed_bins(&self) -> usize {
+        self.calibration_bins + 1
+    }
+
+    /// Snapshot of the full detector state.
+    pub fn snapshot(&self) -> CusumState {
+        self.state.clone()
+    }
+
+    /// Restores a previously snapshot state.
+    pub fn restore(&mut self, state: CusumState) {
+        self.state = state;
+    }
+
+    /// Forks the detector mid-stream; the fork and the original evolve
+    /// identically when fed the same suffix.
+    pub fn fork(&self) -> Self {
+        self.clone()
+    }
+
+    /// Merges a same-lineage peer (one of the two states must be a
+    /// prefix-continuation of the other, the shape checkpoint forking
+    /// produces): adopts whichever has consumed more bins, which also
+    /// carries the earliest alarm on that lineage.
+    pub fn merge(&mut self, other: &Self) {
+        if other.state.bins_seen > self.state.bins_seen {
+            self.state = other.state.clone();
+        }
+    }
+
+    /// Batch scan of everything pushed so far: equals
+    /// `CusumDetector::scan` on the same prefix, bit for bit.
+    pub fn scan(&self) -> CusumScan {
+        if self.state.bins_seen <= self.calibration_bins {
+            return CusumScan::TooFewBins {
+                needed: self.needed_bins(),
+                got: self.state.bins_seen,
+            };
+        }
+        if let Some(mark) = &self.state.alarm {
+            return CusumScan::Report(CusumReport {
+                detected: true,
+                alarm_bin: Some(mark.alarm_bin),
+                onset_bin: Some(mark.onset_bin),
+                peak_sigmas: mark.peak_sigmas,
+            });
+        }
+        let armed = self
+            .state
+            .armed
+            .as_ref()
+            .expect("armed once past calibration");
+        CusumScan::Report(CusumReport {
+            detected: false,
+            alarm_bin: None,
+            onset_bin: None,
+            peak_sigmas: armed.peak / armed.sigma,
+        })
+    }
+}
+
+impl StreamingDetector for StreamingCusum {
+    fn label(&self) -> &'static str {
+        "cusum"
+    }
+
+    fn push(&mut self, bytes: u64) -> Option<Alarm> {
+        let i = self.state.bins_seen;
+        self.state.bins_seen += 1;
+        if self.state.alarm.is_some() {
+            // Frozen: the batch scan early-returns at the alarm bin, so
+            // later bins cannot change the verdict.
+            return None;
+        }
+        if i < self.calibration_bins {
+            self.state.calib.push(bytes);
+            return None;
+        }
+        if self.state.armed.is_none() {
+            // Arm with the exact batch-scan arithmetic: same f64
+            // conversion, same mean/std_dev calls, same clamps.
+            let calib: Vec<f64> = self.state.calib.iter().map(|&b| b as f64).collect();
+            let mu = mean(&calib);
+            let sigma = std_dev(&calib).max(mu.abs() * 1e-3).max(1.0);
+            self.state.armed = Some(ArmedCusum {
+                mu,
+                sigma,
+                k: self.slack_sigmas * sigma,
+                h: self.threshold_sigmas * sigma,
+                s: 0.0,
+                peak: 0.0,
+                last_zero: self.calibration_bins,
+            });
+        }
+        let armed = self.state.armed.as_mut().expect("just armed");
+        armed.s = (armed.s + (bytes as f64 - armed.mu - armed.k)).max(0.0);
+        if armed.s == 0.0 {
+            armed.last_zero = i;
+        }
+        if armed.s > armed.peak {
+            armed.peak = armed.s;
+        }
+        if armed.s > armed.h {
+            let mark = CusumAlarmMark {
+                alarm_bin: i,
+                onset_bin: armed.last_zero + 1,
+                peak_sigmas: armed.peak / armed.sigma,
+            };
+            self.state.alarm = Some(mark);
+            return Some(Alarm {
+                detector: "cusum",
+                bin: i,
+                statistic: mark.peak_sigmas,
+            });
+        }
+        None
+    }
+
+    fn bins_seen(&self) -> usize {
+        self.state.bins_seen
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Rate
+// ---------------------------------------------------------------------------
+
+/// Complete state of a [`StreamingRate`]: the EWMA detector itself is
+/// already an incremental state machine, so the state wraps it whole.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RateState(RateDetector);
+
+/// Online EWMA-utilization detector: a thin alarm-edge wrapper around
+/// [`RateDetector::observe`], so equivalence with the batch
+/// [`RateDetector::run`] is exact by construction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamingRate {
+    det: RateDetector,
+}
+
+impl StreamingRate {
+    /// Wraps a configured [`RateDetector`].
+    pub fn new(det: RateDetector) -> Self {
+        StreamingRate { det }
+    }
+
+    /// The conventional flooding-detector setting, mirroring
+    /// [`RateDetector::conventional`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity_bps` or `bin_secs` is out of domain.
+    pub fn conventional(capacity_bps: f64, bin_secs: f64) -> Self {
+        Self::new(RateDetector::conventional(capacity_bps, bin_secs))
+    }
+
+    /// Current EWMA utilization.
+    pub fn utilization(&self) -> f64 {
+        self.det.utilization()
+    }
+
+    /// The report for everything pushed so far: equals
+    /// `RateDetector::run` on the same prefix, bit for bit.
+    pub fn report(&self) -> DetectionReport {
+        self.det.report()
+    }
+
+    /// Snapshot of the full detector state.
+    pub fn snapshot(&self) -> RateState {
+        RateState(self.det.clone())
+    }
+
+    /// Restores a previously snapshot state.
+    pub fn restore(&mut self, state: RateState) {
+        self.det = state.0;
+    }
+
+    /// Forks the detector mid-stream.
+    pub fn fork(&self) -> Self {
+        self.clone()
+    }
+
+    /// Merges a same-lineage peer: adopts whichever has consumed more
+    /// bins (see [`StreamingCusum::merge`]).
+    pub fn merge(&mut self, other: &Self) {
+        if other.report().total_bins > self.report().total_bins {
+            self.det = other.det.clone();
+        }
+    }
+}
+
+impl StreamingDetector for StreamingRate {
+    fn label(&self) -> &'static str {
+        "rate"
+    }
+
+    fn push(&mut self, bytes: u64) -> Option<Alarm> {
+        let had_alarm = self.det.report().first_alarm_bin.is_some();
+        let alarm_now = self.det.observe(bytes);
+        if alarm_now && !had_alarm {
+            let rep = self.det.report();
+            return Some(Alarm {
+                detector: "rate",
+                bin: rep.first_alarm_bin.expect("alarm just fired"),
+                statistic: self.det.utilization(),
+            });
+        }
+        None
+    }
+
+    fn bins_seen(&self) -> usize {
+        self.det.report().total_bins
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Spectral
+// ---------------------------------------------------------------------------
+
+/// Complete state of a [`StreamingSpectral`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpectralState {
+    buf: VecDeque<u64>,
+    bins_seen: usize,
+    since_eval: usize,
+    alarm: Option<(usize, f64)>,
+    last: Option<SpectralReport>,
+}
+
+/// Windowed online periodogram: keeps the last `window` bins and runs a
+/// full [`SpectralDetector::sweep`] over them every `stride` pushes
+/// once the window is full.
+///
+/// Unlike the CUSUM/rate scorers this is *not* bit-equal to a batch
+/// sweep of the whole series — the sliding window is the point (an
+/// online defender cannot hold the whole run, and the attack's period
+/// is stationary within a window). The documented contract is that
+/// each evaluation equals a batch sweep of exactly the buffered window.
+#[derive(Debug, Clone)]
+pub struct StreamingSpectral {
+    det: SpectralDetector,
+    window: usize,
+    stride: usize,
+    state: SpectralState,
+}
+
+impl StreamingSpectral {
+    /// Creates a windowed scorer around a configured
+    /// [`SpectralDetector`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window < 4` (the Goertzel floor) or `stride == 0`.
+    pub fn new(det: SpectralDetector, window: usize, stride: usize) -> Self {
+        assert!(window >= 4, "window must cover at least 4 bins");
+        assert!(stride >= 1, "stride must be at least 1");
+        StreamingSpectral {
+            det,
+            window,
+            stride,
+            state: SpectralState {
+                buf: VecDeque::with_capacity(window),
+                bins_seen: 0,
+                since_eval: 0,
+                alarm: None,
+                last: None,
+            },
+        }
+    }
+
+    /// A conventional setting for 100 ms bins: a 128-bin (12.8 s)
+    /// window swept every 16 bins over periods 10–80 samples with the
+    /// noise-floor threshold from [`SpectralDetector`].
+    pub fn conventional() -> Self {
+        Self::new(SpectralDetector::new(10, 80, 15.0), 128, 16)
+    }
+
+    /// The most recent windowed sweep, if the window has filled.
+    pub fn last_report(&self) -> Option<&SpectralReport> {
+        self.state.last.as_ref()
+    }
+
+    /// Snapshot of the full detector state.
+    pub fn snapshot(&self) -> SpectralState {
+        self.state.clone()
+    }
+
+    /// Restores a previously snapshot state.
+    pub fn restore(&mut self, state: SpectralState) {
+        self.state = state;
+    }
+
+    /// Forks the detector mid-stream.
+    pub fn fork(&self) -> Self {
+        self.clone()
+    }
+
+    /// Merges a same-lineage peer: adopts whichever has consumed more
+    /// bins (see [`StreamingCusum::merge`]).
+    pub fn merge(&mut self, other: &Self) {
+        if other.state.bins_seen > self.state.bins_seen {
+            self.state = other.state.clone();
+        }
+    }
+}
+
+impl StreamingDetector for StreamingSpectral {
+    fn label(&self) -> &'static str {
+        "spectral"
+    }
+
+    fn push(&mut self, bytes: u64) -> Option<Alarm> {
+        let i = self.state.bins_seen;
+        self.state.bins_seen += 1;
+        self.state.buf.push_back(bytes);
+        if self.state.buf.len() > self.window {
+            self.state.buf.pop_front();
+        }
+        self.state.since_eval += 1;
+        if self.state.buf.len() < self.window || self.state.since_eval < self.stride {
+            return None;
+        }
+        self.state.since_eval = 0;
+        let series: Vec<f64> = self.state.buf.iter().map(|&b| b as f64).collect();
+        let rep = self.det.sweep(&series);
+        let fire = rep.detected && self.state.alarm.is_none();
+        let ratio = if rep.median_power > 0.0 {
+            rep.peak_power / rep.median_power
+        } else {
+            0.0
+        };
+        self.state.last = Some(rep);
+        if fire {
+            self.state.alarm = Some((i, ratio));
+            return Some(Alarm {
+                detector: "spectral",
+                bin: i,
+                statistic: ratio,
+            });
+        }
+        None
+    }
+
+    fn bins_seen(&self) -> usize {
+        self.state.bins_seen
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Alarm stream serialization
+// ---------------------------------------------------------------------------
+
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Serializes per-run alarm lists into the deterministic `pdos-detect/1`
+/// JSON schema emitted by `pdos serve`:
+///
+/// ```json
+/// {"schema":"pdos-detect/1","bin_secs":0.1,"runs":[
+///   {"id":"golden/ns2-benign","alarms":[
+///     {"detector":"cusum","bin":63,"statistic":9.25}]}]}
+/// ```
+///
+/// Runs appear in the order given; floats use Rust's shortest-roundtrip
+/// formatting, so the byte stream is a pure function of the inputs.
+pub fn alarm_stream_json(runs: &[(String, Vec<Alarm>)], bin_secs: f64) -> String {
+    let mut out = String::new();
+    out.push_str("{\"schema\":\"pdos-detect/1\",\"bin_secs\":");
+    out.push_str(&format!("{bin_secs}"));
+    out.push_str(",\"runs\":[");
+    for (ri, (id, alarms)) in runs.iter().enumerate() {
+        if ri > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("{{\"id\":\"{}\",\"alarms\":[", escape_json(id)));
+        for (ai, a) in alarms.iter().enumerate() {
+            if ai > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"detector\":\"{}\",\"bin\":{},\"statistic\":{}}}",
+                a.detector, a.bin, a.statistic
+            ));
+        }
+        out.push_str("]}");
+    }
+    out.push_str("]}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cusum::CusumDetector;
+
+    fn step_series(n: usize, step_at: usize, base: u64, jump: u64) -> Vec<u64> {
+        (0..n)
+            .map(|i| {
+                let noise = ((i * 2654435761) % 7) as u64;
+                if i >= step_at {
+                    base + jump + noise
+                } else {
+                    base + noise
+                }
+            })
+            .collect()
+    }
+
+    /// Bytes per 100 ms bin at a given fraction of a 15 Mbps link.
+    fn bin_bytes(frac: f64) -> u64 {
+        (15e6 * 0.1 * frac / 8.0) as u64
+    }
+
+    #[test]
+    fn cusum_streaming_matches_batch_bit_for_bit() {
+        for series in [
+            step_series(300, 120, 1000, 200),
+            step_series(300, usize::MAX, 1000, 0),
+            step_series(40, 10, 1000, 500), // too few bins
+            step_series(51, 0, 1000, 0),    // exactly one scanned bin
+        ] {
+            let batch = CusumDetector::conventional().scan(&series);
+            let mut s = StreamingCusum::conventional();
+            for &b in &series {
+                s.push(b);
+            }
+            assert_eq!(s.scan(), batch, "series len {}", series.len());
+        }
+    }
+
+    #[test]
+    fn cusum_emits_alarm_once_at_the_batch_alarm_bin() {
+        let series = step_series(300, 120, 1000, 200);
+        let batch = CusumDetector::conventional()
+            .scan(&series)
+            .into_report()
+            .expect("calibrated");
+        let mut s = StreamingCusum::conventional();
+        let alarms: Vec<Alarm> = series.iter().filter_map(|&b| s.push(b)).collect();
+        assert_eq!(alarms.len(), 1);
+        assert_eq!(Some(alarms[0].bin), batch.alarm_bin);
+        assert_eq!(alarms[0].statistic.to_bits(), batch.peak_sigmas.to_bits());
+    }
+
+    #[test]
+    fn cusum_scan_reports_too_few_bins_through_calibration() {
+        let mut s = StreamingCusum::conventional();
+        for i in 0..50 {
+            s.push(1000);
+            assert_eq!(
+                s.scan(),
+                CusumScan::TooFewBins {
+                    needed: 51,
+                    got: i + 1
+                }
+            );
+        }
+        s.push(1000);
+        assert!(s.scan().report().is_some());
+    }
+
+    #[test]
+    fn rate_streaming_matches_batch_bit_for_bit() {
+        let series: Vec<u64> = (0..200)
+            .map(|i| {
+                if i % 5 != 0 {
+                    bin_bytes(2.0)
+                } else {
+                    bin_bytes(0.5)
+                }
+            })
+            .collect();
+        let batch = RateDetector::conventional(15e6, 0.1).run(&series);
+        let mut s = StreamingRate::conventional(15e6, 0.1);
+        let alarms: Vec<Alarm> = series.iter().filter_map(|&b| s.push(b)).collect();
+        assert_eq!(s.report(), batch);
+        assert!(batch.detected);
+        assert_eq!(alarms.len(), 1, "alarm edge fires exactly once");
+        assert_eq!(Some(alarms[0].bin), batch.first_alarm_bin);
+    }
+
+    #[test]
+    fn spectral_windowed_evaluation_matches_batch_sweep_of_the_window() {
+        // 25-bin pulses fill a 100-bin window: the streaming alarm must
+        // agree with a batch sweep over exactly the buffered window.
+        let series: Vec<u64> = (0..300)
+            .map(|i| if i % 25 < 2 { 80_000 } else { 10_000 })
+            .collect();
+        let det = SpectralDetector::new(10, 80, 15.0);
+        let mut s = StreamingSpectral::new(det.clone(), 100, 10);
+        let mut first_alarm = None;
+        for (i, &b) in series.iter().enumerate() {
+            if let Some(a) = s.push(b) {
+                first_alarm = Some(a);
+                // Cross-check against a batch sweep of the window that
+                // ends at this bin.
+                let window: Vec<f64> = series[i + 1 - 100..=i].iter().map(|&v| v as f64).collect();
+                let batch = det.sweep(&window);
+                assert!(batch.detected, "windowed batch sweep agrees");
+                break;
+            }
+        }
+        let alarm = first_alarm.expect("periodic pulses must alarm");
+        assert_eq!(alarm.detector, "spectral");
+        assert!(alarm.statistic > 15.0);
+        assert!(s.last_report().is_some());
+    }
+
+    #[test]
+    fn spectral_stays_quiet_on_flat_traffic() {
+        let mut s = StreamingSpectral::conventional();
+        for _ in 0..400 {
+            assert_eq!(s.push(10_000), None);
+        }
+        assert_eq!(s.bins_seen(), 400);
+    }
+
+    #[test]
+    fn merge_adopts_the_further_advanced_lineage() {
+        let series = step_series(300, 120, 1000, 200);
+        let mut a = StreamingCusum::conventional();
+        for &b in &series[..80] {
+            a.push(b);
+        }
+        let mut b = a.fork();
+        for &v in &series[80..] {
+            b.push(v);
+        }
+        a.merge(&b);
+        assert_eq!(a, b);
+        // Merging the shorter side back is a no-op.
+        let snap = b.snapshot();
+        let short = StreamingCusum::conventional();
+        b.merge(&short);
+        assert_eq!(b.snapshot(), snap);
+    }
+
+    #[test]
+    fn alarm_stream_json_is_deterministic_and_escaped() {
+        let runs = vec![
+            (
+                "golden/ns2-benign".to_string(),
+                vec![Alarm {
+                    detector: "cusum",
+                    bin: 63,
+                    statistic: 9.25,
+                }],
+            ),
+            ("odd\"id\\".to_string(), vec![]),
+        ];
+        let json = alarm_stream_json(&runs, 0.1);
+        assert_eq!(
+            json,
+            "{\"schema\":\"pdos-detect/1\",\"bin_secs\":0.1,\"runs\":[\
+             {\"id\":\"golden/ns2-benign\",\"alarms\":[\
+             {\"detector\":\"cusum\",\"bin\":63,\"statistic\":9.25}]},\
+             {\"id\":\"odd\\\"id\\\\\",\"alarms\":[]}]}"
+        );
+    }
+
+    proptest::proptest! {
+        /// Snapshot/restore at an arbitrary point, with garbage pushed
+        /// in between, equals the straight-line push sequence.
+        #[test]
+        fn prop_snapshot_restore_equals_straight_line(
+            series in proptest::collection::vec(0u64..200_000, 10..200),
+            cut in 0usize..200,
+            garbage in proptest::collection::vec(0u64..200_000, 0..30),
+        ) {
+            let cut = cut % series.len();
+            let mut straight = StreamingCusum::new(8, 0.5, 6.0);
+            for &b in &series {
+                straight.push(b);
+            }
+            let mut machine = StreamingCusum::new(8, 0.5, 6.0);
+            for &b in &series[..cut] {
+                machine.push(b);
+            }
+            let snap = machine.snapshot();
+            for &g in &garbage {
+                machine.push(g);
+            }
+            machine.restore(snap);
+            for &b in &series[cut..] {
+                machine.push(b);
+            }
+            proptest::prop_assert_eq!(&machine, &straight);
+            proptest::prop_assert_eq!(machine.scan(), straight.scan());
+        }
+
+        /// Two forks fed the same suffix stay bit-identical to each
+        /// other and to the unforked straight-line detector (mirrors
+        /// the simulator's double-fork identity).
+        #[test]
+        fn prop_double_fork_is_identical(
+            series in proptest::collection::vec(0u64..200_000, 10..200),
+            cut in 0usize..200,
+        ) {
+            let cut = cut % series.len();
+            let mut base = StreamingRate::conventional(15e6, 0.1);
+            for &b in &series[..cut] {
+                base.push(b);
+            }
+            let mut f1 = base.fork();
+            let mut f2 = base.fork();
+            for &b in &series[cut..] {
+                base.push(b);
+                f1.push(b);
+                f2.push(b);
+            }
+            proptest::prop_assert_eq!(&f1, &f2);
+            proptest::prop_assert_eq!(&f1, &base);
+            proptest::prop_assert_eq!(f1.report(), base.report());
+        }
+
+        /// Merging a fork's continuation back into the fork point
+        /// yields the straight-line state; interleaved merges of the
+        /// spectral scorer agree too.
+        #[test]
+        fn prop_merge_interleavings_equal_straight_line(
+            series in proptest::collection::vec(0u64..200_000, 20..200),
+            cut in 1usize..200,
+        ) {
+            let cut = cut % series.len();
+            let mut straight = StreamingSpectral::new(
+                SpectralDetector::new(3, 12, 2.0), 16, 4);
+            for &b in &series {
+                straight.push(b);
+            }
+            let mut a = StreamingSpectral::new(
+                SpectralDetector::new(3, 12, 2.0), 16, 4);
+            for &b in &series[..cut] {
+                a.push(b);
+            }
+            let mut b = a.fork();
+            for &v in &series[cut..] {
+                b.push(v);
+            }
+            a.merge(&b);
+            proptest::prop_assert_eq!(a.snapshot(), straight.snapshot());
+        }
+
+        /// Streaming CUSUM equals batch scan on arbitrary series,
+        /// bit for bit (compares the full scan enum, f64s included).
+        #[test]
+        fn prop_streaming_cusum_equals_batch(
+            series in proptest::collection::vec(0u64..1_000_000, 0..300),
+        ) {
+            let batch = CusumDetector::new(8, 0.5, 6.0).scan(&series);
+            let mut s = StreamingCusum::new(8, 0.5, 6.0);
+            for &b in &series {
+                s.push(b);
+            }
+            proptest::prop_assert_eq!(s.scan(), batch);
+        }
+
+        /// Streaming rate equals batch run on arbitrary series.
+        #[test]
+        fn prop_streaming_rate_equals_batch(
+            series in proptest::collection::vec(0u64..2_000_000, 0..300),
+        ) {
+            let batch = RateDetector::conventional(15e6, 0.1).run(&series);
+            let mut s = StreamingRate::conventional(15e6, 0.1);
+            for &b in &series {
+                s.push(b);
+            }
+            proptest::prop_assert_eq!(s.report(), batch);
+        }
+    }
+}

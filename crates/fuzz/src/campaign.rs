@@ -17,7 +17,9 @@
 use crate::case::{format_case, CaseParams, DumbbellCase, FuzzCase, TopologyCase};
 use crate::gen::{self, Family};
 use crate::topo::run_topology;
-use pdos_conformance::{check_point, digest_bins, ToleranceBands};
+use pdos_conformance::{check_cusum_equivalence, check_point, digest_bins, ToleranceBands};
+use pdos_detect::cusum::CusumDetector;
+use pdos_detect::streaming::{StreamingCusum, StreamingDetector};
 use pdos_scenarios::experiment::SeededFault;
 use pdos_scenarios::runner::{
     ExperimentSpec, RunOutcome, RunRecord, SeedPolicy, SweepRunner, DEFAULT_CHECKPOINT_CAPACITY,
@@ -90,6 +92,10 @@ pub enum ViolationClass {
     Conservation,
     /// A run that should carry traffic delivered zero goodput.
     NoTraffic,
+    /// The streaming detector disagreed with its batch counterpart on
+    /// the case's recorded trace (the equivalence contract of
+    /// `pdos_conformance::equivalence`).
+    DetectorMismatch,
 }
 
 impl ViolationClass {
@@ -104,6 +110,7 @@ impl ViolationClass {
             ViolationClass::TopologyInvariant => "topology-invariant",
             ViolationClass::Conservation => "conservation",
             ViolationClass::NoTraffic => "no-traffic",
+            ViolationClass::DetectorMismatch => "detector-mismatch",
         }
     }
 }
@@ -122,6 +129,7 @@ impl std::str::FromStr for ViolationClass {
             "topology-invariant" => ViolationClass::TopologyInvariant,
             "conservation" => ViolationClass::Conservation,
             "no-traffic" => ViolationClass::NoTraffic,
+            "detector-mismatch" => ViolationClass::DetectorMismatch,
             other => return Err(format!("unknown violation class {other:?}")),
         })
     }
@@ -134,6 +142,7 @@ pub fn fault_to_str(fault: Option<SeededFault>) -> &'static str {
         Some(SeededFault::LinkAccounting) => "link-accounting",
         Some(SeededFault::OmitLinkStats) => "omit-link-stats",
         Some(SeededFault::CubicWindow) => "cubic-window",
+        Some(SeededFault::CusumDrift) => "cusum-drift",
     }
 }
 
@@ -148,6 +157,7 @@ pub fn fault_from_str(s: &str) -> Result<Option<SeededFault>, String> {
         "link-accounting" => Some(SeededFault::LinkAccounting),
         "omit-link-stats" => Some(SeededFault::OmitLinkStats),
         "cubic-window" => Some(SeededFault::CubicWindow),
+        "cusum-drift" => Some(SeededFault::CusumDrift),
         other => return Err(format!("unknown fault {other:?}")),
     })
 }
@@ -266,6 +276,7 @@ fn evaluate_dumbbell(
     c: &DumbbellCase,
     record: &RunRecord,
     bands: &ToleranceBands,
+    fault: Option<SeededFault>,
 ) -> DumbbellEval {
     let mut eval = DumbbellEval {
         g_sim: None,
@@ -318,6 +329,28 @@ fn evaluate_dumbbell(
                 let class = classify_failure(&verdict.failures[0]);
                 eval.violation = Some((class, verdict.failures.join("; ")));
             }
+        }
+    }
+    // The detector-equivalence stage: cases drawn with detect=on — and
+    // every dumbbell case under the cusum-drift drill — hold their
+    // recorded trace to the batch-vs-streaming contract. The drill
+    // desynchronizes the streaming state by one bin before the check,
+    // which the equivalence comparison must flag.
+    let drill = fault == Some(SeededFault::CusumDrift);
+    if eval.violation.is_none() && !eval.trace.is_empty() && (c.detect || drill) {
+        let calib = (eval.trace.len() / 2).max(2);
+        let mut streaming = StreamingCusum::new(calib, 0.5, 8.0);
+        if drill {
+            streaming.push(eval.trace[0]);
+        }
+        let failures = check_cusum_equivalence(
+            id,
+            &CusumDetector::new(calib, 0.5, 8.0),
+            &mut streaming,
+            &eval.trace,
+        );
+        if !failures.is_empty() {
+            eval.violation = Some((ViolationClass::DetectorMismatch, failures.join("; ")));
         }
     }
     eval
@@ -380,7 +413,7 @@ pub fn evaluate_params(
                 .seed_policy(SeedPolicy::FromScenario)
                 .jobs(1)
                 .execute_one(&spec);
-            evaluate_dumbbell("replay", c, &record, &cfg.bands).violation
+            evaluate_dumbbell("replay", c, &record, &cfg.bands, cfg.fault).violation
         }
         CaseParams::Topology(c) => evaluate_topology(c).1,
     }
@@ -442,7 +475,7 @@ pub fn run_campaign(cfg: &CampaignConfig) -> CampaignReport {
                     let record = records
                         .get(&case.id)
                         .expect("every dumbbell case was swept");
-                    let eval = evaluate_dumbbell(&case.id, c, record, &cfg.bands);
+                    let eval = evaluate_dumbbell(&case.id, c, record, &cfg.bands, cfg.fault);
                     if eval.g_sim.is_some() && c.oracle {
                         oracle_points += 1;
                         if let Some(err) = eval.right_err {
@@ -746,6 +779,7 @@ mod tests {
             V::TopologyInvariant,
             V::Conservation,
             V::NoTraffic,
+            V::DetectorMismatch,
         ] {
             assert_eq!(class.as_str().parse::<V>().unwrap(), class);
         }
@@ -755,6 +789,7 @@ mod tests {
             Some(SeededFault::LinkAccounting),
             Some(SeededFault::OmitLinkStats),
             Some(SeededFault::CubicWindow),
+            Some(SeededFault::CusumDrift),
         ] {
             assert_eq!(fault_from_str(fault_to_str(fault)).unwrap(), fault);
         }

@@ -105,6 +105,12 @@ pub struct DumbbellCase {
     /// from the paper's AIMD model — while diverse families draw from
     /// the whole registry.
     pub cc: CcSpec,
+    /// Whether the case runs with the engine's per-link detector tap
+    /// enabled and holds its recorded trace to the batch-vs-streaming
+    /// detector-equivalence contract. Drawn on diverse families only;
+    /// oracle cases pin `false` (the tap is physics-neutral, but the
+    /// envelope stays exactly the distribution the bands were tuned on).
+    pub detect: bool,
 }
 
 impl DumbbellCase {
@@ -147,10 +153,16 @@ impl DumbbellCase {
             Some(a) => ExperimentSpec::attacked(id, scenario, a.point()),
             None => ExperimentSpec::benign(id, scenario),
         };
-        spec.warmup(SimDuration::from_secs(u64::from(self.warmup_s)))
+        let spec = spec
+            .warmup(SimDuration::from_secs(u64::from(self.warmup_s)))
             .window(SimDuration::from_secs(u64::from(self.window_s)))
             .traced(SimDuration::from_millis(100))
-            .checked()
+            .checked();
+        if self.detect {
+            spec.tapped()
+        } else {
+            spec
+        }
     }
 
     /// Simulated seconds this case costs (the budget unit).
@@ -279,6 +291,11 @@ pub fn format_case(params: &CaseParams) -> String {
                 line.push_str(" cc=");
                 line.push_str(c.cc.key());
             }
+            // Same legacy rule as cc=: only the non-default value emits
+            // a token, so pre-detector repro lines stay byte-stable.
+            if c.detect {
+                line.push_str(" detect=on");
+            }
             line
         }
         CaseParams::Topology(c) => {
@@ -363,6 +380,11 @@ pub fn parse_case(line: &str) -> Result<CaseParams, String> {
                 None => CcSpec::Aimd,
                 Some(v) => CcSpec::from_key(v).ok_or_else(|| format!("bad cc: {v:?}"))?,
             };
+            let detect = match kv.get("detect") {
+                None => false,
+                Some(&"on") => true,
+                Some(v) => return Err(format!("bad detect: {v:?} (want on)")),
+            };
             Ok(CaseParams::Dumbbell(DumbbellCase {
                 oracle,
                 base,
@@ -376,6 +398,7 @@ pub fn parse_case(line: &str) -> Result<CaseParams, String> {
                 window_s: int("window_s")?,
                 attack,
                 cc,
+                detect,
             }))
         }
         kind @ ("parking-lot" | "fat-tree") => Ok(CaseParams::Topology(TopologyCase {
@@ -417,6 +440,7 @@ mod tests {
                 gamma_milli: 413,
             }),
             cc: CcSpec::Aimd,
+            detect: false,
         })
     }
 
@@ -437,6 +461,7 @@ mod tests {
                 window_s: 8,
                 attack: None,
                 cc: CcSpec::Aimd,
+                detect: false,
             }),
             CaseParams::Dumbbell(DumbbellCase {
                 oracle: false,
@@ -455,6 +480,7 @@ mod tests {
                     gamma_milli: 300,
                 }),
                 cc: CcSpec::BbrLite,
+                detect: true,
             }),
             CaseParams::Topology(TopologyCase {
                 kind: TopoKind::FatTree,
@@ -509,6 +535,34 @@ mod tests {
     }
 
     #[test]
+    fn detect_token_defaults_off_and_stays_off_legacy_lines() {
+        // Repro lines written before the detector dimension existed
+        // carry no detect= token; they must parse to `false` and
+        // re-serialize byte-identically (absent ≡ off).
+        let legacy = format_case(&sample_dumbbell());
+        assert!(!legacy.contains("detect="), "off stays implicit: {legacy}");
+        let CaseParams::Dumbbell(parsed) = parse_case(&legacy).expect("legacy line parses") else {
+            unreachable!()
+        };
+        assert!(!parsed.detect);
+        assert_eq!(format_case(&CaseParams::Dumbbell(parsed)), legacy);
+        // detect=on round-trips and flips the spec's tap on.
+        let CaseParams::Dumbbell(mut c) = sample_dumbbell() else {
+            unreachable!()
+        };
+        c.detect = true;
+        let line = format_case(&CaseParams::Dumbbell(c.clone()));
+        assert!(line.ends_with(" detect=on"), "{line}");
+        assert_eq!(parse_case(&line).unwrap(), CaseParams::Dumbbell(c.clone()));
+        assert!(c.spec("fuzz/test/c0").detect, "detect=on enables the tap");
+        c.detect = false;
+        assert!(!c.spec("fuzz/test/c0").detect);
+        // A malformed value is rejected, not silently ignored.
+        let bad = format!("{legacy} detect=off");
+        assert!(parse_case(&bad).is_err(), "only 'on' is a valid value");
+    }
+
+    #[test]
     fn dumbbell_case_expands_to_a_buildable_scenario() {
         let CaseParams::Dumbbell(c) = sample_dumbbell() else {
             unreachable!()
@@ -546,6 +600,7 @@ mod tests {
                     window_s: 4,
                     attack: None,
                     cc: CcSpec::Aimd,
+                    detect: false,
                 };
                 c.scenario().build().expect("profile builds");
             }

@@ -74,8 +74,10 @@ fn draw_oracle_family(rng: &mut SmallRng, fam: usize) -> Family {
         warmup_s: 4,
         window_s: 8,
         attack: None,
-        // Oracle cases stay on the AIMD model the bands were tuned on.
+        // Oracle cases stay on the AIMD model the bands were tuned on,
+        // with no detector tap: exactly the envelope distribution.
         cc: CcSpec::Aimd,
+        detect: false,
     };
     let n_points = rng.random_range(2u32..=3);
     let cases = (0..n_points)
@@ -130,6 +132,9 @@ fn draw_diverse_family(rng: &mut SmallRng, fam: usize) -> Family {
         window_s: rng.random_range(4u32..=8),
         attack: None,
         cc: CcSpec::ALL[rng.random_range(0usize..CcSpec::ALL.len())],
+        // A third of diverse families run with the detector tap on and
+        // hold their traces to the batch-vs-streaming contract.
+        detect: rng.random_range(0u32..3) == 0,
     };
     let n_attacked = rng.random_range(1u32..=2);
     let benign = rng.random_range(0u32..3) == 0;
@@ -318,6 +323,27 @@ mod tests {
         assert!(
             diverse_ccs.len() >= 3,
             "a 240-case draw should cover most of the registry: {diverse_ccs:?}"
+        );
+    }
+
+    #[test]
+    fn detect_dimension_stays_on_diverse_families_and_appears() {
+        let families = generate(11, 240);
+        let mut detect_on = 0usize;
+        for f in &families {
+            for case in &f.cases {
+                if let CaseParams::Dumbbell(c) = &case.params {
+                    if c.oracle {
+                        assert!(!c.detect, "oracle cases never run the tap");
+                    } else if c.detect {
+                        detect_on += 1;
+                    }
+                }
+            }
+        }
+        assert!(
+            detect_on > 0,
+            "a 240-case draw should include tapped diverse cases"
         );
     }
 

@@ -402,6 +402,62 @@ mod tests {
         assert_eq!(hit, v.class, "replay reproduces the class: {detail}");
     }
 
+    /// The detector-layer drill: `--fault cusum-drift` desynchronizes
+    /// the streaming CUSUM by one bin at evaluation time (the engine
+    /// physics is untouched — the fault is a no-op there); the
+    /// campaign's equivalence stage must catch it as a
+    /// detector-mismatch, the shrinker must minimize it, and the repro
+    /// must replay to the same class.
+    #[test]
+    fn cusum_drift_fault_drill_catches_shrinks_and_replays() {
+        // Deterministic seed scan: the smallest master seed whose first
+        // generated set contains a multi-case dumbbell family.
+        let seed = (0u64..64)
+            .find(|&s| {
+                gen::generate(s, 2)
+                    .iter()
+                    .any(|f| f.is_dumbbell() && f.cases.len() >= 2)
+            })
+            .expect("some small seed draws a dumbbell family");
+        let cfg = CampaignConfig {
+            scenarios: 2,
+            master_seed: seed,
+            jobs: 1,
+            fault: Some(SeededFault::CusumDrift),
+            shrink_budget: 12,
+            ..CampaignConfig::default()
+        };
+        let mut report = run_campaign(&cfg);
+
+        // 1. The equivalence stage flags the drifted streaming state.
+        assert!(!report.pass(), "the drill must catch the drifted detector");
+        let idx = report
+            .violations
+            .iter()
+            .position(|v| v.class == ViolationClass::DetectorMismatch)
+            .expect("a detector-mismatch violation is reported");
+
+        // 2. The shrinker minimizes while preserving the class.
+        shrink_report(&mut report, &cfg);
+        let v = &report.violations[idx];
+        let sh = v.shrunk.as_ref().expect("violation within shrink quota");
+        let CaseParams::Dumbbell(c) = &sh.params else {
+            panic!("drifted violations are dumbbell cases")
+        };
+        assert!(c.n_flows <= 3, "flows shrunk: {}", c.n_flows);
+        assert!(sh.replays <= cfg.shrink_budget);
+
+        // 3. The repro file round-trips and replays to the same class.
+        let text = format_repro(v, &cfg);
+        assert!(text.contains("fault = cusum-drift"));
+        assert!(text.contains("class = detector-mismatch"));
+        let repro = parse_repro(&text).expect("repro file parses");
+        assert_eq!(repro.fault, Some(SeededFault::CusumDrift));
+        assert_eq!(repro.params, sh.params);
+        let (hit, detail) = replay_repro(&repro).expect("the shrunk case still fails");
+        assert_eq!(hit, v.class, "replay reproduces the class: {detail}");
+    }
+
     #[test]
     fn repro_files_round_trip_without_a_campaign() {
         let v = CampaignViolation {
@@ -462,6 +518,7 @@ mod tests {
                 gamma_milli: 700,
             }),
             cc: pdos_tcp::cc::CcSpec::Aimd,
+            detect: false,
         };
         let cands = candidates(&CaseParams::Dumbbell(c.clone()), ViolationClass::OracleBand);
         assert!(!cands.is_empty());

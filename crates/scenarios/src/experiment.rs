@@ -113,6 +113,12 @@ pub enum SeededFault {
     /// Unlike the link faults this perturbs physics, so it only appears
     /// in drills, never in baselines shared with clean runs.
     CubicWindow,
+    /// Drifts a streaming CUSUM detector's accumulated statistic away
+    /// from the batch scan of the same series. Physics-neutral and a
+    /// no-op at the engine level: the fuzz campaign's detector stage
+    /// applies the drift to the streaming-detector state itself, so the
+    /// batch-vs-streaming equivalence check must flag the mismatch.
+    CusumDrift,
 }
 
 /// One measured point of a gain figure.
@@ -214,6 +220,7 @@ pub struct GainExperiment {
     class_margin: f64,
     checks: bool,
     metrics: bool,
+    detect: bool,
     fault: Option<SeededFault>,
 }
 
@@ -229,6 +236,7 @@ impl GainExperiment {
             class_margin: 0.12,
             checks: false,
             metrics: false,
+            detect: false,
             fault: None,
         }
     }
@@ -276,6 +284,17 @@ impl GainExperiment {
         self
     }
 
+    /// Enables the engine's per-link detector tap for every run this
+    /// experiment performs (the streaming-detector feed; see
+    /// [`pdos_sim::tap::DetectorTap`]). The tap bins at the run's trace
+    /// width when one is requested, else at the detectors' 100 ms
+    /// default. Taps are read-only observers — enabling them never
+    /// changes measured goodput, traces, or gains.
+    pub fn detect(mut self, enabled: bool) -> Self {
+        self.detect = enabled;
+        self
+    }
+
     /// Injects `fault` into the measurement phase of every run this
     /// experiment performs (see [`SeededFault`]). `None` clears it.
     pub fn fault(mut self, fault: Option<SeededFault>) -> Self {
@@ -306,6 +325,8 @@ impl GainExperiment {
                 // is guaranteed to see it.
                 bench.corrupt_sender_cwnd_for_test(0, f64::NAN);
             }
+            // Detector-layer fault: nothing to corrupt in the bench.
+            SeededFault::CusumDrift => {}
         }
     }
 
@@ -447,6 +468,11 @@ impl GainExperiment {
         }
         if self.metrics {
             bench.sim.enable_metrics();
+        }
+        if self.detect {
+            bench
+                .sim
+                .enable_tap(trace_bin.unwrap_or(SimDuration::from_millis(100)));
         }
         let trace = trace_bin.map(|bin| {
             (
@@ -1109,6 +1135,49 @@ mod tests {
         assert_eq!(fast, bench.total_fast_recoveries());
         assert_eq!(goodput, bench.goodput_bytes());
         assert!(goodput > 0, "flows must have delivered data");
+    }
+
+    #[test]
+    fn detector_taps_are_read_only_observers() {
+        let plain_exp = quick_experiment(3).window(SimDuration::from_secs(8));
+        let baseline = plain_exp.baseline_bytes().unwrap();
+        let plain = plain_exp
+            .run_point_traced(
+                0.1,
+                30e6,
+                0.4,
+                baseline,
+                Some(SimDuration::from_millis(100)),
+            )
+            .unwrap();
+        let tapped = plain_exp
+            .clone()
+            .detect(true)
+            .run_point_traced(
+                0.1,
+                30e6,
+                0.4,
+                baseline,
+                Some(SimDuration::from_millis(100)),
+            )
+            .unwrap();
+        assert_eq!(plain, tapped, "the tap must not perturb the run");
+    }
+
+    #[test]
+    fn cusum_drift_fault_is_an_engine_level_no_op() {
+        let exp = quick_experiment(3).window(SimDuration::from_secs(8));
+        let baseline = exp.baseline_bytes().unwrap();
+        let clean = exp.run_point(0.1, 30e6, 0.4, baseline).unwrap();
+        // Detector-layer fault: physics-neutral AND invisible even to a
+        // checked run — the fuzz campaign's detector stage is what trips.
+        let drilled = exp
+            .clone()
+            .fault(Some(SeededFault::CusumDrift))
+            .checks(true)
+            .run_point(0.1, 30e6, 0.4, baseline)
+            .unwrap();
+        assert_eq!(clean, drilled, "CusumDrift must not perturb the bench");
     }
 
     #[test]

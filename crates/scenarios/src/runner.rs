@@ -82,6 +82,15 @@ pub struct ExperimentSpec {
     /// deliberately **not** part of [`ExperimentSpec::stable_hash`] —
     /// observing a run must not change its seed or its physics.
     pub metrics: bool,
+    /// Run with the engine's per-link detector tap enabled (streaming
+    /// detector feed; see `pdos_sim::tap`). The tap bins at the spec's
+    /// `trace_bin` width when set, else at the 100 ms detector default.
+    /// Like `checks`/`metrics`, deliberately **not** part of
+    /// [`ExperimentSpec::stable_hash`] — tapping a run must not change
+    /// its seed or its physics — but it *is* part of
+    /// [`ExperimentSpec::prefix_hash`], because a checkpoint physically
+    /// carries the tap's bins.
+    pub detect: bool,
     /// Deliberately inject a known physics bug into the measurement phase
     /// (fuzz-campaign self-test drills; see [`SeededFault`]). Applied
     /// *after* the warm-up fork, so checkpoints stay uncorrupted and
@@ -110,6 +119,7 @@ impl ExperimentSpec {
             kappa: 1.0,
             checks: false,
             metrics: false,
+            detect: false,
             fault: None,
         }
     }
@@ -126,6 +136,7 @@ impl ExperimentSpec {
             kappa: 1.0,
             checks: false,
             metrics: false,
+            detect: false,
             fault: None,
         }
     }
@@ -169,6 +180,15 @@ impl ExperimentSpec {
         self
     }
 
+    /// Enables the engine's per-link detector tap for this run.
+    /// Hash-neutral: a tapped run uses the same seed and produces the
+    /// same physics as an untapped one.
+    #[must_use]
+    pub fn tapped(mut self) -> ExperimentSpec {
+        self.detect = true;
+        self
+    }
+
     /// Injects `fault` into the measurement phase of this run (fuzz-drill
     /// seam). Hash-neutral: a faulted spec keeps its seed and warm-up
     /// prefix; only the measured physics are (deliberately) corrupted.
@@ -206,6 +226,7 @@ impl ExperimentSpec {
             self.trace_bin,
             self.checks,
             self.metrics,
+            self.detect,
         )
     }
 
@@ -218,11 +239,12 @@ impl ExperimentSpec {
         trace_bin: Option<SimDuration>,
         checks: bool,
         metrics: bool,
+        detect: bool,
     ) -> u64 {
         let mut ident = String::with_capacity(256);
         let _ = write!(
             ident,
-            "{scenario:?}|{warmup:?}|{trace_bin:?}|{checks}|{metrics}"
+            "{scenario:?}|{warmup:?}|{trace_bin:?}|{checks}|{metrics}|{detect}"
         );
         fnv1a64(ident.as_bytes())
     }
@@ -863,6 +885,7 @@ impl SweepRunner {
             spec.trace_bin,
             spec.checks,
             spec.metrics,
+            spec.detect,
         );
         let exp = GainExperiment::new(scenario)
             .warmup(spec.warmup)
@@ -870,6 +893,7 @@ impl SweepRunner {
             .risk(risk)
             .checks(spec.checks)
             .metrics(spec.metrics)
+            .detect(spec.detect)
             .fault(spec.fault);
 
         // Warm start: simulate the shared prefix once per distinct digest,
@@ -1327,6 +1351,31 @@ mod tests {
         assert_eq!(plain.stable_hash(), faulted.stable_hash());
         assert_eq!(plain.prefix_hash(), faulted.prefix_hash());
         assert_eq!(derive_seed(9, &plain), derive_seed(9, &faulted));
+    }
+
+    #[test]
+    fn detect_flag_is_hash_neutral_but_prefix_relevant() {
+        let plain = quick_spec("d", 0.4);
+        let tapped = quick_spec("d", 0.4).tapped();
+        // Seed identity is untouched: tapping never re-seeds a sweep.
+        assert_eq!(plain.stable_hash(), tapped.stable_hash());
+        assert_eq!(derive_seed(9, &plain), derive_seed(9, &tapped));
+        // But a checkpoint physically carries the tap's bins, so tapped
+        // and untapped runs must not share warm-start prefixes.
+        assert_ne!(plain.prefix_hash(), tapped.prefix_hash());
+    }
+
+    #[test]
+    fn tapped_spec_runs_identically() {
+        let plain = SweepRunner::new(11).jobs(1).run(&[quick_spec("d", 0.4)]);
+        let tapped = SweepRunner::new(11)
+            .jobs(1)
+            .run(&[quick_spec("d", 0.4).tapped()]);
+        assert_eq!(plain.results_json(), tapped.results_json());
+        assert!(matches!(
+            tapped.records[0].outcome,
+            RunOutcome::Point { .. }
+        ));
     }
 
     #[test]

@@ -10,6 +10,7 @@ use crate::metrics::EngineMetrics;
 use crate::node::{Node, NodeId};
 use crate::packet::{FlowId, Packet, PacketArena};
 use crate::routing::RoutingTable;
+use crate::tap::DetectorTap;
 use crate::time::{SimDuration, SimTime};
 use crate::trace::{RateTrace, TraceFilter, TraceId};
 
@@ -102,6 +103,9 @@ pub struct Simulator {
     /// Observability layer; `None` (the default) costs one branch per
     /// event, exactly like `checks`.
     metrics: Option<Box<EngineMetrics>>,
+    /// Per-link detector tap feeding streaming detectors; `None` (the
+    /// default) costs one branch per forwarded packet.
+    tap: Option<Box<DetectorTap>>,
 }
 
 impl std::fmt::Debug for Simulator {
@@ -136,6 +140,7 @@ impl Simulator {
             effects_scratch: Vec::new(),
             checks: None,
             metrics: None,
+            tap: None,
         }
     }
 
@@ -194,6 +199,37 @@ impl Simulator {
     pub fn metrics_snapshot(&mut self) -> Option<pdos_metrics::MetricsSnapshot> {
         let now = self.clock;
         self.metrics.as_deref_mut().map(|m| m.snapshot(now))
+    }
+
+    /// Turns on the per-link detector tap (see [`crate::tap`]).
+    ///
+    /// From this point on, every packet *offered* to any link adds its
+    /// bytes to that link's fixed-width bin — the same instrument as a
+    /// [`TraceFilter::All`] trace, recorded at the same hook site. The
+    /// tap is read-only with respect to the simulation: an enabled run
+    /// is event-for-event identical to a disabled one (golden digests
+    /// unchanged). Calling again with a different bin width is a no-op.
+    pub fn enable_tap(&mut self, bin: SimDuration) {
+        if self.tap.is_none() {
+            self.tap = Some(Box::new(DetectorTap::new(&self.links, bin)));
+        }
+    }
+
+    /// Whether [`Simulator::enable_tap`] was called.
+    pub fn tap_enabled(&self) -> bool {
+        self.tap.is_some()
+    }
+
+    /// The detector tap, for reading per-link bins off a finished run.
+    /// `None` while the tap is disabled.
+    pub fn tap(&self) -> Option<&DetectorTap> {
+        self.tap.as_deref()
+    }
+
+    /// Offered bytes per bin on `link`, in time order. `None` while the
+    /// tap is disabled.
+    pub fn tap_bins(&self, link: LinkId) -> Option<&[u64]> {
+        self.tap.as_deref().map(|t| t.bins(link))
     }
 
     /// Invariant violations recorded so far (empty when checks are off).
@@ -413,6 +449,9 @@ impl Simulator {
         };
         for &tid in &self.link_traces[link_id.index()] {
             self.traces[tid.index()].record(self.clock, &packet);
+        }
+        if let Some(tap) = self.tap.as_deref_mut() {
+            tap.record(link_id, self.clock, &packet);
         }
         let link = &mut self.links[link_id.index()];
         let accepted = match link.accept(packet, self.clock) {
@@ -703,6 +742,7 @@ impl Simulator {
             effects_scratch: Vec::new(),
             checks: self.checks.clone(),
             metrics: self.metrics.clone(),
+            tap: self.tap.clone(),
         })
     }
 
@@ -1329,6 +1369,70 @@ mod tests {
             let (mut sim, a, b) = two_hosts();
             if metered {
                 sim.enable_metrics();
+            }
+            let flow = FlowId::from_u32(1);
+            sim.attach_agent(
+                a,
+                Box::new(Blaster {
+                    dst: b,
+                    flow,
+                    count: 25,
+                    gap: SimDuration::from_micros(700),
+                    sent: 0,
+                }),
+            );
+            let counter = sim.attach_agent(b, Box::new(Counter::default()));
+            sim.bind_flow(b, flow, counter);
+            sim.run_until(SimTime::from_secs(1));
+            (
+                sim.stats(),
+                sim.agent_as::<Counter>(counter).unwrap().last_at,
+            )
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn tap_bins_match_an_all_filter_trace() {
+        let (mut sim, a, b) = two_hosts();
+        let bin = SimDuration::from_millis(10);
+        sim.enable_tap(bin);
+        assert!(sim.tap_enabled());
+        let flow = FlowId::from_u32(1);
+        let trace = sim.trace_link_ingress(LinkId::from_u32(0), TraceFilter::All, bin);
+        sim.attach_agent(
+            a,
+            Box::new(Blaster {
+                dst: b,
+                flow,
+                count: 25,
+                gap: SimDuration::from_micros(700),
+                sent: 0,
+            }),
+        );
+        let counter = sim.attach_agent(b, Box::new(Counter::default()));
+        sim.bind_flow(b, flow, counter);
+        sim.run_until(SimTime::from_secs(1));
+        // The tap records at the same hook site with the same binning, so
+        // its series is identical to a user-registered All trace.
+        let tap_bins = sim.tap_bins(LinkId::from_u32(0)).expect("tap is on");
+        assert_eq!(tap_bins, sim.trace(trace).bytes_per_bin());
+        assert!(tap_bins.iter().sum::<u64>() > 0);
+        assert_eq!(sim.tap().unwrap().bin_width(), bin);
+        // The reverse (ACK-less) direction exists but saw no traffic.
+        assert_eq!(
+            sim.tap_bins(LinkId::from_u32(1)).unwrap().len(),
+            0,
+            "untouched link has no materialized bins"
+        );
+    }
+
+    #[test]
+    fn tap_does_not_perturb_the_run() {
+        let run = |tapped: bool| {
+            let (mut sim, a, b) = two_hosts();
+            if tapped {
+                sim.enable_tap(SimDuration::from_millis(10));
             }
             let flow = FlowId::from_u32(1);
             sim.attach_agent(

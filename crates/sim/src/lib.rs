@@ -48,6 +48,7 @@ pub mod node;
 pub mod packet;
 pub mod queue;
 pub mod routing;
+pub mod tap;
 pub mod time;
 pub mod topology;
 pub mod trace;
@@ -62,6 +63,7 @@ pub mod prelude {
     pub use crate::node::NodeId;
     pub use crate::packet::{FlowId, Packet, PacketKind};
     pub use crate::queue::{AccConfig, QueueSpec, RedConfig};
+    pub use crate::tap::DetectorTap;
     pub use crate::time::{SimDuration, SimTime};
     pub use crate::topology::TopologyBuilder;
     pub use crate::trace::{TraceFilter, TraceId};

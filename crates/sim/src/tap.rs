@@ -1,0 +1,70 @@
+//! Per-link detector tap: the engine-side feed for streaming detectors.
+//!
+//! Online detectors (`pdos-detect`'s `StreamingCusum` and friends) score
+//! traffic bin by bin as it flows. The engine side of that pipeline is
+//! deliberately tiny: a [`DetectorTap`] bins the bytes *offered* to every
+//! link — the same instrument as a [`RateTrace`] with
+//! [`TraceFilter::All`](crate::trace::TraceFilter::All), recorded at the
+//! same hook site (before the queue's accept/drop decision) — without
+//! any detector logic. Keeping `pdos-sim` detector-free preserves the
+//! dependency direction (`pdos-detect` builds on analysis, not on the
+//! simulator); consumers pull [`DetectorTap::bins`] off closed runs or
+//! snapshots and push them through the streaming detectors downstream.
+//!
+//! Like the checkers and metrics, the tap follows the
+//! zero-overhead-when-disabled pattern: the engine holds an
+//! `Option<Box<DetectorTap>>` that costs one branch per forwarded packet
+//! while `None`, and an enabled tap is read-only with respect to the
+//! simulation — taps never change physics or golden digests.
+
+use crate::link::{Link, LinkId};
+use crate::packet::Packet;
+use crate::time::{SimDuration, SimTime};
+use crate::trace::{RateTrace, TraceFilter};
+
+/// Per-link offered-bytes binning behind `Simulator::enable_tap`.
+#[derive(Clone)]
+pub struct DetectorTap {
+    bin: SimDuration,
+    /// One trace per link, indexed by `LinkId::index()`.
+    per_link: Vec<RateTrace>,
+}
+
+impl DetectorTap {
+    /// Builds one [`TraceFilter::All`] binner per link.
+    pub(crate) fn new(links: &[Link], bin: SimDuration) -> Self {
+        DetectorTap {
+            bin,
+            per_link: links
+                .iter()
+                .map(|l| RateTrace::new(l.id(), TraceFilter::All, bin))
+                .collect(),
+        }
+    }
+
+    /// Records a packet offered to `link` (engine hook; same site as the
+    /// user-registered traces, before the queue decides accept/drop).
+    #[inline]
+    pub(crate) fn record(&mut self, link: LinkId, now: SimTime, packet: &Packet) {
+        self.per_link[link.index()].record(now, packet);
+    }
+
+    /// The tap's bin width.
+    pub fn bin_width(&self) -> SimDuration {
+        self.bin
+    }
+
+    /// Offered bytes per bin on `link`, in time order.
+    pub fn bins(&self, link: LinkId) -> &[u64] {
+        self.per_link[link.index()].bytes_per_bin()
+    }
+}
+
+impl std::fmt::Debug for DetectorTap {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DetectorTap")
+            .field("bin", &self.bin)
+            .field("links", &self.per_link.len())
+            .finish()
+    }
+}

@@ -131,7 +131,7 @@ fn cusum_localizes_the_attack_onset() {
     // the *mean* hardly moves — the stealth the paper's risk model prices.
     let on_mean = CusumDetector::new(40, 0.5, 8.0).scan(&bytes);
     assert!(
-        !on_mean.detected,
+        !on_mean.detected(),
         "mean-level CUSUM should miss the pulsing attack: {on_mean:?}"
     );
 
@@ -139,7 +139,10 @@ fn cusum_localizes_the_attack_onset() {
     // into spikes. CUSUM over successive absolute differences catches the
     // onset within a couple of seconds.
     let dispersion: Vec<u64> = bytes.windows(2).map(|w| w[0].abs_diff(w[1])).collect();
-    let report = CusumDetector::new(40, 0.5, 8.0).scan(&dispersion);
+    let report = CusumDetector::new(40, 0.5, 8.0)
+        .scan(&dispersion)
+        .into_report()
+        .expect("calibrated");
     assert!(report.detected, "{report:?}");
     let onset = report.onset_bin.expect("onset estimate");
     assert!(
