@@ -22,7 +22,9 @@ use pdos_sim::node::NodeId;
 use pdos_sim::packet::{FlowId, Packet, PacketKind};
 use pdos_sim::queue::{QueueDiscipline, QueueSpec, RedConfig};
 use pdos_sim::time::{SimDuration, SimTime};
+use pdos_sim::topology::TopologyBuilder;
 use pdos_sim::units::{BitsPerSec, Bytes};
+use pdos_tcp::bank::{SenderBank, SinkBank};
 use std::fmt::Write as _;
 use std::time::Instant;
 
@@ -104,6 +106,10 @@ pub struct PerfReport {
     pub date: String,
     /// Whether the smoke (CI-sized) variant ran.
     pub smoke: bool,
+    /// Worker shards requested for the sharded macro leg (1 = the run
+    /// measured only the sequential engine). Reports from schemas
+    /// `pdos-bench/1` and `/2` predate sharding and imply 1.
+    pub shards: usize,
     /// Macro workload measurements.
     pub macros: Vec<MacroResult>,
     /// Microbench measurements.
@@ -124,14 +130,15 @@ impl PerfReport {
         self.macros.iter().find(|m| m.name == name)
     }
 
-    /// Serializes the report as JSON (schema `pdos-bench/2`; readers also
-    /// accept `/1`, which lacks the `warm_start` section).
+    /// Serializes the report as JSON (schema `pdos-bench/3`; readers also
+    /// accept `/2`, which lacks the `shards` field, and `/1`, which also
+    /// lacks the `warm_start` section).
     pub fn to_json(&self) -> String {
         let mut s = String::with_capacity(1024);
         let _ = write!(
             s,
-            "{{\"schema\":\"pdos-bench/2\",\"date\":\"{}\",\"smoke\":{},\"macros\":[",
-            self.date, self.smoke
+            "{{\"schema\":\"pdos-bench/3\",\"date\":\"{}\",\"smoke\":{},\"shards\":{},\"macros\":[",
+            self.date, self.smoke, self.shards
         );
         for (i, m) in self.macros.iter().enumerate() {
             if i > 0 {
@@ -206,8 +213,13 @@ impl PerfReport {
         let mut out = String::new();
         let _ = writeln!(
             out,
-            "pdos bench ({}) — {}",
+            "pdos bench ({}{}) — {}",
             if self.smoke { "smoke" } else { "full" },
+            if self.shards > 1 {
+                format!(", {} shards", self.shards)
+            } else {
+                String::new()
+            },
             self.date
         );
         let _ = writeln!(
@@ -272,13 +284,40 @@ impl PerfReport {
 
 /// Runs the harness: the CI-sized smoke variant (`smoke = true`: the
 /// fig06 smoke macro plus shortened microbenches) or the full set of
-/// macro workloads.
-pub fn run(smoke: bool) -> PerfReport {
+/// macro workloads. `shards > 1` adds a second leg of the million-flow
+/// macro on the sharded engine (same workload, `shards` workers) so the
+/// report carries a sequential-vs-sharded comparison.
+pub fn run(smoke: bool, shards: usize) -> PerfReport {
     let alloc_before = alloc::is_counting().then(alloc::snapshot);
     let mut macros = vec![fig06_smoke(), fig06_smoke_metered()];
     if !smoke {
         macros.push(single_bottleneck_60s());
         macros.push(rtt_heterogeneous_50());
+    }
+    // The scale macro: >= 1e5 struct-of-arrays flows (1e6 in the full
+    // variant). Debug builds shrink it to a smoke-sized token — their
+    // perf numbers are meaningless and the full flow count takes minutes
+    // unoptimized — so honest scale readings come from release runs only.
+    let flows = if cfg!(debug_assertions) {
+        5_000
+    } else if smoke {
+        100_000
+    } else {
+        1_000_000
+    };
+    macros.push(million_flow_smoke(flows, 1));
+    if shards > 1 {
+        let sharded = million_flow_smoke(flows, shards);
+        // The sharded engine's contract is bit-identity, so the sharded
+        // leg must process exactly the event sequence the sequential leg
+        // did — only the wall clock may differ.
+        let sequential = macros.last().expect("sequential leg just pushed");
+        assert_eq!(
+            (sequential.events, sequential.packets),
+            (sharded.events, sharded.packets),
+            "sharded macro leg diverged from the sequential engine"
+        );
+        macros.push(sharded);
     }
     let alloc = alloc_before.map(|before| alloc::snapshot().since(before));
     let warm_start = Some(fig06_grid_warmstart());
@@ -291,11 +330,124 @@ pub fn run(smoke: bool) -> PerfReport {
     PerfReport {
         date: today_utc(),
         smoke,
+        shards: shards.max(1),
         macros,
         micros,
         warm_start,
         peak_rss_bytes: peak_rss_bytes(),
         alloc,
+    }
+}
+
+/// Number of clusters in the [`million_flow_smoke`] topology (and the
+/// upper bound on useful shards for it).
+pub const MILLION_FLOW_CLUSTERS: usize = 8;
+
+/// Builds the million-flow topology: [`MILLION_FLOW_CLUSTERS`] dumbbell
+/// clusters (sender host → router → sink host; the router→sink hop is
+/// the 50 Mbps bottleneck) joined into a ring by 50 ms core links. The
+/// core carries no traffic but keeps the graph connected, and its high
+/// latency is where [`pdos_sim::shard::ShardPlan`] cuts — every shard
+/// gets a 50 ms lookahead horizon. `flows` are spread evenly across the
+/// clusters as [`SenderBank`]/[`SinkBank`] pairs, so per-flow state is
+/// struct-of-arrays flat and the binding table is the only per-flow map.
+pub fn build_million_flow_sim(flows: usize) -> pdos_sim::engine::Simulator {
+    assert!(
+        flows >= MILLION_FLOW_CLUSTERS,
+        "need at least one flow per cluster"
+    );
+    let per = flows / MILLION_FLOW_CLUSTERS;
+    let extra = flows % MILLION_FLOW_CLUSTERS;
+    let mut t = TopologyBuilder::with_seed(42);
+    let mut hosts = Vec::new();
+    let mut routers = Vec::new();
+    for c in 0..MILLION_FLOW_CLUSTERS {
+        let tx = t.add_host(format!("tx{c}"));
+        let r = t.add_router(format!("r{c}"));
+        let rx = t.add_host(format!("rx{c}"));
+        let n = per + usize::from(c < extra);
+        // Access: fat and deep enough that the initial window burst of
+        // every flow in the cluster queues instead of dropping.
+        t.add_duplex_link(
+            tx,
+            r,
+            BitsPerSec::from_mbps(1000.0),
+            SimDuration::from_millis(1),
+            QueueSpec::DropTail { capacity: n + 64 },
+        );
+        t.add_duplex_link(
+            r,
+            rx,
+            BitsPerSec::from_mbps(50.0),
+            SimDuration::from_millis(5),
+            QueueSpec::DropTail { capacity: 100 },
+        );
+        hosts.push((tx, rx, n));
+        routers.push(r);
+    }
+    for c in 0..MILLION_FLOW_CLUSTERS {
+        let next = routers[(c + 1) % MILLION_FLOW_CLUSTERS];
+        t.add_duplex_link(
+            routers[c],
+            next,
+            BitsPerSec::from_mbps(100.0),
+            SimDuration::from_millis(50),
+            QueueSpec::DropTail { capacity: 64 },
+        );
+    }
+    let mut sim = t.build().expect("million-flow topology builds");
+    let segment = Bytes::from_u64(1000);
+    let rto = SimDuration::from_millis(500);
+    let mut first = 0u32;
+    for &(tx, rx, n) in &hosts {
+        let tx_id = sim.attach_agent(
+            tx,
+            Box::new(SenderBank::new(
+                FlowId::from_u32(first),
+                n,
+                rx,
+                segment,
+                rto,
+            )),
+        );
+        let rx_id = sim.attach_agent(
+            rx,
+            Box::new(SinkBank::new(FlowId::from_u32(first), n, segment)),
+        );
+        for i in first..first + n as u32 {
+            let flow = FlowId::from_u32(i);
+            sim.bind_flow(tx, flow, tx_id);
+            sim.bind_flow(rx, flow, rx_id);
+        }
+        first += n as u32;
+    }
+    sim
+}
+
+/// The scale macro: `flows` concurrent greedy AIMD flows (struct-of-
+/// arrays banks) over the clustered ring topology, simulated for one
+/// second. With `shards > 1` the run goes through the sharded engine —
+/// which, by the determinism contract, processes the exact same event
+/// sequence, so the two legs differ only in wall clock.
+pub fn million_flow_smoke(flows: usize, shards: usize) -> MacroResult {
+    let horizon = SimDuration::from_secs(1);
+    let mut sim = build_million_flow_sim(flows);
+    let engaged = sim.enable_sharding(shards);
+    let t0 = Instant::now();
+    sim.run_until(SimTime::ZERO + horizon);
+    let wall = t0.elapsed().as_secs_f64();
+    let stats = sim.stats();
+    let name = if engaged > 1 {
+        format!("million-flow-smoke-x{engaged}")
+    } else {
+        "million-flow-smoke".to_string()
+    };
+    MacroResult {
+        name,
+        sim_secs: horizon.as_secs_f64(),
+        events: stats.events,
+        packets: stats.delivered + stats.unclaimed,
+        wall_secs: wall,
     }
 }
 
@@ -617,10 +769,22 @@ pub fn peak_rss_bytes() -> Option<u64> {
 /// purpose-built extractor for the harness's own output format, not a
 /// general JSON parser.
 /// Whether `json` is a bench report this harness can read: schema
-/// `pdos-bench/2` (current) or `pdos-bench/1` (pre-warm-start; lacks the
-/// `warm_start` section, so its extractors return `None` gracefully).
+/// `pdos-bench/3` (current), `pdos-bench/2` (pre-sharding; lacks the
+/// `shards` field, so [`extract_shards`] defaults to 1) or
+/// `pdos-bench/1` (pre-warm-start; also lacks the `warm_start` section,
+/// so its extractors return `None` gracefully).
 pub fn schema_supported(json: &str) -> bool {
-    json.contains("\"schema\":\"pdos-bench/1\"") || json.contains("\"schema\":\"pdos-bench/2\"")
+    ["pdos-bench/1", "pdos-bench/2", "pdos-bench/3"]
+        .iter()
+        .any(|v| json.contains(&format!("\"schema\":\"{v}\"")))
+}
+
+/// The worker shards the report's macros were run with. Reports from
+/// schemas `/1` and `/2` predate sharding and read as 1.
+pub fn extract_shards(json: &str) -> usize {
+    extract_number_after(json, "\"shards\":")
+        .map(|v| (v as usize).max(1))
+        .unwrap_or(1)
 }
 
 /// Extracts a top-level numeric field (`null` and absence both yield
@@ -680,6 +844,7 @@ mod tests {
         let report = PerfReport {
             date: "2026-08-06".into(),
             smoke: true,
+            shards: 4,
             macros: vec![MacroResult {
                 name: "fig06-smoke".into(),
                 sim_secs: 12.0,
@@ -706,8 +871,10 @@ mod tests {
             }),
         };
         let json = report.to_json();
-        assert!(json.contains("\"schema\":\"pdos-bench/2\""), "{json}");
+        assert!(json.contains("\"schema\":\"pdos-bench/3\""), "{json}");
         assert!(schema_supported(&json), "{json}");
+        assert!(json.contains("\"shards\":4"), "{json}");
+        assert_eq!(extract_shards(&json), 4);
         assert!(json.contains("\"peak_rss_bytes\":12582912"), "{json}");
         assert!(json.contains("\"allocations\":42"), "{json}");
         assert!(json.contains("\"checkpoint_bytes\":2000000"), "{json}");
@@ -728,6 +895,7 @@ mod tests {
         let report = PerfReport {
             date: "2026-08-06".into(),
             smoke: false,
+            shards: 1,
             macros: vec![],
             micros: vec![],
             warm_start: None,
@@ -758,6 +926,41 @@ mod tests {
         assert_eq!(extract_alloc_allocations(v1), Some(101_752));
         assert_eq!(extract_warm_start_speedup(v1), None);
         assert_eq!(extract_warm_start_checkpoint_bytes(v1), None);
+        assert_eq!(extract_shards(v1), 1, "pre-sharding schema implies 1");
+    }
+
+    #[test]
+    fn schema_2_reports_still_read() {
+        // A pre-sharding report (the `/2` schema): everything extracts;
+        // the shards field defaults to 1.
+        let v2 = "{\"schema\":\"pdos-bench/2\",\"date\":\"2026-08-07\",\"smoke\":true,\
+                  \"macros\":[{\"name\":\"fig06-smoke\",\"events_per_sec\":5416242.3}],\
+                  \"micros\":[],\"warm_start\":{\"name\":\"fig06-grid-warmstart\",\
+                  \"points\":6,\"cold_wall_secs\":0.9,\"warm_wall_secs\":0.3,\
+                  \"speedup\":3.000,\"checkpoint_bytes\":2000000},\
+                  \"peak_rss_bytes\":7032832,\"alloc\":null}";
+        assert!(schema_supported(v2));
+        let eps = extract_macro_events_per_sec(v2, "fig06-smoke").unwrap();
+        assert!((eps - 5_416_242.3).abs() < 0.5, "{eps}");
+        assert_eq!(extract_shards(v2), 1);
+        let speedup = extract_warm_start_speedup(v2).unwrap();
+        assert!((speedup - 3.0).abs() < 1e-9, "{speedup}");
+    }
+
+    #[test]
+    fn million_flow_macro_is_shard_invariant() {
+        // A miniature of the scale macro (the real flow counts only run
+        // under `pdos bench` in release builds): the sharded engine must
+        // process the byte-identical event sequence, so events and
+        // packets agree exactly between one and many workers.
+        let sequential = million_flow_smoke(2_000, 1);
+        let sharded = million_flow_smoke(2_000, 4);
+        assert_eq!(sequential.name, "million-flow-smoke");
+        assert_eq!(sharded.name, "million-flow-smoke-x4");
+        assert!(sequential.events > 0, "{sequential:?}");
+        assert!(sequential.packets > 0, "{sequential:?}");
+        assert_eq!(sequential.events, sharded.events);
+        assert_eq!(sequential.packets, sharded.packets);
     }
 
     #[test]

@@ -60,6 +60,7 @@ const KNOWN_KEYS: &[&str] = &[
     "shrink-budget",
     "fault",
     "cc",
+    "shards",
 ];
 const KNOWN_FLAGS: &[&str] = &[
     "ecn",

@@ -49,6 +49,9 @@ COMMANDS
   sweep      gamma sweep printing CSV rows (gamma,t_aimd,g_curve,g_sim,class)
              same options as simulate, plus --points N (8) and --jobs N
              (0 = one worker per CPU)
+             --shards N (1): run every point on the sharded engine with
+             N conservative-lookahead workers; results are bit-identical
+             to --shards 1 (see docs/SHARDING.md)
              --fig fig06|fig07|fig08|fig09 runs a whole paper figure
              through the parallel deterministic runner instead:
              --jobs N (0)  --smoke (CI-sized grid)  --master-seed S (0)
@@ -84,8 +87,12 @@ COMMANDS
   bench      engine performance harness: macro workloads (events/s,
              packets/s), the fig06-grid-warmstart macro (cold vs forked
              sweep wall time + checkpoint size), and event-queue and
-             queue-discipline microbenches, written as a BENCH_<date>.json
-             report (schema pdos-bench/2; /1 baselines still read)
+             queue-discipline microbenches, plus the million-flow-smoke
+             scale macro (>= 1e5 struct-of-arrays flows), written as a
+             BENCH_<date>.json report (schema pdos-bench/3; /1 and /2
+             baselines still read)
+             --shards N (1): add a second million-flow leg on the
+             sharded engine for a sequential-vs-sharded comparison
              --smoke (CI-sized: fig06 smoke macro only)  --out FILE
              (default BENCH_<date>.json)  --baseline FILE (fail on a >20%
              fig06-smoke events/s regression, >30% peak-RSS or
@@ -108,6 +115,8 @@ COMMANDS
              battery: every registered algorithm simulates the same
              ECN-marked canonical point and all traces must be
              pairwise distinct)
+             --shards N (1; N>1 re-runs the canonical set on a sharded
+             engine and requires digest byte-identity with --shards 1)
   fuzz       scenario fuzzing campaign: seeded random case families
              (oracle-envelope and diverse dumbbells, parking-lot and
              fat-tree topologies) through the oracle + invariant-checker
@@ -121,10 +130,13 @@ COMMANDS
              minimized by the shrinker)
              --shrink-budget N (64; replays allowed per shrink)
              --fault none|link-accounting|omit-link-stats|cubic-window|
-             cusum-drift (self-test drill: deliberately inject a bug
-             into every dumbbell case; the campaign must catch it —
-             cusum-drift desynchronizes the streaming detector state,
-             which the detector-equivalence stage must flag)
+             cusum-drift|shard-skew (self-test drill: deliberately
+             inject a bug into every dumbbell case; the campaign must
+             catch it — cusum-drift desynchronizes the streaming
+             detector state, which the detector-equivalence stage must
+             flag; shard-skew delivers a cross-shard packet before the
+             lookahead window on the sharded engine, which the
+             clock-monotonicity checker must flag)
              --replay FILE (re-run one .repro file; exits non-zero
              while the recorded violation still reproduces)
   help       this text
@@ -321,6 +333,7 @@ pub fn cmd_sweep(args: &Args) -> Result<String, ArgError> {
     let points: usize = args.num("points", 8)?;
     let window: u64 = args.num("window-s", 30)?;
     let jobs: usize = args.num("jobs", 0)?;
+    let shards: usize = args.num("shards", 1)?;
     if points < 2 {
         return Err(ArgError("--points must be at least 2".into()));
     }
@@ -343,6 +356,7 @@ pub fn cmd_sweep(args: &Args) -> Result<String, ArgError> {
             )
             .warmup(warmup)
             .window(window)
+            .sharded(shards)
         })
         .collect();
     let report = SweepRunner::new(0)
@@ -401,7 +415,11 @@ fn cmd_sweep_figure(args: &Args) -> Result<String, ArgError> {
         Some(_) => (args.num("master-seed", 0u64)?, SeedPolicy::Derived),
     };
     let cc = cc_of(args)?;
-    let specs = gain_figure_specs_cc(fig, &grid, cc);
+    let shards: usize = args.num("shards", 1)?;
+    let specs: Vec<ExperimentSpec> = gain_figure_specs_cc(fig, &grid, cc)
+        .into_iter()
+        .map(|s| s.sharded(shards))
+        .collect();
     let report = SweepRunner::new(master_seed)
         .seed_policy(policy)
         .jobs(jobs)
@@ -685,6 +703,7 @@ pub fn cmd_check(args: &Args) -> Result<String, ArgError> {
     let jobs: usize = args.num("jobs", 0)?;
     let scenarios: usize = args.num("scenarios", 50)?;
     let master_seed: u64 = args.num("master-seed", 7)?;
+    let shards: usize = args.num("shards", 1)?;
     let golden_path =
         std::path::Path::new(args.get("golden-dir").unwrap_or("tests/golden")).join(GOLDEN_FILE);
     // `--cc` is validated up front so a typo fails before the sweep runs.
@@ -771,6 +790,37 @@ pub fn cmd_check(args: &Args) -> Result<String, ArgError> {
                     },
                 }
             }
+        }
+    }
+
+    // 2b. Sharded-engine byte-identity (opt-in via `--shards N`). The
+    // canonical set re-runs on a sharded engine; its digests must equal
+    // the unsharded golden set exactly — sharding is contractually
+    // invisible at digest resolution.
+    if shards > 1 {
+        match pdos_conformance::compute_digests_sharded(jobs, shards) {
+            Err(e) => problems.push(format!("shards: --shards {shards}: {e}")),
+            Ok(sharded) => match std::fs::read_to_string(&golden_path)
+                .map_err(|e| format!("cannot read {} ({e})", golden_path.display()))
+                .and_then(|text| pdos_conformance::golden::parse_digests(&text))
+            {
+                Err(e) => problems.push(format!("shards: {e}")),
+                Ok(stored) => {
+                    let drift = pdos_conformance::golden::compare(&sharded, &stored);
+                    let _ = writeln!(
+                        out,
+                        "shards: --shards {shards}: {} digests vs {}: {}",
+                        sharded.len(),
+                        golden_path.display(),
+                        if drift.is_empty() {
+                            "byte-identical"
+                        } else {
+                            "DRIFT"
+                        }
+                    );
+                    problems.extend(drift.into_iter().map(|d| format!("shards: {d}")));
+                }
+            },
         }
     }
 
@@ -920,15 +970,17 @@ pub fn cmd_fuzz(args: &Args) -> Result<String, ArgError> {
 }
 
 /// `pdos bench` — the engine performance harness. Writes a
-/// `BENCH_<date>.json` report (schema `pdos-bench/2`) and, with
+/// `BENCH_<date>.json` report (schema `pdos-bench/3`) and, with
 /// `--baseline`, enforces the CI regression gates: the fig06-smoke macro
 /// must stay within 20% of the baseline report's events/sec, peak RSS and
 /// allocation count must stay within 30%, and the fig06-grid-warmstart
 /// macro must keep forked sweeps at least 1.3x faster than cold ones.
-/// Baselines in the older `pdos-bench/1` schema are accepted (their
-/// missing fields simply skip the corresponding gates).
+/// Baselines in the older `pdos-bench/1` and `/2` schemas are accepted
+/// (their missing fields simply skip the corresponding gates). With
+/// `--shards N` the million-flow macro also runs on the sharded engine.
 pub fn cmd_bench(args: &Args) -> Result<String, ArgError> {
-    let report = pdos_bench::perf::run(args.flag("smoke"));
+    let shards: usize = args.num("shards", 1)?;
+    let report = pdos_bench::perf::run(args.flag("smoke"), shards);
     let path = match args.get("out") {
         Some(p) => p.to_string(),
         None => format!("BENCH_{}.json", report.date),
@@ -942,7 +994,7 @@ pub fn cmd_bench(args: &Args) -> Result<String, ArgError> {
             .map_err(|e| ArgError(format!("cannot read {baseline_path}: {e}")))?;
         if !pdos_bench::perf::schema_supported(&baseline) {
             return Err(ArgError(format!(
-                "{baseline_path}: unsupported schema (want pdos-bench/1 or pdos-bench/2)"
+                "{baseline_path}: unsupported schema (want pdos-bench/1, /2 or /3)"
             )));
         }
         let mut failures: Vec<String> = Vec::new();
@@ -1602,9 +1654,17 @@ mod tests {
         let blessed = run(&parse(&format!("{base} --bless"))).unwrap();
         assert!(blessed.contains("blessed 4 digests"), "{blessed}");
         assert!(blessed.contains("conformance: PASS"), "{blessed}");
-        let verified = run(&parse(&base)).unwrap();
+        // The verify pass adds the sharded leg: the canonical set re-runs
+        // on a two-shard engine and must match the file just blessed from
+        // unsharded runs, digest for digest.
+        let verified = run(&parse(&format!("{base} --shards 2"))).unwrap();
         assert!(verified.contains("golden:"), "{verified}");
         assert!(verified.contains("match"), "{verified}");
+        assert!(
+            verified.contains("shards: --shards 2: 4 digests"),
+            "{verified}"
+        );
+        assert!(verified.contains("byte-identical"), "{verified}");
         assert!(verified.contains("conformance: PASS"), "{verified}");
         let report = std::fs::read_to_string(&report_path).unwrap();
         assert!(report.contains("oracle:"), "{report}");
@@ -1805,7 +1865,7 @@ mod tests {
         assert!(out.contains("fig06-smoke"), "{out}");
         assert!(out.contains("event-queue"), "{out}");
         let json = std::fs::read_to_string(&out_path).unwrap();
-        assert!(json.contains("\"schema\":\"pdos-bench/2\""), "{json}");
+        assert!(json.contains("\"schema\":\"pdos-bench/3\""), "{json}");
         assert!(json.contains("\"warm_start\":{"), "{json}");
         let eps = pdos_bench::perf::extract_macro_events_per_sec(&json, "fig06-smoke").unwrap();
         assert!(eps > 0.0, "{eps}");

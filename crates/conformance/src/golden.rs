@@ -209,6 +209,51 @@ pub fn compute_digests_metered(
     compute_digests_metered_with(jobs, true)
 }
 
+/// Like [`compute_digests`], but runs every canonical scenario on a
+/// sharded engine with `shards` requested shards. Sharding is
+/// contractually bit-identical to sequential execution — the
+/// conservative-lookahead rounds reproduce the exact global event order —
+/// so the digests this returns must equal the plain [`compute_digests`]
+/// output and the stored golden file; the conformance suite pins exactly
+/// that for `shards ∈ {2, 4}` against the committed literals.
+///
+/// # Errors
+///
+/// Returns the failing run's id and reason if any canonical run fails.
+pub fn compute_digests_sharded(jobs: usize, shards: usize) -> Result<Vec<TraceDigest>, String> {
+    let specs = canonical_specs()
+        .into_iter()
+        .map(|s| s.sharded(shards))
+        .collect();
+    compute_digests_inner(specs, jobs, true).map(|(digests, _)| digests)
+}
+
+/// The strictest sharded leg: every canonical scenario on a sharded
+/// engine with the invariant checkers (always on for canonical specs),
+/// the metrics registry *and* the per-link detector tap enabled at once,
+/// with warm-start forced on or off. All three observers are
+/// contractually hash-neutral and shard-aware, so the digests must still
+/// equal the plain unsharded [`compute_digests`] output.
+///
+/// # Errors
+///
+/// Returns the failing run's id and reason if any canonical run fails.
+pub fn compute_digests_sharded_full(
+    jobs: usize,
+    shards: usize,
+    warm_start: bool,
+) -> Result<(Vec<TraceDigest>, pdos_metrics::MetricsSnapshot), String> {
+    let specs = canonical_specs()
+        .into_iter()
+        .map(|s| s.sharded(shards).tapped().metered())
+        .collect();
+    let (digests, snapshot) = compute_digests_inner(specs, jobs, warm_start)?;
+    Ok((
+        digests,
+        snapshot.ok_or("metered sharded sweep produced no metrics snapshot")?,
+    ))
+}
+
 fn compute_digests_inner(
     specs: Vec<ExperimentSpec>,
     jobs: usize,

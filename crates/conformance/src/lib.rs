@@ -17,6 +17,9 @@
 //! 4. **Detector equivalence** ([`equivalence`]) — canonical and
 //!    randomized traces scored by both the batch and the streaming
 //!    detectors, requiring bit-identical verdicts.
+//! 5. **Shard equivalence** ([`sharding`]) — randomized topologies run
+//!    unsharded, sharded cold and sharded warm-started, requiring
+//!    digest-identical traces (see `docs/SHARDING.md`).
 
 #![deny(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -25,6 +28,7 @@ pub mod bands;
 pub mod equivalence;
 pub mod golden;
 pub mod oracle;
+pub mod sharding;
 
 pub use bands::ToleranceBands;
 pub use equivalence::{
@@ -33,7 +37,11 @@ pub use equivalence::{
 };
 pub use golden::{
     canonical_specs, cc_differential_specs, compute_cc_digests, compute_cc_digests_with,
-    compute_digests, compute_digests_metered, compute_digests_metered_with, compute_digests_tapped,
+    compute_digests, compute_digests_metered, compute_digests_metered_with,
+    compute_digests_sharded, compute_digests_sharded_full, compute_digests_tapped,
     compute_digests_with, digest_bins, TraceDigest, GOLDEN_FILE,
 };
 pub use oracle::{check_point, run_oracle, OracleConfig, OracleOutcome, PointVerdict};
+pub use sharding::{
+    run_shard_battery, shard_battery_specs, ShardBatteryConfig, ShardBatteryOutcome,
+};

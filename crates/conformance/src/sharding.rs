@@ -1,0 +1,344 @@
+//! Sharded-vs-unsharded equivalence battery.
+//!
+//! The sharded engine ([`pdos_sim::shard`]) claims *exact* behavioural
+//! equivalence with sequential execution: cutting the node graph into
+//! shards that advance in conservative-lookahead rounds must reproduce
+//! the global event order — and therefore every packet, every trace bin,
+//! every digest — bit for bit, regardless of worker count. This module
+//! holds that contract against a seeded sweep of randomized topologies:
+//! each scenario runs unsharded (the baseline), sharded cold, and
+//! sharded from a warm-start checkpoint fork, and all three traces must
+//! fingerprint identically.
+//!
+//! The battery complements the golden locks in the conformance suite
+//! (which pin the four canonical scenarios to committed literals at
+//! `--shards 1, 2, 4`): here the topologies vary — flow counts, queue
+//! disciplines, mice and flash-crowd ambient traffic, attacked and
+//! benign — so a partitioning bug that only bites a shape the canonical
+//! set misses still turns the suite red.
+//!
+//! Like the oracle and the detector-equivalence battery, a run is a pure
+//! function of its [`ShardBatteryConfig`] — failures reproduce exactly.
+
+use crate::golden::{digest_bins, TraceDigest};
+use pdos_scenarios::runner::{AttackPoint, ExperimentSpec, RunOutcome, SeedPolicy, SweepRunner};
+use pdos_scenarios::spec::{BottleneckQueue, ScenarioSpec};
+use pdos_sim::time::SimDuration;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::fmt::Write as _;
+
+/// Configuration of one shard-equivalence battery run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardBatteryConfig {
+    /// Randomized scenarios to draw.
+    pub random_scenarios: usize,
+    /// Seed for scenario generation *and* the runner's per-run seeds.
+    pub master_seed: u64,
+    /// Requested shard count for the sharded legs.
+    pub shards: usize,
+    /// Worker threads (0 = one per CPU).
+    pub jobs: usize,
+}
+
+impl Default for ShardBatteryConfig {
+    /// CI defaults: 50 randomized topologies on seed 23, two shards.
+    fn default() -> ShardBatteryConfig {
+        ShardBatteryConfig {
+            random_scenarios: 50,
+            master_seed: 23,
+            shards: 2,
+            jobs: 0,
+        }
+    }
+}
+
+/// The pulse widths the battery samples (the paper's §4.1 values).
+const TEXTENTS: [f64; 3] = [0.050, 0.075, 0.100];
+
+/// The trace bin width every battery run records at.
+const BIN: SimDuration = SimDuration::from_millis(100);
+
+/// The *unsharded* scenario list for `cfg`: `cfg.random_scenarios`
+/// randomized dumbbell topologies — flow count, bottleneck discipline,
+/// mice and flash-crowd side traffic, attacked or benign — deterministic
+/// in `cfg.master_seed`. Every spec records a 100 ms trace and runs with
+/// the invariant checkers on. [`run_shard_battery`] derives the sharded
+/// legs from this list with [`ExperimentSpec::sharded`], so both sides
+/// of every comparison share one spec (same id, same derived seed).
+pub fn shard_battery_specs(cfg: &ShardBatteryConfig) -> Vec<ExperimentSpec> {
+    let mut rng = SmallRng::seed_from_u64(cfg.master_seed);
+    (0..cfg.random_scenarios)
+        .map(|i| {
+            let n_flows = rng.random_range(2usize..=6);
+            let mut scenario = ScenarioSpec::ns2_dumbbell(n_flows);
+            scenario.queue = match rng.random_range(0u32..3) {
+                0 => BottleneckQueue::Red,
+                1 => BottleneckQueue::DropTail,
+                _ => BottleneckQueue::AccRed,
+            };
+            scenario.mice_flows = rng.random_range(0usize..=2);
+            // A quarter of the battery carries a flash crowd arriving at
+            // the warm-up boundary — ambient senders that cross shard
+            // cuts exactly when the measurement window opens.
+            if rng.random_bool(0.25) {
+                scenario.crowd_flows = rng.random_range(2usize..=4);
+                scenario.crowd_at = SimDuration::from_secs(2);
+            }
+            let queue_tag = match scenario.queue {
+                BottleneckQueue::Red => "red",
+                BottleneckQueue::DropTail => "dt",
+                BottleneckQueue::AccRed => "acc",
+            };
+            let id = format!(
+                "shard/{i:03}/f{n_flows}/{queue_tag}/m{}/c{}",
+                scenario.mice_flows, scenario.crowd_flows
+            );
+            let spec = if rng.random_bool(0.75) {
+                let t_extent = TEXTENTS[rng.random_range(0usize..TEXTENTS.len())];
+                let r_attack = rng.random_range(25.0f64..=40.0) * 1e6;
+                let gamma = rng.random_range(0.10f64..=0.90);
+                ExperimentSpec::attacked(
+                    id,
+                    scenario,
+                    AttackPoint {
+                        t_extent,
+                        r_attack,
+                        gamma,
+                    },
+                )
+            } else {
+                ExperimentSpec::benign(id, scenario)
+            };
+            spec.warmup(SimDuration::from_secs(2))
+                .window(SimDuration::from_secs(3))
+                .traced(BIN)
+                .checked()
+        })
+        .collect()
+}
+
+/// What one battery run found.
+#[derive(Debug, Clone, Default)]
+pub struct ShardBatteryOutcome {
+    /// Scenarios drawn.
+    pub n_runs: usize,
+    /// Requested shard count of the sharded legs.
+    pub shards: usize,
+    /// Traces compared against the unsharded baseline (cold + warm legs).
+    pub n_compared: usize,
+    /// Digest mismatches and failed runs, one message each.
+    pub failures: Vec<String>,
+}
+
+impl ShardBatteryOutcome {
+    /// Whether every sharded trace matched its unsharded baseline.
+    pub fn pass(&self) -> bool {
+        self.failures.is_empty() && self.n_compared == 2 * self.n_runs
+    }
+
+    /// A human-readable report of the battery.
+    pub fn summary(&self) -> String {
+        let mut s = String::new();
+        let _ = writeln!(
+            s,
+            "shard battery: {} topologies, shards={}, {} sharded traces \
+             compared against the unsharded baseline",
+            self.n_runs, self.shards, self.n_compared
+        );
+        if self.failures.is_empty() {
+            let _ = writeln!(s, "  no mismatches");
+        } else {
+            let _ = writeln!(s, "  {} failure(s):", self.failures.len());
+            for f in &self.failures {
+                let _ = writeln!(s, "    {f}");
+            }
+        }
+        let _ = writeln!(
+            s,
+            "  verdict: {}",
+            if self.pass() { "PASS" } else { "FAIL" }
+        );
+        s
+    }
+}
+
+/// Runs `specs` and fingerprints each recorded trace; failed runs land in
+/// `failures` tagged with `leg`.
+fn digests_of(
+    specs: &[ExperimentSpec],
+    master_seed: u64,
+    jobs: usize,
+    warm_start: bool,
+    leg: &str,
+    failures: &mut Vec<String>,
+) -> Vec<Option<TraceDigest>> {
+    let report = SweepRunner::new(master_seed)
+        .seed_policy(SeedPolicy::FromScenario)
+        .jobs(jobs)
+        .warm_start(warm_start)
+        .run(specs);
+    report
+        .records
+        .iter()
+        .map(|r| match &r.outcome {
+            RunOutcome::Point { trace, .. } | RunOutcome::Benign { trace, .. } => {
+                Some(TraceDigest {
+                    name: r.id.clone(),
+                    n_bins: trace.len(),
+                    total_bytes: trace.iter().sum(),
+                    digest: digest_bins(trace),
+                })
+            }
+            RunOutcome::Infeasible { reason } | RunOutcome::Failed { reason } => {
+                failures.push(format!("{} [{leg}]: {reason}", r.id));
+                None
+            }
+        })
+        .collect()
+}
+
+/// Runs the battery: every drawn topology executes three ways — unsharded
+/// cold (the baseline), sharded cold, and sharded warm-started from a
+/// forked checkpoint — and each sharded trace must fingerprint identically
+/// to the baseline: same bin count, same byte total, same digest.
+pub fn run_shard_battery(cfg: &ShardBatteryConfig) -> ShardBatteryOutcome {
+    let specs = shard_battery_specs(cfg);
+    let sharded_specs: Vec<ExperimentSpec> = specs
+        .iter()
+        .map(|s| s.clone().sharded(cfg.shards))
+        .collect();
+    let mut out = ShardBatteryOutcome {
+        n_runs: specs.len(),
+        shards: cfg.shards,
+        ..ShardBatteryOutcome::default()
+    };
+    let baseline = digests_of(
+        &specs,
+        cfg.master_seed,
+        cfg.jobs,
+        false,
+        "baseline",
+        &mut out.failures,
+    );
+    for (leg, warm_start) in [("cold", false), ("warm-start", true)] {
+        let sharded = digests_of(
+            &sharded_specs,
+            cfg.master_seed,
+            cfg.jobs,
+            warm_start,
+            leg,
+            &mut out.failures,
+        );
+        for (base, shard) in baseline.iter().zip(&sharded) {
+            let (Some(base), Some(shard)) = (base, shard) else {
+                continue; // the failed run is already reported
+            };
+            out.n_compared += 1;
+            if base != shard {
+                out.failures.push(format!(
+                    "{} [{leg}]: sharded trace diverged from the unsharded \
+                     baseline: baseline bins={} total={} digest={:016x}, \
+                     shards={} bins={} total={} digest={:016x}",
+                    base.name,
+                    base.n_bins,
+                    base.total_bytes,
+                    base.digest,
+                    cfg.shards,
+                    shard.n_bins,
+                    shard.total_bytes,
+                    shard.digest
+                ));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_generation_is_deterministic_and_diverse() {
+        let cfg = ShardBatteryConfig::default();
+        let a = shard_battery_specs(&cfg);
+        let b = shard_battery_specs(&cfg);
+        assert_eq!(a.len(), 50);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.id, y.id);
+            assert_eq!(x.stable_hash(), y.stable_hash());
+            assert!(
+                x.trace_bin.is_some(),
+                "{}: battery runs record traces",
+                x.id
+            );
+            assert!(x.checks, "{}: battery runs are checked", x.id);
+            assert_eq!(x.shards, 1, "{}: the base list is unsharded", x.id);
+        }
+        // Distinct ids -> distinct derived seeds.
+        let mut ids: Vec<&str> = a.iter().map(|s| s.id.as_str()).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 50);
+        // The draw really covers the shapes it advertises.
+        assert!(a.iter().any(|s| s.attack.is_some()));
+        assert!(a.iter().any(|s| s.attack.is_none()));
+        assert!(a
+            .iter()
+            .any(|s| s.scenario.queue == BottleneckQueue::DropTail));
+        assert!(a.iter().any(|s| s.scenario.queue == BottleneckQueue::Red));
+        assert!(a.iter().any(|s| s.scenario.mice_flows > 0));
+        assert!(a.iter().any(|s| s.scenario.crowd_flows > 0));
+    }
+
+    #[test]
+    fn different_master_seeds_draw_different_topologies() {
+        let a = shard_battery_specs(&ShardBatteryConfig {
+            random_scenarios: 5,
+            master_seed: 1,
+            ..ShardBatteryConfig::default()
+        });
+        let b = shard_battery_specs(&ShardBatteryConfig {
+            random_scenarios: 5,
+            master_seed: 2,
+            ..ShardBatteryConfig::default()
+        });
+        assert!(a.iter().zip(&b).any(|(x, y)| x.id != y.id));
+    }
+
+    #[test]
+    fn outcome_pass_logic() {
+        let mut o = ShardBatteryOutcome {
+            n_runs: 3,
+            shards: 2,
+            n_compared: 6,
+            failures: Vec::new(),
+        };
+        assert!(o.pass());
+        assert!(o.summary().contains("PASS"));
+        o.failures.push("boom".into());
+        assert!(!o.pass());
+        assert!(o.summary().contains("FAIL"));
+        let short = ShardBatteryOutcome {
+            n_runs: 3,
+            shards: 2,
+            n_compared: 5,
+            failures: Vec::new(),
+        };
+        assert!(!short.pass(), "an uncompared sharded leg is a failure");
+    }
+
+    #[test]
+    fn a_small_battery_passes_both_legs() {
+        let outcome = run_shard_battery(&ShardBatteryConfig {
+            random_scenarios: 3,
+            master_seed: 5,
+            shards: 2,
+            jobs: 2,
+        });
+        assert_eq!(outcome.n_runs, 3);
+        assert_eq!(outcome.n_compared, 6, "{}", outcome.summary());
+        assert!(outcome.pass(), "{}", outcome.summary());
+    }
+}

@@ -6,8 +6,9 @@
 
 use pdos_conformance::{
     compute_cc_digests, compute_cc_digests_with, compute_digests, compute_digests_metered,
-    compute_digests_metered_with, compute_digests_tapped, golden, run_equivalence, run_oracle,
-    EquivalenceConfig, OracleConfig, GOLDEN_FILE,
+    compute_digests_metered_with, compute_digests_sharded, compute_digests_sharded_full,
+    compute_digests_tapped, golden, run_equivalence, run_oracle, run_shard_battery,
+    EquivalenceConfig, OracleConfig, ShardBatteryConfig, GOLDEN_FILE,
 };
 use pdos_scenarios::experiment::GainExperiment;
 use pdos_scenarios::figures::{gain_figure_specs, FigureGrid, GainFigure};
@@ -197,6 +198,118 @@ fn tap_enabled_runs_keep_all_golden_digests_no_rebless() {
 fn streaming_detectors_match_batch_over_the_equivalence_battery() {
     let outcome = run_equivalence(&EquivalenceConfig::default());
     assert_eq!(outcome.n_runs, 54);
+    assert!(outcome.pass(), "{}", outcome.summary());
+}
+
+/// Determinism lock for the sharded engine — the tentpole contract.
+///
+/// Conservative-lookahead sharding claims *exact* behavioural
+/// equivalence with sequential execution: `--shards N` must reproduce
+/// `--shards 1` digest for digest. This pins the sharded canonical runs
+/// to the same literal values every other lock uses and ignores
+/// `PDOS_BLESS` — a shard cut that reorders even one cross-shard
+/// delivery cannot be "fixed" by re-blessing. It also cross-checks
+/// against the committed golden file, so the sharded legs and the
+/// stored digests can never drift apart silently.
+#[test]
+fn sharded_runs_keep_all_golden_digests_no_rebless() {
+    let expected: &[(&str, usize, u64, u64)] = &[
+        ("golden/ns2-benign", 80, 13_238_160, 0xf3c7_3471_d0fa_6ff6),
+        (
+            "golden/ns2-red-attacked",
+            80,
+            7_114_880,
+            0x46fa_6743_5da4_c0cd,
+        ),
+        (
+            "golden/ns2-droptail-attacked",
+            80,
+            7_182_480,
+            0x5ec8_7067_5582_2f4d,
+        ),
+        (
+            "golden/testbed-attacked",
+            80,
+            7_127_000,
+            0x8bb8_1cfe_ba7b_bae8,
+        ),
+    ];
+    let stored = std::fs::read_to_string(golden_path()).expect("golden file readable");
+    let stored = golden::parse_digests(&stored).expect("golden file parses");
+    for shards in [2usize, 4] {
+        let current =
+            compute_digests_sharded(2, shards).expect("sharded canonical runs must succeed");
+        assert_eq!(current.len(), expected.len());
+        for (got, &(name, n_bins, total, digest)) in current.iter().zip(expected) {
+            assert_eq!(got.name, name);
+            assert_eq!(
+                got.n_bins, n_bins,
+                "{name}: bin count moved at --shards {shards}"
+            );
+            assert_eq!(
+                got.total_bytes, total,
+                "{name}: traffic total moved at --shards {shards}"
+            );
+            assert_eq!(
+                got.digest, digest,
+                "{name}: trace digest moved at --shards {shards} — the \
+                 sharded engine is no longer behaviourally equivalent to \
+                 sequential execution (re-blessing is not an acceptable \
+                 fix for this test)"
+            );
+        }
+        let problems = golden::compare(&current, &stored);
+        assert!(
+            problems.is_empty(),
+            "--shards {shards} drifted from the committed golden file:\n{}",
+            problems.join("\n")
+        );
+    }
+}
+
+/// The strictest sharded leg: checkers, metrics registry and detector
+/// tap all enabled at once on a sharded engine, warm-started from forked
+/// checkpoints — and still every canonical digest must sit on the same
+/// literals. Observability and checkpointing are shard-aware but
+/// contractually read-only; `PDOS_BLESS` is ignored.
+#[test]
+fn sharded_instrumented_runs_keep_all_golden_digests_no_rebless() {
+    let expected: &[(&str, u64)] = &[
+        ("golden/ns2-benign", 0xf3c7_3471_d0fa_6ff6),
+        ("golden/ns2-red-attacked", 0x46fa_6743_5da4_c0cd),
+        ("golden/ns2-droptail-attacked", 0x5ec8_7067_5582_2f4d),
+        ("golden/testbed-attacked", 0x8bb8_1cfe_ba7b_bae8),
+    ];
+    for shards in [2usize, 4] {
+        let (current, snapshot) = compute_digests_sharded_full(2, shards, true)
+            .expect("instrumented sharded canonical runs must succeed");
+        assert_eq!(current.len(), expected.len());
+        for (got, &(name, digest)) in current.iter().zip(expected) {
+            assert_eq!(got.name, name);
+            assert_eq!(
+                got.digest, digest,
+                "{name}: trace digest moved at --shards {shards} with \
+                 checks+metrics+tap enabled — an observer or the \
+                 checkpoint path is perturbing the sharded simulation \
+                 (re-blessing is not an acceptable fix for this test)"
+            );
+        }
+        // The runs really were observed, not silently unmetered.
+        assert!(snapshot.counter("engine", "pops_packet_tier").unwrap() > 0);
+        assert!(snapshot.counter("link/0", "enqueued").unwrap() > 0);
+    }
+}
+
+/// Sharded-vs-unsharded equivalence over fifty seeded-random topologies:
+/// every drawn scenario — varying flow counts, queue disciplines, mice
+/// and flash-crowd side traffic, attacked and benign — runs unsharded,
+/// sharded cold and sharded warm-started, and every sharded trace must
+/// fingerprint identically to its unsharded baseline.
+#[test]
+fn shard_battery_holds_over_fifty_randomized_topologies() {
+    let outcome = run_shard_battery(&ShardBatteryConfig::default());
+    assert_eq!(outcome.n_runs, 50);
+    assert_eq!(outcome.n_compared, 100, "{}", outcome.summary());
     assert!(outcome.pass(), "{}", outcome.summary());
 }
 

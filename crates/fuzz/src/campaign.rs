@@ -143,6 +143,7 @@ pub fn fault_to_str(fault: Option<SeededFault>) -> &'static str {
         Some(SeededFault::OmitLinkStats) => "omit-link-stats",
         Some(SeededFault::CubicWindow) => "cubic-window",
         Some(SeededFault::CusumDrift) => "cusum-drift",
+        Some(SeededFault::ShardSkew) => "shard-skew",
     }
 }
 
@@ -158,6 +159,7 @@ pub fn fault_from_str(s: &str) -> Result<Option<SeededFault>, String> {
         "omit-link-stats" => Some(SeededFault::OmitLinkStats),
         "cubic-window" => Some(SeededFault::CubicWindow),
         "cusum-drift" => Some(SeededFault::CusumDrift),
+        "shard-skew" => Some(SeededFault::ShardSkew),
         other => return Err(format!("unknown fault {other:?}")),
     })
 }
@@ -167,8 +169,8 @@ pub fn fault_from_str(s: &str) -> Result<Option<SeededFault>, String> {
 pub struct CaseResult {
     /// The case id.
     pub id: String,
-    /// The case class tag (`oracle`, `diverse`, `parking-lot`,
-    /// `fat-tree`).
+    /// The case class tag (`oracle`, `diverse`, `flash-crowd`,
+    /// `parking-lot`, `fat-tree`).
     pub kind: &'static str,
     /// `None` when the case passed, the violation class otherwise.
     pub violation: Option<ViolationClass>,
@@ -389,10 +391,14 @@ fn evaluate_topology(c: &TopologyCase) -> (Vec<u64>, Option<(ViolationClass, Str
 }
 
 /// Builds the runner spec for a dumbbell case under `cfg` (applying the
-/// campaign fault, if set).
+/// campaign fault, if set). The shard-skew drill additionally forces
+/// every case onto the sharded engine: the fault is a no-op unsharded
+/// (there are no cross-shard channels to skew), so a drill that left the
+/// cases at `shards = 1` would catch nothing.
 fn dumbbell_spec(id: &str, c: &DumbbellCase, cfg: &CampaignConfig) -> ExperimentSpec {
     let spec = c.spec(id);
     match cfg.fault {
+        Some(f @ SeededFault::ShardSkew) => spec.sharded(c.shards.max(2) as usize).faulted(f),
         Some(f) => spec.faulted(f),
         None => spec,
     }
@@ -722,7 +728,7 @@ mod tests {
         let dumbbell_cases = report
             .results
             .iter()
-            .filter(|r| r.kind == "oracle" || r.kind == "diverse")
+            .filter(|r| matches!(r.kind, "oracle" | "diverse" | "flash-crowd"))
             .count();
         assert!(dumbbell_cases >= 2, "seed scan guarantees a family");
         assert!(
@@ -790,6 +796,7 @@ mod tests {
             Some(SeededFault::OmitLinkStats),
             Some(SeededFault::CubicWindow),
             Some(SeededFault::CusumDrift),
+            Some(SeededFault::ShardSkew),
         ] {
             assert_eq!(fault_from_str(fault_to_str(fault)).unwrap(), fault);
         }

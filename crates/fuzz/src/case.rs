@@ -111,6 +111,17 @@ pub struct DumbbellCase {
     /// oracle cases pin `false` (the tap is physics-neutral, but the
     /// envelope stays exactly the distribution the bands were tuned on).
     pub detect: bool,
+    /// Engine shards the case runs on (`1` = the classic sequential
+    /// engine). The sharded engine is bit-identical to the unsharded
+    /// one by contract, so this dimension exists to fuzz exactly that
+    /// claim over drawn scenarios. Oracle cases pin `1`.
+    pub shards: u32,
+    /// Flash-crowd mice riding along (the `tests/flash_crowd.rs`
+    /// shapes: 30-segment bursts, 400 ms think time, 29 ms arrival
+    /// stagger), all arriving at the warm-up boundary — benign traffic
+    /// whose onset is as sharp as an attack's. `0` = no crowd; drawn on
+    /// its own family class.
+    pub crowd: u32,
 }
 
 impl DumbbellCase {
@@ -142,6 +153,12 @@ impl DumbbellCase {
         }
         s.seed = self.seed;
         s.tcp.cc = self.cc;
+        s.crowd_flows = self.crowd as usize;
+        if self.crowd > 0 {
+            // The crowd arrives exactly when the attack would: at the
+            // warm-up boundary, so it plays out inside the window.
+            s.crowd_at = SimDuration::from_secs(u64::from(self.warmup_s));
+        }
         s
     }
 
@@ -157,7 +174,8 @@ impl DumbbellCase {
             .warmup(SimDuration::from_secs(u64::from(self.warmup_s)))
             .window(SimDuration::from_secs(u64::from(self.window_s)))
             .traced(SimDuration::from_millis(100))
-            .checked();
+            .checked()
+            .sharded(self.shards as usize);
         if self.detect {
             spec.tapped()
         } else {
@@ -232,10 +250,11 @@ impl CaseParams {
     }
 
     /// A short display tag for reports (`oracle`, `diverse`,
-    /// `parking-lot`, `fat-tree`).
+    /// `flash-crowd`, `parking-lot`, `fat-tree`).
     pub fn kind_tag(&self) -> &'static str {
         match self {
             CaseParams::Dumbbell(c) if c.oracle => "oracle",
+            CaseParams::Dumbbell(c) if c.crowd > 0 => "flash-crowd",
             CaseParams::Dumbbell(_) => "diverse",
             CaseParams::Topology(c) => match c.kind {
                 TopoKind::ParkingLot => "parking-lot",
@@ -295,6 +314,16 @@ pub fn format_case(params: &CaseParams) -> String {
             // a token, so pre-detector repro lines stay byte-stable.
             if c.detect {
                 line.push_str(" detect=on");
+            }
+            // And again for the sharding and flash-crowd dimensions:
+            // shards=1 (the sequential engine) and crowd=0 (no crowd)
+            // stay implicit, so pre-sharding repro lines re-serialize
+            // byte-identically.
+            if c.shards != 1 {
+                line.push_str(&format!(" shards={}", c.shards));
+            }
+            if c.crowd != 0 {
+                line.push_str(&format!(" crowd={}", c.crowd));
             }
             line
         }
@@ -385,6 +414,18 @@ pub fn parse_case(line: &str) -> Result<CaseParams, String> {
                 Some(&"on") => true,
                 Some(v) => return Err(format!("bad detect: {v:?} (want on)")),
             };
+            let shards = match kv.get("shards") {
+                None => 1,
+                Some(v) => match v.parse::<u32>() {
+                    Ok(n) if n >= 1 => n,
+                    Ok(n) => return Err(format!("bad shards: {n} (want >= 1)")),
+                    Err(e) => return Err(format!("bad shards: {e}")),
+                },
+            };
+            let crowd = match kv.get("crowd") {
+                None => 0,
+                Some(v) => v.parse::<u32>().map_err(|e| format!("bad crowd: {e}"))?,
+            };
             Ok(CaseParams::Dumbbell(DumbbellCase {
                 oracle,
                 base,
@@ -399,6 +440,8 @@ pub fn parse_case(line: &str) -> Result<CaseParams, String> {
                 attack,
                 cc,
                 detect,
+                shards,
+                crowd,
             }))
         }
         kind @ ("parking-lot" | "fat-tree") => Ok(CaseParams::Topology(TopologyCase {
@@ -441,6 +484,8 @@ mod tests {
             }),
             cc: CcSpec::Aimd,
             detect: false,
+            shards: 1,
+            crowd: 0,
         })
     }
 
@@ -462,6 +507,8 @@ mod tests {
                 attack: None,
                 cc: CcSpec::Aimd,
                 detect: false,
+                shards: 1,
+                crowd: 0,
             }),
             CaseParams::Dumbbell(DumbbellCase {
                 oracle: false,
@@ -481,6 +528,8 @@ mod tests {
                 }),
                 cc: CcSpec::BbrLite,
                 detect: true,
+                shards: 4,
+                crowd: 12,
             }),
             CaseParams::Topology(TopologyCase {
                 kind: TopoKind::FatTree,
@@ -563,6 +612,42 @@ mod tests {
     }
 
     #[test]
+    fn shards_and_crowd_tokens_default_and_stay_off_legacy_lines() {
+        // Repro lines written before the sharded engine and the
+        // flash-crowd class existed carry neither token; they must
+        // parse to the defaults and re-serialize byte-identically.
+        let legacy = format_case(&sample_dumbbell());
+        assert!(!legacy.contains("shards="), "1 stays implicit: {legacy}");
+        assert!(!legacy.contains("crowd="), "0 stays implicit: {legacy}");
+        let CaseParams::Dumbbell(parsed) = parse_case(&legacy).expect("legacy line parses") else {
+            unreachable!()
+        };
+        assert_eq!((parsed.shards, parsed.crowd), (1, 0));
+        assert_eq!(format_case(&CaseParams::Dumbbell(parsed)), legacy);
+        // Non-default values round-trip and reach the expanded spec.
+        let CaseParams::Dumbbell(mut c) = sample_dumbbell() else {
+            unreachable!()
+        };
+        c.shards = 2;
+        c.crowd = 9;
+        let line = format_case(&CaseParams::Dumbbell(c.clone()));
+        assert!(line.ends_with(" shards=2 crowd=9"), "{line}");
+        assert_eq!(parse_case(&line).unwrap(), CaseParams::Dumbbell(c.clone()));
+        assert_eq!(c.spec("fuzz/test/c0").shards, 2);
+        let scenario = c.scenario();
+        assert_eq!(scenario.crowd_flows, 9);
+        assert_eq!(
+            scenario.crowd_at,
+            SimDuration::from_secs(u64::from(c.warmup_s)),
+            "the crowd arrives at the warm-up boundary"
+        );
+        // Malformed values are rejected, not silently defaulted.
+        assert!(parse_case(&format!("{legacy} shards=0")).is_err());
+        assert!(parse_case(&format!("{legacy} shards=x")).is_err());
+        assert!(parse_case(&format!("{legacy} crowd=-3")).is_err());
+    }
+
+    #[test]
     fn dumbbell_case_expands_to_a_buildable_scenario() {
         let CaseParams::Dumbbell(c) = sample_dumbbell() else {
             unreachable!()
@@ -601,6 +686,8 @@ mod tests {
                     attack: None,
                     cc: CcSpec::Aimd,
                     detect: false,
+                    shards: 1,
+                    crowd: 0,
                 };
                 c.scenario().build().expect("profile builds");
             }

@@ -75,9 +75,12 @@ fn draw_oracle_family(rng: &mut SmallRng, fam: usize) -> Family {
         window_s: 8,
         attack: None,
         // Oracle cases stay on the AIMD model the bands were tuned on,
-        // with no detector tap: exactly the envelope distribution.
+        // with no detector tap, no sharding and no flash crowd: exactly
+        // the envelope distribution.
         cc: CcSpec::Aimd,
         detect: false,
+        shards: 1,
+        crowd: 0,
     };
     let n_points = rng.random_range(2u32..=3);
     let cases = (0..n_points)
@@ -135,6 +138,10 @@ fn draw_diverse_family(rng: &mut SmallRng, fam: usize) -> Family {
         // A third of diverse families run with the detector tap on and
         // hold their traces to the batch-vs-streaming contract.
         detect: rng.random_range(0u32..3) == 0,
+        // A quarter run on the sharded engine, fuzzing its bit-identity
+        // contract across the whole diverse scenario distribution.
+        shards: if rng.random_range(0u32..4) == 0 { 2 } else { 1 },
+        crowd: 0,
     };
     let n_attacked = rng.random_range(1u32..=2);
     let benign = rng.random_range(0u32..3) == 0;
@@ -154,6 +161,48 @@ fn draw_diverse_family(rng: &mut SmallRng, fam: usize) -> Family {
         });
     }
     Family { cases }
+}
+
+/// A flash-crowd family (the `tests/flash_crowd.rs` traffic class): a
+/// few standing elephants, then 8–16 request/response mice all arriving
+/// at the warm-up boundary — exactly when an attack would start. The
+/// detector tap is always on (the crowd exists to stress the
+/// batch-vs-streaming contract with a benign event as sharp as an
+/// attack), and half the families also run on the sharded engine. Each
+/// family draws one attacked case and one benign one, so both "crowd
+/// plus attack" and "crowd alone" traces are covered.
+fn draw_flash_crowd_family(rng: &mut SmallRng, fam: usize) -> Family {
+    let template = DumbbellCase {
+        oracle: false,
+        base: BaseScenario::Ns2,
+        n_flows: rng.random_range(3u32..=5),
+        queue: QueueKind::Red,
+        mice_flows: 0,
+        loss_e4: 0,
+        rtt: RttProfile::Paper,
+        seed: draw_seed(rng),
+        warmup_s: rng.random_range(2u32..=4),
+        window_s: rng.random_range(6u32..=8),
+        attack: None,
+        cc: CcSpec::Aimd,
+        detect: true,
+        shards: if rng.random_range(0u32..2) == 0 { 2 } else { 1 },
+        crowd: rng.random_range(8u32..=16),
+    };
+    let mut attacked = template.clone();
+    attacked.attack = Some(draw_attack(rng, 20, 40));
+    Family {
+        cases: vec![
+            FuzzCase {
+                id: format!("fuzz/{fam:04}/c0"),
+                params: CaseParams::Dumbbell(attacked),
+            },
+            FuzzCase {
+                id: format!("fuzz/{fam:04}/c1"),
+                params: CaseParams::Dumbbell(template),
+            },
+        ],
+    }
 }
 
 fn draw_topology_family(rng: &mut SmallRng, fam: usize, kind: TopoKind) -> Family {
@@ -176,8 +225,9 @@ fn draw_topology_family(rng: &mut SmallRng, fam: usize, kind: TopoKind) -> Famil
 
 /// Generates families until at least `n_cases` cases exist (whole
 /// families only, so the count can slightly exceed the request). The
-/// class mix is drawn per family: half oracle-envelope dumbbells, three
-/// tenths diverse dumbbells, one tenth each parking-lot and fat-tree.
+/// class mix is drawn per family: half oracle-envelope dumbbells, two
+/// tenths diverse dumbbells, one tenth each flash-crowd, parking-lot
+/// and fat-tree.
 pub fn generate(master_seed: u64, n_cases: usize) -> Vec<Family> {
     let mut rng = SmallRng::seed_from_u64(master_seed);
     let mut families = Vec::new();
@@ -186,7 +236,8 @@ pub fn generate(master_seed: u64, n_cases: usize) -> Vec<Family> {
         let fam = families.len();
         let family = match rng.random_range(0u32..10) {
             0..=4 => draw_oracle_family(&mut rng, fam),
-            5..=7 => draw_diverse_family(&mut rng, fam),
+            5..=6 => draw_diverse_family(&mut rng, fam),
+            7 => draw_flash_crowd_family(&mut rng, fam),
             8 => draw_topology_family(&mut rng, fam, TopoKind::ParkingLot),
             _ => draw_topology_family(&mut rng, fam, TopoKind::FatTree),
         };
@@ -296,9 +347,46 @@ mod tests {
                 }
             }
         }
-        for tag in ["oracle", "diverse", "parking-lot", "fat-tree"] {
+        for tag in [
+            "oracle",
+            "diverse",
+            "flash-crowd",
+            "parking-lot",
+            "fat-tree",
+        ] {
             assert!(seen.contains(tag), "missing class {tag} in {seen:?}");
         }
+    }
+
+    #[test]
+    fn shards_and_crowd_dimensions_stay_off_oracle_families() {
+        let families = generate(11, 240);
+        let mut sharded = 0usize;
+        let mut crowds = 0usize;
+        for f in &families {
+            for case in &f.cases {
+                if let CaseParams::Dumbbell(c) = &case.params {
+                    if c.oracle {
+                        assert_eq!(
+                            (c.shards, c.crowd),
+                            (1, 0),
+                            "oracle cases stay sequential and crowd-free"
+                        );
+                    } else {
+                        if c.shards > 1 {
+                            sharded += 1;
+                        }
+                        if c.crowd > 0 {
+                            crowds += 1;
+                            assert!((8..=16).contains(&c.crowd), "crowd size drawn in range");
+                            assert!(c.detect, "flash-crowd cases hold the detector contract");
+                        }
+                    }
+                }
+            }
+        }
+        assert!(sharded > 0, "a 240-case draw should include sharded cases");
+        assert!(crowds > 0, "a 240-case draw should include flash crowds");
     }
 
     #[test]

@@ -56,6 +56,20 @@ fn candidates(params: &CaseParams, class: ViolationClass) -> Vec<CaseParams> {
                 n.mice_flows = 0;
                 push(n);
             }
+            if c.crowd > 0 {
+                let mut n = c.clone();
+                n.crowd = 0;
+                push(n);
+            }
+            if c.shards > 1 {
+                // Simplify toward the sequential engine. A shard-skew
+                // drill still reproduces: the campaign forces faulted
+                // cases onto the sharded engine regardless of the case's
+                // own shard count.
+                let mut n = c.clone();
+                n.shards = 1;
+                push(n);
+            }
             if c.loss_e4 > 0 {
                 let mut n = c.clone();
                 n.loss_e4 = 0;
@@ -458,6 +472,63 @@ mod tests {
         assert_eq!(hit, v.class, "replay reproduces the class: {detail}");
     }
 
+    /// The sharding drill: `--fault shard-skew` delivers one cross-shard
+    /// packet *before* the conservative-lookahead window on every
+    /// dumbbell case (the campaign forces faulted cases onto the sharded
+    /// engine, since the fault is a no-op unsharded); the engine's
+    /// clock-monotonicity checker must flag the run, the shrinker must
+    /// minimize it, and the emitted `.repro` must replay red.
+    #[test]
+    fn shard_skew_fault_drill_catches_shrinks_and_replays() {
+        // Deterministic seed scan: the smallest master seed whose first
+        // generated set (2 cases) contains a multi-case dumbbell family.
+        let seed = (0u64..64)
+            .find(|&s| {
+                gen::generate(s, 2)
+                    .iter()
+                    .any(|f| f.is_dumbbell() && f.cases.len() >= 2)
+            })
+            .expect("some small seed draws a dumbbell family");
+        let cfg = CampaignConfig {
+            scenarios: 2,
+            master_seed: seed,
+            jobs: 1,
+            fault: Some(SeededFault::ShardSkew),
+            shrink_budget: 12,
+            ..CampaignConfig::default()
+        };
+        let mut report = run_campaign(&cfg);
+
+        // 1. The invariant checkers catch the skewed delivery.
+        assert!(!report.pass(), "the drill must catch the skewed shard");
+        let idx = report
+            .violations
+            .iter()
+            .position(|v| v.class == ViolationClass::RunFailed && v.detail.contains("violation"))
+            .expect("an invariant violation is reported");
+
+        // 2. The shrinker minimizes while preserving the class.
+        shrink_report(&mut report, &cfg);
+        let v = &report.violations[idx];
+        let sh = v.shrunk.as_ref().expect("violation within shrink quota");
+        let CaseParams::Dumbbell(c) = &sh.params else {
+            panic!("faulted violations are dumbbell cases")
+        };
+        assert!(c.n_flows <= 3, "flows shrunk: {}", c.n_flows);
+        assert!(sh.replays <= cfg.shrink_budget);
+
+        // 3. The repro file round-trips and replays to the same class —
+        // the forced sharding travels through `fault = shard-skew`, not
+        // the case line, so the replay re-arms it identically.
+        let text = format_repro(v, &cfg);
+        assert!(text.contains("fault = shard-skew"));
+        let repro = parse_repro(&text).expect("repro file parses");
+        assert_eq!(repro.fault, Some(SeededFault::ShardSkew));
+        assert_eq!(repro.params, sh.params);
+        let (hit, detail) = replay_repro(&repro).expect("the shrunk case still fails");
+        assert_eq!(hit, v.class, "replay reproduces the class: {detail}");
+    }
+
     #[test]
     fn repro_files_round_trip_without_a_campaign() {
         let v = CampaignViolation {
@@ -519,6 +590,8 @@ mod tests {
             }),
             cc: pdos_tcp::cc::CcSpec::Aimd,
             detect: false,
+            shards: 1,
+            crowd: 0,
         };
         let cands = candidates(&CaseParams::Dumbbell(c.clone()), ViolationClass::OracleBand);
         assert!(!cands.is_empty());

@@ -53,6 +53,11 @@ pub struct Testbench {
     pub sim: Simulator,
     /// Victim flow handles, in RTT order.
     pub flows: Vec<FlowHandle>,
+    /// Flash-crowd flow handles (empty unless the scenario configured
+    /// `crowd_flows`). Deliberately separate from
+    /// [`Testbench::flows`]: the crowd is ambient traffic, so goodput
+    /// and gain accounting stay victim-only.
+    pub crowd: Vec<FlowHandle>,
     /// The host the attacker sends from.
     pub attacker_node: NodeId,
     /// The host attack packets are addressed to (behind the bottleneck).
@@ -84,6 +89,7 @@ impl std::fmt::Debug for Testbench {
 pub struct BenchCheckpoint {
     sim: SimCheckpoint,
     flows: Vec<FlowHandle>,
+    crowd: Vec<FlowHandle>,
     attacker_node: NodeId,
     attack_target: NodeId,
     bottleneck: LinkId,
@@ -135,6 +141,7 @@ impl Testbench {
         Ok(BenchCheckpoint {
             sim: self.sim.checkpoint()?,
             flows: self.flows.clone(),
+            crowd: self.crowd.clone(),
             attacker_node: self.attacker_node,
             attack_target: self.attack_target,
             bottleneck: self.bottleneck,
@@ -152,6 +159,7 @@ impl Testbench {
         Testbench {
             sim: Simulator::fork(&checkpoint.sim),
             flows: checkpoint.flows.clone(),
+            crowd: checkpoint.crowd.clone(),
             attacker_node: checkpoint.attacker_node,
             attack_target: checkpoint.attack_target,
             bottleneck: checkpoint.bottleneck,

@@ -119,6 +119,16 @@ pub enum SeededFault {
     /// applies the drift to the streaming-detector state itself, so the
     /// batch-vs-streaming equivalence check must flag the mismatch.
     CusumDrift,
+    /// Delivers one cross-shard packet *before* the sharded engine's
+    /// conservative-lookahead window instead of inside it — the classic
+    /// synchronization-horizon bug. The destination shard's clock has
+    /// already advanced past the rewound timestamp, so the engine's
+    /// clock-monotonicity checker must flag the run. A no-op on an
+    /// unsharded run (there are no cross-shard channels to skew), and —
+    /// like [`SeededFault::CubicWindow`] — *not* physics-neutral: the
+    /// skewed packet really is delivered early, so this fault only
+    /// appears in drills, never in baselines shared with clean runs.
+    ShardSkew,
 }
 
 /// One measured point of a gain figure.
@@ -222,6 +232,7 @@ pub struct GainExperiment {
     metrics: bool,
     detect: bool,
     fault: Option<SeededFault>,
+    shards: usize,
 }
 
 impl GainExperiment {
@@ -238,6 +249,7 @@ impl GainExperiment {
             metrics: false,
             detect: false,
             fault: None,
+            shards: 1,
         }
     }
 
@@ -302,6 +314,19 @@ impl GainExperiment {
         self
     }
 
+    /// Runs every simulation of this experiment on a sharded engine:
+    /// the bench asks [`pdos_sim::engine::Simulator::enable_sharding`]
+    /// for `shards` conservative-lookahead shards right after the
+    /// observers are wired (the engine may effect fewer, or fall back
+    /// to one, when the topology resists cutting). Sharding is
+    /// bit-identical to the legacy engine by contract, so — like
+    /// checks/metrics/detect — this is a pure wall-clock knob that
+    /// never changes measured goodput, traces, or gains.
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.shards = shards.max(1);
+        self
+    }
+
     /// Applies the configured fault to a bench about to be measured. Runs
     /// after forking, so a shared [`WarmStart`] is never corrupted.
     fn inject_fault(&self, bench: &mut crate::bench::Testbench) {
@@ -327,6 +352,11 @@ impl GainExperiment {
             }
             // Detector-layer fault: nothing to corrupt in the bench.
             SeededFault::CusumDrift => {}
+            SeededFault::ShardSkew => {
+                // Refused (returns false) on an unsharded engine; the
+                // drill is then a no-op, exactly like CusumDrift.
+                let _ = bench.sim.arm_shard_skew_for_test();
+            }
         }
     }
 
@@ -480,6 +510,9 @@ impl GainExperiment {
                 bin,
             )
         });
+        if self.shards > 1 {
+            bench.sim.enable_sharding(self.shards);
+        }
         Ok((bench, trace))
     }
 
@@ -1199,6 +1232,80 @@ mod tests {
                 "{fault:?}: expected Invariant, got {err:?}"
             );
         }
+    }
+
+    /// Tentpole contract at the experiment layer: a fully observed
+    /// (checks + metrics + tap) sharded run measures the exact same
+    /// physics as the legacy single-loop engine.
+    #[test]
+    fn sharded_experiment_matches_unsharded_bit_for_bit() {
+        let exp = quick_experiment(3).window(SimDuration::from_secs(8));
+        let baseline = exp.baseline_bytes().unwrap();
+        let plain = exp.run_point(0.1, 30e6, 0.4, baseline).unwrap();
+        let sharded_exp = exp
+            .clone()
+            .shards(4)
+            .checks(true)
+            .metrics(true)
+            .detect(true);
+        assert_eq!(
+            sharded_exp.baseline_bytes().unwrap(),
+            baseline,
+            "sharding must not perturb the baseline"
+        );
+        let (point, _, snap) = sharded_exp
+            .run_point_observed(0.1, 30e6, 0.4, baseline, None)
+            .unwrap();
+        assert_eq!(plain, point, "sharding must not perturb the physics");
+        assert!(
+            snap.expect("metered")
+                .counter("link/0", "enqueued")
+                .unwrap()
+                > 0
+        );
+    }
+
+    /// Warm-starting a sharded experiment forks the sharded state and
+    /// still reproduces the cold run byte for byte.
+    #[test]
+    fn sharded_warm_start_forks_identically() {
+        let exp = quick_experiment(3)
+            .window(SimDuration::from_secs(8))
+            .shards(2);
+        let baseline = exp.baseline_bytes().unwrap();
+        let cold = exp.run_point(0.1, 30e6, 0.4, baseline).unwrap();
+        let warm = exp.warm_start(None).unwrap();
+        let forked = exp
+            .run_point_observed_from(&warm, 0.1, 30e6, 0.4, baseline)
+            .unwrap()
+            .0;
+        assert_eq!(cold, forked, "forked sharded run must equal cold");
+    }
+
+    /// Satellite drill: the shard-skew fault rewinds one cross-shard
+    /// packet past the lookahead horizon, and the clock-monotonicity
+    /// checker must turn the run red.
+    #[test]
+    fn shard_skew_fault_is_caught_by_a_checked_sharded_run() {
+        let clean = quick_experiment(3).window(SimDuration::from_secs(8));
+        let baseline = clean.baseline_bytes().unwrap();
+        let drilled = clean
+            .clone()
+            .shards(2)
+            .checks(true)
+            .fault(Some(SeededFault::ShardSkew));
+        let err = drilled.run_point(0.1, 30e6, 0.4, baseline).unwrap_err();
+        match err {
+            ExperimentError::Invariant(msg) => {
+                assert!(msg.contains("clock"), "expected a clock violation: {msg}");
+            }
+            other => panic!("expected Invariant, got {other:?}"),
+        }
+        // On the legacy engine there is no channel to skew: the drill is
+        // refused and a checked run stays clean.
+        let unsharded = clean.checks(true).fault(Some(SeededFault::ShardSkew));
+        let p = unsharded.run_point(0.1, 30e6, 0.4, baseline).unwrap();
+        assert!(p.degradation_sim > 0.0);
     }
 
     #[test]

@@ -99,6 +99,15 @@ pub struct ExperimentSpec {
     /// anything), but folded into the baseline memo key so a faulted
     /// baseline can never be served to an unfaulted run.
     pub fault: Option<SeededFault>,
+    /// Run on a sharded engine with this many requested shards (`1` =
+    /// the legacy single event loop; the engine may effect fewer when
+    /// the topology resists cutting). Sharded output is bit-identical
+    /// to unsharded by contract, so — like `checks` — this is
+    /// deliberately **not** part of [`ExperimentSpec::stable_hash`]:
+    /// sharding a run must not change its seed or its physics. It *is*
+    /// part of [`ExperimentSpec::prefix_hash`], because a checkpoint
+    /// physically carries the shard structure.
+    pub shards: usize,
 }
 
 impl ExperimentSpec {
@@ -121,6 +130,7 @@ impl ExperimentSpec {
             metrics: false,
             detect: false,
             fault: None,
+            shards: 1,
         }
     }
 
@@ -138,6 +148,7 @@ impl ExperimentSpec {
             metrics: false,
             detect: false,
             fault: None,
+            shards: 1,
         }
     }
 
@@ -198,6 +209,16 @@ impl ExperimentSpec {
         self
     }
 
+    /// Runs this spec on a sharded engine (`1` = legacy). Seed-neutral:
+    /// a sharded run uses the same seed and produces the same physics
+    /// as an unsharded one — but prefix-relevant, so sharded and
+    /// unsharded runs never share a warm-start checkpoint.
+    #[must_use]
+    pub fn sharded(mut self, shards: usize) -> ExperimentSpec {
+        self.shards = shards.max(1);
+        self
+    }
+
     /// A stable 64-bit digest of the spec's identity: id, scenario,
     /// windows, attack point and κ. Used as the spec half of the seed
     /// derivation.
@@ -227,12 +248,14 @@ impl ExperimentSpec {
             self.checks,
             self.metrics,
             self.detect,
+            self.shards,
         )
     }
 
     /// [`ExperimentSpec::prefix_hash`] for an explicit effective
     /// `scenario` — the runner hashes the scenario *after* applying its
     /// [`SeedPolicy`], so only runs with equal physics share a prefix.
+    #[allow(clippy::too_many_arguments)]
     pub fn prefix_hash_of(
         scenario: &ScenarioSpec,
         warmup: SimDuration,
@@ -240,12 +263,18 @@ impl ExperimentSpec {
         checks: bool,
         metrics: bool,
         detect: bool,
+        shards: usize,
     ) -> u64 {
         let mut ident = String::with_capacity(256);
         let _ = write!(
             ident,
             "{scenario:?}|{warmup:?}|{trace_bin:?}|{checks}|{metrics}|{detect}"
         );
+        // Appended conditionally so legacy (unsharded) specs keep the
+        // prefix digests they had before sharding existed.
+        if shards > 1 {
+            let _ = write!(ident, "|shards={shards}");
+        }
         fnv1a64(ident.as_bytes())
     }
 }
@@ -886,6 +915,7 @@ impl SweepRunner {
             spec.checks,
             spec.metrics,
             spec.detect,
+            spec.shards,
         );
         let exp = GainExperiment::new(scenario)
             .warmup(spec.warmup)
@@ -894,7 +924,8 @@ impl SweepRunner {
             .checks(spec.checks)
             .metrics(spec.metrics)
             .detect(spec.detect)
-            .fault(spec.fault);
+            .fault(spec.fault)
+            .shards(spec.shards);
 
         // Warm start: simulate the shared prefix once per distinct digest,
         // then fork per run. Forking holds the cell lock only as long as
@@ -1390,6 +1421,62 @@ mod tests {
             .faulted(SeededFault::LinkAccounting)
             .checked()]);
         match &caught.records[0].outcome {
+            RunOutcome::Failed { reason } => {
+                assert!(reason.contains("violation"), "got: {reason}");
+            }
+            other => panic!("expected Failed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn shards_field_is_hash_neutral_but_prefix_relevant() {
+        let plain = quick_spec("s", 0.4);
+        let sharded = quick_spec("s", 0.4).sharded(4);
+        // Seed identity is untouched: sharding never re-seeds a sweep.
+        assert_eq!(plain.stable_hash(), sharded.stable_hash());
+        assert_eq!(derive_seed(9, &plain), derive_seed(9, &sharded));
+        // But a checkpoint physically carries the shard structure, so
+        // sharded and unsharded runs must not share warm-start prefixes.
+        assert_ne!(plain.prefix_hash(), sharded.prefix_hash());
+        // Requesting one shard IS the legacy engine — including its
+        // pre-sharding prefix digest.
+        assert_eq!(
+            plain.prefix_hash(),
+            quick_spec("s", 0.4).sharded(1).prefix_hash()
+        );
+    }
+
+    /// Tentpole contract at the runner layer: a sharded sweep (with the
+    /// warm-start cache forking sharded checkpoints) serializes byte-for-
+    /// byte identically to the legacy engine's sweep.
+    #[test]
+    fn sharded_sweep_matches_unsharded_byte_for_byte() {
+        let specs: Vec<ExperimentSpec> = [0.2, 0.6]
+            .iter()
+            .enumerate()
+            .map(|(i, &g)| quick_spec(&format!("s{i}"), g))
+            .collect();
+        let plain = SweepRunner::new(11).jobs(1).run(&specs);
+        for shards in [2, 4] {
+            let sharded_specs: Vec<ExperimentSpec> =
+                specs.iter().map(|s| s.clone().sharded(shards)).collect();
+            let sharded = SweepRunner::new(11).jobs(2).run(&sharded_specs);
+            assert_eq!(
+                plain.results_json(),
+                sharded.results_json(),
+                "--shards {shards} must reproduce --shards 1"
+            );
+        }
+    }
+
+    #[test]
+    fn shard_skew_drill_turns_a_checked_sharded_sweep_red() {
+        let spec = quick_spec("skew", 0.4)
+            .sharded(2)
+            .checked()
+            .faulted(SeededFault::ShardSkew);
+        let report = SweepRunner::new(4).jobs(1).run(&[spec]);
+        match &report.records[0].outcome {
             RunOutcome::Failed { reason } => {
                 assert!(reason.contains("violation"), "got: {reason}");
             }

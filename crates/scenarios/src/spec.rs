@@ -30,7 +30,7 @@ pub enum BottleneckQueue {
 /// Both of the paper's topologies are dumbbells; they differ only in
 /// constants, so one spec type covers both (see
 /// [`ScenarioSpec::ns2_dumbbell`] and [`ScenarioSpec::testbed`]).
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct ScenarioSpec {
     /// Number of victim TCP flows.
     pub n_flows: usize,
@@ -70,6 +70,50 @@ pub struct ScenarioSpec {
     pub mice_burst: u64,
     /// Mouse think time between bursts.
     pub mice_think: SimDuration,
+    /// Flash-crowd flows: request/response mice (30-segment bursts,
+    /// 400 ms think time — the shapes of `tests/flash_crowd.rs`) that
+    /// all arrive within a 29 ms stagger of [`ScenarioSpec::crowd_at`],
+    /// each on its own access pair behind the bottleneck. Benign
+    /// traffic whose onset looks as sharp as an attack; `0` (the
+    /// default) wires no crowd.
+    pub crowd_flows: usize,
+    /// When the flash crowd arrives (ignored while
+    /// [`ScenarioSpec::crowd_flows`] is zero).
+    pub crowd_at: SimDuration,
+}
+
+/// Hand-rolled so hashes stay stable: `{:?}` of the scenario feeds both
+/// the runner's `stable_hash` (derived physics seeds) and the
+/// warm-start prefix hash, so the pre-flash-crowd fields print exactly
+/// as the old `derive(Debug)` did, and the crowd fields enter the
+/// output only when a crowd is actually configured. A crowd-free spec
+/// therefore keeps its legacy hashes, seeds and golden digests.
+impl std::fmt::Debug for ScenarioSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut d = f.debug_struct("ScenarioSpec");
+        d.field("n_flows", &self.n_flows)
+            .field("bottleneck", &self.bottleneck)
+            .field("bottleneck_delay", &self.bottleneck_delay)
+            .field("access", &self.access)
+            .field("attacker_access", &self.attacker_access)
+            .field("rtt_lo", &self.rtt_lo)
+            .field("rtt_hi", &self.rtt_hi)
+            .field("buffer_packets", &self.buffer_packets)
+            .field("queue", &self.queue)
+            .field("tcp", &self.tcp)
+            .field("attack_packet", &self.attack_packet)
+            .field("seed", &self.seed)
+            .field("start_stagger", &self.start_stagger)
+            .field("bottleneck_loss", &self.bottleneck_loss)
+            .field("mice_flows", &self.mice_flows)
+            .field("mice_burst", &self.mice_burst)
+            .field("mice_think", &self.mice_think);
+        if self.crowd_flows > 0 {
+            d.field("crowd_flows", &self.crowd_flows)
+                .field("crowd_at", &self.crowd_at);
+        }
+        d.finish()
+    }
 }
 
 impl ScenarioSpec {
@@ -95,6 +139,8 @@ impl ScenarioSpec {
             mice_flows: 0,
             mice_burst: 20,
             mice_think: SimDuration::from_millis(500),
+            crowd_flows: 0,
+            crowd_at: SimDuration::from_secs(12),
         }
     }
 
@@ -122,6 +168,8 @@ impl ScenarioSpec {
             mice_flows: 0,
             mice_burst: 20,
             mice_think: SimDuration::from_millis(500),
+            crowd_flows: 0,
+            crowd_at: SimDuration::from_secs(12),
         }
     }
 
@@ -254,6 +302,20 @@ impl ScenarioSpec {
             endpoints.push((src, dst, rtt));
         }
 
+        // Flash-crowd endpoints: each mouse gets its own access pair
+        // (the `tests/flash_crowd.rs` shape), so the crowd's arrival —
+        // not queueing on a shared access link — is what perturbs the
+        // bottleneck.
+        let mut crowd_endpoints = Vec::with_capacity(self.crowd_flows);
+        for j in 0..self.crowd_flows {
+            let src = topo.add_host(format!("crowd-src{j}"));
+            let dst = topo.add_host(format!("crowd-dst{j}"));
+            let d_src = SimDuration::from_millis(4 + (j as u64 % 7) * 3);
+            topo.add_duplex_link(src, router_s, self.access, d_src, ample.clone());
+            topo.add_duplex_link(dst, router_r, self.access, d_dst, ample.clone());
+            crowd_endpoints.push((src, dst, d_src));
+        }
+
         // Attacker on the sender side, attack sink behind the bottleneck.
         let attacker = topo.add_host("attacker");
         let victim = topo.add_host("attack-sink");
@@ -300,9 +362,39 @@ impl ScenarioSpec {
             });
         }
 
+        // The flash crowd: persistent request/response mice (30-segment
+        // bursts, 400 ms think time) all arriving within a 29 ms stagger
+        // of `crowd_at`. They stay out of `flows`, so the gain protocol
+        // keeps measuring the victims only; `Testbench::crowd` carries
+        // their handles for detector studies.
+        let mut crowd = Vec::with_capacity(crowd_endpoints.len());
+        for (j, &(src, dst, d_src)) in crowd_endpoints.iter().enumerate() {
+            let flow = FlowId::from_u32((self.n_flows + j) as u32);
+            let mut cfg = self.tcp.clone();
+            cfg.burst_segments = Some(30);
+            cfg.think_time = SimDuration::from_millis(400);
+            let start = SimTime::ZERO
+                + self.crowd_at
+                + SimDuration::from_millis(29).saturating_mul(j as u64);
+            let tx = sim.attach_agent_at(src, Box::new(TcpSender::new(cfg, flow, dst)), start);
+            let rx = sim.attach_agent(dst, Box::new(TcpSink::new(self.tcp.clone(), flow, src)));
+            sim.bind_flow(src, flow, tx);
+            sim.bind_flow(dst, flow, rx);
+            crowd.push(FlowHandle {
+                flow,
+                sender: tx,
+                sink: rx,
+                base_rtt: 2.0
+                    * (d_src.as_secs_f64()
+                        + self.bottleneck_delay.as_secs_f64()
+                        + d_dst.as_secs_f64()),
+            });
+        }
+
         Ok(Testbench {
             sim,
             flows,
+            crowd,
             attacker_node: attacker,
             attack_target: victim,
             bottleneck,
@@ -414,6 +506,59 @@ mod tests {
             .sum::<f64>()
             / 3.0;
         assert!(mouse_mean < elephant_mean);
+    }
+
+    #[test]
+    fn crowd_free_specs_keep_their_legacy_debug_output() {
+        // `{:?}` feeds the runner's stable hash and the warm-start
+        // prefix hash, so a spec with no crowd must print exactly as it
+        // did before the flash-crowd fields existed.
+        let spec = ScenarioSpec::ns2_dumbbell(3);
+        let dbg = format!("{spec:?}");
+        assert!(!dbg.contains("crowd"), "crowd stays implicit: {dbg}");
+        assert!(dbg.starts_with("ScenarioSpec { n_flows: 3, "));
+        assert!(
+            dbg.ends_with("mice_think: SimDuration(500000000) }"),
+            "{dbg}"
+        );
+        let mut crowded = spec.clone();
+        crowded.crowd_flows = 4;
+        let dbg = format!("{crowded:?}");
+        assert!(dbg.contains("crowd_flows: 4"), "{dbg}");
+        assert!(
+            dbg.ends_with("crowd_at: SimDuration(12000000000) }"),
+            "{dbg}"
+        );
+    }
+
+    #[test]
+    fn flash_crowd_arrives_at_crowd_at() {
+        let mut spec = ScenarioSpec::ns2_dumbbell(2);
+        spec.crowd_flows = 3;
+        spec.crowd_at = SimDuration::from_secs(1);
+        let mut bench = spec.build().unwrap();
+        assert_eq!(bench.crowd.len(), 3);
+        // 2 routers + 2·2 victim hosts + 2·3 crowd hosts + 2 attack hosts.
+        assert_eq!(bench.sim.nodes().len(), 14);
+        // Nothing from the crowd before its arrival...
+        bench.run_until(SimTime::from_secs(1));
+        for h in &bench.crowd {
+            let sink = bench.sim.agent_as::<TcpSink>(h.sink).unwrap();
+            assert_eq!(sink.goodput_bytes(), 0, "crowd flow started early");
+        }
+        // ... and every crowd mouse completes request bursts after it.
+        bench.run_until(SimTime::from_secs(8));
+        for h in &bench.crowd {
+            let bursts = bench
+                .sim
+                .agent_as::<TcpSender>(h.sender)
+                .unwrap()
+                .stats()
+                .bursts_completed;
+            assert!(bursts > 0, "crowd mouse finished no burst");
+        }
+        // The crowd stays out of the victim goodput accounting.
+        assert_eq!(bench.goodput_per_flow().len(), 2);
     }
 
     #[test]

@@ -10,6 +10,7 @@ use crate::metrics::EngineMetrics;
 use crate::node::{Node, NodeId};
 use crate::packet::{FlowId, Packet, PacketArena};
 use crate::routing::RoutingTable;
+use crate::shard::{merge_outboxes, CrossPacket, ShardMembership, ShardPlan};
 use crate::tap::DetectorTap;
 use crate::time::{SimDuration, SimTime};
 use crate::trace::{RateTrace, TraceFilter, TraceId};
@@ -30,6 +31,18 @@ pub struct SimStats {
     pub ecn_marks: u64,
     /// Packets discarded because no route existed to their destination.
     pub routeless: u64,
+}
+
+impl SimStats {
+    /// Accumulates another counter set (used to merge per-shard stats).
+    fn add(&mut self, other: SimStats) {
+        self.events += other.events;
+        self.delivered += other.delivered;
+        self.unclaimed += other.unclaimed;
+        self.queue_drops += other.queue_drops;
+        self.ecn_marks += other.ecn_marks;
+        self.routeless += other.routeless;
+    }
 }
 
 struct AgentSlot {
@@ -106,6 +119,65 @@ pub struct Simulator {
     /// Per-link detector tap feeding streaming detectors; `None` (the
     /// default) costs one branch per forwarded packet.
     tap: Option<Box<DetectorTap>>,
+    /// Shard identity when this simulator is one shard of a larger
+    /// sharded run (set by `enable_sharding` on the sub-simulators);
+    /// `None` for standalone simulators.
+    shard_ctx: Option<Box<ShardMembership>>,
+    /// The sharded runtime when this simulator coordinates a
+    /// conservative-lookahead parallel run; `None` (the default) keeps
+    /// the legacy single-threaded event loop.
+    sharding: Option<Box<ShardRuntime>>,
+}
+
+/// The coordinator state of a sharded run: the plan, one private
+/// sub-simulator per shard, and the maps translating the outer handle
+/// space (agent/trace ids handed to callers) to per-shard handles.
+struct ShardRuntime {
+    plan: ShardPlan,
+    shards: Vec<Simulator>,
+    /// Outer `AgentId` index -> (shard, shard-local id).
+    agent_map: Vec<(usize, AgentId)>,
+    /// Outer `TraceId` index -> (shard, shard-local id).
+    trace_map: Vec<(usize, TraceId)>,
+    /// Owning shard per link (the shard of the link's source node).
+    link_owner: Vec<usize>,
+    /// Seeded-fault flag: corrupt the next cross-shard packet's
+    /// timestamp to simulate a delivery past the lookahead horizon.
+    skew_armed: bool,
+}
+
+impl ShardRuntime {
+    fn try_clone(&self) -> Result<ShardRuntime, CheckpointError> {
+        let mut shards = Vec::with_capacity(self.shards.len());
+        for shard in &self.shards {
+            shards.push(shard.try_clone()?);
+        }
+        Ok(ShardRuntime {
+            plan: self.plan.clone(),
+            shards,
+            agent_map: self.agent_map.clone(),
+            trace_map: self.trace_map.clone(),
+            link_owner: self.link_owner.clone(),
+            skew_armed: self.skew_armed,
+        })
+    }
+}
+
+/// One synchronization round sent to a shard worker: inject this round's
+/// cross-shard packets, advance through the window, hand back the outbox.
+struct RoundCmd {
+    end: SimTime,
+    /// `true`: process events strictly before `end` (a half-open
+    /// lookahead window). `false`: the final inclusive pass — run to and
+    /// including `end`, leaving the shard clock there.
+    strict: bool,
+    inject: Vec<CrossPacket>,
+}
+
+/// A shard worker's answer to one [`RoundCmd`].
+struct RoundReply {
+    outbox: Vec<CrossPacket>,
+    next: Option<SimTime>,
 }
 
 impl std::fmt::Debug for Simulator {
@@ -116,6 +188,7 @@ impl std::fmt::Debug for Simulator {
             .field("links", &self.links.len())
             .field("agents", &self.agents.len())
             .field("pending_events", &self.events.len())
+            .field("shards", &self.shard_count())
             .finish()
     }
 }
@@ -141,6 +214,8 @@ impl Simulator {
             checks: None,
             metrics: None,
             tap: None,
+            shard_ctx: None,
+            sharding: None,
         }
     }
 
@@ -154,6 +229,11 @@ impl Simulator {
     pub fn enable_checks(&mut self) {
         if self.checks.is_none() {
             self.checks = Some(Box::new(CheckState::new(self.links.len())));
+        }
+        if let Some(rt) = self.sharding.as_deref_mut() {
+            for shard in rt.shards.iter_mut() {
+                shard.enable_checks();
+            }
         }
     }
 
@@ -173,6 +253,11 @@ impl Simulator {
     pub fn enable_metrics(&mut self) {
         if self.metrics.is_none() {
             self.metrics = Some(Box::new(EngineMetrics::new(&self.links)));
+        }
+        if let Some(rt) = self.sharding.as_deref_mut() {
+            for shard in rt.shards.iter_mut() {
+                shard.enable_metrics();
+            }
         }
     }
 
@@ -196,9 +281,22 @@ impl Simulator {
 
     /// Snapshots every engine metric, finalizing time-weighted gauges at
     /// the current virtual clock. `None` while metrics are disabled.
+    ///
+    /// On a sharded run the per-shard registries are merged metric-wise
+    /// (counters add; time-weighted gauges combine their spans), so
+    /// per-link counters equal the unsharded run's — each link is
+    /// exercised by exactly one shard.
     pub fn metrics_snapshot(&mut self) -> Option<pdos_metrics::MetricsSnapshot> {
         let now = self.clock;
-        self.metrics.as_deref_mut().map(|m| m.snapshot(now))
+        let mut snap = self.metrics.as_deref_mut().map(|m| m.snapshot(now))?;
+        if let Some(rt) = self.sharding.as_deref_mut() {
+            for shard in rt.shards.iter_mut() {
+                if let Some(sub) = shard.metrics_snapshot() {
+                    snap.merge(&sub);
+                }
+            }
+        }
+        Some(snap)
     }
 
     /// Turns on the per-link detector tap (see [`crate::tap`]).
@@ -213,6 +311,11 @@ impl Simulator {
         if self.tap.is_none() {
             self.tap = Some(Box::new(DetectorTap::new(&self.links, bin)));
         }
+        if let Some(rt) = self.sharding.as_deref_mut() {
+            for shard in rt.shards.iter_mut() {
+                shard.enable_tap(bin);
+            }
+        }
     }
 
     /// Whether [`Simulator::enable_tap`] was called.
@@ -222,13 +325,23 @@ impl Simulator {
 
     /// The detector tap, for reading per-link bins off a finished run.
     /// `None` while the tap is disabled.
+    ///
+    /// On a sharded run this returns shard 0's tap — valid for bin-width
+    /// inspection, but per-link bins live on the link's owning shard;
+    /// use [`Simulator::tap_bins`], which routes to the owner.
     pub fn tap(&self) -> Option<&DetectorTap> {
+        if let Some(rt) = self.sharding.as_deref() {
+            return rt.shards.first().and_then(Simulator::tap);
+        }
         self.tap.as_deref()
     }
 
     /// Offered bytes per bin on `link`, in time order. `None` while the
     /// tap is disabled.
     pub fn tap_bins(&self, link: LinkId) -> Option<&[u64]> {
+        if let Some(rt) = self.sharding.as_deref() {
+            return rt.shards[rt.link_owner[link.index()]].tap_bins(link);
+        }
         self.tap.as_deref().map(|t| t.bins(link))
     }
 
@@ -249,9 +362,17 @@ impl Simulator {
         self.clock
     }
 
-    /// Engine counters.
+    /// Engine counters. On a sharded run, the sum over every shard (each
+    /// event is processed by exactly one shard, so the sum equals the
+    /// unsharded run's counters).
     pub fn stats(&self) -> SimStats {
-        self.stats
+        let mut stats = self.stats;
+        if let Some(rt) = self.sharding.as_deref() {
+            for shard in &rt.shards {
+                stats.add(shard.stats());
+            }
+        }
+        stats
     }
 
     /// The nodes of the topology.
@@ -264,12 +385,16 @@ impl Simulator {
         &self.links
     }
 
-    /// One link by id.
+    /// One link by id. On a sharded run this is the live copy on the
+    /// link's owning shard (the outer copies are frozen at split time).
     ///
     /// # Panics
     ///
     /// Panics if `id` is not a link of this topology.
     pub fn link(&self, id: LinkId) -> &Link {
+        if let Some(rt) = self.sharding.as_deref() {
+            return rt.shards[rt.link_owner[id.index()]].link(id);
+        }
         &self.links[id.index()]
     }
 
@@ -280,7 +405,13 @@ impl Simulator {
 
     /// Packets dropped so far that belonged to `flow`.
     pub fn drops_for_flow(&self, flow: FlowId) -> u64 {
-        self.drops_by_flow.get(&flow).copied().unwrap_or(0)
+        let mut drops = self.drops_by_flow.get(&flow).copied().unwrap_or(0);
+        if let Some(rt) = self.sharding.as_deref() {
+            for shard in &rt.shards {
+                drops += shard.drops_for_flow(flow);
+            }
+        }
+        drops
     }
 
     /// Attaches `agent` to `node` and schedules its [`Agent::start`] at
@@ -299,12 +430,20 @@ impl Simulator {
             node.index() < self.nodes.len(),
             "cannot attach agent to unknown {node}"
         );
+        if let Some(rt) = self.sharding.as_deref_mut() {
+            let s = rt.plan.shard_of(node);
+            let local = rt.shards[s].attach_agent_at(node, agent, start_at);
+            let id = AgentId::from_u32(rt.agent_map.len() as u32);
+            rt.agent_map.push((s, local));
+            return id;
+        }
         let id = AgentId::from_u32(self.agents.len() as u32);
         self.agents.push(AgentSlot {
             node,
             agent: Some(agent),
             timers: Vec::new(),
         });
+        self.events.set_now(self.clock);
         self.events
             .schedule(start_at, Event::AgentStart { agent: id });
         id
@@ -321,6 +460,21 @@ impl Simulator {
     ///
     /// Panics if the binding is already taken or the agent is unknown.
     pub fn bind_flow(&mut self, node: NodeId, flow: FlowId, agent: AgentId) {
+        if let Some(rt) = self.sharding.as_deref_mut() {
+            assert!(
+                agent.index() < rt.agent_map.len(),
+                "cannot bind unknown {agent}"
+            );
+            let (s, local) = rt.agent_map[agent.index()];
+            assert_eq!(
+                rt.plan.shard_of(node),
+                s,
+                "binding ({node}, {flow}) would cross shards: the agent \
+                 lives on shard {s}; attach receivers at their own node"
+            );
+            rt.shards[s].bind_flow(node, flow, local);
+            return;
+        }
         assert!(
             agent.index() < self.agents.len(),
             "cannot bind unknown {agent}"
@@ -336,6 +490,13 @@ impl Simulator {
         filter: TraceFilter,
         bin: SimDuration,
     ) -> TraceId {
+        if let Some(rt) = self.sharding.as_deref_mut() {
+            let owner = rt.link_owner[link.index()];
+            let local = rt.shards[owner].trace_link_ingress(link, filter, bin);
+            let id = TraceId::from_u32(rt.trace_map.len() as u32);
+            rt.trace_map.push((owner, local));
+            return id;
+        }
         let id = TraceId::from_u32(self.traces.len() as u32);
         self.traces.push(RateTrace::new(link, filter, bin));
         self.link_traces[link.index()].push(id);
@@ -348,6 +509,10 @@ impl Simulator {
     ///
     /// Panics if `id` was not returned by this simulator.
     pub fn trace(&self, id: TraceId) -> &RateTrace {
+        if let Some(rt) = self.sharding.as_deref() {
+            let (s, local) = rt.trace_map[id.index()];
+            return rt.shards[s].trace(local);
+        }
         &self.traces[id.index()]
     }
 
@@ -359,6 +524,10 @@ impl Simulator {
     ///
     /// Panics if `id` is unknown.
     pub fn agent_as<T: 'static>(&self, id: AgentId) -> Option<&T> {
+        if let Some(rt) = self.sharding.as_deref() {
+            let (s, local) = rt.agent_map[id.index()];
+            return rt.shards[s].agent_as(local);
+        }
         self.agents[id.index()]
             .agent
             .as_deref()
@@ -370,18 +539,34 @@ impl Simulator {
     /// Runs until the event queue is exhausted or `horizon` is reached,
     /// leaving the clock at `horizon` (or at the last event when the queue
     /// drains first — then advances to `horizon`).
+    ///
+    /// On a sharded run (see [`Simulator::enable_sharding`]) the shards
+    /// advance in lookahead-wide rounds on worker threads; the result is
+    /// bit-identical to the single-threaded engine.
     pub fn run_until(&mut self, horizon: SimTime) {
+        if self.sharding.is_some() {
+            self.run_until_sharded(horizon);
+            return;
+        }
         while let Some((at, event)) = self.events.pop_before(horizon) {
             self.process(at, event);
         }
         if self.clock < horizon {
             self.clock = horizon;
+            self.events.set_now(self.clock);
         }
     }
 
     /// Processes exactly one event, if any is pending. Returns whether an
     /// event was processed.
+    ///
+    /// On a sharded run this degenerates to sequential execution: the
+    /// globally earliest event is processed on its shard and any
+    /// cross-shard packets it produced are forwarded immediately.
     pub fn step(&mut self) -> bool {
+        if self.sharding.is_some() {
+            return self.step_sharded();
+        }
         let Some((at, event)) = self.events.pop() else {
             return false;
         };
@@ -408,6 +593,9 @@ impl Simulator {
         // Never move the clock backwards: a corrupted event timestamp is
         // recorded above but must not propagate regressions downstream.
         self.clock = self.clock.max(at);
+        // Everything scheduled while dispatching carries this instant as
+        // its tie-break key (see `EventQueue::set_now`).
+        self.events.set_now(self.clock);
         self.stats.events += 1;
         if let Some(m) = self.metrics.as_deref_mut() {
             m.on_pop(&event);
@@ -423,9 +611,15 @@ impl Simulator {
         }
     }
 
-    /// Number of events still pending.
+    /// Number of events still pending (summed across shards when sharded).
     pub fn pending_events(&self) -> usize {
-        self.events.len()
+        let mut pending = self.events.len();
+        if let Some(rt) = self.sharding.as_deref() {
+            for shard in &rt.shards {
+                pending += shard.pending_events();
+            }
+        }
+        pending
     }
 
     fn handle_arrival(&mut self, node: NodeId, packet: Packet) {
@@ -488,14 +682,33 @@ impl Simulator {
             self.events
                 .schedule(at, Event::LinkTxDone { link: link_id });
         }
-        let handle = self.arena.insert(packet);
-        self.events.schedule(
-            self.clock + delay,
-            Event::Deliver {
+        if self
+            .shard_ctx
+            .as_deref()
+            .is_some_and(|ctx| ctx.is_remote(dst))
+        {
+            // The destination lives on another shard: park the packet in
+            // the outbox for the coordinator's canonical-order drain
+            // instead of the local arena. The sending clock rides along
+            // so the destination queue orders the injection exactly where
+            // the unsharded engine would have.
+            let ctx = self.shard_ctx.as_deref_mut().expect("checked above");
+            ctx.outbox.push(CrossPacket {
+                at: self.clock + delay,
+                sched: self.clock,
                 node: dst,
-                packet: handle,
-            },
-        );
+                packet,
+            });
+        } else {
+            let handle = self.arena.insert(packet);
+            self.events.schedule(
+                self.clock + delay,
+                Event::Deliver {
+                    node: dst,
+                    packet: handle,
+                },
+            );
+        }
         if let Some(m) = self.metrics.as_deref_mut() {
             m.on_tx_done(&self.links[link_id.index()], self.clock);
         }
@@ -551,11 +764,389 @@ impl Simulator {
         }
     }
 
+    /// Splits the simulation across `shards` delay-separated shards that
+    /// advance in parallel under a conservative-lookahead scheduler (see
+    /// [`crate::shard`] and `docs/SHARDING.md`).
+    ///
+    /// Returns the effective shard count. Sharding is only engaged when a
+    /// useful cut exists and the simulation is at a *splittable* instant —
+    /// no packets in flight, no live timers, only `AgentStart` events
+    /// pending, no recorded trace bins (i.e. before the first `run_until`,
+    /// the normal call site). Otherwise the call is a safe no-op returning
+    /// 1 and the legacy single-threaded engine keeps running. The split is
+    /// also refused when any link queue is an un-cloneable custom
+    /// discipline.
+    ///
+    /// Determinism contract: a sharded run is bit-identical — stats,
+    /// traces, taps, violations, merged metrics counters — to the same
+    /// simulation run with `shards == 1`, regardless of worker scheduling.
+    pub fn enable_sharding(&mut self, shards: usize) -> usize {
+        if let Some(rt) = self.sharding.as_deref() {
+            return rt.shards.len();
+        }
+        if shards <= 1 || self.shard_ctx.is_some() {
+            return 1;
+        }
+        let link_info: Vec<(NodeId, NodeId, SimDuration)> = self
+            .links
+            .iter()
+            .map(|l| (l.src(), l.dst(), l.delay()))
+            .collect();
+        let plan = ShardPlan::build(self.nodes.len(), &link_info, shards);
+        if plan.is_single() {
+            return 1;
+        }
+        // Splittable-instant preconditions. Pending events are drained to
+        // inspect them; on any failed precondition they are rescheduled in
+        // order (same relative order => same behavior) and we fall back.
+        let mut drained = Vec::new();
+        while let Some(item) = self.events.pop() {
+            drained.push(item);
+        }
+        let splittable = drained
+            .iter()
+            .all(|(_, e)| matches!(e, Event::AgentStart { .. }))
+            && self.arena.live() == 0
+            && self.agents.iter().all(|s| s.timers.is_empty())
+            && self.traces.iter().all(|t| t.n_bins() == 0)
+            && self.links.iter().all(|l| l.try_clone().is_some());
+        if !splittable {
+            self.events.set_now(self.clock);
+            for (at, e) in drained {
+                self.events.schedule(at, e);
+            }
+            return 1;
+        }
+        let n = plan.n_shards();
+        let node_shard = plan.node_shard().to_vec();
+        let link_owner: Vec<usize> = self
+            .links
+            .iter()
+            .map(|l| node_shard[l.src().index()])
+            .collect();
+        // Every shard gets a full copy of the topology so ids stay
+        // globally valid; only the links it owns (those sourced inside
+        // it) ever carry traffic, the rest are frozen replicas.
+        let mut sub_shards: Vec<Simulator> = Vec::with_capacity(n);
+        for s in 0..n {
+            let links: Vec<Link> = self
+                .links
+                .iter()
+                .map(|l| l.try_clone().expect("checked cloneable above"))
+                .collect();
+            let mut sub = Simulator::from_parts(self.nodes.clone(), links, self.routing.clone());
+            sub.shard_ctx = Some(Box::new(ShardMembership {
+                shard: s,
+                node_shard: node_shard.clone(),
+                outbox: Vec::new(),
+            }));
+            sub.clock = self.clock;
+            sub.events.set_now(self.clock);
+            if self.checks.is_some() {
+                sub.enable_checks();
+            }
+            if self.metrics.is_some() {
+                sub.enable_metrics();
+            }
+            if let Some(tap) = self.tap.as_deref() {
+                sub.enable_tap(tap.bin_width());
+            }
+            sub_shards.push(sub);
+        }
+        // Migrate agents (with their pending starts), bindings and trace
+        // registrations to the owning shards, keeping the outer ids the
+        // callers already hold valid through the translation maps.
+        let mut agent_map = Vec::with_capacity(self.agents.len());
+        for slot in self.agents.drain(..) {
+            let s = node_shard[slot.node.index()];
+            let local = AgentId::from_u32(sub_shards[s].agents.len() as u32);
+            sub_shards[s].agents.push(slot);
+            agent_map.push((s, local));
+        }
+        for ((node, flow), agent) in std::mem::take(&mut self.bindings) {
+            let (s, local) = agent_map[agent.index()];
+            sub_shards[s].bindings.insert((node, flow), local);
+        }
+        for (at, e) in drained {
+            let Event::AgentStart { agent } = e else {
+                unreachable!("checked above");
+            };
+            let (s, local) = agent_map[agent.index()];
+            sub_shards[s]
+                .events
+                .schedule(at, Event::AgentStart { agent: local });
+        }
+        let traces = std::mem::take(&mut self.traces);
+        let mut trace_map = Vec::with_capacity(traces.len());
+        for t in &traces {
+            let owner = link_owner[t.link().index()];
+            let local = sub_shards[owner].trace_link_ingress(t.link(), t.filter(), t.bin_width());
+            trace_map.push((owner, local));
+        }
+        self.link_traces = vec![Vec::new(); self.links.len()];
+        self.events.set_now(self.clock);
+        self.sharding = Some(Box::new(ShardRuntime {
+            plan,
+            shards: sub_shards,
+            agent_map,
+            trace_map,
+            link_owner,
+            skew_armed: false,
+        }));
+        n
+    }
+
+    /// Builder-style [`Simulator::enable_sharding`].
+    #[must_use]
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.enable_sharding(shards);
+        self
+    }
+
+    /// Number of shards the simulation runs across (1 = the legacy
+    /// single-threaded engine).
+    pub fn shard_count(&self) -> usize {
+        self.sharding.as_deref().map_or(1, |rt| rt.shards.len())
+    }
+
+    /// The active shard plan, when sharding is engaged.
+    pub fn shard_plan(&self) -> Option<&ShardPlan> {
+        self.sharding.as_deref().map(|rt| &rt.plan)
+    }
+
+    /// Seeded-fault hook: corrupts the timestamp of the next cross-shard
+    /// packet to zero, simulating a delivery skewed past the lookahead
+    /// horizon — the clock-monotonicity checker must flag the resulting
+    /// regression on the destination shard. Returns whether the fault was
+    /// armed (`false` when the simulation is not sharded, where the fault
+    /// has no meaning).
+    #[doc(hidden)]
+    pub fn arm_shard_skew_for_test(&mut self) -> bool {
+        match self.sharding.as_deref_mut() {
+            Some(rt) => {
+                rt.skew_armed = true;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// The parallel event loop: advances every shard to `horizon` in
+    /// lookahead-wide rounds on scoped worker threads.
+    ///
+    /// Invariant making the rounds safe: within a strict window
+    /// `[start, end)` with `end <= start + lookahead`, no event can
+    /// produce a cross-shard effect before `start + lookahead >= end`
+    /// (link jitter is additive, so the base delay lower-bounds every
+    /// flight time). Outboxes are merged in canonical `(shard id, push
+    /// order)` sequence after each round, so the injection order — and
+    /// with it the whole run — is independent of thread scheduling.
+    fn run_until_sharded(&mut self, horizon: SimTime) {
+        let mut rt = self.sharding.take().expect("sharded run without runtime");
+        let lookahead = rt.plan.lookahead();
+        let n = rt.shards.len();
+        let plan = rt.plan.clone();
+        // Cross packets awaiting injection, bucketed by destination shard.
+        let mut pending: Vec<Vec<CrossPacket>> = (0..n).map(|_| Vec::new()).collect();
+        let mut skew_armed = std::mem::take(&mut rt.skew_armed);
+        let start_clock = self.clock;
+
+        std::thread::scope(|scope| {
+            let mut workers = Vec::with_capacity(n);
+            for shard in rt.shards.iter_mut() {
+                let (cmd_tx, cmd_rx) = std::sync::mpsc::channel::<RoundCmd>();
+                let (rep_tx, rep_rx) = std::sync::mpsc::channel::<RoundReply>();
+                scope.spawn(move || {
+                    while let Ok(cmd) = cmd_rx.recv() {
+                        for c in cmd.inject {
+                            shard.inject_cross(c);
+                        }
+                        if cmd.strict {
+                            shard.run_strictly_before(cmd.end);
+                        } else {
+                            shard.run_until(cmd.end);
+                        }
+                        let reply = RoundReply {
+                            outbox: shard.take_outbox(),
+                            next: shard.events.peek_time(),
+                        };
+                        if rep_tx.send(reply).is_err() {
+                            break;
+                        }
+                    }
+                });
+                workers.push((cmd_tx, rep_rx));
+            }
+
+            // One synchronization round: every shard advances through the
+            // window concurrently, then the outboxes are merged in
+            // canonical order and routed to their destination buckets.
+            let mut round = |end: SimTime,
+                             strict: bool,
+                             pending: &mut Vec<Vec<CrossPacket>>|
+             -> Vec<Option<SimTime>> {
+                for (i, (cmd_tx, _)) in workers.iter().enumerate() {
+                    let inject = std::mem::take(&mut pending[i]);
+                    cmd_tx
+                        .send(RoundCmd {
+                            end,
+                            strict,
+                            inject,
+                        })
+                        .expect("shard worker alive");
+                }
+                let mut nexts = Vec::with_capacity(n);
+                let mut replies = Vec::with_capacity(n);
+                for (i, (_, rep_rx)) in workers.iter().enumerate() {
+                    let reply = rep_rx.recv().expect("shard worker alive");
+                    nexts.push(reply.next);
+                    replies.push((i, reply.outbox));
+                }
+                for mut c in merge_outboxes(replies) {
+                    if skew_armed {
+                        // Seeded fault: one packet lands at t=0, far
+                        // behind any active destination's clock.
+                        c.at = SimTime::ZERO;
+                        skew_armed = false;
+                    }
+                    pending[plan.shard_of(c.node)].push(c);
+                }
+                nexts
+            };
+
+            // Probe: learn each shard's next event time without
+            // advancing (nothing is pending strictly before the clock).
+            let mut clock = start_clock;
+            let mut nexts = round(clock, true, &mut pending);
+            if let Some(lookahead) = lookahead {
+                loop {
+                    let next_event = nexts.iter().flatten().min().copied();
+                    let next_inject = pending.iter().flatten().map(|c| c.at).min();
+                    let m = match (next_event, next_inject) {
+                        (Some(a), Some(b)) => Some(a.min(b)),
+                        (a, b) => a.or(b),
+                    };
+                    let Some(m) = m else { break };
+                    if m >= horizon {
+                        break;
+                    }
+                    // Idle-skip to the earliest pending work, then open a
+                    // lookahead-wide strict window.
+                    let start = clock.max(m);
+                    let end = horizon.min(start + lookahead);
+                    nexts = round(end, true, &mut pending);
+                    clock = end;
+                }
+            }
+            // Final inclusive pass: events at exactly `horizon` run and
+            // every shard clock lands on `horizon`. Any cross packets it
+            // produces fire at `>= horizon + lookahead`, handled below.
+            let _ = round(horizon, false, &mut pending);
+        });
+
+        // Park leftover cross packets (due after the horizon) in their
+        // destination queues for the next `run_until`.
+        for (dest, packets) in pending.into_iter().enumerate() {
+            for c in packets {
+                rt.shards[dest].inject_cross(c);
+            }
+        }
+        self.clock = self.clock.max(horizon);
+        self.events.set_now(self.clock);
+        self.collect_shard_violations(&mut rt);
+        self.sharding = Some(rt);
+    }
+
+    /// Sequential single-event execution on a sharded run: pop the
+    /// globally earliest event and forward its cross-shard packets
+    /// immediately (channels never hold more than one event's output, so
+    /// no ordering question arises).
+    fn step_sharded(&mut self) -> bool {
+        let rt = self.sharding.as_deref_mut().expect("sharded");
+        let mut best: Option<(SimTime, usize)> = None;
+        for (i, shard) in rt.shards.iter_mut().enumerate() {
+            if let Some(t) = shard.events.peek_time() {
+                if best.is_none_or(|(bt, _)| t < bt) {
+                    best = Some((t, i));
+                }
+            }
+        }
+        let Some((_, i)) = best else {
+            return false;
+        };
+        rt.shards[i].step();
+        let outbox = rt.shards[i].take_outbox();
+        for c in outbox {
+            rt.shards[rt.plan.shard_of(c.node)].inject_cross(c);
+        }
+        self.clock = self.clock.max(rt.shards[i].clock);
+        self.events.set_now(self.clock);
+        let mut rt = self.sharding.take().expect("sharded");
+        self.collect_shard_violations(&mut rt);
+        self.sharding = Some(rt);
+        true
+    }
+
+    /// Runs every event strictly before `end` (the half-open lookahead
+    /// window of one synchronization round). Unlike [`Simulator::run_until`]
+    /// the clock is left at the last processed event, not advanced to the
+    /// window edge — later rounds and the final inclusive pass move it.
+    pub(crate) fn run_strictly_before(&mut self, end: SimTime) {
+        while let Some((at, event)) = self.events.pop_strictly_before(end) {
+            self.process(at, event);
+        }
+    }
+
+    /// Materializes a cross-shard packet in this shard: parks it in the
+    /// local arena and injects its `Deliver` with the sending shard's
+    /// clock as the tie-break key.
+    pub(crate) fn inject_cross(&mut self, c: CrossPacket) {
+        let handle = self.arena.insert(c.packet);
+        self.events.inject(
+            c.at,
+            c.sched,
+            Event::Deliver {
+                node: c.node,
+                packet: handle,
+            },
+        );
+    }
+
+    /// Drains this shard's outbox (empty for standalone simulators).
+    pub(crate) fn take_outbox(&mut self) -> Vec<CrossPacket> {
+        match self.shard_ctx.as_deref_mut() {
+            Some(ctx) => std::mem::take(&mut ctx.outbox),
+            None => Vec::new(),
+        }
+    }
+
+    /// Moves violations recorded inside the shards up into the outer
+    /// checker, globally ordered by (time, shard id) so the merged list
+    /// is deterministic.
+    fn collect_shard_violations(&mut self, rt: &mut ShardRuntime) {
+        let Some(outer) = self.checks.as_deref_mut() else {
+            return;
+        };
+        let mut batch: Vec<(usize, Violation)> = Vec::new();
+        for (i, shard) in rt.shards.iter_mut().enumerate() {
+            if let Some(checks) = shard.checks.as_deref_mut() {
+                outer.truncated += checks.truncated;
+                checks.truncated = 0;
+                batch.extend(checks.violations.drain(..).map(|v| (i, v)));
+            }
+        }
+        batch.sort_by(|a, b| a.1.at.cmp(&b.1.at).then(a.0.cmp(&b.0)));
+        for (_, v) in batch {
+            outer.record(v);
+        }
+    }
+
     /// Test hook: forces the clock forward so the next pending event pops
     /// "in the past", seeding a clock-regression fault for the checkers.
     #[doc(hidden)]
     pub fn corrupt_clock_for_test(&mut self, to: SimTime) {
         self.clock = to;
+        self.events.set_now(self.clock);
     }
 
     /// Test hook: mutable access to a link, for seeding accounting faults.
@@ -725,6 +1316,10 @@ impl Simulator {
                 })?,
             );
         }
+        let sharding = match self.sharding.as_deref() {
+            Some(rt) => Some(Box::new(rt.try_clone()?)),
+            None => None,
+        };
         Ok(Simulator {
             clock: self.clock,
             events: self.events.clone(),
@@ -743,6 +1338,8 @@ impl Simulator {
             checks: self.checks.clone(),
             metrics: self.metrics.clone(),
             tap: self.tap.clone(),
+            shard_ctx: self.shard_ctx.clone(),
+            sharding,
         })
     }
 
@@ -768,6 +1365,11 @@ impl Simulator {
         }
         bytes += self.bindings.len() * (size_of::<(NodeId, FlowId)>() + size_of::<AgentId>());
         bytes += self.drops_by_flow.len() * (size_of::<FlowId>() + size_of::<u64>());
+        if let Some(rt) = self.sharding.as_deref() {
+            for shard in &rt.shards {
+                bytes += shard.approx_heap_bytes();
+            }
+        }
         bytes
     }
 }
@@ -1624,6 +2226,282 @@ mod tests {
             .unwrap_err()
             .to_string()
             .contains("clone_box"));
+    }
+
+    /// Two delay-separated clusters — `a - r1 =20ms= r2 - b` — that a
+    /// two-shard plan cuts at the long link.
+    fn two_clusters() -> (Simulator, NodeId, NodeId) {
+        let mut t = TopologyBuilder::new();
+        let a = t.add_host("a");
+        let r1 = t.add_router("r1");
+        let r2 = t.add_router("r2");
+        let b = t.add_host("b");
+        for (x, y, ms) in [(a, r1, 1), (r1, r2, 20), (r2, b, 1)] {
+            t.add_duplex_link(
+                x,
+                y,
+                BitsPerSec::from_mbps(8.0),
+                SimDuration::from_millis(ms),
+                QueueSpec::DropTail { capacity: 100 },
+            );
+        }
+        (t.build().unwrap(), a, b)
+    }
+
+    /// Bidirectional cross-cluster traffic with checks, tap and a trace
+    /// on the bottleneck; returns every observable surface for
+    /// sharded-vs-unsharded comparison.
+    fn cross_traffic_observables(
+        shards: usize,
+    ) -> (
+        SimStats,
+        (u64, Option<SimTime>),
+        (u64, Option<SimTime>),
+        Vec<u64>,
+        Vec<u64>,
+        usize,
+    ) {
+        let (mut sim, a, b) = two_clusters();
+        sim.enable_checks();
+        sim.enable_tap(SimDuration::from_millis(25));
+        let (f1, f2) = (FlowId::from_u32(1), FlowId::from_u32(2));
+        sim.attach_agent(
+            a,
+            Box::new(Blaster {
+                dst: b,
+                flow: f1,
+                count: 30,
+                gap: SimDuration::from_micros(900),
+                sent: 0,
+            }),
+        );
+        sim.attach_agent(
+            b,
+            Box::new(Blaster {
+                dst: a,
+                flow: f2,
+                count: 20,
+                gap: SimDuration::from_micros(1300),
+                sent: 0,
+            }),
+        );
+        let ca = sim.attach_agent(a, Box::new(Counter::default()));
+        let cb = sim.attach_agent(b, Box::new(Counter::default()));
+        sim.bind_flow(a, f2, ca);
+        sim.bind_flow(b, f1, cb);
+        let bottleneck = LinkId::from_u32(2); // r1 -> r2
+        let tr = sim.trace_link_ingress(bottleneck, TraceFilter::All, SimDuration::from_millis(25));
+        let effective = sim.enable_sharding(shards);
+        // Two run_until calls so cross-shard packets straddling the first
+        // horizon must survive between runs.
+        sim.run_until(SimTime::from_millis(300));
+        sim.run_until(SimTime::from_millis(600));
+        assert!(
+            sim.violations().is_empty(),
+            "healthy run flagged: {:?}",
+            sim.violations()
+        );
+        let seen = |id| {
+            let c = sim.agent_as::<Counter>(id).unwrap();
+            (c.received, c.last_at)
+        };
+        (
+            sim.stats(),
+            seen(ca),
+            seen(cb),
+            sim.trace(tr).bytes_per_bin().to_vec(),
+            sim.tap_bins(bottleneck).unwrap().to_vec(),
+            effective,
+        )
+    }
+
+    #[test]
+    fn sharded_run_is_bit_identical_to_unsharded() {
+        let base = cross_traffic_observables(1);
+        for shards in [2, 4] {
+            let sharded = cross_traffic_observables(shards);
+            assert_eq!(sharded.5, shards, "4-node topology supports up to 4 shards");
+            assert_eq!(base.0, sharded.0, "stats diverge at {shards} shards");
+            assert_eq!(base.1, sharded.1);
+            assert_eq!(base.2, sharded.2);
+            assert_eq!(base.3, sharded.3, "trace bins diverge");
+            assert_eq!(base.4, sharded.4, "tap bins diverge");
+        }
+    }
+
+    #[test]
+    fn sharding_refuses_a_mid_flight_split_and_falls_back() {
+        let (mut sim, a, b) = two_clusters();
+        let flow = FlowId::from_u32(1);
+        sim.attach_agent(
+            a,
+            Box::new(Blaster {
+                dst: b,
+                flow,
+                count: 10,
+                gap: SimDuration::from_millis(1),
+                sent: 0,
+            }),
+        );
+        let counter = sim.attach_agent(b, Box::new(Counter::default()));
+        sim.bind_flow(b, flow, counter);
+        sim.run_until(SimTime::from_millis(5));
+        // Packets are in flight: the split must refuse and the run must
+        // continue unharmed on the legacy engine.
+        assert_eq!(sim.enable_sharding(2), 1);
+        assert_eq!(sim.shard_count(), 1);
+        assert!(sim.shard_plan().is_none());
+        sim.run_until(SimTime::from_secs(1));
+        assert_eq!(sim.agent_as::<Counter>(counter).unwrap().received, 10);
+    }
+
+    #[test]
+    fn single_shard_request_keeps_the_legacy_engine() {
+        let (sim, _, _) = two_clusters();
+        let sim = sim.with_shards(1);
+        assert_eq!(sim.shard_count(), 1);
+    }
+
+    #[test]
+    fn agents_attach_and_bind_after_sharding() {
+        let (mut sim, a, b) = two_clusters();
+        assert_eq!(sim.enable_sharding(2), 2);
+        assert!(sim.shard_plan().unwrap().lookahead() == Some(SimDuration::from_millis(20)));
+        let flow = FlowId::from_u32(7);
+        sim.attach_agent_at(
+            a,
+            Box::new(Blaster {
+                dst: b,
+                flow,
+                count: 5,
+                gap: SimDuration::from_millis(2),
+                sent: 0,
+            }),
+            SimTime::from_millis(50),
+        );
+        let counter = sim.attach_agent(b, Box::new(Counter::default()));
+        sim.bind_flow(b, flow, counter);
+        sim.run_until(SimTime::from_millis(500));
+        assert_eq!(sim.agent_as::<Counter>(counter).unwrap().received, 5);
+        assert_eq!(sim.stats().delivered, 5);
+        assert_eq!(sim.now(), SimTime::from_millis(500));
+        assert_eq!(sim.pending_events(), 0);
+        assert_eq!(sim.drops_for_flow(flow), 0);
+    }
+
+    #[test]
+    fn sharded_step_drains_the_whole_simulation() {
+        let (mut sim, a, b) = two_clusters();
+        let flow = FlowId::from_u32(1);
+        sim.attach_agent(
+            a,
+            Box::new(Blaster {
+                dst: b,
+                flow,
+                count: 8,
+                gap: SimDuration::from_millis(1),
+                sent: 0,
+            }),
+        );
+        let counter = sim.attach_agent(b, Box::new(Counter::default()));
+        sim.bind_flow(b, flow, counter);
+        assert_eq!(sim.enable_sharding(2), 2);
+        while sim.step() {}
+        assert_eq!(sim.agent_as::<Counter>(counter).unwrap().received, 8);
+    }
+
+    #[test]
+    fn shard_skew_fault_triggers_clock_regression() {
+        let (mut sim, a, b) = two_clusters();
+        sim.enable_checks();
+        let (f1, f2) = (FlowId::from_u32(1), FlowId::from_u32(2));
+        // Continuous traffic both ways keeps every shard's clock moving,
+        // so the skewed (t=0) injection is unambiguously in the past.
+        for (src, dst, flow) in [(a, b, f1), (b, a, f2)] {
+            sim.attach_agent(
+                src,
+                Box::new(Blaster {
+                    dst,
+                    flow,
+                    count: 100,
+                    gap: SimDuration::from_millis(1),
+                    sent: 0,
+                }),
+            );
+        }
+        assert_eq!(sim.enable_sharding(2), 2);
+        assert!(sim.arm_shard_skew_for_test());
+        sim.run_until(SimTime::from_millis(300));
+        assert!(
+            sim.violations()
+                .iter()
+                .any(|v| v.kind == ViolationKind::ClockRegression),
+            "skewed cross-shard delivery must be flagged: {:?}",
+            sim.violations()
+        );
+    }
+
+    #[test]
+    fn arming_skew_on_an_unsharded_sim_is_refused() {
+        let (mut sim, _, _) = two_clusters();
+        assert!(!sim.arm_shard_skew_for_test());
+    }
+
+    /// Cloneable bidirectional cross-cluster setup for checkpoint tests.
+    fn cloneable_sharded_sim(pause: SimTime) -> (Simulator, AgentId, AgentId) {
+        let (mut sim, a, b) = two_clusters();
+        sim.enable_checks();
+        let (f1, f2) = (FlowId::from_u32(1), FlowId::from_u32(2));
+        sim.attach_agent(
+            a,
+            Box::new(CloneBlaster(Blaster {
+                dst: b,
+                flow: f1,
+                count: 120,
+                gap: SimDuration::from_micros(900),
+                sent: 0,
+            })),
+        );
+        sim.attach_agent(
+            b,
+            Box::new(CloneBlaster(Blaster {
+                dst: a,
+                flow: f2,
+                count: 80,
+                gap: SimDuration::from_micros(1300),
+                sent: 0,
+            })),
+        );
+        let ca = sim.attach_agent(a, Box::new(CloneCounter(Counter::default())));
+        let cb = sim.attach_agent(b, Box::new(CloneCounter(Counter::default())));
+        sim.bind_flow(a, f2, ca);
+        sim.bind_flow(b, f1, cb);
+        assert_eq!(sim.enable_sharding(2), 2);
+        sim.run_until(pause);
+        (sim, ca, cb)
+    }
+
+    #[test]
+    fn sharded_fork_resumes_identically_to_sharded_cold_run() {
+        let pause = SimTime::from_millis(100);
+        let horizon = SimTime::from_millis(500);
+        let (mut cold, ca, cb) = cloneable_sharded_sim(pause);
+        let (paused, _, _) = cloneable_sharded_sim(pause);
+        let checkpoint = paused.checkpoint().expect("sharded state is cloneable");
+        assert_eq!(checkpoint.taken_at(), pause);
+        let mut forked = Simulator::fork(&checkpoint);
+        assert_eq!(forked.shard_count(), 2);
+        cold.run_until(horizon);
+        forked.run_until(horizon);
+        assert_eq!(cold.stats(), forked.stats());
+        assert_eq!(cold.violations(), forked.violations());
+        for id in [ca, cb] {
+            let seen = |s: &Simulator| {
+                let c = s.agent_as::<CloneCounter>(id).unwrap();
+                (c.0.received, c.0.bytes, c.0.last_at)
+            };
+            assert_eq!(seen(&cold), seen(&forked));
+        }
     }
 
     #[test]

@@ -100,6 +100,12 @@ pub struct TimerHandle {
 #[derive(Debug, Clone, Copy)]
 struct Scheduled {
     at: SimTime,
+    /// Clock time at which the event was scheduled. For same-`at` ties the
+    /// queue orders by `(sched, seq)`; `seq` alone is equivalent for events
+    /// scheduled through one queue (seqs are monotone in `sched`), but
+    /// `sched` lets a sharded run position cross-shard injections exactly
+    /// where the unsharded run would have scheduled them.
+    sched: SimTime,
     seq: u64,
     event: Event,
 }
@@ -136,15 +142,22 @@ struct PacketWheel {
     len: usize,
 }
 
-/// A [`Scheduled`] entry ordered by its `(at, seq)` key. Seqs are
-/// globally unique, so key equality implies entry identity and the
+/// A [`Scheduled`] entry ordered by its `(at, sched, seq)` key. Seqs are
+/// unique within a queue, so key equality implies entry identity and the
 /// derived-from-key `Ord`/`Eq` pair stays consistent.
 #[derive(Debug, Clone, Copy)]
 struct FrontEntry(Scheduled);
 
+impl FrontEntry {
+    #[inline]
+    fn key(&self) -> (SimTime, SimTime, u64) {
+        (self.0.at, self.0.sched, self.0.seq)
+    }
+}
+
 impl PartialEq for FrontEntry {
     fn eq(&self, other: &Self) -> bool {
-        (self.0.at, self.0.seq) == (other.0.at, other.0.seq)
+        self.key() == other.key()
     }
 }
 
@@ -158,7 +171,7 @@ impl PartialOrd for FrontEntry {
 
 impl Ord for FrontEntry {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.0.at, self.0.seq).cmp(&(other.0.at, other.0.seq))
+        self.key().cmp(&other.key())
     }
 }
 
@@ -271,6 +284,7 @@ const LEVELS: usize = 8;
 #[derive(Debug, Clone)]
 struct TimerEntry {
     at: SimTime,
+    sched: SimTime,
     seq: u64,
     agent: AgentId,
     token: u64,
@@ -291,8 +305,9 @@ struct TimerWheel {
     occupied: [u64; LEVELS],
     /// Current wheel position, in ticks. Never decreases.
     cursor: u64,
-    /// Due (or sub-tick-resolution) timers, ordered by exact `(at, seq)`.
-    front: BinaryHeap<Reverse<(SimTime, u64, u32, u32)>>,
+    /// Due (or sub-tick-resolution) timers, ordered by exact
+    /// `(at, sched, seq)`.
+    front: BinaryHeap<Reverse<(SimTime, SimTime, u64, u32, u32)>>,
     /// Number of live (scheduled, not yet fired or cancelled) timers.
     live: usize,
     /// Cached key of the earliest live timer; `Err(())` means stale (a
@@ -300,7 +315,7 @@ struct TimerWheel {
     /// wheel is known empty. Pops vastly outnumber timer mutations, so the
     /// cross-tier compare in [`EventQueue::pop`] usually skips
     /// [`refill_front`](Self::refill_front) entirely.
-    min_key: Result<Option<(SimTime, u64)>, ()>,
+    min_key: Result<Option<(SimTime, SimTime, u64)>, ()>,
 }
 
 impl Default for TimerWheel {
@@ -321,11 +336,19 @@ impl Default for TimerWheel {
 }
 
 impl TimerWheel {
-    fn insert(&mut self, at: SimTime, seq: u64, agent: AgentId, token: u64) -> TimerHandle {
+    fn insert(
+        &mut self,
+        at: SimTime,
+        sched: SimTime,
+        seq: u64,
+        agent: AgentId,
+        token: u64,
+    ) -> TimerHandle {
         let (id, gen) = match self.free.pop() {
             Some(id) => {
                 let e = &mut self.entries[id as usize];
                 e.at = at;
+                e.sched = sched;
                 e.seq = seq;
                 e.agent = agent;
                 e.token = token;
@@ -335,6 +358,7 @@ impl TimerWheel {
                 let id = u32::try_from(self.entries.len()).expect("timer slab overflow");
                 self.entries.push(TimerEntry {
                     at,
+                    sched,
                     seq,
                     agent,
                     token,
@@ -345,7 +369,7 @@ impl TimerWheel {
         };
         self.live += 1;
         self.place(id, gen, at);
-        self.note_insert(at, seq);
+        self.note_insert(at, sched, seq);
         TimerHandle { id, gen }
     }
 
@@ -357,7 +381,7 @@ impl TimerWheel {
             // Due within the current tick (or scheduled in the past, e.g.
             // zero-delay timers): exact ordering happens in the front heap.
             let e = &self.entries[id as usize];
-            self.front.push(Reverse((e.at, e.seq, id, gen)));
+            self.front.push(Reverse((e.at, e.sched, e.seq, id, gen)));
         } else {
             let diff = tick ^ self.cursor;
             let level = ((63 - diff.leading_zeros()) / LEVEL_BITS) as usize;
@@ -386,7 +410,7 @@ impl TimerWheel {
         if e.gen != h.gen {
             return false;
         }
-        if self.min_key == Ok(Some((e.at, e.seq))) {
+        if self.min_key == Ok(Some((e.at, e.sched, e.seq))) {
             self.min_key = Err(());
         }
         let e = &mut self.entries[h.id as usize];
@@ -415,7 +439,7 @@ impl TimerWheel {
     #[inline]
     fn refill_front(&mut self) {
         loop {
-            while let Some(&Reverse((_, _, id, gen))) = self.front.peek() {
+            while let Some(&Reverse((_, _, _, id, gen))) = self.front.peek() {
                 if self.entries[id as usize].gen == gen {
                     return; // live head
                 }
@@ -444,23 +468,26 @@ impl TimerWheel {
         }
     }
 
-    /// `(at, seq)` of the earliest live timer.
+    /// `(at, sched, seq)` of the earliest live timer.
     #[inline]
-    fn peek(&mut self) -> Option<(SimTime, u64)> {
+    fn peek(&mut self) -> Option<(SimTime, SimTime, u64)> {
         if let Ok(k) = self.min_key {
             return k;
         }
         self.refill_front();
-        let k = self.front.peek().map(|&Reverse((at, seq, _, _))| (at, seq));
+        let k = self
+            .front
+            .peek()
+            .map(|&Reverse((at, sched, seq, _, _))| (at, sched, seq));
         self.min_key = Ok(k);
         k
     }
 
     /// Folds a freshly inserted key into the cached minimum.
     #[inline]
-    fn note_insert(&mut self, at: SimTime, seq: u64) {
+    fn note_insert(&mut self, at: SimTime, sched: SimTime, seq: u64) {
         if let Ok(cur) = self.min_key {
-            let k = (at, seq);
+            let k = (at, sched, seq);
             self.min_key = Ok(Some(match cur {
                 Some(c) if c < k => c,
                 _ => k,
@@ -472,7 +499,7 @@ impl TimerWheel {
     #[inline]
     fn pop(&mut self) -> Option<(SimTime, u64, AgentId, u64)> {
         self.refill_front();
-        let Reverse((at, seq, id, gen)) = self.front.pop()?;
+        let Reverse((at, _, seq, id, gen)) = self.front.pop()?;
         let e = &mut self.entries[id as usize];
         debug_assert_eq!(e.gen, gen, "refill_front leaves a live head");
         let (agent, token) = (e.agent, e.token);
@@ -496,12 +523,25 @@ pub struct EventQueue {
     packets: PacketWheel,
     timers: TimerWheel,
     next_seq: u64,
+    /// The scheduling clock: the engine mirrors its own clock here before
+    /// dispatching, so every `schedule` call records *when* it was made.
+    /// `sched` never regresses, which keeps `(at, sched, seq)` ordering
+    /// identical to the historical `(at, seq)` order for events scheduled
+    /// through one queue.
+    now: SimTime,
 }
 
 impl EventQueue {
     /// Creates an empty queue.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Sets the scheduling clock recorded on subsequent `schedule` calls.
+    /// The engine calls this whenever its own clock advances.
+    #[inline]
+    pub fn set_now(&mut self, now: SimTime) {
+        self.now = now;
     }
 
     #[inline]
@@ -520,19 +560,48 @@ impl EventQueue {
     #[inline]
     pub fn schedule(&mut self, at: SimTime, event: Event) {
         let seq = self.take_seq();
+        let sched = self.now;
         match event {
             Event::Timer { agent, token } => {
-                self.timers.insert(at, seq, agent, token);
+                self.timers.insert(at, sched, seq, agent, token);
             }
-            event => self.packets.push(Scheduled { at, seq, event }),
+            event => self.packets.push(Scheduled {
+                at,
+                sched,
+                seq,
+                event,
+            }),
         }
+    }
+
+    /// Schedules `event` to fire at `at` with an explicit scheduling
+    /// timestamp, as if it had been scheduled at `sched` on this queue.
+    ///
+    /// This is the cross-shard injection point: a packet handed over from
+    /// another shard carries the clock time of its sending shard, so it
+    /// sorts among same-instant local events exactly where an unsharded
+    /// run would have placed it. Not meaningful for [`Event::Timer`].
+    #[inline]
+    pub fn inject(&mut self, at: SimTime, sched: SimTime, event: Event) {
+        debug_assert!(
+            !matches!(event, Event::Timer { .. }),
+            "cross-queue injection is for packet-tier events"
+        );
+        let seq = self.take_seq();
+        self.packets.push(Scheduled {
+            at,
+            sched,
+            seq,
+            event,
+        });
     }
 
     /// Schedules a timer for `agent` at `at` and returns a handle that can
     /// cancel it before it fires.
     pub fn schedule_timer(&mut self, at: SimTime, agent: AgentId, token: u64) -> TimerHandle {
         let seq = self.take_seq();
-        self.timers.insert(at, seq, agent, token)
+        let sched = self.now;
+        self.timers.insert(at, sched, seq, agent, token)
     }
 
     /// Cancels a pending timer. Returns `true` if the timer was still
@@ -560,25 +629,42 @@ impl EventQueue {
     /// two cross-tier peeks.
     #[inline]
     pub fn pop_before(&mut self, horizon: SimTime) -> Option<(SimTime, Event)> {
-        let packet_key = self.packets.peek().map(|s| (s.at, s.seq));
+        self.pop_when(|at| at <= horizon)
+    }
+
+    /// Removes and returns the earliest event whose time is strictly
+    /// `< end`.
+    ///
+    /// This is the sharded engine's round primitive: a conservative
+    /// lookahead window `[s, s + L)` is half-open, because a cross-shard
+    /// packet generated inside the window can fire exactly at `s + L` and
+    /// must wait for injection before that instant is processed.
+    #[inline]
+    pub fn pop_strictly_before(&mut self, end: SimTime) -> Option<(SimTime, Event)> {
+        self.pop_when(|at| at < end)
+    }
+
+    #[inline]
+    fn pop_when(&mut self, admit: impl Fn(SimTime) -> bool) -> Option<(SimTime, Event)> {
+        let packet_key = self.packets.peek().map(|s| (s.at, s.sched, s.seq));
         let timer_key = self.timers.peek();
         let take_packet = match (packet_key, timer_key) {
             (None, None) => return None,
             (Some(p), None) => {
-                if p.0 > horizon {
+                if !admit(p.0) {
                     return None;
                 }
                 true
             }
             (None, Some(t)) => {
-                if t.0 > horizon {
+                if !admit(t.0) {
                     return None;
                 }
                 false
             }
             // Seqs are globally unique, so the keys never tie.
             (Some(p), Some(t)) => {
-                if p.min(t).0 > horizon {
+                if !admit(p.min(t).0) {
                     return None;
                 }
                 p < t
@@ -600,7 +686,7 @@ impl EventQueue {
     /// contents are unchanged.
     pub fn peek_time(&mut self) -> Option<SimTime> {
         let p = self.packets.peek().map(|s| s.at);
-        let t = self.timers.peek().map(|(at, _)| at);
+        let t = self.timers.peek().map(|(at, _, _)| at);
         match (p, t) {
             (Some(a), Some(b)) => Some(a.min(b)),
             (a, b) => a.or(b),
@@ -734,6 +820,40 @@ mod tests {
         );
         assert!(!q.timer_is_live(h));
         assert!(!q.cancel_timer(h));
+    }
+
+    #[test]
+    fn strict_pop_respects_the_half_open_window() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_millis(5), timer(1));
+        q.schedule(SimTime::from_millis(10), timer(2));
+        assert_eq!(
+            q.pop_strictly_before(SimTime::from_millis(10)),
+            Some((SimTime::from_millis(5), timer(1)))
+        );
+        assert_eq!(q.pop_strictly_before(SimTime::from_millis(10)), None);
+        assert_eq!(
+            q.pop_before(SimTime::from_millis(10)),
+            Some((SimTime::from_millis(10), timer(2)))
+        );
+    }
+
+    #[test]
+    fn injected_events_sort_by_scheduling_time_among_ties() {
+        // Local events scheduled at now=14 for t=20; an injection that was
+        // scheduled (on another shard) at t=12 must pop before them, and
+        // one scheduled at t=16 after them, regardless of insertion order.
+        let mut q = EventQueue::new();
+        q.set_now(SimTime::from_millis(14));
+        q.schedule(SimTime::from_millis(20), link(100));
+        q.schedule(SimTime::from_millis(20), link(101));
+        q.inject(
+            SimTime::from_millis(20),
+            SimTime::from_millis(16),
+            link(300),
+        );
+        q.inject(SimTime::from_millis(20), SimTime::from_millis(12), link(50));
+        assert_eq!(drain_tokens(&mut q), vec![50, 100, 101, 300]);
     }
 
     /// One wheel tick in nanoseconds.

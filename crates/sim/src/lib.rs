@@ -48,6 +48,7 @@ pub mod node;
 pub mod packet;
 pub mod queue;
 pub mod routing;
+pub mod shard;
 pub mod tap;
 pub mod time;
 pub mod topology;
@@ -63,6 +64,7 @@ pub mod prelude {
     pub use crate::node::NodeId;
     pub use crate::packet::{FlowId, Packet, PacketKind};
     pub use crate::queue::{AccConfig, QueueSpec, RedConfig};
+    pub use crate::shard::ShardPlan;
     pub use crate::tap::DetectorTap;
     pub use crate::time::{SimDuration, SimTime};
     pub use crate::topology::TopologyBuilder;

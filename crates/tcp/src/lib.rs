@@ -49,6 +49,7 @@
 #![deny(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod bank;
 pub mod cc;
 pub mod config;
 pub mod rto;
@@ -58,6 +59,7 @@ pub mod stats;
 
 /// Convenient re-exports.
 pub mod prelude {
+    pub use crate::bank::{SenderBank, SinkBank};
     pub use crate::cc::{parse_cc_key, AckSample, CcSpec, CcState, CongestionControl};
     pub use crate::config::{AimdParams, CcVariant, TcpConfig};
     pub use crate::rto::RttEstimator;
