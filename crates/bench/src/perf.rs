@@ -20,6 +20,7 @@ use pdos_scenarios::spec::ScenarioSpec;
 use pdos_sim::event::{Event, EventQueue};
 use pdos_sim::node::NodeId;
 use pdos_sim::packet::{FlowId, Packet, PacketKind};
+use pdos_sim::profile::{ProfileSnapshot, EVENT_KINDS};
 use pdos_sim::queue::{QueueDiscipline, QueueSpec, RedConfig};
 use pdos_sim::time::{SimDuration, SimTime};
 use pdos_sim::topology::TopologyBuilder;
@@ -122,6 +123,14 @@ pub struct PerfReport {
     /// Allocation counters over the macro workloads (`None` unless the
     /// counting allocator is registered, as it is in the `pdos` binary).
     pub alloc: Option<AllocSnapshot>,
+    /// Logical cores the host exposes (reports from schemas `/1`–`/3`
+    /// predate the field and read back as `None`). The sharded-speedup
+    /// gate keys on this: a 1-core host has no parallelism to measure,
+    /// so the gate records itself as skipped instead of silently passing.
+    pub host_cores: usize,
+    /// Per-event-type cost breakdown of the scale macros, recorded only
+    /// when the harness runs with profiling on (`pdos bench --profile`).
+    pub profile: Option<ProfileSnapshot>,
 }
 
 impl PerfReport {
@@ -130,15 +139,17 @@ impl PerfReport {
         self.macros.iter().find(|m| m.name == name)
     }
 
-    /// Serializes the report as JSON (schema `pdos-bench/3`; readers also
-    /// accept `/2`, which lacks the `shards` field, and `/1`, which also
-    /// lacks the `warm_start` section).
+    /// Serializes the report as JSON (schema `pdos-bench/4`; readers also
+    /// accept `/3`, which lacks the `host_cores` and `profile` fields,
+    /// `/2`, which also lacks `shards`, and `/1`, which also lacks the
+    /// `warm_start` section).
     pub fn to_json(&self) -> String {
         let mut s = String::with_capacity(1024);
         let _ = write!(
             s,
-            "{{\"schema\":\"pdos-bench/3\",\"date\":\"{}\",\"smoke\":{},\"shards\":{},\"macros\":[",
-            self.date, self.smoke, self.shards
+            "{{\"schema\":\"pdos-bench/4\",\"date\":\"{}\",\"smoke\":{},\"shards\":{},\
+             \"host_cores\":{},\"macros\":[",
+            self.date, self.smoke, self.shards, self.host_cores
         );
         for (i, m) in self.macros.iter().enumerate() {
             if i > 0 {
@@ -199,11 +210,29 @@ impl PerfReport {
             Some(a) => {
                 let _ = write!(
                     s,
-                    "\"alloc\":{{\"allocations\":{},\"bytes\":{}}}}}",
+                    "\"alloc\":{{\"allocations\":{},\"bytes\":{}}},",
                     a.allocations, a.bytes
                 );
             }
-            None => s.push_str("\"alloc\":null}"),
+            None => s.push_str("\"alloc\":null,"),
+        }
+        match &self.profile {
+            Some(p) => {
+                s.push_str("\"profile\":{\"kinds\":[");
+                for (i, (name, k)) in EVENT_KINDS.iter().zip(p.kinds.iter()).enumerate() {
+                    if i > 0 {
+                        s.push(',');
+                    }
+                    let _ = write!(
+                        s,
+                        "{{\"name\":\"{}\",\"count\":{},\"wall_nanos\":{},\
+                         \"allocations\":{},\"alloc_bytes\":{}}}",
+                        name, k.count, k.wall_nanos, k.allocations, k.alloc_bytes
+                    );
+                }
+                s.push_str("]}}");
+            }
+            None => s.push_str("\"profile\":null}"),
         }
         s
     }
@@ -278,6 +307,11 @@ impl PerfReport {
                 a.bytes as f64 / (1024.0 * 1024.0)
             );
         }
+        let _ = writeln!(out, "  host cores: {}", self.host_cores);
+        if let Some(p) = &self.profile {
+            let _ = writeln!(out, "  profile (scale macros):");
+            out.push_str(&p.summary());
+        }
         out
     }
 }
@@ -286,14 +320,33 @@ impl PerfReport {
 /// fig06 smoke macro plus shortened microbenches) or the full set of
 /// macro workloads. `shards > 1` adds a second leg of the million-flow
 /// macro on the sharded engine (same workload, `shards` workers) so the
-/// report carries a sequential-vs-sharded comparison.
-pub fn run(smoke: bool, shards: usize) -> PerfReport {
+/// report carries a sequential-vs-sharded comparison. With `profile` the
+/// scale macros run under the engine's self-profiler (hash-neutral; see
+/// [`pdos_sim::profile`]) and the report carries the per-event-type
+/// breakdown.
+pub fn run(smoke: bool, shards: usize, profile: bool) -> PerfReport {
+    if profile && alloc::is_counting() {
+        pdos_sim::profile::set_alloc_probe(profile_alloc_probe);
+    }
     let alloc_before = alloc::is_counting().then(alloc::snapshot);
+    let mut profile_acc: Option<ProfileSnapshot> = None;
+    let mut fold_profile = |snap: Option<ProfileSnapshot>| {
+        if let Some(snap) = snap {
+            profile_acc
+                .get_or_insert_with(ProfileSnapshot::default)
+                .merge(&snap);
+        }
+    };
     let mut macros = vec![fig06_smoke(), fig06_smoke_metered()];
     if !smoke {
         macros.push(single_bottleneck_60s());
         macros.push(rtt_heterogeneous_50());
     }
+    // The mid-size scale tier: cheap enough to gate every PR while the
+    // full million-flow tier stays a nightly/full-run concern.
+    let (bank, snap) = flow_bank_run(profile);
+    fold_profile(snap);
+    macros.push(bank);
     // The scale macro: >= 1e5 struct-of-arrays flows (1e6 in the full
     // variant). Debug builds shrink it to a smoke-sized token — their
     // perf numbers are meaningless and the full flow count takes minutes
@@ -305,9 +358,12 @@ pub fn run(smoke: bool, shards: usize) -> PerfReport {
     } else {
         1_000_000
     };
-    macros.push(million_flow_smoke(flows, 1));
+    let (seq, snap) = million_flow_run(flows, 1, profile);
+    fold_profile(snap);
+    macros.push(seq);
     if shards > 1 {
-        let sharded = million_flow_smoke(flows, shards);
+        let (sharded, snap) = million_flow_run(flows, shards, profile);
+        fold_profile(snap);
         // The sharded engine's contract is bit-identity, so the sharded
         // leg must process exactly the event sequence the sequential leg
         // did — only the wall clock may differ.
@@ -336,7 +392,23 @@ pub fn run(smoke: bool, shards: usize) -> PerfReport {
         warm_start,
         peak_rss_bytes: peak_rss_bytes(),
         alloc,
+        host_cores: host_cores(),
+        profile: profile_acc,
     }
+}
+
+/// The profiler's allocation probe, backed by this crate's counting
+/// allocator (zeros unless a binary registered it; see [`crate::alloc`]).
+fn profile_alloc_probe() -> (u64, u64) {
+    let s = alloc::snapshot();
+    (s.allocations, s.bytes)
+}
+
+/// Logical cores the host exposes (1 when the reading is unavailable).
+pub fn host_cores() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
 }
 
 /// Number of clusters in the [`million_flow_smoke`] topology (and the
@@ -349,8 +421,9 @@ pub const MILLION_FLOW_CLUSTERS: usize = 8;
 /// core carries no traffic but keeps the graph connected, and its high
 /// latency is where [`pdos_sim::shard::ShardPlan`] cuts — every shard
 /// gets a 50 ms lookahead horizon. `flows` are spread evenly across the
-/// clusters as [`SenderBank`]/[`SinkBank`] pairs, so per-flow state is
-/// struct-of-arrays flat and the binding table is the only per-flow map.
+/// clusters as [`SenderBank`]/[`SinkBank`] pairs bound through dense
+/// flow-range bindings, so per-flow state is struct-of-arrays flat and
+/// nothing in the build keeps a per-flow map at all.
 pub fn build_million_flow_sim(flows: usize) -> pdos_sim::engine::Simulator {
     assert!(
         flows >= MILLION_FLOW_CLUSTERS,
@@ -414,11 +487,8 @@ pub fn build_million_flow_sim(flows: usize) -> pdos_sim::engine::Simulator {
             rx,
             Box::new(SinkBank::new(FlowId::from_u32(first), n, segment)),
         );
-        for i in first..first + n as u32 {
-            let flow = FlowId::from_u32(i);
-            sim.bind_flow(tx, flow, tx_id);
-            sim.bind_flow(rx, flow, rx_id);
-        }
+        sim.bind_flow_range(tx, first..first + n as u32, tx_id);
+        sim.bind_flow_range(rx, first..first + n as u32, rx_id);
         first += n as u32;
     }
     sim
@@ -430,9 +500,20 @@ pub fn build_million_flow_sim(flows: usize) -> pdos_sim::engine::Simulator {
 /// which, by the determinism contract, processes the exact same event
 /// sequence, so the two legs differ only in wall clock.
 pub fn million_flow_smoke(flows: usize, shards: usize) -> MacroResult {
+    million_flow_run(flows, shards, false).0
+}
+
+fn million_flow_run(
+    flows: usize,
+    shards: usize,
+    profile: bool,
+) -> (MacroResult, Option<ProfileSnapshot>) {
     let horizon = SimDuration::from_secs(1);
     let mut sim = build_million_flow_sim(flows);
     let engaged = sim.enable_sharding(shards);
+    if profile {
+        sim.enable_profiler();
+    }
     let t0 = Instant::now();
     sim.run_until(SimTime::ZERO + horizon);
     let wall = t0.elapsed().as_secs_f64();
@@ -442,13 +523,45 @@ pub fn million_flow_smoke(flows: usize, shards: usize) -> MacroResult {
     } else {
         "million-flow-smoke".to_string()
     };
-    MacroResult {
+    let result = MacroResult {
         name,
         sim_secs: horizon.as_secs_f64(),
         events: stats.events,
         packets: stats.delivered + stats.unclaimed,
         wall_secs: wall,
+    };
+    (result, sim.profile_snapshot())
+}
+
+/// Flows in the [`flow_bank_smoke`] mid-size tier.
+pub const FLOW_BANK_FLOWS: usize = 10_000;
+
+/// The mid-size scale macro: [`FLOW_BANK_FLOWS`] struct-of-arrays flows
+/// on the clustered ring for one simulated second — small enough to gate
+/// every PR in CI, big enough that an O(flows) regression in the bank
+/// hot path moves the needle far past the gate's noise budget.
+pub fn flow_bank_smoke() -> MacroResult {
+    flow_bank_run(false).0
+}
+
+fn flow_bank_run(profile: bool) -> (MacroResult, Option<ProfileSnapshot>) {
+    let horizon = SimDuration::from_secs(1);
+    let mut sim = build_million_flow_sim(FLOW_BANK_FLOWS);
+    if profile {
+        sim.enable_profiler();
     }
+    let t0 = Instant::now();
+    sim.run_until(SimTime::ZERO + horizon);
+    let wall = t0.elapsed().as_secs_f64();
+    let stats = sim.stats();
+    let result = MacroResult {
+        name: "flow-bank-smoke".to_string(),
+        sim_secs: horizon.as_secs_f64(),
+        events: stats.events,
+        packets: stats.delivered + stats.unclaimed,
+        wall_secs: wall,
+    };
+    (result, sim.profile_snapshot())
 }
 
 /// The warm-start macro: a six-point fig06-style γ grid over one shared
@@ -769,14 +882,35 @@ pub fn peak_rss_bytes() -> Option<u64> {
 /// purpose-built extractor for the harness's own output format, not a
 /// general JSON parser.
 /// Whether `json` is a bench report this harness can read: schema
-/// `pdos-bench/3` (current), `pdos-bench/2` (pre-sharding; lacks the
-/// `shards` field, so [`extract_shards`] defaults to 1) or
-/// `pdos-bench/1` (pre-warm-start; also lacks the `warm_start` section,
-/// so its extractors return `None` gracefully).
+/// `pdos-bench/4` (current), `pdos-bench/3` (lacks the `host_cores` and
+/// `profile` fields, so [`extract_host_cores`] returns `None`),
+/// `pdos-bench/2` (also lacks `shards`, so [`extract_shards`] defaults
+/// to 1) or `pdos-bench/1` (also lacks the `warm_start` section, so its
+/// extractors return `None` gracefully).
 pub fn schema_supported(json: &str) -> bool {
-    ["pdos-bench/1", "pdos-bench/2", "pdos-bench/3"]
-        .iter()
-        .any(|v| json.contains(&format!("\"schema\":\"{v}\"")))
+    [
+        "pdos-bench/1",
+        "pdos-bench/2",
+        "pdos-bench/3",
+        "pdos-bench/4",
+    ]
+    .iter()
+    .any(|v| json.contains(&format!("\"schema\":\"{v}\"")))
+}
+
+/// The logical core count the report was produced on. Reports from
+/// schemas `/1`–`/3` predate the field and read as `None`.
+pub fn extract_host_cores(json: &str) -> Option<usize> {
+    extract_number_after(json, "\"host_cores\":").map(|v| (v as usize).max(1))
+}
+
+/// The named kind's event count from the report's `profile` section, if
+/// the report was produced with `--profile`.
+pub fn extract_profile_kind_count(json: &str, kind: &str) -> Option<u64> {
+    let obj = &json[json.find("\"profile\":{")?..];
+    let needle = format!("\"name\":\"{kind}\"");
+    let rest = &obj[obj.find(&needle)?..];
+    extract_number_after(rest, "\"count\":").map(|v| v as u64)
 }
 
 /// The worker shards the report's macros were run with. Reports from
@@ -869,12 +1003,23 @@ mod tests {
                 allocations: 42,
                 bytes: 1024,
             }),
+            host_cores: 8,
+            profile: Some({
+                let mut p = ProfileSnapshot::default();
+                p.kinds[0].count = 1_000;
+                p.kinds[0].wall_nanos = 5_000;
+                p
+            }),
         };
         let json = report.to_json();
-        assert!(json.contains("\"schema\":\"pdos-bench/3\""), "{json}");
+        assert!(json.contains("\"schema\":\"pdos-bench/4\""), "{json}");
         assert!(schema_supported(&json), "{json}");
         assert!(json.contains("\"shards\":4"), "{json}");
         assert_eq!(extract_shards(&json), 4);
+        assert_eq!(extract_host_cores(&json), Some(8));
+        assert_eq!(extract_profile_kind_count(&json, "deliver"), Some(1_000));
+        assert_eq!(extract_profile_kind_count(&json, "timer"), Some(0));
+        assert_eq!(extract_profile_kind_count(&json, "nonexistent"), None);
         assert!(json.contains("\"peak_rss_bytes\":12582912"), "{json}");
         assert!(json.contains("\"allocations\":42"), "{json}");
         assert!(json.contains("\"checkpoint_bytes\":2000000"), "{json}");
@@ -901,13 +1046,17 @@ mod tests {
             warm_start: None,
             peak_rss_bytes: None,
             alloc: None,
+            host_cores: 1,
+            profile: None,
         };
         let json = report.to_json();
         assert!(json.contains("\"warm_start\":null"), "{json}");
         assert!(json.contains("\"peak_rss_bytes\":null"), "{json}");
         assert!(json.contains("\"alloc\":null"), "{json}");
+        assert!(json.contains("\"profile\":null"), "{json}");
         assert_eq!(extract_warm_start_speedup(&json), None);
         assert_eq!(extract_peak_rss_bytes(&json), None);
+        assert_eq!(extract_profile_kind_count(&json, "deliver"), None);
     }
 
     #[test]
@@ -927,6 +1076,7 @@ mod tests {
         assert_eq!(extract_warm_start_speedup(v1), None);
         assert_eq!(extract_warm_start_checkpoint_bytes(v1), None);
         assert_eq!(extract_shards(v1), 1, "pre-sharding schema implies 1");
+        assert_eq!(extract_host_cores(v1), None, "pre-/4 schema has no cores");
     }
 
     #[test]
@@ -945,6 +1095,29 @@ mod tests {
         assert_eq!(extract_shards(v2), 1);
         let speedup = extract_warm_start_speedup(v2).unwrap();
         assert!((speedup - 3.0).abs() < 1e-9, "{speedup}");
+        assert_eq!(extract_host_cores(v2), None);
+    }
+
+    #[test]
+    fn schema_3_reports_still_read() {
+        // A pre-host-cores/profile report (the `/3` schema, the last one
+        // before this harness profiled itself): everything extracts; the
+        // new fields read back as absent.
+        let v3 = "{\"schema\":\"pdos-bench/3\",\"date\":\"2026-08-07\",\"smoke\":true,\
+                  \"shards\":2,\
+                  \"macros\":[{\"name\":\"million-flow-smoke\",\"events_per_sec\":191621.4}],\
+                  \"micros\":[],\"warm_start\":{\"name\":\"fig06-grid-warmstart\",\
+                  \"points\":6,\"cold_wall_secs\":0.9,\"warm_wall_secs\":0.3,\
+                  \"speedup\":3.000,\"checkpoint_bytes\":2000000},\
+                  \"peak_rss_bytes\":7032832,\"alloc\":{\"allocations\":297545,\
+                  \"bytes\":291000000}}";
+        assert!(schema_supported(v3));
+        let eps = extract_macro_events_per_sec(v3, "million-flow-smoke").unwrap();
+        assert!((eps - 191_621.4).abs() < 0.5, "{eps}");
+        assert_eq!(extract_shards(v3), 2);
+        assert_eq!(extract_alloc_allocations(v3), Some(297_545));
+        assert_eq!(extract_host_cores(v3), None);
+        assert_eq!(extract_profile_kind_count(v3, "deliver"), None);
     }
 
     #[test]

@@ -1,0 +1,50 @@
+//! The self-profiler is an observer, not a participant: enabling it must
+//! leave every simulation outcome byte-identical — same event count, same
+//! traffic, same drops — and a disabled profiler must report nothing
+//! (its per-event hooks compile down to one branch on a dead flag).
+
+use pdos_bench::perf::build_million_flow_sim;
+use pdos_sim::profile::EVENT_KINDS;
+use pdos_sim::time::SimTime;
+
+const FLOWS: usize = 5_000;
+
+#[test]
+fn profiler_does_not_perturb_the_run() {
+    let run = |profile: bool| {
+        let mut sim = build_million_flow_sim(FLOWS);
+        if profile {
+            sim.enable_profiler();
+        }
+        sim.run_until(SimTime::from_secs(1));
+        (format!("{:?}", sim.stats()), sim.profile_snapshot())
+    };
+    let (plain_stats, plain_snapshot) = run(false);
+    let (profiled_stats, profiled_snapshot) = run(true);
+
+    assert_eq!(
+        plain_stats, profiled_stats,
+        "profiling changed the simulation outcome"
+    );
+    assert!(
+        plain_snapshot.is_none(),
+        "a disabled profiler must report nothing"
+    );
+
+    // The enabled profiler must account for exactly the events the
+    // engine processed.
+    let snapshot = profiled_snapshot.expect("enabled profiler reports");
+    let events: u64 = snapshot.kinds.iter().map(|k| k.count).sum();
+    assert!(
+        plain_stats.contains(&format!("events: {events}")),
+        "profiled event total {events} missing from stats {plain_stats}"
+    );
+    let deliver = EVENT_KINDS
+        .iter()
+        .position(|&k| k == "deliver")
+        .expect("deliver kind exists");
+    assert!(
+        snapshot.kinds[deliver].count > 0,
+        "a closed-loop run must deliver packets"
+    );
+}

@@ -71,6 +71,7 @@ const KNOWN_FLAGS: &[&str] = &[
     "bless",
     "warm-start",
     "no-warm-start",
+    "profile",
 ];
 
 impl Args {

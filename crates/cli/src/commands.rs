@@ -87,16 +87,21 @@ COMMANDS
   bench      engine performance harness: macro workloads (events/s,
              packets/s), the fig06-grid-warmstart macro (cold vs forked
              sweep wall time + checkpoint size), and event-queue and
-             queue-discipline microbenches, plus the million-flow-smoke
-             scale macro (>= 1e5 struct-of-arrays flows), written as a
-             BENCH_<date>.json report (schema pdos-bench/3; /1 and /2
+             queue-discipline microbenches, plus the flow-bank-smoke
+             (1e4 flows, gates every PR) and million-flow-smoke (>= 1e5
+             struct-of-arrays flows) scale macros, written as a
+             BENCH_<date>.json report (schema pdos-bench/4; /1-/3
              baselines still read)
              --shards N (1): add a second million-flow leg on the
              sharded engine for a sequential-vs-sharded comparison
+             (speedup gate skipped, with a record, on 1-core hosts)
+             --profile: run the scale macros under the engine's
+             self-profiler and report the per-event-type breakdown
              --smoke (CI-sized: fig06 smoke macro only)  --out FILE
              (default BENCH_<date>.json)  --baseline FILE (fail on a >20%
-             fig06-smoke events/s regression, >30% peak-RSS or
-             allocation-count growth, or a warm-start speedup below 1.3x)
+             fig06-smoke or flow-bank-smoke events/s regression, >30%
+             peak-RSS or allocation-count growth, or a warm-start speedup
+             below 1.3x)
   metrics    run a scenario set with the metrics registry enabled and
              export the merged per-link/per-flow/engine snapshot
              --scenario fig06-smoke|golden (fig06-smoke)  --jobs N (0)
@@ -118,9 +123,10 @@ COMMANDS
              --shards N (1; N>1 re-runs the canonical set on a sharded
              engine and requires digest byte-identity with --shards 1)
   fuzz       scenario fuzzing campaign: seeded random case families
-             (oracle-envelope and diverse dumbbells, parking-lot and
-             fat-tree topologies) through the oracle + invariant-checker
-             + golden-digest machinery, with shrink-on-violation
+             (oracle-envelope and diverse dumbbells, parking-lot,
+             fat-tree and flow-bank topologies) through the oracle +
+             invariant-checker + golden-digest machinery, with
+             shrink-on-violation
              --scenarios N (200)  --budget-secs S (0 = uncapped; the
              unit is *simulated* seconds, so the budget is
              machine-independent)  --master-seed S (7)  --jobs N (0;
@@ -970,17 +976,22 @@ pub fn cmd_fuzz(args: &Args) -> Result<String, ArgError> {
 }
 
 /// `pdos bench` — the engine performance harness. Writes a
-/// `BENCH_<date>.json` report (schema `pdos-bench/3`) and, with
-/// `--baseline`, enforces the CI regression gates: the fig06-smoke macro
-/// must stay within 20% of the baseline report's events/sec, peak RSS and
-/// allocation count must stay within 30%, and the fig06-grid-warmstart
-/// macro must keep forked sweeps at least 1.3x faster than cold ones.
-/// Baselines in the older `pdos-bench/1` and `/2` schemas are accepted
-/// (their missing fields simply skip the corresponding gates). With
-/// `--shards N` the million-flow macro also runs on the sharded engine.
+/// `BENCH_<date>.json` report (schema `pdos-bench/4`) and, with
+/// `--baseline`, enforces the CI regression gates: the fig06-smoke and
+/// flow-bank-smoke macros must stay within 20% of the baseline report's
+/// events/sec, peak RSS and allocation count must stay within 30%, and
+/// the fig06-grid-warmstart macro must keep forked sweeps at least 1.3x
+/// faster than cold ones. Baselines in the older `pdos-bench/1`–`/3`
+/// schemas are accepted (their missing fields simply skip the
+/// corresponding gates). With `--shards N` the million-flow macro also
+/// runs on the sharded engine, and the sharded leg must beat the
+/// sequential one — except on 1-core hosts, where that gate records
+/// itself as skipped (no parallelism to measure). With `--profile` the
+/// scale macros run under the engine's self-profiler and the report
+/// carries the per-event-type cost breakdown.
 pub fn cmd_bench(args: &Args) -> Result<String, ArgError> {
     let shards: usize = args.num("shards", 1)?;
-    let report = pdos_bench::perf::run(args.flag("smoke"), shards);
+    let report = pdos_bench::perf::run(args.flag("smoke"), shards, args.flag("profile"));
     let path = match args.get("out") {
         Some(p) => p.to_string(),
         None => format!("BENCH_{}.json", report.date),
@@ -994,7 +1005,7 @@ pub fn cmd_bench(args: &Args) -> Result<String, ArgError> {
             .map_err(|e| ArgError(format!("cannot read {baseline_path}: {e}")))?;
         if !pdos_bench::perf::schema_supported(&baseline) {
             return Err(ArgError(format!(
-                "{baseline_path}: unsupported schema (want pdos-bench/1, /2 or /3)"
+                "{baseline_path}: unsupported schema (want pdos-bench/1 through /4)"
             )));
         }
         let mut failures: Vec<String> = Vec::new();
@@ -1019,6 +1030,73 @@ pub fn cmd_bench(args: &Args) -> Result<String, ArgError> {
                 "{gate} regressed {:.1}% ({now:.0} events/s vs {base:.0}; >20% budget)",
                 (1.0 - ratio) * 100.0
             ));
+        }
+
+        // The mid-size scale gate: same 20% budget as fig06-smoke.
+        // Baselines from before the flow-bank tier (schemas /1–/3) skip
+        // it with a record rather than failing.
+        let gate = "flow-bank-smoke";
+        match pdos_bench::perf::extract_macro_events_per_sec(&baseline, gate) {
+            Some(base) => {
+                let now = report
+                    .macro_result(gate)
+                    .map(|m| m.events_per_sec())
+                    .ok_or_else(|| ArgError(format!("current run has no '{gate}' macro")))?;
+                let ratio = now / base.max(1e-9);
+                let _ = writeln!(
+                    out,
+                    "baseline gate: {gate} {:.0} events/s vs baseline {:.0} ({:+.1}%)",
+                    now,
+                    base,
+                    (ratio - 1.0) * 100.0
+                );
+                if ratio < 0.8 {
+                    failures.push(format!(
+                        "{gate} regressed {:.1}% ({now:.0} events/s vs {base:.0}; >20% budget)",
+                        (1.0 - ratio) * 100.0
+                    ));
+                }
+            }
+            None => {
+                let _ = writeln!(
+                    out,
+                    "baseline gate: {gate} skipped (baseline predates the flow-bank tier)"
+                );
+            }
+        }
+
+        // The sharded-speedup gate: when the report carries a sharded
+        // million-flow leg, sharding must not lose to the sequential
+        // engine — but only where the host can physically parallelize.
+        // On a 1-core host the gate is recorded as skipped instead of
+        // silently passing (or flakily failing on scheduler noise).
+        if let Some(sharded) = report
+            .macros
+            .iter()
+            .find(|m| m.name.starts_with("million-flow-smoke-x"))
+        {
+            if report.host_cores < 2 {
+                let _ = writeln!(
+                    out,
+                    "baseline gate: sharded-speedup skipped (host_cores=1: \
+                     no parallelism to measure)"
+                );
+            } else if let Some(seq) = report.macro_result("million-flow-smoke") {
+                let speedup = sharded.events_per_sec() / seq.events_per_sec().max(1e-9);
+                let _ = writeln!(
+                    out,
+                    "baseline gate: sharded-speedup {speedup:.2}x \
+                     ({} cores, floor 1.00x)",
+                    report.host_cores
+                );
+                if speedup < 1.0 {
+                    failures.push(format!(
+                        "sharded million-flow leg slower than sequential \
+                         ({speedup:.2}x on {} cores)",
+                        report.host_cores
+                    ));
+                }
+            }
         }
 
         // Resource gates: 30% budgets, enforced only when both reports
@@ -1860,17 +1938,25 @@ mod tests {
     #[test]
     fn bench_smoke_writes_a_report_and_passes_a_fair_baseline() {
         let out_path = std::env::temp_dir().join("pdos-cli-test-bench.json");
-        let cmd = format!("bench --smoke --out {}", out_path.display());
+        let cmd = format!("bench --smoke --profile --out {}", out_path.display());
         let out = run(&parse(&cmd)).unwrap();
         assert!(out.contains("fig06-smoke"), "{out}");
         assert!(out.contains("event-queue"), "{out}");
+        assert!(out.contains("flow-bank-smoke"), "{out}");
+        assert!(out.contains("host cores"), "{out}");
+        assert!(out.contains("profile (scale macros)"), "{out}");
         let json = std::fs::read_to_string(&out_path).unwrap();
-        assert!(json.contains("\"schema\":\"pdos-bench/3\""), "{json}");
+        assert!(json.contains("\"schema\":\"pdos-bench/4\""), "{json}");
         assert!(json.contains("\"warm_start\":{"), "{json}");
         let eps = pdos_bench::perf::extract_macro_events_per_sec(&json, "fig06-smoke").unwrap();
         assert!(eps > 0.0, "{eps}");
+        let eps = pdos_bench::perf::extract_macro_events_per_sec(&json, "flow-bank-smoke").unwrap();
+        assert!(eps > 0.0, "{eps}");
         let bytes = pdos_bench::perf::extract_warm_start_checkpoint_bytes(&json).unwrap();
         assert!(bytes > 0, "{json}");
+        assert!(pdos_bench::perf::extract_host_cores(&json).unwrap() >= 1);
+        let delivers = pdos_bench::perf::extract_profile_kind_count(&json, "deliver").unwrap();
+        assert!(delivers > 0, "{json}");
 
         // The report it just wrote is a same-speed baseline: the gate
         // must pass against it.
@@ -1881,8 +1967,35 @@ mod tests {
         );
         let out = run(&parse(&cmd)).unwrap();
         assert!(out.contains("baseline gate"), "{out}");
+        assert!(out.contains("flow-bank-smoke"), "{out}");
         assert!(out.contains("peak RSS"), "{out}");
         assert!(out.contains("fig06-grid-warmstart speedup"), "{out}");
+        let _ = std::fs::remove_file(&out_path);
+    }
+
+    #[test]
+    fn bench_flow_bank_gate_skips_on_pre_tier_baselines() {
+        let base_path = std::env::temp_dir().join("pdos-cli-test-bench-v3base.json");
+        let out_path = std::env::temp_dir().join("pdos-cli-test-bench-v3base-out.json");
+        // A /3 baseline: fig06-smoke gates; the flow-bank gate must be
+        // recorded as skipped, not failed.
+        std::fs::write(
+            &base_path,
+            "{\"schema\":\"pdos-bench/3\",\"macros\":[{\"name\":\"fig06-smoke\",\
+             \"events_per_sec\":1.0}]}",
+        )
+        .unwrap();
+        let cmd = format!(
+            "bench --smoke --out {} --baseline {}",
+            out_path.display(),
+            base_path.display()
+        );
+        let out = run(&parse(&cmd)).unwrap();
+        assert!(
+            out.contains("flow-bank-smoke skipped (baseline predates"),
+            "{out}"
+        );
+        let _ = std::fs::remove_file(&base_path);
         let _ = std::fs::remove_file(&out_path);
     }
 

@@ -201,6 +201,11 @@ pub enum TopoKind {
     /// A small two-level fat-tree: two aggregation cores joined by the
     /// bottleneck, leaf switches on each side, cross-core flows.
     FatTree,
+    /// A struct-of-arrays flow-bank dumbbell: `flows` dense
+    /// [`pdos_tcp::bank::SenderBank`] flows per host pair, bound through
+    /// flow-range bindings — the high-flow-count hot path the bench
+    /// tiers gate, fuzzed so bank regressions shrink to minimal repros.
+    FlowBank,
 }
 
 /// A generated non-dumbbell topology case.
@@ -208,9 +213,14 @@ pub enum TopoKind {
 pub struct TopologyCase {
     /// Which shape to build.
     pub kind: TopoKind,
-    /// Host pairs per flow group (parking lot) or leaf switches per core
-    /// side (fat tree).
+    /// Host pairs per flow group (parking lot), leaf switches per core
+    /// side (fat tree), or bank host pairs (flow bank).
     pub groups: u32,
+    /// Dense bank flows per host pair — the flow-bank kind's
+    /// high-flow-count dimension. Always `0` on the classic kinds, whose
+    /// flow count is implied by `groups`, so legacy repro lines (which
+    /// carry no `flows=` token) re-serialize byte-identically.
+    pub flows: u32,
     /// The topology/physics seed.
     pub seed: u64,
     /// Total simulated run length, whole seconds (the attack starts a
@@ -259,6 +269,7 @@ impl CaseParams {
             CaseParams::Topology(c) => match c.kind {
                 TopoKind::ParkingLot => "parking-lot",
                 TopoKind::FatTree => "fat-tree",
+                TopoKind::FlowBank => "flow-bank",
             },
         }
     }
@@ -331,11 +342,20 @@ pub fn format_case(params: &CaseParams) -> String {
             let kind = match c.kind {
                 TopoKind::ParkingLot => "parking-lot",
                 TopoKind::FatTree => "fat-tree",
+                TopoKind::FlowBank => "flow-bank",
             };
-            format!(
+            let mut line = format!(
                 "topo={kind} groups={} seed={} run_s={} extent_ms={} rate_mbps={} space_ms={}",
                 c.groups, c.seed, c.run_s, c.extent_ms, c.rate_mbps, c.space_ms
-            )
+            );
+            // Same legacy rule as the dumbbell's cc=/detect= tokens:
+            // only a non-zero bank flow count emits a token, so every
+            // parking-lot/fat-tree repro line written before the
+            // flow-bank kind existed re-serializes byte-identically.
+            if c.flows != 0 {
+                line.push_str(&format!(" flows={}", c.flows));
+            }
+            line
         }
     }
 }
@@ -444,19 +464,32 @@ pub fn parse_case(line: &str) -> Result<CaseParams, String> {
                 crowd,
             }))
         }
-        kind @ ("parking-lot" | "fat-tree") => Ok(CaseParams::Topology(TopologyCase {
-            kind: if kind == "parking-lot" {
-                TopoKind::ParkingLot
-            } else {
-                TopoKind::FatTree
-            },
-            groups: int("groups")?,
-            seed: long("seed")?,
-            run_s: int("run_s")?,
-            extent_ms: int("extent_ms")?,
-            rate_mbps: int("rate_mbps")?,
-            space_ms: int("space_ms")?,
-        })),
+        kind @ ("parking-lot" | "fat-tree" | "flow-bank") => {
+            let kind = match kind {
+                "parking-lot" => TopoKind::ParkingLot,
+                "fat-tree" => TopoKind::FatTree,
+                _ => TopoKind::FlowBank,
+            };
+            // Absent ≡ 0 keeps pre-flow-bank repro lines parsing; the
+            // flow-bank kind itself requires a positive count.
+            let flows = match kv.get("flows") {
+                None => 0,
+                Some(v) => v.parse::<u32>().map_err(|e| format!("bad flows: {e}"))?,
+            };
+            if kind == TopoKind::FlowBank && flows == 0 {
+                return Err("flow-bank needs flows= >= 1".to_string());
+            }
+            Ok(CaseParams::Topology(TopologyCase {
+                kind,
+                groups: int("groups")?,
+                flows,
+                seed: long("seed")?,
+                run_s: int("run_s")?,
+                extent_ms: int("extent_ms")?,
+                rate_mbps: int("rate_mbps")?,
+                space_ms: int("space_ms")?,
+            }))
+        }
         other => Err(format!("bad topo: {other:?}")),
     }
 }
@@ -534,11 +567,22 @@ mod tests {
             CaseParams::Topology(TopologyCase {
                 kind: TopoKind::FatTree,
                 groups: 2,
+                flows: 0,
                 seed: 99,
                 run_s: 16,
                 extent_ms: 50,
                 rate_mbps: 25,
                 space_ms: 450,
+            }),
+            CaseParams::Topology(TopologyCase {
+                kind: TopoKind::FlowBank,
+                groups: 2,
+                flows: 2500,
+                seed: 4242,
+                run_s: 8,
+                extent_ms: 75,
+                rate_mbps: 30,
+                space_ms: 400,
             }),
         ];
         for c in &cases {
@@ -645,6 +689,39 @@ mod tests {
         assert!(parse_case(&format!("{legacy} shards=0")).is_err());
         assert!(parse_case(&format!("{legacy} shards=x")).is_err());
         assert!(parse_case(&format!("{legacy} crowd=-3")).is_err());
+    }
+
+    #[test]
+    fn flows_token_stays_off_legacy_topology_lines() {
+        // Parking-lot/fat-tree repro lines written before the flow-bank
+        // kind carried no flows= token; they must parse to 0 and
+        // re-serialize byte-identically.
+        let legacy = "topo=parking-lot groups=2 seed=11 run_s=15 extent_ms=75 \
+                      rate_mbps=30 space_ms=400";
+        let CaseParams::Topology(parsed) = parse_case(legacy).expect("legacy line parses") else {
+            unreachable!()
+        };
+        assert_eq!(parsed.flows, 0);
+        assert_eq!(format_case(&CaseParams::Topology(parsed)), legacy);
+
+        // The flow-bank kind always emits its count and rejects zero.
+        let bank = CaseParams::Topology(TopologyCase {
+            kind: TopoKind::FlowBank,
+            groups: 1,
+            flows: 1000,
+            seed: 3,
+            run_s: 6,
+            extent_ms: 50,
+            rate_mbps: 25,
+            space_ms: 300,
+        });
+        let line = format_case(&bank);
+        assert!(line.ends_with(" flows=1000"), "{line}");
+        assert_eq!(parse_case(&line).unwrap(), bank);
+        let zeroed = line.replace(" flows=1000", "");
+        assert!(parse_case(&zeroed).is_err(), "flow-bank requires flows=");
+        let bad = line.replace("flows=1000", "flows=x");
+        assert!(parse_case(&bad).is_err(), "non-integer flows rejected");
     }
 
     #[test]

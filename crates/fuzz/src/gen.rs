@@ -209,6 +209,7 @@ fn draw_topology_family(rng: &mut SmallRng, fam: usize, kind: TopoKind) -> Famil
     let case = TopologyCase {
         kind,
         groups: rng.random_range(1u32..=3),
+        flows: 0,
         seed: draw_seed(rng),
         run_s: rng.random_range(14u32..=20),
         extent_ms: EXTENTS_MS[rng.random_range(0usize..EXTENTS_MS.len())],
@@ -223,23 +224,51 @@ fn draw_topology_family(rng: &mut SmallRng, fam: usize, kind: TopoKind) -> Famil
     }
 }
 
+/// A flow-bank family: the high-flow-count dimension. One or two SoA
+/// bank pairs of 1,000–4,000 dense flows each share a RED bottleneck
+/// under a pulse train — two to three orders of magnitude more flows
+/// than any dumbbell family draws, so regressions on the bank hot path
+/// (range bindings, the RTO wheel, bucketed expiry) surface here and
+/// shrink toward a minimal flow count. Runs stay short: the budget unit
+/// is simulated seconds, and a bank second costs far more wall than a
+/// dumbbell one.
+fn draw_flow_bank_family(rng: &mut SmallRng, fam: usize) -> Family {
+    let case = TopologyCase {
+        kind: TopoKind::FlowBank,
+        groups: rng.random_range(1u32..=2),
+        flows: rng.random_range(1_000u32..=4_000),
+        seed: draw_seed(rng),
+        run_s: rng.random_range(6u32..=10),
+        extent_ms: EXTENTS_MS[rng.random_range(0usize..EXTENTS_MS.len())],
+        rate_mbps: rng.random_range(20u32..=40),
+        space_ms: rng.random_range(250u32..=550),
+    };
+    Family {
+        cases: vec![FuzzCase {
+            id: format!("fuzz/{fam:04}/c0"),
+            params: CaseParams::Topology(case),
+        }],
+    }
+}
+
 /// Generates families until at least `n_cases` cases exist (whole
 /// families only, so the count can slightly exceed the request). The
-/// class mix is drawn per family: half oracle-envelope dumbbells, two
-/// tenths diverse dumbbells, one tenth each flash-crowd, parking-lot
-/// and fat-tree.
+/// class mix is drawn per family: five elevenths oracle-envelope
+/// dumbbells, two elevenths diverse dumbbells, one eleventh each
+/// flash-crowd, parking-lot, fat-tree and flow-bank.
 pub fn generate(master_seed: u64, n_cases: usize) -> Vec<Family> {
     let mut rng = SmallRng::seed_from_u64(master_seed);
     let mut families = Vec::new();
     let mut total = 0usize;
     while total < n_cases.max(1) {
         let fam = families.len();
-        let family = match rng.random_range(0u32..10) {
+        let family = match rng.random_range(0u32..11) {
             0..=4 => draw_oracle_family(&mut rng, fam),
             5..=6 => draw_diverse_family(&mut rng, fam),
             7 => draw_flash_crowd_family(&mut rng, fam),
             8 => draw_topology_family(&mut rng, fam, TopoKind::ParkingLot),
-            _ => draw_topology_family(&mut rng, fam, TopoKind::FatTree),
+            9 => draw_topology_family(&mut rng, fam, TopoKind::FatTree),
+            _ => draw_flow_bank_family(&mut rng, fam),
         };
         total += family.cases.len();
         families.push(family);
@@ -353,8 +382,23 @@ mod tests {
             "flash-crowd",
             "parking-lot",
             "fat-tree",
+            "flow-bank",
         ] {
             assert!(seen.contains(tag), "missing class {tag} in {seen:?}");
+        }
+        // The high-flow-count dimension draws in its range, only on the
+        // flow-bank kind.
+        for f in &families {
+            for case in &f.cases {
+                if let CaseParams::Topology(c) = &case.params {
+                    match c.kind {
+                        TopoKind::FlowBank => {
+                            assert!((1_000..=4_000).contains(&c.flows), "flows in range");
+                        }
+                        _ => assert_eq!(c.flows, 0, "classic kinds stay bank-free"),
+                    }
+                }
+            }
         }
     }
 

@@ -130,6 +130,17 @@ fn candidates(params: &CaseParams, class: ViolationClass) -> Vec<CaseParams> {
                 n.run_s = (c.run_s / 2).max(8);
                 push(n);
             }
+            // The flow-bank dimension shrinks toward the smallest bank
+            // that still reproduces — a violation that survives at 64
+            // flows is not a scale bug.
+            if c.flows > 64 {
+                let mut n = *c;
+                n.flows = (c.flows / 2).max(64);
+                push(n);
+                let mut n = *c;
+                n.flows = 64;
+                push(n);
+            }
         }
     }
     out
@@ -537,6 +548,7 @@ mod tests {
                 params: CaseParams::Topology(TopologyCase {
                     kind: TopoKind::FatTree,
                     groups: 3,
+                    flows: 0,
                     seed: 1234,
                     run_s: 18,
                     extent_ms: 75,

@@ -1,8 +1,8 @@
-//! Direct-substrate topology cases: parking-lot chains and small
-//! fat-trees built straight on `pdos-sim`, attacked with a pulse train,
-//! and audited for the invariants the gain protocol never checks on
-//! these shapes — routing totality, link-level packet conservation, and
-//! the runtime checkers.
+//! Direct-substrate topology cases: parking-lot chains, small fat-trees
+//! and high-flow-count SoA flow banks built straight on `pdos-sim`,
+//! attacked with a pulse train, and audited for the invariants the gain
+//! protocol never checks on these shapes — routing totality, link-level
+//! packet conservation, and the runtime checkers.
 //!
 //! Everything here is single-threaded and seeded, so a
 //! [`TopologyCase`] replays bit-identically from its drawn parameters.
@@ -19,6 +19,7 @@ use pdos_sim::time::{SimDuration, SimTime};
 use pdos_sim::topology::TopologyBuilder;
 use pdos_sim::trace::TraceFilter;
 use pdos_sim::units::{BitsPerSec, Bytes};
+use pdos_tcp::bank::{SenderBank, SinkBank};
 use pdos_tcp::config::TcpConfig;
 use pdos_tcp::sender::TcpSender;
 use pdos_tcp::sink::TcpSink;
@@ -44,7 +45,10 @@ pub struct TopoOutcome {
 struct Wired {
     sim: Simulator,
     bottleneck: LinkId,
+    /// Per-flow [`TcpSink`] agents (classic kinds; empty on flow banks).
     sinks: Vec<pdos_sim::agent::AgentId>,
+    /// [`SinkBank`] agents (flow-bank kind; empty on classic kinds).
+    bank_sinks: Vec<pdos_sim::agent::AgentId>,
     attacker: NodeId,
     attack_sink: NodeId,
 }
@@ -119,6 +123,7 @@ fn build_parking_lot(case: &TopologyCase) -> Wired {
         sim,
         bottleneck: middle,
         sinks,
+        bank_sinks: Vec::new(),
         attacker,
         attack_sink,
     }
@@ -156,6 +161,79 @@ fn build_fat_tree(case: &TopologyCase) -> Wired {
         sim,
         bottleneck,
         sinks,
+        bank_sinks: Vec::new(),
+        attacker,
+        attack_sink,
+    }
+}
+
+/// One dumbbell carrying `groups` struct-of-arrays bank pairs: each pair
+/// is a [`SenderBank`] host serving `flows` dense flows toward its own
+/// [`SinkBank`] host, all funneled through one RED bottleneck and bound
+/// via flow-range bindings — exactly the hot path the `flow-bank-smoke`
+/// bench tier gates, here under a pulsing attack and the runtime
+/// checkers. `flows` is the campaign's high-flow-count dimension, drawn
+/// orders of magnitude above what the dumbbell families reach.
+fn build_flow_bank(case: &TopologyCase) -> Wired {
+    let mut t = TopologyBuilder::with_seed(case.seed);
+    let r1 = t.add_router("r1");
+    let r2 = t.add_router("r2");
+    let d = SimDuration::from_millis(5);
+    let bottleneck = t.add_link(
+        r1,
+        r2,
+        BitsPerSec::from_mbps(BOTTLENECK_MBPS),
+        d,
+        red_queue(),
+    );
+    t.add_link(r2, r1, BitsPerSec::from_mbps(BOTTLENECK_MBPS), d, ample());
+
+    let access = BitsPerSec::from_mbps(1000.0);
+    let mut pairs = Vec::new();
+    for i in 0..case.groups as usize {
+        let src = t.add_host(format!("bank-src{i}"));
+        let dst = t.add_host(format!("bank-dst{i}"));
+        t.add_duplex_link(src, r1, access, SimDuration::from_millis(2), ample());
+        t.add_duplex_link(dst, r2, access, SimDuration::from_millis(2), ample());
+        pairs.push((src, dst));
+    }
+    let (attacker, attack_sink) = attach_attack_hosts(&mut t, r1, r2);
+
+    let mut sim = t.build().expect("flow-bank dumbbell builds");
+    let segment = Bytes::from_u64(1000);
+    let rto = SimDuration::from_millis(500);
+    let flows = case.flows.max(1);
+    let mut bank_sinks = Vec::with_capacity(pairs.len());
+    for (i, &(src, dst)) in pairs.iter().enumerate() {
+        let first = i as u32 * flows;
+        let range = first..first + flows;
+        let tx = sim.attach_agent(
+            src,
+            Box::new(SenderBank::new(
+                FlowId::from_u32(first),
+                flows as usize,
+                dst,
+                segment,
+                rto,
+            )),
+        );
+        let rx = sim.attach_agent(
+            dst,
+            Box::new(SinkBank::new(
+                FlowId::from_u32(first),
+                flows as usize,
+                segment,
+            )),
+        );
+        sim.bind_flow_range(src, range.clone(), tx);
+        sim.bind_flow_range(dst, range, rx);
+        bank_sinks.push(rx);
+    }
+    Wired {
+        sim,
+        bottleneck,
+        sinks: Vec::new(),
+        bank_sinks,
         attacker,
         attack_sink,
     }
@@ -191,6 +269,7 @@ pub fn run_topology(case: &TopologyCase) -> TopoOutcome {
     let mut w = match case.kind {
         TopoKind::ParkingLot => build_parking_lot(case),
         TopoKind::FatTree => build_fat_tree(case),
+        TopoKind::FlowBank => build_flow_bank(case),
     };
     w.sim.enable_checks();
     let trace = w.sim.trace_link_ingress(
@@ -206,9 +285,16 @@ pub fn run_topology(case: &TopologyCase) -> TopoOutcome {
         SimDuration::from_millis(u64::from(case.space_ms)),
     )
     .expect("generator draws positive pulse parameters");
+    // The attack flow id must stay clear of victim ids: the classic
+    // kinds keep their historical 9999, while flow banks can own tens of
+    // thousands of dense ids, so their attack rides far above the range.
+    let attack_flow = match case.kind {
+        TopoKind::ParkingLot | TopoKind::FatTree => 9999,
+        TopoKind::FlowBank => 1 << 20,
+    };
     let src = Box::new(PulseSource::new(
         train,
-        FlowId::from_u32(9999),
+        FlowId::from_u32(attack_flow),
         w.attack_sink,
         Bytes::from_u64(1000),
         None,
@@ -218,7 +304,7 @@ pub fn run_topology(case: &TopologyCase) -> TopoOutcome {
 
     w.sim.run_until(SimTime::from_secs(u64::from(case.run_s)));
 
-    let goodput_bytes = w
+    let mut goodput_bytes: u64 = w
         .sinks
         .iter()
         .map(|&rx| {
@@ -228,6 +314,16 @@ pub fn run_topology(case: &TopologyCase) -> TopoOutcome {
                 .goodput_bytes()
         })
         .sum();
+    goodput_bytes += w
+        .bank_sinks
+        .iter()
+        .map(|&rx| {
+            w.sim
+                .agent_as::<SinkBank>(rx)
+                .expect("sink bank agent")
+                .goodput_bytes()
+        })
+        .sum::<u64>();
 
     // Link-level conservation: offered = tx + dropped + backlog, give or
     // take one in-flight packet per link (the random-topology suite's
@@ -259,6 +355,7 @@ mod tests {
         TopologyCase {
             kind,
             groups: 1,
+            flows: if kind == TopoKind::FlowBank { 1000 } else { 0 },
             seed: 5,
             run_s: 9,
             extent_ms: 75,
@@ -288,6 +385,25 @@ mod tests {
         assert_eq!(out.routeless, 0);
         assert!(out.conserved);
         assert!(out.goodput_bytes > 100_000, "got {}", out.goodput_bytes);
+    }
+
+    #[test]
+    fn flow_bank_runs_clean_at_a_thousand_flows() {
+        let out = run_topology(&quick_case(TopoKind::FlowBank));
+        assert_eq!(out.violations, 0, "{:?}", out.first_violation);
+        assert_eq!(out.routeless, 0);
+        assert!(out.conserved);
+        assert!(out.goodput_bytes > 100_000, "got {}", out.goodput_bytes);
+        assert!(!out.bins.is_empty());
+    }
+
+    #[test]
+    fn flow_bank_runs_are_deterministic() {
+        let case = quick_case(TopoKind::FlowBank);
+        let a = run_topology(&case);
+        let b = run_topology(&case);
+        assert_eq!(a.goodput_bytes, b.goodput_bytes);
+        assert_eq!(a.bins, b.bins);
     }
 
     #[test]

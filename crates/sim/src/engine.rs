@@ -9,6 +9,7 @@ use crate::link::{Link, LinkAccept, LinkId};
 use crate::metrics::EngineMetrics;
 use crate::node::{Node, NodeId};
 use crate::packet::{FlowId, Packet, PacketArena};
+use crate::profile::{ProfileSnapshot, Profiler};
 use crate::routing::RoutingTable;
 use crate::shard::{merge_outboxes, CrossPacket, ShardMembership, ShardPlan};
 use crate::tap::DetectorTap;
@@ -49,8 +50,14 @@ struct AgentSlot {
     node: NodeId,
     agent: Option<Box<dyn Agent>>,
     /// Live timer handles by token, so `Effect::CancelTimer` can cancel in
-    /// the wheel for real. Dead handles are pruned on every timer dispatch.
-    timers: Vec<(u64, TimerHandle)>,
+    /// the wheel for real — O(1) per arm/cancel/fire regardless of how many
+    /// timers the agent keeps live (a million-flow bank used to pay a full
+    /// scan of this table per ACK when it was a `Vec`).
+    timers: FnvHashMap<u64, TimerHandle>,
+    /// The rare second live timer armed on the *same* token spills here;
+    /// swept lazily on cancel/fire, so it stays empty for every agent that
+    /// keeps at most one live timer per token.
+    timer_spill: Vec<(u64, TimerHandle)>,
 }
 
 impl AgentSlot {
@@ -65,6 +72,7 @@ impl AgentSlot {
             node: self.node,
             agent,
             timers: self.timers.clone(),
+            timer_spill: self.timer_spill.clone(),
         })
     }
 }
@@ -101,6 +109,11 @@ pub struct Simulator {
     routing: RoutingTable,
     agents: Vec<AgentSlot>,
     bindings: FnvHashMap<(NodeId, FlowId), AgentId>,
+    /// Dense flow-range bindings, indexed by node: a bank claiming a
+    /// contiguous flow-id block registers one entry here instead of one
+    /// point binding per flow, so million-flow lookups touch a handful of
+    /// cache-hot range records rather than a DRAM-sized hash table.
+    flow_ranges: Vec<Vec<FlowRange>>,
     traces: Vec<RateTrace>,
     link_traces: Vec<Vec<TraceId>>,
     drops_by_flow: FnvHashMap<FlowId, u64>,
@@ -116,6 +129,7 @@ pub struct Simulator {
     /// Observability layer; `None` (the default) costs one branch per
     /// event, exactly like `checks`.
     metrics: Option<Box<EngineMetrics>>,
+    profiler: Option<Box<Profiler>>,
     /// Per-link detector tap feeding streaming detectors; `None` (the
     /// default) costs one branch per forwarded packet.
     tap: Option<Box<DetectorTap>>,
@@ -180,6 +194,16 @@ struct RoundReply {
     next: Option<SimTime>,
 }
 
+/// One dense binding: flows `start..end` arriving at their node route to
+/// `agent`. See [`Simulator::bind_flow_range`].
+#[derive(Debug, Clone, Copy)]
+struct FlowRange {
+    start: u32,
+    /// Exclusive upper bound.
+    end: u32,
+    agent: AgentId,
+}
+
 impl std::fmt::Debug for Simulator {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Simulator")
@@ -196,6 +220,7 @@ impl std::fmt::Debug for Simulator {
 impl Simulator {
     pub(crate) fn from_parts(nodes: Vec<Node>, links: Vec<Link>, routing: RoutingTable) -> Self {
         let n_links = links.len();
+        let n_nodes = nodes.len();
         Simulator {
             clock: SimTime::ZERO,
             events: EventQueue::new(),
@@ -204,6 +229,7 @@ impl Simulator {
             routing,
             agents: Vec::new(),
             bindings: FnvHashMap::default(),
+            flow_ranges: vec![Vec::new(); n_nodes],
             traces: Vec::new(),
             link_traces: vec![Vec::new(); n_links],
             drops_by_flow: FnvHashMap::default(),
@@ -213,6 +239,7 @@ impl Simulator {
             effects_scratch: Vec::new(),
             checks: None,
             metrics: None,
+            profiler: None,
             tap: None,
             shard_ctx: None,
             sharding: None,
@@ -292,6 +319,45 @@ impl Simulator {
         if let Some(rt) = self.sharding.as_deref_mut() {
             for shard in rt.shards.iter_mut() {
                 if let Some(sub) = shard.metrics_snapshot() {
+                    snap.merge(&sub);
+                }
+            }
+        }
+        Some(snap)
+    }
+
+    /// Arms the deterministic self-profiler (see [`crate::profile`]): a
+    /// per-event-type breakdown of dispatch counts, handler wall-clock
+    /// and (when an allocation probe is registered) handler allocations.
+    /// Profiling is read-only with respect to the simulation — an armed
+    /// run is event-for-event identical to a disabled one — and costs
+    /// nothing until armed: the disabled loop pays one `Option`
+    /// discriminant test per event.
+    pub fn enable_profiler(&mut self) {
+        if self.profiler.is_none() {
+            self.profiler = Some(Box::new(Profiler::new()));
+        }
+        if let Some(rt) = self.sharding.as_deref_mut() {
+            for shard in rt.shards.iter_mut() {
+                shard.enable_profiler();
+            }
+        }
+    }
+
+    /// Whether [`Simulator::enable_profiler`] was called.
+    pub fn profiler_enabled(&self) -> bool {
+        self.profiler.is_some()
+    }
+
+    /// The accumulated per-event-type breakdown, `None` while the
+    /// profiler is disabled. On a sharded run the per-shard breakdowns
+    /// are summed — every event is dispatched by exactly one shard, so
+    /// the merged counts equal the unsharded run's.
+    pub fn profile_snapshot(&self) -> Option<ProfileSnapshot> {
+        let mut snap = self.profiler.as_deref().map(Profiler::snapshot)?;
+        if let Some(rt) = self.sharding.as_deref() {
+            for shard in &rt.shards {
+                if let Some(sub) = shard.profile_snapshot() {
                     snap.merge(&sub);
                 }
             }
@@ -441,7 +507,8 @@ impl Simulator {
         self.agents.push(AgentSlot {
             node,
             agent: Some(agent),
-            timers: Vec::new(),
+            timers: FnvHashMap::default(),
+            timer_spill: Vec::new(),
         });
         self.events.set_now(self.clock);
         self.events
@@ -479,8 +546,79 @@ impl Simulator {
             agent.index() < self.agents.len(),
             "cannot bind unknown {agent}"
         );
+        assert!(
+            self.range_lookup(node, flow).is_none(),
+            "binding ({node}, {flow}) already covered by a flow-range binding"
+        );
         let prev = self.bindings.insert((node, flow), agent);
         assert!(prev.is_none(), "binding ({node}, {flow}) registered twice");
+    }
+
+    /// Routes every flow in `flows` arriving at `node` to `agent` through
+    /// one dense range record — the million-flow-friendly alternative to a
+    /// [`bind_flow`](Simulator::bind_flow) call (and hash-table entry) per
+    /// flow. Lookup scans the node's few range records before falling back
+    /// to the point-binding table, so banks claiming contiguous flow-id
+    /// blocks pay O(1) cache-hot work per delivery regardless of flow
+    /// count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `flows` is empty, overlaps a range already registered at
+    /// `node`, or the agent is unknown. Registering a range over flows
+    /// that already have point bindings is not checked (the range would
+    /// shadow them); keep the two namespaces disjoint.
+    pub fn bind_flow_range(&mut self, node: NodeId, flows: std::ops::Range<u32>, agent: AgentId) {
+        assert!(!flows.is_empty(), "empty flow range at {node}");
+        if let Some(rt) = self.sharding.as_deref_mut() {
+            assert!(
+                agent.index() < rt.agent_map.len(),
+                "cannot bind unknown {agent}"
+            );
+            let (s, local) = rt.agent_map[agent.index()];
+            assert_eq!(
+                rt.plan.shard_of(node),
+                s,
+                "binding ({node}, flows {}..{}) would cross shards: the agent \
+                 lives on shard {s}; attach receivers at their own node",
+                flows.start,
+                flows.end
+            );
+            rt.shards[s].bind_flow_range(node, flows, local);
+            return;
+        }
+        assert!(
+            agent.index() < self.agents.len(),
+            "cannot bind unknown {agent}"
+        );
+        let ranges = &mut self.flow_ranges[node.index()];
+        assert!(
+            ranges
+                .iter()
+                .all(|r| flows.end <= r.start || r.end <= flows.start),
+            "flow range {}..{} at {node} overlaps an existing range binding",
+            flows.start,
+            flows.end
+        );
+        ranges.push(FlowRange {
+            start: flows.start,
+            end: flows.end,
+            agent,
+        });
+    }
+
+    /// The range binding covering `flow` at `node`, if any.
+    #[inline]
+    fn range_lookup(&self, node: NodeId, flow: FlowId) -> Option<AgentId> {
+        let ranges = &self.flow_ranges[node.index()];
+        if ranges.is_empty() {
+            return None;
+        }
+        let f = flow.as_u32();
+        ranges
+            .iter()
+            .find(|r| r.start <= f && f < r.end)
+            .map(|r| r.agent)
     }
 
     /// Registers a rate trace on the ingress of `link`.
@@ -600,6 +738,9 @@ impl Simulator {
         if let Some(m) = self.metrics.as_deref_mut() {
             m.on_pop(&event);
         }
+        // Sample the profiler clocks only while armed, so the disabled
+        // path pays exactly this one discriminant test.
+        let prof = self.profiler.is_some().then(|| Profiler::begin(&event));
         match event {
             Event::Deliver { node, packet } => {
                 let packet = self.arena.take(packet);
@@ -608,6 +749,11 @@ impl Simulator {
             Event::LinkTxDone { link } => self.handle_tx_done(link),
             Event::Timer { agent, token } => self.dispatch_timer(agent, token),
             Event::AgentStart { agent } => self.dispatch_start(agent),
+        }
+        if let Some(start) = prof {
+            if let Some(p) = self.profiler.as_deref_mut() {
+                p.record(start);
+            }
         }
     }
 
@@ -624,7 +770,10 @@ impl Simulator {
 
     fn handle_arrival(&mut self, node: NodeId, packet: Packet) {
         if packet.dst == node {
-            match self.bindings.get(&(node, packet.flow)).copied() {
+            let bound = self
+                .range_lookup(node, packet.flow)
+                .or_else(|| self.bindings.get(&(node, packet.flow)).copied());
+            match bound {
                 Some(agent) => {
                     self.stats.delivered += 1;
                     self.dispatch_packet(agent, packet);
@@ -807,7 +956,10 @@ impl Simulator {
             .iter()
             .all(|(_, e)| matches!(e, Event::AgentStart { .. }))
             && self.arena.live() == 0
-            && self.agents.iter().all(|s| s.timers.is_empty())
+            && self
+                .agents
+                .iter()
+                .all(|s| s.timers.is_empty() && s.timer_spill.is_empty())
             && self.traces.iter().all(|t| t.n_bins() == 0)
             && self.links.iter().all(|l| l.try_clone().is_some());
         if !splittable {
@@ -848,6 +1000,9 @@ impl Simulator {
             if self.metrics.is_some() {
                 sub.enable_metrics();
             }
+            if self.profiler.is_some() {
+                sub.enable_profiler();
+            }
             if let Some(tap) = self.tap.as_deref() {
                 sub.enable_tap(tap.bin_width());
             }
@@ -866,6 +1021,14 @@ impl Simulator {
         for ((node, flow), agent) in std::mem::take(&mut self.bindings) {
             let (s, local) = agent_map[agent.index()];
             sub_shards[s].bindings.insert((node, flow), local);
+        }
+        let n_nodes = self.nodes.len();
+        let flow_ranges = std::mem::replace(&mut self.flow_ranges, vec![Vec::new(); n_nodes]);
+        for (node_idx, ranges) in flow_ranges.into_iter().enumerate() {
+            for r in ranges {
+                let (s, local) = agent_map[r.agent.index()];
+                sub_shards[s].flow_ranges[node_idx].push(FlowRange { agent: local, ..r });
+            }
         }
         for (at, e) in drained {
             let Event::AgentStart { agent } = e else {
@@ -1220,18 +1383,29 @@ impl Simulator {
                 }
                 Effect::TimerAt { at, token } => {
                     let handle = self.events.schedule_timer(at, id, token);
-                    self.agents[id.index()].timers.push((token, handle));
+                    let slot = &mut self.agents[id.index()];
+                    if let Some(old) = slot.timers.insert(token, handle) {
+                        if self.events.timer_is_live(old) {
+                            slot.timer_spill.push((token, old));
+                        }
+                    }
                 }
                 Effect::CancelTimer { token } => {
                     let events = &mut self.events;
-                    self.agents[id.index()].timers.retain(|&(tok, handle)| {
-                        if tok == token {
-                            events.cancel_timer(handle);
-                            false
-                        } else {
-                            events.timer_is_live(handle)
-                        }
-                    });
+                    let slot = &mut self.agents[id.index()];
+                    if let Some(handle) = slot.timers.remove(&token) {
+                        events.cancel_timer(handle);
+                    }
+                    if !slot.timer_spill.is_empty() {
+                        slot.timer_spill.retain(|&(tok, handle)| {
+                            if tok == token {
+                                events.cancel_timer(handle);
+                                false
+                            } else {
+                                events.timer_is_live(handle)
+                            }
+                        });
+                    }
                 }
             }
         }
@@ -1243,12 +1417,20 @@ impl Simulator {
     }
 
     fn dispatch_timer(&mut self, id: AgentId, token: u64) {
-        // The fired timer's handle just went dead; sweep it (and any other
-        // dead handles) so the table tracks only live timers.
+        // The fired timer's handle just went dead; drop it from the table
+        // (the fired handle may instead live in the spill, which is swept
+        // whole — it is empty unless the agent doubled up on a token).
         let events = &self.events;
-        self.agents[id.index()]
-            .timers
-            .retain(|&(_, handle)| events.timer_is_live(handle));
+        let slot = &mut self.agents[id.index()];
+        if let Some(&handle) = slot.timers.get(&token) {
+            if !events.timer_is_live(handle) {
+                slot.timers.remove(&token);
+            }
+        }
+        if !slot.timer_spill.is_empty() {
+            slot.timer_spill
+                .retain(|&(_, handle)| events.timer_is_live(handle));
+        }
         self.with_agent(id, |agent, ctx| agent.on_timer(token, ctx));
     }
 
@@ -1328,6 +1510,7 @@ impl Simulator {
             routing: self.routing.clone(),
             agents,
             bindings: self.bindings.clone(),
+            flow_ranges: self.flow_ranges.clone(),
             traces: self.traces.clone(),
             link_traces: self.link_traces.clone(),
             drops_by_flow: self.drops_by_flow.clone(),
@@ -1337,6 +1520,7 @@ impl Simulator {
             effects_scratch: Vec::new(),
             checks: self.checks.clone(),
             metrics: self.metrics.clone(),
+            profiler: self.profiler.clone(),
             tap: self.tap.clone(),
             shard_ctx: self.shard_ctx.clone(),
             sharding,
@@ -1361,9 +1545,15 @@ impl Simulator {
             bytes += trace.n_bins() * size_of::<u64>();
         }
         for slot in &self.agents {
-            bytes += 256 + slot.timers.len() * size_of::<(u64, TimerHandle)>();
+            bytes += 256
+                + (slot.timers.len() + slot.timer_spill.len()) * size_of::<(u64, TimerHandle)>();
         }
         bytes += self.bindings.len() * (size_of::<(NodeId, FlowId)>() + size_of::<AgentId>());
+        bytes += self
+            .flow_ranges
+            .iter()
+            .map(|v| v.len() * size_of::<FlowRange>())
+            .sum::<usize>();
         bytes += self.drops_by_flow.len() * (size_of::<FlowId>() + size_of::<u64>());
         if let Some(rt) = self.sharding.as_deref() {
             for shard in &rt.shards {
@@ -2248,19 +2438,22 @@ mod tests {
         (t.build().unwrap(), a, b)
     }
 
-    /// Bidirectional cross-cluster traffic with checks, tap and a trace
-    /// on the bottleneck; returns every observable surface for
-    /// sharded-vs-unsharded comparison.
-    fn cross_traffic_observables(
-        shards: usize,
-    ) -> (
+    /// Everything [`cross_traffic_observables`] surfaces: stats, each
+    /// counter's `(seen, last_at)`, the trace bins, the tap bins, and
+    /// the effective shard count.
+    type CrossTrafficObservables = (
         SimStats,
         (u64, Option<SimTime>),
         (u64, Option<SimTime>),
         Vec<u64>,
         Vec<u64>,
         usize,
-    ) {
+    );
+
+    /// Bidirectional cross-cluster traffic with checks, tap and a trace
+    /// on the bottleneck; returns every observable surface for
+    /// sharded-vs-unsharded comparison.
+    fn cross_traffic_observables(shards: usize) -> CrossTrafficObservables {
         let (mut sim, a, b) = two_clusters();
         sim.enable_checks();
         sim.enable_tap(SimDuration::from_millis(25));

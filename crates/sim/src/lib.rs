@@ -46,6 +46,7 @@ pub mod link;
 pub mod metrics;
 pub mod node;
 pub mod packet;
+pub mod profile;
 pub mod queue;
 pub mod routing;
 pub mod shard;

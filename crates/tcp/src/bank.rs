@@ -13,8 +13,12 @@
 //! agent: all per-flow state lives in parallel `Vec`s (struct-of-arrays),
 //! ~26 bytes per sender-side flow, scanned and indexed without
 //! indirection. The engine sees a single agent per host; the many flows
-//! are multiplexed through the ordinary `(node, flow)` bindings and the
-//! timer-token namespace (token = flow slot). Everything stays
+//! are multiplexed through the ordinary `(node, flow)` bindings, and all
+//! of their retransmission deadlines fold into one bank-level
+//! [`RtoWheel`] behind one engine timer per *deadline instant* (not per
+//! flow) — per-ACK timer cost is O(1) and a synchronized timeout storm
+//! of a million flows is a single engine timer event, no matter how many
+//! flows the bank serves. Everything stays
 //! deterministic and cloneable, so banks work under checkpoint/fork and
 //! the sharded engine's bit-identity contract.
 //!
@@ -26,12 +30,18 @@
 //! Banks exist to load the *engine* (wheels, arena, shards) with
 //! realistic closed-loop traffic at scale, not to reproduce Fig. 6.
 
+use crate::rto_wheel::RtoWheel;
 use pdos_sim::agent::{Agent, AgentCtx};
 use pdos_sim::node::NodeId;
 use pdos_sim::packet::{FlowId, Packet, PacketKind};
-use pdos_sim::time::SimDuration;
+use pdos_sim::time::{SimDuration, SimTime};
 use pdos_sim::units::Bytes;
 use std::any::Any;
+
+// A SenderBank's engine timers carry the deadline's nanosecond as the
+// token. Deadlines are strictly monotone and armed once each, so every
+// live timer has a distinct token — which keeps the engine's per-agent
+// timer table duplicate-free (no spill, O(1) per arm and per fire).
 
 /// A bank of greedy AIMD senders for the dense flow range
 /// `[first, first + n)`, all sending from one host toward `dst`.
@@ -39,7 +49,6 @@ use std::any::Any;
 pub struct SenderBank {
     dst: NodeId,
     segment: Bytes,
-    rto: SimDuration,
     cwnd_cap: u32,
     first: u32,
     // Struct-of-arrays per-flow state, indexed by slot = flow - first.
@@ -54,6 +63,15 @@ pub struct SenderBank {
     segments_sent: u64,
     retransmissions: u64,
     timeouts: u64,
+    // All per-flow retransmission deadlines, behind one engine timer
+    // per distinct deadline instant.
+    wheel: RtoWheel,
+    /// Highest deadline an engine timer has been armed for. Deadlines
+    /// are monotone, so a rearm needs a new engine timer iff its
+    /// deadline differs from this.
+    armed_through: Option<SimTime>,
+    /// Reused buffer for the slots expired by one timer fire.
+    due_scratch: Vec<usize>,
 }
 
 impl SenderBank {
@@ -82,7 +100,6 @@ impl SenderBank {
         SenderBank {
             dst,
             segment,
-            rto,
             cwnd_cap,
             first: first.as_u32(),
             cwnd: vec![1; n],
@@ -95,6 +112,9 @@ impl SenderBank {
             segments_sent: 0,
             retransmissions: 0,
             timeouts: 0,
+            wheel: RtoWheel::new(rto, n),
+            armed_through: None,
+            due_scratch: Vec::new(),
         }
     }
 
@@ -131,6 +151,23 @@ impl SenderBank {
     /// Approximate heap footprint of the per-flow arrays, bytes.
     pub fn approx_bytes(&self) -> usize {
         self.n_flows() * (6 * std::mem::size_of::<u32>() + 1)
+    }
+
+    /// One slot's full congestion state
+    /// `(cwnd, frac, ssthresh, next_seq, high, acked, dup)` — for the
+    /// layout-equivalence tests, which assert the bank byte-matches a
+    /// boxed per-flow reference.
+    #[doc(hidden)]
+    pub fn slot_state(&self, slot: usize) -> (u32, u32, u32, u32, u32, u32, u8) {
+        (
+            self.cwnd[slot],
+            self.frac[slot],
+            self.ssthresh[slot],
+            self.next_seq[slot],
+            self.high[slot],
+            self.acked[slot],
+            self.dup[slot],
+        )
     }
 
     fn slot_of(&self, flow: FlowId) -> Option<usize> {
@@ -179,10 +216,26 @@ impl SenderBank {
         self.rearm_rto(slot, ctx);
     }
 
-    fn rearm_rto(&self, slot: usize, ctx: &mut AgentCtx<'_>) {
-        let token = slot as u64;
-        ctx.cancel_timer(token);
-        ctx.timer_after(self.rto, token);
+    /// (Re-)arms `slot`'s retransmission deadline in the bank wheel.
+    ///
+    /// No engine timer is cancelled, and none is created per flow: the
+    /// wheel's lazy invalidation absorbs the churn, and one engine timer
+    /// is armed per *distinct deadline instant* — at the moment that
+    /// deadline first appears, so its event key `(deadline, now, seq)`
+    /// is byte-identical to the per-flow timer a boxed agent would have
+    /// armed right here. That keeps same-instant event ordering — and
+    /// therefore the whole packet trace — exactly equal to the retired
+    /// per-flow-timer layout (see `tests/bank_equivalence.rs`), while
+    /// every flow that re-arms at the same instant shares the one timer.
+    /// A timer whose whole bucket is re-armed away fires as a no-op.
+    fn rearm_rto(&mut self, slot: usize, ctx: &mut AgentCtx<'_>) {
+        let now = ctx.now();
+        self.wheel.rearm(slot, now);
+        let deadline = now + self.wheel.rto();
+        if self.armed_through != Some(deadline) {
+            ctx.timer_at(deadline, deadline.as_nanos());
+            self.armed_through = Some(deadline);
+        }
     }
 
     /// Integer AIMD growth: double per RTT in slow start (+1 per ACK),
@@ -242,21 +295,31 @@ impl Agent for SenderBank {
         }
     }
 
-    fn on_timer(&mut self, token: u64, ctx: &mut AgentCtx<'_>) {
-        let slot = token as usize;
-        if slot >= self.n_flows() {
-            return;
+    fn on_timer(&mut self, _token: u64, ctx: &mut AgentCtx<'_>) {
+        // Every timer the bank arms is a wheel deadline (the token is
+        // the deadline itself), so any fire means: expire what is due.
+        // Expire the whole due bucket, then handle each slot in fire
+        // order — identical order and times to the retired per-flow
+        // engine timers (see the rto_wheel proptest battery). The fire
+        // may be spurious (every due entry re-armed since): the handler
+        // loop is empty then and the event is a no-op — future deadlines
+        // already armed their own timers when they were created.
+        let mut due = std::mem::take(&mut self.due_scratch);
+        due.clear();
+        self.wheel.expire(ctx.now(), |slot| due.push(slot));
+        for &slot in &due {
+            if self.next_seq[slot] > self.acked[slot] {
+                // Outstanding data lost: collapse to one segment and
+                // resend from the first unacknowledged one.
+                self.timeouts += 1;
+                self.halve(slot);
+                self.cwnd[slot] = 1;
+                self.go_back_n(slot, ctx);
+            } else {
+                self.rearm_rto(slot, ctx);
+            }
         }
-        if self.next_seq[slot] > self.acked[slot] {
-            // Outstanding data lost: collapse to one segment and resend
-            // from the first unacknowledged one.
-            self.timeouts += 1;
-            self.halve(slot);
-            self.cwnd[slot] = 1;
-            self.go_back_n(slot, ctx);
-        } else {
-            self.rearm_rto(slot, ctx);
-        }
+        self.due_scratch = due;
     }
 
     fn as_any(&self) -> &dyn Any {

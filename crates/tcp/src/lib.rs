@@ -53,6 +53,7 @@ pub mod bank;
 pub mod cc;
 pub mod config;
 pub mod rto;
+pub mod rto_wheel;
 pub mod sender;
 pub mod sink;
 pub mod stats;
